@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples cli clean outputs
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# All eleven experiments (DESIGN.md section 3 / EXPERIMENTS.md).
+bench:
+	dune exec bench/main.exe
+
+# A quicker benchmark pass for iteration.
+bench-quick:
+	ALFNET_BENCH_QUOTA=0.15 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/file_transfer.exe
+	dune exec examples/video_stream.exe
+	dune exec examples/rpc_demo.exe
+	dune exec examples/parallel_sink.exe
+	dune exec examples/text_transfer.exe
+	dune exec examples/ilp_showcase.exe
+
+cli:
+	dune exec bin/alfnet.exe -- transfer --transport alf --loss 0.05 -v
+	dune exec bin/alfnet.exe -- transfer --transport tcp --loss 0.05 -v
+	dune exec bin/alfnet.exe -- atm --aal 5 --cell-loss 0.005
+	dune exec bin/alfnet.exe -- syntax --ints 32
+
+# Regenerate the captured artefacts referenced by EXPERIMENTS.md.
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
