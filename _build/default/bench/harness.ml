@@ -1,0 +1,68 @@
+(* Shared measurement and table-printing helpers for the experiment
+   harness. Micro-benchmarks go through Bechamel (OLS over run counts);
+   macro experiments that execute a whole data path once use the
+   process-time stopwatch. *)
+
+open Bechamel
+open Toolkit
+
+let quota = ref 0.5
+
+(* Nanoseconds per run of [fn], by linear regression. *)
+let ns_per_run name fn =
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second !quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate = ref nan in
+  Hashtbl.iter
+    (fun _ o ->
+      match Analyze.OLS.estimates o with
+      | Some (e :: _) -> estimate := e
+      | Some [] | None -> ())
+    results;
+  !estimate
+
+(* Megabits of payload per second given bytes processed per run. *)
+let mbps ~bytes ~ns = 8.0 *. float_of_int bytes /. ns *. 1000.0
+
+let measure_mbps name ~bytes fn = mbps ~bytes ~ns:(ns_per_run name fn)
+
+(* One-shot stopwatch over a macro operation repeated [runs] times;
+   returns seconds per run of CPU time. *)
+let seconds_per_run ?(runs = 5) fn =
+  fn () (* warm up *);
+  let t0 = Sys.time () in
+  for _ = 1 to runs do
+    fn ()
+  done;
+  (Sys.time () -. t0) /. float_of_int runs
+
+(* --- Table printing --- *)
+
+let heading title =
+  Printf.printf "\n=== %s ===\n" title
+
+let subheading text = Printf.printf "--- %s ---\n" text
+
+let row_header cols =
+  Printf.printf "%-34s" "";
+  List.iter (fun c -> Printf.printf "%18s" c) cols;
+  print_newline ();
+  Printf.printf "%s\n" (String.make (34 + (18 * List.length cols)) '-')
+
+let row label cells =
+  Printf.printf "%-34s" label;
+  List.iter (fun v -> Printf.printf "%18s" v) cells;
+  print_newline ()
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let note fmt = Printf.printf fmt

@@ -1,0 +1,903 @@
+(* The experiment harness: one entry per table/figure/measurement in the
+   paper's evaluation (see DESIGN.md §3 and EXPERIMENTS.md). Run all with
+   `dune exec bench/main.exe`, or name experiments:
+   `dune exec bench/main.exe -- table1 ilp-fusion`. *)
+
+open Bufkit
+open Netsim
+open Alf_core
+
+let workload_bytes = 256 * 1024
+
+let fresh_workload () =
+  let rng = Rng.create ~seed:0xBEEFL in
+  let b = Bytebuf.create workload_bytes in
+  Rng.fill_bytes rng b;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Table 1: speed in Mb/s for manipulation operations.            *)
+(* ------------------------------------------------------------------ *)
+
+let e1_table1 () =
+  Harness.heading
+    "E1 (Table 1): copy and checksum throughput, Mb/s";
+  let src = fresh_workload () in
+  let dst = Bytebuf.create workload_bytes in
+  let host_copy =
+    Harness.measure_mbps "copy" ~bytes:workload_bytes (fun () ->
+        Kernels.copy ~src ~dst)
+  in
+  let host_cksum =
+    Harness.measure_mbps "checksum" ~bytes:workload_bytes (fun () ->
+        ignore (Kernels.checksum src))
+  in
+  let model m k = Machine_model.mbps m k in
+  Harness.row_header [ "uVax (model)"; "R2000 (model)"; "this host"; "paper uVax"; "paper R2000" ];
+  Harness.row "Copy"
+    [
+      Harness.f1 (model Machine_model.uvax3 Machine_model.copy_kernel);
+      Harness.f1 (model Machine_model.r2000 Machine_model.copy_kernel);
+      Harness.f1 host_copy;
+      "42"; "130";
+    ];
+  Harness.row "Checksum"
+    [
+      Harness.f1 (model Machine_model.uvax3 Machine_model.checksum_kernel);
+      Harness.f1 (model Machine_model.r2000 Machine_model.checksum_kernel);
+      Harness.f1 host_cksum;
+      "60"; "115";
+    ];
+  Harness.note
+    "Shape check: copy and checksum are the same order of magnitude, and the\n\
+     RISC machine is ~3x the microcoded one; host numbers scale both up.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2 — ILP fusion: separate copy+checksum vs one fused loop.          *)
+(* ------------------------------------------------------------------ *)
+
+let e2_ilp_fusion () =
+  Harness.heading "E2: integrated (fused) vs serial copy+checksum, Mb/s";
+  let src = fresh_workload () in
+  let dst = Bytebuf.create workload_bytes in
+  let host name fn = Harness.measure_mbps name ~bytes:workload_bytes fn in
+  (* Host columns use the scalar word-loop copy: the fused loop is scalar,
+     and 1990 copies were too; memcpy's SIMD would not fuse with a
+     checksum anyway. *)
+  let host_copy = host "copy" (fun () -> Kernels.copy_words ~src ~dst) in
+  let host_cksum = host "checksum" (fun () -> ignore (Kernels.checksum src)) in
+  let host_serial =
+    host "serial" (fun () ->
+        Kernels.copy_words ~src ~dst;
+        ignore (Kernels.checksum dst))
+  in
+  let host_fused = host "fused" (fun () -> ignore (Kernels.copy_checksum ~src ~dst)) in
+  let m_ser machine =
+    Machine_model.serial_mbps machine
+      [ Machine_model.copy_kernel; Machine_model.checksum_kernel ]
+  in
+  let m_fus machine =
+    Machine_model.mbps machine
+      (Machine_model.fuse [ Machine_model.copy_kernel; Machine_model.checksum_kernel ])
+  in
+  Harness.row_header [ "uVax (model)"; "R2000 (model)"; "this host"; "paper R2000" ];
+  Harness.row "copy alone"
+    [
+      Harness.f1 (Machine_model.mbps Machine_model.uvax3 Machine_model.copy_kernel);
+      Harness.f1 (Machine_model.mbps Machine_model.r2000 Machine_model.copy_kernel);
+      Harness.f1 host_copy; "130";
+    ];
+  Harness.row "checksum alone"
+    [
+      Harness.f1 (Machine_model.mbps Machine_model.uvax3 Machine_model.checksum_kernel);
+      Harness.f1 (Machine_model.mbps Machine_model.r2000 Machine_model.checksum_kernel);
+      Harness.f1 host_cksum; "115";
+    ];
+  Harness.row "serial copy then checksum"
+    [
+      Harness.f1 (m_ser Machine_model.uvax3);
+      Harness.f1 (m_ser Machine_model.r2000);
+      Harness.f1 host_serial; "~60";
+    ];
+  Harness.row "fused copy+checksum (ILP)"
+    [
+      Harness.f1 (m_fus Machine_model.uvax3);
+      Harness.f1 (m_fus Machine_model.r2000);
+      Harness.f1 host_fused; "90";
+    ];
+  Harness.note "ILP gain (fused/serial): model R2000 %.2fx, this host %.2fx (paper: 90/60 = 1.50x)\n"
+    (m_fus Machine_model.r2000 /. m_ser Machine_model.r2000)
+    (host_fused /. host_serial);
+  (* The same 3-stage plan through the declarative engine, executed three
+     ways: layered bulk passes, fusion *interpreted* per byte, and fusion
+     *compiled* to a hand-fused kernel (section 8's compilation of the
+     protocol suite). *)
+  let plan =
+    [
+      Ilp.Xor_pad { key = 42L; pos = 0L };
+      Ilp.Checksum Checksum.Kind.Internet;
+      Ilp.Deliver_copy;
+    ]
+  in
+  let small = Bytebuf.take src 65536 in
+  let eng_layered =
+    Harness.measure_mbps "engine layered" ~bytes:65536 (fun () ->
+        ignore (Ilp.run_layered plan small))
+  in
+  let eng_interp =
+    Harness.measure_mbps "engine interpreted" ~bytes:65536 (fun () ->
+        ignore (Ilp.run_fused_interpreted plan small))
+  in
+  assert (Ilp.run_fused plan small).Ilp.compiled;
+  let eng_compiled =
+    Harness.measure_mbps "engine compiled" ~bytes:65536 (fun () ->
+        ignore (Ilp.run_fused plan small))
+  in
+  Harness.note
+    "Stage engine, 3 stages (decrypt+checksum+deliver), one declarative plan:\n\
+    \  layered %.1f Mb/s | fused-interpreted %.1f Mb/s | fused-compiled %.1f Mb/s\n\
+    \  Interpreted fusion loses to bulk passes (%.2fx); compiling the plan to a\n\
+    \  fused kernel wins (%.2fx over layered) - ILP pays as a 'compiled'\n\
+    \  technique, exactly section 8's compilation-vs-interpretation point.\n"
+    eng_layered eng_interp eng_compiled (eng_interp /. eng_layered)
+    (eng_compiled /. eng_layered)
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Presentation conversion cost vs a word-aligned copy.           *)
+(* ------------------------------------------------------------------ *)
+
+let e3_presentation_cost () =
+  Harness.heading "E3: presentation conversion vs copy (int-array workload), Mb/s of application data";
+  let n = 32 * 1024 in
+  let app_bytes = 4 * n in
+  let rng = Rng.create ~seed:0xABCL in
+  let ints =
+    Array.init n (fun _ -> Int64.to_int (Rng.int64 rng) land 0x7FFFFFFF)
+  in
+  let value = Wire.Value.int_array ints in
+  let flat = Wire.Lwts.encode_int_array ints in
+  let flat_dst = Bytebuf.create (Bytebuf.length flat) in
+  let host name fn = Harness.measure_mbps name ~bytes:app_bytes fn in
+  let copy = host "copy" (fun () -> Kernels.copy ~src:flat ~dst:flat_dst) in
+  let lwts = host "lwts" (fun () -> ignore (Wire.Lwts.encode_int_array ints)) in
+  let xdr = host "xdr" (fun () -> ignore (Wire.Xdr.encode_int_array ints)) in
+  let ber = host "ber" (fun () -> ignore (Wire.Ber.encode_int_array ints)) in
+  let ber_toolkit =
+    host "ber-interp" (fun () -> ignore (Wire.Ber.encode_interpretive value))
+  in
+  let ber_wire = Wire.Ber.encode_int_array ints in
+  let ber_decode = host "ber-decode" (fun () -> ignore (Wire.Ber.decode_int_array ber_wire)) in
+  Harness.row_header [ "Mb/s"; "vs copy" ];
+  let show label v = Harness.row label [ Harness.f1 v; Printf.sprintf "%.1fx slower" (copy /. v) ] in
+  Harness.row "word-aligned copy" [ Harness.f1 copy; "1.0x" ];
+  show "LWTS encode (light-weight syntax)" lwts;
+  show "XDR encode" xdr;
+  show "BER encode (tuned)" ber;
+  show "BER decode (tuned)" ber_decode;
+  show "BER encode (interpretive toolkit)" ber_toolkit;
+  Harness.note
+    "Model prediction (R2000): BER encode %.1f Mb/s vs copy %.1f Mb/s = %.1fx slower\n\
+     (paper: 28 vs 130 Mb/s, 4-5x). Host ratios are inflated because a modern\n\
+     memcpy is SIMD-vectorised while conversion stays scalar; the ordering\n\
+     (copy >> tuned conversion >> toolkit conversion) is the reproduced shape.\n"
+    (Machine_model.mbps Machine_model.r2000 Machine_model.ber_encode_int_kernel)
+    (Machine_model.mbps Machine_model.r2000 Machine_model.copy_kernel)
+    (Machine_model.mbps Machine_model.r2000 Machine_model.copy_kernel
+    /. Machine_model.mbps Machine_model.r2000 Machine_model.ber_encode_int_kernel)
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Fusing the checksum into the conversion loop.                  *)
+(* ------------------------------------------------------------------ *)
+
+let e4_fused_convert () =
+  Harness.heading "E4: BER conversion alone vs conversion+checksum, Mb/s of application data";
+  let n = 32 * 1024 in
+  let app_bytes = 4 * n in
+  let rng = Rng.create ~seed:0xDEFL in
+  let ints = Array.init n (fun _ -> Int64.to_int (Rng.int64 rng) land 0x7FFFFFFF) in
+  let host name fn = Harness.measure_mbps name ~bytes:app_bytes fn in
+  let convert = host "convert" (fun () -> ignore (Wire.Ber.encode_int_array ints)) in
+  let fused =
+    host "convert+checksum fused" (fun () ->
+        ignore (Wire.Ber.encode_int_array_with_checksum ints))
+  in
+  let serial =
+    host "convert then checksum" (fun () ->
+        let b = Wire.Ber.encode_int_array ints in
+        ignore (Kernels.checksum b))
+  in
+  Harness.row_header [ "this host"; "model R2000"; "paper R2000" ];
+  Harness.row "BER convert alone"
+    [
+      Harness.f1 convert;
+      Harness.f1 (Machine_model.mbps Machine_model.r2000 Machine_model.ber_encode_int_kernel);
+      "28";
+    ];
+  Harness.row "convert + checksum (fused)"
+    [
+      Harness.f1 fused;
+      Harness.f1
+        (Machine_model.mbps Machine_model.r2000
+           (Machine_model.fuse
+              [ Machine_model.ber_encode_int_kernel; Machine_model.checksum_kernel ]));
+      "24";
+    ];
+  Harness.row "convert then checksum (serial)"
+    [
+      Harness.f1 serial;
+      Harness.f1
+        (Machine_model.serial_mbps Machine_model.r2000
+           [ Machine_model.ber_encode_int_kernel; Machine_model.checksum_kernel ]);
+      "-";
+    ];
+  Harness.note
+    "Shape: folding the checksum into the conversion loop costs only a small\n\
+     fraction (paper: 28 -> 24 Mb/s = 1.17x). Model: %.2fx. Host: %.2fx\n\
+     (vs %.2fx for a separate checksum pass; on this host the word-lane\n\
+     checksum is so much faster than byte-wise conversion that the serial\n\
+     pass is cheap - the model regenerates the 1990 balance).\n"
+    (Machine_model.mbps Machine_model.r2000 Machine_model.ber_encode_int_kernel
+    /. Machine_model.mbps Machine_model.r2000
+         (Machine_model.fuse
+            [ Machine_model.ber_encode_int_kernel; Machine_model.checksum_kernel ]))
+    (convert /. fused) (convert /. serial)
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Full-stack overhead: presentation dominates everything else.   *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process execution of the data-transfer-phase manipulations of a
+   whole stack (the network itself costs nothing in-process, exactly like
+   a loopback measurement): segmentation copy + Internet checksum on both
+   sides, with or without a presentation conversion of the application
+   data. Mirrors the paper's TCP+ISODE loopback comparison. *)
+let e5_stack_overhead () =
+  Harness.heading "E5: share of stack overhead attributable to presentation";
+  let n_ints = 64 * 1024 in
+  let ints = Array.init n_ints (fun i -> (i * 2654435761) land 0x7FFFFFFF) in
+  let mss = 1460 in
+  let transport_manips payload =
+    (* Sender: segment (copy) + checksum each segment. Receiver: verify
+       checksum + copy into place. *)
+    let len = Bytebuf.length payload in
+    let recv = Bytebuf.create len in
+    let pos = ref 0 in
+    while !pos < len do
+      let seg_len = min mss (len - !pos) in
+      let seg = Bytebuf.sub payload ~pos:!pos ~len:seg_len in
+      let dst = Bytebuf.sub recv ~pos:!pos ~len:seg_len in
+      (* send side: checksum over the outgoing segment *)
+      ignore (Kernels.checksum seg);
+      (* receive side: verify + move into place in one read (ILP'd) *)
+      ignore (Kernels.copy_checksum ~src:seg ~dst);
+      pos := !pos + seg_len
+    done
+  in
+  (* Baseline: a "very long OCTET STRING" in image mode. *)
+  let octets = Wire.Lwts.encode_int_array ints in
+  let t_raw = Harness.seconds_per_run (fun () -> transport_manips octets) in
+  (* Conversion-intensive, toolkit presentation (ISODE-flavoured). *)
+  let value = Wire.Value.int_array ints in
+  let t_toolkit =
+    Harness.seconds_per_run ~runs:3 (fun () ->
+        let encoded = Wire.Ber.encode_interpretive value in
+        transport_manips encoded;
+        ignore (Wire.Ber.decode encoded))
+  in
+  (* Conversion-intensive, tuned presentation. *)
+  let t_tuned =
+    Harness.seconds_per_run (fun () ->
+        let encoded = Wire.Ber.encode_int_array ints in
+        transport_manips encoded;
+        ignore (Wire.Ber.decode_int_array encoded))
+  in
+  Harness.row_header [ "s/transfer"; "slowdown"; "presentation share" ];
+  Harness.row "octet string (no conversion)"
+    [ Harness.f3 t_raw; "1.0x"; "0%" ];
+  Harness.row "int array, tuned BER"
+    [
+      Harness.f3 t_tuned;
+      Printf.sprintf "%.1fx" (t_tuned /. t_raw);
+      Harness.pct ((t_tuned -. t_raw) /. t_tuned);
+    ];
+  Harness.row "int array, toolkit BER (ISODE-like)"
+    [
+      Harness.f3 t_toolkit;
+      Printf.sprintf "%.1fx" (t_toolkit /. t_raw);
+      Harness.pct ((t_toolkit -. t_raw) /. t_toolkit);
+    ];
+  Harness.note
+    "Paper: the conversion-intensive case ran ~30x slower through TCP+ISODE,\n\
+     ~97%% of stack overhead in presentation; hand-tuned conversion bounds the\n\
+     range at 4-5x. Both ends of the range should reproduce in shape above.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6 — The pipeline-stall experiment: ALF vs TCP under loss.          *)
+(* ------------------------------------------------------------------ *)
+
+let e6_one ~alf ~loss =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:20260704L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy loss)
+      ~queue_limit:2048 ~bandwidth_bps:10e6 ~delay:0.01 ~a:1 ~b:2 ()
+  in
+  let total_bytes = 400_000 in
+  (* The application presentation conversion is the bottleneck: slightly
+     faster than the wire, so any stall starves it unrecoverably. *)
+  let app = Pipeline.create ~engine ~rate_bps:12e6 () in
+  let peak_backlog = ref 0 in
+  if alf then begin
+    let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+    let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+    let receiver =
+      Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1
+        ~deliver:(fun adu -> Pipeline.feed app ~bytes:(Bytebuf.length adu.Adu.payload))
+        ()
+    in
+    let sender =
+      Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10
+        ~stream:1 ~policy:Recovery.Transport_buffer
+        ~config:
+          { Alf_transport.default_sender_config with Alf_transport.pace_bps = Some 9e6 }
+        ()
+    in
+    let adu_size = 4000 in
+    for i = 0 to (total_bytes / adu_size) - 1 do
+      Alf_transport.send_adu sender
+        (Adu.make
+           (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1 ~index:i ())
+           (Bytebuf.create adu_size))
+    done;
+    Alf_transport.close sender;
+    Engine.run ~until:600.0 engine;
+    ignore (Alf_transport.receiver_stats receiver);
+    (Pipeline.finish_time app, !peak_backlog)
+  end
+  else begin
+    let sender = Transport.Tcp.create ~engine ~node:net.Topology.a ~peer:2 () in
+    let receiver = Transport.Tcp.create ~engine ~node:net.Topology.b ~peer:1 () in
+    Transport.Tcp.on_deliver receiver (fun chunk ->
+        Pipeline.feed app ~bytes:(Bytebuf.length chunk));
+    (* Sample the resequencing-buffer occupancy: data that has arrived but
+       cannot reach the presentation pipeline. *)
+    let rec watch () =
+      peak_backlog := max !peak_backlog (Transport.Tcp.buffered_bytes receiver);
+      if not (Transport.Tcp.closed receiver) then
+        ignore (Engine.schedule_after engine 0.002 watch)
+    in
+    watch ();
+    Transport.Tcp.send sender (Bytebuf.create total_bytes);
+    Transport.Tcp.finish sender;
+    Engine.run ~until:600.0 engine;
+    (Pipeline.finish_time app, !peak_backlog)
+  end
+
+let e6_alf_pipeline () =
+  Harness.heading
+    "E6: presentation pipeline under loss - in-order (TCP) vs out-of-order ADUs (ALF)";
+  Harness.note
+    "400 kB transfer, 10 Mb/s link, 10 ms delay; application converts at 12 Mb/s\n\
+     (the bottleneck). Completion = when the last byte finishes conversion.\n\n";
+  Harness.row_header
+    [ "TCP done(s)"; "ALF done(s)"; "TCP/ALF"; "TCP starve(s)"; "ALF starve(s)"; "TCP stall(B)" ];
+  (* Pure conversion work is total_bytes at rate_bps; everything beyond
+     that in the completion time is converter starvation. *)
+  let busy = 8.0 *. 400_000.0 /. 12e6 in
+  List.iter
+    (fun loss ->
+      let tcp_done, tcp_peak = e6_one ~alf:false ~loss in
+      let alf_done, _ = e6_one ~alf:true ~loss in
+      Harness.row
+        (Printf.sprintf "loss = %.0f%%" (loss *. 100.0))
+        [
+          Harness.f2 tcp_done;
+          Harness.f2 alf_done;
+          Printf.sprintf "%.2fx" (tcp_done /. alf_done);
+          Harness.f2 (tcp_done -. busy);
+          Harness.f2 (alf_done -. busy);
+          string_of_int tcp_peak;
+        ])
+    [ 0.0; 0.01; 0.02; 0.05; 0.10 ];
+  Harness.note
+    "Shape: at zero loss the two are equivalent; as loss grows, TCP's in-order\n\
+     delivery starves the converter (idle time and stalled bytes grow) while\n\
+     ALF degrades gracefully.\n\n";
+  (* Ablation: the ADU-size choice at 5% loss. Small ADUs pay header and
+     NACK bookkeeping; big ADUs lose more bytes per lost fragment group
+     and wait longer for completeness (the section 5 bounding rule on the
+     packet network, complementing E7(b) on cells). *)
+  Harness.subheading "ADU-size ablation at 5% loss (same transfer, ALF only)";
+  Harness.row_header [ "ALF done(s)"; "rexmit(kB)"; "frags" ];
+  List.iter
+    (fun adu_size ->
+      let engine = Engine.create () in
+      let rng = Rng.create ~seed:90210L in
+      let net =
+        Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy 0.05)
+          ~queue_limit:2048 ~bandwidth_bps:10e6 ~delay:0.01 ~a:1 ~b:2 ()
+      in
+      let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+      let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+      let receiver =
+        Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1
+          ~deliver:(fun _ -> ()) ()
+      in
+      let done_at = ref nan in
+      Alf_transport.on_complete receiver (fun () -> done_at := Engine.now engine);
+      let sender =
+        Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10
+          ~stream:1 ~policy:Recovery.Transport_buffer
+          ~config:
+            { Alf_transport.default_sender_config with
+              Alf_transport.pace_bps = Some 9e6 }
+          ()
+      in
+      let total = 400_000 in
+      for i = 0 to (total / adu_size) - 1 do
+        Alf_transport.send_adu sender
+          (Adu.make
+             (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1 ~index:i ())
+             (Bytebuf.create adu_size))
+      done;
+      Alf_transport.close sender;
+      Engine.run ~until:600.0 engine;
+      let s = Alf_transport.sender_stats sender in
+      Harness.row
+        (Printf.sprintf "ADU = %d B" adu_size)
+        [
+          Harness.f2 !done_at;
+          string_of_int (s.Alf_transport.bytes_retransmitted / 1000);
+          string_of_int s.Alf_transport.frags_sent;
+        ])
+    [ 500; 1000; 2000; 4000; 8000; 16000; 40000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — ADUs over ATM cells.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e7_atm_adu () =
+  Harness.heading "E7: ADUs over ATM - adaptation layers and the unit of synchronisation";
+  let open Atmsim in
+  let adu_bytes = 1000 in
+  let n_adus = 500 in
+  let run_aal5 p seed =
+    let rng = Rng.create ~seed in
+    let delivered = ref 0 in
+    let wire_cells = ref 0 in
+    let r = Aal5.reassembler ~deliver:(fun _ -> incr delivered) () in
+    for i = 0 to n_adus - 1 do
+      let adu =
+        Adu.make (Adu.name ~dest_off:(i * adu_bytes) ~dest_len:adu_bytes ~stream:1 ~index:i ())
+          (Bytebuf.create adu_bytes)
+      in
+      List.iter
+        (fun (payload, eof) ->
+          incr wire_cells;
+          if not (Rng.bool rng ~p) then Aal5.push r payload ~eof)
+        (Aal5.segment (Adu.encode adu))
+    done;
+    (!delivered, !wire_cells)
+  in
+  let run_aal34 p seed =
+    let rng = Rng.create ~seed in
+    let delivered = ref 0 in
+    let wire_cells = ref 0 in
+    let r = Aal34.reassembler ~deliver:(fun ~mid:_ _ -> incr delivered) in
+    for i = 0 to n_adus - 1 do
+      let adu =
+        Adu.make (Adu.name ~dest_off:(i * adu_bytes) ~dest_len:adu_bytes ~stream:1 ~index:i ())
+          (Bytebuf.create adu_bytes)
+      in
+      List.iter
+        (fun pdu ->
+          incr wire_cells;
+          if not (Rng.bool rng ~p) then Aal34.push r pdu)
+        (Aal34.segment ~mid:(i land 0x3FF) (Adu.encode adu))
+    done;
+    (!delivered, !wire_cells)
+  in
+  Harness.subheading
+    (Printf.sprintf "(a) goodput vs cell loss: %d ADUs of %d B" n_adus adu_bytes);
+  Harness.row_header
+    [ "AAL5 delivered"; "AAL3/4 delivered"; "AAL5 cells"; "AAL3/4 cells" ];
+  List.iter
+    (fun p ->
+      let d5, c5 = run_aal5 p 1L in
+      let d34, c34 = run_aal34 p 2L in
+      Harness.row
+        (Printf.sprintf "cell loss = %.2f%%" (p *. 100.0))
+        [
+          Harness.pct (float_of_int d5 /. float_of_int n_adus);
+          Harness.pct (float_of_int d34 /. float_of_int n_adus);
+          string_of_int c5;
+          string_of_int c34;
+        ])
+    [ 0.0; 0.0005; 0.001; 0.005; 0.01 ];
+  Harness.subheading "(b) whole-ADU loss vs ADU size (cell loss 0.5%): the size-bounding rule";
+  Harness.row_header [ "cells/ADU"; "measured loss"; "predicted 1-(1-p)^n" ];
+  List.iter
+    (fun size ->
+      let n_adus = 400 in
+      let rng = Rng.create ~seed:(Int64.of_int size) in
+      let delivered = ref 0 in
+      let cells_per_adu = ref 0 in
+      let r = Aal5.reassembler ~deliver:(fun _ -> incr delivered) () in
+      for i = 0 to n_adus - 1 do
+        let adu =
+          Adu.make (Adu.name ~dest_off:0 ~dest_len:size ~stream:1 ~index:i ())
+            (Bytebuf.create size)
+        in
+        let cells = Aal5.segment (Adu.encode adu) in
+        cells_per_adu := List.length cells;
+        List.iter
+          (fun (payload, eof) ->
+            if not (Rng.bool rng ~p:0.005) then Aal5.push r payload ~eof)
+          cells
+      done;
+      let measured = 1.0 -. (float_of_int !delivered /. float_of_int n_adus) in
+      let predicted = 1.0 -. ((1.0 -. 0.005) ** float_of_int !cells_per_adu) in
+      Harness.row
+        (Printf.sprintf "ADU = %d B" size)
+        [ string_of_int !cells_per_adu; Harness.pct measured; Harness.pct predicted ])
+    [ 500; 1000; 2000; 4000; 8000; 16000 ];
+  Harness.note
+    "Shape: per-cell overhead (AAL3/4 spends 4 B/cell, AAL5 ~0) and whole-ADU\n\
+     loss growing with ADU size: \"excessively large ADUs might prevent useful\n\
+     progress at all\".\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Control vs manipulation cost in the running stack.             *)
+(* ------------------------------------------------------------------ *)
+
+let e8_control_vs_manip () =
+  Harness.heading "E8: in-band control operations vs data manipulation";
+  Harness.note
+    "A 500 kB TCP transfer through the simulator; control operations and\n\
+     manipulation byte-touches are counted as they execute, then costed with\n\
+     the R2000 model (control op ~ 15 cycles - 'tens of instructions';\n\
+     manipulation ~ %.2f cycles/byte for checksum+copy).\n\n"
+    ((Machine_model.cycles_per_word Machine_model.r2000 Machine_model.copy_kernel
+     +. Machine_model.cycles_per_word Machine_model.r2000 Machine_model.checksum_kernel)
+    /. 4.0);
+  let run mss =
+    let engine = Engine.create () in
+    let rng = Rng.create ~seed:88L in
+    let net =
+      Topology.point_to_point ~engine ~rng ~queue_limit:1024 ~bandwidth_bps:50e6
+        ~delay:0.002 ~a:1 ~b:2 ()
+    in
+    let config = { Transport.Tcp.default_config with Transport.Tcp.mss } in
+    let sender = Transport.Tcp.create ~engine ~node:net.Topology.a ~peer:2 ~config () in
+    let receiver = Transport.Tcp.create ~engine ~node:net.Topology.b ~peer:1 ~config () in
+    Transport.Tcp.send sender (Bytebuf.create 500_000);
+    Transport.Tcp.finish sender;
+    Engine.run ~until:600.0 engine;
+    let s = Transport.Tcp.stats sender and r = Transport.Tcp.stats receiver in
+    let control = s.Transport.Tcp.control_ops + r.Transport.Tcp.control_ops in
+    let manip_bytes =
+      s.Transport.Tcp.manip_checksum_bytes + s.Transport.Tcp.manip_copy_bytes
+      + r.Transport.Tcp.manip_checksum_bytes + r.Transport.Tcp.manip_copy_bytes
+    in
+    let segs = s.Transport.Tcp.segs_sent in
+    (control, manip_bytes, segs)
+  in
+  let cycles_per_byte =
+    (Machine_model.cycles_per_word Machine_model.r2000 Machine_model.copy_kernel
+    +. Machine_model.cycles_per_word Machine_model.r2000 Machine_model.checksum_kernel)
+    /. 2.0 /. 4.0
+    (* checksum bytes and copy bytes are counted separately, so cost each
+       touched byte at its own kernel's rate; use the average *)
+  in
+  let control_cycles = 15.0 in
+  Harness.row_header
+    [ "ctl ops/seg"; "manip B/seg"; "ctl cycles"; "manip cycles"; "manip share" ];
+  List.iter
+    (fun mss ->
+      let control, manip_bytes, segs = run mss in
+      let ctl_c = float_of_int control *. control_cycles in
+      let man_c = float_of_int manip_bytes *. cycles_per_byte in
+      Harness.row
+        (Printf.sprintf "mss = %d" mss)
+        [
+          Harness.f1 (float_of_int control /. float_of_int segs);
+          Harness.f1 (float_of_int manip_bytes /. float_of_int segs);
+          Printf.sprintf "%.0f" ctl_c;
+          Printf.sprintf "%.0f" man_c;
+          Harness.pct (man_c /. (man_c +. ctl_c));
+        ])
+    [ 64; 128; 256; 512; 1024; 2048; 4096 ];
+  Harness.note
+    "Shape: control is a few operations per segment regardless of size;\n\
+     manipulation grows with the byte count and dominates at any realistic MSS.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Recovery-policy ablation.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e9_recovery_policies () =
+  Harness.heading "E9: the three ALF recovery policies under 5% loss";
+  let adu_size = 2000 in
+  let count = 100 in
+  let run policy =
+    let engine = Engine.create () in
+    let rng = Rng.create ~seed:424242L in
+    let net =
+      Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy 0.05)
+        ~queue_limit:2048 ~bandwidth_bps:10e6 ~delay:0.01 ~a:1 ~b:2 ()
+    in
+    let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+    let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+    let receiver =
+      Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1 ~deliver:(fun _ -> ()) ()
+    in
+    let sender =
+      Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10 ~stream:1
+        ~policy ()
+    in
+    for i = 0 to count - 1 do
+      Alf_transport.send_adu sender
+        (Adu.make
+           (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1 ~index:i ())
+           (Bytebuf.init adu_size (fun j -> Char.chr ((i + j) land 0xff))))
+    done;
+    let completed_at = ref nan in
+    Alf_transport.on_complete receiver (fun () -> completed_at := Engine.now engine);
+    Alf_transport.close sender;
+    Engine.run ~until:600.0 engine;
+    let s = Alf_transport.sender_stats sender in
+    let r = Alf_transport.receiver_stats receiver in
+    ( !completed_at,
+      s.Alf_transport.store_peak,
+      s.Alf_transport.bytes_retransmitted,
+      r.Alf_transport.adus_delivered,
+      r.Alf_transport.adus_lost )
+  in
+  let regenerate i =
+    let adu =
+      Adu.make
+        (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1 ~index:i ())
+        (Bytebuf.init adu_size (fun j -> Char.chr ((i + j) land 0xff)))
+    in
+    Some (Adu.encode adu)
+  in
+  Harness.row_header
+    [ "sim time(s)"; "store peak(B)"; "rexmit(B)"; "delivered"; "lost" ];
+  List.iter
+    (fun (label, policy) ->
+      let time, peak, rexmit, delivered, lost = run policy in
+      Harness.row label
+        [
+          Harness.f2 time;
+          string_of_int peak;
+          string_of_int rexmit;
+          string_of_int delivered;
+          string_of_int lost;
+        ])
+    [
+      ("transport-buffer", Recovery.Transport_buffer);
+      ("app-recompute", Recovery.App_recompute regenerate);
+      ("no-recovery", Recovery.No_recovery);
+    ];
+  Harness.note
+    "Shape: transport buffering pays memory for zero app involvement;\n\
+     app-recompute trades sender memory for recomputation; no-recovery is\n\
+     fastest and lossy - the application chooses (paper section 5).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Error-detection ablation: the checksum family.                *)
+(* ------------------------------------------------------------------ *)
+
+let e10_checksum_ablation () =
+  Harness.heading
+    "E10 (ablation): error-detecting codes - throughput vs detection strength";
+  let buf_len = 64 * 1024 in
+  let base = fresh_workload () in
+  let data = Bytebuf.take base buf_len in
+  let rng = Rng.create ~seed:0xC0DEL in
+  let trials = 3000 in
+  (* Detection rates against three error models. *)
+  let flip_byte b =
+    let i = Rng.int rng ~bound:(Bytebuf.length b) in
+    Bytebuf.set_uint8 b i (Bytebuf.get_uint8 b i lxor (1 + Rng.int rng ~bound:255))
+  in
+  let swap_words b =
+    (* Transpose two aligned 16-bit words - the Internet checksum's blind
+       spot (one's-complement addition commutes). *)
+    let nwords = Bytebuf.length b / 2 in
+    let i = Rng.int rng ~bound:nwords and j = Rng.int rng ~bound:nwords in
+    if i <> j then
+      for k = 0 to 1 do
+        let tmp = Bytebuf.get_uint8 b ((2 * i) + k) in
+        Bytebuf.set_uint8 b ((2 * i) + k) (Bytebuf.get_uint8 b ((2 * j) + k));
+        Bytebuf.set_uint8 b ((2 * j) + k) tmp
+      done
+  in
+  let burst b =
+    let len = 2 + Rng.int rng ~bound:14 in
+    let i = Rng.int rng ~bound:(Bytebuf.length b - len) in
+    for k = i to i + len - 1 do
+      Bytebuf.set_uint8 b k (Rng.int rng ~bound:256)
+    done
+  in
+  let detection kind damage =
+    let clean = Checksum.Kind.digest kind data in
+    let detected = ref 0 in
+    let changed = ref 0 in
+    for _ = 1 to trials do
+      let bad = Bytebuf.copy data in
+      damage bad;
+      if not (Bytebuf.equal bad data) then begin
+        incr changed;
+        if Checksum.Kind.digest kind bad <> clean then incr detected
+      end
+    done;
+    if !changed = 0 then 1.0 else float_of_int !detected /. float_of_int !changed
+  in
+  Harness.row_header [ "Mb/s"; "1-byte flips"; "word swaps"; "bursts" ];
+  List.iter
+    (fun kind ->
+      let speed =
+        Harness.measure_mbps (Checksum.Kind.to_string kind) ~bytes:buf_len
+          (fun () -> ignore (Checksum.Kind.digest kind data))
+      in
+      Harness.row
+        (Checksum.Kind.to_string kind)
+        [
+          Harness.f1 speed;
+          Harness.pct (detection kind flip_byte);
+          Harness.pct (detection kind swap_words);
+          Harness.pct (detection kind burst);
+        ])
+    Checksum.Kind.all;
+  Harness.note
+    "The design-choice trade the stage library exposes: the Internet checksum\n\
+     is order-blind (word swaps sail through - one's-complement addition\n\
+     commutes), Fletcher/Adler add position sensitivity, CRC-32 catches\n\
+     everything tried here. Throughputs of the byte-wise reference paths are\n\
+     comparable on this host; ALF lets each application pick per-ADU, because\n\
+     the checksum is just a stage.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11 — ADU-level FEC vs NACK retransmission (footnote 10).           *)
+(* ------------------------------------------------------------------ *)
+
+let e11_fec_vs_retransmission () =
+  Harness.heading
+    "E11 (ablation): repairing fragment loss - XOR FEC vs NACK retransmission";
+  let n_adus = 200 in
+  let adu_size = 6000 in
+  let mtu = 1000 in
+  (* NACK path: the ALF transport through the simulator. *)
+  let nack_run loss =
+    let engine = Engine.create () in
+    let rng = Rng.create ~seed:0xFECL in
+    let net =
+      Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy loss)
+        ~queue_limit:4096 ~bandwidth_bps:50e6 ~delay:0.02 ~a:1 ~b:2 ()
+    in
+    let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+    let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+    let receiver =
+      Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1 ~deliver:(fun _ -> ()) ()
+    in
+    let done_at = ref nan in
+    Alf_transport.on_complete receiver (fun () -> done_at := Engine.now engine);
+    let sender =
+      Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10 ~stream:1
+        ~policy:Recovery.Transport_buffer
+        ~config:
+          { Alf_transport.default_sender_config with
+            Alf_transport.mtu;
+            pace_bps = Some 45e6 (* out-of-band rate control *) } ()
+    in
+    for i = 0 to n_adus - 1 do
+      Alf_transport.send_adu sender
+        (Adu.make (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1 ~index:i ())
+           (Bytebuf.create adu_size))
+    done;
+    Alf_transport.close sender;
+    Engine.run ~until:600.0 engine;
+    let s = Alf_transport.sender_stats sender in
+    let wire = s.Alf_transport.bytes_sent + s.Alf_transport.bytes_retransmitted in
+    (!done_at, wire, 1.0)
+  in
+  (* FEC path: the same fragments protected k=7+1 and pushed through the
+     same loss process; no feedback channel at all, so "completion" is
+     one one-way trip - we report delivered fraction instead. *)
+  let fec_run loss =
+    let rng = Rng.create ~seed:0xFEDL in
+    let k = 7 in
+    let complete = ref 0 in
+    let wire = ref 0 in
+    for i = 0 to n_adus - 1 do
+      let adu =
+        Adu.make (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1 ~index:i ())
+          (Bytebuf.create adu_size)
+      in
+      let frags = Framing.fragment ~mtu adu in
+      let protected_frags = Fec.protect ~k frags in
+      let got = ref 0 in
+      let reasm =
+        Framing.reassembler ~deliver:(fun _ -> incr complete)
+      in
+      let d =
+        Fec.decoder ~deliver:(fun frag ->
+            incr got;
+            match Framing.parse_fragment frag with
+            | info -> Framing.push reasm info
+            | exception Framing.Frag_error _ -> ())
+      in
+      List.iter
+        (fun b ->
+          wire := !wire + Bufkit.Bytebuf.length b;
+          if not (Rng.bool rng ~p:loss) then Fec.push d b)
+        protected_frags;
+      Fec.flush d
+    done;
+    (float_of_int !complete /. float_of_int n_adus, !wire)
+  in
+  Harness.row_header
+    [ "NACK done(s)"; "NACK wire(kB)"; "FEC delivered"; "FEC wire(kB)" ];
+  List.iter
+    (fun loss ->
+      let nack_time, nack_wire, _ = nack_run loss in
+      let fec_frac, fec_wire = fec_run loss in
+      Harness.row
+        (Printf.sprintf "loss = %.0f%%" (loss *. 100.0))
+        [
+          Harness.f2 nack_time;
+          string_of_int (nack_wire / 1000);
+          Harness.pct fec_frac;
+          string_of_int (fec_wire / 1000);
+        ])
+    [ 0.0; 0.01; 0.02; 0.05; 0.10 ];
+  Harness.note
+    "The paper's footnote 10 option: pay ~1/k constant overhead and repair any\n\
+     single fragment loss per group with zero feedback delay; NACK repair pays\n\
+     only for actual losses but each costs a round trip (and the sender's\n\
+     buffer). Beyond one loss per group FEC alone degrades - real systems\n\
+     combine both.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", e1_table1);
+    ("ilp-fusion", e2_ilp_fusion);
+    ("presentation-cost", e3_presentation_cost);
+    ("fused-convert", e4_fused_convert);
+    ("stack-overhead", e5_stack_overhead);
+    ("alf-pipeline", e6_alf_pipeline);
+    ("atm-adu", e7_atm_adu);
+    ("control-vs-manip", e8_control_vs_manip);
+    ("recovery-policies", e9_recovery_policies);
+    ("checksum-ablation", e10_checksum_ablation);
+    ("fec-vs-rexmit", e11_fec_vs_retransmission);
+  ]
+
+let () =
+  (* ALFNET_BENCH_QUOTA=0.2 shortens the per-measurement Bechamel quota
+     (seconds) for quick iteration; default 0.5. *)
+  (match Sys.getenv_opt "ALFNET_BENCH_QUOTA" with
+  | Some q -> (try Harness.quota := float_of_string q with Failure _ -> ())
+  | None -> ());
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let to_run =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" n
+                  (String.concat ", " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  Printf.printf
+    "alfnet experiment harness - reproducing Clark & Tennenhouse, SIGCOMM 1990\n";
+  List.iter (fun (_, f) -> f ()) to_run

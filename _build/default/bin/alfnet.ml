@@ -1,0 +1,383 @@
+(* alfnet - drive the simulator from the command line.
+
+   Subcommands:
+     transfer   move data through a lossy network with either transport
+     atm        carry ADUs over ATM cells through an adaptation layer
+     syntax     encode a sample value in each transfer syntax
+
+   Examples:
+     alfnet transfer --transport alf --loss 0.05 --size 500000
+     alfnet transfer --transport tcp --loss 0.05 --reorder 0.2 --jitter 0.01
+     alfnet atm --aal 5 --cell-loss 0.002 --adus 200
+     alfnet syntax --ints 16 *)
+
+open Bufkit
+open Netsim
+open Alf_core
+open Cmdliner
+
+(* --- shared network options --- *)
+
+type net_opts = {
+  loss : float;
+  corrupt : float;
+  reorder : float;
+  jitter : float;
+  bandwidth : float;
+  delay : float;
+  seed : int;
+}
+
+let net_opts_term =
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Packet loss probability.")
+  in
+  let corrupt =
+    Arg.(value & opt float 0.0 & info [ "corrupt" ] ~docv:"P" ~doc:"Payload corruption probability.")
+  in
+  let reorder =
+    Arg.(value & opt float 0.0 & info [ "reorder" ] ~docv:"P" ~doc:"Probability of extra jitter delay (reordering).")
+  in
+  let jitter =
+    Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"SECONDS" ~doc:"Maximum extra jitter delay.")
+  in
+  let bandwidth =
+    Arg.(value & opt float 10e6 & info [ "bandwidth" ] ~docv:"BPS" ~doc:"Link bandwidth, bits/second.")
+  in
+  let delay =
+    Arg.(value & opt float 0.005 & info [ "delay" ] ~docv:"SECONDS" ~doc:"One-way propagation delay.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed (runs are deterministic per seed).")
+  in
+  let make loss corrupt reorder jitter bandwidth delay seed =
+    { loss; corrupt; reorder; jitter; bandwidth; delay; seed }
+  in
+  Term.(const make $ loss $ corrupt $ reorder $ jitter $ bandwidth $ delay $ seed)
+
+let build_net opts engine =
+  let rng = Rng.create ~seed:(Int64.of_int opts.seed) in
+  let impair =
+    Impair.make ~loss:opts.loss ~corrupt:opts.corrupt ~reorder:opts.reorder
+      ~jitter:opts.jitter ()
+  in
+  Topology.point_to_point ~engine ~rng ~impair ~queue_limit:1024
+    ~bandwidth_bps:opts.bandwidth ~delay:opts.delay ~a:1 ~b:2 ()
+
+(* --- transfer --- *)
+
+let run_transfer transport substrate opts size adu_size policy_name verbose
+    show_trace negotiate stripes =
+  let engine = Engine.create () in
+  let net = build_net opts engine in
+  let trace = Trace.create ~capacity:40 engine in
+  let data = Bytebuf.create size in
+  Rng.fill_bytes (Rng.create ~seed:0xDA7AL) data;
+  let crc = Checksum.Crc32.digest data in
+  Printf.printf
+    "transfer: %d bytes via %s | loss=%.3g corrupt=%.3g reorder=%.3g | %.3g Mb/s, %.1f ms\n"
+    size transport opts.loss opts.corrupt opts.reorder (opts.bandwidth /. 1e6)
+    (opts.delay *. 1000.0);
+  match transport with
+  | "tcp" ->
+      let sender = Transport.Tcp.create ~engine ~node:net.Topology.a ~peer:2 () in
+      let receiver = Transport.Tcp.create ~engine ~node:net.Topology.b ~peer:1 () in
+      if show_trace then begin
+        Transport.Tcp.set_tracer sender (fun msg -> Trace.log trace "snd" "%s" msg);
+        Transport.Tcp.set_tracer receiver (fun msg -> Trace.log trace "rcv" "%s" msg)
+      end;
+      let out = Bytebuf.create size in
+      let pos = ref 0 in
+      Transport.Tcp.on_deliver receiver (fun chunk ->
+          Bytebuf.blit ~src:chunk ~src_pos:0 ~dst:out ~dst_pos:!pos
+            ~len:(Bytebuf.length chunk);
+          pos := !pos + Bytebuf.length chunk);
+      let done_at = ref nan in
+      Transport.Tcp.on_close receiver (fun () -> done_at := Engine.now engine);
+      Transport.Tcp.send sender data;
+      Transport.Tcp.finish sender;
+      Engine.run ~until:3600.0 engine;
+      let s = Transport.Tcp.stats sender in
+      let r = Transport.Tcp.stats receiver in
+      Printf.printf "completed at t=%.3fs, goodput %.3f Mb/s\n" !done_at
+        (8.0 *. float_of_int size /. !done_at /. 1e6);
+      Printf.printf
+        "segments: %d sent, %d retransmitted (%d timeouts, %d fast), %d discarded by checksum\n"
+        s.Transport.Tcp.segs_sent s.Transport.Tcp.retransmits
+        s.Transport.Tcp.timeouts s.Transport.Tcp.fast_retransmits
+        r.Transport.Tcp.segs_discarded;
+      if verbose then
+        Printf.printf "control ops: %d | manipulation bytes: %d\n"
+          (s.Transport.Tcp.control_ops + r.Transport.Tcp.control_ops)
+          (s.Transport.Tcp.manip_checksum_bytes + s.Transport.Tcp.manip_copy_bytes
+          + r.Transport.Tcp.manip_checksum_bytes + r.Transport.Tcp.manip_copy_bytes);
+      let ok = Checksum.Crc32.digest (Bytebuf.take out !pos) = crc && !pos = size in
+      Printf.printf "integrity: %s\n" (if ok then "OK" else "FAILED");
+      if show_trace then begin
+        Printf.printf "\nlast protocol events:\n";
+        Format.printf "%a@?" Trace.dump trace
+      end;
+      if ok then `Ok () else `Error (false, "transfer corrupted")
+  | "alf" ->
+      let policy =
+        match policy_name with
+        | "buffer" -> Recovery.Transport_buffer
+        | "none" -> Recovery.No_recovery
+        | other -> failwith ("unknown policy " ^ other)
+      in
+      let stripe_ios () =
+        (* N parallel paths; each stripe is its own duplex link, so they
+           reorder freely against each other. *)
+        let nets = List.init stripes (fun _ -> build_net opts engine) in
+        let side pick =
+          Dgram.striped
+            (List.map
+               (fun n -> Dgram.of_udp (Transport.Udp.create ~engine ~node:(pick n) ()))
+               nets)
+        in
+        (side (fun n -> n.Topology.a), side (fun n -> n.Topology.b))
+      in
+      let io_a, io_b =
+        if stripes > 1 then stripe_ios ()
+        else
+        match substrate with
+        | "atm" ->
+            (* Cells on the wire: the impairments apply per 53-byte cell. *)
+            ( Dgram.of_atm (Atmsim.Bearer.create ~engine ~node:net.Topology.a ()),
+              Dgram.of_atm (Atmsim.Bearer.create ~engine ~node:net.Topology.b ()) )
+        | _ ->
+            ( Dgram.of_udp (Transport.Udp.create ~engine ~node:net.Topology.a ()),
+              Dgram.of_udp (Transport.Udp.create ~engine ~node:net.Topology.b ()) )
+      in
+      let out = Sink.create ~size in
+      let receiver =
+        Alf_transport.receiver_io ~engine ~io:io_b ~port:7 ~stream:1
+          ~deliver:(fun adu ->
+            match Sink.write_adu out adu with
+            | Ok () -> ()
+            | Error e -> prerr_endline e)
+          ()
+      in
+      let done_at = ref nan in
+      Alf_transport.on_complete receiver (fun () -> done_at := Engine.now engine);
+      if show_trace then
+        Alf_transport.set_receiver_tracer receiver (fun msg ->
+            Trace.log trace "alf-rcv" "%s" msg);
+      let sender =
+        (* Pace fragments at the link rate: the paper's out-of-band rate
+           control, keeping self-induced queueing (and spurious loss
+           reports) out of the picture. *)
+        let config =
+          { Alf_transport.default_sender_config with
+            Alf_transport.pace_bps =
+              Some (opts.bandwidth *. float_of_int (max 1 stripes) *. 0.95) }
+        in
+        Alf_transport.sender_io ~engine ~io:io_a ~peer:2 ~peer_port:7 ~port:8
+          ~stream:1 ~policy ~config ()
+      in
+      if show_trace then
+        Alf_transport.set_sender_tracer sender (fun msg ->
+            Trace.log trace "alf-snd" "%s" msg);
+      let start_data_phase () =
+        List.iter (Alf_transport.send_adu sender)
+          (Framing.frames_of_buffer ~stream:1 ~adu_size data);
+        Alf_transport.close sender
+      in
+      if negotiate then begin
+        (* Out-of-band setup first: agree syntax/rate/policy, then move
+           data. The receiver side advertises a rate cap. *)
+        let _responder =
+          Session.listen ~engine ~io:io_b ~port:99 ~supported:[ "raw"; "ber" ]
+            ~max_rate_bps:(opts.bandwidth *. 0.95)
+            ~on_session:(fun ~peer:_ g ->
+              Printf.printf
+                "session: accepted stream %d, syntax=%s, rate=%.3g Mb/s\n"
+                g.Session.g_stream g.Session.g_syntax
+                (g.Session.g_rate_bps /. 1e6))
+            ()
+        in
+        Session.initiate ~engine ~io:io_a ~port:98 ~peer:2 ~peer_port:99
+          ~offer:
+            { Session.stream = 1; syntaxes = [ "raw" ];
+              rate_bps = opts.bandwidth *. 2.0; policy = policy_name }
+          ~on_result:(fun result ->
+            match result with
+            | Some _ -> start_data_phase ()
+            | None -> prerr_endline "session setup failed")
+          ()
+      end
+      else start_data_phase ();
+      Engine.run ~until:3600.0 engine;
+      let s = Alf_transport.sender_stats sender in
+      let r = Alf_transport.receiver_stats receiver in
+      Printf.printf "completed at t=%.3fs, goodput %.3f Mb/s\n" !done_at
+        (8.0 *. float_of_int size /. !done_at /. 1e6);
+      Printf.printf
+        "ADUs: %d sent (%d B each), %d retransmitted, %d declared gone; %d delivered (%d out of order)\n"
+        s.Alf_transport.adus_sent adu_size s.Alf_transport.adus_retransmitted
+        s.Alf_transport.adus_gone r.Alf_transport.adus_delivered
+        r.Alf_transport.out_of_order;
+      if verbose then
+        Printf.printf "NACKs: %d sent | store peak: %d bytes\n"
+          r.Alf_transport.nacks_sent s.Alf_transport.store_peak;
+      if show_trace then begin
+        Printf.printf "\nlast protocol events:\n";
+        Format.printf "%a@?" Trace.dump trace
+      end;
+      let ok =
+        r.Alf_transport.adus_lost > 0
+        || (Sink.complete out && Int32.equal (Sink.crc32 out) crc)
+      in
+      Printf.printf "integrity: %s%s\n"
+        (if ok then "OK" else "FAILED")
+        (if r.Alf_transport.adus_lost > 0 then
+           Printf.sprintf " (%d ADUs lost under no-recovery, as configured)"
+             r.Alf_transport.adus_lost
+         else "");
+      if ok then `Ok () else `Error (false, "transfer corrupted")
+  | other -> `Error (true, "unknown transport " ^ other)
+
+let transfer_cmd =
+  let transport =
+    Arg.(value & opt string "alf" & info [ "transport" ] ~docv:"tcp|alf" ~doc:"Transport to use.")
+  in
+  let size =
+    Arg.(value & opt int 200_000 & info [ "size" ] ~docv:"BYTES" ~doc:"Bytes to transfer.")
+  in
+  let adu_size =
+    Arg.(value & opt int 4000 & info [ "adu-size" ] ~docv:"BYTES" ~doc:"ADU size (alf only).")
+  in
+  let policy =
+    Arg.(value & opt string "buffer" & info [ "policy" ] ~docv:"buffer|none" ~doc:"ALF recovery policy.")
+  in
+  let substrate =
+    Arg.(
+      value & opt string "udp"
+      & info [ "substrate" ] ~docv:"udp|atm"
+          ~doc:"Datagram substrate for the ALF transport (atm = AAL5 over 53-byte cells).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"More counters.") in
+  let show_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Dump the last protocol events (tcp only).")
+  in
+  let negotiate =
+    Arg.(
+      value & flag
+      & info [ "negotiate" ]
+          ~doc:"Run out-of-band session setup (syntax/rate/policy) before the data phase (alf only).")
+  in
+  let stripes =
+    Arg.(
+      value & opt int 1
+      & info [ "stripes" ] ~docv:"N"
+          ~doc:"Stripe the ALF transport round-robin across N parallel links (alf only).")
+  in
+  let run transport substrate opts size adu_size policy verbose show_trace
+      negotiate stripes =
+    run_transfer transport substrate opts size adu_size policy verbose
+      show_trace negotiate stripes
+  in
+  Cmd.v
+    (Cmd.info "transfer" ~doc:"Move data through a simulated lossy network.")
+    Term.(
+      ret
+        (const run $ transport $ substrate $ net_opts_term $ size $ adu_size
+       $ policy $ verbose $ show_trace $ negotiate $ stripes))
+
+(* --- atm --- *)
+
+let run_atm aal cell_loss n_adus adu_size seed =
+  let open Atmsim in
+  let rng = Rng.create ~seed:(Int64.of_int seed) in
+  let delivered = ref 0 in
+  let cells = ref 0 in
+  Printf.printf "atm: %d ADUs of %d B over AAL%s, cell loss %.3g%%\n" n_adus
+    adu_size aal (cell_loss *. 100.0);
+  let reasm5 = Aal5.reassembler ~deliver:(fun _ -> incr delivered) () in
+  let reasm34 = Aal34.reassembler ~deliver:(fun ~mid:_ _ -> incr delivered) in
+  for i = 0 to n_adus - 1 do
+    let adu =
+      Adu.make
+        (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1 ~index:i ())
+        (Bytebuf.create adu_size)
+    in
+    let encoded = Adu.encode adu in
+    match aal with
+    | "5" ->
+        List.iter
+          (fun (payload, eof) ->
+            incr cells;
+            if not (Rng.bool rng ~p:cell_loss) then Aal5.push reasm5 payload ~eof)
+          (Aal5.segment encoded)
+    | "34" ->
+        List.iter
+          (fun pdu ->
+            incr cells;
+            if not (Rng.bool rng ~p:cell_loss) then Aal34.push reasm34 pdu)
+          (Aal34.segment ~mid:(i land 0x3FF) encoded)
+    | _ -> ()
+  done;
+  match aal with
+  | "5" | "34" ->
+      let payload_bytes = n_adus * adu_size in
+      Printf.printf "cells on the wire: %d (%d B) for %d B of payload: %.1f%% efficiency\n"
+        !cells (!cells * Cell.cell_size) payload_bytes
+        (100.0 *. float_of_int payload_bytes /. float_of_int (!cells * Cell.cell_size));
+      Printf.printf "delivered: %d/%d ADUs (%.1f%%)\n" !delivered n_adus
+        (100.0 *. float_of_int !delivered /. float_of_int n_adus);
+      (match aal with
+      | "5" ->
+          let s = Aal5.stats reasm5 in
+          Printf.printf "aborts: %d crc, %d oversize\n" s.Aal5.aborted_crc
+            s.Aal5.aborted_oversize
+      | _ ->
+          let s = Aal34.stats reasm34 in
+          Printf.printf "aborts: %d gap, %d crc, %d format\n" s.Aal34.aborted_gap
+            s.Aal34.aborted_crc s.Aal34.aborted_format);
+      `Ok ()
+  | other -> `Error (true, "unknown AAL " ^ other)
+
+let atm_cmd =
+  let aal = Arg.(value & opt string "5" & info [ "aal" ] ~docv:"5|34" ~doc:"Adaptation layer.") in
+  let cell_loss =
+    Arg.(value & opt float 0.001 & info [ "cell-loss" ] ~docv:"P" ~doc:"Cell loss probability.")
+  in
+  let adus = Arg.(value & opt int 100 & info [ "adus" ] ~docv:"N" ~doc:"Number of ADUs.") in
+  let adu_size =
+    Arg.(value & opt int 1000 & info [ "adu-size" ] ~docv:"BYTES" ~doc:"ADU payload size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "atm" ~doc:"Carry ADUs over ATM cells through an adaptation layer.")
+    Term.(ret (const run_atm $ aal $ cell_loss $ adus $ adu_size $ seed))
+
+(* --- syntax --- *)
+
+let run_syntax n_ints =
+  let ints = Array.init n_ints (fun i -> (i * i) - (7 * i) + 3) in
+  let value = Wire.Value.int_array ints in
+  Printf.printf "sample value: %d integers; abstract size %d bytes\n\n" n_ints
+    (Wire.Value.abstract_size value);
+  List.iter
+    (fun name ->
+      match Wire.Syntax.for_value name value with
+      | None -> Printf.printf "%-6s cannot carry this value\n" name
+      | Some syntax ->
+          let encoded = Wire.Syntax.encode syntax value in
+          Printf.printf "%-6s %4d bytes on the wire (%.2fx expansion)\n" name
+            (Bytebuf.length encoded)
+            (float_of_int (Bytebuf.length encoded)
+            /. float_of_int (Wire.Value.abstract_size value)))
+    [ "raw"; "ber"; "xdr"; "lwts" ];
+  `Ok ()
+
+let syntax_cmd =
+  let ints = Arg.(value & opt int 16 & info [ "ints" ] ~docv:"N" ~doc:"Integers in the sample array.") in
+  Cmd.v
+    (Cmd.info "syntax" ~doc:"Show a value in each transfer syntax.")
+    Term.(ret (const run_syntax $ ints))
+
+let () =
+  let doc = "ALF/ILP protocol laboratory (Clark & Tennenhouse, SIGCOMM 1990)" in
+  let info = Cmd.info "alfnet" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ transfer_cmd; atm_cmd; syntax_cmd ]))

@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Adu Alf_core Alf_transport Bufkit Bytebuf Checksum Engine Framing Impair List Netsim Printf Recovery Rng Sink Topology Transport

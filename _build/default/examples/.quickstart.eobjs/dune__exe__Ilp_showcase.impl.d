@@ -1,0 +1,1 @@
+examples/ilp_showcase.ml: Alf_core Bufkit Bytebuf Char Checksum Cipher Framing Ilp List Printf Secure Sink Stage2 String Sys

@@ -1,0 +1,1 @@
+examples/ilp_showcase.mli:

@@ -1,0 +1,1 @@
+examples/parallel_sink.ml: Adu Alf_core Alf_transport Array Bufkit Bytebuf Checksum Engine Framing Impair List Mux Netsim Printf Recovery Rng Topology Transport

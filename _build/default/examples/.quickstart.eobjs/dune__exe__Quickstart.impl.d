@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adu Alf_core Alf_transport Bufkit Bytebuf Char Engine Framing Impair List Netsim Printf Recovery Rng Topology Transport

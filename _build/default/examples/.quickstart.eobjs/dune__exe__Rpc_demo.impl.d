@@ -1,0 +1,1 @@
+examples/rpc_demo.ml: Engine Format Impair List Netsim Printf Rng Rpc Rpcsim String Stub Topology Transport Wire

@@ -1,0 +1,1 @@
+examples/text_transfer.ml: Adu Alf_core Alf_transport Bufkit Bytebuf Engine Impair List Netsim Printf Recovery Rng Sink String Topology Transport Wire

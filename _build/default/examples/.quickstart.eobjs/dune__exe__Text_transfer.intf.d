@@ -1,0 +1,1 @@
+examples/text_transfer.mli:

@@ -1,0 +1,1 @@
+examples/video_stream.ml: Adu Alf_core Alf_transport Array Bufkit Bytebuf Engine Float Impair Int64 Netsim Playout Printf Recovery Rng Stats Topology Transport

@@ -1,0 +1,1 @@
+lib/atmsim/aal34.ml: Bufkit Bytebuf Hashtbl List

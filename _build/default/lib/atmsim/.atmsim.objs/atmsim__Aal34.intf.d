@@ -1,0 +1,1 @@
+lib/atmsim/aal34.mli: Bufkit Bytebuf

@@ -1,0 +1,1 @@
+lib/atmsim/aal5.ml: Bufkit Bytebuf Checksum Int32 List

@@ -1,0 +1,1 @@
+lib/atmsim/aal5.mli: Bufkit Bytebuf

@@ -1,0 +1,1 @@
+lib/atmsim/bearer.ml: Aal5 Bufkit Bytebuf Cell Engine Hashtbl List Netsim Node Packet

@@ -1,0 +1,1 @@
+lib/atmsim/bearer.mli: Bufkit Bytebuf Engine Netsim Node Packet

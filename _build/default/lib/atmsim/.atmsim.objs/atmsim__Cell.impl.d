@@ -1,0 +1,1 @@
+lib/atmsim/cell.ml: Bufkit Bytebuf Format Printf

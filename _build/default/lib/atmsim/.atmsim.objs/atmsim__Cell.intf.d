@@ -1,0 +1,1 @@
+lib/atmsim/cell.mli: Bufkit Bytebuf Format

@@ -1,0 +1,217 @@
+open Bufkit
+
+let sar_payload = 44
+let max_frame = 0xFFFF - 4
+let magic0 = 0xA3
+let magic1 = 0x4D
+
+type segment_type = Bom | Com | Eom | Ssm
+
+let st_code = function Com -> 0 | Eom -> 1 | Bom -> 2 | Ssm -> 3
+let st_of_code = function 0 -> Com | 1 -> Eom | 2 -> Bom | _ -> Ssm
+
+(* CRC-10, generator x^10 + x^9 + x^5 + x^4 + x + 1 (0x633), MSB first. *)
+let crc10 buf ~pos ~len =
+  let crc = ref 0 in
+  for i = pos to pos + len - 1 do
+    crc := !crc lxor (Bytebuf.get_uint8 buf i lsl 2);
+    for _ = 1 to 8 do
+      crc :=
+        if !crc land 0x200 <> 0 then ((!crc lsl 1) lxor 0x633) land 0x3ff
+        else (!crc lsl 1) land 0x3ff
+    done
+  done;
+  !crc
+
+let build_sar ~st ~sn ~mid ~li chunk =
+  let pdu = Bytebuf.create 48 in
+  Bytebuf.set_uint8 pdu 0
+    ((st_code st lsl 6) lor ((sn land 0xf) lsl 2) lor ((mid lsr 8) land 0x3));
+  Bytebuf.set_uint8 pdu 1 (mid land 0xff);
+  Bytebuf.blit ~src:chunk ~src_pos:0 ~dst:pdu ~dst_pos:2
+    ~len:(Bytebuf.length chunk);
+  Bytebuf.set_uint8 pdu 46 (li lsl 2);
+  let crc = crc10 pdu ~pos:0 ~len:48 in
+  Bytebuf.set_uint8 pdu 46 ((li lsl 2) lor ((crc lsr 8) land 0x3));
+  Bytebuf.set_uint8 pdu 47 (crc land 0xff);
+  pdu
+
+let segment ~mid frame =
+  if mid < 0 || mid > 0x3FF then invalid_arg "Aal34.segment: mid out of range";
+  let data_len = Bytebuf.length frame in
+  if data_len > max_frame then invalid_arg "Aal34.segment: frame too large";
+  (* CPCS: 4-byte header (magic, magic, 16-bit length), then the frame. *)
+  let cpcs = Bytebuf.create (4 + data_len) in
+  Bytebuf.set_uint8 cpcs 0 magic0;
+  Bytebuf.set_uint8 cpcs 1 magic1;
+  Bytebuf.set_uint8 cpcs 2 ((data_len lsr 8) land 0xff);
+  Bytebuf.set_uint8 cpcs 3 (data_len land 0xff);
+  Bytebuf.blit ~src:frame ~src_pos:0 ~dst:cpcs ~dst_pos:4 ~len:data_len;
+  let total = 4 + data_len in
+  let ncells = (total + sar_payload - 1) / sar_payload in
+  let rec go i acc =
+    if i >= ncells then List.rev acc
+    else
+      let off = i * sar_payload in
+      let li = min sar_payload (total - off) in
+      let chunk = Bytebuf.sub cpcs ~pos:off ~len:li in
+      let st =
+        if ncells = 1 then Ssm
+        else if i = 0 then Bom
+        else if i = ncells - 1 then Eom
+        else Com
+      in
+      go (i + 1) (build_sar ~st ~sn:(i land 0xf) ~mid ~li chunk :: acc)
+  in
+  go 0 []
+
+type stats = {
+  mutable delivered : int;
+  mutable aborted_gap : int;
+  mutable aborted_crc : int;
+  mutable aborted_format : int;
+  mutable orphan_cells : int;
+}
+
+type partial = {
+  mutable next_sn : int;
+  mutable expected_total : int;  (* CPCS bytes including the 4-byte header *)
+  mutable chunks_rev : Bytebuf.t list;
+  mutable got : int;
+}
+
+type reassembler = {
+  deliver : mid:int -> Bytebuf.t -> unit;
+  stats : stats;
+  active : (int, partial) Hashtbl.t;
+}
+
+let reassembler ~deliver =
+  {
+    deliver;
+    stats =
+      {
+        delivered = 0;
+        aborted_gap = 0;
+        aborted_crc = 0;
+        aborted_format = 0;
+        orphan_cells = 0;
+      };
+    active = Hashtbl.create 16;
+  }
+
+let stats t = t.stats
+
+let parse_sar pdu =
+  let b0 = Bytebuf.get_uint8 pdu 0 in
+  let st = st_of_code ((b0 lsr 6) land 0x3) in
+  let sn = (b0 lsr 2) land 0xf in
+  let mid = ((b0 land 0x3) lsl 8) lor Bytebuf.get_uint8 pdu 1 in
+  let li = (Bytebuf.get_uint8 pdu 46 lsr 2) land 0x3f in
+  (st, sn, mid, li)
+
+let crc_ok pdu =
+  let b46 = Bytebuf.get_uint8 pdu 46 in
+  let got_crc = ((b46 land 0x3) lsl 8) lor Bytebuf.get_uint8 pdu 47 in
+  let scratch = Bytebuf.copy pdu in
+  Bytebuf.set_uint8 scratch 46 (b46 land 0xFC);
+  Bytebuf.set_uint8 scratch 47 0;
+  crc10 scratch ~pos:0 ~len:48 = got_crc
+
+let abort t mid = Hashtbl.remove t.active mid
+
+let start_frame t mid total_li chunk =
+  if Bytebuf.length chunk < 4 then t.stats.aborted_format <- t.stats.aborted_format + 1
+  else if Bytebuf.get_uint8 chunk 0 <> magic0 || Bytebuf.get_uint8 chunk 1 <> magic1
+  then t.stats.aborted_format <- t.stats.aborted_format + 1
+  else begin
+    let data_len =
+      (Bytebuf.get_uint8 chunk 2 lsl 8) lor Bytebuf.get_uint8 chunk 3
+    in
+    let p =
+      {
+        next_sn = 1;
+        expected_total = 4 + data_len;
+        chunks_rev = [ Bytebuf.copy chunk ];
+        got = total_li;
+      }
+    in
+    Hashtbl.replace t.active mid p
+  end
+
+let finish_frame t mid p =
+  abort t mid;
+  if p.got <> p.expected_total then
+    t.stats.aborted_format <- t.stats.aborted_format + 1
+  else begin
+    let cpcs = Bytebuf.concat (List.rev p.chunks_rev) in
+    let frame = Bytebuf.sub cpcs ~pos:4 ~len:(p.expected_total - 4) in
+    t.stats.delivered <- t.stats.delivered + 1;
+    t.deliver ~mid frame
+  end
+
+let push t pdu =
+  if Bytebuf.length pdu <> 48 then invalid_arg "Aal34.push: need 48 bytes";
+  if not (crc_ok pdu) then t.stats.aborted_crc <- t.stats.aborted_crc + 1
+  else begin
+    let st, sn, mid, li = parse_sar pdu in
+    if li > sar_payload then t.stats.aborted_format <- t.stats.aborted_format + 1
+    else
+      let chunk = Bytebuf.sub pdu ~pos:2 ~len:li in
+      match st with
+      | Ssm ->
+          if Hashtbl.mem t.active mid then begin
+            t.stats.aborted_format <- t.stats.aborted_format + 1;
+            abort t mid
+          end;
+          (* A single-segment message is its own complete CPCS frame. *)
+          if
+            li >= 4
+            && Bytebuf.get_uint8 chunk 0 = magic0
+            && Bytebuf.get_uint8 chunk 1 = magic1
+          then begin
+            let data_len =
+              (Bytebuf.get_uint8 chunk 2 lsl 8) lor Bytebuf.get_uint8 chunk 3
+            in
+            if 4 + data_len = li then begin
+              t.stats.delivered <- t.stats.delivered + 1;
+              t.deliver ~mid (Bytebuf.copy (Bytebuf.sub chunk ~pos:4 ~len:data_len))
+            end
+            else t.stats.aborted_format <- t.stats.aborted_format + 1
+          end
+          else t.stats.aborted_format <- t.stats.aborted_format + 1
+      | Bom ->
+          if Hashtbl.mem t.active mid then begin
+            (* A new frame began before the old one ended: a cell (the old
+               EOM at least) was lost. *)
+            t.stats.aborted_gap <- t.stats.aborted_gap + 1;
+            abort t mid
+          end;
+          if sn <> 0 || li <> sar_payload then
+            t.stats.aborted_format <- t.stats.aborted_format + 1
+          else start_frame t mid li chunk
+      | Com | Eom -> (
+          match Hashtbl.find_opt t.active mid with
+          | None ->
+              (* The BOM (or an earlier cell and its context) was lost;
+                 this cell belongs to a frame already given up on. *)
+              t.stats.orphan_cells <- t.stats.orphan_cells + 1
+          | Some p ->
+              if sn <> p.next_sn land 0xf then begin
+                t.stats.aborted_gap <- t.stats.aborted_gap + 1;
+                abort t mid
+              end
+              else begin
+                p.next_sn <- p.next_sn + 1;
+                p.chunks_rev <- Bytebuf.copy chunk :: p.chunks_rev;
+                p.got <- p.got + li;
+                if p.got > p.expected_total then begin
+                  t.stats.aborted_format <- t.stats.aborted_format + 1;
+                  abort t mid
+                end
+                else
+                  match st with
+                  | Eom -> finish_frame t mid p
+                  | Com | Bom | Ssm -> ()
+              end)
+  end

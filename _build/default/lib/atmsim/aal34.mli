@@ -1,0 +1,53 @@
+(** AAL3/4-flavoured segmentation and reassembly.
+
+    This is the adaptation layer the paper footnotes: after adaptation the
+    net cell payload is 44 bytes. Each 48-byte SAR-PDU is
+
+    {v 2B header (ST | SN | MID) + 44B payload + 2B trailer (LI | CRC-10) v}
+
+    with segment type BOM/COM/EOM/SSM, a 4-bit per-MID sequence number
+    that detects cell loss inside a frame, a 10-bit MID allowing frames
+    from different sources to interleave on one VC, and a CRC-10 per cell.
+    The CPCS frame starts with a 4-byte header carrying the total length.
+
+    A lost or corrupted cell aborts the whole frame — exactly the "loss of
+    even one bit triggers the loss of a whole ADU" economics that makes
+    ADU-size bounding matter (experiment E7). *)
+
+open Bufkit
+
+val sar_payload : int
+(** 44: net payload bytes per cell. *)
+
+val max_frame : int
+(** Largest CPCS frame the 16-bit length field can carry. *)
+
+type segment_type = Bom | Com | Eom | Ssm
+
+val segment : mid:int -> Bytebuf.t -> Bytebuf.t list
+(** [segment ~mid frame] is the list of 48-byte SAR-PDUs (cell payloads)
+    carrying [frame]. MID must be 0–1023; frames up to {!max_frame} bytes.
+    Sequence numbers start at 0 for each frame. *)
+
+type stats = {
+  mutable delivered : int;
+  mutable aborted_gap : int;  (** Sequence-number gap: a cell was lost. *)
+  mutable aborted_crc : int;
+  mutable aborted_format : int;  (** Bad ST transitions or length mismatch. *)
+  mutable orphan_cells : int;  (** COM/EOM cells of frames already abandoned
+      (their BOM or an earlier cell was lost). *)
+}
+
+type reassembler
+
+val reassembler : deliver:(mid:int -> Bytebuf.t -> unit) -> reassembler
+(** Frames are delivered complete and verified; damaged frames vanish into
+    the stats. *)
+
+val push : reassembler -> Bytebuf.t -> unit
+(** Feed one 48-byte SAR-PDU (in cell-arrival order for its VC). *)
+
+val stats : reassembler -> stats
+
+val crc10 : Bytebuf.t -> pos:int -> len:int -> int
+(** Exposed for tests. *)

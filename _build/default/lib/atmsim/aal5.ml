@@ -1,0 +1,88 @@
+open Bufkit
+
+let sar_payload = 48
+let max_frame = 0xFFFF
+
+type stats = {
+  mutable delivered : int;
+  mutable aborted_crc : int;
+  mutable aborted_oversize : int;
+}
+
+(* CPCS-PDU: frame, zero padding, 8-byte trailer (2 reserved, 2-byte
+   length, 4-byte CRC-32), padded so the total is a multiple of 48. The
+   CRC covers everything before it. *)
+let segment frame =
+  let data_len = Bytebuf.length frame in
+  if data_len > max_frame then invalid_arg "Aal5.segment: frame too large";
+  let unpadded = data_len + 8 in
+  let total = (unpadded + sar_payload - 1) / sar_payload * sar_payload in
+  let cpcs = Bytebuf.create total in
+  Bytebuf.blit ~src:frame ~src_pos:0 ~dst:cpcs ~dst_pos:0 ~len:data_len;
+  Bytebuf.set_uint8 cpcs (total - 6) ((data_len lsr 8) land 0xff);
+  Bytebuf.set_uint8 cpcs (total - 5) (data_len land 0xff);
+  let crc = Checksum.Crc32.digest (Bytebuf.take cpcs (total - 4)) in
+  Bytebuf.set_uint8 cpcs (total - 4) (Int32.to_int (Int32.shift_right_logical crc 24) land 0xff);
+  Bytebuf.set_uint8 cpcs (total - 3) (Int32.to_int (Int32.shift_right_logical crc 16) land 0xff);
+  Bytebuf.set_uint8 cpcs (total - 2) (Int32.to_int (Int32.shift_right_logical crc 8) land 0xff);
+  Bytebuf.set_uint8 cpcs (total - 1) (Int32.to_int crc land 0xff);
+  let ncells = total / sar_payload in
+  List.init ncells (fun i ->
+      (Bytebuf.sub cpcs ~pos:(i * sar_payload) ~len:sar_payload, i = ncells - 1))
+
+type reassembler = {
+  deliver : Bytebuf.t -> unit;
+  stats : stats;
+  max_cells : int;
+  mutable chunks_rev : Bytebuf.t list;
+  mutable cells : int;
+}
+
+let reassembler ?(max_frame_cells = 2048) ~deliver () =
+  {
+    deliver;
+    stats = { delivered = 0; aborted_crc = 0; aborted_oversize = 0 };
+    max_cells = max_frame_cells;
+    chunks_rev = [];
+    cells = 0;
+  }
+
+let stats t = t.stats
+
+let reset t =
+  t.chunks_rev <- [];
+  t.cells <- 0
+
+let finish t =
+  let cpcs = Bytebuf.concat (List.rev t.chunks_rev) in
+  reset t;
+  let total = Bytebuf.length cpcs in
+  let data_len =
+    (Bytebuf.get_uint8 cpcs (total - 6) lsl 8) lor Bytebuf.get_uint8 cpcs (total - 5)
+  in
+  let got_crc =
+    Int32.logor
+      (Int32.shift_left (Int32.of_int (Bytebuf.get_uint8 cpcs (total - 4))) 24)
+      (Int32.of_int
+         ((Bytebuf.get_uint8 cpcs (total - 3) lsl 16)
+         lor (Bytebuf.get_uint8 cpcs (total - 2) lsl 8)
+         lor Bytebuf.get_uint8 cpcs (total - 1)))
+  in
+  let crc = Checksum.Crc32.digest (Bytebuf.take cpcs (total - 4)) in
+  if data_len + 8 > total || not (Int32.equal crc got_crc) then
+    t.stats.aborted_crc <- t.stats.aborted_crc + 1
+  else begin
+    t.stats.delivered <- t.stats.delivered + 1;
+    t.deliver (Bytebuf.sub cpcs ~pos:0 ~len:data_len)
+  end
+
+let push t payload ~eof =
+  if Bytebuf.length payload <> sar_payload then
+    invalid_arg "Aal5.push: need 48 bytes";
+  t.chunks_rev <- Bytebuf.copy payload :: t.chunks_rev;
+  t.cells <- t.cells + 1;
+  if eof then finish t
+  else if t.cells >= t.max_cells then begin
+    reset t;
+    t.stats.aborted_oversize <- t.stats.aborted_oversize + 1
+  end

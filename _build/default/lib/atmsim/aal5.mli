@@ -1,0 +1,34 @@
+(** AAL5-flavoured segmentation and reassembly.
+
+    The lean adaptation layer: cells carry 48 raw payload bytes; the only
+    per-cell signal is the PTI end-of-frame bit, and the CPCS trailer in
+    the final cell carries the frame length and a CRC-32 over the whole
+    padded frame. Loss of any cell is caught by the length or CRC check at
+    frame end. Compared with {!Aal34} it spends 0 instead of 4 bytes per
+    cell and detects loss later — the efficiency/latency trade the E7
+    experiment reports. *)
+
+open Bufkit
+
+val sar_payload : int
+(** 48: net payload bytes per (non-trailer) cell. *)
+
+val max_frame : int
+
+type stats = {
+  mutable delivered : int;
+  mutable aborted_crc : int;  (** CRC or length mismatch: some cell was lost
+      or damaged. *)
+  mutable aborted_oversize : int;  (** Reassembly overran the cap: an
+      end-of-frame cell was lost. *)
+}
+
+val segment : Bytebuf.t -> (Bytebuf.t * bool) list
+(** The 48-byte cell payloads carrying the frame, each tagged with its
+    end-of-frame flag (to be carried in the cell PTI). *)
+
+type reassembler
+
+val reassembler : ?max_frame_cells:int -> deliver:(Bytebuf.t -> unit) -> unit -> reassembler
+val push : reassembler -> Bytebuf.t -> eof:bool -> unit
+val stats : reassembler -> stats

@@ -1,0 +1,65 @@
+open Bufkit
+
+let header_size = 5
+let payload_size = 48
+let cell_size = 53
+
+type t = { vci : int; pti : int; clp : bool; payload : Bytebuf.t }
+
+exception Header_error of string
+
+let make ~vci ?(pti = 0) ?(clp = false) payload =
+  if vci < 0 || vci > 0xFFFFFF then invalid_arg "Cell.make: vci out of range";
+  if pti < 0 || pti > 7 then invalid_arg "Cell.make: pti out of range";
+  if Bytebuf.length payload <> payload_size then
+    invalid_arg "Cell.make: payload must be exactly 48 bytes";
+  { vci; pti; clp; payload }
+
+(* CRC-8 with polynomial x^8 + x^2 + x + 1 (0x07), MSB first — the ATM
+   HEC generator. *)
+let crc8 buf ~pos ~len =
+  let crc = ref 0 in
+  for i = pos to pos + len - 1 do
+    crc := !crc lxor Bytebuf.get_uint8 buf i;
+    for _ = 1 to 8 do
+      crc := if !crc land 0x80 <> 0 then ((!crc lsl 1) lxor 0x07) land 0xff else (!crc lsl 1) land 0xff
+    done
+  done;
+  !crc
+
+let encode_into t dst =
+  if Bytebuf.length dst <> cell_size then
+    invalid_arg "Cell.encode_into: need a 53-byte slice";
+  Bytebuf.set_uint8 dst 0 ((t.vci lsr 16) land 0xff);
+  Bytebuf.set_uint8 dst 1 ((t.vci lsr 8) land 0xff);
+  Bytebuf.set_uint8 dst 2 (t.vci land 0xff);
+  Bytebuf.set_uint8 dst 3 ((t.pti lsl 1) lor (if t.clp then 1 else 0));
+  Bytebuf.set_uint8 dst 4 (crc8 dst ~pos:0 ~len:4);
+  Bytebuf.blit ~src:t.payload ~src_pos:0 ~dst ~dst_pos:header_size
+    ~len:payload_size
+
+let encode t =
+  let dst = Bytebuf.create cell_size in
+  encode_into t dst;
+  dst
+
+let decode buf =
+  if Bytebuf.length buf <> cell_size then
+    raise (Header_error (Printf.sprintf "cell of %d bytes" (Bytebuf.length buf)));
+  let hec = Bytebuf.get_uint8 buf 4 in
+  if crc8 buf ~pos:0 ~len:4 <> hec then raise (Header_error "HEC mismatch");
+  let vci =
+    (Bytebuf.get_uint8 buf 0 lsl 16)
+    lor (Bytebuf.get_uint8 buf 1 lsl 8)
+    lor Bytebuf.get_uint8 buf 2
+  in
+  let b3 = Bytebuf.get_uint8 buf 3 in
+  {
+    vci;
+    pti = (b3 lsr 1) land 7;
+    clp = b3 land 1 = 1;
+    payload = Bytebuf.sub buf ~pos:header_size ~len:payload_size;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "cell(vci=%d pti=%d clp=%b)" t.vci t.pti t.clp

@@ -1,0 +1,47 @@
+(** ATM cells.
+
+    The B-ISDN transmission unit the paper singles out: 53 bytes on the
+    wire, 48 of payload — "probably too small a unit of data to permit
+    manipulation operations to be synchronized on each cell". The header is
+    a simplified UNI layout (24-bit VCI, 3-bit payload-type indicator, CLP
+    bit) protected by the real HEC polynomial (CRC-8, x⁸+x²+x+1), so header
+    corruption is detectable exactly as in hardware. *)
+
+open Bufkit
+
+val header_size : int
+(** 5. *)
+
+val payload_size : int
+(** 48. *)
+
+val cell_size : int
+(** 53. *)
+
+type t = {
+  vci : int;  (** Virtual channel, 0–0xFFFFFF. *)
+  pti : int;  (** Payload type indicator, 0–7; bit 0 marks end-of-frame for AAL5. *)
+  clp : bool;  (** Cell loss priority. *)
+  payload : Bytebuf.t;  (** Exactly 48 bytes. *)
+}
+
+val make : vci:int -> ?pti:int -> ?clp:bool -> Bytebuf.t -> t
+(** Raises [Invalid_argument] if the payload is not exactly 48 bytes or a
+    field is out of range. *)
+
+exception Header_error of string
+
+val encode : t -> Bytebuf.t
+(** A fresh 53-byte buffer (payload is copied). *)
+
+val encode_into : t -> Bytebuf.t -> unit
+(** Into a caller-provided 53-byte slice. *)
+
+val decode : Bytebuf.t -> t
+(** Raises {!Header_error} on bad length or HEC mismatch. The payload
+    aliases the input (zero copy). *)
+
+val crc8 : Bytebuf.t -> pos:int -> len:int -> int
+(** The HEC function, exposed for tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/bufkit/bytebuf.ml: Bytes Char Format List String

@@ -1,0 +1,1 @@
+lib/bufkit/bytebuf.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/bufkit/cursor.ml: Bytebuf Format Int32 Int64 String

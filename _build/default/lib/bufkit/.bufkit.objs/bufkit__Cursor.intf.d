@@ -1,0 +1,1 @@
+lib/bufkit/cursor.mli: Bytebuf

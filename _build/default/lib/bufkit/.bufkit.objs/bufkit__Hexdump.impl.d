@@ -1,0 +1,1 @@
+lib/bufkit/hexdump.ml: Bytebuf Format

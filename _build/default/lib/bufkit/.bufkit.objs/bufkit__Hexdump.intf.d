@@ -1,0 +1,1 @@
+lib/bufkit/hexdump.mli: Bytebuf Format

@@ -1,0 +1,1 @@
+lib/bufkit/iovec.ml: Bytebuf Format List Printf

@@ -1,0 +1,1 @@
+lib/bufkit/iovec.mli: Bytebuf Format

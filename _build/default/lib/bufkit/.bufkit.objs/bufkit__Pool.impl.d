@@ -1,0 +1,1 @@
+lib/bufkit/pool.ml: Bytebuf Format

@@ -1,0 +1,119 @@
+type reader = { rbuf : Bytebuf.t; mutable rpos : int }
+type writer = { wbuf : Bytebuf.t; mutable wpos : int }
+
+exception Underflow of string
+exception Overflow of string
+
+let underflow fmt = Format.kasprintf (fun s -> raise (Underflow s)) fmt
+let overflow fmt = Format.kasprintf (fun s -> raise (Overflow s)) fmt
+
+(* Readers *)
+
+let reader rbuf = { rbuf; rpos = 0 }
+let remaining r = Bytebuf.length r.rbuf - r.rpos
+let pos r = r.rpos
+
+let need r n what =
+  if n < 0 || remaining r < n then
+    underflow "%s: need %d bytes, %d remain" what n (remaining r)
+
+let skip r n =
+  need r n "Cursor.skip";
+  r.rpos <- r.rpos + n
+
+let u8 r =
+  need r 1 "Cursor.u8";
+  let v = Bytebuf.get_uint8 r.rbuf r.rpos in
+  r.rpos <- r.rpos + 1;
+  v
+
+let u16be r =
+  let hi = u8 r in
+  let lo = u8 r in
+  (hi lsl 8) lor lo
+
+let u16le r =
+  let lo = u8 r in
+  let hi = u8 r in
+  (hi lsl 8) lor lo
+
+let u32be r =
+  let a = u16be r in
+  let b = u16be r in
+  Int32.logor (Int32.shift_left (Int32.of_int a) 16) (Int32.of_int b)
+
+let u32le r =
+  let b = u16le r in
+  let a = u16le r in
+  Int32.logor (Int32.shift_left (Int32.of_int a) 16) (Int32.of_int b)
+
+let u64be r =
+  let hi = u32be r in
+  let lo = u32be r in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int32 hi) 32)
+    (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+
+let int32_as_int r = Int32.to_int (u32be r)
+
+let bytes r n =
+  need r n "Cursor.bytes";
+  let b = Bytebuf.sub r.rbuf ~pos:r.rpos ~len:n in
+  r.rpos <- r.rpos + n;
+  b
+
+let string r n = Bytebuf.to_string (bytes r n)
+let rest r = bytes r (remaining r)
+
+(* Writers *)
+
+let writer wbuf = { wbuf; wpos = 0 }
+let writer_pos w = w.wpos
+let writer_remaining w = Bytebuf.length w.wbuf - w.wpos
+
+let room w n what =
+  if n < 0 || writer_remaining w < n then
+    overflow "%s: need %d bytes of room, %d remain" what n (writer_remaining w)
+
+let put_u8 w v =
+  room w 1 "Cursor.put_u8";
+  Bytebuf.set_uint8 w.wbuf w.wpos (v land 0xff);
+  w.wpos <- w.wpos + 1
+
+let put_u16be w v =
+  put_u8 w (v lsr 8);
+  put_u8 w v
+
+let put_u16le w v =
+  put_u8 w v;
+  put_u8 w (v lsr 8)
+
+let put_u32be w v =
+  let v = Int32.to_int v in
+  put_u16be w ((v lsr 16) land 0xffff);
+  put_u16be w (v land 0xffff)
+
+let put_u32le w v =
+  let v = Int32.to_int v in
+  put_u16le w (v land 0xffff);
+  put_u16le w ((v lsr 16) land 0xffff)
+
+let put_u64be w v =
+  put_u32be w (Int64.to_int32 (Int64.shift_right_logical v 32));
+  put_u32be w (Int64.to_int32 v)
+
+let put_int_as_u32be w v = put_u32be w (Int32.of_int v)
+
+let put_bytes w b =
+  let n = Bytebuf.length b in
+  room w n "Cursor.put_bytes";
+  Bytebuf.blit ~src:b ~src_pos:0 ~dst:w.wbuf ~dst_pos:w.wpos ~len:n;
+  w.wpos <- w.wpos + n
+
+let put_string w s =
+  let n = String.length s in
+  room w n "Cursor.put_string";
+  Bytebuf.blit_from_string s ~src_pos:0 ~dst:w.wbuf ~dst_pos:w.wpos ~len:n;
+  w.wpos <- w.wpos + n
+
+let written w = Bytebuf.take w.wbuf w.wpos

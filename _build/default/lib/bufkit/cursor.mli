@@ -1,0 +1,62 @@
+(** Sequential readers and writers over {!Bytebuf} slices.
+
+    Protocol encoders and decoders consume a buffer front-to-back; a cursor
+    tracks the position and provides endian-aware fixed-width accessors.
+    Reads and writes advance the position and raise {!Underflow} /
+    {!Overflow} when the slice is exhausted, so codecs never need their own
+    bounds arithmetic. *)
+
+type reader
+type writer
+
+exception Underflow of string
+(** Raised when a read would pass the end of the slice. *)
+
+exception Overflow of string
+(** Raised when a write would pass the end of the slice. *)
+
+(** {1 Readers} *)
+
+val reader : Bytebuf.t -> reader
+val remaining : reader -> int
+val pos : reader -> int
+val skip : reader -> int -> unit
+
+val u8 : reader -> int
+val u16be : reader -> int
+val u16le : reader -> int
+val u32be : reader -> int32
+val u32le : reader -> int32
+val u64be : reader -> int64
+
+val int32_as_int : reader -> int
+(** [int32_as_int r] reads a big-endian 32-bit value and widens it to an
+    OCaml [int] (exact on 64-bit platforms, sign-extended). *)
+
+val bytes : reader -> int -> Bytebuf.t
+(** [bytes r n] is a zero-copy sub-slice of the next [n] bytes. *)
+
+val string : reader -> int -> string
+val rest : reader -> Bytebuf.t
+
+(** {1 Writers} *)
+
+val writer : Bytebuf.t -> writer
+val writer_pos : writer -> int
+val writer_remaining : writer -> int
+
+val put_u8 : writer -> int -> unit
+val put_u16be : writer -> int -> unit
+val put_u16le : writer -> int -> unit
+val put_u32be : writer -> int32 -> unit
+val put_u32le : writer -> int32 -> unit
+val put_u64be : writer -> int64 -> unit
+
+val put_int_as_u32be : writer -> int -> unit
+(** Writes the low 32 bits of an OCaml [int], big-endian. *)
+
+val put_bytes : writer -> Bytebuf.t -> unit
+val put_string : writer -> string -> unit
+
+val written : writer -> Bytebuf.t
+(** The prefix of the underlying slice written so far. *)

@@ -1,0 +1,23 @@
+let printable c = if c >= ' ' && c <= '~' then c else '.'
+
+let pp ppf buf =
+  let len = Bytebuf.length buf in
+  let row off =
+    let n = min 16 (len - off) in
+    Format.fprintf ppf "%08x  " off;
+    for i = 0 to 15 do
+      if i < n then Format.fprintf ppf "%02x " (Bytebuf.get_uint8 buf (off + i))
+      else Format.fprintf ppf "   ";
+      if i = 7 then Format.fprintf ppf " "
+    done;
+    Format.fprintf ppf " |";
+    for i = 0 to n - 1 do
+      Format.fprintf ppf "%c" (printable (Bytebuf.get buf (off + i)))
+    done;
+    Format.fprintf ppf "|@\n"
+  in
+  let rec rows off = if off < len then (row off; rows (off + 16)) in
+  if len = 0 then Format.fprintf ppf "(empty)@\n" else rows 0
+
+let to_string buf = Format.asprintf "%a" pp buf
+let pp_string ppf s = pp ppf (Bytebuf.of_string s)

@@ -1,0 +1,9 @@
+(** Hexadecimal dumps for traces and test failure output. *)
+
+val pp : Format.formatter -> Bytebuf.t -> unit
+(** Classic 16-bytes-per-row dump: offset, hex columns, ASCII gutter. *)
+
+val to_string : Bytebuf.t -> string
+
+val pp_string : Format.formatter -> string -> unit
+(** Dump a [string] without first converting it to a buffer by hand. *)

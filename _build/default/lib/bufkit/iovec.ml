@@ -1,0 +1,124 @@
+type t = { frags : Bytebuf.t list; total : int }
+
+let keep b = Bytebuf.length b > 0
+
+let of_list bufs =
+  let frags = List.filter keep bufs in
+  let total = List.fold_left (fun acc b -> acc + Bytebuf.length b) 0 frags in
+  { frags; total }
+
+let empty = { frags = []; total = 0 }
+let singleton b = of_list [ b ]
+let to_list t = t.frags
+let length t = t.total
+let fragments t = List.length t.frags
+
+let append a b =
+  { frags = a.frags @ b.frags; total = a.total + b.total }
+
+let cons b t = append (singleton b) t
+let snoc t b = append t (singleton b)
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.total then
+    raise
+      (Bytebuf.Bounds
+         (Printf.sprintf "Iovec.sub: pos=%d len=%d outside vector of %d" pos
+            len t.total));
+  let rec skip frags pos =
+    match frags with
+    | [] -> []
+    | b :: rest ->
+        let n = Bytebuf.length b in
+        if pos >= n then skip rest (pos - n) else Bytebuf.shift b pos :: rest
+  in
+  let rec take frags len acc =
+    if len = 0 then List.rev acc
+    else
+      match frags with
+      | [] -> List.rev acc
+      | b :: rest ->
+          let n = Bytebuf.length b in
+          if len >= n then take rest (len - n) (b :: acc)
+          else List.rev (Bytebuf.take b len :: acc)
+  in
+  of_list (take (skip t.frags pos) len [])
+
+let get t i =
+  if i < 0 || i >= t.total then
+    raise
+      (Bytebuf.Bounds
+         (Printf.sprintf "Iovec.get: index %d in vector of %d" i t.total));
+  let rec go frags i =
+    match frags with
+    | [] -> assert false
+    | b :: rest ->
+        let n = Bytebuf.length b in
+        if i < n then Bytebuf.get b i else go rest (i - n)
+  in
+  go t.frags i
+
+let blit_to t ~dst ~dst_pos =
+  let pos = ref dst_pos in
+  let blit_one b =
+    let n = Bytebuf.length b in
+    Bytebuf.blit ~src:b ~src_pos:0 ~dst ~dst_pos:!pos ~len:n;
+    pos := !pos + n
+  in
+  List.iter blit_one t.frags
+
+let gather t =
+  let dst = Bytebuf.create t.total in
+  blit_to t ~dst ~dst_pos:0;
+  dst
+
+let iter_fragments t f = List.iter f t.frags
+
+let fold_bytes t ~init ~f =
+  let fold_frag acc b =
+    let n = Bytebuf.length b in
+    let acc = ref acc in
+    for i = 0 to n - 1 do
+      acc := f !acc (Bytebuf.unsafe_get b i)
+    done;
+    !acc
+  in
+  List.fold_left fold_frag init t.frags
+
+let chunk t ~size =
+  if size <= 0 then invalid_arg "Iovec.chunk: size must be positive";
+  let rec go pos acc =
+    if pos >= t.total then List.rev acc
+    else
+      let len = min size (t.total - pos) in
+      go (pos + len) (sub t ~pos ~len :: acc)
+  in
+  go 0 []
+
+let to_string t = Bytebuf.to_string (gather t)
+let of_string s = singleton (Bytebuf.of_string s)
+
+let equal a b =
+  a.total = b.total
+  &&
+  (* Compare without materialising either side: walk both fragment lists. *)
+  let rec go af bf =
+    match (af, bf) with
+    | [], [] -> true
+    | [], _ :: _ | _ :: _, [] -> false
+    | a0 :: arest, b0 :: brest ->
+        let la = Bytebuf.length a0 and lb = Bytebuf.length b0 in
+        let n = min la lb in
+        let rec same i =
+          i >= n || (Bytebuf.unsafe_get a0 i = Bytebuf.unsafe_get b0 i && same (i + 1))
+        in
+        same 0
+        &&
+        let af = if la = n then arest else Bytebuf.shift a0 n :: arest in
+        let bf = if lb = n then brest else Bytebuf.shift b0 n :: brest in
+        go af bf
+  in
+  go a.frags b.frags
+
+let pp ppf t =
+  Format.fprintf ppf "<iovec %d bytes in %d frags>" t.total (fragments t)

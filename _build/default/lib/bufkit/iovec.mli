@@ -1,0 +1,55 @@
+(** Scatter/gather vectors.
+
+    An {!t} is an ordered sequence of {!Bytebuf} slices treated as one
+    logical byte string. ADUs are assembled from headers and payload
+    fragments without copying (gather on send), and transmission units are
+    carved out of an ADU without copying (scatter on receive); the single
+    copy the paper says is unavoidable happens only at the network boundary
+    or in the application's integrated loop. *)
+
+type t
+
+val empty : t
+val of_list : Bytebuf.t list -> t
+val singleton : Bytebuf.t -> t
+val to_list : t -> Bytebuf.t list
+
+val length : t -> int
+(** Total byte count across all fragments. *)
+
+val fragments : t -> int
+(** Number of (non-empty) fragments. *)
+
+val append : t -> t -> t
+val cons : Bytebuf.t -> t -> t
+val snoc : t -> Bytebuf.t -> t
+
+val sub : t -> pos:int -> len:int -> t
+(** Zero-copy logical sub-range; fragments are split as needed. Raises
+    [Bytebuf.Bounds] if the range exceeds [length t]. *)
+
+val get : t -> int -> char
+(** Byte at logical offset; O(fragments). *)
+
+val gather : t -> Bytebuf.t
+(** Flatten into a single freshly-allocated slice (the explicit copy). *)
+
+val blit_to : t -> dst:Bytebuf.t -> dst_pos:int -> unit
+(** Copy the whole logical content into [dst] starting at [dst_pos]. *)
+
+val iter_fragments : t -> (Bytebuf.t -> unit) -> unit
+
+val fold_bytes : t -> init:'a -> f:('a -> char -> 'a) -> 'a
+(** Fold over every byte in logical order (used by layered, i.e. unfused,
+    manipulation stages). *)
+
+val chunk : t -> size:int -> t list
+(** [chunk t ~size] splits [t] into consecutive pieces of [size] bytes (the
+    last may be shorter), without copying. [size] must be positive. *)
+
+val equal : t -> t -> bool
+(** Logical content equality, regardless of fragmentation. *)
+
+val to_string : t -> string
+val of_string : string -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type stats = {
+  buf_size : int;
+  allocated : int;
+  reused : int;
+  outstanding : int;
+  high_water : int;
+}
+
+type t = {
+  buf_size : int;
+  capacity : int;
+  mutable free : Bytebuf.t list;
+  mutable free_count : int;
+  mutable allocated : int;
+  mutable reused : int;
+  mutable outstanding : int;
+  mutable high_water : int;
+}
+
+let create ?(capacity = 64) ~buf_size () =
+  if buf_size <= 0 then invalid_arg "Pool.create: buf_size must be positive";
+  if capacity < 0 then invalid_arg "Pool.create: negative capacity";
+  {
+    buf_size;
+    capacity;
+    free = [];
+    free_count = 0;
+    allocated = 0;
+    reused = 0;
+    outstanding = 0;
+    high_water = 0;
+  }
+
+let acquire t =
+  let buf =
+    match t.free with
+    | b :: rest ->
+        t.free <- rest;
+        t.free_count <- t.free_count - 1;
+        t.reused <- t.reused + 1;
+        Bytebuf.fill b '\000';
+        b
+    | [] ->
+        t.allocated <- t.allocated + 1;
+        Bytebuf.create t.buf_size
+  in
+  t.outstanding <- t.outstanding + 1;
+  if t.outstanding > t.high_water then t.high_water <- t.outstanding;
+  buf
+
+let release t buf =
+  if Bytebuf.length buf <> t.buf_size then
+    invalid_arg "Pool.release: buffer size does not match pool";
+  t.outstanding <- t.outstanding - 1;
+  if t.free_count < t.capacity then begin
+    t.free <- buf :: t.free;
+    t.free_count <- t.free_count + 1
+  end
+
+let stats t =
+  {
+    buf_size = t.buf_size;
+    allocated = t.allocated;
+    reused = t.reused;
+    outstanding = t.outstanding;
+    high_water = t.high_water;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "pool(size=%d allocated=%d reused=%d outstanding=%d high_water=%d)"
+    s.buf_size s.allocated s.reused s.outstanding s.high_water

@@ -1,0 +1,1 @@
+lib/checksum/adler32.ml: Bufkit Bytebuf Char Int32 Printf

@@ -1,0 +1,1 @@
+lib/checksum/adler32.mli: Bufkit Bytebuf

@@ -1,0 +1,1 @@
+lib/checksum/crc32.ml: Array Bufkit Bytebuf Char Int32 Lazy Printf

@@ -1,0 +1,1 @@
+lib/checksum/fletcher.ml: Bufkit Bytebuf Char Int32

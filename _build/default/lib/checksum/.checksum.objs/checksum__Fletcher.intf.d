@@ -1,0 +1,1 @@
+lib/checksum/fletcher.mli: Bufkit Bytebuf

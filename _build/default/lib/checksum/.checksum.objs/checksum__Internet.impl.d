@@ -1,0 +1,1 @@
+lib/checksum/internet.ml: Bufkit Bytebuf Char Format Iovec Printf

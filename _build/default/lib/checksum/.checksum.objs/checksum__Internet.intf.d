@@ -1,0 +1,1 @@
+lib/checksum/internet.mli: Bufkit Bytebuf Format Iovec

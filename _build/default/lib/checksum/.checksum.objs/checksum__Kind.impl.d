@@ -1,0 +1,1 @@
+lib/checksum/kind.ml: Adler32 Bufkit Bytebuf Crc32 Fletcher Format Int32 Internet Iovec String

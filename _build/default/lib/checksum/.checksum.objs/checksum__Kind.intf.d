@@ -1,0 +1,1 @@
+lib/checksum/kind.mli: Bufkit Bytebuf Format Iovec

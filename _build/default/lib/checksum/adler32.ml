@@ -1,0 +1,40 @@
+open Bufkit
+
+let base = 65521
+
+(* Largest n such that 255 n (n+1) / 2 + (n+1)(base-1) stays below 2^30,
+   the zlib NMAX trick, so we reduce modulo [base] only every [nmax]
+   bytes. *)
+let nmax = 5552
+
+type state = { a : int; b : int; count : int }
+
+let init = { a = 1; b = 0; count = 0 }
+let reduce st = { a = st.a mod base; b = st.b mod base; count = 0 }
+
+let feed_byte st byte =
+  let a = st.a + (byte land 0xff) in
+  let b = st.b + a in
+  let st = { a; b; count = st.count + 1 } in
+  if st.count >= nmax then reduce st else st
+
+let feed_sub st buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytebuf.length buf then
+    raise
+      (Bytebuf.Bounds
+         (Printf.sprintf "Adler32.feed_sub: pos=%d len=%d in slice of %d" pos
+            len (Bytebuf.length buf)));
+  let st = ref st in
+  for i = pos to pos + len - 1 do
+    st := feed_byte !st (Char.code (Bytebuf.unsafe_get buf i))
+  done;
+  !st
+
+let feed st buf = feed_sub st buf ~pos:0 ~len:(Bytebuf.length buf)
+
+let finish st =
+  let st = reduce st in
+  Int32.logor (Int32.shift_left (Int32.of_int st.b) 16) (Int32.of_int st.a)
+
+let digest buf = finish (feed init buf)
+let digest_string s = digest (Bytebuf.of_string s)

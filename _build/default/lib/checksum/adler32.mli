@@ -1,0 +1,17 @@
+(** Adler-32 (RFC 1950).
+
+    The zlib checksum: like Fletcher but modulo 65521 with byte-wide
+    inputs. Provided as a third independent error-detecting code for the
+    ILP stage library and for the error-detection ablations. *)
+
+open Bufkit
+
+type state
+
+val init : state
+val feed_byte : state -> int -> state
+val feed : state -> Bytebuf.t -> state
+val feed_sub : state -> Bytebuf.t -> pos:int -> len:int -> state
+val finish : state -> int32
+val digest : Bytebuf.t -> int32
+val digest_string : string -> int32

@@ -1,0 +1,40 @@
+open Bufkit
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+type state = int
+
+let init = 0xFFFFFFFF
+
+let feed_byte st b =
+  let t = Lazy.force table in
+  t.((st lxor (b land 0xff)) land 0xff) lxor (st lsr 8)
+
+let feed_sub st buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytebuf.length buf then
+    raise
+      (Bytebuf.Bounds
+         (Printf.sprintf "Crc32.feed_sub: pos=%d len=%d in slice of %d" pos
+            len (Bytebuf.length buf)));
+  let t = Lazy.force table in
+  let st = ref st in
+  for i = pos to pos + len - 1 do
+    let b = Char.code (Bytebuf.unsafe_get buf i) in
+    st := t.((!st lxor b) land 0xff) lxor (!st lsr 8)
+  done;
+  !st
+
+let feed st buf = feed_sub st buf ~pos:0 ~len:(Bytebuf.length buf)
+let finish st = Int32.of_int ((st lxor 0xFFFFFFFF) land 0xFFFFFFFF)
+let digest buf = finish (feed init buf)
+let digest_string s = digest (Bytebuf.of_string s)

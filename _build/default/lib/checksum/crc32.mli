@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected).
+
+    The strongest detector in the library; used by the AAL substrate for
+    per-ADU integrity (AAL5 carries exactly this CRC) and available as an
+    ILP stage. Table-driven, one table lookup per byte. *)
+
+open Bufkit
+
+type state
+
+val init : state
+val feed_byte : state -> int -> state
+val feed : state -> Bytebuf.t -> state
+val feed_sub : state -> Bytebuf.t -> pos:int -> len:int -> state
+val finish : state -> int32
+val digest : Bytebuf.t -> int32
+val digest_string : string -> int32

@@ -1,0 +1,70 @@
+open Bufkit
+
+(* Fletcher-16: two running sums modulo 255, reduced lazily. *)
+type state16 = { s1 : int; s2 : int; pending : int }
+
+let reduce16 st =
+  { st with s1 = st.s1 mod 255; s2 = st.s2 mod 255 }
+
+let init16 = { s1 = 0; s2 = 0; pending = 0 }
+
+let feed16_byte st b =
+  let s1 = st.s1 + (b land 0xff) in
+  let s2 = st.s2 + s1 in
+  let st = { s1; s2; pending = st.pending + 1 } in
+  if st.pending >= 4096 then { (reduce16 st) with pending = 0 } else st
+
+let feed16 st buf =
+  let n = Bytebuf.length buf in
+  let st = ref st in
+  for i = 0 to n - 1 do
+    st := feed16_byte !st (Char.code (Bytebuf.unsafe_get buf i))
+  done;
+  !st
+
+let finish16 st =
+  let st = reduce16 st in
+  (st.s2 lsl 8) lor st.s1
+
+let digest16 buf = finish16 (feed16 init16 buf)
+
+(* Fletcher-32: sums of 16-bit little-endian blocks modulo 65535. A chunk
+   may end mid-block, so [half] holds a pending low byte. *)
+type state32 = { a : int; b : int; half : int option; blocks : int }
+
+let init32 = { a = 0; b = 0; half = None; blocks = 0 }
+
+let reduce32 st = { st with a = st.a mod 65535; b = st.b mod 65535 }
+
+let feed_block st w =
+  let a = st.a + w in
+  let b = st.b + a in
+  let st = { st with a; b; blocks = st.blocks + 1 } in
+  if st.blocks >= 359 then { (reduce32 st) with blocks = 0 } else st
+
+let feed32 st buf =
+  let n = Bytebuf.length buf in
+  let st = ref st in
+  let i = ref 0 in
+  (match !st.half with
+  | Some lo when n > 0 ->
+      let hi = Char.code (Bytebuf.unsafe_get buf 0) in
+      st := feed_block { !st with half = None } (lo lor (hi lsl 8));
+      i := 1
+  | Some _ | None -> ());
+  while n - !i >= 2 do
+    let lo = Char.code (Bytebuf.unsafe_get buf !i) in
+    let hi = Char.code (Bytebuf.unsafe_get buf (!i + 1)) in
+    st := feed_block !st (lo lor (hi lsl 8));
+    i := !i + 2
+  done;
+  if !i < n then
+    st := { !st with half = Some (Char.code (Bytebuf.unsafe_get buf !i)) };
+  !st
+
+let finish32 st =
+  let st = match st.half with None -> st | Some lo -> feed_block { st with half = None } lo in
+  let st = reduce32 st in
+  Int32.logor (Int32.shift_left (Int32.of_int st.b) 16) (Int32.of_int st.a)
+
+let digest32 buf = finish32 (feed32 init32 buf)

@@ -1,0 +1,33 @@
+(** Fletcher checksums.
+
+    Fletcher-16 (byte-oriented, as in the OSI transport class 4 checksum
+    family) and Fletcher-32 (16-bit-block oriented). Position-sensitive,
+    unlike the Internet checksum, so they detect transpositions — useful in
+    tests as an independent witness that fused and layered ILP executions
+    saw the bytes in the same order. *)
+
+open Bufkit
+
+(** {1 Fletcher-16} *)
+
+type state16
+
+val init16 : state16
+val feed16_byte : state16 -> int -> state16
+val feed16 : state16 -> Bytebuf.t -> state16
+val finish16 : state16 -> int
+(** 16-bit result: [(sum2 lsl 8) lor sum1], each modulo 255. *)
+
+val digest16 : Bytebuf.t -> int
+
+(** {1 Fletcher-32} *)
+
+type state32
+
+val init32 : state32
+val feed32 : state32 -> Bytebuf.t -> state32
+(** Data is consumed as 16-bit little-endian blocks; a trailing odd byte is
+    zero-padded, matching the common implementation. *)
+
+val finish32 : state32 -> int32
+val digest32 : Bytebuf.t -> int32

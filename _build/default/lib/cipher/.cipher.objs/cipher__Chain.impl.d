@@ -1,0 +1,1 @@
+lib/cipher/chain.ml: Bufkit Bytebuf Char Int64

@@ -1,0 +1,1 @@
+lib/cipher/chain.mli: Bufkit Bytebuf

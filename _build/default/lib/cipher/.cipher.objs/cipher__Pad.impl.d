@@ -1,0 +1,1 @@
+lib/cipher/pad.ml: Bufkit Bytebuf Char Int64

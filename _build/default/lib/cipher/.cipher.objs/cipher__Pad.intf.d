@@ -1,0 +1,1 @@
+lib/cipher/pad.mli: Bufkit Bytebuf

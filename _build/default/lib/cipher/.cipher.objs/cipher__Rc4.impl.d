@@ -1,0 +1,1 @@
+lib/cipher/rc4.ml: Bufkit Bytebuf Bytes Char String

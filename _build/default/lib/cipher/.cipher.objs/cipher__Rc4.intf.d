@@ -1,0 +1,1 @@
+lib/cipher/rc4.mli: Bufkit Bytebuf

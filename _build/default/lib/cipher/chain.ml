@@ -1,0 +1,86 @@
+open Bufkit
+
+type key = int64
+
+let key_of_int64 k = k
+let block_size = 8
+let rounds = 4
+
+(* A tiny 4-round Feistel network on 64-bit blocks with SplitMix-style
+   round functions. Invertible by construction; strength is irrelevant
+   here — only the chaining structure matters to the experiments. *)
+let feistel_round k r x =
+  let lo = Int64.logand x 0xFFFFFFFFL in
+  let hi = Int64.shift_right_logical x 32 in
+  let f =
+    let z = Int64.add lo (Int64.add k (Int64.of_int (r * 0x9E3779B9))) in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 13)) 0xFF51AFD7ED558CCDL in
+    Int64.logand (Int64.logxor z (Int64.shift_right_logical z 17)) 0xFFFFFFFFL
+  in
+  Int64.logor (Int64.shift_left lo 32) (Int64.logxor hi f)
+
+let unfeistel_round k r x =
+  let lo = Int64.shift_right_logical x 32 in
+  let hi' = Int64.logand x 0xFFFFFFFFL in
+  let f =
+    let z = Int64.add lo (Int64.add k (Int64.of_int (r * 0x9E3779B9))) in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 13)) 0xFF51AFD7ED558CCDL in
+    Int64.logand (Int64.logxor z (Int64.shift_right_logical z 17)) 0xFFFFFFFFL
+  in
+  let hi = Int64.logxor hi' f in
+  Int64.logor (Int64.shift_left hi 32) lo
+
+let encrypt_block k x =
+  let rec go r x = if r >= rounds then x else go (r + 1) (feistel_round k r x) in
+  go 0 x
+
+let decrypt_block k x =
+  let rec go r x = if r < 0 then x else go (r - 1) (unfeistel_round k r x) in
+  go (rounds - 1) x
+
+let get64 buf i =
+  let v = ref 0L in
+  for b = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytebuf.unsafe_get buf (i + b))))
+  done;
+  !v
+
+let set64 buf i v =
+  for b = 0 to 7 do
+    let shift = (7 - b) * 8 in
+    Bytebuf.unsafe_set buf (i + b)
+      (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v shift) land 0xff))
+  done
+
+let check_len buf =
+  let n = Bytebuf.length buf in
+  if n mod block_size <> 0 then
+    invalid_arg "Chain: length must be a multiple of the block size";
+  n
+
+let encrypt k ~iv buf =
+  let n = check_len buf in
+  let out = Bytebuf.create n in
+  let prev = ref iv in
+  let i = ref 0 in
+  while !i < n do
+    let c = encrypt_block k (Int64.logxor (get64 buf !i) !prev) in
+    set64 out !i c;
+    prev := c;
+    i := !i + block_size
+  done;
+  out
+
+let decrypt k ~iv buf =
+  let n = check_len buf in
+  let out = Bytebuf.create n in
+  let prev = ref iv in
+  let i = ref 0 in
+  while !i < n do
+    let c = get64 buf !i in
+    set64 out !i (Int64.logxor (decrypt_block k c) !prev);
+    prev := c;
+    i := !i + block_size
+  done;
+  out

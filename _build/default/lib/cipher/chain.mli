@@ -1,0 +1,26 @@
+(** Block chaining (CBC-style) over a toy 64-bit block cipher.
+
+    The paper notes that "some sort of chaining is often used to guard
+    against malicious reordering": chaining deliberately couples each block
+    to its predecessor, which both detects reordering and — the ILP-relevant
+    consequence — forbids out-of-order decryption within a chained unit.
+    ALF restores out-of-order processing by restarting the chain at each
+    ADU boundary (a fresh IV per ADU).
+
+    Data is processed in 8-byte blocks; lengths must be multiples of 8
+    (callers pad, e.g. with the ADU length carried separately). *)
+
+open Bufkit
+
+type key
+
+val key_of_int64 : int64 -> key
+
+val encrypt : key -> iv:int64 -> Bytebuf.t -> Bytebuf.t
+(** Fresh buffer with the CBC encryption of the input. Raises
+    [Invalid_argument] if the length is not a multiple of 8. *)
+
+val decrypt : key -> iv:int64 -> Bytebuf.t -> Bytebuf.t
+
+val block_size : int
+(** 8. *)

@@ -1,0 +1,38 @@
+open Bufkit
+
+type t = { key : int64 }
+
+let create ~key = { key }
+
+(* SplitMix64 finaliser over key-mixed block index: a cheap, statistically
+   strong pure function of (key, position / 8). Eight keystream bytes per
+   mix. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let block t idx = mix64 (Int64.add t.key (Int64.mul idx 0x9E3779B97F4A7C15L))
+let block64 = block
+
+let byte_at t pos =
+  let idx = Int64.div pos 8L and off = Int64.to_int (Int64.rem pos 8L) in
+  Int64.to_int (Int64.shift_right_logical (block t idx) (off * 8)) land 0xff
+
+let transform_at t ~pos buf =
+  let n = Bytebuf.length buf in
+  for i = 0 to n - 1 do
+    let k = byte_at t (Int64.add pos (Int64.of_int i)) in
+    let b = Char.code (Bytebuf.unsafe_get buf i) in
+    Bytebuf.unsafe_set buf i (Char.unsafe_chr (b lxor k))
+  done
+
+let transform_copy_at t ~pos ~src ~dst =
+  let n = Bytebuf.length src in
+  if Bytebuf.length dst <> n then
+    invalid_arg "Pad.transform_copy_at: length mismatch";
+  for i = 0 to n - 1 do
+    let k = byte_at t (Int64.add pos (Int64.of_int i)) in
+    let b = Char.code (Bytebuf.unsafe_get src i) in
+    Bytebuf.unsafe_set dst i (Char.unsafe_chr (b lxor k))
+  done

@@ -1,0 +1,39 @@
+open Bufkit
+
+type t = { s : Bytes.t; mutable i : int; mutable j : int }
+
+let create ~key =
+  let klen = String.length key in
+  if klen < 1 || klen > 256 then invalid_arg "Rc4.create: key must be 1-256 bytes";
+  let s = Bytes.init 256 Char.unsafe_chr in
+  let j = ref 0 in
+  for i = 0 to 255 do
+    let si = Char.code (Bytes.unsafe_get s i) in
+    j := (!j + si + Char.code key.[i mod klen]) land 0xff;
+    Bytes.unsafe_set s i (Bytes.unsafe_get s !j);
+    Bytes.unsafe_set s !j (Char.unsafe_chr si)
+  done;
+  { s; i = 0; j = 0 }
+
+let copy t = { s = Bytes.copy t.s; i = t.i; j = t.j }
+
+let keystream_byte t =
+  t.i <- (t.i + 1) land 0xff;
+  let si = Char.code (Bytes.unsafe_get t.s t.i) in
+  t.j <- (t.j + si) land 0xff;
+  let sj = Char.code (Bytes.unsafe_get t.s t.j) in
+  Bytes.unsafe_set t.s t.i (Char.unsafe_chr sj);
+  Bytes.unsafe_set t.s t.j (Char.unsafe_chr si);
+  Char.code (Bytes.unsafe_get t.s ((si + sj) land 0xff))
+
+let transform_inplace t buf =
+  let n = Bytebuf.length buf in
+  for i = 0 to n - 1 do
+    let b = Char.code (Bytebuf.unsafe_get buf i) in
+    Bytebuf.unsafe_set buf i (Char.unsafe_chr (b lxor keystream_byte t))
+  done
+
+let transform t buf =
+  let out = Bytebuf.copy buf in
+  transform_inplace t out;
+  out

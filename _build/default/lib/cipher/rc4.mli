@@ -1,0 +1,29 @@
+(** RC4-style stream cipher (simulation-grade, not for real secrecy).
+
+    A strictly sequential keystream: byte [i] of the stream can only be
+    produced after bytes [0..i-1]. That property is exactly the ordering
+    constraint the paper discusses — a connection encrypted with a
+    sequential stream cannot decrypt data units out of order unless the
+    cipher is re-keyed at synchronisation points (per packet, or per ADU).
+    Contrast with {!Pad}, which is seekable. *)
+
+open Bufkit
+
+type t
+(** Mutable keystream state. *)
+
+val create : key:string -> t
+(** Key-schedule a fresh state. The key must be 1–256 bytes. *)
+
+val copy : t -> t
+(** Duplicate the state (e.g. to checkpoint at a synchronisation point). *)
+
+val keystream_byte : t -> int
+(** Next keystream byte; advances the state. *)
+
+val transform_inplace : t -> Bytebuf.t -> unit
+(** XOR the slice with the next [length] keystream bytes. Encryption and
+    decryption are the same operation. *)
+
+val transform : t -> Bytebuf.t -> Bytebuf.t
+(** Like {!transform_inplace} but into a fresh buffer. *)

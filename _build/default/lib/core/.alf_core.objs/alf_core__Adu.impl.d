@@ -1,0 +1,1 @@
+lib/core/adu.ml: Bufkit Bytebuf Checksum Cursor Format Int32 Int64

@@ -1,0 +1,1 @@
+lib/core/adu.mli: Bufkit Bytebuf Format

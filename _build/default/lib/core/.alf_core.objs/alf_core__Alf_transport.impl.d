@@ -1,0 +1,1 @@
+lib/core/alf_transport.ml: Adu Bufkit Bytebuf Cursor Dgram Engine Format Framing Hashtbl Int32 List Mux Netsim Packet Queue Recovery Stats

@@ -1,0 +1,1 @@
+lib/core/alf_transport.mli: Adu Dgram Engine Mux Netsim Packet Recovery Stats Transport

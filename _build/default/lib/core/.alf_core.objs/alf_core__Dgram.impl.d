@@ -1,0 +1,1 @@
+lib/core/dgram.ml: Array Atmsim Bufkit Bytebuf Hashtbl Netsim Packet Transport

@@ -1,0 +1,1 @@
+lib/core/dgram.mli: Atmsim Bufkit Bytebuf Netsim Packet Transport

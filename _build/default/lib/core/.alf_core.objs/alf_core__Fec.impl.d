@@ -1,0 +1,1 @@
+lib/core/fec.ml: Bufkit Bytebuf Char Hashtbl List

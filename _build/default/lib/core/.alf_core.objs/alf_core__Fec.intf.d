@@ -1,0 +1,1 @@
+lib/core/fec.mli: Bufkit Bytebuf

@@ -1,0 +1,1 @@
+lib/core/framing.ml: Adu Bufkit Bytebuf Bytes Char Cursor Format Hashtbl Int32 List Wire

@@ -1,0 +1,1 @@
+lib/core/ilp.ml: Bufkit Bytebuf Char Checksum Cipher Format Int64 Kernels List

@@ -1,0 +1,1 @@
+lib/core/ilp.mli: Bufkit Bytebuf Checksum Format

@@ -1,0 +1,1 @@
+lib/core/kernels.ml: Bufkit Bytebuf Bytes Char Cipher Int64 Sys

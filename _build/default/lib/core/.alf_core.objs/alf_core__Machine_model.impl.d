@@ -1,0 +1,1 @@
+lib/core/machine_model.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/core/mux.ml: Bufkit Bytebuf Dgram Hashtbl Netsim Packet

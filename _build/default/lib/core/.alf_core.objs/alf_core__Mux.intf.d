@@ -1,0 +1,1 @@
+lib/core/mux.mli: Bufkit Bytebuf Dgram Netsim Packet Transport

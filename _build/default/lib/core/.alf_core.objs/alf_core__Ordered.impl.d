@@ -1,0 +1,1 @@
+lib/core/ordered.ml: Adu Bufkit Hashtbl

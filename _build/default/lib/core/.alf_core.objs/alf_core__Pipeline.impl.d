@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Engine Netsim Stats

@@ -1,0 +1,1 @@
+lib/core/playout.ml: Adu Engine Hashtbl Int64 List Netsim Stats

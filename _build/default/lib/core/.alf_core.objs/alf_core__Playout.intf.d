@@ -1,0 +1,1 @@
+lib/core/playout.mli: Adu Engine Netsim Stats

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Bufkit Bytebuf Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/secure.ml: Adu Bufkit Bytebuf Cipher Int64 Kernels

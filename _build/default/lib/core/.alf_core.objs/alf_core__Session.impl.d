@@ -1,0 +1,1 @@
+lib/core/session.ml: Bufkit Bytebuf Cursor Dgram Engine Float Hashtbl Int64 List Netsim Packet String

@@ -1,0 +1,1 @@
+lib/core/session.mli: Dgram Engine Netsim Packet

@@ -1,0 +1,1 @@
+lib/core/sink.ml: Adu Bufkit Bytebuf Checksum List Printf

@@ -1,0 +1,1 @@
+lib/core/sink.mli: Adu Bufkit Bytebuf

@@ -1,0 +1,1 @@
+lib/core/stage2.ml: Adu Checksum Ilp Int64

@@ -1,0 +1,1 @@
+lib/core/stage2.mli: Adu Checksum Ilp

@@ -1,0 +1,80 @@
+open Bufkit
+
+type name = {
+  stream : int;
+  index : int;
+  dest_off : int;
+  dest_len : int;
+  timestamp_us : int64;
+}
+
+let name ?(dest_off = 0) ?(dest_len = 0) ?(timestamp_us = 0L) ~stream ~index () =
+  if stream < 0 || stream > 0xFFFF then invalid_arg "Adu.name: stream out of range";
+  if index < 0 then invalid_arg "Adu.name: negative index";
+  { stream; index; dest_off; dest_len; timestamp_us }
+
+let pp_name ppf n =
+  Format.fprintf ppf "adu[%d.%d @%d+%d t=%Ldus]" n.stream n.index n.dest_off
+    n.dest_len n.timestamp_us
+
+type t = { name : name; payload : Bytebuf.t }
+
+let make name payload = { name; payload }
+
+let header_size = 36
+let magic = 0xADF0
+
+let encoded_size t = header_size + Bytebuf.length t.payload
+
+exception Decode_error of string
+
+let decode_error fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let encode t =
+  let plen = Bytebuf.length t.payload in
+  let buf = Bytebuf.create (header_size + plen) in
+  let w = Cursor.writer buf in
+  Cursor.put_u16be w magic;
+  Cursor.put_u16be w t.name.stream;
+  Cursor.put_int_as_u32be w t.name.index;
+  Cursor.put_u64be w (Int64.of_int t.name.dest_off);
+  Cursor.put_int_as_u32be w t.name.dest_len;
+  Cursor.put_u64be w t.name.timestamp_us;
+  Cursor.put_int_as_u32be w plen;
+  Cursor.put_u32be w 0l (* CRC-32 placeholder, bytes 32-35 *);
+  Cursor.put_bytes w t.payload;
+  let crc = Checksum.Crc32.digest buf in
+  Bytebuf.set_uint8 buf 32 (Int32.to_int (Int32.shift_right_logical crc 24) land 0xff);
+  Bytebuf.set_uint8 buf 33 (Int32.to_int (Int32.shift_right_logical crc 16) land 0xff);
+  Bytebuf.set_uint8 buf 34 (Int32.to_int (Int32.shift_right_logical crc 8) land 0xff);
+  Bytebuf.set_uint8 buf 35 (Int32.to_int crc land 0xff);
+  buf
+
+let decode buf =
+  if Bytebuf.length buf < header_size then
+    decode_error "ADU of %d bytes is shorter than the header" (Bytebuf.length buf);
+  let r = Cursor.reader buf in
+  if Cursor.u16be r <> magic then decode_error "bad ADU magic";
+  let stream = Cursor.u16be r in
+  let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+  let dest_off = Int64.to_int (Cursor.u64be r) in
+  let dest_len = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+  let timestamp_us = Cursor.u64be r in
+  let plen = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+  let got_crc = Cursor.u32be r in
+  if Bytebuf.length buf <> header_size + plen then
+    decode_error "ADU length field %d does not match %d available" plen
+      (Bytebuf.length buf - header_size);
+  (* CRC is computed with its own field zeroed. *)
+  let scratch = Bytebuf.copy buf in
+  Bytebuf.set_uint8 scratch 32 0;
+  Bytebuf.set_uint8 scratch 33 0;
+  Bytebuf.set_uint8 scratch 34 0;
+  Bytebuf.set_uint8 scratch 35 0;
+  if not (Int32.equal (Checksum.Crc32.digest scratch) got_crc) then
+    decode_error "ADU CRC mismatch";
+  let payload = Bytebuf.copy (Cursor.bytes r plen) in
+  { name = { stream; index; dest_off; dest_len; timestamp_us }; payload }
+
+let pp ppf t =
+  Format.fprintf ppf "%a len=%d" pp_name t.name (Bytebuf.length t.payload)

@@ -1,0 +1,56 @@
+(** Application Data Units.
+
+    The paper's central object: "the application should break the data
+    into suitable aggregates, and the lower levels should preserve these
+    frame boundaries as they process the data". An ADU carries its own
+    {!name} — the sender-computed, receiver-meaningful description of
+    where (and when) its data belongs — so it can be checked, converted
+    and delivered {e out of order} with respect to its siblings, and so a
+    loss can be reported to the application in application terms.
+
+    The name-space follows §5's two canonical examples: [dest_off] /
+    [dest_len] place the ADU in a spatial name-space (a file position, a
+    screen tile), and [timestamp_us] places it in time (which video frame
+    it belongs to). Applications that need neither leave them zero; the
+    [index] alone then names the ADU's place in the sequence.
+
+    The wire encoding protects header and payload together with a CRC-32,
+    making every ADU independently verifiable — a synchronisation point in
+    the paper's sense. *)
+
+open Bufkit
+
+type name = {
+  stream : int;  (** Association id, 0–65535. *)
+  index : int;  (** Position in the sender's ADU sequence, 0-based. *)
+  dest_off : int;  (** Receiver-side placement offset (bytes, tile id...). *)
+  dest_len : int;  (** Length the decoded ADU occupies at the receiver. *)
+  timestamp_us : int64;  (** Temporal name (e.g. frame presentation time). *)
+}
+
+val name :
+  ?dest_off:int -> ?dest_len:int -> ?timestamp_us:int64 -> stream:int ->
+  index:int -> unit -> name
+
+val pp_name : Format.formatter -> name -> unit
+
+type t = { name : name; payload : Bytebuf.t }
+
+val make : name -> Bytebuf.t -> t
+
+val header_size : int
+(** 36 bytes. *)
+
+val encoded_size : t -> int
+
+exception Decode_error of string
+
+val encode : t -> Bytebuf.t
+(** Header (magic, name, payload length, CRC-32 of everything) followed by
+    payload, in one fresh buffer. *)
+
+val decode : Bytebuf.t -> t
+(** Raises {!Decode_error} on truncation, bad magic or CRC mismatch. The
+    payload is a fresh copy. *)
+
+val pp : Format.formatter -> t -> unit

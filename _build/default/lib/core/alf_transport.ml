@@ -1,0 +1,532 @@
+open Bufkit
+open Netsim
+
+(* Control-message discriminators (data fragments start with 0xAD, see
+   Framing). *)
+let tag_nack = 0xC1
+let tag_close = 0xC2
+let tag_done = 0xC3
+let tag_gone = 0xC4
+
+type sender_config = { mtu : int; pace_bps : float option; close_retry : float }
+
+let default_sender_config = { mtu = 1472; pace_bps = None; close_retry = 0.05 }
+
+type sender_stats = {
+  mutable adus_sent : int;
+  mutable frags_sent : int;
+  mutable bytes_sent : int;
+  mutable nacks_received : int;
+  mutable adus_retransmitted : int;
+  mutable bytes_retransmitted : int;
+  mutable adus_gone : int;
+  mutable store_peak : int;
+}
+
+type sender = {
+  engine : Engine.t;
+  io : Dgram.t;
+  peer : Packet.addr;
+  peer_port : int;
+  port : int;
+  stream : int;
+  store : Recovery.store;
+  config : sender_config;
+  stats : sender_stats;
+  outq : (int * Bytebuf.t) Queue.t;  (* (ADU index, fragment) *)
+  queued_frags : (int, int ref) Hashtbl.t;  (* fragments still queued per index *)
+  mutable pacing : bool;  (* a pace event is scheduled *)
+  mutable max_index : int;
+  mutable closing : bool;
+  mutable done_received : bool;
+  mutable gone_announced : (int, unit) Hashtbl.t;
+  mutable s_tracer : (string -> unit) option;
+}
+
+let strace s fmt =
+  match s.s_tracer with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
+  | Some emit -> Format.kasprintf emit fmt
+
+let set_sender_tracer s f = s.s_tracer <- Some f
+let sender_stats s = s.stats
+let store_footprint s = Recovery.footprint s.store
+let finished s = s.done_received
+
+let push_datagram s buf =
+  ignore (s.io.Dgram.send ~dst:s.peer ~dst_port:s.peer_port ~src_port:s.port buf)
+
+let dequeue_and_send s =
+  let index, frag = Queue.pop s.outq in
+  (match Hashtbl.find_opt s.queued_frags index with
+  | Some n ->
+      decr n;
+      if !n <= 0 then Hashtbl.remove s.queued_frags index
+  | None -> ());
+  push_datagram s frag;
+  Bytebuf.length frag
+
+let rec pace s =
+  match (Queue.is_empty s.outq, s.config.pace_bps) with
+  | true, _ -> s.pacing <- false
+  | false, None ->
+      (* Unpaced: drain everything now. *)
+      while not (Queue.is_empty s.outq) do
+        ignore (dequeue_and_send s)
+      done;
+      s.pacing <- false
+  | false, Some rate ->
+      let sent_len = dequeue_and_send s in
+      let gap = 8.0 *. float_of_int sent_len /. rate in
+      ignore (Engine.schedule_after s.engine gap (fun () -> pace s))
+
+let kick s =
+  if not s.pacing then begin
+    s.pacing <- true;
+    ignore (Engine.schedule_after s.engine 0.0 (fun () -> pace s))
+  end
+
+let enqueue_frags s ~index frags =
+  let counter =
+    match Hashtbl.find_opt s.queued_frags index with
+    | Some n -> n
+    | None ->
+        let n = ref 0 in
+        Hashtbl.replace s.queued_frags index n;
+        n
+  in
+  List.iter
+    (fun frag ->
+      incr counter;
+      Queue.push (index, frag) s.outq)
+    frags;
+  kick s
+
+let send_gone s indices =
+  match indices with
+  | [] -> ()
+  | _ ->
+      let fresh = List.filter (fun i -> not (Hashtbl.mem s.gone_announced i)) indices in
+      List.iter
+        (fun i ->
+          strace s "declaring ADU %d gone (unrecoverable under %s)" i
+            (Recovery.policy_name (Recovery.policy s.store));
+          Hashtbl.replace s.gone_announced i ())
+        fresh;
+      s.stats.adus_gone <- s.stats.adus_gone + List.length fresh;
+      let count = List.length indices in
+      let buf = Bytebuf.create (1 + 2 + 2 + (4 * count)) in
+      let w = Cursor.writer buf in
+      Cursor.put_u8 w tag_gone;
+      Cursor.put_u16be w s.stream;
+      Cursor.put_u16be w count;
+      List.iter (fun i -> Cursor.put_int_as_u32be w i) indices;
+      push_datagram s buf
+
+let handle_nack s r =
+  s.stats.nacks_received <- s.stats.nacks_received + 1;
+  let have_below = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+  Recovery.release_below s.store have_below;
+  let count = Cursor.u16be r in
+  let gone = ref [] in
+  for _ = 1 to count do
+    let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+    (* A request for an ADU whose fragments are still waiting in the
+       output queue is stale: the data is already on its way. *)
+    if not (Hashtbl.mem s.queued_frags index) then
+      match Recovery.recall s.store ~index with
+      | Recovery.Data encoded ->
+          strace s "retransmit ADU %d (%d bytes)" index (Bytebuf.length encoded);
+          s.stats.adus_retransmitted <- s.stats.adus_retransmitted + 1;
+          s.stats.bytes_retransmitted <-
+            s.stats.bytes_retransmitted + Bytebuf.length encoded;
+          enqueue_frags s ~index
+            (Framing.fragment_encoded ~mtu:s.config.mtu ~stream:s.stream
+               ~index encoded)
+      | Recovery.Gone -> gone := index :: !gone
+  done;
+  send_gone s (List.rev !gone)
+
+let rec close_loop s =
+  if not s.done_received then begin
+    (* Announce the total only once the paced data queue has drained:
+       announcing earlier would make everything still queued look lost to
+       the receiver. *)
+    if Queue.is_empty s.outq then begin
+      let buf = Bytebuf.create 7 in
+      let w = Cursor.writer buf in
+      Cursor.put_u8 w tag_close;
+      Cursor.put_u16be w s.stream;
+      Cursor.put_int_as_u32be w (s.max_index + 1);
+      push_datagram s buf
+    end;
+    ignore (Engine.schedule_after s.engine s.config.close_retry (fun () -> close_loop s))
+  end
+
+let sender_handle s ~src:_ ~src_port:_ payload =
+  let r = Cursor.reader payload in
+  (* One guard covers the whole parse: truncated control is ignored. *)
+  try
+    match Cursor.u8 r with
+    | tag when tag = tag_nack ->
+        let stream = Cursor.u16be r in
+        if stream = s.stream then handle_nack s r
+    | tag when tag = tag_done ->
+        let stream = Cursor.u16be r in
+        if stream = s.stream then begin
+          s.done_received <- true;
+          (* Everything is confirmed delivered (or gone): the transport no
+             longer needs its retransmission copies. *)
+          Recovery.release_below s.store (s.max_index + 1)
+        end
+    | _ -> ()
+  with Cursor.Underflow _ -> ()
+
+let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config =
+  let s =
+    {
+      engine;
+      io;
+      peer;
+      peer_port;
+      port;
+      stream;
+      store = Recovery.store policy;
+      config;
+      stats =
+        {
+          adus_sent = 0;
+          frags_sent = 0;
+          bytes_sent = 0;
+          nacks_received = 0;
+          adus_retransmitted = 0;
+          bytes_retransmitted = 0;
+          adus_gone = 0;
+          store_peak = 0;
+        };
+      outq = Queue.create ();
+      queued_frags = Hashtbl.create 64;
+      pacing = false;
+      max_index = -1;
+      closing = false;
+      done_received = false;
+      gone_announced = Hashtbl.create 16;
+      s_tracer = None;
+    }
+  in
+  s
+
+let sender_io ~engine ~io ~peer ~peer_port ~port ~stream ~policy
+    ?(config = default_sender_config) () =
+  let s = make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config in
+  io.Dgram.bind ~port (sender_handle s);
+  s
+
+let sender ~engine ~udp ~peer ~peer_port ~port ~stream ~policy
+    ?(config = default_sender_config) () =
+  sender_io ~engine ~io:(Dgram.of_udp udp) ~peer ~peer_port ~port ~stream
+    ~policy ~config ()
+
+let sender_mux ~engine ~mux ~peer ~peer_port ~stream ~policy
+    ?(config = default_sender_config) () =
+  let s =
+    make_sender ~engine ~io:(Mux.io mux) ~peer ~peer_port ~port:(Mux.port mux)
+      ~stream ~policy ~config
+  in
+  Mux.attach mux ~stream (sender_handle s);
+  s
+
+let send_adu s adu =
+  if s.closing then invalid_arg "Alf_transport.send_adu: sender closed";
+  let index = adu.Adu.name.Adu.index in
+  if index > s.max_index then s.max_index <- index;
+  let encoded = Adu.encode adu in
+  Recovery.remember s.store ~index encoded;
+  let fp = Recovery.footprint s.store in
+  if fp > s.stats.store_peak then s.stats.store_peak <- fp;
+  let frags =
+    Framing.fragment_encoded ~mtu:s.config.mtu ~stream:s.stream ~index encoded
+  in
+  s.stats.adus_sent <- s.stats.adus_sent + 1;
+  s.stats.frags_sent <- s.stats.frags_sent + List.length frags;
+  s.stats.bytes_sent <- s.stats.bytes_sent + Bytebuf.length encoded;
+  enqueue_frags s ~index frags
+
+let close s =
+  if not s.closing then begin
+    s.closing <- true;
+    close_loop s
+  end
+
+(* --- Receiver --- *)
+
+type receiver_stats = {
+  mutable adus_delivered : int;
+  mutable bytes_delivered : int;
+  mutable out_of_order : int;
+  mutable adus_lost : int;
+  mutable nacks_sent : int;
+  mutable duplicates : int;
+}
+
+type receiver = {
+  r_engine : Engine.t;
+  r_io : Dgram.t;
+  r_port : int;
+  r_stream : int;
+  nack_interval : float;
+  nack_holdoff : float;  (* do not re-request an index more often than this *)
+  nacked_at : (int, float) Hashtbl.t;
+  missing_since : (int, float) Hashtbl.t;  (* gap aging: when first seen missing *)
+  app_deliver : Adu.t -> unit;
+  r_stats : receiver_stats;
+  series : Stats.series;
+  reasm : Framing.reassembler;
+  delivered : (int, unit) Hashtbl.t;
+  gone : (int, unit) Hashtbl.t;
+  mutable frontier : int;  (* all below are delivered or gone *)
+  mutable highest_seen : int;
+  mutable total : int option;
+  mutable sender_addr : (Packet.addr * int) option;
+  mutable complete_flag : bool;
+  mutable complete_cb : unit -> unit;
+  mutable r_tracer : (string -> unit) option;
+}
+
+let rtrace t fmt =
+  match t.r_tracer with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
+  | Some emit -> Format.kasprintf emit fmt
+
+let set_receiver_tracer t f = t.r_tracer <- Some f
+let receiver_stats t = t.r_stats
+let complete t = t.complete_flag
+let on_complete t f = t.complete_cb <- f
+let delivery_series t = t.series
+
+let settled t index = Hashtbl.mem t.delivered index || Hashtbl.mem t.gone index
+
+let advance_frontier t =
+  while settled t t.frontier do
+    t.frontier <- t.frontier + 1
+  done
+
+let missing t =
+  let bound =
+    match t.total with Some n -> n | None -> t.highest_seen + 1
+  in
+  let rec go i acc =
+    if i >= bound then List.rev acc
+    else go (i + 1) (if settled t i then acc else i :: acc)
+  in
+  go t.frontier []
+
+let send_ctl t build =
+  match t.sender_addr with
+  | None -> ()
+  | Some (addr, port) ->
+      ignore
+        (t.r_io.Dgram.send ~dst:addr ~dst_port:port ~src_port:t.r_port (build ()))
+
+let send_done t =
+  send_ctl t (fun () ->
+      let buf = Bytebuf.create 3 in
+      let w = Cursor.writer buf in
+      Cursor.put_u8 w tag_done;
+      Cursor.put_u16be w t.r_stream;
+      Cursor.written w)
+
+let check_complete t =
+  match t.total with
+  | Some total when (not t.complete_flag) && t.frontier >= total ->
+      t.complete_flag <- true;
+      send_done t;
+      t.complete_cb ()
+  | Some _ | None -> ()
+
+let send_nack t indices =
+  let indices = if List.length indices > 512 then List.filteri (fun i _ -> i < 512) indices else indices in
+  t.r_stats.nacks_sent <- t.r_stats.nacks_sent + 1;
+  send_ctl t (fun () ->
+      let count = List.length indices in
+      let buf = Bytebuf.create (1 + 2 + 4 + 2 + (4 * count)) in
+      let w = Cursor.writer buf in
+      Cursor.put_u8 w tag_nack;
+      Cursor.put_u16be w t.r_stream;
+      Cursor.put_int_as_u32be w t.frontier;
+      Cursor.put_u16be w count;
+      List.iter (fun i -> Cursor.put_int_as_u32be w i) indices;
+      Cursor.written w)
+
+let rec nack_loop t =
+  if not t.complete_flag then begin
+    (* Suppress indices requested recently: a repair needs at least a
+       round trip to arrive, and re-requesting sooner only multiplies
+       retransmissions. *)
+    let now = Engine.now t.r_engine in
+    (* Age the gaps: an index must stay missing for a full interval before
+       it is reported (it may simply still be in flight), and must not
+       have been reported within the holdoff (its repair may still be in
+       flight). *)
+    let current = missing t in
+    List.iter
+      (fun i ->
+        if not (Hashtbl.mem t.missing_since i) then
+          Hashtbl.replace t.missing_since i now)
+      current;
+    let due index =
+      (match Hashtbl.find_opt t.missing_since index with
+      | Some since -> now -. since >= t.nack_interval
+      | None -> false)
+      &&
+      match Hashtbl.find_opt t.nacked_at index with
+      | Some at when now -. at < t.nack_holdoff -> false
+      | Some _ | None -> true
+    in
+    (match List.filter due current with
+    | [] ->
+        (* Nothing missing (or everything recently requested); if the
+           sender still waits for DONE it will re-CLOSE and we answer. *)
+        ()
+    | gaps ->
+        if t.sender_addr <> None then begin
+          rtrace t "NACK for %d missing ADUs (frontier %d)" (List.length gaps)
+            t.frontier;
+          List.iter (fun i -> Hashtbl.replace t.nacked_at i now) gaps;
+          send_nack t gaps
+        end);
+    ignore (Engine.schedule_after t.r_engine t.nack_interval (fun () -> nack_loop t))
+  end
+
+let deliver_complete t adu =
+  let index = adu.Adu.name.Adu.index in
+  if settled t index then t.r_stats.duplicates <- t.r_stats.duplicates + 1
+  else begin
+    Hashtbl.replace t.delivered index ();
+    Hashtbl.remove t.missing_since index;
+    Hashtbl.remove t.nacked_at index;
+    if index > t.frontier then begin
+      t.r_stats.out_of_order <- t.r_stats.out_of_order + 1;
+      rtrace t "ADU %d complete out of order (frontier %d)" index t.frontier
+    end;
+    advance_frontier t;
+    t.r_stats.adus_delivered <- t.r_stats.adus_delivered + 1;
+    t.r_stats.bytes_delivered <-
+      t.r_stats.bytes_delivered + Bytebuf.length adu.Adu.payload;
+    Stats.record t.series ~t:(Engine.now t.r_engine)
+      (float_of_int t.r_stats.bytes_delivered);
+    t.app_deliver adu;
+    check_complete t
+  end
+
+let receiver_handle t ~src ~src_port payload =
+  if t.sender_addr = None then t.sender_addr <- Some (src, src_port);
+  let b0 = if Bytebuf.length payload > 0 then Bytebuf.get_uint8 payload 0 else -1 in
+  if b0 = 0xAD then begin
+    match Framing.parse_fragment payload with
+    | exception Framing.Frag_error _ -> ()
+    | frag ->
+        if frag.Framing.stream = t.r_stream then begin
+          if frag.Framing.index > t.highest_seen then
+            t.highest_seen <- frag.Framing.index;
+          if settled t frag.Framing.index then
+            t.r_stats.duplicates <- t.r_stats.duplicates + 1
+          else Framing.push t.reasm frag
+        end
+  end
+  else begin
+    let r = Cursor.reader payload in
+    try
+      match Cursor.u8 r with
+        | tag when tag = tag_close ->
+          let stream = Cursor.u16be r in
+          if stream = t.r_stream then begin
+            let total = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+            t.total <- Some total;
+            if total - 1 > t.highest_seen then t.highest_seen <- total - 1;
+            check_complete t;
+            if t.complete_flag then send_done t
+          end
+      | tag when tag = tag_gone ->
+          let stream = Cursor.u16be r in
+          if stream = t.r_stream then begin
+            let count = Cursor.u16be r in
+            for _ = 1 to count do
+              let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+              if not (settled t index) then begin
+                Hashtbl.replace t.gone index ();
+                Hashtbl.remove t.missing_since index;
+                Hashtbl.remove t.nacked_at index;
+                Framing.forget t.reasm ~index;
+                t.r_stats.adus_lost <- t.r_stats.adus_lost + 1;
+                advance_frontier t
+              end
+            done;
+            check_complete t
+          end
+      | _ -> ()
+    with Cursor.Underflow _ -> ()
+  end
+
+let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
+    ~deliver =
+  let deliver_ref = ref (fun (_ : Adu.t) -> ()) in
+  let t =
+    {
+      r_engine = engine;
+      r_io = io;
+      r_port = port;
+      r_stream = stream;
+      nack_interval;
+      nack_holdoff;
+      nacked_at = Hashtbl.create 64;
+      missing_since = Hashtbl.create 64;
+      app_deliver = deliver;
+      r_stats =
+        {
+          adus_delivered = 0;
+          bytes_delivered = 0;
+          out_of_order = 0;
+          adus_lost = 0;
+          nacks_sent = 0;
+          duplicates = 0;
+        };
+      series = Stats.series ();
+      reasm = Framing.reassembler ~deliver:(fun adu -> !deliver_ref adu);
+      delivered = Hashtbl.create 256;
+      gone = Hashtbl.create 16;
+      frontier = 0;
+      highest_seen = -1;
+      total = None;
+      sender_addr = None;
+      complete_flag = false;
+      complete_cb = (fun () -> ());
+      r_tracer = None;
+    }
+  in
+  deliver_ref := (fun adu -> deliver_complete t adu);
+  nack_loop t;
+  t
+
+let receiver_io ~engine ~io ~port ~stream ?(nack_interval = 0.02)
+    ?(nack_holdoff = 0.06) ~deliver () =
+  let t =
+    make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
+      ~deliver
+  in
+  io.Dgram.bind ~port (receiver_handle t);
+  t
+
+let receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff ~deliver
+    () =
+  receiver_io ~engine ~io:(Dgram.of_udp udp) ~port ~stream ?nack_interval
+    ?nack_holdoff ~deliver ()
+
+let receiver_mux ~engine ~mux ~stream ?(nack_interval = 0.02)
+    ?(nack_holdoff = 0.06) ~deliver () =
+  let t =
+    make_receiver ~engine ~io:(Mux.io mux) ~port:(Mux.port mux) ~stream
+      ~nack_interval ~nack_holdoff ~deliver
+  in
+  Mux.attach mux ~stream (receiver_handle t);
+  t

@@ -1,0 +1,173 @@
+(** The ALF transport: out-of-order ADU delivery with selectable recovery.
+
+    The protocol §5–6 sketches, made concrete over the {!Transport.Udp}
+    datagram service:
+
+    - the sender fragments each ADU into transmission units and paces them
+      at a configured rate (the paper keeps rate negotiation out of band,
+      so the rate is a parameter, not an in-band control loop);
+    - the receiver's {e stage 1} maps transmission units back to ADUs
+      ({!Framing.reassembler}) and hands every {e complete} ADU to the
+      application immediately — out of order, each carrying its
+      self-describing {!Adu.name};
+    - losses are repaired per whole ADU by receiver NACKs, answered
+      according to the application's {!Recovery.policy}: resend from the
+      transport's copy, regenerate at the sending application, or declare
+      the ADU gone (the receiver then stops asking and reports the loss in
+      application terms);
+    - a CLOSE/DONE exchange delimits the stream so both ends can observe
+      completion.
+
+    All ordering, naming and recovery state is per-ADU; nothing anywhere
+    in the path waits for sequence-number contiguity — the property that
+    keeps the presentation pipeline of experiment E6 busy under loss. *)
+
+open Netsim
+
+type sender_config = {
+  mtu : int;  (** Max UDP payload per fragment (default 1472). *)
+  pace_bps : float option;  (** Fragment pacing; [None] = send at once. *)
+  close_retry : float;  (** CLOSE retransmission interval, seconds. *)
+}
+
+val default_sender_config : sender_config
+
+type sender_stats = {
+  mutable adus_sent : int;
+  mutable frags_sent : int;
+  mutable bytes_sent : int;  (** Fragment payload bytes, first pass. *)
+  mutable nacks_received : int;
+  mutable adus_retransmitted : int;
+  mutable bytes_retransmitted : int;
+  mutable adus_gone : int;  (** NACKed but unrecoverable under the policy. *)
+  mutable store_peak : int;  (** High-water retransmission footprint, bytes. *)
+}
+
+type sender
+
+val sender :
+  engine:Engine.t ->
+  udp:Transport.Udp.t ->
+  peer:Packet.addr ->
+  peer_port:int ->
+  port:int ->
+  stream:int ->
+  policy:Recovery.policy ->
+  ?config:sender_config ->
+  unit ->
+  sender
+
+val sender_io :
+  engine:Engine.t ->
+  io:Dgram.t ->
+  peer:Packet.addr ->
+  peer_port:int ->
+  port:int ->
+  stream:int ->
+  policy:Recovery.policy ->
+  ?config:sender_config ->
+  unit ->
+  sender
+(** Like {!sender} over any datagram substrate — notably
+    [Dgram.of_atm]: the same ALF machinery, cells underneath. *)
+
+val sender_mux :
+  engine:Engine.t ->
+  mux:Mux.t ->
+  peer:Packet.addr ->
+  peer_port:int ->
+  stream:int ->
+  policy:Recovery.policy ->
+  ?config:sender_config ->
+  unit ->
+  sender
+(** Like {!sender}, but sharing a multiplexed endpoint: control traffic
+    for [stream] arrives via the {!Mux}, and fragments leave from the
+    mux's port. *)
+
+val send_adu : sender -> Adu.t -> unit
+(** Queue an ADU. Indices must be used once each; they need not arrive
+    here in order. *)
+
+val close : sender -> unit
+(** No more ADUs: announce the total and retransmit the announcement until
+    the receiver confirms completion. *)
+
+val finished : sender -> bool
+(** DONE received. *)
+
+val set_sender_tracer : sender -> (string -> unit) -> unit
+(** Line-oriented event tracer (retransmissions, gone declarations). *)
+
+val sender_stats : sender -> sender_stats
+val store_footprint : sender -> int
+
+(** {1 Receiver} *)
+
+type receiver_stats = {
+  mutable adus_delivered : int;
+  mutable bytes_delivered : int;
+  mutable out_of_order : int;  (** Delivered before some lower index. *)
+  mutable adus_lost : int;  (** Declared gone by the sender. *)
+  mutable nacks_sent : int;
+  mutable duplicates : int;
+}
+
+type receiver
+
+val receiver :
+  engine:Engine.t ->
+  udp:Transport.Udp.t ->
+  port:int ->
+  stream:int ->
+  ?nack_interval:float ->
+  ?nack_holdoff:float ->
+  deliver:(Adu.t -> unit) ->
+  unit ->
+  receiver
+(** [deliver] fires once per ADU, at the virtual instant its last fragment
+    arrives, regardless of index order. [nack_interval] (default 20 ms)
+    paces loss reports; an individual index is re-requested at most every
+    [nack_holdoff] seconds (default 60 ms — cover a repair round trip). *)
+
+val receiver_io :
+  engine:Engine.t ->
+  io:Dgram.t ->
+  port:int ->
+  stream:int ->
+  ?nack_interval:float ->
+  ?nack_holdoff:float ->
+  deliver:(Adu.t -> unit) ->
+  unit ->
+  receiver
+(** Like {!receiver} over any datagram substrate. *)
+
+val receiver_mux :
+  engine:Engine.t ->
+  mux:Mux.t ->
+  stream:int ->
+  ?nack_interval:float ->
+  ?nack_holdoff:float ->
+  deliver:(Adu.t -> unit) ->
+  unit ->
+  receiver
+(** Like {!receiver} on a shared {!Mux} endpoint: many streams, one
+    port, one demultiplexing step. *)
+
+val set_receiver_tracer : receiver -> (string -> unit) -> unit
+(** Line-oriented event tracer (NACKs, out-of-order completions). *)
+
+val receiver_stats : receiver -> receiver_stats
+
+val complete : receiver -> bool
+(** CLOSE seen and every index below the total delivered or declared
+    gone. *)
+
+val on_complete : receiver -> (unit -> unit) -> unit
+
+val delivery_series : receiver -> Stats.series
+(** (virtual time, cumulative delivered payload bytes) — experiment E6's
+    progress curve. *)
+
+val missing : receiver -> int list
+(** Indices currently known missing (diagnostic). *)

@@ -1,0 +1,41 @@
+(** The datagram service the ALF transport runs over.
+
+    The paper insists the architecture outlive "the network technology of
+    the day": ADUs must move equally well over classic packet switching
+    or over ATM cells. This record is that seam — an unreliable,
+    unordered, message-boundary-preserving service with ports — with
+    constructors for each substrate ({!of_udp} here; the ATM bearer
+    provides its own in [Atmsim.Bearer]). *)
+
+open Bufkit
+open Netsim
+
+type handler = src:Packet.addr -> src_port:int -> Bytebuf.t -> unit
+
+type t = {
+  send : dst:Packet.addr -> dst_port:int -> src_port:int -> Bytebuf.t -> bool;
+      (** Fire and forget; [false] when the first hop refused it. *)
+  bind : port:int -> handler -> unit;
+      (** Register the handler for a local port (replacing any previous). *)
+  max_payload : int;
+      (** Largest datagram the substrate will carry. *)
+}
+
+val of_udp : Transport.Udp.t -> t
+(** UDP-like datagrams over the packet-switched simulator. *)
+
+val of_atm : Atmsim.Bearer.t -> t
+(** Datagrams over ATM: the destination port selects the virtual circuit
+    (VCI), a 2-byte in-frame header carries the source port, and the AAL
+    handles segmentation into cells. Claims the bearer's frame handler —
+    create at most one datagram service per bearer. *)
+
+val striped : t list -> t
+(** §7's parallel-network dispersal: one logical channel over several
+    physical ones. Sends go round-robin across the stripes; a [bind]
+    registers the handler on every stripe. The stripes will reorder
+    traffic against each other freely (they may have different delays) —
+    which is exactly the situation self-describing ADUs were designed
+    for, and which a sequence-numbered byte stream cannot tolerate.
+    [max_payload] is the minimum across stripes. Raises
+    [Invalid_argument] on an empty list. *)

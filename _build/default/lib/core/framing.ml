@@ -1,0 +1,182 @@
+open Bufkit
+
+let frames_of_buffer ~stream ~adu_size ?(base_off = 0) buf =
+  if adu_size <= 0 then invalid_arg "Framing.frames_of_buffer: adu_size";
+  let total = Bytebuf.length buf in
+  let rec go pos index acc =
+    if pos >= total then List.rev acc
+    else
+      let len = min adu_size (total - pos) in
+      let name =
+        Adu.name ~dest_off:(base_off + pos) ~dest_len:len ~stream ~index ()
+      in
+      go (pos + len) (index + 1)
+        (Adu.make name (Bytebuf.sub buf ~pos ~len) :: acc)
+  in
+  go 0 0 []
+
+let frames_of_values ~stream ~syntax values =
+  let places = Wire.Syntax.placements syntax values in
+  List.mapi
+    (fun index (value, (dest_off, dest_len)) ->
+      let payload = Wire.Syntax.encode syntax value in
+      let name = Adu.name ~dest_off ~dest_len ~stream ~index () in
+      Adu.make name payload)
+    (List.combine values places)
+
+let frames_of_timed ~stream triples =
+  List.mapi
+    (fun index (timestamp_us, payload, dest_off) ->
+      let name =
+        Adu.name ~dest_off ~dest_len:(Bytebuf.length payload) ~timestamp_us
+          ~stream ~index ()
+      in
+      Adu.make name payload)
+    triples
+
+(* Fragment wire format:
+   magic(1)=0xAD stream(2) index(4) frag_idx(2) nfrags(2) total_len(4)
+   frag_off(4) = 19 bytes, then the chunk. Fragments carry slices of the
+   *encoded* ADU, so the ADU's own CRC verifies reassembly end to end. *)
+let fragment_header_size = 19
+let frag_magic = 0xAD
+
+let fragment_encoded ~mtu ~stream ~index encoded =
+  if mtu <= fragment_header_size then
+    invalid_arg "Framing.fragment: mtu too small";
+  let total_len = Bytebuf.length encoded in
+  let chunk_size = mtu - fragment_header_size in
+  let nfrags = max 1 ((total_len + chunk_size - 1) / chunk_size) in
+  if nfrags > 0xFFFF then invalid_arg "Framing.fragment: too many fragments";
+  List.init nfrags (fun frag_idx ->
+      let frag_off = frag_idx * chunk_size in
+      let len = min chunk_size (total_len - frag_off) in
+      let buf = Bytebuf.create (fragment_header_size + len) in
+      let w = Cursor.writer buf in
+      Cursor.put_u8 w frag_magic;
+      Cursor.put_u16be w stream;
+      Cursor.put_int_as_u32be w index;
+      Cursor.put_u16be w frag_idx;
+      Cursor.put_u16be w nfrags;
+      Cursor.put_int_as_u32be w total_len;
+      Cursor.put_int_as_u32be w frag_off;
+      Cursor.put_bytes w (Bytebuf.sub encoded ~pos:frag_off ~len);
+      Cursor.written w)
+
+let fragment ~mtu adu =
+  fragment_encoded ~mtu ~stream:adu.Adu.name.Adu.stream
+    ~index:adu.Adu.name.Adu.index (Adu.encode adu)
+
+type frag_info = {
+  stream : int;
+  index : int;
+  frag_idx : int;
+  nfrags : int;
+  total_len : int;
+  frag_off : int;
+  chunk : Bytebuf.t;
+}
+
+exception Frag_error of string
+
+let frag_error fmt = Format.kasprintf (fun s -> raise (Frag_error s)) fmt
+
+let parse_fragment buf =
+  if Bytebuf.length buf < fragment_header_size then
+    frag_error "fragment of %d bytes" (Bytebuf.length buf);
+  let r = Cursor.reader buf in
+  if Cursor.u8 r <> frag_magic then frag_error "bad fragment magic";
+  let stream = Cursor.u16be r in
+  let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+  let frag_idx = Cursor.u16be r in
+  let nfrags = Cursor.u16be r in
+  let total_len = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+  let frag_off = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+  let chunk = Cursor.rest r in
+  if nfrags = 0 || frag_idx >= nfrags then frag_error "fragment indices inconsistent";
+  if frag_off + Bytebuf.length chunk > total_len then
+    frag_error "fragment overruns its ADU";
+  { stream; index; frag_idx; nfrags; total_len; frag_off; chunk }
+
+type partial = {
+  total_len : int;
+  nfrags : int;
+  buf : Bytebuf.t;
+  have : Bytes.t;  (* fragment bitmap *)
+  mutable have_count : int;
+  mutable bytes : int;
+}
+
+type reasm_stats = {
+  mutable completed : int;
+  mutable duplicate_frags : int;
+  mutable corrupt_adus : int;
+  mutable inconsistent_frags : int;
+}
+
+type reassembler = {
+  deliver : Adu.t -> unit;
+  stats : reasm_stats;
+  partials : (int, partial) Hashtbl.t;  (* keyed by ADU index *)
+}
+
+let reassembler ~deliver =
+  {
+    deliver;
+    stats =
+      { completed = 0; duplicate_frags = 0; corrupt_adus = 0; inconsistent_frags = 0 };
+    partials = Hashtbl.create 32;
+  }
+
+let stats t = t.stats
+let pending_adus t = Hashtbl.length t.partials
+
+let pending_bytes t =
+  Hashtbl.fold (fun _ p acc -> acc + p.bytes) t.partials 0
+
+let forget t ~index = Hashtbl.remove t.partials index
+
+let bit_get bytes i = Char.code (Bytes.get bytes (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let bit_set bytes i =
+  Bytes.set bytes (i / 8)
+    (Char.chr (Char.code (Bytes.get bytes (i / 8)) lor (1 lsl (i mod 8))))
+
+let push t (f : frag_info) =
+  let p =
+    match Hashtbl.find_opt t.partials f.index with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            total_len = f.total_len;
+            nfrags = f.nfrags;
+            buf = Bytebuf.create f.total_len;
+            have = Bytes.make ((f.nfrags + 7) / 8) '\000';
+            have_count = 0;
+            bytes = 0;
+          }
+        in
+        Hashtbl.replace t.partials f.index p;
+        p
+  in
+  if p.total_len <> f.total_len || p.nfrags <> f.nfrags then
+    t.stats.inconsistent_frags <- t.stats.inconsistent_frags + 1
+  else if bit_get p.have f.frag_idx then
+    t.stats.duplicate_frags <- t.stats.duplicate_frags + 1
+  else begin
+    bit_set p.have f.frag_idx;
+    p.have_count <- p.have_count + 1;
+    let len = Bytebuf.length f.chunk in
+    Bytebuf.blit ~src:f.chunk ~src_pos:0 ~dst:p.buf ~dst_pos:f.frag_off ~len;
+    p.bytes <- p.bytes + len;
+    if p.have_count = p.nfrags then begin
+      Hashtbl.remove t.partials f.index;
+      match Adu.decode p.buf with
+      | adu ->
+          t.stats.completed <- t.stats.completed + 1;
+          t.deliver adu
+      | exception Adu.Decode_error _ ->
+          t.stats.corrupt_adus <- t.stats.corrupt_adus + 1
+    end
+  end

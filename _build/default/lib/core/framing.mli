@@ -1,0 +1,93 @@
+(** Application Level Framing: cutting data into ADUs and ADUs into
+    transmission units.
+
+    Two layers of framing, exactly as §5 prescribes:
+
+    - the {e application} chooses ADU boundaries in its own terms —
+      {!frames_of_buffer} for linear data (file regions), {!frames_of_values}
+      for typed data, where the sender computes each ADU's
+      receiver-meaningful placement from the negotiated transfer syntax
+      ({!Wire.Syntax.placements});
+    - if an ADU exceeds the network's unit, it is partitioned into
+      artificial sub-units for transmission ({!fragment}); the
+      {!Reassembler} restores complete ADUs, tolerating arbitrary
+      interleaving of fragments from different ADUs. Responsibility for a
+      {e whole-ADU} loss stays with the application layer, per the paper. *)
+
+open Bufkit
+
+(** {1 Making ADUs} *)
+
+val frames_of_buffer :
+  stream:int -> adu_size:int -> ?base_off:int -> Bytebuf.t -> Adu.t list
+(** Slice linear data into consecutive ADUs of [adu_size] bytes (last one
+    shorter); [dest_off] is the slice's offset plus [base_off], [dest_len]
+    its length. Payloads alias the input. *)
+
+val frames_of_values :
+  stream:int -> syntax:Wire.Syntax.t -> Wire.Value.t list -> Adu.t list
+(** One ADU per abstract value: payload is the value's transfer-syntax
+    encoding; [dest_off]/[dest_len] are the sender-computed placement of
+    the encoding in the receiver's stream. Raises [Wire.Syntax.Error] if a
+    value does not fit the syntax. *)
+
+val frames_of_timed :
+  stream:int -> (int64 * Bytebuf.t * int) list -> Adu.t list
+(** For continuous media: [(timestamp_us, payload, dest_off)] triples,
+    e.g. (frame time, tile bytes, tile id). *)
+
+(** {1 Fragmentation} *)
+
+val fragment_header_size : int
+(** 19 bytes. *)
+
+val fragment : mtu:int -> Adu.t -> Bytebuf.t list
+(** Wire-format fragments of the encoded ADU, each at most [mtu] bytes
+    including the fragment header. [mtu] must exceed the header size.
+    A small ADU yields a single fragment. *)
+
+val fragment_encoded :
+  mtu:int -> stream:int -> index:int -> Bytebuf.t -> Bytebuf.t list
+(** Like {!fragment} for an ADU already in encoded form (e.g. recalled
+    from a {!Recovery.store}), avoiding a re-encode. *)
+
+type frag_info = {
+  stream : int;
+  index : int;  (** ADU index. *)
+  frag_idx : int;
+  nfrags : int;
+  total_len : int;  (** Encoded-ADU bytes. *)
+  frag_off : int;
+  chunk : Bytebuf.t;
+}
+
+exception Frag_error of string
+
+val parse_fragment : Bytebuf.t -> frag_info
+(** Raises {!Frag_error} on malformed input. [chunk] aliases the input. *)
+
+(** {1 Reassembly (receive stage 1)} *)
+
+type reassembler
+
+type reasm_stats = {
+  mutable completed : int;
+  mutable duplicate_frags : int;
+  mutable corrupt_adus : int;  (** Completed but failed the ADU CRC. *)
+  mutable inconsistent_frags : int;
+}
+
+val reassembler : deliver:(Adu.t -> unit) -> reassembler
+(** Complete ADUs are delivered the moment their last fragment arrives —
+    in arrival order, not index order. *)
+
+val push : reassembler -> frag_info -> unit
+val stats : reassembler -> reasm_stats
+
+val pending_adus : reassembler -> int
+(** ADUs with at least one but not all fragments. *)
+
+val pending_bytes : reassembler -> int
+
+val forget : reassembler -> index:int -> unit
+(** Drop partial state for an ADU (e.g. the sender declared it gone). *)

@@ -1,0 +1,199 @@
+open Bufkit
+
+type stage =
+  | Checksum of Checksum.Kind.t
+  | Xor_pad of { key : int64; pos : int64 }
+  | Rc4_stream of { key : string }
+  | Byteswap32
+  | Deliver_copy
+
+let stage_name = function
+  | Checksum k -> "checksum:" ^ Checksum.Kind.to_string k
+  | Xor_pad _ -> "xor-pad"
+  | Rc4_stream _ -> "rc4"
+  | Byteswap32 -> "byteswap32"
+  | Deliver_copy -> "deliver-copy"
+
+let pp_stage ppf s = Format.pp_print_string ppf (stage_name s)
+
+type plan = stage list
+
+let validate plan =
+  let rec go i seen_rc4 = function
+    | [] -> Ok ()
+    | Byteswap32 :: _ when i > 0 ->
+        Error "byteswap32 reads across byte positions; it can only be fused as the first stage"
+    | Rc4_stream _ :: _ when seen_rc4 ->
+        Error "two sequential ciphers cannot share one keystream position"
+    | Rc4_stream _ :: rest -> go (i + 1) true rest
+    | (Checksum _ | Xor_pad _ | Byteswap32 | Deliver_copy) :: rest ->
+        go (i + 1) seen_rc4 rest
+  in
+  go 0 false plan
+
+let needs_in_order plan =
+  List.exists
+    (function
+      | Rc4_stream _ -> true
+      | Checksum _ | Xor_pad _ | Byteswap32 | Deliver_copy -> false)
+    plan
+
+type result = {
+  output : Bytebuf.t;
+  checksums : (Checksum.Kind.t * int) list;
+  passes : int;
+  bytes_touched : int;
+  compiled : bool;
+}
+
+let check_swap_len buf =
+  if Bytebuf.length buf mod 4 <> 0 then
+    invalid_arg "Ilp: byteswap32 needs a length that is a multiple of 4"
+
+let byteswap32_copy src =
+  check_swap_len src;
+  let n = Bytebuf.length src in
+  let dst = Bytebuf.create n in
+  let i = ref 0 in
+  while !i < n do
+    Bytebuf.unsafe_set dst !i (Bytebuf.unsafe_get src (!i + 3));
+    Bytebuf.unsafe_set dst (!i + 1) (Bytebuf.unsafe_get src (!i + 2));
+    Bytebuf.unsafe_set dst (!i + 2) (Bytebuf.unsafe_get src (!i + 1));
+    Bytebuf.unsafe_set dst (!i + 3) (Bytebuf.unsafe_get src !i);
+    i := !i + 4
+  done;
+  dst
+
+let run_layered plan input =
+  let n = Bytebuf.length input in
+  let passes = ref 0 in
+  let touched = ref 0 in
+  let checks = ref [] in
+  let current = ref input in
+  let apply stage =
+    incr passes;
+    match stage with
+    | Checksum kind ->
+        touched := !touched + n;
+        checks := (kind, Checksum.Kind.digest kind !current) :: !checks
+    | Xor_pad { key; pos } ->
+        touched := !touched + (2 * n);
+        let out = Bytebuf.copy !current in
+        Cipher.Pad.transform_at (Cipher.Pad.create ~key) ~pos out;
+        current := out
+    | Rc4_stream { key } ->
+        touched := !touched + (2 * n);
+        current := Cipher.Rc4.transform (Cipher.Rc4.create ~key) !current
+    | Byteswap32 ->
+        touched := !touched + (2 * n);
+        current := byteswap32_copy !current
+    | Deliver_copy ->
+        touched := !touched + (2 * n);
+        current := Bytebuf.copy !current
+  in
+  List.iter apply plan;
+  (* If no stage rewrote the data, the output is still a fresh buffer so
+     layered and fused results have the same ownership semantics. *)
+  let output = if !current == input then Bytebuf.copy input else !current in
+  {
+    output;
+    checksums = List.rev !checks;
+    passes = !passes;
+    bytes_touched = !touched;
+    compiled = false;
+  }
+
+(* Per-byte stage states for the fused loop. *)
+type fused_state =
+  | F_check of Checksum.Kind.feeder ref * Checksum.Kind.t
+  | F_pad of Cipher.Pad.t * int64
+  | F_rc4 of Cipher.Rc4.t
+  | F_copy
+
+let run_fused_interpreted plan input =
+  (match validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg));
+  let n = Bytebuf.length input in
+  let swap_first = match plan with Byteswap32 :: _ -> true | _ -> false in
+  if swap_first then check_swap_len input;
+  let rest = if swap_first then List.tl plan else plan in
+  let states =
+    List.map
+      (function
+        | Checksum kind -> F_check (ref (Checksum.Kind.feeder kind), kind)
+        | Xor_pad { key; pos } -> F_pad (Cipher.Pad.create ~key, pos)
+        | Rc4_stream { key } -> F_rc4 (Cipher.Rc4.create ~key)
+        | Deliver_copy -> F_copy
+        | Byteswap32 -> assert false)
+      rest
+  in
+  let output = Bytebuf.create n in
+  for i = 0 to n - 1 do
+    (* The one load: with a leading conversion we read the permuted
+       source position instead of adding a pass. *)
+    let src_i = if swap_first then i - (i mod 4) + (3 - (i mod 4)) else i in
+    let b = ref (Char.code (Bytebuf.unsafe_get input src_i)) in
+    List.iter
+      (fun st ->
+        match st with
+        | F_check (feeder, _) -> feeder := Checksum.Kind.feeder_byte !feeder !b
+        | F_pad (pad, pos) ->
+            b := !b lxor Cipher.Pad.byte_at pad (Int64.add pos (Int64.of_int i))
+        | F_rc4 rc4 -> b := !b lxor Cipher.Rc4.keystream_byte rc4
+        | F_copy -> ())
+      states;
+    (* The one store. *)
+    Bytebuf.unsafe_set output i (Char.unsafe_chr !b)
+  done;
+  let checksums =
+    List.filter_map
+      (function
+        | F_check (feeder, kind) -> Some (kind, Checksum.Kind.feeder_finish !feeder)
+        | F_pad _ | F_rc4 _ | F_copy -> None)
+      states
+  in
+  { output; checksums; passes = 1; bytes_touched = 2 * n; compiled = false }
+
+(* §8's "compilation": recognised plan shapes dispatch straight to the
+   hand-fused word-at-a-time kernels instead of interpreting the stage
+   list per byte. *)
+let compile plan input =
+  let n = Bytebuf.length input in
+  let finish output checksums =
+    Some { output; checksums; passes = 1; bytes_touched = 2 * n; compiled = true }
+  in
+  match plan with
+  | [ Deliver_copy ] ->
+      let dst = Bytebuf.create n in
+      Kernels.copy ~src:input ~dst;
+      finish dst []
+  | [ Checksum Checksum.Kind.Internet ] ->
+      finish (Bytebuf.copy input) [ (Checksum.Kind.Internet, Kernels.checksum input) ]
+  | [ Checksum Checksum.Kind.Internet; Deliver_copy ]
+  | [ Deliver_copy; Checksum Checksum.Kind.Internet ] ->
+      (* The checksum covers the same bytes on either side of the copy. *)
+      let dst = Bytebuf.create n in
+      let c = Kernels.copy_checksum ~src:input ~dst in
+      finish dst [ (Checksum.Kind.Internet, c) ]
+  | [ Xor_pad { key; pos }; Deliver_copy ] ->
+      let dst = Bytebuf.create n in
+      Cipher.Pad.transform_copy_at (Cipher.Pad.create ~key) ~pos ~src:input ~dst;
+      finish dst []
+  | [ Xor_pad { key; pos }; Checksum Checksum.Kind.Internet; Deliver_copy ] ->
+      let dst = Bytebuf.create n in
+      let c = Kernels.copy_checksum_xor ~src:input ~dst ~key ~stream_pos:pos in
+      finish dst [ (Checksum.Kind.Internet, c) ]
+  | [ Checksum Checksum.Kind.Internet; Xor_pad { key; pos }; Deliver_copy ] ->
+      let dst = Bytebuf.create n in
+      let c = Kernels.checksum_xor_copy ~src:input ~dst ~key ~stream_pos:pos in
+      finish dst [ (Checksum.Kind.Internet, c) ]
+  | _ -> None
+
+let run_fused plan input =
+  (match validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg));
+  match compile plan input with
+  | Some result -> result
+  | None -> run_fused_interpreted plan input

@@ -1,0 +1,37 @@
+(** Stream multiplexing for the ALF transport.
+
+    Every ALF message — data fragment or control — carries its stream id
+    in the same syntactic position (bytes 1–2), the §8 idea of "a single
+    syntactical field … interpreted by a number of modules". The mux
+    exploits that: one demultiplexing step at one layer routes a datagram
+    to its stream's handler, instead of a port per stream (layered
+    multiplexing, which [18] considers harmful). Several senders and
+    receivers can then share one datagram endpoint. *)
+
+open Bufkit
+open Netsim
+
+type t
+
+val create : udp:Transport.Udp.t -> port:int -> t
+(** Binds [port] on [udp]; datagrams whose stream has no handler are
+    counted and dropped. *)
+
+val create_io : io:Dgram.t -> port:int -> t
+(** The same over any datagram substrate (e.g. [Dgram.of_atm]). *)
+
+val port : t -> int
+
+val io : t -> Dgram.t
+(** The endpoint the mux is bound on (senders transmit through it). *)
+
+val attach :
+  t -> stream:int -> (src:Packet.addr -> src_port:int -> Bytebuf.t -> unit) -> unit
+(** Route messages for [stream] to the handler (replacing any previous).
+    On one node, a given stream id can be attached once — a sender and a
+    receiver for the {e same} stream belong on different nodes anyway. *)
+
+val detach : t -> stream:int -> unit
+
+val unrouted : t -> int
+(** Datagrams dropped for lack of a stream handler. *)

@@ -1,0 +1,55 @@
+open Bufkit
+
+type policy =
+  | Transport_buffer
+  | App_recompute of (int -> Bytebuf.t option)
+  | No_recovery
+
+let policy_name = function
+  | Transport_buffer -> "transport-buffer"
+  | App_recompute _ -> "app-recompute"
+  | No_recovery -> "no-recovery"
+
+type store = {
+  pol : policy;
+  kept : (int, Bytebuf.t) Hashtbl.t;
+  mutable bytes : int;
+}
+
+let store pol = { pol; kept = Hashtbl.create 64; bytes = 0 }
+let policy t = t.pol
+
+let remember t ~index data =
+  match t.pol with
+  | Transport_buffer ->
+      if not (Hashtbl.mem t.kept index) then begin
+        Hashtbl.replace t.kept index data;
+        t.bytes <- t.bytes + Bytebuf.length data
+      end
+  | App_recompute _ | No_recovery -> ()
+
+type recall = Data of Bytebuf.t | Gone
+
+let recall t ~index =
+  match t.pol with
+  | Transport_buffer -> (
+      match Hashtbl.find_opt t.kept index with
+      | Some data -> Data data
+      | None -> Gone)
+  | App_recompute regenerate -> (
+      match regenerate index with Some data -> Data data | None -> Gone)
+  | No_recovery -> Gone
+
+let release t ~index =
+  match Hashtbl.find_opt t.kept index with
+  | Some data ->
+      t.bytes <- t.bytes - Bytebuf.length data;
+      Hashtbl.remove t.kept index
+  | None -> ()
+
+let release_below t bound =
+  let below = Hashtbl.fold (fun i _ acc -> if i < bound then i :: acc else acc) t.kept [] in
+  List.iter (fun index -> release t ~index) below
+
+let footprint t = t.bytes
+let held t = Hashtbl.length t.kept

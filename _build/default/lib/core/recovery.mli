@@ -1,0 +1,49 @@
+(** Loss-recovery policies: the application's choice, not the transport's.
+
+    §5 of the paper: "a general purpose data transfer protocol ought to
+    permit any of these options to be selected: buffering by the sender
+    transport, recomputation by the sending application, or proceeding
+    without retransmission". A {!store} holds whatever the chosen policy
+    requires for answering a retransmission request, and its
+    {!footprint} makes the memory cost of each policy measurable
+    (experiment E9). *)
+
+open Bufkit
+
+type policy =
+  | Transport_buffer
+      (** Classic: the transport keeps the encoded ADU until released. *)
+  | App_recompute of (int -> Bytebuf.t option)
+      (** The sending application regenerates the encoded ADU for an index
+        on demand ([None] = it no longer can); the transport stores
+        nothing. *)
+  | No_recovery
+      (** Real-time: losses are never repaired. *)
+
+val policy_name : policy -> string
+
+type store
+
+val store : policy -> store
+val policy : store -> policy
+
+val remember : store -> index:int -> Bytebuf.t -> unit
+(** Called at first transmission with the encoded ADU. *)
+
+type recall = Data of Bytebuf.t | Gone
+
+val recall : store -> index:int -> recall
+(** What to do about a retransmission request: resend [Data], or tell the
+    receiver the ADU is [Gone]. *)
+
+val release : store -> index:int -> unit
+(** The receiver confirmed delivery (or the ADU was declared gone). *)
+
+val release_below : store -> int -> unit
+(** Release every index < the bound (cumulative acknowledgement). *)
+
+val footprint : store -> int
+(** Bytes currently held for retransmission. *)
+
+val held : store -> int
+(** ADUs currently held. *)

@@ -1,0 +1,27 @@
+open Bufkit
+
+let stream_pos (adu : Adu.t) = Int64.of_int adu.Adu.name.Adu.dest_off
+
+let seal ~key (adu : Adu.t) =
+  let pad = Cipher.Pad.create ~key in
+  let dst = Bytebuf.create (Bytebuf.length adu.Adu.payload) in
+  Cipher.Pad.transform_copy_at pad ~pos:(stream_pos adu) ~src:adu.Adu.payload ~dst;
+  Adu.make adu.Adu.name dst
+
+let open_adu ~key (adu : Adu.t) =
+  let dst = Bytebuf.create (Bytebuf.length adu.Adu.payload) in
+  (* One pass: XOR-decrypt, store into application memory, checksum the
+     plaintext while it is in the register. *)
+  let cksum =
+    Kernels.copy_checksum_xor ~src:adu.Adu.payload ~dst ~key
+      ~stream_pos:(stream_pos adu)
+  in
+  (Adu.make adu.Adu.name dst, cksum)
+
+let seal_summed ~key (adu : Adu.t) =
+  let dst = Bytebuf.create (Bytebuf.length adu.Adu.payload) in
+  let cksum =
+    Kernels.checksum_xor_copy ~src:adu.Adu.payload ~dst ~key
+      ~stream_pos:(stream_pos adu)
+  in
+  (Adu.make adu.Adu.name dst, cksum)

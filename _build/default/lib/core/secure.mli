@@ -1,0 +1,30 @@
+(** Per-ADU encryption: synchronisation points done right.
+
+    §5: stream ciphers and chained modes impose ordering — "some sort of
+    chaining is often used", and a sequential keystream cannot decrypt
+    data units out of order. The ALF answer is to make each ADU a cipher
+    synchronisation point: the keystream is position-addressed
+    ({!Cipher.Pad}) and each ADU's payload is enciphered at the stream
+    position given by its own [dest_off], so any ADU decrypts in
+    isolation, in any order.
+
+    {!open_adu} is also this library's ILP showcase in the live data
+    path: decryption, the move out of the transport buffer, and the
+    plaintext Internet checksum run as {e one} fused loop
+    ({!Kernels.copy_checksum_xor}) — one load and one store per word. *)
+
+
+
+val seal : key:int64 -> Adu.t -> Adu.t
+(** Encrypt the payload in a fresh ADU (name unchanged); the keystream
+    position is the ADU's [dest_off]. *)
+
+val open_adu : key:int64 -> Adu.t -> Adu.t * int
+(** Decrypt (fused with the copy into fresh application-owned memory and
+    with a checksum of the recovered plaintext). Returns the plaintext
+    ADU and its Internet checksum — callers that also run {!seal_summed}
+    can compare. *)
+
+val seal_summed : key:int64 -> Adu.t -> Adu.t * int
+(** Like {!seal} but additionally returns the plaintext's Internet
+    checksum, computed in the same pass as the encryption. *)

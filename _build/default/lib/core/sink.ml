@@ -1,0 +1,77 @@
+open Bufkit
+
+(* Coverage is a sorted list of disjoint, non-adjacent (off, len) runs;
+   writes merge into it. Sinks see at most a few thousand ADUs, so the
+   list walk is cheap and obviously correct. *)
+type t = {
+  region : Bytebuf.t;
+  mutable runs : (int * int) list;
+  mutable covered : int;
+}
+
+let create ~size =
+  if size < 0 then invalid_arg "Sink.create: negative size";
+  { region = Bytebuf.create size; runs = []; covered = 0 }
+
+let size t = Bytebuf.length t.region
+let covered_bytes t = t.covered
+let complete t = t.covered = Bytebuf.length t.region
+let covered_ranges t = t.runs
+let contents t = t.region
+let crc32 t = Checksum.Crc32.digest t.region
+
+let missing_ranges t =
+  let total = Bytebuf.length t.region in
+  let rec gaps pos runs acc =
+    match runs with
+    | [] -> if pos < total then List.rev ((pos, total - pos) :: acc) else List.rev acc
+    | (off, len) :: rest ->
+        let acc = if off > pos then (pos, off - pos) :: acc else acc in
+        gaps (off + len) rest acc
+  in
+  gaps 0 t.runs []
+
+let merge_run runs (off, len) =
+  (* Insert and coalesce (touching runs merge). *)
+  let stop = off + len in
+  let rec go runs acc =
+    match runs with
+    | [] -> List.rev ((off, len) :: acc) |> normalise
+    | (o, l) :: rest ->
+        if o + l < off then go rest ((o, l) :: acc)
+        else if stop < o then List.rev_append acc ((off, len) :: (o, l) :: rest) |> normalise
+        else begin
+          (* Overlapping or touching: absorb and continue with the union. *)
+          let union_off = min o off in
+          let union_stop = max (o + l) stop in
+          go_union rest union_off union_stop acc
+        end
+  and go_union runs uoff ustop acc =
+    match runs with
+    | (o, l) :: rest when o <= ustop -> go_union rest uoff (max ustop (o + l)) acc
+    | _ -> List.rev_append acc ((uoff, ustop - uoff) :: runs) |> normalise
+  and normalise runs = runs in
+  go runs []
+
+let write t ~off buf =
+  let len = Bytebuf.length buf in
+  if off < 0 || off + len > Bytebuf.length t.region then
+    Error
+      (Printf.sprintf "write of %d bytes at %d outside region of %d" len off
+         (Bytebuf.length t.region))
+  else begin
+    if len > 0 then begin
+      Bytebuf.blit ~src:buf ~src_pos:0 ~dst:t.region ~dst_pos:off ~len;
+      t.runs <- merge_run t.runs (off, len);
+      t.covered <- List.fold_left (fun acc (_, l) -> acc + l) 0 t.runs
+    end;
+    Ok ()
+  end
+
+let write_adu t (adu : Adu.t) =
+  let len = Bytebuf.length adu.Adu.payload in
+  if adu.Adu.name.Adu.dest_len <> 0 && adu.Adu.name.Adu.dest_len <> len then
+    Error
+      (Printf.sprintf "ADU %d: payload %d bytes but dest_len says %d"
+         adu.Adu.name.Adu.index len adu.Adu.name.Adu.dest_len)
+  else write t ~off:adu.Adu.name.Adu.dest_off adu.Adu.payload

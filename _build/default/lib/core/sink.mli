@@ -1,0 +1,42 @@
+(** Placement sinks: where out-of-order ADUs land.
+
+    §5's receiver: "using this information, the receiver can copy the data
+    into the file at the correct location, even though intervening ADUs
+    are missing". A sink is that file (or frame buffer, or shard memory):
+    a fixed-size byte region written at sender-computed offsets in any
+    order, tracking exactly which ranges have arrived, so the application
+    can ask what is {!complete}, what is {!missing_ranges}, and read the
+    result back when done. Overlapping writes are permitted and idempotent
+    (retransmissions land harmlessly). *)
+
+open Bufkit
+
+type t
+
+val create : size:int -> t
+(** A zero-filled region of [size] bytes, nothing covered. *)
+
+val write : t -> off:int -> Bytebuf.t -> (unit, string) result
+(** Place bytes at [off]. Errors (without writing) if the range falls
+    outside the region. *)
+
+val write_adu : t -> Adu.t -> (unit, string) result
+(** [write t adu] places the payload at the ADU's own [dest_off], checking
+    the payload length against [dest_len]. *)
+
+val size : t -> int
+val covered_bytes : t -> int
+val complete : t -> bool
+
+val covered_ranges : t -> (int * int) list
+(** Maximal disjoint (offset, length) runs, ascending. *)
+
+val missing_ranges : t -> (int * int) list
+(** The complement of {!covered_ranges} within the region. *)
+
+val contents : t -> Bytebuf.t
+(** The region itself (aliased, not copied); meaningful once complete,
+    zero-filled holes otherwise. *)
+
+val crc32 : t -> int32
+(** CRC-32 of the whole region (holes as zeros). *)

@@ -1,0 +1,48 @@
+type result = {
+  adu : Adu.t;
+  checksums : (Checksum.Kind.t * int) list;
+}
+
+type stats = {
+  mutable processed : int;
+  mutable rejected_order : int;
+  mutable rejected_invalid : int;
+}
+
+type t = {
+  plan : Adu.t -> Ilp.plan;
+  deliver : result -> unit;
+  stats : stats;
+}
+
+let create ~plan ~deliver =
+  { plan; deliver; stats = { processed = 0; rejected_order = 0; rejected_invalid = 0 } }
+
+let stats t = t.stats
+
+let deliver_fn t (adu : Adu.t) =
+  let plan = t.plan adu in
+  if Ilp.needs_in_order plan then
+    t.stats.rejected_order <- t.stats.rejected_order + 1
+  else
+    match Ilp.validate plan with
+    | Error _ -> t.stats.rejected_invalid <- t.stats.rejected_invalid + 1
+    | Ok () ->
+        let run = Ilp.run_fused plan adu.Adu.payload in
+        t.stats.processed <- t.stats.processed + 1;
+        t.deliver
+          { adu = Adu.make adu.Adu.name run.Ilp.output; checksums = run.Ilp.checksums }
+
+let decrypt_verify ~key =
+  [
+    Ilp.Xor_pad { key; pos = 0L };
+    Ilp.Checksum Checksum.Kind.Internet;
+    Ilp.Deliver_copy;
+  ]
+
+let decrypt_verify_at ~key (adu : Adu.t) =
+  [
+    Ilp.Xor_pad { key; pos = Int64.of_int adu.Adu.name.Adu.dest_off };
+    Ilp.Checksum Checksum.Kind.Internet;
+    Ilp.Deliver_copy;
+  ]

@@ -1,0 +1,46 @@
+(** Stage 2 of the two-stage receive architecture.
+
+    §6: "once a complete ADU is received, even if it is out of order …
+    it can be passed to the application for the second stage of
+    processing. This processing will include all the required data
+    manipulations, including error and encryption checks, and possibly
+    presentation conversion."
+
+    A stage-2 processor is a per-ADU {!Ilp} plan (chosen per ADU, so
+    cipher positions and conversions can depend on the ADU's name) run
+    by the {e fused} executor, wrapped as an ordinary delivery callback —
+    it plugs directly into [Alf_transport.receiver ~deliver]. Plans that
+    would forbid out-of-order ADUs (a sequential cipher) are rejected at
+    processing time and counted, never silently reordered. *)
+
+type result = {
+  adu : Adu.t;  (** Name unchanged; payload is the plan's output. *)
+  checksums : (Checksum.Kind.t * int) list;
+}
+
+type stats = {
+  mutable processed : int;
+  mutable rejected_order : int;
+      (** Plans that demanded in-order processing. *)
+  mutable rejected_invalid : int;  (** Plans that failed {!Ilp.validate}. *)
+}
+
+type t
+
+val create : plan:(Adu.t -> Ilp.plan) -> deliver:(result -> unit) -> t
+
+val deliver_fn : t -> Adu.t -> unit
+(** The callback to hand to the transport: runs the ADU's plan fused and
+    forwards the result. *)
+
+val stats : t -> stats
+
+val decrypt_verify : key:int64 -> Ilp.plan
+(** A ready-made stage-2 plan body for {!Secure}-sealed ADUs: positional
+    decrypt, Internet checksum of the plaintext, move into application
+    memory. Use as [~plan:(fun adu -> Stage2.decrypt_verify_at ~key adu)]
+    via {!decrypt_verify_at}. *)
+
+val decrypt_verify_at : key:int64 -> Adu.t -> Ilp.plan
+(** {!decrypt_verify} with the keystream position taken from the ADU's
+    [dest_off]. *)

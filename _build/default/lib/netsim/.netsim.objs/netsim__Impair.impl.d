@@ -1,0 +1,1 @@
+lib/netsim/impair.ml: Bufkit Bytebuf Format Rng

@@ -1,0 +1,1 @@
+lib/netsim/impair.mli: Bufkit Format Rng

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Engine Impair Packet Rng Stats

@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Engine Impair Packet Rng Stats

@@ -1,0 +1,1 @@
+lib/netsim/switch.ml: Engine Link List Packet

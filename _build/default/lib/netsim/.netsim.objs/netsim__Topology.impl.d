@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Impair Link List Node Rng Switch

@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Engine Impair Link Node Packet Rng Switch

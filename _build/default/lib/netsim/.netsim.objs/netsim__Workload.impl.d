@@ -1,0 +1,1 @@
+lib/netsim/workload.ml: Bufkit Engine Rng

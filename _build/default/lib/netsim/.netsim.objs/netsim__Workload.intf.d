@@ -1,0 +1,1 @@
+lib/netsim/workload.mli: Bufkit Engine Rng

@@ -1,0 +1,47 @@
+type t = {
+  loss : float;
+  duplicate : float;
+  corrupt : float;
+  reorder : float;
+  jitter : float;
+}
+
+let none = { loss = 0.0; duplicate = 0.0; corrupt = 0.0; reorder = 0.0; jitter = 0.0 }
+let lossy loss = { none with loss }
+
+let make ?(loss = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0) ?(reorder = 0.0)
+    ?(jitter = 0.0) () =
+  { loss; duplicate; corrupt; reorder; jitter }
+
+type verdict =
+  | Drop
+  | Deliver of { extra_delay : float; corrupted : bool; copies : int }
+
+let judge t rng =
+  if Rng.bool rng ~p:t.loss then Drop
+  else
+    let copies = if Rng.bool rng ~p:t.duplicate then 2 else 1 in
+    let corrupted = Rng.bool rng ~p:t.corrupt in
+    let extra_delay =
+      if t.jitter > 0.0 && Rng.bool rng ~p:t.reorder then
+        Rng.uniform rng ~lo:0.0 ~hi:t.jitter
+      else 0.0
+    in
+    Deliver { extra_delay; corrupted; copies }
+
+let corrupt_payload rng payload =
+  let open Bufkit in
+  let n = Bytebuf.length payload in
+  if n = 0 then payload
+  else begin
+    let out = Bytebuf.copy payload in
+    let i = Rng.int rng ~bound:n in
+    let flip = 1 + Rng.int rng ~bound:255 in
+    Bytebuf.set_uint8 out i (Bytebuf.get_uint8 out i lxor flip);
+    out
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "impair(loss=%.3g dup=%.3g corrupt=%.3g reorder=%.3g jitter=%.3gs)" t.loss
+    t.duplicate t.corrupt t.reorder t.jitter

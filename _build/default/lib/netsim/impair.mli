@@ -1,0 +1,37 @@
+(** Impairment models: the network's "specific failure modes".
+
+    The paper's list — loss from congestion overflow, reordering and
+    duplication "as a part of processing", plus bit corruption — each with
+    an independent probability, drawn from a dedicated {!Rng.t} stream so
+    two links never share randomness. Reordering is modelled as extra
+    per-packet jitter delay (packets overtaking each other), matching how
+    mild reordering arises in real switches. *)
+
+type t = {
+  loss : float;  (** P(drop). *)
+  duplicate : float;  (** P(deliver twice). *)
+  corrupt : float;  (** P(flip one payload byte). *)
+  reorder : float;  (** P(extra jitter delay on this packet). *)
+  jitter : float;  (** The extra delay, seconds, uniform in [0, jitter]. *)
+}
+
+val none : t
+val lossy : float -> t
+(** Loss only. *)
+
+val make :
+  ?loss:float -> ?duplicate:float -> ?corrupt:float -> ?reorder:float ->
+  ?jitter:float -> unit -> t
+
+type verdict =
+  | Drop
+  | Deliver of { extra_delay : float; corrupted : bool; copies : int }
+
+val judge : t -> Rng.t -> verdict
+(** Roll the dice for one packet. [copies] is 1 or 2. *)
+
+val corrupt_payload : Rng.t -> Bufkit.Bytebuf.t -> Bufkit.Bytebuf.t
+(** A copy of the payload with one byte XOR-flipped (never a no-op flip);
+    empty payloads are returned unchanged. *)
+
+val pp : Format.formatter -> t -> unit

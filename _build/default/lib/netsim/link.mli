@@ -1,0 +1,40 @@
+(** Unidirectional links: serialisation, propagation, queueing, impairment.
+
+    A link models the physics the paper's transfer-control machinery
+    exists to cope with: finite bandwidth (serialisation time per packet),
+    propagation delay, a finite drop-tail output queue (congestion loss),
+    and the {!Impair} failure modes. Packets handed to a busy link queue
+    behind it; beyond [queue_limit] they are dropped and counted. *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  ?impair:Impair.t ->
+  ?queue_limit:int ->
+  bandwidth_bps:float ->
+  delay:float ->
+  unit ->
+  t
+(** [queue_limit] (default 64) is the maximum number of packets awaiting
+    serialisation; the packet in flight does not count. *)
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+(** Must be called before traffic flows; packets delivered while no
+    receiver is attached are dropped silently into the void (counted as
+    delivered — the wire did its job). *)
+
+val send : t -> Packet.t -> bool
+(** [false] if the queue was full (the packet is counted as a congestion
+    drop). Never raises. *)
+
+val stats : t -> Stats.link
+val busy_until : t -> float
+val queue_depth : t -> int
+
+val serialisation_time : t -> Packet.t -> float
+(** Wire bits / bandwidth — exposed so transports can pace themselves. *)
+
+val bandwidth_bps : t -> float
+val propagation_delay : t -> float

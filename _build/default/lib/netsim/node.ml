@@ -1,0 +1,37 @@
+type t = {
+  addr : Packet.addr;
+  mutable routes : (Packet.addr * Link.t) list;
+  mutable handlers : (int * (Packet.t -> unit)) list;
+  mutable unroutable : int;
+  mutable undeliverable : int;
+}
+
+let create ~addr =
+  { addr; routes = []; handlers = []; unroutable = 0; undeliverable = 0 }
+
+let addr t = t.addr
+
+let add_route t ~dst link =
+  t.routes <- (dst, link) :: List.remove_assoc dst t.routes
+
+let attach t ~proto f =
+  t.handlers <- (proto, f) :: List.remove_assoc proto t.handlers
+
+let detach t ~proto = t.handlers <- List.remove_assoc proto t.handlers
+
+let recv t (pkt : Packet.t) =
+  if pkt.Packet.dst <> t.addr then t.undeliverable <- t.undeliverable + 1
+  else
+    match List.assoc_opt pkt.Packet.proto t.handlers with
+    | Some f -> f pkt
+    | None -> t.undeliverable <- t.undeliverable + 1
+
+let send t (pkt : Packet.t) =
+  match List.assoc_opt pkt.Packet.dst t.routes with
+  | Some link -> Link.send link pkt
+  | None ->
+      t.unroutable <- t.unroutable + 1;
+      false
+
+let unroutable t = t.unroutable
+let undeliverable t = t.undeliverable

@@ -1,0 +1,32 @@
+(** End-system attachment points.
+
+    A node owns an address, a routing table (destination → outgoing link)
+    and a demultiplexing table (protocol tag → handler). Demultiplexing is
+    the paper's first in-band control operation: it must happen before any
+    manipulation that needs per-connection state, and the node is where it
+    happens. *)
+
+type t
+
+val create : addr:Packet.addr -> t
+val addr : t -> Packet.addr
+
+val add_route : t -> dst:Packet.addr -> Link.t -> unit
+(** Later routes for the same destination replace earlier ones. *)
+
+val attach : t -> proto:int -> (Packet.t -> unit) -> unit
+(** Register the handler for a protocol tag (replacing any previous). *)
+
+val detach : t -> proto:int -> unit
+
+val recv : t -> Packet.t -> unit
+(** Demultiplex an arriving packet. Unknown protocols and packets not
+    addressed to this node are counted and discarded. Intended as the
+    [Link.set_receiver] target. *)
+
+val send : t -> Packet.t -> bool
+(** Route by destination and transmit; [false] when there is no route or
+    the link queue is full. *)
+
+val unroutable : t -> int
+val undeliverable : t -> int

@@ -1,0 +1,26 @@
+type addr = int
+
+type t = {
+  id : int;
+  src : addr;
+  dst : addr;
+  proto : int;
+  header_bytes : int;
+  payload : Bufkit.Bytebuf.t;
+  born : float;
+}
+
+let make ?(header_bytes = 20) ?(born = 0.0) ~id ~src ~dst ~proto payload =
+  { id; src; dst; proto; header_bytes; payload; born }
+
+let wire_size t = Bufkit.Bytebuf.length t.payload + t.header_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "pkt#%d %d->%d proto=%d len=%d" t.id t.src t.dst t.proto
+    (Bufkit.Bytebuf.length t.payload)
+
+let counter () =
+  let n = ref (-1) in
+  fun () ->
+    incr n;
+    !n

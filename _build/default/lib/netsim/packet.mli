@@ -1,0 +1,38 @@
+(** Transmission units.
+
+    A packet is deliberately thin: addressing, a protocol tag for
+    demultiplexing (the first in-band control operation the paper lists),
+    and an opaque payload. Transports define their own headers inside the
+    payload; the simulator charges each packet [header_bytes] of link
+    overhead so wire-efficiency numbers are honest. *)
+
+type addr = int
+
+type t = {
+  id : int;  (** Unique per simulation run; for tracing. *)
+  src : addr;
+  dst : addr;
+  proto : int;  (** Demux key, like an IP protocol number / port. *)
+  header_bytes : int;  (** Charged on the wire in addition to the payload. *)
+  payload : Bufkit.Bytebuf.t;
+  born : float;  (** Virtual time of first transmission (for delay stats). *)
+}
+
+val make :
+  ?header_bytes:int ->
+  ?born:float ->
+  id:int ->
+  src:addr ->
+  dst:addr ->
+  proto:int ->
+  Bufkit.Bytebuf.t ->
+  t
+(** [header_bytes] defaults to 20 (an IPv4-sized envelope). *)
+
+val wire_size : t -> int
+(** Payload plus header bytes. *)
+
+val pp : Format.formatter -> t -> unit
+
+val counter : unit -> unit -> int
+(** A fresh id allocator ([counter () ()] yields 0, 1, 2, ...). *)

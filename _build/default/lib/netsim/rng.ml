@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let bits64 = int64
+
+let split t =
+  let seed = int64 t in
+  { state = mix64 (Int64.logxor seed 0x5851F42D4C957F2DL) }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny relative to 2^63
+     and simulation statistics do not care about the ~2^-50 bias. *)
+  Int64.to_int (Int64.rem (Int64.logand (int64 t) Int64.max_int) (Int64.of_int bound))
+
+let float t =
+  (* 53 high bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let bool t ~p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = float t in
+  (* u = 0 would give infinity; nudge it. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let fill_bytes t buf =
+  let n = Bufkit.Bytebuf.length buf in
+  for i = 0 to n - 1 do
+    Bufkit.Bytebuf.unsafe_set buf i
+      (Char.unsafe_chr (Int64.to_int (int64 t) land 0xff))
+  done

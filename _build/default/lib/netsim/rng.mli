@@ -1,0 +1,38 @@
+(** Deterministic, splittable pseudo-random numbers (SplitMix64).
+
+    Every stochastic element of the simulator (loss, jitter, workloads)
+    draws from an explicit generator so that a seed fully determines an
+    experiment — repeatability is what makes the failure-injection tests
+    and benchmark sweeps meaningful. [split] derives an independent stream,
+    letting each link or workload own its own randomness without
+    cross-coupling event orders. *)
+
+type t
+
+val create : seed:int64 -> t
+val split : t -> t
+(** A new generator statistically independent of the parent's future
+    output. *)
+
+val int64 : t -> int64
+val bits64 : t -> int64
+(** Alias of {!int64}. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** True with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, for Poisson inter-arrival models. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val fill_bytes : t -> Bufkit.Bytebuf.t -> unit

@@ -1,0 +1,78 @@
+type link = {
+  mutable sent_pkts : int;
+  mutable sent_bytes : int;
+  mutable delivered_pkts : int;
+  mutable delivered_bytes : int;
+  mutable dropped_loss : int;
+  mutable dropped_queue : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable reordered : int;
+}
+
+let link () =
+  {
+    sent_pkts = 0;
+    sent_bytes = 0;
+    delivered_pkts = 0;
+    delivered_bytes = 0;
+    dropped_loss = 0;
+    dropped_queue = 0;
+    duplicated = 0;
+    corrupted = 0;
+    reordered = 0;
+  }
+
+let pp_link ppf l =
+  Format.fprintf ppf
+    "sent=%d (%d B) delivered=%d (%d B) drop_loss=%d drop_queue=%d dup=%d corrupt=%d reorder=%d"
+    l.sent_pkts l.sent_bytes l.delivered_pkts l.delivered_bytes l.dropped_loss
+    l.dropped_queue l.duplicated l.corrupted l.reordered
+
+type summary = {
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let summary () = { n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
+
+let observe s x =
+  s.n <- s.n + 1;
+  s.sum <- s.sum +. x;
+  s.sumsq <- s.sumsq +. (x *. x);
+  if x < s.mn then s.mn <- x;
+  if x > s.mx then s.mx <- x
+
+let count s = s.n
+let mean s = if s.n = 0 then 0.0 else s.sum /. float_of_int s.n
+
+let stddev s =
+  if s.n < 2 then 0.0
+  else
+    let m = mean s in
+    let var = (s.sumsq /. float_of_int s.n) -. (m *. m) in
+    if var < 0.0 then 0.0 else sqrt var
+
+let minimum s = if s.n = 0 then 0.0 else s.mn
+let maximum s = if s.n = 0 then 0.0 else s.mx
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" s.n (mean s)
+    (stddev s) (minimum s) (maximum s)
+
+type series = { mutable rev_points : (float * float) list }
+
+let series () = { rev_points = [] }
+let record s ~t v = s.rev_points <- (t, v) :: s.rev_points
+let points s = List.rev s.rev_points
+let last s = match s.rev_points with [] -> None | p :: _ -> Some p
+
+let at_or_before s t =
+  let rec go = function
+    | [] -> None
+    | (tp, v) :: rest -> if tp <= t then Some v else go rest
+  in
+  go s.rev_points

@@ -1,0 +1,51 @@
+(** Counters, summaries and time series for experiments.
+
+    Links and protocol endpoints update counters as they run; benches read
+    them out as paper-style rows. The time-series recorder is what lets
+    experiment E6 plot application progress against virtual time. *)
+
+(** {1 Link counters} *)
+
+type link = {
+  mutable sent_pkts : int;
+  mutable sent_bytes : int;
+  mutable delivered_pkts : int;
+  mutable delivered_bytes : int;
+  mutable dropped_loss : int;  (** By the impairment model. *)
+  mutable dropped_queue : int;  (** Queue overflow (congestion). *)
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable reordered : int;
+}
+
+val link : unit -> link
+val pp_link : Format.formatter -> link -> unit
+
+(** {1 Scalar summaries} *)
+
+type summary
+(** Streaming mean/min/max/stddev over observations. *)
+
+val summary : unit -> summary
+val observe : summary -> float -> unit
+val count : summary -> int
+val mean : summary -> float
+val stddev : summary -> float
+val minimum : summary -> float
+val maximum : summary -> float
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Time series} *)
+
+type series
+
+val series : unit -> series
+val record : series -> t:float -> float -> unit
+val points : series -> (float * float) list
+(** In recording order. *)
+
+val last : series -> (float * float) option
+
+val at_or_before : series -> float -> float option
+(** Latest recorded value with timestamp <= t (assumes monotone record
+    times). *)

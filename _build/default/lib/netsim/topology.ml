@@ -1,0 +1,119 @@
+type duplex = { a : Node.t; b : Node.t; ab : Link.t; ba : Link.t }
+
+let point_to_point ~engine ~rng ?(impair = Impair.none)
+    ?(impair_back = Impair.none) ?queue_limit ~bandwidth_bps ~delay ~a ~b () =
+  let node_a = Node.create ~addr:a and node_b = Node.create ~addr:b in
+  let ab =
+    Link.create ~engine ~rng:(Rng.split rng) ~impair ?queue_limit
+      ~bandwidth_bps ~delay ()
+  in
+  let ba =
+    Link.create ~engine ~rng:(Rng.split rng) ~impair:impair_back ?queue_limit
+      ~bandwidth_bps ~delay ()
+  in
+  Link.set_receiver ab (Node.recv node_b);
+  Link.set_receiver ba (Node.recv node_a);
+  Node.add_route node_a ~dst:b ab;
+  Node.add_route node_b ~dst:a ba;
+  { a = node_a; b = node_b; ab; ba }
+
+type star = {
+  hub_hosts : Node.t array;
+  hub_links : (Link.t * Link.t) array;
+  hub : Switch.t;
+}
+
+let star ~engine ~rng ?(impair = Impair.none) ?queue_limit ~bandwidth_bps
+    ~delay ~hosts () =
+  let hub = Switch.create ~engine () in
+  let addrs = Array.of_list hosts in
+  let hub_hosts = Array.map (fun addr -> Node.create ~addr) addrs in
+  let hub_links =
+    Array.map
+      (fun host ->
+        let up =
+          Link.create ~engine ~rng:(Rng.split rng) ?queue_limit ~bandwidth_bps
+            ~delay ()
+        in
+        let down =
+          Link.create ~engine ~rng:(Rng.split rng) ~impair ?queue_limit
+            ~bandwidth_bps ~delay ()
+        in
+        Link.set_receiver up (Switch.recv hub);
+        Link.set_receiver down (Node.recv host);
+        Switch.add_port hub ~dst:(Node.addr host) down;
+        (up, down))
+      hub_hosts
+  in
+  (* Every host reaches every other host through its uplink. *)
+  Array.iteri
+    (fun i host ->
+      let up, _ = hub_links.(i) in
+      Array.iter
+        (fun other ->
+          if Node.addr other <> Node.addr host then
+            Node.add_route host ~dst:(Node.addr other) up)
+        hub_hosts)
+    hub_hosts;
+  { hub_hosts; hub_links; hub }
+
+type dumbbell = {
+  left : Node.t array;
+  right : Node.t array;
+  bottleneck_lr : Link.t;
+  bottleneck_rl : Link.t;
+}
+
+let dumbbell ~engine ~rng ?(impair = Impair.none) ?queue_limit
+    ~edge_bandwidth_bps ~bottleneck_bandwidth_bps ~delay ~left ~right () =
+  let sw_l = Switch.create ~engine () and sw_r = Switch.create ~engine () in
+  let bottleneck_lr =
+    Link.create ~engine ~rng:(Rng.split rng) ~impair ?queue_limit
+      ~bandwidth_bps:bottleneck_bandwidth_bps ~delay ()
+  in
+  let bottleneck_rl =
+    Link.create ~engine ~rng:(Rng.split rng) ~impair ?queue_limit
+      ~bandwidth_bps:bottleneck_bandwidth_bps ~delay ()
+  in
+  Link.set_receiver bottleneck_lr (Switch.recv sw_r);
+  Link.set_receiver bottleneck_rl (Switch.recv sw_l);
+  let attach_side sw addrs =
+    Array.of_list addrs
+    |> Array.map (fun addr ->
+           let host = Node.create ~addr in
+           let up =
+             Link.create ~engine ~rng:(Rng.split rng) ?queue_limit
+               ~bandwidth_bps:edge_bandwidth_bps ~delay ()
+           in
+           let down =
+             Link.create ~engine ~rng:(Rng.split rng) ?queue_limit
+               ~bandwidth_bps:edge_bandwidth_bps ~delay ()
+           in
+           Link.set_receiver up (Switch.recv sw);
+           Link.set_receiver down (Node.recv host);
+           Switch.add_port sw ~dst:addr down;
+           (host, up))
+  in
+  let left_pairs = attach_side sw_l left in
+  let right_pairs = attach_side sw_r right in
+  (* Cross-side destinations leave via the bottleneck. *)
+  Switch.add_port_range sw_l ~dsts:right bottleneck_lr;
+  Switch.add_port_range sw_r ~dsts:left bottleneck_rl;
+  (* Hosts route everything through their uplink. *)
+  let all_addrs = left @ right in
+  let route_all pairs =
+    Array.iter
+      (fun (host, up) ->
+        List.iter
+          (fun dst -> if dst <> Node.addr host then Node.add_route host ~dst up)
+          all_addrs)
+      pairs
+  in
+  route_all left_pairs;
+  route_all right_pairs;
+  {
+    left = Array.map fst left_pairs;
+    right = Array.map fst right_pairs;
+    bottleneck_lr;
+    bottleneck_rl;
+  }

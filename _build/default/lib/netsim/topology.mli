@@ -1,0 +1,70 @@
+(** Prewired topologies.
+
+    Builders return fully-routed nodes: every host has a route to every
+    other host it can reach, links have their receivers attached, and each
+    link draws from its own split of the caller's RNG. *)
+
+type duplex = {
+  a : Node.t;
+  b : Node.t;
+  ab : Link.t;  (** The a→b direction. *)
+  ba : Link.t;
+}
+
+val point_to_point :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  ?impair:Impair.t ->
+  ?impair_back:Impair.t ->
+  ?queue_limit:int ->
+  bandwidth_bps:float ->
+  delay:float ->
+  a:Packet.addr ->
+  b:Packet.addr ->
+  unit ->
+  duplex
+(** Two hosts joined by a duplex link. [impair] applies a→b; the reverse
+    direction uses [impair_back] (default: clean), modelling the usual
+    asymmetry of data vs acknowledgement paths. *)
+
+type star = {
+  hub_hosts : Node.t array;
+  hub_links : (Link.t * Link.t) array;  (** (host→switch, switch→host). *)
+  hub : Switch.t;
+}
+
+val star :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  ?impair:Impair.t ->
+  ?queue_limit:int ->
+  bandwidth_bps:float ->
+  delay:float ->
+  hosts:Packet.addr list ->
+  unit ->
+  star
+(** All hosts joined through one switch; any host can reach any other.
+    [impair] applies independently to every switch→host link. *)
+
+type dumbbell = {
+  left : Node.t array;
+  right : Node.t array;
+  bottleneck_lr : Link.t;
+  bottleneck_rl : Link.t;
+}
+
+val dumbbell :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  ?impair:Impair.t ->
+  ?queue_limit:int ->
+  edge_bandwidth_bps:float ->
+  bottleneck_bandwidth_bps:float ->
+  delay:float ->
+  left:Packet.addr list ->
+  right:Packet.addr list ->
+  unit ->
+  dumbbell
+(** The classic congestion topology: fast edge links into a shared slower
+    bottleneck between two switches. [impair] applies to the bottleneck in
+    both directions. *)

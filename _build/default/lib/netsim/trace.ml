@@ -1,0 +1,48 @@
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  mutable entries_rev : (float * string * string) list;
+  mutable count : int;
+}
+
+let create ?(capacity = 10_000) engine =
+  { engine; capacity; entries_rev = []; count = 0 }
+
+let log t category fmt =
+  Format.kasprintf
+    (fun msg ->
+      t.entries_rev <- (Engine.now t.engine, category, msg) :: t.entries_rev;
+      t.count <- t.count + 1;
+      if t.count > 2 * t.capacity then begin
+        (* Trim lazily: keep the newest [capacity]. *)
+        let rec take n = function
+          | [] -> []
+          | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+        in
+        t.entries_rev <- take t.capacity t.entries_rev;
+        t.count <- t.capacity
+      end)
+    fmt
+
+let entries t =
+  let newest_first =
+    if t.count > t.capacity then
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+      in
+      take t.capacity t.entries_rev
+    else t.entries_rev
+  in
+  List.rev newest_first
+
+let dump ppf t =
+  List.iter
+    (fun (time, cat, msg) -> Format.fprintf ppf "%10.6f  %-8s %s@\n" time cat msg)
+    (entries t)
+
+let clear t =
+  t.entries_rev <- [];
+  t.count <- 0
+
+let size t = min t.count t.capacity

@@ -1,0 +1,20 @@
+(** Timestamped event traces.
+
+    A bounded in-memory log of (virtual time, category, message) rows,
+    cheap enough to leave enabled in examples and dumped on demand. *)
+
+type t
+
+val create : ?capacity:int -> Engine.t -> t
+(** Keeps the most recent [capacity] (default 10_000) entries. *)
+
+val log : t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [log t "tcp" "rexmit seq=%d" s] records one entry at the current
+    virtual time. *)
+
+val entries : t -> (float * string * string) list
+(** Oldest first. *)
+
+val dump : Format.formatter -> t -> unit
+val clear : t -> unit
+val size : t -> int

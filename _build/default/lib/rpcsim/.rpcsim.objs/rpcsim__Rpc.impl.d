@@ -1,0 +1,1 @@
+lib/rpcsim/rpc.ml: Alf_core Bufkit Bytebuf Cursor Engine Hashtbl Int32 Netsim Packet Queue Stub Wire

@@ -1,0 +1,1 @@
+lib/rpcsim/rpc.mli: Alf_core Engine Netsim Packet Stub Transport Wire

@@ -1,0 +1,1 @@
+lib/rpcsim/stub.ml: Int64 List Printf Wire

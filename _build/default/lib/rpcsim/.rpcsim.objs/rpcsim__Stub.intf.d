@@ -1,0 +1,1 @@
+lib/rpcsim/stub.mli: Wire

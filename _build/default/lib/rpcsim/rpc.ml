@@ -1,0 +1,267 @@
+open Bufkit
+open Netsim
+
+type transfer = T_ber | T_xdr | T_lwts
+
+let transfer_name = function T_ber -> "ber" | T_xdr -> "xdr" | T_lwts -> "lwts"
+let transfer_code = function T_ber -> 0 | T_xdr -> 1 | T_lwts -> 2
+
+let transfer_of_code = function
+  | 0 -> Some T_ber
+  | 1 -> Some T_xdr
+  | 2 -> Some T_lwts
+  | _ -> None
+
+let msg_call = 0
+let msg_reply = 1
+let status_ok = 0
+let status_unknown_proc = 1
+let status_decode_error = 2
+let header_size = 9
+
+let encode_msg ~msg ~xid ~proc ~transfer ~status payload =
+  let buf = Bytebuf.create (header_size + Bytebuf.length payload) in
+  let w = Cursor.writer buf in
+  Cursor.put_u8 w msg;
+  Cursor.put_int_as_u32be w xid;
+  Cursor.put_u16be w proc;
+  Cursor.put_u8 w transfer;
+  Cursor.put_u8 w status;
+  Cursor.put_bytes w payload;
+  buf
+
+(* Encode call arguments in the requested syntax; the schema comes from
+   the stub frame. Replies are always BER (self-describing), so the
+   client needs no result schema. *)
+let encode_args transfer frame v =
+  match transfer with
+  | T_ber -> Wire.Ber.encode v
+  | T_xdr -> Wire.Xdr.encode (Stub.schema frame) v
+  | T_lwts -> Wire.Lwts.encode (Stub.schema frame) v
+
+
+let decode_args transfer frame buf : Wire.Value.t option =
+  match transfer with
+  | T_ber -> ( try Some (Wire.Ber.decode buf) with Wire.Ber.Decode_error _ -> None)
+  | T_xdr -> (
+      try Some (Wire.Xdr.decode (Stub.schema frame) buf)
+      with Wire.Xdr.Error _ -> None)
+  | T_lwts -> (
+      try Some (Wire.Lwts.decode (Stub.schema frame) buf)
+      with Wire.Lwts.Error _ -> None)
+
+type server_stats = {
+  mutable calls_executed : int;
+  mutable duplicate_calls : int;
+  mutable decode_failures : int;
+  mutable unknown_procs : int;
+}
+
+type server = {
+  s_engine : Engine.t;
+  s_io : Alf_core.Dgram.t;
+  s_port : int;
+  procs : (int, Stub.frame * (Wire.Value.t -> Wire.Value.t)) Hashtbl.t;
+  cache : (int, Bytebuf.t) Hashtbl.t;
+  cache_order : int Queue.t;
+  s_stats : server_stats;
+}
+
+let server_stats s = s.s_stats
+
+let cache_reply s ~xid reply =
+  Hashtbl.replace s.cache xid reply;
+  Queue.push xid s.cache_order;
+  if Queue.length s.cache_order > 1024 then
+    Hashtbl.remove s.cache (Queue.pop s.cache_order)
+
+let server_handle s ~src ~src_port payload =
+  let reply_to buf =
+    ignore
+      (s.s_io.Alf_core.Dgram.send ~dst:src ~dst_port:src_port
+         ~src_port:s.s_port buf)
+  in
+  if Bytebuf.length payload >= header_size then begin
+    let r = Cursor.reader payload in
+    let msg = Cursor.u8 r in
+    let xid = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+    let proc = Cursor.u16be r in
+    let transfer = transfer_of_code (Cursor.u8 r) in
+    let _status = Cursor.u8 r in
+    if msg = msg_call then
+      match Hashtbl.find_opt s.cache xid with
+      | Some cached ->
+          s.s_stats.duplicate_calls <- s.s_stats.duplicate_calls + 1;
+          reply_to cached
+      | None -> (
+          let fail status =
+            let reply =
+              encode_msg ~msg:msg_reply ~xid ~proc
+                ~transfer:(transfer_code T_ber) ~status Bytebuf.empty
+            in
+            cache_reply s ~xid reply;
+            reply_to reply
+          in
+          match (Hashtbl.find_opt s.procs proc, transfer) with
+          | None, _ ->
+              s.s_stats.unknown_procs <- s.s_stats.unknown_procs + 1;
+              fail status_unknown_proc
+          | Some _, None ->
+              s.s_stats.decode_failures <- s.s_stats.decode_failures + 1;
+              fail status_decode_error
+          | Some (frame, body), Some transfer -> (
+              match decode_args transfer frame (Cursor.rest r) with
+              | None ->
+                  s.s_stats.decode_failures <- s.s_stats.decode_failures + 1;
+                  fail status_decode_error
+              | Some args_value -> (
+                  (* The presentation step proper: scatter the decoded
+                     elements into the procedure's own variables. *)
+                  match Stub.scatter frame args_value with
+                  | Error _ ->
+                      s.s_stats.decode_failures <- s.s_stats.decode_failures + 1;
+                      fail status_decode_error
+                  | Ok () ->
+                      s.s_stats.calls_executed <- s.s_stats.calls_executed + 1;
+                      let result = body (Stub.gather frame) in
+                      let reply =
+                        encode_msg ~msg:msg_reply ~xid ~proc
+                          ~transfer:(transfer_code T_ber) ~status:status_ok
+                          (Wire.Ber.encode result)
+                      in
+                      cache_reply s ~xid reply;
+                      reply_to reply)))
+  end
+
+let server_io ~engine ~io ~port =
+  let s =
+    {
+      s_engine = engine;
+      s_io = io;
+      s_port = port;
+      procs = Hashtbl.create 16;
+      cache = Hashtbl.create 256;
+      cache_order = Queue.create ();
+      s_stats =
+        { calls_executed = 0; duplicate_calls = 0; decode_failures = 0; unknown_procs = 0 };
+    }
+  in
+  io.Alf_core.Dgram.bind ~port (server_handle s);
+  s
+
+let server ~engine ~udp ~port =
+  server_io ~engine ~io:(Alf_core.Dgram.of_udp udp) ~port
+
+let register s ~proc ~args body = Hashtbl.replace s.procs proc (args, body)
+
+type client_stats = {
+  mutable calls_sent : int;
+  mutable retries : int;
+  mutable replies : int;
+  mutable timeouts : int;
+}
+
+type pending = {
+  request : Bytebuf.t;
+  reply_cb : Wire.Value.t option -> unit;
+  mutable retries_left : int;
+  mutable timer : Engine.timer option;
+}
+
+type client = {
+  c_engine : Engine.t;
+  c_io : Alf_core.Dgram.t;
+  c_port : int;
+  server_addr : Packet.addr;
+  server_port : int;
+  retry_interval : float;
+  max_retries : int;
+  pending : (int, pending) Hashtbl.t;
+  c_stats : client_stats;
+  mutable next_xid : int;
+}
+
+let client_stats c = c.c_stats
+
+let client_send c buf =
+  ignore
+    (c.c_io.Alf_core.Dgram.send ~dst:c.server_addr ~dst_port:c.server_port
+       ~src_port:c.c_port buf)
+
+let rec arm_retry c xid p =
+  p.timer <-
+    Some
+      (Engine.schedule_after c.c_engine c.retry_interval (fun () ->
+           p.timer <- None;
+           if Hashtbl.mem c.pending xid then
+             if p.retries_left > 0 then begin
+               p.retries_left <- p.retries_left - 1;
+               c.c_stats.retries <- c.c_stats.retries + 1;
+               client_send c p.request;
+               arm_retry c xid p
+             end
+             else begin
+               Hashtbl.remove c.pending xid;
+               c.c_stats.timeouts <- c.c_stats.timeouts + 1;
+               p.reply_cb None
+             end))
+
+let client_handle c ~src:_ ~src_port:_ payload =
+  if Bytebuf.length payload >= header_size then begin
+    let r = Cursor.reader payload in
+    let msg = Cursor.u8 r in
+    let xid = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+    let _proc = Cursor.u16be r in
+    let _transfer = Cursor.u8 r in
+    let status = Cursor.u8 r in
+    if msg = msg_reply then
+      match Hashtbl.find_opt c.pending xid with
+      | None -> ()
+      | Some p ->
+          Hashtbl.remove c.pending xid;
+          (match p.timer with Some timer -> Engine.cancel timer | None -> ());
+          c.c_stats.replies <- c.c_stats.replies + 1;
+          if status = status_ok then
+            match Wire.Ber.decode (Cursor.rest r) with
+            | v -> p.reply_cb (Some v)
+            | exception Wire.Ber.Decode_error _ -> p.reply_cb None
+          else p.reply_cb None
+  end
+
+let client_io ~engine ~io ~port ~server_addr ~server_port
+    ?(retry_interval = 0.2) ?(max_retries = 5) () =
+  let c =
+    {
+      c_engine = engine;
+      c_io = io;
+      c_port = port;
+      server_addr;
+      server_port;
+      retry_interval;
+      max_retries;
+      pending = Hashtbl.create 32;
+      c_stats = { calls_sent = 0; retries = 0; replies = 0; timeouts = 0 };
+      next_xid = 1;
+    }
+  in
+  io.Alf_core.Dgram.bind ~port (client_handle c);
+  c
+
+let client ~engine ~udp ~port ~server_addr ~server_port ?retry_interval
+    ?max_retries () =
+  client_io ~engine ~io:(Alf_core.Dgram.of_udp udp) ~port ~server_addr
+    ~server_port ?retry_interval ?max_retries ()
+
+let call c ~proc ?(transfer = T_ber) ~args value ~reply =
+  let xid = c.next_xid in
+  c.next_xid <- c.next_xid + 1;
+  let request =
+    encode_msg ~msg:msg_call ~xid ~proc ~transfer:(transfer_code transfer)
+      ~status:0
+      (encode_args transfer args value)
+  in
+  let p = { request; reply_cb = reply; retries_left = c.max_retries; timer = None } in
+  Hashtbl.replace c.pending xid p;
+  c.c_stats.calls_sent <- c.c_stats.calls_sent + 1;
+  client_send c request;
+  arm_retry c xid p

@@ -1,0 +1,82 @@
+type slot =
+  | Int_slot of int ref
+  | Int64_slot of int64 ref
+  | Bool_slot of bool ref
+  | String_slot of string ref
+  | Bytes_slot of string ref
+  | Value_slot of Wire.Value.t ref
+
+type frame = (string * slot) list
+
+let match_one (v : Wire.Value.t) slot =
+  match (slot, v) with
+  | Int_slot _, Int _
+  | Int64_slot _, (Int64 _ | Int _)
+  | Bool_slot _, Bool _
+  | String_slot _, Utf8 _
+  | Bytes_slot _, Octets _
+  | Value_slot _, _ ->
+      true
+  | (Int_slot _ | Int64_slot _ | Bool_slot _ | String_slot _ | Bytes_slot _), _
+    ->
+      false
+
+let store (v : Wire.Value.t) slot =
+  match (slot, v) with
+  | Int_slot r, Int i -> r := i
+  | Int64_slot r, Int64 i -> r := i
+  | Int64_slot r, Int i -> r := Int64.of_int i
+  | Bool_slot r, Bool b -> r := b
+  | String_slot r, Utf8 s -> r := s
+  | Bytes_slot r, Octets s -> r := s
+  | Value_slot r, v -> r := v
+  | (Int_slot _ | Int64_slot _ | Bool_slot _ | String_slot _ | Bytes_slot _), _
+    ->
+      assert false (* guarded by match_one *)
+
+let scatter frame (v : Wire.Value.t) =
+  let elements =
+    match v with
+    | List vs -> Some vs
+    | Record fs -> Some (List.map snd fs)
+    | Null | Bool _ | Int _ | Int64 _ | Octets _ | Utf8 _ -> None
+  in
+  match elements with
+  | None -> Error "scatter: value is not a sequence"
+  | Some vs ->
+      if List.length vs <> List.length frame then
+        Error
+          (Printf.sprintf "scatter: arity mismatch (%d values, %d slots)"
+             (List.length vs) (List.length frame))
+      else if not (List.for_all2 (fun v (_, slot) -> match_one v slot) vs frame)
+      then Error "scatter: type mismatch"
+      else begin
+        List.iter2 (fun v (_, slot) -> store v slot) vs frame;
+        Ok ()
+      end
+
+let gather frame : Wire.Value.t =
+  List
+    (List.map
+       (fun ((_, slot) : string * slot) : Wire.Value.t ->
+         match slot with
+         | Int_slot r -> Int !r
+         | Int64_slot r -> Int64 !r
+         | Bool_slot r -> Bool !r
+         | String_slot r -> Utf8 !r
+         | Bytes_slot r -> Octets !r
+         | Value_slot r -> !r)
+       frame)
+
+let schema frame =
+  Wire.Xdr.S_struct
+    (List.map
+       (fun ((_, slot) : string * slot) ->
+         match slot with
+         | Int_slot _ -> Wire.Xdr.S_int
+         | Int64_slot _ -> Wire.Xdr.S_hyper
+         | Bool_slot _ -> Wire.Xdr.S_bool
+         | String_slot _ -> Wire.Xdr.S_string
+         | Bytes_slot _ -> Wire.Xdr.S_opaque
+         | Value_slot r -> Wire.Xdr.schema_of_value !r)
+       frame)

@@ -1,0 +1,34 @@
+(** Scattering decoded arguments into language-level variables.
+
+    §5: "the presentation is to or from various language-level variables
+    ... the transferred data represents the arguments and results of a
+    procedure call, and must be moved to the stack of the application
+    process". A {!slot} is one such variable; {!scatter} performs the
+    final presentation step — moving each decoded element to its distinct,
+    non-contiguous destination — and {!gather} is its sending-side dual.
+    This is the step the paper argues cannot be pushed to an outboard
+    processor, because the destinations only exist inside the
+    application. *)
+
+type slot =
+  | Int_slot of int ref
+  | Int64_slot of int64 ref
+  | Bool_slot of bool ref
+  | String_slot of string ref
+  | Bytes_slot of string ref
+  | Value_slot of Wire.Value.t ref  (** Escape hatch for structured args. *)
+
+type frame = (string * slot) list
+(** Named parameter list, in call order. *)
+
+val scatter : frame -> Wire.Value.t -> (unit, string) result
+(** Match a decoded [List]/[Record] value against the frame positionally
+    and store each element in its slot. On mismatch, no slot is modified. *)
+
+val gather : frame -> Wire.Value.t
+(** Read the slots back into an abstract value ([List], in frame order). *)
+
+val schema : frame -> Wire.Xdr.schema
+(** The frame's abstract-syntax shape, for schema-carrying codecs. Slots
+    holding structured values contribute the schema of their current
+    content. *)

@@ -1,0 +1,1 @@
+lib/transport/reorder.ml: Bufkit Bytebuf List

@@ -1,0 +1,1 @@
+lib/transport/reorder.mli: Bufkit Bytebuf

@@ -1,0 +1,1 @@
+lib/transport/rto.ml: Float Format

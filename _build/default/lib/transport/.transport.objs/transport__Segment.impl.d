@@ -1,0 +1,1 @@
+lib/transport/segment.ml: Bufkit Bytebuf Checksum Cursor Format Int32 Seq32

@@ -1,0 +1,1 @@
+lib/transport/segment.mli: Bufkit Bytebuf Format Seq32

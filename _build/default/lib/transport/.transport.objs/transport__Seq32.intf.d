@@ -1,0 +1,1 @@
+lib/transport/seq32.mli: Format

@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Bufkit Bytebuf Engine Float Format List Netsim Node Packet Reorder Rto Segment Seq32

@@ -1,0 +1,1 @@
+lib/transport/tcp.mli: Bufkit Bytebuf Engine Netsim Node Packet

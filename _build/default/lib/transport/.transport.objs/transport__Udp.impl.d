@@ -1,0 +1,1 @@
+lib/transport/udp.ml: Bufkit Bytebuf Checksum Cursor Engine List Netsim Node Packet

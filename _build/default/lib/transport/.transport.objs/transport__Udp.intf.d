@@ -1,0 +1,1 @@
+lib/transport/udp.mli: Bufkit Bytebuf Engine Netsim Node Packet

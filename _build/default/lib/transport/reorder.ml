@@ -1,0 +1,102 @@
+open Bufkit
+
+type span = { off : int; data : Bytebuf.t }
+
+type t = {
+  capacity : int;
+  mutable next : int;
+  mutable spans : span list;  (* ascending offset, non-overlapping *)
+  mutable buffered : int;
+  mutable duplicates : int;
+}
+
+let create ~capacity ~initial_offset =
+  if capacity <= 0 then invalid_arg "Reorder.create: capacity must be positive";
+  { capacity; next = initial_offset; spans = []; buffered = 0; duplicates = 0 }
+
+let rcv_nxt t = t.next
+let buffered_bytes t = t.buffered
+let buffered_spans t = List.map (fun s -> (s.off, Bytebuf.length s.data)) t.spans
+let window t = t.capacity - t.buffered
+let duplicates t = t.duplicates
+
+(* Clip [off, off+len) of [data] against already-covered regions and the
+   capacity horizon, inserting the surviving pieces. *)
+let insert_span t ~off data =
+  let len = Bytebuf.length data in
+  let horizon = t.next + t.capacity in
+  (* Trim below the delivery point. *)
+  let off, data =
+    if off < t.next then begin
+      let cut = min (t.next - off) len in
+      t.duplicates <- t.duplicates + cut;
+      (off + cut, Bytebuf.shift data cut)
+    end
+    else (off, data)
+  in
+  (* Trim above the capacity horizon. *)
+  let data =
+    let len = Bytebuf.length data in
+    if off + len > horizon then Bytebuf.take data (max 0 (horizon - off))
+    else data
+  in
+  if Bytebuf.length data = 0 then ()
+  else begin
+    (* Walk the sorted span list, clipping against each existing span. *)
+    let rec place spans ~off data acc =
+      let len = Bytebuf.length data in
+      if len = 0 then List.rev_append acc spans
+      else
+        match spans with
+        | [] ->
+            t.buffered <- t.buffered + len;
+            List.rev_append acc [ { off; data = Bytebuf.copy data } ]
+        | s :: rest ->
+            let s_len = Bytebuf.length s.data in
+            let s_end = s.off + s_len in
+            if off + len <= s.off then begin
+              (* Entirely before s. *)
+              t.buffered <- t.buffered + len;
+              List.rev_append acc ({ off; data = Bytebuf.copy data } :: spans)
+            end
+            else if off >= s_end then place rest ~off data (s :: acc)
+            else begin
+              (* Overlaps s: keep the part before s, recurse with the part
+                 after s. *)
+              let before_len = max 0 (s.off - off) in
+              let acc =
+                if before_len > 0 then begin
+                  t.buffered <- t.buffered + before_len;
+                  { off; data = Bytebuf.copy (Bytebuf.take data before_len) }
+                  :: acc
+                end
+                else acc
+              in
+              let overlap = min (off + len) s_end - max off s.off in
+              t.duplicates <- t.duplicates + overlap;
+              let after_off = s_end in
+              let skip = after_off - off in
+              if skip >= len then List.rev_append acc spans
+              else place rest ~off:after_off (Bytebuf.shift data skip) (s :: acc)
+            end
+    in
+    t.spans <- place t.spans ~off data []
+  end
+
+(* Pop spans that are now contiguous with the delivery point. *)
+let pop_ready t =
+  let rec go acc =
+    match t.spans with
+    | s :: rest when s.off = t.next ->
+        t.spans <- rest;
+        let len = Bytebuf.length s.data in
+        t.next <- t.next + len;
+        t.buffered <- t.buffered - len;
+        go (s.data :: acc)
+    | _ :: _ | [] -> List.rev acc
+  in
+  go []
+
+let offer t ~off data =
+  insert_span t ~off data;
+  pop_ready t

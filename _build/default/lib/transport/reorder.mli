@@ -1,0 +1,38 @@
+(** The receiver's resequencing buffer.
+
+    This small module is the mechanical heart of the paper's critique: an
+    in-order byte-stream transport must hold back everything that arrives
+    after a hole. [offer] accepts a segment at an absolute offset, trims
+    overlap with data already delivered or buffered, and returns whatever
+    has just become contiguously deliverable — which is empty whenever a
+    hole remains, no matter how much sits buffered behind it. The
+    buffered-byte count is exactly the data the presentation pipeline is
+    being starved of (experiment E6 reads it directly). *)
+
+open Bufkit
+
+type t
+
+val create : capacity:int -> initial_offset:int -> t
+(** [capacity] bounds the bytes held above the delivery point; segments
+    (or their parts) beyond it are refused. *)
+
+val offer : t -> off:int -> Bytebuf.t -> Bytebuf.t list
+(** Newly contiguous chunks, in stream order ([[]] if a hole remains or
+    the data was entirely duplicate/out-of-capacity). Offered slices are
+    copied; the caller may reuse its buffer. *)
+
+val rcv_nxt : t -> int
+(** Next byte offset expected in order. *)
+
+val buffered_bytes : t -> int
+(** Bytes parked above a hole. *)
+
+val buffered_spans : t -> (int * int) list
+(** The (offset, length) of each parked span, ascending. *)
+
+val window : t -> int
+(** [capacity - buffered_bytes]: what flow control may advertise. *)
+
+val duplicates : t -> int
+(** Total duplicate bytes trimmed so far (diagnostic). *)

@@ -1,0 +1,75 @@
+open Bufkit
+
+let header_size = 20
+
+type flags = { ack : bool; fin : bool; syn : bool }
+
+let no_flags = { ack = false; fin = false; syn = false }
+
+type t = {
+  seq : Seq32.t;
+  ack : Seq32.t;
+  flags : flags;
+  wnd : int;
+  payload : Bytebuf.t;
+}
+
+let flags_byte (f : flags) =
+  (if f.ack then 1 else 0) lor (if f.fin then 2 else 0) lor if f.syn then 4 else 0
+
+let flags_of_byte b = { ack = b land 1 <> 0; fin = b land 2 <> 0; syn = b land 4 <> 0 }
+
+let encode t =
+  let plen = Bytebuf.length t.payload in
+  let buf = Bytebuf.create (header_size + plen) in
+  let w = Cursor.writer buf in
+  Cursor.put_u32be w (Int32.of_int (Seq32.to_int t.seq));
+  Cursor.put_u32be w (Int32.of_int (Seq32.to_int t.ack));
+  Cursor.put_u8 w (flags_byte t.flags);
+  Cursor.put_u8 w 0;
+  Cursor.put_u32be w (Int32.of_int t.wnd);
+  Cursor.put_u16be w plen;
+  Cursor.put_u16be w 0 (* checksum placeholder, bytes 16-17 *);
+  Cursor.put_u16be w 0 (* padding *);
+  Cursor.put_bytes w t.payload;
+  let cksum = Checksum.Internet.digest buf in
+  Bytebuf.set_uint8 buf 16 (cksum lsr 8);
+  Bytebuf.set_uint8 buf 17 (cksum land 0xff);
+  buf
+
+type error = Too_short | Bad_checksum | Bad_length
+
+let decode buf =
+  if Bytebuf.length buf < header_size then Error Too_short
+  else begin
+    (* Zeroing the checksum field and re-summing equals checking that the
+       sum over the packet as received (checksum included) is zero; we
+       avoid the copy by exploiting that identity. *)
+    let st = Checksum.Internet.feed Checksum.Internet.init buf in
+    if Checksum.Internet.finish st <> 0 then Error Bad_checksum
+    else begin
+      let r = Cursor.reader buf in
+      let seq = Seq32.of_int (Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF) in
+      let ack = Seq32.of_int (Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF) in
+      let flags = flags_of_byte (Cursor.u8 r) in
+      Cursor.skip r 1;
+      let wnd = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+      let plen = Cursor.u16be r in
+      Cursor.skip r 4;
+      if Bytebuf.length buf <> header_size + plen then Error Bad_length
+      else Ok { seq; ack; flags; wnd; payload = Cursor.bytes r plen }
+    end
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "seg(seq=%a ack=%a%s%s%s wnd=%d len=%d)" Seq32.pp t.seq
+    Seq32.pp t.ack
+    (if t.flags.ack then " ACK" else "")
+    (if t.flags.fin then " FIN" else "")
+    (if t.flags.syn then " SYN" else "")
+    t.wnd (Bytebuf.length t.payload)
+
+let pp_error ppf = function
+  | Too_short -> Format.pp_print_string ppf "too short"
+  | Bad_checksum -> Format.pp_print_string ppf "bad checksum"
+  | Bad_length -> Format.pp_print_string ppf "bad length"

@@ -1,0 +1,35 @@
+(** TCP-like segment wire format.
+
+    20-byte header (sequence, acknowledgement, flags, a 32-bit advertised
+    window, payload length) protected together with the payload by the
+    Internet checksum — so the simulator's corruption impairment is
+    detected exactly the way a real stack detects it, and discarded
+    segments become losses the retransmission machinery must repair. *)
+
+open Bufkit
+
+val header_size : int
+(** 20 bytes, same envelope as TCP. *)
+
+type flags = { ack : bool; fin : bool; syn : bool }
+
+val no_flags : flags
+
+type t = {
+  seq : Seq32.t;
+  ack : Seq32.t;
+  flags : flags;
+  wnd : int;  (** Advertised receive window, bytes (0–2³²-1). *)
+  payload : Bytebuf.t;
+}
+
+val encode : t -> Bytebuf.t
+(** Fresh buffer: header (with computed checksum) followed by payload. *)
+
+type error = Too_short | Bad_checksum | Bad_length
+
+val decode : Bytebuf.t -> (t, error) result
+(** Verifies the checksum; the payload aliases the input. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit

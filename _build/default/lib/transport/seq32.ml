@@ -1,0 +1,30 @@
+type t = int
+
+let mask = 0xFFFFFFFF
+let half = 0x80000000
+let modulus = 0x100000000
+let of_int v = v land mask
+let to_int t = t
+let zero = 0
+let add t n = (t + n) land mask
+
+let diff a b =
+  let d = (a - b) land mask in
+  if d > half then d - modulus else d
+(* d = half maps to +2^31, the "]" end of the documented interval. *)
+
+let lt a b = diff a b < 0
+let le a b = diff a b <= 0
+
+let between x ~lo ~hi =
+  let width = (hi - lo) land mask in
+  let off = (x - lo) land mask in
+  off < width
+
+let unwrap ~near t =
+  let base = near land mask in
+  let delta = diff t (of_int base) in
+  near + delta
+
+let equal = Int.equal
+let pp ppf t = Format.fprintf ppf "%u" t

@@ -1,0 +1,38 @@
+(** 32-bit sequence-number arithmetic (modulo 2³²).
+
+    TCP-style transports number bytes in a 32-bit space that wraps; all
+    comparisons are therefore relative ("serial number arithmetic").
+    Internally our endpoints track absolute 63-bit offsets and convert at
+    the wire — {!unwrap} recovers an absolute offset from a wire value
+    given any nearby reference, which is exactly what a receiver knows. *)
+
+type t
+(** A sequence number in [0, 2³²). *)
+
+val of_int : int -> t
+(** Truncates to the low 32 bits (negative ints are masked too). *)
+
+val to_int : t -> int
+(** In [0, 2³²). *)
+
+val zero : t
+val add : t -> int -> t
+val diff : t -> t -> int
+(** [diff a b] is the signed distance from [b] to [a] in (-2³¹, 2³¹]. *)
+
+val lt : t -> t -> bool
+(** [lt a b] iff [a] precedes [b] in wraparound order ([diff a b < 0]). *)
+
+val le : t -> t -> bool
+
+val between : t -> lo:t -> hi:t -> bool
+(** [between x ~lo ~hi] iff [x] lies in the half-open wraparound interval
+    [lo, hi). *)
+
+val unwrap : near:int -> t -> int
+(** The absolute offset congruent to the wire value (mod 2³²) closest to
+    [near]. May be negative if [near] is near zero and the value wrapped
+    backwards; callers clamp as appropriate. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

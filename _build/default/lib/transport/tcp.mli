@@ -1,0 +1,110 @@
+(** A TCP-like reliable, in-order byte-stream transport — the baseline.
+
+    This endpoint reproduces the data-transfer-phase behaviour the paper
+    attributes to "transport protocols such as TCP": bytes are numbered in
+    a 32-bit sequence space meaningless to the application; the receiver
+    holds back everything behind a hole and delivers a strictly ordered
+    stream; the sender keeps a retransmission copy of all unacknowledged
+    data, driven by cumulative ACKs, an adaptive retransmission timeout
+    (Jacobson/Karels with Karn's rule), fast retransmit on three duplicate
+    ACKs, and Reno-style slow start / congestion avoidance. Flow control
+    advertises the resequencing buffer's free space.
+
+    Both endpoints are created pre-established (the paper sets connection
+    management aside); a FIN bit provides an end-of-stream marker so
+    applications can observe completion.
+
+    Instrumentation: every in-band {e control} operation and every
+    {e manipulation} byte touched is counted ({!stats}), which is the raw
+    material of experiment E8 (control vs manipulation cost) and E6
+    (pipeline stall under loss, via {!buffered_bytes}). *)
+
+open Bufkit
+open Netsim
+
+type config = {
+  mss : int;  (** Max payload bytes per segment. *)
+  recv_capacity : int;  (** Resequencing buffer, bytes. *)
+  initial_cwnd_mss : int;
+  ack_delay : float;  (** Seconds; 0 disables delayed ACKs. *)
+  proto : int;  (** Demux tag used on the node. *)
+  isn : int;  (** This endpoint's initial send sequence number (absolute;
+      only the low 32 bits travel). With no handshake, the peer's
+      [peer_isn] must match. *)
+  peer_isn : int;  (** The peer's initial sequence number. *)
+}
+
+val default_config : config
+(** mss 1460, 64 KiB receive buffer, cwnd 4 segments, immediate ACKs,
+    proto 6, both ISNs 0. *)
+
+type stats = {
+  mutable segs_sent : int;
+  mutable segs_received : int;
+  mutable segs_discarded : int;  (** Checksum failures. *)
+  mutable acks_sent : int;
+  mutable acks_received : int;
+  mutable dup_acks : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable bytes_sent : int;  (** Payload bytes, first transmissions. *)
+  mutable bytes_retransmitted : int;
+  mutable bytes_acked : int;
+  mutable bytes_delivered : int;  (** Handed to the application in order. *)
+  mutable control_ops : int;  (** In-band control operations executed. *)
+  mutable manip_checksum_bytes : int;  (** Bytes read by checksumming. *)
+  mutable manip_copy_bytes : int;  (** Bytes moved by copies. *)
+}
+
+type t
+
+val create :
+  engine:Engine.t ->
+  node:Node.t ->
+  peer:Packet.addr ->
+  ?config:config ->
+  unit ->
+  t
+(** Attaches to [node] at [config.proto]. One connection per (node,
+    proto). *)
+
+val send : t -> Bytebuf.t -> unit
+(** Queue application data (copied at segmentation time; the transport
+    retains its own retransmission copy — the paper's "buffering for
+    retransmission" manipulation). *)
+
+val send_string : t -> string -> unit
+
+val finish : t -> unit
+(** Queue end-of-stream: after all data, a FIN is sent and retransmitted
+    until acknowledged. *)
+
+val on_deliver : t -> (Bytebuf.t -> unit) -> unit
+(** In-order data as it becomes contiguous. Chunks are fresh buffers owned
+    by the callee. *)
+
+val on_close : t -> (unit -> unit) -> unit
+(** Peer's FIN consumed in order: the stream is complete. *)
+
+val set_tracer : t -> (string -> unit) -> unit
+(** Install a line-oriented event tracer (sends, retransmissions,
+    timeouts, out-of-order arrivals); e.g. feed [Netsim.Trace.log]. *)
+
+val stats : t -> stats
+val rcv_nxt : t -> int
+val snd_una : t -> int
+val snd_nxt : t -> int
+val buffered_bytes : t -> int
+(** Bytes parked out-of-order behind a hole (the stalled-pipeline gauge). *)
+
+val unacked_bytes : t -> int
+(** Sender memory held for possible retransmission. *)
+
+val send_queue_bytes : t -> int
+val cwnd : t -> int
+val closed : t -> bool
+(** Peer FIN consumed. *)
+
+val all_acked : t -> bool
+(** Everything queued (including FIN if any) acknowledged. *)

@@ -1,0 +1,1 @@
+lib/wire/ber.ml: Array Buffer Bufkit Bytebuf Bytes Char Cursor Format Int64 List Printf String Value

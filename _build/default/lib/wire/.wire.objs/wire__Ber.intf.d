@@ -1,0 +1,1 @@
+lib/wire/ber.mli: Bufkit Bytebuf Cursor Value

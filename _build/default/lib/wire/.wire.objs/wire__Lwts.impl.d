@@ -1,0 +1,1 @@
+lib/wire/lwts.ml: Array Bufkit Bytebuf Bytes Char Cursor Format Int32 Int64 List String Value Xdr

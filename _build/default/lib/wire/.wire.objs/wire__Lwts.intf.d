@@ -1,0 +1,1 @@
+lib/wire/lwts.mli: Bufkit Bytebuf Cursor Value Xdr

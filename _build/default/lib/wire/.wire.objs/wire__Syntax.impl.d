@@ -1,0 +1,1 @@
+lib/wire/syntax.ml: Ber Bufkit Bytebuf Format List Lwts String Value Xdr

@@ -1,0 +1,1 @@
+lib/wire/syntax.mli: Bufkit Bytebuf Format Value Xdr

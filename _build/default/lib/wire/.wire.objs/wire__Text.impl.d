@@ -1,0 +1,1 @@
+lib/wire/text.ml: Buffer Bufkit Bytebuf List Printf String

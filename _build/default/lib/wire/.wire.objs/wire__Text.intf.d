@@ -1,0 +1,1 @@
+lib/wire/text.mli: Bufkit Bytebuf

@@ -1,0 +1,1 @@
+lib/wire/value.ml: Array Char Format Int64 List Option String

@@ -1,0 +1,1 @@
+lib/wire/xdr.mli: Bufkit Bytebuf Cursor Format Value

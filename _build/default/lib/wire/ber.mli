@@ -1,0 +1,52 @@
+(** ASN.1 Basic Encoding Rules, the subset the experiments need.
+
+    Tags: BOOLEAN, INTEGER (minimal two's complement), OCTET STRING, NULL,
+    UTF8String, SEQUENCE (definite lengths only). Record field names are
+    not carried — [decode (encode v)] equals [Value.strip_names v].
+
+    Two encoders are provided on purpose:
+
+    - {!encode} is the tuned path the paper's hand-coded 28 Mb/s routine
+      corresponds to: exact size computed up front, one pre-allocated
+      buffer, a single writing pass.
+    - {!encode_interpretive} is the ISODE-toolkit-flavoured path: each TLV
+      is built as an intermediate string and concatenated, the way a
+      generic presentation toolkit interprets the abstract syntax. Its
+      slowness relative to {!encode} is part of experiment E5's honesty
+      (the paper's footnote 5 makes the same tuned-vs-toolkit point).
+
+    The integer-array fast paths are the workloads of experiments E3/E4. *)
+
+open Bufkit
+
+exception Decode_error of string
+
+val sizeof : Value.t -> int
+(** Exact encoded size in bytes. *)
+
+val encode : Value.t -> Bytebuf.t
+
+val encode_into : Value.t -> Cursor.writer -> unit
+(** Encode into an existing buffer (for fused stacks); raises
+    [Cursor.Overflow] if it does not fit. *)
+
+val encode_interpretive : Value.t -> Bytebuf.t
+
+val decode : Bytebuf.t -> Value.t
+(** Decodes exactly one value; raises {!Decode_error} on malformed input
+    or trailing bytes. *)
+
+val decode_prefix : Bytebuf.t -> Value.t * int
+(** Decode one value, returning it and the number of bytes consumed. *)
+
+(** {1 Integer-array fast paths (experiments E3 and E4)} *)
+
+val encode_int_array : int array -> Bytebuf.t
+(** SEQUENCE OF INTEGER, tuned single pass. *)
+
+val decode_int_array : Bytebuf.t -> int array
+
+val encode_int_array_with_checksum : int array -> Bytebuf.t * int
+(** Encode and compute the Internet checksum of the encoding {e in the same
+    loop} — the paper's "converted and checksummed in one step"
+    measurement. Returns (encoding, checksum). *)

@@ -1,0 +1,27 @@
+(** A light-weight transfer syntax (after Huitema & Doghri, IFIP 1989).
+
+    The paper points to "the introduction of alternatives, such as the
+    light weight transfer syntax" as one way to rescue presentation
+    performance. The idea: negotiate the layout once, then ship values in
+    a representation deliberately close to host memory — little-endian
+    fixed-width words, no per-element tags, no alignment padding, counts
+    only where the schema has variable length. Encoding an int array is
+    then one tight store loop, within a small factor of a raw copy.
+
+    Shares {!Xdr.schema} so experiments can swap syntaxes while holding
+    the abstract value constant. *)
+
+open Bufkit
+
+exception Error of string
+
+val sizeof : Xdr.schema -> Value.t -> int
+val encode : Xdr.schema -> Value.t -> Bytebuf.t
+val encode_into : Xdr.schema -> Value.t -> Cursor.writer -> unit
+val decode : Xdr.schema -> Bytebuf.t -> Value.t
+val decode_prefix : Xdr.schema -> Bytebuf.t -> Value.t * int
+
+(** {1 Integer-array fast paths} *)
+
+val encode_int_array : int array -> Bytebuf.t
+val decode_int_array : Bytebuf.t -> int array

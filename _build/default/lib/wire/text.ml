@@ -1,0 +1,54 @@
+open Bufkit
+
+let network_size s =
+  let n = ref 0 in
+  String.iter (fun c -> n := !n + if c = '\n' then 2 else 1) s;
+  !n
+
+let to_network s =
+  let out = Bytebuf.create (network_size s) in
+  let pos = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '\r' then invalid_arg "Text.to_network: bare CR in internal text";
+      if c = '\n' then begin
+        Bytebuf.set out !pos '\r';
+        Bytebuf.set out (!pos + 1) '\n';
+        pos := !pos + 2
+      end
+      else begin
+        Bytebuf.set out !pos c;
+        incr pos
+      end)
+    s;
+  out
+
+let of_network buf =
+  let n = Bytebuf.length buf in
+  let out = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents out)
+    else
+      match Bytebuf.get buf i with
+      | '\r' ->
+          if i + 1 < n && Bytebuf.get buf (i + 1) = '\n' then begin
+            Buffer.add_char out '\n';
+            go (i + 2)
+          end
+          else Error (Printf.sprintf "bare CR at offset %d" i)
+      | '\n' -> Error (Printf.sprintf "bare LF at offset %d" i)
+      | c ->
+          Buffer.add_char out c;
+          go (i + 1)
+  in
+  go 0
+
+let placement adus =
+  let _, rev =
+    List.fold_left
+      (fun (off, acc) s ->
+        let len = network_size s in
+        (off + len, (off, len) :: acc))
+      (0, []) adus
+  in
+  List.rev rev

@@ -1,0 +1,29 @@
+(** Network text: the smallest presentation conversion there is.
+
+    Footnote 1 of the paper: "since ASCII is vague on the representation
+    of its newline convention, the Internet protocols require a conversion
+    from internal ASCII to external ASCII". This module is that
+    conversion — internal [\n] to network [\r\n] and back — included
+    because it exhibits, in miniature, the property §5 builds its
+    placement argument on: presentation conversion {e changes data sizes},
+    so transport byte numbers of the network form say nothing about
+    positions in the application's form unless the sender computes the
+    mapping ({!network_size}, {!placement}). *)
+
+open Bufkit
+
+val network_size : string -> int
+(** Size of the network form of an internal-text string. *)
+
+val to_network : string -> Bytebuf.t
+(** LF → CRLF. A bare CR in the input is rejected with
+    [Invalid_argument] (internal text has no carriage returns). *)
+
+val of_network : Bytebuf.t -> (string, string) result
+(** CRLF → LF. Errors on a bare CR or bare LF (malformed network text). *)
+
+val placement : string list -> (int * int) list
+(** Sender-computed placement: for a document already split into text
+    ADUs, the (offset, length) of each ADU's {e network form} in the
+    receiver's stream — the text counterpart of
+    [Wire.Syntax.placements]. *)

@@ -1,0 +1,190 @@
+open Bufkit
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type schema =
+  | S_void
+  | S_bool
+  | S_int
+  | S_hyper
+  | S_opaque
+  | S_string
+  | S_array of schema
+  | S_struct of schema list
+
+let check_int32 i =
+  if i < Int32.to_int Int32.min_int || i > Int32.to_int Int32.max_int then
+    error "XDR: integer %d outside 32-bit range" i
+
+let rec schema_of_value (v : Value.t) =
+  match v with
+  | Null -> S_void
+  | Bool _ -> S_bool
+  | Int i ->
+      check_int32 i;
+      S_int
+  | Int64 _ -> S_hyper
+  | Octets _ -> S_opaque
+  | Utf8 _ -> S_string
+  | List [] -> S_array S_int
+  | List (v0 :: rest) ->
+      let s0 = schema_of_value v0 in
+      let ss = List.map schema_of_value rest in
+      if List.for_all (fun s -> s = s0) ss then S_array s0
+      else S_struct (s0 :: ss)
+  | Record fs -> S_struct (List.map (fun (_, v) -> schema_of_value v) fs)
+
+let padding n = (4 - (n land 3)) land 3
+
+let rec sizeof schema (v : Value.t) =
+  match (schema, v) with
+  | S_void, Null -> 0
+  | S_bool, Bool _ -> 4
+  | S_int, Int i ->
+      check_int32 i;
+      4
+  | S_hyper, Int64 _ -> 8
+  | S_hyper, Int _ -> 8
+  | (S_opaque, Octets s) | (S_string, Utf8 s) ->
+      let n = String.length s in
+      4 + n + padding n
+  | S_array s, List vs ->
+      List.fold_left (fun acc v -> acc + sizeof s v) 4 vs
+  | S_struct ss, List vs ->
+      if List.length ss <> List.length vs then
+        error "XDR: struct arity mismatch";
+      List.fold_left2 (fun acc s v -> acc + sizeof s v) 0 ss vs
+  | S_struct ss, Record fs ->
+      sizeof (S_struct ss) (List (List.map snd fs))
+  | ( (S_void | S_bool | S_int | S_hyper | S_opaque | S_string | S_array _ | S_struct _),
+      (Null | Bool _ | Int _ | Int64 _ | Octets _ | Utf8 _ | List _ | Record _) )
+    ->
+      error "XDR: value does not match schema"
+
+let put_padded w s =
+  let n = String.length s in
+  Cursor.put_int_as_u32be w n;
+  Cursor.put_string w s;
+  for _ = 1 to padding n do
+    Cursor.put_u8 w 0
+  done
+
+let rec encode_into schema (v : Value.t) w =
+  match (schema, v) with
+  | S_void, Null -> ()
+  | S_bool, Bool b -> Cursor.put_int_as_u32be w (if b then 1 else 0)
+  | S_int, Int i ->
+      check_int32 i;
+      Cursor.put_int_as_u32be w i
+  | S_hyper, Int64 i -> Cursor.put_u64be w i
+  | S_hyper, Int i -> Cursor.put_u64be w (Int64.of_int i)
+  | (S_opaque, Octets s) | (S_string, Utf8 s) -> put_padded w s
+  | S_array s, List vs ->
+      Cursor.put_int_as_u32be w (List.length vs);
+      List.iter (fun v -> encode_into s v w) vs
+  | S_struct ss, List vs ->
+      if List.length ss <> List.length vs then
+        error "XDR: struct arity mismatch";
+      List.iter2 (fun s v -> encode_into s v w) ss vs
+  | S_struct ss, Record fs ->
+      encode_into (S_struct ss) (List (List.map snd fs)) w
+  | ( (S_void | S_bool | S_int | S_hyper | S_opaque | S_string | S_array _ | S_struct _),
+      (Null | Bool _ | Int _ | Int64 _ | Octets _ | Utf8 _ | List _ | Record _) )
+    ->
+      error "XDR: value does not match schema"
+
+let encode schema v =
+  let buf = Bytebuf.create (sizeof schema v) in
+  let w = Cursor.writer buf in
+  encode_into schema v w;
+  Cursor.written w
+
+let read_padded r =
+  let n = Cursor.int32_as_int r in
+  if n < 0 || n > Cursor.remaining r then error "XDR: bad counted length %d" n;
+  let s = Cursor.string r n in
+  Cursor.skip r (padding n);
+  s
+
+let rec decode_value schema r : Value.t =
+  match schema with
+  | S_void -> Null
+  | S_bool -> (
+      match Cursor.int32_as_int r with
+      | 0 -> Bool false
+      | 1 -> Bool true
+      | n -> error "XDR: boolean with value %d" n)
+  | S_int -> Int (Cursor.int32_as_int r)
+  | S_hyper ->
+      (* Normalise to the canonical value form (see Value.canonical). *)
+      Value.canonical (Int64 (Cursor.u64be r))
+  | S_opaque -> Octets (read_padded r)
+  | S_string -> Utf8 (read_padded r)
+  | S_array s ->
+      let n = Cursor.int32_as_int r in
+      (* Elements may encode to zero bytes (void), so bound the count by a
+         sanity cap rather than the remaining bytes; truncation surfaces
+         as Underflow while decoding the elements. *)
+      if n < 0 || n > 0x1000000 then
+        error "XDR: unreasonable array count %d" n;
+      let rec go k acc =
+        if k = 0 then List.rev acc else go (k - 1) (decode_value s r :: acc)
+      in
+      List (go n [])
+  | S_struct ss -> List (List.map (fun s -> decode_value s r) ss)
+
+let decode_prefix schema buf =
+  let r = Cursor.reader buf in
+  let v =
+    try decode_value schema r with
+    | Cursor.Underflow msg -> error "XDR: truncated input (%s)" msg
+  in
+  (v, Cursor.pos r)
+
+let decode schema buf =
+  let v, consumed = decode_prefix schema buf in
+  if consumed <> Bytebuf.length buf then
+    error "XDR: %d trailing bytes" (Bytebuf.length buf - consumed);
+  v
+
+let rec pp_schema ppf = function
+  | S_void -> Format.fprintf ppf "void"
+  | S_bool -> Format.fprintf ppf "bool"
+  | S_int -> Format.fprintf ppf "int"
+  | S_hyper -> Format.fprintf ppf "hyper"
+  | S_opaque -> Format.fprintf ppf "opaque<>"
+  | S_string -> Format.fprintf ppf "string<>"
+  | S_array s -> Format.fprintf ppf "%a<>" pp_schema s
+  | S_struct ss ->
+      Format.fprintf ppf "@[<hov 1>{%a}@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           pp_schema)
+        ss
+
+(* Fast paths: a counted array of 32-bit integers, written with direct
+   byte stores. *)
+let encode_int_array a =
+  let n = Array.length a in
+  let buf = Bytebuf.create (4 + (4 * n)) in
+  let bytes, base, _ = Bytebuf.backing buf in
+  let set32 off v =
+    Bytes.unsafe_set bytes (base + off) (Char.unsafe_chr ((v lsr 24) land 0xff));
+    Bytes.unsafe_set bytes (base + off + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set bytes (base + off + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set bytes (base + off + 3) (Char.unsafe_chr (v land 0xff))
+  in
+  set32 0 n;
+  for i = 0 to n - 1 do
+    set32 (4 + (4 * i)) a.(i)
+  done;
+  buf
+
+let decode_int_array buf =
+  let r = Cursor.reader buf in
+  let n = Cursor.int32_as_int r in
+  if n < 0 || 4 * n > Cursor.remaining r then
+    error "XDR: array count %d exceeds input" n;
+  Array.init n (fun _ -> Cursor.int32_as_int r)

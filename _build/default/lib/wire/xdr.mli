@@ -1,0 +1,44 @@
+(** Sun XDR (RFC 1014), the subset the experiments need.
+
+    XDR is not self-describing: sender and receiver share a schema (the
+    abstract syntax agreed out of band) and the wire carries only values,
+    each padded to a 4-byte boundary, big-endian. Cheaper per element than
+    BER (no tags, no per-element length computation) but still a
+    conversion: every integer is byte-swapped and every variable-length
+    item padded. *)
+
+open Bufkit
+
+exception Error of string
+
+type schema =
+  | S_void
+  | S_bool
+  | S_int  (** 32-bit signed. *)
+  | S_hyper  (** 64-bit signed. *)
+  | S_opaque  (** Variable-length opaque, counted. *)
+  | S_string
+  | S_array of schema  (** Variable-length counted array. *)
+  | S_struct of schema list
+
+val schema_of_value : Value.t -> schema
+(** Infer a schema from a sample value ([Int] → [S_int], [List] → [S_array]
+    of the first element's schema or [S_struct] when heterogeneous...).
+    Raises {!Error} on [Int] values outside 32-bit range. *)
+
+val sizeof : schema -> Value.t -> int
+(** Exact encoded size. Raises {!Error} if the value does not match. *)
+
+val encode : schema -> Value.t -> Bytebuf.t
+val encode_into : schema -> Value.t -> Cursor.writer -> unit
+val decode : schema -> Bytebuf.t -> Value.t
+val decode_prefix : schema -> Bytebuf.t -> Value.t * int
+
+val pp_schema : Format.formatter -> schema -> unit
+
+(** {1 Integer-array fast paths} *)
+
+val encode_int_array : int array -> Bytebuf.t
+(** Counted array of 32-bit big-endian integers. *)
+
+val decode_int_array : Bytebuf.t -> int array

@@ -1,0 +1,1 @@
+test/test_atmsim.ml: Aal34 Aal5 Alcotest Atmsim Bearer Bufkit Bytebuf Cell Char Engine Hashtbl Impair List Netsim Printf QCheck QCheck_alcotest Rng Topology

@@ -1,0 +1,1 @@
+test/test_bufkit.ml: Alcotest Bufkit Bytebuf Bytes Cursor Gen Hexdump Int32 Int64 Iovec List Pool QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_checksum.ml: Alcotest Bufkit Bytebuf Char Checksum Gen Int32 Iovec List QCheck QCheck_alcotest String

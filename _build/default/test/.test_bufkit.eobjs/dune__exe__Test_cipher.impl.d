@@ -1,0 +1,1 @@
+test/test_cipher.ml: Alcotest Bufkit Bytebuf Char Cipher Gen Int64 List Printf QCheck QCheck_alcotest String

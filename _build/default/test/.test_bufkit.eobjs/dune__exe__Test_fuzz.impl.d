@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Alf_core Atmsim Bufkit Bytebuf Bytes Char Engine Format Gen Hexdump List Netsim QCheck QCheck_alcotest Rng Rpcsim Topology Transport Wire

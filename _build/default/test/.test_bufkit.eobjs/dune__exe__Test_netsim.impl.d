@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Bufkit Engine Hashtbl Impair Link List Netsim Node Option Packet Printf QCheck QCheck_alcotest Rng Stats Switch Topology Trace Workload

@@ -1,0 +1,1 @@
+test/test_rpcsim.ml: Alcotest Alf_core Atmsim Engine Format Impair List Netsim Rng Rpc Rpcsim Stub Topology Transport Wire

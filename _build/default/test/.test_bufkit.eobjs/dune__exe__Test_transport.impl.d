@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Buffer Bufkit Bytebuf Char Engine Format Gen Impair List Netsim Printf QCheck QCheck_alcotest Reorder Rng Rto Segment Seq32 String Tcp Topology Transport Udp

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Ber Bufkit Bytebuf Checksum Format Gen Int32 List Lwts Printf QCheck QCheck_alcotest String Syntax Text Value Wire Xdr

@@ -1,0 +1,330 @@
+open Bufkit
+open Atmsim
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let payload48 seed = Bytebuf.init 48 (fun i -> Char.chr ((seed + (i * 7)) land 0xff))
+
+(* --- Cell --- *)
+
+let test_cell_round_trip () =
+  let p = payload48 3 in
+  let cell = Cell.make ~vci:0x00ABCD ~pti:5 ~clp:true p in
+  let wire = Cell.encode cell in
+  Alcotest.(check int) "53 bytes" Cell.cell_size (Bytebuf.length wire);
+  let back = Cell.decode wire in
+  Alcotest.(check int) "vci" 0x00ABCD back.Cell.vci;
+  Alcotest.(check int) "pti" 5 back.Cell.pti;
+  Alcotest.(check bool) "clp" true back.Cell.clp;
+  Alcotest.(check bool) "payload" true (Bytebuf.equal p back.Cell.payload)
+
+let prop_cell_round_trip =
+  QCheck.Test.make ~name:"cell: header round trip" ~count:300
+    QCheck.(triple (int_range 0 0xFFFFFF) (int_range 0 7) bool)
+    (fun (vci, pti, clp) ->
+      let cell = Cell.make ~vci ~pti ~clp (payload48 (vci land 0xff)) in
+      let back = Cell.decode (Cell.encode cell) in
+      back.Cell.vci = vci && back.Cell.pti = pti && back.Cell.clp = clp)
+
+let test_cell_hec_detects_header_damage () =
+  let wire = Cell.encode (Cell.make ~vci:77 (payload48 0)) in
+  for i = 0 to 3 do
+    let bad = Bytebuf.copy wire in
+    Bytebuf.set_uint8 bad i (Bytebuf.get_uint8 bad i lxor 0x40);
+    match Cell.decode bad with
+    | _ -> Alcotest.fail "HEC missed header damage"
+    | exception Cell.Header_error _ -> ()
+  done
+
+let test_cell_bad_sizes () =
+  (match Cell.make ~vci:1 (Bytebuf.create 47) with
+  | _ -> Alcotest.fail "short payload accepted"
+  | exception Invalid_argument _ -> ());
+  match Cell.decode (Bytebuf.create 52) with
+  | _ -> Alcotest.fail "short cell decoded"
+  | exception Cell.Header_error _ -> ()
+
+let test_cell_payload_zero_copy () =
+  let wire = Cell.encode (Cell.make ~vci:1 (payload48 9)) in
+  let cell = Cell.decode wire in
+  Bytebuf.set cell.Cell.payload 0 'Z';
+  Alcotest.(check char) "aliases wire" 'Z' (Bytebuf.get wire Cell.header_size)
+
+(* --- AAL3/4 --- *)
+
+let frame_of_size n = Bytebuf.init n (fun i -> Char.chr (((i * 13) + n) land 0xff))
+
+let reassemble_34 pdus =
+  let got = ref [] in
+  let r = Aal34.reassembler ~deliver:(fun ~mid frame -> got := (mid, frame) :: !got) in
+  List.iter (Aal34.push r) pdus;
+  (List.rev !got, Aal34.stats r)
+
+let test_aal34_cells_are_48 () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun pdu -> Alcotest.(check int) "48 bytes" 48 (Bytebuf.length pdu))
+        (Aal34.segment ~mid:1 (frame_of_size n)))
+    [ 0; 1; 39; 40; 41; 44; 100; 1000 ]
+
+let test_aal34_single_cell_frame () =
+  (* <= 40 bytes fit one SSM cell (44 minus the 4-byte CPCS header). *)
+  let frame = frame_of_size 40 in
+  let pdus = Aal34.segment ~mid:7 frame in
+  Alcotest.(check int) "one cell" 1 (List.length pdus);
+  let got, stats = reassemble_34 pdus in
+  Alcotest.(check int) "delivered" 1 stats.Aal34.delivered;
+  match got with
+  | [ (7, f) ] -> Alcotest.(check bool) "frame intact" true (Bytebuf.equal f frame)
+  | _ -> Alcotest.fail "wrong delivery"
+
+let prop_aal34_round_trip =
+  QCheck.Test.make ~name:"aal34: segment/reassemble round trip" ~count:200
+    QCheck.(pair (int_range 0 5000) (int_range 0 1023))
+    (fun (n, mid) ->
+      let frame = frame_of_size n in
+      let got, stats = reassemble_34 (Aal34.segment ~mid frame) in
+      stats.Aal34.delivered = 1
+      && match got with [ (m, f) ] -> m = mid && Bytebuf.equal f frame | _ -> false)
+
+let test_aal34_lost_cell_aborts () =
+  let frame = frame_of_size 500 in
+  let pdus = Aal34.segment ~mid:3 frame in
+  Alcotest.(check bool) "multi cell" true (List.length pdus > 3);
+  let survivors = List.filteri (fun i _ -> i <> 2) pdus in
+  let got, stats = reassemble_34 survivors in
+  Alcotest.(check int) "nothing delivered" 0 (List.length got);
+  Alcotest.(check bool) "gap detected" true (stats.Aal34.aborted_gap >= 1)
+
+let test_aal34_lost_bom_aborts () =
+  let pdus = Aal34.segment ~mid:3 (frame_of_size 500) in
+  let survivors = List.tl pdus in
+  let got, stats = reassemble_34 survivors in
+  Alcotest.(check int) "nothing delivered" 0 (List.length got);
+  Alcotest.(check int) "every cell orphaned" (List.length survivors)
+    stats.Aal34.orphan_cells
+
+let test_aal34_corrupt_cell_crc () =
+  let pdus = Aal34.segment ~mid:2 (frame_of_size 300) in
+  let corrupted =
+    List.mapi
+      (fun i pdu ->
+        if i = 1 then begin
+          let bad = Bytebuf.copy pdu in
+          Bytebuf.set_uint8 bad 10 (Bytebuf.get_uint8 bad 10 lxor 0x01);
+          bad
+        end
+        else pdu)
+      pdus
+  in
+  let got, stats = reassemble_34 corrupted in
+  Alcotest.(check int) "nothing delivered" 0 (List.length got);
+  Alcotest.(check bool) "crc caught it" true (stats.Aal34.aborted_crc >= 1)
+
+let test_aal34_interleaved_mids () =
+  let fa = frame_of_size 300 and fb = frame_of_size 200 in
+  let pa = Aal34.segment ~mid:10 fa and pb = Aal34.segment ~mid:20 fb in
+  let rec interleave xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> x :: y :: interleave xs ys
+  in
+  let got, stats = reassemble_34 (interleave pa pb) in
+  Alcotest.(check int) "both delivered" 2 stats.Aal34.delivered;
+  let find mid = List.assoc mid got in
+  Alcotest.(check bool) "frame a" true (Bytebuf.equal (find 10) fa);
+  Alcotest.(check bool) "frame b" true (Bytebuf.equal (find 20) fb)
+
+let test_aal34_new_bom_supersedes () =
+  let old_pdus = Aal34.segment ~mid:4 (frame_of_size 300) in
+  let fresh = frame_of_size 120 in
+  let new_pdus = Aal34.segment ~mid:4 fresh in
+  let truncated_old = [ List.hd old_pdus; List.nth old_pdus 1 ] in
+  let got, stats = reassemble_34 (truncated_old @ new_pdus) in
+  Alcotest.(check int) "one delivered" 1 stats.Aal34.delivered;
+  Alcotest.(check bool) "gap counted" true (stats.Aal34.aborted_gap >= 1);
+  match got with
+  | [ (4, f) ] -> Alcotest.(check bool) "new frame" true (Bytebuf.equal f fresh)
+  | _ -> Alcotest.fail "wrong delivery"
+
+let test_aal34_net_payload_is_44 () =
+  (* The paper's footnote: net payload after adaptation is 44-46 bytes. *)
+  Alcotest.(check int) "sar payload" 44 Aal34.sar_payload;
+  let n = (44 * 10) - 4 in
+  let pdus = Aal34.segment ~mid:0 (frame_of_size n) in
+  Alcotest.(check int) "exactly 10 cells" 10 (List.length pdus)
+
+(* --- AAL5 --- *)
+
+let reassemble_5 cells =
+  let got = ref [] in
+  let r = Aal5.reassembler ~deliver:(fun frame -> got := frame :: !got) () in
+  List.iter (fun (payload, eof) -> Aal5.push r payload ~eof) cells;
+  (List.rev !got, Aal5.stats r)
+
+let prop_aal5_round_trip =
+  QCheck.Test.make ~name:"aal5: segment/reassemble round trip" ~count:200
+    QCheck.(int_range 0 5000)
+    (fun n ->
+      let frame = frame_of_size n in
+      let got, stats = reassemble_5 (Aal5.segment frame) in
+      stats.Aal5.delivered = 1
+      && match got with [ f ] -> Bytebuf.equal f frame | _ -> false)
+
+let test_aal5_cell_count () =
+  List.iter
+    (fun n ->
+      let expect = (n + 8 + 47) / 48 in
+      Alcotest.(check int)
+        (Printf.sprintf "cells for %d" n)
+        expect
+        (List.length (Aal5.segment (frame_of_size n))))
+    [ 0; 1; 40; 41; 48; 88; 89; 1000 ]
+
+let test_aal5_lost_middle_cell () =
+  let cells = Aal5.segment (frame_of_size 500) in
+  let survivors = List.filteri (fun i _ -> i <> 1) cells in
+  let got, stats = reassemble_5 survivors in
+  Alcotest.(check int) "nothing delivered" 0 (List.length got);
+  Alcotest.(check int) "crc abort" 1 stats.Aal5.aborted_crc
+
+let test_aal5_lost_eof_merges_frames () =
+  (* Losing the end-of-frame cell merges two frames; the CRC rejects the
+     blob — exactly one abort, nothing delivered. *)
+  let a = Aal5.segment (frame_of_size 100) in
+  let b = Aal5.segment (frame_of_size 120) in
+  let a_without_eof = List.filteri (fun i _ -> i < List.length a - 1) a in
+  let got, stats = reassemble_5 (a_without_eof @ b) in
+  Alcotest.(check int) "nothing delivered" 0 (List.length got);
+  Alcotest.(check int) "one crc abort" 1 stats.Aal5.aborted_crc
+
+let test_aal5_oversize_guard () =
+  let r = Aal5.reassembler ~max_frame_cells:4 ~deliver:(fun _ -> ()) () in
+  for _ = 1 to 10 do
+    Aal5.push r (payload48 1) ~eof:false
+  done;
+  Alcotest.(check int) "oversize aborts" 2 (Aal5.stats r).Aal5.aborted_oversize
+
+let test_aal5_vs_aal34_efficiency () =
+  List.iter
+    (fun n ->
+      let c5 = List.length (Aal5.segment (frame_of_size n)) in
+      let c34 = List.length (Aal34.segment ~mid:0 (frame_of_size n)) in
+      Alcotest.(check bool) (Printf.sprintf "aal5 <= aal34 at %d" n) true (c5 <= c34))
+    [ 100; 500; 1000; 5000 ]
+
+(* --- Bearer --- *)
+
+open Netsim
+
+let mk_bearer_world ?(loss = 0.0) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:9L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy loss)
+      ~queue_limit:4096 ~bandwidth_bps:25e6 ~delay:0.001 ~a:1 ~b:2 ()
+  in
+  let ba = Bearer.create ~engine ~node:net.Topology.a () in
+  let bb = Bearer.create ~engine ~node:net.Topology.b () in
+  (engine, ba, bb)
+
+let test_bearer_frame_round_trip () =
+  let engine, ba, bb = mk_bearer_world () in
+  let got = ref [] in
+  Bearer.on_frame bb (fun ~src ~vci frame ->
+      got := (src, vci, Bytebuf.to_string frame) :: !got);
+  let frame = frame_of_size 1234 in
+  Alcotest.(check bool) "sent" true (Bearer.send_frame ba ~dst:2 ~vci:99 frame);
+  Engine.run_until_idle engine;
+  (match !got with
+  | [ (1, 99, payload) ] ->
+      Alcotest.(check string) "payload" (Bytebuf.to_string frame) payload
+  | _ -> Alcotest.fail "wrong delivery");
+  let st = Bearer.stats ba in
+  Alcotest.(check int) "cells = ceil((1234+8)/48)" ((1234 + 8 + 47) / 48)
+    st.Bearer.cells_sent
+
+let test_bearer_interleaved_vcis () =
+  (* Frames on distinct circuits from one source interleave cell-by-cell
+     on the wire yet reassemble separately. *)
+  let engine, ba, bb = mk_bearer_world () in
+  let got = Hashtbl.create 4 in
+  Bearer.on_frame bb (fun ~src:_ ~vci frame -> Hashtbl.replace got vci (Bytebuf.to_string frame));
+  let f1 = frame_of_size 500 and f2 = frame_of_size 700 in
+  ignore (Bearer.send_frame ba ~dst:2 ~vci:1 f1);
+  ignore (Bearer.send_frame ba ~dst:2 ~vci:2 f2);
+  Engine.run_until_idle engine;
+  Alcotest.(check string) "vci 1" (Bytebuf.to_string f1) (Hashtbl.find got 1);
+  Alcotest.(check string) "vci 2" (Bytebuf.to_string f2) (Hashtbl.find got 2)
+
+let test_bearer_cell_loss_kills_frame () =
+  let engine, ba, bb = mk_bearer_world ~loss:1.0 () in
+  let got = ref 0 in
+  Bearer.on_frame bb (fun ~src:_ ~vci:_ _ -> incr got);
+  ignore (Bearer.send_frame ba ~dst:2 ~vci:1 (frame_of_size 500));
+  Engine.run_until_idle engine;
+  Alcotest.(check int) "nothing arrives" 0 !got
+
+let test_bearer_corruption_detected () =
+  (* Per-cell corruption on the wire: either the HEC rejects the cell or
+     the AAL5 CRC rejects the frame; no corrupt frame is ever delivered. *)
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:10L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.make ~corrupt:0.2 ())
+      ~queue_limit:4096 ~bandwidth_bps:25e6 ~delay:0.001 ~a:1 ~b:2 ()
+  in
+  let ba = Bearer.create ~engine ~node:net.Topology.a () in
+  let bb = Bearer.create ~engine ~node:net.Topology.b () in
+  let sent = List.init 30 (fun i -> frame_of_size (300 + i)) in
+  let ok = ref 0 in
+  Bearer.on_frame bb (fun ~src:_ ~vci:_ frame ->
+      (* Whatever arrives must be one of the frames we sent, bit-exact. *)
+      if List.exists (fun f -> Bytebuf.equal f frame) sent then incr ok
+      else Alcotest.fail "corrupt frame delivered");
+  List.iter (fun f -> ignore (Bearer.send_frame ba ~dst:2 ~vci:7 f)) sent;
+  Engine.run_until_idle engine;
+  Alcotest.(check bool) "some frames survived" true (!ok > 0);
+  Alcotest.(check bool) "some frames were rejected" true (!ok < 30)
+
+let () =
+  Alcotest.run "atmsim"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "round trip" `Quick test_cell_round_trip;
+          Alcotest.test_case "hec detects damage" `Quick test_cell_hec_detects_header_damage;
+          Alcotest.test_case "bad sizes" `Quick test_cell_bad_sizes;
+          Alcotest.test_case "payload zero copy" `Quick test_cell_payload_zero_copy;
+          qcheck prop_cell_round_trip;
+        ] );
+      ( "aal34",
+        [
+          Alcotest.test_case "cells are 48" `Quick test_aal34_cells_are_48;
+          Alcotest.test_case "single cell frame" `Quick test_aal34_single_cell_frame;
+          Alcotest.test_case "lost cell aborts" `Quick test_aal34_lost_cell_aborts;
+          Alcotest.test_case "lost BOM aborts" `Quick test_aal34_lost_bom_aborts;
+          Alcotest.test_case "corrupt cell crc" `Quick test_aal34_corrupt_cell_crc;
+          Alcotest.test_case "interleaved mids" `Quick test_aal34_interleaved_mids;
+          Alcotest.test_case "new BOM supersedes" `Quick test_aal34_new_bom_supersedes;
+          Alcotest.test_case "net payload 44" `Quick test_aal34_net_payload_is_44;
+          qcheck prop_aal34_round_trip;
+        ] );
+      ( "bearer",
+        [
+          Alcotest.test_case "frame round trip" `Quick test_bearer_frame_round_trip;
+          Alcotest.test_case "interleaved vcis" `Quick test_bearer_interleaved_vcis;
+          Alcotest.test_case "cell loss kills frame" `Quick test_bearer_cell_loss_kills_frame;
+          Alcotest.test_case "corruption detected" `Quick test_bearer_corruption_detected;
+        ] );
+      ( "aal5",
+        [
+          Alcotest.test_case "cell count" `Quick test_aal5_cell_count;
+          Alcotest.test_case "lost middle cell" `Quick test_aal5_lost_middle_cell;
+          Alcotest.test_case "lost eof merges" `Quick test_aal5_lost_eof_merges_frames;
+          Alcotest.test_case "oversize guard" `Quick test_aal5_oversize_guard;
+          Alcotest.test_case "efficiency vs aal34" `Quick test_aal5_vs_aal34_efficiency;
+          qcheck prop_aal5_round_trip;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+open Bufkit
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+let buf = Bytebuf.of_string
+
+let hex s =
+  String.concat ""
+    (List.init (Bytebuf.length s) (fun i -> Printf.sprintf "%02X" (Bytebuf.get_uint8 s i)))
+
+(* --- RC4 --- *)
+
+(* The classic RC4 reference vectors. *)
+let test_rc4_vectors () =
+  let cases =
+    [
+      ("Key", "Plaintext", "BBF316E8D940AF0AD3");
+      ("Wiki", "pedia", "1021BF0420");
+      ("Secret", "Attack at dawn", "45A01F645FC35B383552544B9BF5");
+    ]
+  in
+  List.iter
+    (fun (key, plain, expect) ->
+      let rc4 = Cipher.Rc4.create ~key in
+      Alcotest.(check string) key expect (hex (Cipher.Rc4.transform rc4 (buf plain))))
+    cases
+
+let test_rc4_involution () =
+  let plain = buf "some plaintext of moderate length" in
+  let c = Cipher.Rc4.transform (Cipher.Rc4.create ~key:"k1") plain in
+  let p = Cipher.Rc4.transform (Cipher.Rc4.create ~key:"k1") c in
+  Alcotest.(check bool) "decrypts" true (Bytebuf.equal p plain)
+
+let test_rc4_copy_checkpoint () =
+  let a = Cipher.Rc4.create ~key:"checkpoint" in
+  (* Advance, checkpoint, then verify the copy replays the same stream. *)
+  for _ = 1 to 100 do
+    ignore (Cipher.Rc4.keystream_byte a)
+  done;
+  let b = Cipher.Rc4.copy a in
+  let from_a = List.init 16 (fun _ -> Cipher.Rc4.keystream_byte a) in
+  let from_b = List.init 16 (fun _ -> Cipher.Rc4.keystream_byte b) in
+  Alcotest.(check (list int)) "checkpoint replay" from_a from_b
+
+let test_rc4_sequential_dependence () =
+  (* Decrypting the second half without the first half's keystream fails:
+     the ordering constraint the paper attributes to chained/stream
+     encryption. *)
+  let plain = buf "0123456789abcdef0123456789abcdef" in
+  let c = Cipher.Rc4.transform (Cipher.Rc4.create ~key:"k") plain in
+  let second_half = Bytebuf.shift c 16 in
+  let wrong = Cipher.Rc4.transform (Cipher.Rc4.create ~key:"k") second_half in
+  Alcotest.(check bool) "out-of-order decrypt garbles" false
+    (Bytebuf.equal wrong (Bytebuf.shift plain 16))
+
+let test_rc4_key_validation () =
+  (match Cipher.Rc4.create ~key:"" with
+  | _ -> Alcotest.fail "empty key accepted"
+  | exception Invalid_argument _ -> ());
+  match Cipher.Rc4.create ~key:(String.make 257 'x') with
+  | _ -> Alcotest.fail "oversized key accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- Pad (seekable) --- *)
+
+let prop_pad_involution =
+  QCheck.Test.make ~name:"pad: transform twice = id" ~count:300
+    QCheck.(triple int64 int64 (string_of_size Gen.(0 -- 100)))
+    (fun (key, pos0, s) ->
+      let pos = Int64.logand pos0 0xFFFFFFFFL in
+      let pad = Cipher.Pad.create ~key in
+      let b = buf s in
+      Cipher.Pad.transform_at pad ~pos b;
+      Cipher.Pad.transform_at pad ~pos b;
+      Bytebuf.to_string b = s)
+
+let prop_pad_out_of_order =
+  QCheck.Test.make ~name:"pad: halves in any order = whole" ~count:300
+    QCheck.(pair int64 (string_of_size Gen.(2 -- 100)))
+    (fun (key, s) ->
+      let pad = Cipher.Pad.create ~key in
+      let whole = buf s in
+      Cipher.Pad.transform_at pad ~pos:1000L whole;
+      let parts = buf s in
+      let cut = String.length s / 2 in
+      let second = Bytebuf.shift parts cut in
+      (* Decrypt the second range first: position-addressing makes order
+         irrelevant. *)
+      Cipher.Pad.transform_at pad ~pos:(Int64.of_int (1000 + cut)) second;
+      Cipher.Pad.transform_at pad ~pos:1000L (Bytebuf.take parts cut);
+      Bytebuf.equal whole parts)
+
+let prop_pad_copy_fused =
+  QCheck.Test.make ~name:"pad: fused copy-transform = separate" ~count:300
+    QCheck.(pair int64 (string_of_size Gen.(0 -- 100)))
+    (fun (key, s) ->
+      let pad = Cipher.Pad.create ~key in
+      let src = buf s in
+      let dst = Bytebuf.create (String.length s) in
+      Cipher.Pad.transform_copy_at pad ~pos:42L ~src ~dst;
+      let reference = buf s in
+      Cipher.Pad.transform_at pad ~pos:42L reference;
+      Bytebuf.equal dst reference && Bytebuf.to_string src = s)
+
+let test_pad_block64_consistency () =
+  let pad = Cipher.Pad.create ~key:77L in
+  for idx = 0 to 3 do
+    let blk = Cipher.Pad.block64 pad (Int64.of_int idx) in
+    for off = 0 to 7 do
+      let expect =
+        Int64.to_int (Int64.shift_right_logical blk (off * 8)) land 0xff
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "byte %d.%d" idx off)
+        expect
+        (Cipher.Pad.byte_at pad (Int64.of_int ((idx * 8) + off)))
+    done
+  done
+
+(* --- Chain (CBC) --- *)
+
+let key = Cipher.Chain.key_of_int64 0xFEEDFACEL
+
+let prop_chain_round_trip =
+  QCheck.Test.make ~name:"chain: decrypt(encrypt) = id" ~count:300
+    QCheck.(pair int64 (int_range 0 16))
+    (fun (iv, nblocks) ->
+      let s = String.init (nblocks * 8) (fun i -> Char.chr ((i * 31 + 7) land 0xff)) in
+      let c = Cipher.Chain.encrypt key ~iv (buf s) in
+      Bytebuf.to_string (Cipher.Chain.decrypt key ~iv c) = s)
+
+let test_chain_iv_matters () =
+  let p = buf "16 bytes of data" in
+  let c1 = Cipher.Chain.encrypt key ~iv:1L p in
+  let c2 = Cipher.Chain.encrypt key ~iv:2L p in
+  Alcotest.(check bool) "distinct ciphertexts" false (Bytebuf.equal c1 c2)
+
+let test_chain_reorder_detected () =
+  (* Swapping two ciphertext blocks corrupts the plaintext downstream of
+     the swap — chaining "guards against malicious reordering". *)
+  let p = buf "blockAAAblockBBBblockCCC" in
+  let c = Cipher.Chain.encrypt key ~iv:9L p in
+  let swapped = Bytebuf.copy c in
+  Bytebuf.blit ~src:c ~src_pos:8 ~dst:swapped ~dst_pos:0 ~len:8;
+  Bytebuf.blit ~src:c ~src_pos:0 ~dst:swapped ~dst_pos:8 ~len:8;
+  let d = Cipher.Chain.decrypt key ~iv:9L swapped in
+  Alcotest.(check bool) "reorder garbles" false (Bytebuf.equal d p)
+
+let test_chain_bad_length () =
+  match Cipher.Chain.encrypt key ~iv:0L (buf "seven b") with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_chain_per_adu_iv_restores_independence () =
+  (* Restarting the chain at each ADU boundary (fresh IV per ADU) lets
+     ADUs decrypt independently — the ALF synchronisation-point fix. *)
+  let adu1 = buf "first adu 16byte" and adu2 = buf "second adu16byte" in
+  let c1 = Cipher.Chain.encrypt key ~iv:101L adu1 in
+  let c2 = Cipher.Chain.encrypt key ~iv:102L adu2 in
+  (* Decrypt adu2 without ever seeing adu1. *)
+  let d2 = Cipher.Chain.decrypt key ~iv:102L c2 in
+  Alcotest.(check bool) "independent decrypt" true (Bytebuf.equal d2 adu2);
+  let d1 = Cipher.Chain.decrypt key ~iv:101L c1 in
+  Alcotest.(check bool) "first too" true (Bytebuf.equal d1 adu1)
+
+let () =
+  Alcotest.run "cipher"
+    [
+      ( "rc4",
+        [
+          Alcotest.test_case "reference vectors" `Quick test_rc4_vectors;
+          Alcotest.test_case "involution" `Quick test_rc4_involution;
+          Alcotest.test_case "copy checkpoint" `Quick test_rc4_copy_checkpoint;
+          Alcotest.test_case "sequential dependence" `Quick
+            test_rc4_sequential_dependence;
+          Alcotest.test_case "key validation" `Quick test_rc4_key_validation;
+        ] );
+      ( "pad",
+        [
+          Alcotest.test_case "block64 vs byte_at" `Quick test_pad_block64_consistency;
+          qcheck prop_pad_involution;
+          qcheck prop_pad_out_of_order;
+          qcheck prop_pad_copy_fused;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "iv matters" `Quick test_chain_iv_matters;
+          Alcotest.test_case "reorder detected" `Quick test_chain_reorder_detected;
+          Alcotest.test_case "bad length" `Quick test_chain_bad_length;
+          Alcotest.test_case "per-ADU IV independence" `Quick
+            test_chain_per_adu_iv_restores_independence;
+          qcheck prop_chain_round_trip;
+        ] );
+    ]

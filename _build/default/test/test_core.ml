@@ -1,0 +1,1473 @@
+open Bufkit
+open Netsim
+open Alf_core
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+let buf = Bytebuf.of_string
+
+(* --- Kernels --- *)
+
+let prop_kernel_checksum_matches =
+  QCheck.Test.make ~name:"kernels: word checksum = reference" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s ->
+      Kernels.checksum (buf s) = Checksum.Internet.digest (buf s)
+      && Kernels.checksum_bytes (buf s) = Checksum.Internet.digest (buf s))
+
+let prop_kernel_copy =
+  QCheck.Test.make ~name:"kernels: copies preserve bytes" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      let d1 = Bytebuf.create (String.length s) in
+      let d2 = Bytebuf.create (String.length s) in
+      let d3 = Bytebuf.create (String.length s) in
+      Kernels.copy ~src:(buf s) ~dst:d1;
+      Kernels.copy_bytes ~src:(buf s) ~dst:d2;
+      Kernels.copy_words ~src:(buf s) ~dst:d3;
+      Bytebuf.to_string d1 = s && Bytebuf.to_string d2 = s
+      && Bytebuf.to_string d3 = s)
+
+let prop_kernel_fused_copy_checksum =
+  QCheck.Test.make ~name:"kernels: fused copy+checksum = serial" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s ->
+      let src = buf s in
+      let d1 = Bytebuf.create (String.length s) in
+      let d2 = Bytebuf.create (String.length s) in
+      let fused = Kernels.copy_checksum ~src ~dst:d1 in
+      let serial = Kernels.serial_copy_then_checksum ~src ~dst:d2 in
+      fused = serial && Bytebuf.equal d1 d2 && Bytebuf.to_string d1 = s)
+
+let prop_kernel_fused_xor =
+  QCheck.Test.make ~name:"kernels: fused xor+copy+checksum = serial" ~count:300
+    QCheck.(triple int64 (int_bound 1000) (string_of_size Gen.(0 -- 200)))
+    (fun (key, posk, s) ->
+      (* Cover both the 8-aligned fast path and odd positions. *)
+      let stream_pos = Int64.of_int posk in
+      let src = buf s in
+      let d1 = Bytebuf.create (String.length s) in
+      let d2 = Bytebuf.create (String.length s) in
+      let fused = Kernels.copy_checksum_xor ~src ~dst:d1 ~key ~stream_pos in
+      let serial = Kernels.serial_xor_copy_checksum ~src ~dst:d2 ~key ~stream_pos in
+      fused = serial && Bytebuf.equal d1 d2)
+
+let test_kernel_length_mismatch () =
+  match Kernels.copy ~src:(buf "ab") ~dst:(Bytebuf.create 3) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Machine model --- *)
+
+let within pct a b = Float.abs (a -. b) <= pct /. 100.0 *. b
+
+let test_model_table1 () =
+  let m = Machine_model.mbps in
+  Alcotest.(check bool) "uVax copy ~42" true
+    (within 2.0 (m Machine_model.uvax3 Machine_model.copy_kernel) 42.0);
+  Alcotest.(check bool) "uVax checksum ~60" true
+    (within 2.0 (m Machine_model.uvax3 Machine_model.checksum_kernel) 60.0);
+  Alcotest.(check bool) "R2000 copy ~130" true
+    (within 2.0 (m Machine_model.r2000 Machine_model.copy_kernel) 130.0);
+  Alcotest.(check bool) "R2000 checksum ~115" true
+    (within 2.0 (m Machine_model.r2000 Machine_model.checksum_kernel) 115.0)
+
+let test_model_ilp_fusion_prediction () =
+  let fused =
+    Machine_model.fuse [ Machine_model.copy_kernel; Machine_model.checksum_kernel ]
+  in
+  let fused_mbps = Machine_model.mbps Machine_model.r2000 fused in
+  let serial =
+    Machine_model.serial_mbps Machine_model.r2000
+      [ Machine_model.copy_kernel; Machine_model.checksum_kernel ]
+  in
+  (* The paper: serial ≈ 60, fused ≈ 90 Mb/s on the R2000. *)
+  Alcotest.(check bool) "serial ~60" true (within 5.0 serial 61.0);
+  Alcotest.(check bool) "fused ~90" true (within 3.0 fused_mbps 90.0);
+  Alcotest.(check bool) "fusion wins" true (fused_mbps > serial *. 1.2)
+
+let test_model_presentation_prediction () =
+  let conv = Machine_model.mbps Machine_model.r2000 Machine_model.ber_encode_int_kernel in
+  (* The paper: hand-coded ASN.1 integer conversion ran at 28 Mb/s. *)
+  Alcotest.(check bool) "ber-encode ~28" true (within 5.0 conv 28.0);
+  let copy = Machine_model.mbps Machine_model.r2000 Machine_model.copy_kernel in
+  let ratio = copy /. conv in
+  Alcotest.(check bool) "4-5x slower than copy" true (ratio > 4.0 && ratio < 5.5)
+
+let test_model_fused_convert_checksum () =
+  let fused =
+    Machine_model.fuse
+      [ Machine_model.ber_encode_int_kernel; Machine_model.checksum_kernel ]
+  in
+  let v = Machine_model.mbps Machine_model.r2000 fused in
+  (* The paper: adding the checksum to the conversion loop cost 28 -> 24. *)
+  Alcotest.(check bool) "fused convert+checksum ~24-26" true (v >= 23.0 && v <= 27.0)
+
+let test_model_fuse_algebra () =
+  let f = Machine_model.fuse [ Machine_model.copy_kernel; Machine_model.checksum_kernel ] in
+  Alcotest.(check string) "name" "copy+checksum" f.Machine_model.kernel_name;
+  Alcotest.(check (float 1e-9)) "loads shared" 1.0 f.Machine_model.loads;
+  Alcotest.(check (float 1e-9)) "stores shared" 1.0 f.Machine_model.stores;
+  Alcotest.(check (float 1e-9)) "alu summed" 2.0 f.Machine_model.alu
+
+let test_model_fused_never_slower () =
+  let kernels =
+    [ Machine_model.copy_kernel; Machine_model.checksum_kernel;
+      Machine_model.ber_encode_int_kernel ]
+  in
+  List.iter
+    (fun m ->
+      let fused = Machine_model.mbps m (Machine_model.fuse kernels) in
+      let serial = Machine_model.serial_mbps m kernels in
+      Alcotest.(check bool) "fused >= serial" true (fused >= serial))
+    [ Machine_model.uvax3; Machine_model.r2000 ]
+
+let prop_model_fusion_always_wins =
+  (* Structural truth of the cost model: sharing loads/stores and paying
+     the loop once can never lose to separate passes. *)
+  let arb_kernels =
+    QCheck.make
+      ~print:(fun ks ->
+        String.concat "+" (List.map (fun k -> k.Machine_model.kernel_name) ks))
+      QCheck.Gen.(
+        list_size (1 -- 5)
+          (map2
+             (fun l (s, a) ->
+               {
+                 Machine_model.kernel_name = "k";
+                 loads = float_of_int l /. 2.0;
+                 stores = float_of_int s /. 2.0;
+                 alu = float_of_int a /. 2.0;
+               })
+             (int_bound 8)
+             (pair (int_bound 8) (int_bound 16))))
+  in
+  QCheck.Test.make ~name:"model: fused >= serial for any kernels" ~count:300
+    arb_kernels (fun kernels ->
+      List.for_all
+        (fun m ->
+          Machine_model.mbps m (Machine_model.fuse kernels)
+          >= Machine_model.serial_mbps m kernels -. 1e-9)
+        [ Machine_model.uvax3; Machine_model.r2000 ])
+
+(* --- ILP engine --- *)
+
+let arb_plan =
+  let open QCheck.Gen in
+  let stage =
+    oneof
+      [
+        map (fun k -> Ilp.Checksum k) (oneofl Checksum.Kind.all);
+        map2
+          (fun key pos -> Ilp.Xor_pad { key; pos = Int64.of_int pos })
+          int64 (int_bound 10000);
+        return Ilp.Deliver_copy;
+        return (Ilp.Rc4_stream { key = "test-key" });
+      ]
+  in
+  QCheck.make
+    ~print:(fun plan -> String.concat ";" (List.map Ilp.stage_name plan))
+    (list_size (0 -- 5) stage)
+
+let valid_plan plan = match Ilp.validate plan with Ok () -> true | Error _ -> false
+
+let prop_ilp_fused_equals_layered =
+  QCheck.Test.make ~name:"ilp: fused = interpreted = layered" ~count:500
+    QCheck.(pair arb_plan (string_of_size Gen.(0 -- 100)))
+    (fun (plan, s) ->
+      QCheck.assume (valid_plan plan);
+      let layered = Ilp.run_layered plan (buf s) in
+      let fused = Ilp.run_fused plan (buf s) in
+      let interp = Ilp.run_fused_interpreted plan (buf s) in
+      Bytebuf.equal layered.Ilp.output fused.Ilp.output
+      && Bytebuf.equal interp.Ilp.output fused.Ilp.output
+      && layered.Ilp.checksums = fused.Ilp.checksums
+      && interp.Ilp.checksums = fused.Ilp.checksums
+      && fused.Ilp.passes = 1
+      && not interp.Ilp.compiled)
+
+let prop_ilp_byteswap_first_ok =
+  QCheck.Test.make ~name:"ilp: leading byteswap fuses correctly" ~count:300
+    QCheck.(pair (int_bound 25) (string_of_size Gen.(0 -- 0)))
+    (fun (nwords, _) ->
+      let s = String.init (nwords * 4) (fun i -> Char.chr ((i * 17) land 0xff)) in
+      let plan = [ Ilp.Byteswap32; Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ] in
+      let layered = Ilp.run_layered plan (buf s) in
+      let fused = Ilp.run_fused plan (buf s) in
+      Bytebuf.equal layered.Ilp.output fused.Ilp.output
+      && layered.Ilp.checksums = fused.Ilp.checksums)
+
+let test_ilp_validate_rules () =
+  (match Ilp.validate [ Ilp.Deliver_copy; Ilp.Byteswap32 ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "late byteswap accepted");
+  (match Ilp.validate [ Ilp.Rc4_stream { key = "a" }; Ilp.Rc4_stream { key = "b" } ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double rc4 accepted");
+  match Ilp.validate [ Ilp.Byteswap32; Ilp.Rc4_stream { key = "a" } ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_ilp_run_fused_rejects_invalid () =
+  match Ilp.run_fused [ Ilp.Deliver_copy; Ilp.Byteswap32 ] (buf "abcd") with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_ilp_byteswap_length_check () =
+  match Ilp.run_fused [ Ilp.Byteswap32 ] (buf "abcde") with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_ilp_needs_in_order () =
+  Alcotest.(check bool) "rc4 forces order" true
+    (Ilp.needs_in_order [ Ilp.Deliver_copy; Ilp.Rc4_stream { key = "x" } ]);
+  Alcotest.(check bool) "pad does not" false
+    (Ilp.needs_in_order
+       [ Ilp.Xor_pad { key = 1L; pos = 0L }; Ilp.Checksum Checksum.Kind.Internet ])
+
+let test_ilp_byteswap_involution () =
+  let s = "abcdefgh" in
+  let once = Ilp.run_layered [ Ilp.Byteswap32 ] (buf s) in
+  let twice = Ilp.run_layered [ Ilp.Byteswap32 ] once.Ilp.output in
+  Alcotest.(check string) "involution" s (Bytebuf.to_string twice.Ilp.output);
+  Alcotest.(check string) "swapped" "dcbahgfe" (Bytebuf.to_string once.Ilp.output)
+
+let test_ilp_passes_accounting () =
+  let plan = [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ] in
+  let layered = Ilp.run_layered plan (buf "0123456789") in
+  Alcotest.(check int) "layered passes" 2 layered.Ilp.passes;
+  Alcotest.(check bool) "layered touches more" true
+    (layered.Ilp.bytes_touched > (Ilp.run_fused plan (buf "0123456789")).Ilp.bytes_touched)
+
+let test_ilp_compilation_dispatch () =
+  (* Known plan shapes go to the fused kernels; others are interpreted. *)
+  let input = buf "0123456789abcdef" in
+  let compiled_plans =
+    [
+      [ Ilp.Deliver_copy ];
+      [ Ilp.Checksum Checksum.Kind.Internet ];
+      [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ];
+      [ Ilp.Xor_pad { key = 5L; pos = 16L }; Ilp.Deliver_copy ];
+      [ Ilp.Xor_pad { key = 5L; pos = 0L }; Ilp.Checksum Checksum.Kind.Internet;
+        Ilp.Deliver_copy ];
+      [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Xor_pad { key = 5L; pos = 8L };
+        Ilp.Deliver_copy ];
+    ]
+  in
+  List.iter
+    (fun plan ->
+      let r = Ilp.run_fused plan input in
+      Alcotest.(check bool) "compiled" true r.Ilp.compiled;
+      let i = Ilp.run_fused_interpreted plan input in
+      Alcotest.(check bool) "same output" true (Bytebuf.equal r.Ilp.output i.Ilp.output);
+      Alcotest.(check bool) "same checksums" true (r.Ilp.checksums = i.Ilp.checksums))
+    compiled_plans;
+  let interpreted_only =
+    [ [ Ilp.Checksum Checksum.Kind.Crc32 ]; [ Ilp.Byteswap32; Ilp.Deliver_copy ] ]
+  in
+  List.iter
+    (fun plan ->
+      Alcotest.(check bool) "not compiled" false (Ilp.run_fused plan input).Ilp.compiled)
+    interpreted_only
+
+let test_ilp_checksum_sees_transformed_data () =
+  (* A checksum after the cipher must cover ciphertext, not plaintext. *)
+  let plan_after = [ Ilp.Xor_pad { key = 9L; pos = 0L }; Ilp.Checksum Checksum.Kind.Internet ] in
+  let plan_before = [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Xor_pad { key = 9L; pos = 0L } ] in
+  let input = buf "sensitive plaintext data" in
+  let after = Ilp.run_fused plan_after input in
+  let before = Ilp.run_fused plan_before input in
+  Alcotest.(check bool) "orders differ" false (after.Ilp.checksums = before.Ilp.checksums);
+  Alcotest.(check (list (pair (of_pp Checksum.Kind.pp) int)))
+    "before = plaintext checksum"
+    [ (Checksum.Kind.Internet, Checksum.Internet.digest input) ]
+    before.Ilp.checksums
+
+(* --- ADU --- *)
+
+let arb_adu =
+  let open QCheck.Gen in
+  let gen =
+    map2
+      (fun (stream, index, dest_off) payload ->
+        let name =
+          Adu.name ~dest_off ~dest_len:(String.length payload)
+            ~timestamp_us:(Int64.of_int (index * 1000))
+            ~stream ~index ()
+        in
+        Adu.make name (Bytebuf.of_string payload))
+      (triple (int_bound 0xFFFF) (int_bound 100000) (int_bound 1000000))
+      (string_size (0 -- 200))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Adu.pp) gen
+
+let prop_adu_round_trip =
+  QCheck.Test.make ~name:"adu: decode(encode) round trip" ~count:300 arb_adu
+    (fun adu ->
+      let back = Adu.decode (Adu.encode adu) in
+      back.Adu.name = adu.Adu.name && Bytebuf.equal back.Adu.payload adu.Adu.payload)
+
+let prop_adu_corruption_detected =
+  QCheck.Test.make ~name:"adu: any byte flip detected" ~count:300
+    QCheck.(pair arb_adu (pair small_nat (int_range 1 255)))
+    (fun (adu, (pos, flip)) ->
+      let wire = Adu.encode adu in
+      let i = pos mod Bytebuf.length wire in
+      Bytebuf.set_uint8 wire i (Bytebuf.get_uint8 wire i lxor flip);
+      match Adu.decode wire with
+      | _ -> false
+      | exception Adu.Decode_error _ -> true)
+
+let test_adu_name_validation () =
+  (match Adu.name ~stream:(-1) ~index:0 () with
+  | _ -> Alcotest.fail "negative stream"
+  | exception Invalid_argument _ -> ());
+  match Adu.name ~stream:0 ~index:(-1) () with
+  | _ -> Alcotest.fail "negative index"
+  | exception Invalid_argument _ -> ()
+
+(* --- Framing --- *)
+
+let test_framing_buffer_partition () =
+  let data = Bytebuf.of_string (String.init 1000 (fun i -> Char.chr (i land 0xff))) in
+  let adus = Framing.frames_of_buffer ~stream:1 ~adu_size:256 data in
+  Alcotest.(check int) "count" 4 (List.length adus);
+  let reassembled =
+    Bytebuf.concat (List.map (fun a -> a.Adu.payload) adus)
+  in
+  Alcotest.(check bool) "partition" true (Bytebuf.equal reassembled data);
+  List.iteri
+    (fun i adu ->
+      Alcotest.(check int) "index" i adu.Adu.name.Adu.index;
+      Alcotest.(check int) "dest_off" (i * 256) adu.Adu.name.Adu.dest_off)
+    adus
+
+let test_framing_values_placement () =
+  let values = [ Wire.Value.int_array [| 1; 2 |]; Wire.Value.int_array [| 3 |] ] in
+  let adus = Framing.frames_of_values ~stream:2 ~syntax:Wire.Syntax.Ber values in
+  match adus with
+  | [ a; b ] ->
+      Alcotest.(check int) "a at 0" 0 a.Adu.name.Adu.dest_off;
+      Alcotest.(check int) "a len = its encoding" (Bytebuf.length a.Adu.payload)
+        a.Adu.name.Adu.dest_len;
+      Alcotest.(check int) "b follows a" a.Adu.name.Adu.dest_len b.Adu.name.Adu.dest_off;
+      (* The payload really is the BER encoding. *)
+      Alcotest.(check bool) "decodes" true
+        (Wire.Value.equal (Wire.Ber.decode a.Adu.payload) (List.nth values 0))
+  | _ -> Alcotest.fail "shape"
+
+let prop_framing_fragment_round_trip =
+  QCheck.Test.make ~name:"framing: fragment/reassemble out of order" ~count:200
+    QCheck.(triple arb_adu (int_range 64 512) int64)
+    (fun (adu, mtu, seed) ->
+      let frags = Framing.fragment ~mtu adu in
+      let infos = List.map (fun f -> Framing.parse_fragment f) frags in
+      (* Shuffle fragment arrival. *)
+      let arr = Array.of_list infos in
+      Rng.shuffle (Rng.create ~seed) arr;
+      let got = ref [] in
+      let r = Framing.reassembler ~deliver:(fun a -> got := a :: !got) in
+      Array.iter (Framing.push r) arr;
+      match !got with
+      | [ back ] ->
+          back.Adu.name = adu.Adu.name
+          && Bytebuf.equal back.Adu.payload adu.Adu.payload
+          && (Framing.stats r).Framing.completed = 1
+          && Framing.pending_adus r = 0
+      | _ -> false)
+
+let test_framing_fragment_sizes () =
+  let adu =
+    Adu.make (Adu.name ~stream:0 ~index:0 ()) (Bytebuf.create 1000)
+  in
+  let frags = Framing.fragment ~mtu:256 adu in
+  List.iter
+    (fun f -> Alcotest.(check bool) "within mtu" true (Bytebuf.length f <= 256))
+    frags;
+  let total =
+    List.fold_left
+      (fun acc f -> acc + Bytebuf.length f - Framing.fragment_header_size)
+      0 frags
+  in
+  Alcotest.(check int) "covers encoded adu" (1000 + Adu.header_size) total
+
+let test_framing_duplicate_fragments () =
+  let adu = Adu.make (Adu.name ~stream:0 ~index:5 ()) (Bytebuf.create 600) in
+  let frags = List.map Framing.parse_fragment (Framing.fragment ~mtu:256 adu) in
+  let got = ref 0 in
+  let r = Framing.reassembler ~deliver:(fun _ -> incr got) in
+  (* Feed everything except the last fragment, twice: duplicates are
+     absorbed and counted, nothing delivered. (De-duplication of whole
+     completed ADUs is the transport's job, not the reassembler's.) *)
+  let all_but_last = List.filteri (fun i _ -> i < List.length frags - 1) frags in
+  List.iter (Framing.push r) all_but_last;
+  List.iter (Framing.push r) all_but_last;
+  Alcotest.(check int) "nothing delivered yet" 0 !got;
+  Alcotest.(check int) "duplicates counted"
+    (List.length all_but_last)
+    (Framing.stats r).Framing.duplicate_frags;
+  List.iter (Framing.push r) frags;
+  Alcotest.(check int) "delivered once" 1 !got
+
+let test_framing_interleaved_adus () =
+  let mk i = Adu.make (Adu.name ~stream:0 ~index:i ()) (Bytebuf.create 500) in
+  let f0 = List.map Framing.parse_fragment (Framing.fragment ~mtu:200 (mk 0)) in
+  let f1 = List.map Framing.parse_fragment (Framing.fragment ~mtu:200 (mk 1)) in
+  let rec interleave xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> x :: y :: interleave xs ys
+  in
+  let order = ref [] in
+  let r = Framing.reassembler ~deliver:(fun a -> order := a.Adu.name.Adu.index :: !order) in
+  (* Interleave but give ADU 1 its last fragment first: it completes first. *)
+  List.iter (Framing.push r) (interleave (List.rev f1) f0);
+  Alcotest.(check int) "both complete" 2 (List.length !order)
+
+let test_framing_forget () =
+  let adu = Adu.make (Adu.name ~stream:0 ~index:9 ()) (Bytebuf.create 600) in
+  let frags = List.map Framing.parse_fragment (Framing.fragment ~mtu:256 adu) in
+  let r = Framing.reassembler ~deliver:(fun _ -> Alcotest.fail "must not deliver") in
+  (match frags with f :: _ -> Framing.push r f | [] -> ());
+  Alcotest.(check int) "pending" 1 (Framing.pending_adus r);
+  Framing.forget r ~index:9;
+  Alcotest.(check int) "forgotten" 0 (Framing.pending_adus r)
+
+(* --- Recovery --- *)
+
+let test_recovery_transport_buffer () =
+  let st = Recovery.store Recovery.Transport_buffer in
+  Recovery.remember st ~index:0 (buf "aaaa");
+  Recovery.remember st ~index:1 (buf "bbbb");
+  Alcotest.(check int) "footprint" 8 (Recovery.footprint st);
+  (match Recovery.recall st ~index:0 with
+  | Recovery.Data d -> Alcotest.(check string) "data" "aaaa" (Bytebuf.to_string d)
+  | Recovery.Gone -> Alcotest.fail "should recall");
+  Recovery.release st ~index:0;
+  Alcotest.(check int) "released" 4 (Recovery.footprint st);
+  match Recovery.recall st ~index:0 with
+  | Recovery.Gone -> ()
+  | Recovery.Data _ -> Alcotest.fail "released data recalled"
+
+let test_recovery_app_recompute () =
+  let calls = ref 0 in
+  let st =
+    Recovery.store
+      (Recovery.App_recompute
+         (fun i ->
+           incr calls;
+           if i < 5 then Some (buf (string_of_int i)) else None))
+  in
+  Recovery.remember st ~index:3 (buf "ignored");
+  Alcotest.(check int) "stores nothing" 0 (Recovery.footprint st);
+  (match Recovery.recall st ~index:3 with
+  | Recovery.Data d -> Alcotest.(check string) "recomputed" "3" (Bytebuf.to_string d)
+  | Recovery.Gone -> Alcotest.fail "recompute failed");
+  (match Recovery.recall st ~index:7 with
+  | Recovery.Gone -> ()
+  | Recovery.Data _ -> Alcotest.fail "regenerated past limit");
+  Alcotest.(check int) "callback used" 2 !calls
+
+let test_recovery_none () =
+  let st = Recovery.store Recovery.No_recovery in
+  Recovery.remember st ~index:0 (buf "x");
+  Alcotest.(check int) "no footprint" 0 (Recovery.footprint st);
+  match Recovery.recall st ~index:0 with
+  | Recovery.Gone -> ()
+  | Recovery.Data _ -> Alcotest.fail "no-recovery recalled data"
+
+let test_recovery_release_below () =
+  let st = Recovery.store Recovery.Transport_buffer in
+  for i = 0 to 9 do
+    Recovery.remember st ~index:i (buf "abcd")
+  done;
+  Recovery.release_below st 7;
+  Alcotest.(check int) "kept 3" 3 (Recovery.held st);
+  Alcotest.(check int) "bytes" 12 (Recovery.footprint st)
+
+(* --- ALF transport end-to-end --- *)
+
+type alf_world = {
+  engine : Engine.t;
+  sender : Alf_transport.sender;
+  receiver : Alf_transport.receiver;
+  delivered : (int * string) list ref;
+}
+
+let make_alf_world ?(loss = 0.0) ?(policy = Recovery.Transport_buffer)
+    ?(adu_payload = 3000) ?(count = 20) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:77L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy loss)
+      ~queue_limit:1024 ~bandwidth_bps:10e6 ~delay:0.005 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let delivered = ref [] in
+  let receiver =
+    Alf_transport.receiver ~engine ~udp:ub ~port:7000 ~stream:1
+      ~deliver:(fun adu ->
+        delivered :=
+          (adu.Adu.name.Adu.index, Bytebuf.to_string adu.Adu.payload) :: !delivered)
+      ()
+  in
+  let sender =
+    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
+      ~stream:1 ~policy ()
+  in
+  let payload i = String.init adu_payload (fun j -> Char.chr ((i + j) land 0xff)) in
+  for i = 0 to count - 1 do
+    Alf_transport.send_adu sender
+      (Adu.make
+         (Adu.name ~dest_off:(i * adu_payload) ~dest_len:adu_payload ~stream:1
+            ~index:i ())
+         (Bytebuf.of_string (payload i)))
+  done;
+  Alf_transport.close sender;
+  { engine; sender; receiver; delivered }
+
+let test_alf_clean_delivery () =
+  let w = make_alf_world () in
+  Engine.run ~until:60.0 w.engine;
+  Alcotest.(check bool) "complete" true (Alf_transport.complete w.receiver);
+  Alcotest.(check bool) "sender finished" true (Alf_transport.finished w.sender);
+  Alcotest.(check int) "all delivered" 20 (List.length !(w.delivered));
+  let stats = Alf_transport.receiver_stats w.receiver in
+  Alcotest.(check int) "no losses" 0 stats.Alf_transport.adus_lost
+
+let test_alf_lossy_transport_buffer () =
+  let w = make_alf_world ~loss:0.05 ~count:50 () in
+  Engine.run ~until:120.0 w.engine;
+  Alcotest.(check bool) "complete" true (Alf_transport.complete w.receiver);
+  Alcotest.(check int) "all 50 delivered" 50 (List.length !(w.delivered));
+  let s = Alf_transport.sender_stats w.sender in
+  Alcotest.(check bool) "retransmissions happened" true
+    (s.Alf_transport.adus_retransmitted > 0);
+  (* Payload integrity per ADU. *)
+  List.iter
+    (fun (i, payload) ->
+      Alcotest.(check int) "payload size" 3000 (String.length payload);
+      Alcotest.(check char) "payload content" (Char.chr (i land 0xff)) payload.[0])
+    !(w.delivered)
+
+let test_alf_out_of_order_delivery_under_loss () =
+  let w = make_alf_world ~loss:0.1 ~count:50 () in
+  Engine.run ~until:120.0 w.engine;
+  let stats = Alf_transport.receiver_stats w.receiver in
+  Alcotest.(check bool) "deliveries happened out of order" true
+    (stats.Alf_transport.out_of_order > 0)
+
+let test_alf_no_recovery_policy () =
+  let w = make_alf_world ~loss:0.15 ~policy:Recovery.No_recovery ~count:50 () in
+  Engine.run ~until:120.0 w.engine;
+  Alcotest.(check bool) "still completes" true (Alf_transport.complete w.receiver);
+  let stats = Alf_transport.receiver_stats w.receiver in
+  Alcotest.(check bool) "losses reported in ADU terms" true
+    (stats.Alf_transport.adus_lost > 0);
+  Alcotest.(check int) "delivered + lost = sent" 50
+    (stats.Alf_transport.adus_delivered + stats.Alf_transport.adus_lost);
+  Alcotest.(check int) "sender stored nothing" 0
+    (Alf_transport.sender_stats w.sender).Alf_transport.store_peak
+
+let test_alf_app_recompute_policy () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:99L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy 0.1)
+      ~queue_limit:1024 ~bandwidth_bps:10e6 ~delay:0.005 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let payload i = String.init 2000 (fun j -> Char.chr ((i * 3 + j) land 0xff)) in
+  let regenerate i =
+    (* The sending application recomputes the ADU instead of buffering it. *)
+    let adu =
+      Adu.make (Adu.name ~dest_off:(i * 2000) ~dest_len:2000 ~stream:1 ~index:i ())
+        (Bytebuf.of_string (payload i))
+    in
+    Some (Adu.encode adu)
+  in
+  let delivered = ref 0 in
+  let receiver =
+    Alf_transport.receiver ~engine ~udp:ub ~port:7000 ~stream:1
+      ~deliver:(fun _ -> incr delivered) ()
+  in
+  let sender =
+    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
+      ~stream:1 ~policy:(Recovery.App_recompute regenerate) ()
+  in
+  for i = 0 to 29 do
+    Alf_transport.send_adu sender
+      (Adu.make (Adu.name ~dest_off:(i * 2000) ~dest_len:2000 ~stream:1 ~index:i ())
+         (Bytebuf.of_string (payload i)))
+  done;
+  Alf_transport.close sender;
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "complete" true (Alf_transport.complete receiver);
+  Alcotest.(check int) "all delivered" 30 !delivered;
+  Alcotest.(check int) "zero retransmission memory" 0
+    (Alf_transport.sender_stats sender).Alf_transport.store_peak
+
+let test_alf_store_released_by_acks () =
+  let w = make_alf_world ~loss:0.02 ~count:30 () in
+  Engine.run ~until:120.0 w.engine;
+  Alcotest.(check int) "store drains after completion" 0
+    (Alf_transport.store_footprint w.sender)
+
+let test_alf_delivery_series_monotone () =
+  let w = make_alf_world ~loss:0.05 ~count:30 () in
+  Engine.run ~until:120.0 w.engine;
+  let pts = Stats.points (Alf_transport.delivery_series w.receiver) in
+  Alcotest.(check bool) "nonempty" true (List.length pts > 0);
+  let rec monotone = function
+    | (t1, v1) :: ((t2, v2) :: _ as rest) ->
+        t1 <= t2 && v1 <= v2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone progress" true (monotone pts)
+
+(* --- Session (out-of-band setup) --- *)
+
+let session_world ?(loss = 0.0) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:515L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy loss)
+      ~impair_back:(Impair.lossy loss) ~queue_limit:1024 ~bandwidth_bps:10e6
+      ~delay:0.003 ~a:1 ~b:2 ()
+  in
+  let io_a = Dgram.of_udp (Transport.Udp.create ~engine ~node:net.Topology.a ()) in
+  let io_b = Dgram.of_udp (Transport.Udp.create ~engine ~node:net.Topology.b ()) in
+  (engine, io_a, io_b)
+
+let test_session_negotiates_syntax_and_rate () =
+  let engine, io_a, io_b = session_world ~loss:0.2 () in
+  let responder_got = ref None in
+  let responder =
+    Session.listen ~engine ~io:io_b ~port:900 ~supported:[ "ber"; "xdr" ]
+      ~max_rate_bps:5e6
+      ~on_session:(fun ~peer g -> responder_got := Some (peer, g))
+      ()
+  in
+  let result = ref None in
+  Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
+    ~offer:
+      { Session.stream = 7; syntaxes = [ "lwts"; "xdr"; "ber" ]; rate_bps = 8e6;
+        policy = "buffer" }
+    ~on_result:(fun r -> result := Some r)
+    ();
+  Engine.run ~until:30.0 engine;
+  (match !result with
+  | Some (Some g) ->
+      (* First initiator preference the responder supports: xdr. *)
+      Alcotest.(check string) "syntax" "xdr" g.Session.g_syntax;
+      Alcotest.(check (float 1.0)) "rate clamped" 5e6 g.Session.g_rate_bps;
+      Alcotest.(check string) "policy echoed" "buffer" g.Session.g_policy
+  | Some None -> Alcotest.fail "session rejected"
+  | None -> Alcotest.fail "no result");
+  (match !responder_got with
+  | Some (1, g) -> Alcotest.(check int) "stream" 7 g.Session.g_stream
+  | _ -> Alcotest.fail "responder callback");
+  Alcotest.(check int) "one session despite retries" 1
+    (Session.sessions_accepted responder)
+
+let test_session_no_common_syntax () =
+  let engine, io_a, io_b = session_world () in
+  let responder =
+    Session.listen ~engine ~io:io_b ~port:900 ~supported:[ "raw" ]
+      ~on_session:(fun ~peer:_ _ -> Alcotest.fail "must not accept")
+      ()
+  in
+  let result = ref `Pending in
+  Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
+    ~offer:{ Session.stream = 1; syntaxes = [ "ber" ]; rate_bps = 0.0; policy = "none" }
+    ~on_result:(fun r -> result := `Got r)
+    ();
+  Engine.run ~until:30.0 engine;
+  (match !result with
+  | `Got None -> ()
+  | `Got (Some _) -> Alcotest.fail "accepted without common syntax"
+  | `Pending -> Alcotest.fail "no result");
+  Alcotest.(check int) "rejection counted" 1 (Session.sessions_rejected responder)
+
+let test_session_unreachable_times_out () =
+  let engine, io_a, _ = session_world ~loss:1.0 () in
+  let result = ref `Pending in
+  Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
+    ~offer:{ Session.stream = 1; syntaxes = [ "ber" ]; rate_bps = 0.0; policy = "none" }
+    ~retry_interval:0.05 ~max_retries:4
+    ~on_result:(fun r -> result := `Got r)
+    ();
+  Engine.run ~until:30.0 engine;
+  match !result with
+  | `Got None -> ()
+  | `Got (Some _) -> Alcotest.fail "phantom accept"
+  | `Pending -> Alcotest.fail "never gave up"
+
+let test_session_then_negotiated_transfer () =
+  (* The full story: negotiate out of band, then run the data phase with
+     the granted contract - syntax, pacing rate, recovery policy. *)
+  let engine, io_a, io_b = session_world ~loss:0.03 () in
+  let values = List.init 30 (fun i -> Wire.Value.int_array (Array.init 40 (fun j -> (i * 40) + j))) in
+  let received = Hashtbl.create 32 in
+  let complete = ref false in
+  Hashtbl.reset received;
+  let _responder =
+    Session.listen ~engine ~io:io_b ~port:900 ~supported:[ "ber"; "lwts" ]
+      ~max_rate_bps:8e6
+      ~on_session:(fun ~peer:_ g ->
+        (* The receiver decodes with the negotiated syntax. *)
+        let syntax =
+          match g.Session.g_syntax with
+          | "ber" -> Wire.Syntax.Ber
+          | _ -> Alcotest.fail "unexpected syntax"
+        in
+        let r =
+          Alf_transport.receiver_io ~engine ~io:io_b ~port:910
+            ~stream:g.Session.g_stream
+            ~deliver:(fun adu ->
+              Hashtbl.replace received adu.Adu.name.Adu.index
+                (Wire.Syntax.decode syntax adu.Adu.payload))
+            ()
+        in
+        Alf_transport.on_complete r (fun () -> complete := true))
+      ()
+  in
+  Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
+    ~offer:
+      { Session.stream = 3; syntaxes = [ "ber" ]; rate_bps = 20e6; policy = "buffer" }
+    ~on_result:(fun result ->
+      match result with
+      | None -> Alcotest.fail "session failed"
+      | Some g ->
+          let syntax = Wire.Syntax.Ber in
+          let sender =
+            Alf_transport.sender_io ~engine ~io:io_a ~peer:2 ~peer_port:910
+              ~port:911 ~stream:g.Session.g_stream
+              ~policy:Recovery.Transport_buffer
+              ~config:
+                { Alf_transport.default_sender_config with
+                  Alf_transport.pace_bps =
+                    (if g.Session.g_rate_bps > 0.0 then Some g.Session.g_rate_bps
+                     else None) }
+              ()
+          in
+          List.iter (Alf_transport.send_adu sender)
+            (Framing.frames_of_values ~stream:g.Session.g_stream ~syntax values);
+          Alf_transport.close sender)
+    ();
+  Engine.run ~until:60.0 engine;
+  Alcotest.(check bool) "data phase complete" true !complete;
+  List.iteri
+    (fun i v ->
+      match Hashtbl.find_opt received i with
+      | Some got -> Alcotest.(check bool) "value intact" true (Wire.Value.equal got v)
+      | None -> Alcotest.fail "missing value")
+    values
+
+(* --- Stage2 --- *)
+
+let test_stage2_decrypt_verify_pipeline () =
+  (* Sealed ADUs through the whole receive path: transport (lossy) ->
+     stage 2 fused decrypt+checksum+copy -> application sink. *)
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:404L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy 0.06)
+      ~queue_limit:1024 ~bandwidth_bps:20e6 ~delay:0.005 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let key = 0xFACEL in
+  let size = 40_000 in
+  let file = Bytebuf.create size in
+  Rng.fill_bytes (Rng.create ~seed:12L) file;
+  let sink = Sink.create ~size in
+  let stage2 =
+    Stage2.create
+      ~plan:(Stage2.decrypt_verify_at ~key)
+      ~deliver:(fun r ->
+        (* The fused checksum covers the decrypted plaintext. *)
+        (match r.Stage2.checksums with
+        | [ (Checksum.Kind.Internet, c) ] ->
+            Alcotest.(check int) "plaintext checksum"
+              (Checksum.Internet.digest r.Stage2.adu.Adu.payload) c
+        | _ -> Alcotest.fail "missing checksum");
+        match Sink.write_adu sink r.Stage2.adu with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e)
+  in
+  let receiver =
+    Alf_transport.receiver ~engine ~udp:ub ~port:3 ~stream:1
+      ~deliver:(Stage2.deliver_fn stage2) ()
+  in
+  let sender =
+    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:3 ~port:4 ~stream:1
+      ~policy:Recovery.Transport_buffer ()
+  in
+  List.iter
+    (fun adu -> Alf_transport.send_adu sender (Secure.seal ~key adu))
+    (Framing.frames_of_buffer ~stream:1 ~adu_size:2000 file);
+  Alf_transport.close sender;
+  Engine.run ~until:60.0 engine;
+  Alcotest.(check bool) "complete" true (Alf_transport.complete receiver);
+  Alcotest.(check bool) "decrypted file intact" true
+    (Bytebuf.equal (Sink.contents sink) file);
+  Alcotest.(check int) "all processed" 20 (Stage2.stats stage2).Stage2.processed
+
+let test_stage2_rejects_sequential_cipher () =
+  let delivered = ref 0 in
+  let stage2 =
+    Stage2.create
+      ~plan:(fun _ -> [ Ilp.Rc4_stream { key = "k" }; Ilp.Deliver_copy ])
+      ~deliver:(fun _ -> incr delivered)
+  in
+  Stage2.deliver_fn stage2 (Adu.make (Adu.name ~stream:0 ~index:0 ()) (buf "x"));
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "rejection counted" 1 (Stage2.stats stage2).Stage2.rejected_order
+
+let test_stage2_rejects_invalid_plan () =
+  let stage2 =
+    Stage2.create
+      ~plan:(fun _ -> [ Ilp.Deliver_copy; Ilp.Byteswap32 ])
+      ~deliver:(fun _ -> Alcotest.fail "must not deliver")
+  in
+  Stage2.deliver_fn stage2 (Adu.make (Adu.name ~stream:0 ~index:0 ()) (buf "abcd"));
+  Alcotest.(check int) "rejection counted" 1 (Stage2.stats stage2).Stage2.rejected_invalid
+
+(* --- Mux: many streams, one port --- *)
+
+let test_mux_two_streams_one_port () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:606L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy 0.05)
+      ~queue_limit:1024 ~bandwidth_bps:20e6 ~delay:0.004 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let mux_a = Mux.create ~udp:ua ~port:6000 in
+  let mux_b = Mux.create ~udp:ub ~port:6000 in
+  let got = Hashtbl.create 8 in
+  let mk_receiver stream =
+    Alf_transport.receiver_mux ~engine ~mux:mux_b ~stream
+      ~deliver:(fun adu ->
+        let key = (stream, adu.Adu.name.Adu.index) in
+        if Hashtbl.mem got key then Alcotest.fail "cross-stream duplicate";
+        Hashtbl.replace got key (Bytebuf.to_string adu.Adu.payload))
+      ()
+  in
+  let r1 = mk_receiver 1 and r2 = mk_receiver 2 in
+  let mk_sender stream =
+    Alf_transport.sender_mux ~engine ~mux:mux_a ~peer:2 ~peer_port:6000 ~stream
+      ~policy:Recovery.Transport_buffer ()
+  in
+  let s1 = mk_sender 1 and s2 = mk_sender 2 in
+  let payload stream i = Printf.sprintf "s%d-adu%d-%s" stream i (String.make 500 'x') in
+  for i = 0 to 19 do
+    Alf_transport.send_adu s1
+      (Adu.make (Adu.name ~stream:1 ~index:i ()) (buf (payload 1 i)));
+    Alf_transport.send_adu s2
+      (Adu.make (Adu.name ~stream:2 ~index:i ()) (buf (payload 2 i)))
+  done;
+  Alf_transport.close s1;
+  Alf_transport.close s2;
+  Engine.run ~until:60.0 engine;
+  Alcotest.(check bool) "stream 1 complete" true (Alf_transport.complete r1);
+  Alcotest.(check bool) "stream 2 complete" true (Alf_transport.complete r2);
+  for i = 0 to 19 do
+    Alcotest.(check string) "stream 1 payload" (payload 1 i) (Hashtbl.find got (1, i));
+    Alcotest.(check string) "stream 2 payload" (payload 2 i) (Hashtbl.find got (2, i))
+  done;
+  Alcotest.(check int) "nothing unrouted at the receiver" 0 (Mux.unrouted mux_b)
+
+let test_mux_unrouted_counted () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:607L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~bandwidth_bps:1e6 ~delay:0.001 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let mux_b = Mux.create ~udp:ub ~port:6000 in
+  (* A sender for stream 9, but no receiver attached for it. *)
+  let s =
+    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:6000 ~port:6001
+      ~stream:9 ~policy:Recovery.No_recovery ()
+  in
+  Alf_transport.send_adu s (Adu.make (Adu.name ~stream:9 ~index:0 ()) (buf "x"));
+  Engine.run ~until:1.0 engine;
+  Alcotest.(check bool) "unrouted counted" true (Mux.unrouted mux_b > 0)
+
+(* --- Pipeline --- *)
+
+let test_pipeline_throughput_accounting () =
+  let engine = Engine.create () in
+  let app = Pipeline.create ~engine ~rate_bps:8000.0 () in
+  (* 1000 bytes at 8000 b/s = 1 second of conversion. *)
+  ignore (Engine.schedule_at engine 1.0 (fun () -> Pipeline.feed app ~bytes:500));
+  ignore (Engine.schedule_at engine 1.1 (fun () -> Pipeline.feed app ~bytes:500));
+  Engine.run_until_idle engine;
+  Alcotest.(check int) "all processed" 1000 (Pipeline.processed_bytes app);
+  Alcotest.(check int) "no backlog" 0 (Pipeline.backlog_bytes app);
+  (* First chunk finishes at 1.5, second (queued) at 2.0. *)
+  Alcotest.(check (float 1e-9)) "finish time" 2.0 (Pipeline.finish_time app);
+  (* Idle: converter starved during [0, 1.0). *)
+  Alcotest.(check (float 1e-6)) "idle before first arrival" 1.0 (Pipeline.idle_time app)
+
+let test_pipeline_starvation_idle () =
+  let engine = Engine.create () in
+  let app = Pipeline.create ~engine ~rate_bps:80000.0 () in
+  ignore (Engine.schedule_at engine 0.0 (fun () -> Pipeline.feed app ~bytes:1000));
+  (* 0.1 s of work, then a 0.9 s starvation gap. *)
+  ignore (Engine.schedule_at engine 1.0 (fun () -> Pipeline.feed app ~bytes:1000));
+  Engine.run_until_idle engine;
+  Alcotest.(check (float 1e-6)) "starved gap counted" 0.9 (Pipeline.idle_time app)
+
+let test_pipeline_per_unit_cost () =
+  let engine = Engine.create () in
+  let app = Pipeline.create ~engine ~rate_bps:8e6 ~per_unit_cost:0.01 () in
+  for _ = 1 to 10 do
+    Pipeline.feed app ~bytes:100
+  done;
+  Engine.run_until_idle engine;
+  (* 10 * (100*8/8e6 + 0.01) = 10 * 0.0101 = 0.101 *)
+  Alcotest.(check (float 1e-6)) "dispatch overhead" 0.101 (Pipeline.finish_time app)
+
+let test_pipeline_progress_series () =
+  let engine = Engine.create () in
+  let app = Pipeline.create ~engine ~rate_bps:8000.0 () in
+  Pipeline.feed app ~bytes:100;
+  Pipeline.feed app ~bytes:100;
+  Engine.run_until_idle engine;
+  Alcotest.(check int) "two points" 2 (List.length (Stats.points (Pipeline.progress app)))
+
+(* --- Ordered (in-order view above ADUs) --- *)
+
+let mk_indexed i =
+  Adu.make (Adu.name ~stream:0 ~index:i ()) (buf (Printf.sprintf "adu-%d" i))
+
+let test_ordered_releases_contiguous () =
+  let got = ref [] in
+  let o = Ordered.create ~deliver:(fun a -> got := a.Adu.name.Adu.index :: !got) () in
+  Ordered.offer o (mk_indexed 2);
+  Ordered.offer o (mk_indexed 1);
+  Alcotest.(check (list int)) "held back" [] !got;
+  Alcotest.(check int) "parked" 2 (Ordered.held o);
+  Ordered.offer o (mk_indexed 0);
+  Alcotest.(check (list int)) "released in order" [ 0; 1; 2 ] (List.rev !got);
+  Alcotest.(check int) "drained" 0 (Ordered.held o);
+  Alcotest.(check int) "next" 3 (Ordered.next_index o)
+
+let test_ordered_skip () =
+  let got = ref [] in
+  let o = Ordered.create ~deliver:(fun a -> got := a.Adu.name.Adu.index :: !got) () in
+  Ordered.offer o (mk_indexed 1);
+  Ordered.offer o (mk_indexed 3);
+  Ordered.skip o ~index:0;
+  Alcotest.(check (list int)) "past the skip" [ 1 ] (List.rev !got);
+  Ordered.skip o ~index:2;
+  Alcotest.(check (list int)) "all out" [ 1; 3 ] (List.rev !got)
+
+let test_ordered_duplicates_and_stale () =
+  let got = ref 0 in
+  let o = Ordered.create ~deliver:(fun _ -> incr got) () in
+  Ordered.offer o (mk_indexed 0);
+  Ordered.offer o (mk_indexed 0);
+  (* stale *)
+  Ordered.offer o (mk_indexed 1);
+  Ordered.offer o (mk_indexed 1);
+  Alcotest.(check int) "each once" 2 !got
+
+let prop_ordered_permutation =
+  QCheck.Test.make ~name:"ordered: any arrival order releases 0..n-1" ~count:300
+    QCheck.(pair (int_range 1 30) int64)
+    (fun (n, seed) ->
+      let arr = Array.init n mk_indexed in
+      Rng.shuffle (Rng.create ~seed) arr;
+      let got = ref [] in
+      let o = Ordered.create ~deliver:(fun a -> got := a.Adu.name.Adu.index :: !got) () in
+      Array.iter (Ordered.offer o) arr;
+      List.rev !got = List.init n (fun i -> i) && Ordered.held o = 0)
+
+(* --- Secure (per-ADU encryption) --- *)
+
+let mk_secure_adu ~dest_off payload =
+  Adu.make
+    (Adu.name ~dest_off ~dest_len:(String.length payload) ~stream:1 ~index:0 ())
+    (buf payload)
+
+let test_secure_round_trip () =
+  let adu = mk_secure_adu ~dest_off:4096 "attack at dawn, per ADU" in
+  let sealed = Secure.seal ~key:0xABCDL adu in
+  Alcotest.(check bool) "ciphertext differs" false
+    (Bytebuf.equal sealed.Adu.payload adu.Adu.payload);
+  let opened, cksum = Secure.open_adu ~key:0xABCDL sealed in
+  Alcotest.(check bool) "plaintext restored" true
+    (Bytebuf.equal opened.Adu.payload adu.Adu.payload);
+  Alcotest.(check int) "fused checksum = plaintext checksum"
+    (Checksum.Internet.digest adu.Adu.payload) cksum
+
+let test_secure_out_of_order_independent () =
+  (* Each ADU decrypts alone: the position-keyed pad restarts the cipher
+     name-space at every ADU boundary. *)
+  let adus =
+    List.map
+      (fun (off, s) -> mk_secure_adu ~dest_off:off s)
+      [ (2000, "second part!!"); (0, "first part!!!"); (4000, "third part!!!") ]
+  in
+  List.iter
+    (fun adu ->
+      let opened, _ = Secure.open_adu ~key:9L (Secure.seal ~key:9L adu) in
+      Alcotest.(check bool) "independent" true
+        (Bytebuf.equal opened.Adu.payload adu.Adu.payload))
+    adus
+
+let test_secure_wrong_key_garbles () =
+  let adu = mk_secure_adu ~dest_off:0 "plaintext" in
+  let opened, _ = Secure.open_adu ~key:2L (Secure.seal ~key:1L adu) in
+  Alcotest.(check bool) "garbled" false
+    (Bytebuf.equal opened.Adu.payload adu.Adu.payload)
+
+let prop_secure_seal_summed =
+  QCheck.Test.make ~name:"secure: seal_summed = seal + plaintext checksum"
+    ~count:300
+    QCheck.(pair (int_bound 100000) (string_of_size Gen.(0 -- 150)))
+    (fun (dest_off, payload) ->
+      let adu = mk_secure_adu ~dest_off payload in
+      let sealed_a = Secure.seal ~key:77L adu in
+      let sealed_b, cksum = Secure.seal_summed ~key:77L adu in
+      Bytebuf.equal sealed_a.Adu.payload sealed_b.Adu.payload
+      && cksum = Checksum.Internet.digest (buf payload))
+
+let prop_secure_kernel_duals =
+  QCheck.Test.make ~name:"secure: open(seal) at any offset" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (string_of_size Gen.(0 -- 200)))
+    (fun (dest_off, payload) ->
+      let adu = mk_secure_adu ~dest_off payload in
+      let sealed = Secure.seal ~key:123L adu in
+      let opened, cksum = Secure.open_adu ~key:123L sealed in
+      Bytebuf.to_string opened.Adu.payload = payload
+      && cksum = Checksum.Internet.digest (buf payload))
+
+(* --- Sink --- *)
+
+let test_sink_out_of_order_completion () =
+  let t = Sink.create ~size:10 in
+  Alcotest.(check bool) "empty not complete" false (Sink.complete t);
+  (match Sink.write t ~off:6 (buf "ghij") with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Sink.write t ~off:0 (buf "abc") with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (list (pair int int))) "missing" [ (3, 3) ] (Sink.missing_ranges t);
+  (match Sink.write t ~off:3 (buf "def") with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "complete" true (Sink.complete t);
+  Alcotest.(check string) "contents" "abcdefghij" (Bytebuf.to_string (Sink.contents t))
+
+let test_sink_bounds () =
+  let t = Sink.create ~size:4 in
+  (match Sink.write t ~off:2 (buf "xyz") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overrun accepted");
+  Alcotest.(check int) "nothing covered" 0 (Sink.covered_bytes t)
+
+let test_sink_overlap_idempotent () =
+  let t = Sink.create ~size:6 in
+  ignore (Sink.write t ~off:0 (buf "abcd"));
+  ignore (Sink.write t ~off:2 (buf "cdef"));
+  ignore (Sink.write t ~off:0 (buf "abcd"));
+  Alcotest.(check int) "covered once" 6 (Sink.covered_bytes t);
+  Alcotest.(check string) "contents" "abcdef" (Bytebuf.to_string (Sink.contents t));
+  Alcotest.(check (list (pair int int))) "one run" [ (0, 6) ] (Sink.covered_ranges t)
+
+let test_sink_adu_len_check () =
+  let t = Sink.create ~size:10 in
+  let adu = Adu.make (Adu.name ~dest_off:0 ~dest_len:5 ~stream:0 ~index:0 ()) (buf "ab") in
+  match Sink.write_adu t adu with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "dest_len mismatch accepted"
+
+let prop_sink_matches_bitmap_model =
+  QCheck.Test.make ~name:"sink: coverage matches bitmap model" ~count:300
+    QCheck.(small_list (pair (int_bound 40) (int_bound 12)))
+    (fun writes ->
+      let size = 48 in
+      let t = Sink.create ~size in
+      let model = Array.make size false in
+      List.iter
+        (fun (off, len) ->
+          let len = min len (size - off) in
+          if len > 0 then begin
+            (match Sink.write t ~off (Bytebuf.create len) with
+            | Ok () -> ()
+            | Error _ -> ());
+            for i = off to off + len - 1 do
+              model.(i) <- true
+            done
+          end)
+        writes;
+      let model_covered = Array.fold_left (fun n b -> if b then n + 1 else n) 0 model in
+      let runs_disjoint_sorted =
+        let rec ok = function
+          | (o1, l1) :: ((o2, _) :: _ as rest) -> o1 + l1 < o2 && l1 > 0 && ok rest
+          | [ (_, l) ] -> l > 0
+          | [] -> true
+        in
+        ok (Sink.covered_ranges t)
+      in
+      Sink.covered_bytes t = model_covered
+      && runs_disjoint_sorted
+      && List.fold_left (fun n (_, l) -> n + l) 0 (Sink.missing_ranges t)
+         = size - model_covered)
+
+let prop_sink_partition_completes =
+  QCheck.Test.make ~name:"sink: shuffled ADU partition completes" ~count:200
+    QCheck.(pair (int_range 1 50) int64)
+    (fun (adu_size, seed) ->
+      let data = Bytebuf.init 200 (fun i -> Char.chr (i land 0xff)) in
+      let adus = Array.of_list (Framing.frames_of_buffer ~stream:0 ~adu_size data) in
+      Rng.shuffle (Rng.create ~seed) adus;
+      let t = Sink.create ~size:200 in
+      Array.iter (fun adu ->
+          match Sink.write_adu t adu with
+          | Ok () -> ()
+          | Error e -> failwith e)
+        adus;
+      Sink.complete t && Bytebuf.equal (Sink.contents t) data)
+
+(* --- FEC --- *)
+
+let test_fec_parity_recover () =
+  let blocks = List.map buf [ "hello"; "world"; "!!" ] in
+  let prefixed = List.map (fun b ->
+      let n = Bytebuf.length b in
+      let out = Bytebuf.create (2 + n) in
+      Bytebuf.set_uint8 out 0 (n lsr 8);
+      Bytebuf.set_uint8 out 1 (n land 0xff);
+      Bytebuf.blit ~src:b ~src_pos:0 ~dst:out ~dst_pos:2 ~len:n;
+      out) blocks
+  in
+  let p = Fec.parity prefixed in
+  (* Lose block 1 and recover it. *)
+  let have = [ (0, List.nth prefixed 0); (2, List.nth prefixed 2) ] in
+  let rec_b = Fec.recover ~have ~parity:p ~k:3 ~missing:1 in
+  Alcotest.(check string) "recovered (with prefix)" "world"
+    (Bytebuf.to_string (Bytebuf.sub rec_b ~pos:2 ~len:5))
+
+let fec_stream n = List.init n (fun i ->
+    buf (String.init (10 + (i mod 7)) (fun j -> Char.chr (33 + ((i + j) mod 90)))))
+
+let test_fec_clean_stream () =
+  let blocks = fec_stream 20 in
+  let protected = Fec.protect ~k:4 blocks in
+  Alcotest.(check int) "adds one parity per group" 25 (List.length protected);
+  let got = ref [] in
+  let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) in
+  List.iter (Fec.push d) protected;
+  Fec.flush d;
+  Alcotest.(check (list string)) "all delivered in order"
+    (List.map Bytebuf.to_string blocks)
+    (List.rev !got);
+  Alcotest.(check int) "nothing recovered" 0 (Fec.stats d).Fec.recovered;
+  Alcotest.(check int) "nothing unrecoverable" 0 (Fec.stats d).Fec.unrecoverable
+
+let test_fec_single_loss_per_group_recovers () =
+  let blocks = fec_stream 12 in
+  let protected = Fec.protect ~k:4 blocks in
+  (* Drop exactly one source block in each of the 3 groups (positions
+     1, 6, 11 in the protected stream = sources 1, 2, 3 of each group). *)
+  let survivors = List.filteri (fun i _ -> i <> 1 && i <> 7 && i <> 13) protected in
+  let got = ref [] in
+  let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) in
+  List.iter (Fec.push d) survivors;
+  Fec.flush d;
+  let expected = List.map Bytebuf.to_string blocks in
+  Alcotest.(check int) "all blocks delivered" (List.length expected) (List.length !got);
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare expected = List.sort compare !got);
+  Alcotest.(check int) "three recoveries" 3 (Fec.stats d).Fec.recovered
+
+let test_fec_double_loss_unrecoverable () =
+  let blocks = fec_stream 4 in
+  let protected = Fec.protect ~k:4 blocks in
+  (* Drop two sources of the single group. *)
+  let survivors = List.filteri (fun i _ -> i <> 0 && i <> 1) protected in
+  let got = ref 0 in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  List.iter (Fec.push d) survivors;
+  Fec.flush d;
+  Alcotest.(check int) "only direct blocks" 2 !got;
+  Alcotest.(check int) "group unrecoverable" 1 (Fec.stats d).Fec.unrecoverable
+
+let test_fec_lost_parity_harmless () =
+  let blocks = fec_stream 4 in
+  let protected = Fec.protect ~k:4 blocks in
+  let survivors = List.filteri (fun i _ -> i <> 4) protected in
+  (* parity is last *)
+  let got = ref 0 in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  List.iter (Fec.push d) survivors;
+  Fec.flush d;
+  Alcotest.(check int) "all sources delivered" 4 !got;
+  Alcotest.(check int) "no unrecoverable" 0 (Fec.stats d).Fec.unrecoverable
+
+let test_fec_duplicates_ignored () =
+  let blocks = fec_stream 4 in
+  let protected = Fec.protect ~k:4 blocks in
+  let got = ref 0 in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  List.iter (Fec.push d) protected;
+  List.iter (Fec.push d) protected;
+  Fec.flush d;
+  Alcotest.(check int) "each source once" 4 !got
+
+let test_fec_k1_duplicate_parity () =
+  (* Regression: with k=1, a parity arriving after the source completed
+     the group must not re-deliver the block. *)
+  let blocks = fec_stream 1 in
+  let protected = Fec.protect ~k:1 blocks in
+  let got = ref 0 in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  List.iter (Fec.push d) protected;
+  List.iter (Fec.push d) protected;
+  Fec.flush d;
+  Alcotest.(check int) "delivered once" 1 !got
+
+let prop_fec_any_single_loss =
+  QCheck.Test.make ~name:"fec: any single loss per group recovers" ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 0 30))
+    (fun (k, drop_seed) ->
+      let blocks = fec_stream (3 * k) in
+      let protected = Fec.protect ~k blocks in
+      let per_group = k + 1 in
+      (* Drop one block (source or parity) per group, position derived
+         from the seed. *)
+      let survivors =
+        List.filteri
+          (fun i _ ->
+            let group = i / per_group and pos = i mod per_group in
+            pos <> (drop_seed + group) mod per_group)
+          protected
+      in
+      let got = ref [] in
+      let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) in
+      List.iter (Fec.push d) survivors;
+      Fec.flush d;
+      List.sort compare (List.map Bytebuf.to_string blocks)
+      = List.sort compare !got
+      && (Fec.stats d).Fec.unrecoverable = 0)
+
+(* --- Playout --- *)
+
+let us f = Int64.of_float (f *. 1e6)
+
+let test_playout_in_time () =
+  let engine = Engine.create () in
+  let played = ref [] in
+  let p =
+    Playout.create ~engine ~playout_delay:0.1
+      ~play:(fun adu -> played := (adu.Adu.name.Adu.index, Engine.now engine) :: !played)
+      ()
+  in
+  (* Three frames captured at 0, 40, 80 ms; all arrive early but out of
+     order; each must play exactly at capture + 100 ms. *)
+  let mk i ts = Adu.make (Adu.name ~timestamp_us:(us ts) ~stream:0 ~index:i ()) (Bytebuf.create 10) in
+  List.iter (fun ts -> Playout.expect p ~timestamp_us:(us ts)) [ 0.0; 0.04; 0.08 ];
+  ignore (Engine.schedule_at engine 0.01 (fun () -> Playout.insert p (mk 2 0.08)));
+  ignore (Engine.schedule_at engine 0.02 (fun () -> Playout.insert p (mk 0 0.0)));
+  ignore (Engine.schedule_at engine 0.03 (fun () -> Playout.insert p (mk 1 0.04)));
+  Engine.run_until_idle engine;
+  (match List.rev !played with
+  | [ (0, t0); (1, t1); (2, t2) ] ->
+      Alcotest.(check (float 1e-9)) "frame 0 at 100ms" 0.1 t0;
+      Alcotest.(check (float 1e-9)) "frame 1 at 140ms" 0.14 t1;
+      Alcotest.(check (float 1e-9)) "frame 2 at 180ms" 0.18 t2
+  | _ -> Alcotest.fail "wrong playout order");
+  let st = Playout.stats p in
+  Alcotest.(check int) "all played" 3 st.Playout.played;
+  Alcotest.(check int) "none missing" 0 st.Playout.missing;
+  Alcotest.(check int) "none late" 0 st.Playout.late
+
+let test_playout_late_and_missing () =
+  let engine = Engine.create () in
+  let p = Playout.create ~engine ~playout_delay:0.05 ~play:(fun _ -> ()) () in
+  let mk i ts = Adu.make (Adu.name ~timestamp_us:(us ts) ~stream:0 ~index:i ()) (Bytebuf.create 1) in
+  Playout.expect p ~timestamp_us:(us 0.0);
+  Playout.expect p ~timestamp_us:(us 0.04);
+  (* Frame 0 arrives after its 50 ms deadline; frame at 40ms never comes. *)
+  ignore (Engine.schedule_at engine 0.06 (fun () -> Playout.insert p (mk 0 0.0)));
+  Engine.run_until_idle engine;
+  let st = Playout.stats p in
+  Alcotest.(check int) "late" 1 st.Playout.late;
+  Alcotest.(check int) "missing counts both" 2 st.Playout.missing;
+  Alcotest.(check int) "nothing played" 0 st.Playout.played
+
+let test_playout_multiple_per_instant () =
+  let engine = Engine.create () in
+  let played = ref 0 in
+  let p = Playout.create ~engine ~playout_delay:0.02 ~play:(fun _ -> incr played) () in
+  let mk i = Adu.make (Adu.name ~timestamp_us:(us 0.01) ~stream:0 ~index:i ()) (Bytebuf.create 1) in
+  for _ = 1 to 4 do
+    Playout.expect p ~timestamp_us:(us 0.01)
+  done;
+  (* Only three of the four expected tiles arrive. *)
+  Playout.insert p (mk 0);
+  Playout.insert p (mk 1);
+  Playout.insert p (mk 2);
+  Alcotest.(check int) "buffered before deadline" 3 (Playout.buffered p);
+  Engine.run_until_idle engine;
+  Alcotest.(check int) "played" 3 !played;
+  Alcotest.(check int) "one missing" 1 (Playout.stats p).Playout.missing
+
+let test_playout_jitter_margin () =
+  let engine = Engine.create () in
+  let p = Playout.create ~engine ~playout_delay:0.1 ~play:(fun _ -> ()) () in
+  let mk ts = Adu.make (Adu.name ~timestamp_us:(us ts) ~stream:0 ~index:0 ()) (Bytebuf.create 1) in
+  (* Captured at 0, arrives at 30 ms: margin to the 100 ms deadline is 70 ms. *)
+  ignore (Engine.schedule_at engine 0.03 (fun () -> Playout.insert p (mk 0.0)));
+  Engine.run_until_idle engine;
+  Alcotest.(check (float 1e-6)) "margin" 0.07
+    (Stats.mean (Playout.stats p).Playout.early_margin)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "length mismatch" `Quick test_kernel_length_mismatch;
+          qcheck prop_kernel_checksum_matches;
+          qcheck prop_kernel_copy;
+          qcheck prop_kernel_fused_copy_checksum;
+          qcheck prop_kernel_fused_xor;
+        ] );
+      ( "machine-model",
+        [
+          Alcotest.test_case "table 1 shape" `Quick test_model_table1;
+          Alcotest.test_case "ilp fusion prediction" `Quick test_model_ilp_fusion_prediction;
+          Alcotest.test_case "presentation prediction" `Quick test_model_presentation_prediction;
+          Alcotest.test_case "fused convert+checksum" `Quick test_model_fused_convert_checksum;
+          Alcotest.test_case "fuse algebra" `Quick test_model_fuse_algebra;
+          Alcotest.test_case "fused never slower" `Quick test_model_fused_never_slower;
+          qcheck prop_model_fusion_always_wins;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "validate rules" `Quick test_ilp_validate_rules;
+          Alcotest.test_case "fused rejects invalid" `Quick test_ilp_run_fused_rejects_invalid;
+          Alcotest.test_case "byteswap length" `Quick test_ilp_byteswap_length_check;
+          Alcotest.test_case "needs in order" `Quick test_ilp_needs_in_order;
+          Alcotest.test_case "byteswap involution" `Quick test_ilp_byteswap_involution;
+          Alcotest.test_case "passes accounting" `Quick test_ilp_passes_accounting;
+          Alcotest.test_case "checksum placement" `Quick test_ilp_checksum_sees_transformed_data;
+          Alcotest.test_case "compilation dispatch" `Quick test_ilp_compilation_dispatch;
+          qcheck prop_ilp_fused_equals_layered;
+          qcheck prop_ilp_byteswap_first_ok;
+        ] );
+      ( "adu",
+        [
+          Alcotest.test_case "name validation" `Quick test_adu_name_validation;
+          qcheck prop_adu_round_trip;
+          qcheck prop_adu_corruption_detected;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "buffer partition" `Quick test_framing_buffer_partition;
+          Alcotest.test_case "values placement" `Quick test_framing_values_placement;
+          Alcotest.test_case "fragment sizes" `Quick test_framing_fragment_sizes;
+          Alcotest.test_case "duplicate fragments" `Quick test_framing_duplicate_fragments;
+          Alcotest.test_case "interleaved adus" `Quick test_framing_interleaved_adus;
+          Alcotest.test_case "forget" `Quick test_framing_forget;
+          qcheck prop_framing_fragment_round_trip;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "transport buffer" `Quick test_recovery_transport_buffer;
+          Alcotest.test_case "app recompute" `Quick test_recovery_app_recompute;
+          Alcotest.test_case "no recovery" `Quick test_recovery_none;
+          Alcotest.test_case "release below" `Quick test_recovery_release_below;
+        ] );
+      ( "alf-transport",
+        [
+          Alcotest.test_case "clean delivery" `Quick test_alf_clean_delivery;
+          Alcotest.test_case "lossy + transport buffer" `Quick test_alf_lossy_transport_buffer;
+          Alcotest.test_case "out of order delivery" `Quick
+            test_alf_out_of_order_delivery_under_loss;
+          Alcotest.test_case "no-recovery policy" `Quick test_alf_no_recovery_policy;
+          Alcotest.test_case "app-recompute policy" `Quick test_alf_app_recompute_policy;
+          Alcotest.test_case "store released" `Quick test_alf_store_released_by_acks;
+          Alcotest.test_case "delivery series" `Quick test_alf_delivery_series_monotone;
+        ] );
+      ( "ordered",
+        [
+          Alcotest.test_case "releases contiguous" `Quick test_ordered_releases_contiguous;
+          Alcotest.test_case "skip" `Quick test_ordered_skip;
+          Alcotest.test_case "duplicates and stale" `Quick test_ordered_duplicates_and_stale;
+          qcheck prop_ordered_permutation;
+        ] );
+      ( "secure",
+        [
+          Alcotest.test_case "round trip + fused checksum" `Quick test_secure_round_trip;
+          Alcotest.test_case "out of order independent" `Quick
+            test_secure_out_of_order_independent;
+          Alcotest.test_case "wrong key garbles" `Quick test_secure_wrong_key_garbles;
+          qcheck prop_secure_seal_summed;
+          qcheck prop_secure_kernel_duals;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "out of order completion" `Quick
+            test_sink_out_of_order_completion;
+          Alcotest.test_case "bounds" `Quick test_sink_bounds;
+          Alcotest.test_case "overlap idempotent" `Quick test_sink_overlap_idempotent;
+          Alcotest.test_case "adu length check" `Quick test_sink_adu_len_check;
+          qcheck prop_sink_matches_bitmap_model;
+          qcheck prop_sink_partition_completes;
+        ] );
+      ( "fec",
+        [
+          Alcotest.test_case "parity/recover primitive" `Quick test_fec_parity_recover;
+          Alcotest.test_case "clean stream" `Quick test_fec_clean_stream;
+          Alcotest.test_case "single loss recovers" `Quick
+            test_fec_single_loss_per_group_recovers;
+          Alcotest.test_case "double loss unrecoverable" `Quick
+            test_fec_double_loss_unrecoverable;
+          Alcotest.test_case "lost parity harmless" `Quick test_fec_lost_parity_harmless;
+          Alcotest.test_case "duplicates ignored" `Quick test_fec_duplicates_ignored;
+          Alcotest.test_case "k=1 duplicate parity" `Quick test_fec_k1_duplicate_parity;
+          qcheck prop_fec_any_single_loss;
+        ] );
+      ( "playout",
+        [
+          Alcotest.test_case "in time, out of order" `Quick test_playout_in_time;
+          Alcotest.test_case "late and missing" `Quick test_playout_late_and_missing;
+          Alcotest.test_case "multiple per instant" `Quick test_playout_multiple_per_instant;
+          Alcotest.test_case "jitter margin" `Quick test_playout_jitter_margin;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "negotiates syntax and rate" `Quick
+            test_session_negotiates_syntax_and_rate;
+          Alcotest.test_case "no common syntax" `Quick test_session_no_common_syntax;
+          Alcotest.test_case "unreachable times out" `Quick test_session_unreachable_times_out;
+          Alcotest.test_case "negotiated transfer end-to-end" `Quick
+            test_session_then_negotiated_transfer;
+        ] );
+      ( "stage2",
+        [
+          Alcotest.test_case "decrypt+verify pipeline" `Quick
+            test_stage2_decrypt_verify_pipeline;
+          Alcotest.test_case "rejects sequential cipher" `Quick
+            test_stage2_rejects_sequential_cipher;
+          Alcotest.test_case "rejects invalid plan" `Quick test_stage2_rejects_invalid_plan;
+        ] );
+      ( "mux",
+        [
+          Alcotest.test_case "two streams one port" `Quick test_mux_two_streams_one_port;
+          Alcotest.test_case "unrouted counted" `Quick test_mux_unrouted_counted;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "throughput accounting" `Quick test_pipeline_throughput_accounting;
+          Alcotest.test_case "starvation idle" `Quick test_pipeline_starvation_idle;
+          Alcotest.test_case "per-unit cost" `Quick test_pipeline_per_unit_cost;
+          Alcotest.test_case "progress series" `Quick test_pipeline_progress_series;
+        ] );
+    ]

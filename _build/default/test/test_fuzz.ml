@@ -1,0 +1,192 @@
+(* Decoder robustness: arbitrary bytes into every wire parser in the
+   repository. A parser may reject input only through its documented
+   channel (its own exception or result type); anything else — internal
+   assertion failures, Invalid_argument from bounds arithmetic, stack
+   overflow — is a bug this suite exists to catch. *)
+
+open Bufkit
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let arb_bytes =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Hexdump.pp_string s)
+    QCheck.Gen.(string_size (0 -- 300))
+
+(* Mutated-valid inputs reach deeper branches than pure noise. *)
+let arb_mutated_of make =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Hexdump.pp_string s)
+    QCheck.Gen.(
+      let* seed = int_bound 1000 in
+      let base = Bytebuf.to_string (make seed) in
+      let* n_mutations = int_range 1 8 in
+      let* mutations =
+        list_size (return n_mutations) (pair (int_bound 10000) (int_bound 255))
+      in
+      let b = Bytes.of_string base in
+      List.iter
+        (fun (pos, v) ->
+          if Bytes.length b > 0 then
+            Bytes.set b (pos mod Bytes.length b) (Char.chr v))
+        mutations;
+      return (Bytes.to_string b))
+
+let never_crashes name decode arb =
+  QCheck.Test.make ~name ~count:1000 arb (fun s ->
+      match decode (Bytebuf.of_string s) with
+      | _ -> true
+      | exception Wire.Ber.Decode_error _ -> true
+      | exception Wire.Xdr.Error _ -> true
+      | exception Wire.Lwts.Error _ -> true
+      | exception Alf_core.Adu.Decode_error _ -> true
+      | exception Alf_core.Framing.Frag_error _ -> true
+      | exception Atmsim.Cell.Header_error _ -> true
+      (* Anything else (Invalid_argument, Assert_failure, Bounds...)
+         fails the property. *))
+
+(* Valid-instance generators for the mutation corpus. *)
+let valid_adu seed =
+  Alf_core.Adu.encode
+    (Alf_core.Adu.make
+       (Alf_core.Adu.name ~dest_off:(seed * 13) ~dest_len:(seed mod 50)
+          ~stream:(seed mod 100) ~index:seed ())
+       (Bytebuf.init (seed mod 80) (fun i -> Char.chr ((i + seed) land 0xff))))
+
+let valid_fragment seed =
+  List.nth
+    (Alf_core.Framing.fragment ~mtu:64
+       (Alf_core.Adu.make
+          (Alf_core.Adu.name ~stream:1 ~index:seed ())
+          (Bytebuf.create (40 + (seed mod 100)))))
+    0
+
+let valid_segment seed =
+  Transport.Segment.encode
+    {
+      Transport.Segment.seq = Transport.Seq32.of_int (seed * 7);
+      ack = Transport.Seq32.of_int seed;
+      flags = Transport.Segment.no_flags;
+      wnd = seed;
+      payload = Bytebuf.create (seed mod 60);
+    }
+
+let valid_ber seed =
+  Wire.Ber.encode
+    (Wire.Value.List
+       [ Wire.Value.Int seed; Wire.Value.Utf8 "x"; Wire.Value.Octets "yz" ])
+
+let valid_cell seed =
+  Atmsim.Cell.encode
+    (Atmsim.Cell.make ~vci:(seed land 0xFFFF)
+       (Bytebuf.init 48 (fun i -> Char.chr ((i * seed) land 0xff))))
+
+let segment_decode buf =
+  match Transport.Segment.decode buf with Ok _ | Error _ -> ()
+
+let aal34_push buf =
+  if Bytebuf.length buf = 48 then begin
+    let r = Atmsim.Aal34.reassembler ~deliver:(fun ~mid:_ _ -> ()) in
+    Atmsim.Aal34.push r buf
+  end
+
+let aal5_push buf =
+  if Bytebuf.length buf = 48 then begin
+    let r = Atmsim.Aal5.reassembler ~deliver:(fun _ -> ()) () in
+    Atmsim.Aal5.push r buf ~eof:true
+  end
+
+let fec_push buf =
+  let d = Alf_core.Fec.decoder ~deliver:(fun _ -> ()) in
+  Alf_core.Fec.push d buf;
+  Alf_core.Fec.flush d
+
+let text_decode buf = ignore (Wire.Text.of_network buf)
+
+let ber_decode buf = ignore (Wire.Ber.decode buf)
+let ber_int_array buf = ignore (Wire.Ber.decode_int_array buf)
+
+let xdr_decode buf =
+  ignore (Wire.Xdr.decode (Wire.Xdr.S_array Wire.Xdr.S_string) buf)
+
+let lwts_decode buf =
+  ignore (Wire.Lwts.decode (Wire.Xdr.S_struct [ Wire.Xdr.S_int; Wire.Xdr.S_opaque ]) buf)
+
+let adu_decode buf = ignore (Alf_core.Adu.decode buf)
+let frag_parse buf = ignore (Alf_core.Framing.parse_fragment buf)
+let cell_decode buf = if Bytebuf.length buf = 53 then ignore (Atmsim.Cell.decode buf)
+
+(* Live endpoints fed raw garbage datagrams from a hostile peer. *)
+let prop_endpoints_survive_garbage =
+  QCheck.Test.make ~name:"live ALF/RPC endpoints survive garbage" ~count:200
+    QCheck.(pair (small_list (string_of_size Gen.(0 -- 120))) int64)
+    (fun (datagrams, seed) ->
+      let open Netsim in
+      let engine = Engine.create () in
+      let rng = Rng.create ~seed in
+      let net =
+        Topology.point_to_point ~engine ~rng ~bandwidth_bps:10e6 ~delay:0.001
+          ~a:1 ~b:2 ()
+      in
+      let attacker = Transport.Udp.create ~engine ~node:net.Topology.a () in
+      let victim = Transport.Udp.create ~engine ~node:net.Topology.b () in
+      let _receiver =
+        Alf_core.Alf_transport.receiver ~engine ~udp:victim ~port:700 ~stream:1
+          ~deliver:(fun _ -> ()) ()
+      in
+      let _sender =
+        Alf_core.Alf_transport.sender ~engine ~udp:victim ~peer:1 ~peer_port:9
+          ~port:701 ~stream:1 ~policy:Alf_core.Recovery.No_recovery ()
+      in
+      let server = Rpcsim.Rpc.server ~engine ~udp:victim ~port:702 in
+      Rpcsim.Rpc.register server ~proc:1 ~args:[] (fun _ -> Wire.Value.Null);
+      let _responder =
+        Alf_core.Session.listen ~engine ~io:(Alf_core.Dgram.of_udp victim)
+          ~port:703 ~supported:[ "ber" ]
+          ~on_session:(fun ~peer:_ _ -> ())
+          ()
+      in
+      List.iteri
+        (fun i payload ->
+          let port = 700 + (i mod 4) in
+          ignore
+            (Transport.Udp.send attacker ~dst:2 ~dst_port:port
+               ~src_port:60000 (Bytebuf.of_string payload)))
+        datagrams;
+      Engine.run ~until:5.0 engine;
+      true)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "random-bytes",
+        [
+          qcheck (never_crashes "ber decode" ber_decode arb_bytes);
+          qcheck (never_crashes "ber int-array decode" ber_int_array arb_bytes);
+          qcheck (never_crashes "xdr decode" xdr_decode arb_bytes);
+          qcheck (never_crashes "lwts decode" lwts_decode arb_bytes);
+          qcheck (never_crashes "adu decode" adu_decode arb_bytes);
+          qcheck (never_crashes "fragment parse" frag_parse arb_bytes);
+          qcheck (never_crashes "segment decode" segment_decode arb_bytes);
+          qcheck (never_crashes "text decode" text_decode arb_bytes);
+          qcheck (never_crashes "fec push" fec_push arb_bytes);
+        ] );
+      ( "live-endpoints",
+        [ qcheck prop_endpoints_survive_garbage ] );
+      ( "mutated-valid",
+        [
+          qcheck (never_crashes "mutated adu" adu_decode (arb_mutated_of valid_adu));
+          qcheck
+            (never_crashes "mutated fragment" frag_parse (arb_mutated_of valid_fragment));
+          qcheck
+            (never_crashes "mutated segment" segment_decode (arb_mutated_of valid_segment));
+          qcheck (never_crashes "mutated ber" ber_decode (arb_mutated_of valid_ber));
+          qcheck (never_crashes "mutated cell" cell_decode (arb_mutated_of valid_cell));
+          qcheck
+            (never_crashes "mutated cell as aal34 pdu" aal34_push
+               (arb_mutated_of (fun s -> Bytebuf.take (valid_cell s) 48)));
+          qcheck
+            (never_crashes "mutated cell as aal5 payload" aal5_push
+               (arb_mutated_of (fun s -> Bytebuf.take (valid_cell s) 48)));
+        ] );
+    ]
