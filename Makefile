@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples cli clean outputs
+.PHONY: all build test bench bench-quick bench-smoke examples cli clean outputs
 
 all: build
 
@@ -17,6 +17,11 @@ bench:
 # A quicker benchmark pass for iteration.
 bench-quick:
 	ALFNET_BENCH_QUOTA=0.15 dune exec bench/main.exe
+
+# Tiny-quota pass over the microbenchmark experiments only: seconds, not
+# minutes, and still writes a valid BENCH_ilp.json for comparison.
+bench-smoke:
+	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert
 
 examples:
 	dune exec examples/quickstart.exe

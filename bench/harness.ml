@@ -8,6 +8,42 @@ open Toolkit
 
 let quota = ref 0.5
 
+(* --- Machine-readable results --- *)
+
+(* Every throughput measurement is also appended here and dumped as one
+   JSON array at the end of the run (BENCH_ilp.json), so results can be
+   diffed across revisions. Measurement names repeat between experiments
+   ("copy" is measured by E1, E2 and E3), so entries are qualified as
+   "<experiment>/<measurement>" by [set_experiment]. *)
+let experiment = ref ""
+let set_experiment name = experiment := name
+
+let records : Obs.Json.t list ref = ref []
+
+let record_measurement ~name ~bytes ~ns ~mbps =
+  if Float.is_finite ns && Float.is_finite mbps then begin
+    let qualified =
+      if !experiment = "" then name else !experiment ^ "/" ^ name
+    in
+    records :=
+      Obs.Json.Obj
+        [
+          ("name", Obs.Json.Str qualified);
+          ("bytes", Obs.Json.num_of_int bytes);
+          ("mbps", Obs.Json.Num mbps);
+          ("ns_per_run", Obs.Json.Num ns);
+        ]
+      :: !records
+  end
+
+let recorded_count () = List.length !records
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string_pretty (Obs.Json.Arr (List.rev !records)));
+  output_char oc '\n';
+  close_out oc
+
 (* Nanoseconds per run of [fn], by linear regression. *)
 let ns_per_run name fn =
   let test = Test.make ~name (Staged.stage fn) in
@@ -31,7 +67,11 @@ let ns_per_run name fn =
 (* Megabits of payload per second given bytes processed per run. *)
 let mbps ~bytes ~ns = 8.0 *. float_of_int bytes /. ns *. 1000.0
 
-let measure_mbps name ~bytes fn = mbps ~bytes ~ns:(ns_per_run name fn)
+let measure_mbps name ~bytes fn =
+  let ns = ns_per_run name fn in
+  let v = mbps ~bytes ~ns in
+  record_measurement ~name ~bytes ~ns ~mbps:v;
+  v
 
 (* One-shot stopwatch over a macro operation repeated [runs] times;
    returns seconds per run of CPU time. *)

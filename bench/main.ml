@@ -900,4 +900,24 @@ let () =
   in
   Printf.printf
     "alfnet experiment harness - reproducing Clark & Tennenhouse, SIGCOMM 1990\n";
-  List.iter (fun (_, f) -> f ()) to_run
+  List.iter
+    (fun (name, f) ->
+      Harness.set_experiment name;
+      f ())
+    to_run;
+  (* Machine-readable throughput results for cross-revision comparison;
+     ALFNET_BENCH_JSON overrides the output path. *)
+  let json_path =
+    match Sys.getenv_opt "ALFNET_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_ilp.json"
+  in
+  match Harness.write_json json_path with
+  | () ->
+      Printf.printf "\n%d measurements written to %s\n"
+        (Harness.recorded_count ()) json_path
+  | exception Sys_error msg ->
+      (* The measurements above already printed; a bad output path should
+         not turn the whole run into a crash. *)
+      Printf.eprintf "\nerror: cannot write %s (%s)\n" json_path msg;
+      exit 1

@@ -4,6 +4,7 @@
      transfer   move data through a lossy network with either transport
      atm        carry ADUs over ATM cells through an adaptation layer
      syntax     encode a sample value in each transfer syntax
+     metrics    run an instrumented workload and dump the metrics registry
 
    Examples:
      alfnet transfer --transport alf --loss 0.05 --size 500000
@@ -377,7 +378,67 @@ let syntax_cmd =
     (Cmd.info "syntax" ~doc:"Show a value in each transfer syntax.")
     Term.(ret (const run_syntax $ ints))
 
+(* --- metrics --- *)
+
+let run_metrics opts size =
+  (* Exercise each instrumented subsystem once — an ALF transfer feeding
+     the two-stage receive path, a TCP transfer over the same impaired
+     network, and the three ILP execution modes — then dump the whole
+     registry as JSON. *)
+  let engine = Engine.create () in
+  let net = build_net opts engine in
+  let data = Bytebuf.create size in
+  Rng.fill_bytes (Rng.create ~seed:0xDA7AL) data;
+  (* ALF: deliver through Stage2 so the ILP receive plan runs per ADU. *)
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let stage =
+    Stage2.create
+      ~plan:(fun _ -> Stage2.decrypt_verify ~key:0xA5A5L)
+      ~deliver:(fun _ -> ())
+  in
+  let receiver =
+    Alf_transport.receiver_io ~engine ~io:(Dgram.of_udp ub) ~port:7 ~stream:1
+      ~deliver:(Stage2.deliver_fn stage) ()
+  in
+  ignore (Alf_transport.receiver_stats receiver);
+  let sender =
+    Alf_transport.sender_io ~engine ~io:(Dgram.of_udp ua) ~peer:2 ~peer_port:7
+      ~port:8 ~stream:1 ~policy:Recovery.Transport_buffer ()
+  in
+  List.iter (Alf_transport.send_adu sender)
+    (Framing.frames_of_buffer ~stream:1 ~adu_size:4000 data);
+  Alf_transport.close sender;
+  Engine.run ~until:3600.0 engine;
+  (* TCP over a fresh network with the same impairments. *)
+  let engine2 = Engine.create () in
+  let net2 = build_net opts engine2 in
+  let tcp_s = Transport.Tcp.create ~engine:engine2 ~node:net2.Topology.a ~peer:2 () in
+  let tcp_r = Transport.Tcp.create ~engine:engine2 ~node:net2.Topology.b ~peer:1 () in
+  Transport.Tcp.on_deliver tcp_r (fun _ -> ());
+  Transport.Tcp.send tcp_s data;
+  Transport.Tcp.finish tcp_s;
+  Engine.run ~until:3600.0 engine2;
+  ignore (Transport.Tcp.stats tcp_s);
+  (* The three ILP modes over one plan. *)
+  let plan = Stage2.decrypt_verify ~key:0xA5A5L in
+  let chunk = Bytebuf.take data (min size 65536) in
+  ignore (Ilp.run_layered plan chunk);
+  ignore (Ilp.run_fused_interpreted plan chunk);
+  ignore (Ilp.run_fused plan chunk);
+  print_endline (Obs.Json.to_string_pretty (Obs.Registry.to_json ()));
+  `Ok ()
+
+let metrics_cmd =
+  let size =
+    Arg.(value & opt int 200_000 & info [ "size" ] ~docv:"BYTES" ~doc:"Bytes to transfer.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a small instrumented workload and dump the metrics registry as JSON.")
+    Term.(ret (const run_metrics $ net_opts_term $ size))
+
 let () =
   let doc = "ALF/ILP protocol laboratory (Clark & Tennenhouse, SIGCOMM 1990)" in
   let info = Cmd.info "alfnet" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ transfer_cmd; atm_cmd; syntax_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ transfer_cmd; atm_cmd; syntax_cmd; metrics_cmd ]))

@@ -51,6 +51,14 @@ let acquire t =
 let release t buf =
   if Bytebuf.length buf <> t.buf_size then
     invalid_arg "Pool.release: buffer size does not match pool";
+  (* A double release would push the same buffer onto the free list
+     twice; two later acquires would then hand out one aliased buffer —
+     silent data corruption. Detect both symptoms: the buffer already
+     sitting in the free list, and more releases than acquires. *)
+  if List.exists (fun b -> b == buf) t.free then
+    invalid_arg "Pool.release: buffer already released";
+  if t.outstanding = 0 then
+    invalid_arg "Pool.release: more releases than acquires";
   t.outstanding <- t.outstanding - 1;
   if t.free_count < t.capacity then begin
     t.free <- buf :: t.free;

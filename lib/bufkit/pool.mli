@@ -26,7 +26,13 @@ val acquire : t -> Bytebuf.t
 
 val release : t -> Bytebuf.t -> unit
 (** Return a buffer to the pool. Raises [Invalid_argument] if the buffer
-    is not [buf_size] bytes long (it cannot have come from this pool). *)
+    is not [buf_size] bytes long (it cannot have come from this pool), if
+    the buffer is already sitting in the free list (double release — the
+    alias would corrupt data for two later acquirers), or if there are no
+    outstanding buffers at all. [stats.outstanding] therefore never goes
+    negative. The check is best-effort: a double release of a buffer the
+    pool dropped at capacity, or a release of a foreign same-sized buffer
+    while others are outstanding, cannot be told apart from legal use. *)
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit

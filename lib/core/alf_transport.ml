@@ -114,6 +114,8 @@ let send_gone s indices =
           Hashtbl.replace s.gone_announced i ())
         fresh;
       s.stats.adus_gone <- s.stats.adus_gone + List.length fresh;
+      Obs.Counter.add (Obs.Registry.counter "alf.sender.adus_gone")
+        (List.length fresh);
       let count = List.length indices in
       let buf = Bytebuf.create (1 + 2 + 2 + (4 * count)) in
       let w = Cursor.writer buf in
@@ -125,6 +127,7 @@ let send_gone s indices =
 
 let handle_nack s r =
   s.stats.nacks_received <- s.stats.nacks_received + 1;
+  Obs.Counter.incr (Obs.Registry.counter "alf.sender.nacks_received");
   let have_below = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
   Recovery.release_below s.store have_below;
   let count = Cursor.u16be r in
@@ -140,6 +143,10 @@ let handle_nack s r =
           s.stats.adus_retransmitted <- s.stats.adus_retransmitted + 1;
           s.stats.bytes_retransmitted <-
             s.stats.bytes_retransmitted + Bytebuf.length encoded;
+          Obs.Counter.incr (Obs.Registry.counter "alf.sender.retransmits");
+          Obs.Counter.add
+            (Obs.Registry.counter "alf.sender.bytes_retransmitted")
+            (Bytebuf.length encoded);
           enqueue_frags s ~index
             (Framing.fragment_encoded ~mtu:s.config.mtu ~stream:s.stream
                ~index encoded)
@@ -250,6 +257,12 @@ let send_adu s adu =
   s.stats.adus_sent <- s.stats.adus_sent + 1;
   s.stats.frags_sent <- s.stats.frags_sent + List.length frags;
   s.stats.bytes_sent <- s.stats.bytes_sent + Bytebuf.length encoded;
+  Obs.Counter.incr (Obs.Registry.counter "alf.sender.adus_sent");
+  Obs.Counter.add (Obs.Registry.counter "alf.sender.bytes_sent")
+    (Bytebuf.length encoded);
+  Obs.Gauge.observe_max
+    (Obs.Registry.gauge "alf.sender.store_peak_bytes")
+    (float_of_int s.stats.store_peak);
   enqueue_frags s ~index frags
 
 let close s =
@@ -347,6 +360,7 @@ let check_complete t =
 let send_nack t indices =
   let indices = if List.length indices > 512 then List.filteri (fun i _ -> i < 512) indices else indices in
   t.r_stats.nacks_sent <- t.r_stats.nacks_sent + 1;
+  Obs.Counter.incr (Obs.Registry.counter "alf.receiver.nacks_sent");
   send_ctl t (fun () ->
       let count = List.length indices in
       let buf = Bytebuf.create (1 + 2 + 4 + 2 + (4 * count)) in
@@ -413,6 +427,10 @@ let deliver_complete t adu =
     t.r_stats.adus_delivered <- t.r_stats.adus_delivered + 1;
     t.r_stats.bytes_delivered <-
       t.r_stats.bytes_delivered + Bytebuf.length adu.Adu.payload;
+    Obs.Counter.incr (Obs.Registry.counter "alf.receiver.adus_delivered");
+    Obs.Counter.add
+      (Obs.Registry.counter "alf.receiver.bytes_delivered")
+      (Bytebuf.length adu.Adu.payload);
     Stats.record t.series ~t:(Engine.now t.r_engine)
       (float_of_int t.r_stats.bytes_delivered);
     t.app_deliver adu;
@@ -459,6 +477,7 @@ let receiver_handle t ~src ~src_port payload =
                 Hashtbl.remove t.nacked_at index;
                 Framing.forget t.reasm ~index;
                 t.r_stats.adus_lost <- t.r_stats.adus_lost + 1;
+                Obs.Counter.incr (Obs.Registry.counter "alf.receiver.adus_lost");
                 advance_frontier t
               end
             done;

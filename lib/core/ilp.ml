@@ -64,7 +64,23 @@ let byteswap32_copy src =
   done;
   dst
 
-let run_layered plan input =
+(* Registry accounting. Every run is cheap enough to meter — a handful of
+   counter bumps and one histogram insert — but the per-stage counters are
+   only maintained on the layered path, where a stage is a pass and the
+   attribution is exact. *)
+let record_run ~mode ~ns (r : result) =
+  let pfx = "ilp." ^ mode ^ "." in
+  Obs.Counter.incr (Obs.Registry.counter (pfx ^ "runs"));
+  Obs.Counter.add (Obs.Registry.counter (pfx ^ "bytes")) r.bytes_touched;
+  Obs.Counter.add (Obs.Registry.counter (pfx ^ "passes")) r.passes;
+  Obs.Histogram.record (Obs.Registry.histogram (pfx ^ "ns")) ns
+
+let record_stage stage ~bytes =
+  let pfx = "ilp.stage." ^ stage_name stage ^ "." in
+  Obs.Counter.incr (Obs.Registry.counter (pfx ^ "passes"));
+  Obs.Counter.add (Obs.Registry.counter (pfx ^ "bytes")) bytes
+
+let run_layered_impl plan input =
   let n = Bytebuf.length input in
   let passes = ref 0 in
   let touched = ref 0 in
@@ -72,7 +88,8 @@ let run_layered plan input =
   let current = ref input in
   let apply stage =
     incr passes;
-    match stage with
+    let before = !touched in
+    (match stage with
     | Checksum kind ->
         touched := !touched + n;
         checks := (kind, Checksum.Kind.digest kind !current) :: !checks
@@ -89,7 +106,8 @@ let run_layered plan input =
         current := byteswap32_copy !current
     | Deliver_copy ->
         touched := !touched + (2 * n);
-        current := Bytebuf.copy !current
+        current := Bytebuf.copy !current);
+    record_stage stage ~bytes:(!touched - before)
   in
   List.iter apply plan;
   (* If no stage rewrote the data, the output is still a fresh buffer so
@@ -110,7 +128,7 @@ type fused_state =
   | F_rc4 of Cipher.Rc4.t
   | F_copy
 
-let run_fused_interpreted plan input =
+let run_fused_interpreted_impl plan input =
   (match validate plan with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg));
@@ -190,10 +208,29 @@ let compile plan input =
       finish dst [ (Checksum.Kind.Internet, c) ]
   | _ -> None
 
+let run_layered plan input =
+  let r, ns = Obs.Clock.time_ns (fun () -> run_layered_impl plan input) in
+  record_run ~mode:"layered" ~ns r;
+  r
+
+let run_fused_interpreted plan input =
+  let r, ns =
+    Obs.Clock.time_ns (fun () -> run_fused_interpreted_impl plan input)
+  in
+  record_run ~mode:"fused-interpreted" ~ns r;
+  r
+
 let run_fused plan input =
-  (match validate plan with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg));
-  match compile plan input with
-  | Some result -> result
-  | None -> run_fused_interpreted plan input
+  let r, ns =
+    Obs.Clock.time_ns (fun () ->
+        (match validate plan with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg));
+        match compile plan input with
+        | Some result -> result
+        | None -> run_fused_interpreted_impl plan input)
+  in
+  record_run
+    ~mode:(if r.compiled then "fused-compiled" else "fused-interpreted")
+    ~ns r;
+  r

@@ -40,12 +40,17 @@ let feed t ~bytes =
     let service = (8.0 *. float_of_int bytes /. t.rate_bps) +. t.per_unit_cost in
     t.busy_until <- t.busy_until +. service;
     t.backlog <- t.backlog + bytes;
+    Obs.Counter.add (Obs.Registry.counter "pipeline.fed_bytes") bytes;
+    Obs.Gauge.observe_max
+      (Obs.Registry.gauge "pipeline.backlog_peak_bytes")
+      (float_of_int t.backlog);
     let finish = t.busy_until in
     ignore
       (Engine.schedule_at t.engine finish (fun () ->
            t.processed <- t.processed + bytes;
            t.backlog <- t.backlog - bytes;
            t.last_drain <- finish;
+           Obs.Counter.add (Obs.Registry.counter "pipeline.drained_bytes") bytes;
            Stats.record t.series ~t:finish (float_of_int t.processed)))
   end
 

@@ -22,14 +22,22 @@ let stats t = t.stats
 
 let deliver_fn t (adu : Adu.t) =
   let plan = t.plan adu in
-  if Ilp.needs_in_order plan then
-    t.stats.rejected_order <- t.stats.rejected_order + 1
+  if Ilp.needs_in_order plan then begin
+    t.stats.rejected_order <- t.stats.rejected_order + 1;
+    Obs.Counter.incr (Obs.Registry.counter "stage2.rejected_order")
+  end
   else
     match Ilp.validate plan with
-    | Error _ -> t.stats.rejected_invalid <- t.stats.rejected_invalid + 1
+    | Error _ ->
+        t.stats.rejected_invalid <- t.stats.rejected_invalid + 1;
+        Obs.Counter.incr (Obs.Registry.counter "stage2.rejected_invalid")
     | Ok () ->
         let run = Ilp.run_fused plan adu.Adu.payload in
         t.stats.processed <- t.stats.processed + 1;
+        Obs.Counter.incr (Obs.Registry.counter "stage2.processed");
+        Obs.Counter.add
+          (Obs.Registry.counter "stage2.bytes")
+          (Bufkit.Bytebuf.length adu.Adu.payload);
         t.deliver
           { adu = Adu.make adu.Adu.name run.Ilp.output; checksums = run.Ilp.checksums }
 

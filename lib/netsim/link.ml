@@ -12,10 +12,14 @@ type t = {
   mutable last_arrival : float;  (* detects overtaking for the reorder count *)
 }
 
-let create ~engine ~rng ?(impair = Impair.none) ?(queue_limit = 64)
+let create ~engine ~rng ?(impair = Impair.none) ?(queue_limit = 64) ?name
     ~bandwidth_bps ~delay () =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0.0 then invalid_arg "Link.create: negative delay";
+  let stats = Stats.link () in
+  (match name with
+  | Some name -> Stats.register_link ~name stats
+  | None -> ());
   {
     engine;
     rng;
@@ -23,7 +27,7 @@ let create ~engine ~rng ?(impair = Impair.none) ?(queue_limit = 64)
     queue_limit;
     bandwidth_bps;
     delay;
-    stats = Stats.link ();
+    stats;
     receiver = None;
     busy_until = 0.0;
     queued = 0;

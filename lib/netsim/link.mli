@@ -13,12 +13,15 @@ val create :
   rng:Rng.t ->
   ?impair:Impair.t ->
   ?queue_limit:int ->
+  ?name:string ->
   bandwidth_bps:float ->
   delay:float ->
   unit ->
   t
 (** [queue_limit] (default 64) is the maximum number of packets awaiting
-    serialisation; the packet in flight does not count. *)
+    serialisation; the packet in flight does not count. When [name] is
+    given the link's counters are also published to the default
+    {!Obs.Registry} as [netsim.link.<name>.*] pull gauges. *)
 
 val set_receiver : t -> (Packet.t -> unit) -> unit
 (** Must be called before traffic flows; packets delivered while no

@@ -23,45 +23,48 @@ let link () =
     reordered = 0;
   }
 
+let register_link ?registry ~name l =
+  let pull field read =
+    Obs.Registry.pull ?registry
+      (Printf.sprintf "netsim.link.%s.%s" name field)
+      (fun () -> float_of_int (read ()))
+  in
+  pull "sent_pkts" (fun () -> l.sent_pkts);
+  pull "sent_bytes" (fun () -> l.sent_bytes);
+  pull "delivered_pkts" (fun () -> l.delivered_pkts);
+  pull "delivered_bytes" (fun () -> l.delivered_bytes);
+  pull "dropped_loss" (fun () -> l.dropped_loss);
+  pull "dropped_queue" (fun () -> l.dropped_queue);
+  pull "duplicated" (fun () -> l.duplicated);
+  pull "corrupted" (fun () -> l.corrupted);
+  pull "reordered" (fun () -> l.reordered)
+
 let pp_link ppf l =
   Format.fprintf ppf
     "sent=%d (%d B) delivered=%d (%d B) drop_loss=%d drop_queue=%d dup=%d corrupt=%d reorder=%d"
     l.sent_pkts l.sent_bytes l.delivered_pkts l.delivered_bytes l.dropped_loss
     l.dropped_queue l.duplicated l.corrupted l.reordered
 
-type summary = {
-  mutable n : int;
-  mutable sum : float;
-  mutable sumsq : float;
-  mutable mn : float;
-  mutable mx : float;
-}
+(* Scalar summaries are Welford-backed: the old sumsq/n - mean² shortcut
+   cancelled catastrophically for large-magnitude samples (timestamps,
+   nanoseconds) and silently clamped negative variance to zero. *)
+type summary = Obs.Welford.t
 
-let summary () = { n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
-
-let observe s x =
-  s.n <- s.n + 1;
-  s.sum <- s.sum +. x;
-  s.sumsq <- s.sumsq +. (x *. x);
-  if x < s.mn then s.mn <- x;
-  if x > s.mx then s.mx <- x
-
-let count s = s.n
-let mean s = if s.n = 0 then 0.0 else s.sum /. float_of_int s.n
-
-let stddev s =
-  if s.n < 2 then 0.0
-  else
-    let m = mean s in
-    let var = (s.sumsq /. float_of_int s.n) -. (m *. m) in
-    if var < 0.0 then 0.0 else sqrt var
-
-let minimum s = if s.n = 0 then 0.0 else s.mn
-let maximum s = if s.n = 0 then 0.0 else s.mx
+let summary () = Obs.Welford.create ()
+let observe = Obs.Welford.observe
+let count = Obs.Welford.count
+let mean = Obs.Welford.mean
+let stddev = Obs.Welford.stddev
+let minimum = Obs.Welford.minimum
+let maximum = Obs.Welford.maximum
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" s.n (mean s)
-    (stddev s) (minimum s) (maximum s)
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" (count s)
+    (mean s) (stddev s) (minimum s) (maximum s)
+
+(* Callers that want percentiles rather than moments use the log-bucketed
+   histogram directly. *)
+module Histogram = Obs.Histogram
 
 type series = { mutable rev_points : (float * float) list }
 

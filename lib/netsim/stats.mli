@@ -1,8 +1,12 @@
 (** Counters, summaries and time series for experiments.
 
     Links and protocol endpoints update counters as they run; benches read
-    them out as paper-style rows. The time-series recorder is what lets
-    experiment E6 plot application progress against virtual time. *)
+    them out as paper-style rows, and {!register_link} additionally
+    exposes them through the {!Obs.Registry} as pull gauges so
+    [alfnet metrics] and the JSON exporter see wire-level activity
+    without touching the hot-path record accesses. The time-series
+    recorder is what lets experiment E6 plot application progress against
+    virtual time. *)
 
 (** {1 Link counters} *)
 
@@ -19,12 +23,20 @@ type link = {
 }
 
 val link : unit -> link
+
+val register_link : ?registry:Obs.Registry.t -> name:string -> link -> unit
+(** Expose every field as a pull gauge named
+    [netsim.link.<name>.<field>]. Re-registering a name replaces the
+    previous binding (topologies are rebuilt per run). *)
+
 val pp_link : Format.formatter -> link -> unit
 
 (** {1 Scalar summaries} *)
 
-type summary
-(** Streaming mean/min/max/stddev over observations. *)
+type summary = Obs.Welford.t
+(** Streaming mean/min/max/stddev over observations, Welford-backed so
+    large-magnitude samples do not cancel. [stddev] is the sample
+    standard deviation (n-1). *)
 
 val summary : unit -> summary
 val observe : summary -> float -> unit
@@ -34,6 +46,10 @@ val stddev : summary -> float
 val minimum : summary -> float
 val maximum : summary -> float
 val pp_summary : Format.formatter -> summary -> unit
+
+module Histogram = Obs.Histogram
+(** Log-bucketed percentiles (p50/p90/p99) for callers that need the
+    distribution, not just the moments. *)
 
 (** {1 Time series} *)
 

@@ -5,11 +5,11 @@ let point_to_point ~engine ~rng ?(impair = Impair.none)
   let node_a = Node.create ~addr:a and node_b = Node.create ~addr:b in
   let ab =
     Link.create ~engine ~rng:(Rng.split rng) ~impair ?queue_limit
-      ~bandwidth_bps ~delay ()
+      ~name:(Printf.sprintf "%d-%d" a b) ~bandwidth_bps ~delay ()
   in
   let ba =
     Link.create ~engine ~rng:(Rng.split rng) ~impair:impair_back ?queue_limit
-      ~bandwidth_bps ~delay ()
+      ~name:(Printf.sprintf "%d-%d" b a) ~bandwidth_bps ~delay ()
   in
   Link.set_receiver ab (Node.recv node_b);
   Link.set_receiver ba (Node.recv node_a);
@@ -69,11 +69,11 @@ let dumbbell ~engine ~rng ?(impair = Impair.none) ?queue_limit
   let sw_l = Switch.create ~engine () and sw_r = Switch.create ~engine () in
   let bottleneck_lr =
     Link.create ~engine ~rng:(Rng.split rng) ~impair ?queue_limit
-      ~bandwidth_bps:bottleneck_bandwidth_bps ~delay ()
+      ~name:"bottleneck-lr" ~bandwidth_bps:bottleneck_bandwidth_bps ~delay ()
   in
   let bottleneck_rl =
     Link.create ~engine ~rng:(Rng.split rng) ~impair ?queue_limit
-      ~bandwidth_bps:bottleneck_bandwidth_bps ~delay ()
+      ~name:"bottleneck-rl" ~bandwidth_bps:bottleneck_bandwidth_bps ~delay ()
   in
   Link.set_receiver bottleneck_lr (Switch.recv sw_r);
   Link.set_receiver bottleneck_rl (Switch.recv sw_l);

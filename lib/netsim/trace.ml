@@ -8,6 +8,15 @@ type t = {
 let create ?(capacity = 10_000) engine =
   { engine; capacity; entries_rev = []; count = 0 }
 
+(* Tail-recursive prefix: the lazy trim runs [capacity] deep, so the
+   naive [x :: take (n-1) rest] would blow the stack for large rings. *)
+let take n lst =
+  let rec go acc n = function
+    | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
+    | _ :: _ | [] -> List.rev acc
+  in
+  go [] n lst
+
 let log t category fmt =
   Format.kasprintf
     (fun msg ->
@@ -15,10 +24,6 @@ let log t category fmt =
       t.count <- t.count + 1;
       if t.count > 2 * t.capacity then begin
         (* Trim lazily: keep the newest [capacity]. *)
-        let rec take n = function
-          | [] -> []
-          | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
-        in
         t.entries_rev <- take t.capacity t.entries_rev;
         t.count <- t.capacity
       end)
@@ -26,12 +31,7 @@ let log t category fmt =
 
 let entries t =
   let newest_first =
-    if t.count > t.capacity then
-      let rec take n = function
-        | [] -> []
-        | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
-      in
-      take t.capacity t.entries_rev
+    if t.count > t.capacity then take t.capacity t.entries_rev
     else t.entries_rev
   in
   List.rev newest_first

@@ -1,0 +1,8 @@
+(** Wall-clock time in nanoseconds, for instrumenting real (not
+    simulated) execution — the per-run cost of a manipulation loop. *)
+
+val now_ns : unit -> float
+(** Nanoseconds since the epoch (microsecond resolution underneath). *)
+
+val time_ns : (unit -> 'a) -> 'a * float
+(** [time_ns f] runs [f] and also returns the elapsed nanoseconds. *)

@@ -1,0 +1,16 @@
+(** A monotonic event counter.
+
+    Counters only move forward; rate-of-change between two registry
+    snapshots is therefore always meaningful. Use a {!Gauge.t} for values
+    that go down. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> unit
+val add : t -> int -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val value : t -> int
+val reset : t -> unit
+(** For tests; production code should never rewind a counter. *)

@@ -1,0 +1,7 @@
+type t = { mutable v : float }
+
+let create () = { v = 0.0 }
+let set t v = t.v <- v
+let add t d = t.v <- t.v +. d
+let observe_max t v = if v > t.v then t.v <- v
+let value t = t.v

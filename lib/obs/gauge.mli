@@ -1,0 +1,14 @@
+(** An instantaneous value: queue occupancy, buffer footprint, idle time.
+
+    Unlike a {!Counter.t} a gauge moves both ways; [observe_max] makes it
+    a high-water mark. *)
+
+type t
+
+val create : unit -> t
+val set : t -> float -> unit
+val add : t -> float -> unit
+val observe_max : t -> float -> unit
+(** [observe_max g v] raises the gauge to [v] if [v] exceeds it. *)
+
+val value : t -> float

@@ -1,0 +1,74 @@
+(* Bucket 0 is the underflow bucket (v < 1); bucket i >= 1 covers
+   [2^((i-1)/4), 2^(i/4)). *)
+let per_octave = 4
+let octaves = 62
+let nbuckets = (per_octave * octaves) + 1
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  {
+    counts = Array.make nbuckets 0;
+    count = 0;
+    sum = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+  }
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else
+    let i = 1 + int_of_float (Float.log2 v *. float_of_int per_octave) in
+    if i >= nbuckets then nbuckets - 1 else i
+
+(* Geometric midpoint of bucket i's range. *)
+let representative i =
+  if i = 0 then 0.5
+  else Float.pow 2.0 ((float_of_int (i - 1) +. 0.5) /. float_of_int per_octave)
+
+let record t v =
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.mn then t.mn <- v;
+  if v > t.mx then t.mx <- v
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let minimum t = if t.count = 0 then 0.0 else t.mn
+let maximum t = if t.count = 0 then 0.0 else t.mx
+
+let percentile t q =
+  if t.count = 0 then 0.0
+  else if q <= 0.0 then t.mn
+  else if q >= 1.0 then t.mx
+  else begin
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int t.count)) in
+    let cum = ref 0 in
+    let i = ref 0 in
+    (try
+       while !i < nbuckets do
+         cum := !cum + t.counts.(!i);
+         if float_of_int !cum >= rank then raise Exit;
+         incr i
+       done
+     with Exit -> ());
+    let v = representative (min !i (nbuckets - 1)) in
+    Float.min t.mx (Float.max t.mn v)
+  end
+
+let p50 t = percentile t 0.50
+let p90 t = percentile t 0.90
+let p99 t = percentile t 0.99
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hist(n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g min=%.4g max=%.4g)"
+    t.count (mean t) (p50 t) (p90 t) (p99 t) (minimum t) (maximum t)

@@ -1,0 +1,32 @@
+(** A minimal JSON tree: enough to export the metrics registry and the
+    benchmark records, and to parse them back for cross-run comparison.
+
+    The encoder is deliberately conservative — integers print without a
+    fractional part, non-finite numbers print as [null], strings escape
+    the control characters — so that [parse (to_string v)] round-trips
+    every value the rest of the tree produces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val num_of_int : int -> t
+
+val to_string : t -> string
+(** Compact single-line encoding. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented encoding, for humans ([alfnet metrics]). *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for standard JSON. [\uXXXX] escapes
+    are decoded to UTF-8. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] is the field's value, [None] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+  | Pull of (unit -> float)
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let default = create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ | Pull _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let mismatch name wanted found =
+  invalid_arg
+    (Printf.sprintf "Obs.Registry: %s is a %s, wanted a %s" name
+       (kind_name found) wanted)
+
+let counter ?(registry = default) name =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some (Counter c) -> c
+  | Some m -> mismatch name "counter" m
+  | None ->
+      let c = Counter.create () in
+      Hashtbl.replace registry.tbl name (Counter c);
+      c
+
+let gauge ?(registry = default) name =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some (Gauge g) -> g
+  | Some m -> mismatch name "gauge" m
+  | None ->
+      let g = Gauge.create () in
+      Hashtbl.replace registry.tbl name (Gauge g);
+      g
+
+let histogram ?(registry = default) name =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some (Histogram h) -> h
+  | Some m -> mismatch name "histogram" m
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.replace registry.tbl name (Histogram h);
+      h
+
+let pull ?(registry = default) name f =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some (Pull _) | None -> Hashtbl.replace registry.tbl name (Pull f)
+  | Some m -> mismatch name "pull gauge" m
+
+let find ?(registry = default) name = Hashtbl.find_opt registry.tbl name
+
+let names ?(registry = default) () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry.tbl []
+  |> List.sort String.compare
+
+let is_empty ?(registry = default) () = Hashtbl.length registry.tbl = 0
+let clear ?(registry = default) () = Hashtbl.reset registry.tbl
+
+let metric_json = function
+  | Counter c ->
+      Json.Obj
+        [ ("type", Json.Str "counter"); ("value", Json.num_of_int (Counter.value c)) ]
+  | Gauge g ->
+      Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num (Gauge.value g)) ]
+  | Pull f ->
+      Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num (f ())) ]
+  | Histogram h ->
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ("count", Json.num_of_int (Histogram.count h));
+          ("sum", Json.Num (Histogram.sum h));
+          ("mean", Json.Num (Histogram.mean h));
+          ("min", Json.Num (Histogram.minimum h));
+          ("max", Json.Num (Histogram.maximum h));
+          ("p50", Json.Num (Histogram.p50 h));
+          ("p90", Json.Num (Histogram.p90 h));
+          ("p99", Json.Num (Histogram.p99 h));
+        ]
+
+let to_json ?(registry = default) () =
+  Json.Obj
+    (List.map
+       (fun name ->
+         (name, metric_json (Option.get (Hashtbl.find_opt registry.tbl name))))
+       (names ~registry ()))
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | None -> ()
+      | Some (Counter c) ->
+          Format.fprintf ppf "%-44s %d@\n" name (Counter.value c)
+      | Some (Gauge g) ->
+          Format.fprintf ppf "%-44s %.6g@\n" name (Gauge.value g)
+      | Some (Pull f) -> Format.fprintf ppf "%-44s %.6g@\n" name (f ())
+      | Some (Histogram h) -> Format.fprintf ppf "%-44s %a@\n" name Histogram.pp h)
+    (names ~registry:t ())

@@ -1,0 +1,50 @@
+(** The named metrics registry.
+
+    Instrumented code asks the registry for a metric by dotted name
+    ([tcp.retransmits], [ilp.fused-compiled.ns]) and gets the same
+    instance every time — find-or-create, O(1). A metric name is bound to
+    one kind for the life of the registry; asking for it as another kind
+    raises [Invalid_argument].
+
+    A {e pull} metric is a gauge backed by a closure, sampled at export
+    time; it lets existing mutable-record stats (e.g. {!Netsim.Stats}
+    link counters) surface in the registry without changing their hot
+    path. Re-registering a pull name replaces the closure (simulations
+    rebuild their topology per run).
+
+    All instrumentation in this codebase targets {!default}; independent
+    registries exist for tests. *)
+
+type t
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+  | Pull of (unit -> float)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every hot path reports into. *)
+
+val counter : ?registry:t -> string -> Counter.t
+val gauge : ?registry:t -> string -> Gauge.t
+val histogram : ?registry:t -> string -> Histogram.t
+val pull : ?registry:t -> string -> (unit -> float) -> unit
+
+val find : ?registry:t -> string -> metric option
+val names : ?registry:t -> unit -> string list
+(** Sorted. *)
+
+val is_empty : ?registry:t -> unit -> bool
+val clear : ?registry:t -> unit -> unit
+(** Drop every binding (tests). Handles obtained earlier keep working but
+    are no longer exported. *)
+
+val metric_json : metric -> Json.t
+val to_json : ?registry:t -> unit -> Json.t
+(** An object keyed by metric name, each value a
+    [{type, value|count/mean/percentiles...}] object, names sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Numerically stable streaming moments (Welford's online algorithm).
+
+    The textbook [sumsq/n - mean²] shortcut cancels catastrophically when
+    the mean is large relative to the spread — exactly the shape of
+    nanosecond timestamps — and can even go negative. Welford's update
+    keeps the running second moment centred, so the variance stays
+    accurate at any magnitude. [stddev] is the {e sample} standard
+    deviation (divides by [n-1]). *)
+
+type t
+
+val create : unit -> t
+val observe : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 before any observation. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val minimum : t -> float
+(** 0 before any observation. *)
+
+val maximum : t -> float

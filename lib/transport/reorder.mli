@@ -7,7 +7,20 @@
     has just become contiguously deliverable — which is empty whenever a
     hole remains, no matter how much sits buffered behind it. The
     buffered-byte count is exactly the data the presentation pipeline is
-    being starved of (experiment E6 reads it directly). *)
+    being starved of (experiment E6 reads it directly).
+
+    {2 Sequence-number wraparound}
+
+    Offsets here are {e absolute} stream positions (plain [int], 63-bit),
+    not 32-bit wire sequence numbers. The contract with {!Seq32}: a
+    receiver keeps absolute offsets internally, converts wire values with
+    [Seq32.unwrap ~near:(rcv_nxt t)] before calling {!offer}, and never
+    feeds a raw wrapped value in. Under that discipline wraparound of the
+    32-bit wire space is invisible to this module. [unwrap] can return an
+    offset {e below} [rcv_nxt] (even negative) for a stale pre-wrap
+    retransmit; [offer] trims such data as duplicate rather than
+    misfiling it, so stale segments are harmless. The tests
+    [reorder seq32 wraparound] exercise this contract directly. *)
 
 open Bufkit
 

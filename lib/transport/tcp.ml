@@ -200,6 +200,7 @@ and on_rto t =
   | [] -> ()
   | seg :: _ ->
       t.stats.timeouts <- t.stats.timeouts + 1;
+      Obs.Counter.incr (Obs.Registry.counter "tcp.rto_backoffs");
       trace t "RTO fired: rexmit seq=%d len=%d (rto now %.3fs)" seg.off seg.len
         (Rto.rto t.rto);
       Rto.backoff t.rto;
@@ -214,6 +215,8 @@ and on_rto t =
 and retransmit t seg =
   t.stats.retransmits <- t.stats.retransmits + 1;
   t.stats.bytes_retransmitted <- t.stats.bytes_retransmitted + seg.len;
+  Obs.Counter.incr (Obs.Registry.counter "tcp.retransmits");
+  Obs.Counter.add (Obs.Registry.counter "tcp.bytes_retransmitted") seg.len;
   seg.rexmits <- seg.rexmits + 1;
   seg.sent_at <- Engine.now t.engine;
   t.stats.segs_sent <- t.stats.segs_sent + 1;
@@ -323,8 +326,13 @@ let process_ack t (seg : Segment.t) =
     (* Retire covered segments; sample RTT per Karn. *)
     let rec retire = function
       | seg :: rest when seg.off + seg.len <= ack_abs ->
-          if seg.rexmits = 0 then
-            Rto.sample t.rto (Engine.now t.engine -. seg.sent_at);
+          if seg.rexmits = 0 then begin
+            let rtt = Engine.now t.engine -. seg.sent_at in
+            Obs.Histogram.record
+              (Obs.Registry.histogram "tcp.rtt_ns")
+              (rtt *. 1e9);
+            Rto.sample t.rto rtt
+          end;
           if seg.is_fin then t.fin_acked <- true;
           retire rest
       | rest -> rest
@@ -350,6 +358,7 @@ let process_ack t (seg : Segment.t) =
     if t.dupack_count = 3 then begin
       (* Fast retransmit + simplified Reno halving. *)
       t.stats.fast_retransmits <- t.stats.fast_retransmits + 1;
+      Obs.Counter.incr (Obs.Registry.counter "tcp.fast_retransmits");
       trace t "fast retransmit at snd_una=%d (3 dup acks)" t.snd_una;
       let flight = float_of_int (t.snd_nxt - t.snd_una) in
       t.ssthresh <- Float.max (flight /. 2.0) (2.0 *. float_of_int t.config.mss);
@@ -384,6 +393,11 @@ let process_data t (seg : Segment.t) =
         t.stats.manip_copy_bytes <- t.stats.manip_copy_bytes + n;
         t.deliver chunk)
       ready;
+    let buffered = float_of_int (Reorder.buffered_bytes t.reorder) in
+    Obs.Gauge.set (Obs.Registry.gauge "tcp.reorder.buffered_bytes") buffered;
+    Obs.Gauge.observe_max
+      (Obs.Registry.gauge "tcp.reorder.buffered_peak_bytes")
+      buffered;
     let after = Reorder.rcv_nxt t.reorder in
     (if (not t.peer_closed) && t.peer_fin_off = Some after then begin
        t.peer_closed <- true;

@@ -300,6 +300,30 @@ let test_pool_wrong_size () =
   | () -> fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_pool_double_release () =
+  let p = Pool.create ~buf_size:8 () in
+  let a = Pool.acquire p in
+  let b = Pool.acquire p in
+  Pool.release p a;
+  (match Pool.release p a with
+  | () -> fail "expected Invalid_argument on double release"
+  | exception Invalid_argument _ -> ());
+  (* The pool is still usable and consistent after the rejected release. *)
+  Pool.release p b;
+  check Alcotest.int "outstanding" 0 (Pool.stats p).Pool.outstanding
+
+let test_pool_over_release () =
+  let p = Pool.create ~capacity:0 ~buf_size:8 () in
+  let a = Pool.acquire p in
+  Pool.release p a;
+  (* capacity 0 dropped the buffer, so the free-list scan cannot see it;
+     the outstanding count still refuses the second release. *)
+  (match Pool.release p a with
+  | () -> fail "expected Invalid_argument on over-release"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "outstanding never negative" 0
+    (Pool.stats p).Pool.outstanding
+
 let test_pool_capacity_cap () =
   let p = Pool.create ~capacity:1 ~buf_size:4 () in
   let a = Pool.acquire p and b = Pool.acquire p in
@@ -374,6 +398,8 @@ let () =
           Alcotest.test_case "reuse + zeroing" `Quick test_pool_reuse;
           Alcotest.test_case "high water" `Quick test_pool_high_water;
           Alcotest.test_case "wrong size" `Quick test_pool_wrong_size;
+          Alcotest.test_case "double release" `Quick test_pool_double_release;
+          Alcotest.test_case "over release" `Quick test_pool_over_release;
           Alcotest.test_case "capacity cap" `Quick test_pool_capacity_cap;
         ] );
       ( "hexdump",

@@ -68,6 +68,38 @@ let prop_internet_bytewise =
       String.iter (fun c -> st := Checksum.Internet.feed_byte !st (Char.code c)) s;
       Checksum.Internet.finish !st = Checksum.Internet.digest (buf s))
 
+let prop_internet_feed_sub_split =
+  (* feed_sub must resume correctly at any boundary — in particular an odd
+     split point, where the second call starts on the low half of a 16-bit
+     word (the [odd] parity carried across calls). *)
+  QCheck.Test.make ~name:"internet: feed_sub split = digest" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 100)) (pair small_nat small_nat))
+    (fun (s, (c1, c2)) ->
+      let b = buf s in
+      let n = String.length s in
+      let k1 = if n = 0 then 0 else c1 mod (n + 1) in
+      let k2 = if n = k1 then k1 else k1 + (c2 mod (n - k1 + 1)) in
+      let st = Checksum.Internet.init in
+      let st = Checksum.Internet.feed_sub st b ~pos:0 ~len:k1 in
+      let st = Checksum.Internet.feed_sub st b ~pos:k1 ~len:(k2 - k1) in
+      let st = Checksum.Internet.feed_sub st b ~pos:k2 ~len:(n - k2) in
+      Checksum.Internet.finish st = Checksum.Internet.digest b)
+
+let test_internet_feed_sub_odd_resume () =
+  (* Deterministic witness for the parity hand-off: split the RFC 1071
+     example at every boundary, odd ones included. *)
+  let b = buf rfc1071_bytes in
+  let n = Bytebuf.length b in
+  let expected = Checksum.Internet.digest b in
+  for k = 0 to n do
+    let st = Checksum.Internet.feed_sub Checksum.Internet.init b ~pos:0 ~len:k in
+    let st = Checksum.Internet.feed_sub st b ~pos:k ~len:(n - k) in
+    check Alcotest.int
+      (Printf.sprintf "split at %d" k)
+      expected
+      (Checksum.Internet.finish st)
+  done
+
 let prop_internet_iovec =
   QCheck.Test.make ~name:"internet: iovec = flat" ~count:300
     QCheck.(string_of_size Gen.(0 -- 64))
@@ -249,6 +281,9 @@ let () =
           qcheck prop_internet_chunking;
           qcheck prop_internet_bytewise;
           qcheck prop_internet_iovec;
+          qcheck prop_internet_feed_sub_split;
+          Alcotest.test_case "feed_sub odd resume" `Quick
+            test_internet_feed_sub_odd_resume;
         ] );
       ( "fletcher",
         [

@@ -533,7 +533,16 @@ let test_stats_summary () =
   Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
   Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum s);
   Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.maximum s);
-  Alcotest.(check (float 1e-6)) "stddev" (sqrt 1.25) (Stats.stddev s)
+  (* Sample (n-1) standard deviation since the Welford rewrite. *)
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt (5.0 /. 3.0)) (Stats.stddev s)
+
+let test_stats_stddev_large_offset () =
+  (* The old sumsq/n - mean^2 formula cancels catastrophically when the
+     mean dwarfs the spread: for 1e9 + {0,1,2} it returned 0 (or garbage)
+     where the true sample stddev is exactly 1. *)
+  let s = Stats.summary () in
+  List.iter (Stats.observe s) [ 1e9; 1e9 +. 1.0; 1e9 +. 2.0 ];
+  Alcotest.(check (float 1e-6)) "stddev at large offset" 1.0 (Stats.stddev s)
 
 let test_stats_series () =
   let s = Stats.series () in
@@ -546,6 +555,23 @@ let test_stats_series () =
   Alcotest.(check int) "points" 3 (List.length (Stats.points s))
 
 (* --- Trace --- *)
+
+let test_trace_deep_ring () =
+  (* The lazy trim takes a [capacity]-deep prefix; with the old
+     non-tail-recursive take this overflowed the stack on big rings. *)
+  let e = Engine.create () in
+  let capacity = 200_000 in
+  let tr = Trace.create ~capacity e in
+  for i = 1 to (2 * capacity) + 10 do
+    Trace.log tr "t" "%d" i
+  done;
+  let es = Trace.entries tr in
+  Alcotest.(check int) "trimmed to capacity" capacity (List.length es);
+  (match List.rev es with
+  | (_, _, last) :: _ ->
+      Alcotest.(check string) "newest kept" (string_of_int ((2 * capacity) + 10)) last
+  | [] -> Alcotest.fail "empty trace");
+  Alcotest.(check int) "size" capacity (Trace.size tr)
 
 let test_trace_basic () =
   let e = Engine.create () in
@@ -635,8 +661,11 @@ let () =
       ( "stats+trace",
         [
           Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "stddev large offset" `Quick
+            test_stats_stddev_large_offset;
           Alcotest.test_case "series" `Quick test_stats_series;
           Alcotest.test_case "trace basic" `Quick test_trace_basic;
           Alcotest.test_case "trace capacity" `Quick test_trace_capacity;
+          Alcotest.test_case "trace deep ring" `Quick test_trace_deep_ring;
         ] );
     ]

@@ -141,6 +141,42 @@ let test_reorder_initial_offset () =
     (strings (Reorder.offer r ~off:1000 (buf "xy")));
   Alcotest.(check int) "next" 1002 (Reorder.rcv_nxt r)
 
+let test_reorder_seq32_wraparound () =
+  (* The contract documented in reorder.mli: endpoints keep absolute
+     offsets and convert wire values with [Seq32.unwrap ~near:rcv_nxt]
+     before offering. Drive it straight across the 2^32 boundary. *)
+  let start = 0x100000000 - 6 in
+  let r = Reorder.create ~capacity:100 ~initial_offset:start in
+  let offer_wire wire_seq data =
+    let off = Seq32.unwrap ~near:(Reorder.rcv_nxt r) (Seq32.of_int wire_seq) in
+    strings (Reorder.offer r ~off data)
+  in
+  (* A hole spanning the boundary: the post-wrap segment (wire seq 0)
+     arrives first and must park, not misfile. *)
+  Alcotest.(check (list string)) "post-wrap held" [] (offer_wire 0 (buf "ghij"));
+  Alcotest.(check int) "parked" 4 (Reorder.buffered_bytes r);
+  Alcotest.(check (list string)) "boundary fill releases both"
+    [ "abcdef"; "ghij" ]
+    (offer_wire start (buf "abcdef"));
+  Alcotest.(check int) "rcv_nxt crossed 2^32" (0x100000000 + 4)
+    (Reorder.rcv_nxt r);
+  (* A stale pre-wrap retransmit now unwraps to an offset below rcv_nxt
+     (not 4 GiB ahead) and is trimmed as duplicate. *)
+  Alcotest.(check (list string)) "stale pre-wrap dup trimmed" []
+    (offer_wire start (buf "abcdef"));
+  Alcotest.(check int) "dup bytes" 6 (Reorder.duplicates r);
+  Alcotest.(check int) "nothing parked" 0 (Reorder.buffered_bytes r)
+
+let test_reorder_unwrap_negative_trimmed () =
+  (* Near-zero [near] can unwrap a stale wire value to a negative offset;
+     offer must treat it as ancient duplicate, never as future data. *)
+  let r = Reorder.create ~capacity:100 ~initial_offset:2 in
+  let off = Seq32.unwrap ~near:(Reorder.rcv_nxt r) (Seq32.of_int 0xFFFFFFFE) in
+  Alcotest.(check int) "unwrapped below zero" (-2) off;
+  Alcotest.(check (list string)) "trimmed" [] (strings (Reorder.offer r ~off (buf "xy")));
+  Alcotest.(check int) "rcv_nxt untouched" 2 (Reorder.rcv_nxt r);
+  Alcotest.(check int) "nothing parked" 0 (Reorder.buffered_bytes r)
+
 (* Model check: random segments of a known stream always reassemble to a
    prefix of the stream, never duplicated or reordered. *)
 let prop_reorder_stream_model =
@@ -460,6 +496,9 @@ let () =
           Alcotest.test_case "capacity" `Quick test_reorder_capacity;
           Alcotest.test_case "spans" `Quick test_reorder_spans;
           Alcotest.test_case "initial offset" `Quick test_reorder_initial_offset;
+          Alcotest.test_case "seq32 wraparound" `Quick test_reorder_seq32_wraparound;
+          Alcotest.test_case "seq32 negative unwrap trimmed" `Quick
+            test_reorder_unwrap_negative_trimmed;
           qcheck prop_reorder_stream_model;
         ] );
       ( "segment",
