@@ -21,7 +21,7 @@ bench-quick:
 # Tiny-quota pass over the microbenchmark experiments only: seconds, not
 # minutes, and still writes a valid BENCH_ilp.json for comparison.
 bench-smoke:
-	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert
+	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel
 
 examples:
 	dune exec examples/quickstart.exe

@@ -860,6 +860,101 @@ let e11_fec_vs_retransmission () =
      combine both.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E12 — §7 parallel sink: fused stage-2 plans across worker domains.  *)
+(* ------------------------------------------------------------------ *)
+
+let e12_ilp_parallel () =
+  Harness.heading
+    "E12: parallel stage-2 - one fused ILP plan per ADU, sharded over N domains, Mb/s";
+  let n_adus = 64 in
+  let adu_size = 16 * 1024 in
+  let total = n_adus * adu_size in
+  let rng = Rng.create ~seed:0x12DL in
+  let adus =
+    Array.init n_adus (fun i ->
+        let payload = Bytebuf.create adu_size in
+        Rng.fill_bytes rng payload;
+        Adu.make
+          (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1
+             ~index:i ())
+          payload)
+  in
+  let plan (_ : Adu.t) =
+    [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ]
+  in
+  let dst = Bytebuf.create total in
+  (* Correctness gate before any timing: the parallel sink must be
+     byte-identical to the layered reference, merged checksum included,
+     whatever order the worker domains finish in. *)
+  let reference =
+    Array.map (fun (a : Adu.t) -> Ilp.run_layered (plan a) a.Adu.payload) adus
+  in
+  let ref_merged =
+    Ilp_par.merge_checksums
+      (Array.map (fun (r : Ilp.result) -> r.Ilp.checksums) reference)
+  in
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      let outcome = Ilp_par.run ~pool ~dst ~plan adus in
+      Array.iteri
+        (fun i (r : Ilp.result) ->
+          assert (Bytebuf.equal r.Ilp.output reference.(i).Ilp.output))
+        outcome.Ilp_par.results;
+      assert (outcome.Ilp_par.merged_checksums = ref_merged));
+  let serial =
+    Harness.measure_mbps "serial" ~bytes:total (fun () ->
+        Array.iter
+          (fun (a : Adu.t) -> ignore (Ilp.run_layered (plan a) a.Adu.payload))
+          adus)
+  in
+  let fused domains =
+    let name = Printf.sprintf "fused-x%d" domains in
+    if domains = 1 then
+      Harness.measure_mbps name ~bytes:total (fun () ->
+          ignore (Ilp_par.run ~dst ~plan adus))
+    else
+      Par.Pool.with_pool ~domains (fun pool ->
+          Harness.measure_mbps name ~bytes:total (fun () ->
+              ignore (Ilp_par.run ~pool ~dst ~plan adus)))
+  in
+  let f1 = fused 1 in
+  let f2 = fused 2 in
+  let f4 = fused 4 in
+  Harness.row_header [ "Mb/s"; "vs serial"; "vs fused-x1" ];
+  Harness.row "serial (layered, 1 domain)"
+    [ Harness.f1 serial; "1.00x"; "-" ];
+  let show name v =
+    Harness.row name
+      [
+        Harness.f1 v;
+        Printf.sprintf "%.2fx" (v /. serial);
+        Printf.sprintf "%.2fx" (v /. f1);
+      ]
+  in
+  show "fused x1 domain" f1;
+  show "fused x2 domains" f2;
+  show "fused x4 domains" f4;
+  (* The degradation rule, exercised: an Rc4 plan poisons out-of-order
+     processing, so the engine runs the batch serially and says so. *)
+  let rc4_plan (_ : Adu.t) =
+    [ Ilp.Rc4_stream { key = "k" }; Ilp.Deliver_copy ]
+  in
+  let fallback =
+    Par.Pool.with_pool ~domains:4 (fun pool ->
+        Ilp_par.run ~pool ~plan:rc4_plan adus)
+  in
+  assert (fallback.Ilp_par.parallel_adus = 0);
+  assert (fallback.Ilp_par.serial_fallback = n_adus);
+  Harness.note
+    "%d ADUs x %d KiB, plan = [checksum; deliver]. This host has %d core(s):\n\
+     speedup needs real cores, so judge the x2/x4 rows on a multi-core runner\n\
+     (expect ~Nx for this memory-light plan; the rows land in BENCH_ilp.json\n\
+     either way). An Rc4 plan degraded to serial as required: parallel=%d,\n\
+     serial_fallback=%d of %d.\n"
+    n_adus (adu_size / 1024)
+    (Domain.recommended_domain_count ())
+    fallback.Ilp_par.parallel_adus fallback.Ilp_par.serial_fallback n_adus
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -874,6 +969,7 @@ let experiments =
     ("recovery-policies", e9_recovery_policies);
     ("checksum-ablation", e10_checksum_ablation);
     ("fec-vs-rexmit", e11_fec_vs_retransmission);
+    ("ilp-parallel", e12_ilp_parallel);
   ]
 
 let () =

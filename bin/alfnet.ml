@@ -4,13 +4,16 @@
      transfer   move data through a lossy network with either transport
      atm        carry ADUs over ATM cells through an adaptation layer
      syntax     encode a sample value in each transfer syntax
+     parallel   shard a batch of ADUs across worker domains (stage 2)
      metrics    run an instrumented workload and dump the metrics registry
 
    Examples:
      alfnet transfer --transport alf --loss 0.05 --size 500000
      alfnet transfer --transport tcp --loss 0.05 --reorder 0.2 --jitter 0.01
      alfnet atm --aal 5 --cell-loss 0.002 --adus 200
-     alfnet syntax --ints 16 *)
+     alfnet syntax --ints 16
+     alfnet parallel --domains 4 --adus 128 --plan decrypt
+     alfnet parallel --plan rc4   # demonstrates the in-order degradation *)
 
 open Bufkit
 open Netsim
@@ -378,6 +381,122 @@ let syntax_cmd =
     (Cmd.info "syntax" ~doc:"Show a value in each transfer syntax.")
     Term.(ret (const run_syntax $ ints))
 
+(* --- parallel --- *)
+
+let run_parallel domains n_adus adu_size plan_name =
+  let plan_fn =
+    match plan_name with
+    | "checksum" ->
+        Some
+          (fun (_ : Adu.t) ->
+            [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ])
+    | "decrypt" -> Some (fun adu -> Stage2.decrypt_verify_at ~key:0xA5A5L adu)
+    | "swab" ->
+        Some
+          (fun (_ : Adu.t) ->
+            [
+              Ilp.Byteswap32;
+              Ilp.Checksum Checksum.Kind.Fletcher32;
+              Ilp.Deliver_copy;
+            ])
+    | "rc4" ->
+        Some
+          (fun (_ : Adu.t) ->
+            [ Ilp.Rc4_stream { key = "alfnet" }; Ilp.Deliver_copy ])
+    | _ -> None
+  in
+  match plan_fn with
+  | None ->
+      `Error
+        ( true,
+          Printf.sprintf "unknown plan %S (try checksum, decrypt, swab, rc4)"
+            plan_name )
+  | Some _ when adu_size mod 4 <> 0 ->
+      `Error (true, "--adu-size must be a multiple of 4 (Byteswap32 plans)")
+  | Some plan_of_name -> begin
+    let rng = Rng.create ~seed:0x9AFL in
+    let adus =
+      Array.init n_adus (fun i ->
+          let payload = Bytebuf.create adu_size in
+          Rng.fill_bytes rng payload;
+          Adu.make
+            (Adu.name ~dest_off:(i * adu_size) ~dest_len:adu_size ~stream:1
+               ~index:i ())
+            payload)
+    in
+    let dst = Bytebuf.create (n_adus * adu_size) in
+    Printf.printf
+      "parallel stage-2: %d ADUs x %d B, plan=%s, pool of %d domain(s) (host has %d)\n"
+      n_adus adu_size plan_name domains
+      (Domain.recommended_domain_count ());
+    let t0 = Obs.Clock.now_ns () in
+    let outcome =
+      Par.Pool.with_pool ~domains (fun pool ->
+          Ilp_par.run ~pool ~dst ~plan:plan_of_name adus)
+    in
+    let dt = (Obs.Clock.now_ns () -. t0) /. 1e9 in
+    let bytes = n_adus * adu_size in
+    Printf.printf "processed %d bytes in %.3f ms (%.1f Mb/s)\n" bytes
+      (dt *. 1000.0)
+      (8.0 *. float_of_int bytes /. dt /. 1e6);
+    Printf.printf "parallel ADUs: %d, serial fallback (in-order plan): %d\n"
+      outcome.Ilp_par.parallel_adus outcome.Ilp_par.serial_fallback;
+    if outcome.Ilp_par.serial_fallback > 0 then
+      Printf.printf
+        "note: plan %S needs in-order processing, so the batch degraded to\n\
+         the serial path (paper section 6: a sequential cipher poisons\n\
+         out-of-order ADU processing).\n"
+        plan_name;
+    List.iter
+      (fun (kind, v) ->
+        Printf.printf "merged %s over all ADUs: 0x%08x\n"
+          (Checksum.Kind.to_string kind) v)
+      outcome.Ilp_par.merged_checksums;
+    (* Cross-check against the layered single-domain reference. *)
+    let reference =
+      Array.map
+        (fun (a : Adu.t) -> Ilp.run_layered (plan_of_name a) a.Adu.payload)
+        adus
+    in
+    let ok = ref true in
+    Array.iteri
+      (fun i (r : Ilp.result) ->
+        if not (Bytebuf.equal r.Ilp.output reference.(i).Ilp.output) then
+          ok := false)
+      outcome.Ilp_par.results;
+    Printf.printf "byte-identical to the layered serial reference: %b\n" !ok;
+    if !ok then `Ok () else `Error (false, "parallel output diverged")
+  end
+
+let parallel_cmd =
+  let domains =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let adus =
+    Arg.(value & opt int 64 & info [ "adus" ] ~docv:"N" ~doc:"ADUs in the batch.")
+  in
+  let adu_size =
+    Arg.(
+      value & opt int 16384
+      & info [ "adu-size" ] ~docv:"BYTES" ~doc:"Payload bytes per ADU.")
+  in
+  let plan =
+    Arg.(
+      value & opt string "checksum"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Stage-2 plan: $(b,checksum), $(b,decrypt), $(b,swab), or \
+             $(b,rc4) (sequential cipher - demonstrates the serial \
+             degradation).")
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:"Shard a batch of ADUs across worker domains (the \\u{00a7}7 parallel sink).")
+    Term.(ret (const run_parallel $ domains $ adus $ adu_size $ plan))
+
 (* --- metrics --- *)
 
 let run_metrics opts size =
@@ -396,6 +515,7 @@ let run_metrics opts size =
     Stage2.create
       ~plan:(fun _ -> Stage2.decrypt_verify ~key:0xA5A5L)
       ~deliver:(fun _ -> ())
+      ()
   in
   let receiver =
     Alf_transport.receiver_io ~engine ~io:(Dgram.of_udp ub) ~port:7 ~stream:1
@@ -441,4 +561,7 @@ let metrics_cmd =
 let () =
   let doc = "ALF/ILP protocol laboratory (Clark & Tennenhouse, SIGCOMM 1990)" in
   let info = Cmd.info "alfnet" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ transfer_cmd; atm_cmd; syntax_cmd; metrics_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ transfer_cmd; atm_cmd; syntax_cmd; parallel_cmd; metrics_cmd ]))

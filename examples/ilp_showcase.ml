@@ -81,6 +81,7 @@ let () =
     Stage2.create
       ~plan:(Stage2.decrypt_verify_at ~key)
       ~deliver:(fun r -> processed := r.Stage2.adu :: !processed)
+      ()
   in
   (* Feed last-to-first: maximal disorder. *)
   List.iter (Stage2.deliver_fn stage2) (List.rev adus);

@@ -7,6 +7,12 @@ type stats = {
 }
 
 type t = {
+  (* All free-list and accounting state moves under [lock]. Without it,
+     two domains racing [acquire] can pop the same head cell and leave
+     with ONE aliased buffer — silent cross-domain data corruption, a
+     strictly worse outcome than the double-release bug the guards below
+     were added for. *)
+  lock : Mutex.t;
   buf_size : int;
   capacity : int;
   mutable free : Bytebuf.t list;
@@ -21,6 +27,7 @@ let create ?(capacity = 64) ~buf_size () =
   if buf_size <= 0 then invalid_arg "Pool.create: buf_size must be positive";
   if capacity < 0 then invalid_arg "Pool.create: negative capacity";
   {
+    lock = Mutex.create ();
     buf_size;
     capacity;
     free = [];
@@ -31,48 +38,55 @@ let create ?(capacity = 64) ~buf_size () =
     high_water = 0;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let acquire t =
-  let buf =
-    match t.free with
-    | b :: rest ->
-        t.free <- rest;
-        t.free_count <- t.free_count - 1;
-        t.reused <- t.reused + 1;
-        Bytebuf.fill b '\000';
-        b
-    | [] ->
-        t.allocated <- t.allocated + 1;
-        Bytebuf.create t.buf_size
-  in
-  t.outstanding <- t.outstanding + 1;
-  if t.outstanding > t.high_water then t.high_water <- t.outstanding;
-  buf
+  locked t (fun () ->
+      let buf =
+        match t.free with
+        | b :: rest ->
+            t.free <- rest;
+            t.free_count <- t.free_count - 1;
+            t.reused <- t.reused + 1;
+            Bytebuf.fill b '\000';
+            b
+        | [] ->
+            t.allocated <- t.allocated + 1;
+            Bytebuf.create t.buf_size
+      in
+      t.outstanding <- t.outstanding + 1;
+      if t.outstanding > t.high_water then t.high_water <- t.outstanding;
+      buf)
 
 let release t buf =
   if Bytebuf.length buf <> t.buf_size then
     invalid_arg "Pool.release: buffer size does not match pool";
-  (* A double release would push the same buffer onto the free list
-     twice; two later acquires would then hand out one aliased buffer —
-     silent data corruption. Detect both symptoms: the buffer already
-     sitting in the free list, and more releases than acquires. *)
-  if List.exists (fun b -> b == buf) t.free then
-    invalid_arg "Pool.release: buffer already released";
-  if t.outstanding = 0 then
-    invalid_arg "Pool.release: more releases than acquires";
-  t.outstanding <- t.outstanding - 1;
-  if t.free_count < t.capacity then begin
-    t.free <- buf :: t.free;
-    t.free_count <- t.free_count + 1
-  end
+  locked t (fun () ->
+      (* A double release would push the same buffer onto the free list
+         twice; two later acquires would then hand out one aliased buffer —
+         silent data corruption. Detect both symptoms: the buffer already
+         sitting in the free list, and more releases than acquires. *)
+      if List.exists (fun b -> b == buf) t.free then
+        invalid_arg "Pool.release: buffer already released";
+      if t.outstanding = 0 then
+        invalid_arg "Pool.release: more releases than acquires";
+      t.outstanding <- t.outstanding - 1;
+      if t.free_count < t.capacity then begin
+        t.free <- buf :: t.free;
+        t.free_count <- t.free_count + 1
+      end)
 
 let stats t =
-  {
-    buf_size = t.buf_size;
-    allocated = t.allocated;
-    reused = t.reused;
-    outstanding = t.outstanding;
-    high_water = t.high_water;
-  }
+  locked t (fun () ->
+      {
+        buf_size = t.buf_size;
+        allocated = t.allocated;
+        reused = t.reused;
+        outstanding = t.outstanding;
+        high_water = t.high_water;
+      })
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf

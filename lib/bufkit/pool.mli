@@ -3,7 +3,12 @@
     End systems that run manipulation loops at line rate cannot afford an
     allocation per packet; a pool recycles same-sized buffers through a
     free list and keeps occupancy statistics so benchmarks can report
-    allocation behaviour alongside throughput. *)
+    allocation behaviour alongside throughput.
+
+    Domain-safe: acquire/release/stats serialize on an internal mutex, so
+    worker domains can share one pool without two of them being handed
+    the same buffer. The buffers themselves are not synchronized — a
+    buffer belongs to whichever domain acquired it until released. *)
 
 type t
 

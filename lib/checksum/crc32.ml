@@ -1,23 +1,26 @@
 open Bufkit
 
+(* Built eagerly: [lazy] is not safe to force from two domains at once
+   (the second forcer can observe [CamlinternalLazy.Undefined]), and CRC32
+   runs on stage-2 worker domains. 256 table entries cost nothing at
+   start-up. *)
 let table =
-  lazy
-    (let t = Array.make 256 0 in
-     for n = 0 to 255 do
-       let c = ref n in
-       for _ = 0 to 7 do
-         c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-       done;
-       t.(n) <- !c
-     done;
-     t)
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
 
 type state = int
 
 let init = 0xFFFFFFFF
 
 let feed_byte st b =
-  let t = Lazy.force table in
+  let t = table in
   t.((st lxor (b land 0xff)) land 0xff) lxor (st lsr 8)
 
 let feed_sub st buf ~pos ~len =
@@ -26,7 +29,7 @@ let feed_sub st buf ~pos ~len =
       (Bytebuf.Bounds
          (Printf.sprintf "Crc32.feed_sub: pos=%d len=%d in slice of %d" pos
             len (Bytebuf.length buf)));
-  let t = Lazy.force table in
+  let t = table in
   let st = ref st in
   for i = pos to pos + len - 1 do
     let b = Char.code (Bytebuf.unsafe_get buf i) in

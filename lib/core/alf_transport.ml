@@ -549,3 +549,15 @@ let receiver_mux ~engine ~mux ~stream ?(nack_interval = 0.02)
   in
   Mux.attach mux ~stream (receiver_handle t);
   t
+
+let receiver_stage2 ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    ?pool ?batch ~plan ~deliver () =
+  let stage = Stage2.create ?pool ?batch ~plan ~deliver () in
+  let t =
+    receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+      ~deliver:(Stage2.deliver_fn stage) ()
+  in
+  (* Stage 1 settles the last ADU before [check_complete] fires, so the
+     flush here always drains the final partial batch. *)
+  on_complete t (fun () -> Stage2.flush stage);
+  (t, stage)

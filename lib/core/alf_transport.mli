@@ -154,6 +154,27 @@ val receiver_mux :
 (** Like {!receiver} on a shared {!Mux} endpoint: many streams, one
     port, one demultiplexing step. *)
 
+val receiver_stage2 :
+  engine:Engine.t ->
+  udp:Transport.Udp.t ->
+  port:int ->
+  stream:int ->
+  ?nack_interval:float ->
+  ?nack_holdoff:float ->
+  ?pool:Par.Pool.t ->
+  ?batch:int ->
+  plan:(Adu.t -> Ilp.plan) ->
+  deliver:(Stage2.result -> unit) ->
+  unit ->
+  receiver * Stage2.t
+(** The two-stage receive path assembled: a {!receiver} whose delivery
+    callback is a {!Stage2} processor. With [?pool], stage 2 runs the
+    ILP plans of batched ADUs across worker domains ({!Ilp_par}) and the
+    completion callback is pre-wired to {!Stage2.flush} so the final
+    partial batch always drains — calling {!on_complete} afterwards
+    replaces that wiring, so compose the flush into your own callback if
+    you need one. *)
+
 val set_receiver_tracer : receiver -> (string -> unit) -> unit
 (** Line-oriented event tracer (NACKs, out-of-order completions). *)
 

@@ -1,0 +1,117 @@
+open Bufkit
+
+type outcome = {
+  results : Ilp.result array;
+  merged_checksums : (Checksum.Kind.t * int) list;
+  parallel_adus : int;
+  serial_fallback : int;
+}
+
+(* Boost-style hash_combine, truncated to 32 bits. Any avalanche-y mix
+   works; what matters is that the fold below runs over the
+   position-indexed array, so the merged digest is a function of (index,
+   per-ADU digest) pairs only. *)
+let combine acc d =
+  (acc lxor (d + 0x9E3779B9 + (acc lsl 6) + (acc lsr 2))) land 0xFFFFFFFF
+
+let merge_checksums per_adu =
+  (* Kinds in first-occurrence order over slots, so the output list shape
+     is as deterministic as the values. *)
+  let kinds = ref [] in
+  Array.iter
+    (fun cs ->
+      List.iter
+        (fun (k, _) -> if not (List.mem k !kinds) then kinds := k :: !kinds)
+        cs)
+    per_adu;
+  List.rev_map
+    (fun kind ->
+      let acc = ref 0 in
+      Array.iter
+        (fun cs ->
+          match List.assoc_opt kind cs with
+          | Some d -> acc := combine !acc d
+          | None -> ())
+        per_adu;
+      (kind, !acc))
+    !kinds
+
+let c_adus = Obs.Registry.counter "ilp.par.adus"
+let c_parallel = Obs.Registry.counter "ilp.par.parallel_adus"
+let c_fallback = Obs.Registry.counter "ilp.par.serial_fallback_adus"
+let c_batches = Obs.Registry.counter "ilp.par.batches"
+
+let run ?pool ?dst ~plan adus =
+  let n = Array.length adus in
+  let plans = Array.map plan adus in
+  (* Fail on the caller, before any work is dispatched: a worker raising
+     halfway through leaves nothing half-written this way. *)
+  Array.iteri
+    (fun i p ->
+      match Ilp.validate p with
+      | Ok () -> ()
+      | Error msg ->
+          invalid_arg
+            (Printf.sprintf "Ilp_par.run: ADU %d has an unfusable plan: %s" i
+               msg))
+    plans;
+  (match dst with
+  | None -> ()
+  | Some dst ->
+      let dst_len = Bytebuf.length dst in
+      Array.iteri
+        (fun i (adu : Adu.t) ->
+          let off = adu.name.dest_off and len = Bytebuf.length adu.payload in
+          if off < 0 || off + len > dst_len then
+            invalid_arg
+              (Printf.sprintf
+                 "Ilp_par.run: ADU %d region [%d,%d) escapes the %d-byte \
+                  destination"
+                 i off (off + len) dst_len))
+        adus);
+  let results : Ilp.result option array = Array.make n None in
+  let work i () =
+    let r = Ilp.run_fused plans.(i) adus.(i).Adu.payload in
+    (* Pre-assigned region: the name carries the destination offset, so
+       no completion order is observable in [dst]. *)
+    (match dst with
+    | None -> ()
+    | Some dst ->
+        Bytebuf.blit ~src:r.output ~src_pos:0 ~dst
+          ~dst_pos:adus.(i).Adu.name.dest_off
+          ~len:(Bytebuf.length r.output));
+    results.(i) <- Some r
+  in
+  let in_order = Array.exists Ilp.needs_in_order plans in
+  let parallel_adus, serial_fallback =
+    match pool with
+    | Some pool when (not in_order) && Par.Pool.size pool > 1 && n > 1 ->
+        Par.Pool.run pool (Array.init n work);
+        (n, 0)
+    | _ ->
+        (* Serial in index order — either there is no real pool, or an
+           Rc4-bearing plan forbids out-of-order processing and the whole
+           batch degrades (counted only in that case). *)
+        for i = 0 to n - 1 do
+          work i ()
+        done;
+        (0, if in_order then n else 0)
+  in
+  Obs.Counter.add c_adus n;
+  Obs.Counter.add c_parallel parallel_adus;
+  Obs.Counter.add c_fallback serial_fallback;
+  if n > 0 then Obs.Counter.incr c_batches;
+  let results =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* Pool.run returned, so every slot ran *))
+      results
+  in
+  {
+    results;
+    merged_checksums =
+      merge_checksums (Array.map (fun (r : Ilp.result) -> r.checksums) results);
+    parallel_adus;
+    serial_fallback;
+  }

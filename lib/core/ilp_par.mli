@@ -1,0 +1,51 @@
+(** Parallel out-of-order execution of per-ADU ILP plans — the multicore
+    stage-2 receive engine.
+
+    §5–7's central claim operationalized: because a complete ADU can be
+    processed "out of order and independently", a batch of ADUs can be
+    sharded across the worker domains of a {!Par.Pool}, each running its
+    fused plan ({!Ilp.run_fused}) and writing into its {e pre-assigned}
+    slot — index [i] of the result array, and, when [~dst] is given, the
+    ADU's own [dest_off] region of the destination buffer. There is no
+    reassembly hot spot and no completion-order dependence anywhere in
+    the results.
+
+    Degradation rule: a plan for which {!Ilp.needs_in_order} holds (a
+    sequential cipher) forbids out-of-order processing across ADUs, so if
+    {e any} ADU of the batch demands it, the whole batch runs serially in
+    index order on the calling domain — same results, no parallelism,
+    counted in [serial_fallback]. *)
+
+open Bufkit
+
+type outcome = {
+  results : Ilp.result array;
+      (** Slot [i] is ADU [i]'s result, whatever order slots finished. *)
+  merged_checksums : (Checksum.Kind.t * int) list;
+      (** {!merge_checksums} over the per-ADU checksum lists. *)
+  parallel_adus : int;  (** ADUs executed on pool workers. *)
+  serial_fallback : int;
+      (** ADUs forced onto the serial path by {!Ilp.needs_in_order}. *)
+}
+
+val merge_checksums :
+  (Checksum.Kind.t * int) list array -> (Checksum.Kind.t * int) list
+(** Deterministic order-independent merge: for each checksum kind (in
+    first-occurrence order over slots), fold the per-ADU digests in slot
+    order through a 32-bit hash combine. Because the fold runs over the
+    position-indexed array, the merged value depends only on ADU indices
+    and contents — never on completion order. *)
+
+val run :
+  ?pool:Par.Pool.t ->
+  ?dst:Bytebuf.t ->
+  plan:(Adu.t -> Ilp.plan) ->
+  Adu.t array ->
+  outcome
+(** Run each ADU's plan with the fused executor. Without [?pool] (or on a
+    pool of size 1, or under the degradation rule) execution is serial in
+    index order on the caller. With [~dst], each ADU's output is also
+    blitted to [dst] at its name's [dest_off]; regions must be disjoint —
+    offsets and lengths are bounds-checked up front, and
+    [Invalid_argument] is raised before any work is dispatched. Plans
+    that fail {!Ilp.validate} also raise [Invalid_argument] up front. *)

@@ -13,12 +13,45 @@ type t = {
   plan : Adu.t -> Ilp.plan;
   deliver : result -> unit;
   stats : stats;
+  pool : Par.Pool.t option;
+  batch : int;
+  backlog : Adu.t Queue.t;  (* accepted, not yet processed (pooled mode) *)
 }
 
-let create ~plan ~deliver =
-  { plan; deliver; stats = { processed = 0; rejected_order = 0; rejected_invalid = 0 } }
+let create ?pool ?(batch = 32) ~plan ~deliver () =
+  if batch < 1 then invalid_arg "Stage2.create: batch must be >= 1";
+  {
+    plan;
+    deliver;
+    stats = { processed = 0; rejected_order = 0; rejected_invalid = 0 };
+    pool;
+    batch;
+    backlog = Queue.create ();
+  }
 
 let stats t = t.stats
+
+let account_and_deliver t (adu : Adu.t) output checksums =
+  t.stats.processed <- t.stats.processed + 1;
+  Obs.Counter.incr (Obs.Registry.counter "stage2.processed");
+  Obs.Counter.add
+    (Obs.Registry.counter "stage2.bytes")
+    (Bufkit.Bytebuf.length adu.Adu.payload);
+  t.deliver { adu = Adu.make adu.Adu.name output; checksums }
+
+let flush t =
+  if not (Queue.is_empty t.backlog) then begin
+    let adus = Array.of_seq (Queue.to_seq t.backlog) in
+    Queue.clear t.backlog;
+    let outcome = Ilp_par.run ?pool:t.pool ~plan:t.plan adus in
+    (* Results come back position-indexed, so delivery happens here in
+       arrival order — identical observable order to the serial path, no
+       matter which domain finished which ADU first. *)
+    Array.iteri
+      (fun i (r : Ilp.result) ->
+        account_and_deliver t adus.(i) r.Ilp.output r.Ilp.checksums)
+      outcome.Ilp_par.results
+  end
 
 let deliver_fn t (adu : Adu.t) =
   let plan = t.plan adu in
@@ -31,15 +64,14 @@ let deliver_fn t (adu : Adu.t) =
     | Error _ ->
         t.stats.rejected_invalid <- t.stats.rejected_invalid + 1;
         Obs.Counter.incr (Obs.Registry.counter "stage2.rejected_invalid")
-    | Ok () ->
-        let run = Ilp.run_fused plan adu.Adu.payload in
-        t.stats.processed <- t.stats.processed + 1;
-        Obs.Counter.incr (Obs.Registry.counter "stage2.processed");
-        Obs.Counter.add
-          (Obs.Registry.counter "stage2.bytes")
-          (Bufkit.Bytebuf.length adu.Adu.payload);
-        t.deliver
-          { adu = Adu.make adu.Adu.name run.Ilp.output; checksums = run.Ilp.checksums }
+    | Ok () -> (
+        match t.pool with
+        | None ->
+            let run = Ilp.run_fused plan adu.Adu.payload in
+            account_and_deliver t adu run.Ilp.output run.Ilp.checksums
+        | Some _ ->
+            Queue.add adu t.backlog;
+            if Queue.length t.backlog >= t.batch then flush t)
 
 let decrypt_verify ~key =
   [

@@ -11,7 +11,14 @@
     by the {e fused} executor, wrapped as an ordinary delivery callback —
     it plugs directly into [Alf_transport.receiver ~deliver]. Plans that
     would forbid out-of-order ADUs (a sequential cipher) are rejected at
-    processing time and counted, never silently reordered. *)
+    processing time and counted, never silently reordered.
+
+    With [?pool], accepted ADUs are batched and sharded across the
+    pool's worker domains by {!Ilp_par} — the §7 parallel sink. Results
+    are still handed to [deliver] on the {e calling} domain, in arrival
+    order, so downstream code observes exactly the serial behaviour;
+    only the data manipulation runs in parallel. Call {!flush} when the
+    source pauses or completes to drain a partial batch. *)
 
 type result = {
   adu : Adu.t;  (** Name unchanged; payload is the plan's output. *)
@@ -27,13 +34,29 @@ type stats = {
 
 type t
 
-val create : plan:(Adu.t -> Ilp.plan) -> deliver:(result -> unit) -> t
+val create :
+  ?pool:Par.Pool.t ->
+  ?batch:int ->
+  plan:(Adu.t -> Ilp.plan) ->
+  deliver:(result -> unit) ->
+  unit ->
+  t
+(** Without [?pool], each ADU is processed inline as it arrives (the
+    PR-1 behaviour). With [?pool], ADUs accumulate and every [batch]
+    (default 32) are executed in parallel; [deliver] still runs on the
+    caller, in arrival order. Raises [Invalid_argument] if [batch < 1]. *)
 
 val deliver_fn : t -> Adu.t -> unit
-(** The callback to hand to the transport: runs the ADU's plan fused and
-    forwards the result. *)
+(** The callback to hand to the transport: runs (or, pooled, enqueues)
+    the ADU's plan and forwards the result. *)
+
+val flush : t -> unit
+(** Process any backlogged ADUs now. A no-op without [?pool] or when the
+    backlog is empty. *)
 
 val stats : t -> stats
+(** Note: in pooled mode [processed] counts ADUs whose results have been
+    {e delivered}; accepted-but-unflushed ADUs are not yet counted. *)
 
 val decrypt_verify : key:int64 -> Ilp.plan
 (** A ready-made stage-2 plan body for {!Secure}-sealed ADUs: positional

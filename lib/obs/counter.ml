@@ -1,11 +1,15 @@
-type t = { mutable v : int }
+(* A counter is a single atomic cell: hot paths on any domain may bump it
+   concurrently (stage-2 workers all report into the same registry), so
+   the read-modify-write must be indivisible — the pre-atomic version
+   lost increments the moment two domains raced on [v <- v + n]. *)
+type t = int Atomic.t
 
-let create () = { v = 0 }
-let incr t = t.v <- t.v + 1
+let create () = Atomic.make 0
+let incr t = ignore (Atomic.fetch_and_add t 1)
 
 let add t n =
   if n < 0 then invalid_arg "Obs.Counter.add: negative increment";
-  t.v <- t.v + n
+  ignore (Atomic.fetch_and_add t n)
 
-let value t = t.v
-let reset t = t.v <- 0
+let value t = Atomic.get t
+let reset t = Atomic.set t 0

@@ -2,7 +2,10 @@
 
     Counters only move forward; rate-of-change between two registry
     snapshots is therefore always meaningful. Use a {!Gauge.t} for values
-    that go down. *)
+    that go down.
+
+    Domain-safe: increments are atomic, so hot paths on any number of
+    domains can bump one counter without losing updates. *)
 
 type t
 

@@ -1,7 +1,16 @@
-type t = { mutable v : float }
+(* Gauges are read-modify-write cells too ([add], [observe_max]); a CAS
+   loop keeps them exact when several domains report at once. *)
+type t = float Atomic.t
 
-let create () = { v = 0.0 }
-let set t v = t.v <- v
-let add t d = t.v <- t.v +. d
-let observe_max t v = if v > t.v then t.v <- v
-let value t = t.v
+let create () = Atomic.make 0.0
+let set t v = Atomic.set t v
+
+let rec add t d =
+  let old = Atomic.get t in
+  if not (Atomic.compare_and_set t old (old +. d)) then add t d
+
+let rec observe_max t v =
+  let old = Atomic.get t in
+  if v > old && not (Atomic.compare_and_set t old v) then observe_max t v
+
+let value t = Atomic.get t

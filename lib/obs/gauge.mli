@@ -1,7 +1,10 @@
 (** An instantaneous value: queue occupancy, buffer footprint, idle time.
 
     Unlike a {!Counter.t} a gauge moves both ways; [observe_max] makes it
-    a high-water mark. *)
+    a high-water mark.
+
+    Domain-safe: [add] and [observe_max] are CAS loops, [set] is an
+    atomic store. *)
 
 type t
 

@@ -5,6 +5,11 @@ let octaves = 62
 let nbuckets = (per_octave * octaves) + 1
 
 type t = {
+  (* Buckets plus the scalar moments move together under [lock]: a
+     histogram is updated from whichever domain ran the measured code, and
+     an unsynchronized [count <- count + 1] next to an array store would
+     drop updates and let count drift from the bucket sum. *)
+  lock : Mutex.t;
   counts : int array;
   mutable count : int;
   mutable sum : float;
@@ -14,12 +19,17 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     counts = Array.make nbuckets 0;
     count = 0;
     sum = 0.0;
     mn = infinity;
     mx = neg_infinity;
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let bucket_of v =
   if v < 1.0 then 0
@@ -33,36 +43,42 @@ let representative i =
   else Float.pow 2.0 ((float_of_int (i - 1) +. 0.5) /. float_of_int per_octave)
 
 let record t v =
-  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
-  t.count <- t.count + 1;
-  t.sum <- t.sum +. v;
-  if v < t.mn then t.mn <- v;
-  if v > t.mx then t.mx <- v
+  locked t (fun () ->
+      t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+      t.count <- t.count + 1;
+      t.sum <- t.sum +. v;
+      if v < t.mn then t.mn <- v;
+      if v > t.mx then t.mx <- v)
 
-let count t = t.count
-let sum t = t.sum
-let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
-let minimum t = if t.count = 0 then 0.0 else t.mn
-let maximum t = if t.count = 0 then 0.0 else t.mx
+let count t = locked t (fun () -> t.count)
+let sum t = locked t (fun () -> t.sum)
+
+let mean t =
+  locked t (fun () ->
+      if t.count = 0 then 0.0 else t.sum /. float_of_int t.count)
+
+let minimum t = locked t (fun () -> if t.count = 0 then 0.0 else t.mn)
+let maximum t = locked t (fun () -> if t.count = 0 then 0.0 else t.mx)
 
 let percentile t q =
-  if t.count = 0 then 0.0
-  else if q <= 0.0 then t.mn
-  else if q >= 1.0 then t.mx
-  else begin
-    let rank = Float.max 1.0 (Float.round (q *. float_of_int t.count)) in
-    let cum = ref 0 in
-    let i = ref 0 in
-    (try
-       while !i < nbuckets do
-         cum := !cum + t.counts.(!i);
-         if float_of_int !cum >= rank then raise Exit;
-         incr i
-       done
-     with Exit -> ());
-    let v = representative (min !i (nbuckets - 1)) in
-    Float.min t.mx (Float.max t.mn v)
-  end
+  locked t (fun () ->
+      if t.count = 0 then 0.0
+      else if q <= 0.0 then t.mn
+      else if q >= 1.0 then t.mx
+      else begin
+        let rank = Float.max 1.0 (Float.round (q *. float_of_int t.count)) in
+        let cum = ref 0 in
+        let i = ref 0 in
+        (try
+           while !i < nbuckets do
+             cum := !cum + t.counts.(!i);
+             if float_of_int !cum >= rank then raise Exit;
+             incr i
+           done
+         with Exit -> ());
+        let v = representative (min !i (nbuckets - 1)) in
+        Float.min t.mx (Float.max t.mn v)
+      end)
 
 let p50 t = percentile t 0.50
 let p90 t = percentile t 0.90
@@ -71,4 +87,4 @@ let p99 t = percentile t 0.99
 let pp ppf t =
   Format.fprintf ppf
     "hist(n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g min=%.4g max=%.4g)"
-    t.count (mean t) (p50 t) (p90 t) (p99 t) (minimum t) (maximum t)
+    (count t) (mean t) (p50 t) (p90 t) (p99 t) (minimum t) (maximum t)

@@ -8,7 +8,11 @@
 
     Values below 1 (including zero and negatives) share an underflow
     bucket; record latencies in nanoseconds, sizes in bytes, and the
-    resolution is never a concern. *)
+    resolution is never a concern.
+
+    Domain-safe: buckets and moments move together under an internal
+    mutex, so concurrent [record]s from worker domains are neither lost
+    nor torn, and readers always see count equal to the bucket sum. *)
 
 type t
 

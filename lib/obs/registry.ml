@@ -4,10 +4,20 @@ type metric =
   | Histogram of Histogram.t
   | Pull of (unit -> float)
 
-type t = { tbl : (string, metric) Hashtbl.t }
+(* The table itself needs a lock, not just its entries: find-or-create
+   from two domains must agree on ONE metric instance, or each keeps
+   bumping a private counter and the registry exports whichever lost the
+   Hashtbl race. Metric mutation is the metric's own concern (atomics in
+   Counter/Gauge, a mutex in Histogram); the registry lock only covers
+   name resolution and enumeration. *)
+type t = { lock : Mutex.t; tbl : (string, metric) Hashtbl.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 64 }
 let default = create ()
+
+let locked registry f =
+  Mutex.lock registry.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.lock) f
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -20,45 +30,54 @@ let mismatch name wanted found =
        (kind_name found) wanted)
 
 let counter ?(registry = default) name =
-  match Hashtbl.find_opt registry.tbl name with
-  | Some (Counter c) -> c
-  | Some m -> mismatch name "counter" m
-  | None ->
-      let c = Counter.create () in
-      Hashtbl.replace registry.tbl name (Counter c);
-      c
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some (Counter c) -> c
+      | Some m -> mismatch name "counter" m
+      | None ->
+          let c = Counter.create () in
+          Hashtbl.replace registry.tbl name (Counter c);
+          c)
 
 let gauge ?(registry = default) name =
-  match Hashtbl.find_opt registry.tbl name with
-  | Some (Gauge g) -> g
-  | Some m -> mismatch name "gauge" m
-  | None ->
-      let g = Gauge.create () in
-      Hashtbl.replace registry.tbl name (Gauge g);
-      g
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some (Gauge g) -> g
+      | Some m -> mismatch name "gauge" m
+      | None ->
+          let g = Gauge.create () in
+          Hashtbl.replace registry.tbl name (Gauge g);
+          g)
 
 let histogram ?(registry = default) name =
-  match Hashtbl.find_opt registry.tbl name with
-  | Some (Histogram h) -> h
-  | Some m -> mismatch name "histogram" m
-  | None ->
-      let h = Histogram.create () in
-      Hashtbl.replace registry.tbl name (Histogram h);
-      h
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some (Histogram h) -> h
+      | Some m -> mismatch name "histogram" m
+      | None ->
+          let h = Histogram.create () in
+          Hashtbl.replace registry.tbl name (Histogram h);
+          h)
 
 let pull ?(registry = default) name f =
-  match Hashtbl.find_opt registry.tbl name with
-  | Some (Pull _) | None -> Hashtbl.replace registry.tbl name (Pull f)
-  | Some m -> mismatch name "pull gauge" m
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some (Pull _) | None -> Hashtbl.replace registry.tbl name (Pull f)
+      | Some m -> mismatch name "pull gauge" m)
 
-let find ?(registry = default) name = Hashtbl.find_opt registry.tbl name
+let find ?(registry = default) name =
+  locked registry (fun () -> Hashtbl.find_opt registry.tbl name)
 
 let names ?(registry = default) () =
-  Hashtbl.fold (fun name _ acc -> name :: acc) registry.tbl []
-  |> List.sort String.compare
+  locked registry (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) registry.tbl []
+      |> List.sort String.compare)
 
-let is_empty ?(registry = default) () = Hashtbl.length registry.tbl = 0
-let clear ?(registry = default) () = Hashtbl.reset registry.tbl
+let is_empty ?(registry = default) () =
+  locked registry (fun () -> Hashtbl.length registry.tbl = 0)
+
+let clear ?(registry = default) () =
+  locked registry (fun () -> Hashtbl.reset registry.tbl)
 
 let metric_json = function
   | Counter c ->
@@ -82,22 +101,23 @@ let metric_json = function
           ("p99", Json.Num (Histogram.p99 h));
         ]
 
+(* Exports snapshot the bindings under the lock, then format outside it:
+   a [Pull] closure may itself touch the registry, and formatting must not
+   race a concurrent create's table resize. *)
+let snapshot registry =
+  locked registry (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry.tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
 let to_json ?(registry = default) () =
-  Json.Obj
-    (List.map
-       (fun name ->
-         (name, metric_json (Option.get (Hashtbl.find_opt registry.tbl name))))
-       (names ~registry ()))
+  Json.Obj (List.map (fun (name, m) -> (name, metric_json m)) (snapshot registry))
 
 let pp ppf t =
   List.iter
-    (fun name ->
-      match Hashtbl.find_opt t.tbl name with
-      | None -> ()
-      | Some (Counter c) ->
-          Format.fprintf ppf "%-44s %d@\n" name (Counter.value c)
-      | Some (Gauge g) ->
-          Format.fprintf ppf "%-44s %.6g@\n" name (Gauge.value g)
-      | Some (Pull f) -> Format.fprintf ppf "%-44s %.6g@\n" name (f ())
-      | Some (Histogram h) -> Format.fprintf ppf "%-44s %a@\n" name Histogram.pp h)
-    (names ~registry:t ())
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Format.fprintf ppf "%-44s %d@\n" name (Counter.value c)
+      | Gauge g -> Format.fprintf ppf "%-44s %.6g@\n" name (Gauge.value g)
+      | Pull f -> Format.fprintf ppf "%-44s %.6g@\n" name (f ())
+      | Histogram h -> Format.fprintf ppf "%-44s %a@\n" name Histogram.pp h)
+    (snapshot t)

@@ -13,7 +13,11 @@
     rebuild their topology per run).
 
     All instrumentation in this codebase targets {!default}; independent
-    registries exist for tests. *)
+    registries exist for tests.
+
+    Domain-safe: find-or-create and enumeration are serialized on an
+    internal mutex, so two domains asking for the same name always share
+    one instance; exports snapshot the bindings before formatting. *)
 
 type t
 

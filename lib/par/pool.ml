@@ -1,0 +1,148 @@
+type t = {
+  queue : (unit -> unit) Spmc.t;
+  domains : int;
+  mutable workers : unit Domain.t array;
+  pending : int Atomic.t;  (* tasks of the current batch not yet finished *)
+  stop : bool Atomic.t;
+  (* Sleep/wake for idle workers between batches. The mutex protects
+     nothing but the condition itself: all task state is in the queue and
+     the atomics. *)
+  idle_mutex : Mutex.t;
+  idle_cond : Condition.t;
+  first_error : (exn * Printexc.raw_backtrace) option Atomic.t;
+  mutable down : bool;
+  (* Registry accounting, resolved once — worker loops must not pay a
+     registry lookup per task. *)
+  c_tasks : Obs.Counter.t;
+  c_steals : Obs.Counter.t;
+  c_batches : Obs.Counter.t;
+}
+
+let size t = t.domains
+
+let finish_task t =
+  ignore (Atomic.fetch_and_add t.pending (-1))
+
+let run_task t task =
+  (match task () with
+  | () -> ()
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (* Keep the first failure; later ones would mask it. *)
+      ignore (Atomic.compare_and_set t.first_error None (Some (e, bt))));
+  Obs.Counter.incr t.c_tasks;
+  finish_task t
+
+let rec worker_loop t =
+  match Spmc.steal t.queue with
+  | Some task ->
+      Obs.Counter.incr t.c_steals;
+      run_task t task;
+      worker_loop t
+  | None ->
+      if not (Atomic.get t.stop) then begin
+        (* Nothing runnable. A short spin covers the common gap where the
+           producer is mid-batch; then block until woken. *)
+        let rec spin k =
+          if k > 0 && Spmc.length t.queue = 0 && not (Atomic.get t.stop) then begin
+            Domain.cpu_relax ();
+            spin (k - 1)
+          end
+        in
+        spin 512;
+        Mutex.lock t.idle_mutex;
+        while Spmc.length t.queue = 0 && not (Atomic.get t.stop) do
+          Condition.wait t.idle_cond t.idle_mutex
+        done;
+        Mutex.unlock t.idle_mutex;
+        worker_loop t
+      end
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Par.Pool.create: domains must be >= 1";
+        d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      queue = Spmc.create ~capacity:1024;
+      domains;
+      workers = [||];
+      pending = Atomic.make 0;
+      stop = Atomic.make false;
+      idle_mutex = Mutex.create ();
+      idle_cond = Condition.create ();
+      first_error = Atomic.make None;
+      down = false;
+      c_tasks = Obs.Registry.counter "par.pool.tasks";
+      c_steals = Obs.Registry.counter "par.pool.steals";
+      c_batches = Obs.Registry.counter "par.pool.batches";
+    }
+  in
+  Obs.Gauge.observe_max
+    (Obs.Registry.gauge "par.pool.domains")
+    (float_of_int domains);
+  t.workers <-
+    Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let wake_all t =
+  Mutex.lock t.idle_mutex;
+  Condition.broadcast t.idle_cond;
+  Mutex.unlock t.idle_mutex
+
+let run t tasks =
+  if t.down then invalid_arg "Par.Pool.run: pool is shut down";
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else begin
+    Obs.Counter.incr t.c_batches;
+    if t.domains = 1 then
+      (* Inline: no queue, no atomics on the data path, exceptions
+         propagate directly. *)
+      Array.iter (fun task -> task ()) tasks
+    else begin
+      Atomic.set t.first_error None;
+      Atomic.set t.pending n;
+      Array.iter
+        (fun task ->
+          if not (Spmc.try_push t.queue task) then
+            (* Ring full: apply backpressure by doing the work here
+               instead of spinning — the caller is a worker too. *)
+            run_task t task)
+        tasks;
+      wake_all t;
+      (* Caller helps until the whole batch has settled. [pending] (not
+         queue emptiness) is the termination condition: a task may still
+         be in flight on a worker after the queue drains. *)
+      let rec help () =
+        if Atomic.get t.pending > 0 then begin
+          (match Spmc.steal t.queue with
+          | Some task -> run_task t task
+          | None -> Domain.cpu_relax ());
+          help ()
+        end
+      in
+      help ();
+      match Atomic.get t.first_error with
+      | Some (e, bt) ->
+          Atomic.set t.first_error None;
+          Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let shutdown t =
+  if not t.down then begin
+    t.down <- true;
+    Atomic.set t.stop true;
+    wake_all t;
+    Array.iter Domain.join t.workers
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,44 @@
+(** A pool of worker domains executing batches of independent tasks.
+
+    This is the execution engine behind the paper's §7 parallel-sink
+    architecture: once the unit of processing is a complete ADU, the ADUs
+    of a batch can be manipulated out of order and {e independently} — on
+    today's hardware, in parallel. The pool owns [domains - 1] worker
+    domains; the caller's domain is the remaining worker, so [run] on a
+    pool of size 1 degenerates to an inline loop with zero spawns (the
+    configuration `dune runtest` uses to keep tier-1 fast).
+
+    Tasks are closures with their output location pre-assigned by the
+    submitter (a slot in a result array, a disjoint region of a
+    destination buffer), so no completion order is ever observable in the
+    results — the merge point the paper warns about is designed away
+    rather than synchronized.
+
+    Contract: one [run] at a time per pool (the batch submitter is the
+    queue's single producer). Tasks must not themselves call [run] on the
+    same pool. Tasks may freely use {!Obs}, {!Bufkit.Pool} and the fused
+    {!Ilp} kernels — those paths are domain-safe. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (so
+    [~domains:1] spawns none). Default:
+    [Domain.recommended_domain_count ()]. Raises [Invalid_argument] if
+    [domains < 1]. *)
+
+val size : t -> int
+(** Total parallelism: worker domains + the calling domain. *)
+
+val run : t -> (unit -> unit) array -> unit
+(** Execute every task exactly once and return when all have finished.
+    The caller participates (steals) rather than blocking. If tasks
+    raise, one of the exceptions is re-raised on the caller after the
+    whole batch has settled — the batch is never abandoned half-run. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. The pool must not be
+    used afterwards ([run] raises [Invalid_argument]). *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] = create, apply, shutdown (also on exception). *)

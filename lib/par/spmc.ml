@@ -1,0 +1,60 @@
+type 'a t = {
+  slots : 'a option Atomic.t array;
+  mask : int;
+  head : int Atomic.t;  (* next index to steal; CAS-advanced by thieves *)
+  tail : int Atomic.t;  (* next index to fill; stored only by the producer *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spmc.create: capacity must be positive";
+  let cap =
+    let c = ref 2 in
+    while !c < capacity do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    slots = Array.init cap (fun _ -> Atomic.make None);
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t =
+  let n = Atomic.get t.tail - Atomic.get t.head in
+  if n < 0 then 0 else n
+
+let try_push t x =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head > t.mask then false
+  else begin
+    (* The slot at [tl] was consumed at index [tl - capacity] (or never
+       used): safe to overwrite, because head has advanced past it. The
+       atomic slot store publishes the payload; the tail store publishes
+       its availability. *)
+    Atomic.set t.slots.(tl land t.mask) (Some x);
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let rec steal t =
+  let h = Atomic.get t.head in
+  if h >= Atomic.get t.tail then None
+  else
+    match Atomic.get t.slots.(h land t.mask) with
+    | None ->
+        (* The producer has published the index but this domain read the
+           slot between the two stores of a wrapping push; retry. *)
+        steal t
+    | Some x as v ->
+        if Atomic.compare_and_set t.head h (h + 1) then begin
+          (* Help the GC: drop the queue's reference to the payload. The
+             compare is against the exact value we took; a failed clear
+             means the producer already reused the slot, which is fine. *)
+          ignore (Atomic.compare_and_set t.slots.(h land t.mask) v None);
+          Some x
+        end
+        else steal t

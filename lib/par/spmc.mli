@@ -1,0 +1,33 @@
+(** A bounded single-producer / multi-consumer queue of work items.
+
+    The shape the stage-2 fan-out needs and nothing more — a
+    "work-stealing-lite" deque: ONE domain (the batch submitter) pushes at
+    the tail; every domain, workers and submitter alike, steals from the
+    head. Tasks therefore leave in FIFO order under no contention, and in
+    {e some} linearizable order always — which is all the parallel sink
+    requires, since every task writes to a pre-assigned output slot and no
+    consumer cares which ADU it draws.
+
+    Implementation: a power-of-two ring of [Atomic] slots with a
+    monotonically increasing head (CAS-advanced by thieves) and tail
+    (plain-stored by the single producer). Indices never wrap in practice
+    (63-bit); the ring position is [index land mask]. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is rounded up to a power of two, minimum 2. Raises
+    [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only (single producer by contract). [false] when the
+    ring is full — the caller should drain a task itself rather than
+    spin. *)
+
+val steal : 'a t -> 'a option
+(** Any domain. [None] when the queue is observed empty. *)
+
+val length : 'a t -> int
+(** Instantaneous occupancy; only a hint under concurrency. *)

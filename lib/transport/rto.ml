@@ -19,8 +19,13 @@ let create ?(initial_rto = 1.0) ?(min_rto = 0.01) ?(max_rto = 60.0) () =
     shift = 0;
   }
 
-let sample t rtt =
-  if rtt >= 0.0 then begin
+let sample ?(retransmitted = false) t rtt =
+  (* Karn's algorithm: an RTT measured on a retransmitted segment is
+     ambiguous (the ACK may answer either transmission), so it must
+     neither feed the estimator NOR reset the backoff. Resetting [shift]
+     on such samples collapses the exponential backoff under persistent
+     loss — every spurious "sample" would snap the timer back to base. *)
+  if (not retransmitted) && rtt >= 0.0 then begin
     if not t.have_sample then begin
       t.srtt <- rtt;
       t.rttvar <- rtt /. 2.0;

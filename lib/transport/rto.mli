@@ -9,10 +9,13 @@ type t
 val create : ?initial_rto:float -> ?min_rto:float -> ?max_rto:float -> unit -> t
 (** Defaults: initial 1 s, floor 10 ms, ceiling 60 s. *)
 
-val sample : t -> float -> unit
-(** Feed a round-trip measurement from a segment that was transmitted
-    exactly once (Karn's algorithm is the caller's obligation; {!sample}
-    trusts its input). Resets any backoff. *)
+val sample : ?retransmitted:bool -> t -> float -> unit
+(** Feed a round-trip measurement. A sample taken on a segment that was
+    retransmitted is ambiguous — the ACK may answer either copy — so with
+    [~retransmitted:true] (Karn's algorithm) the sample is discarded
+    entirely: it neither updates srtt/rttvar nor resets the backoff.
+    A clean sample ([retransmitted] false, the default) resets any
+    backoff. *)
 
 val rto : t -> float
 (** Current timeout: (srtt + 4·rttvar) · 2^backoff, clamped. *)

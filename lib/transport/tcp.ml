@@ -326,13 +326,14 @@ let process_ack t (seg : Segment.t) =
     (* Retire covered segments; sample RTT per Karn. *)
     let rec retire = function
       | seg :: rest when seg.off + seg.len <= ack_abs ->
-          if seg.rexmits = 0 then begin
-            let rtt = Engine.now t.engine -. seg.sent_at in
+          let rtt = Engine.now t.engine -. seg.sent_at in
+          (* The estimator itself enforces Karn's rule; the histogram only
+             records unambiguous samples. *)
+          if seg.rexmits = 0 then
             Obs.Histogram.record
               (Obs.Registry.histogram "tcp.rtt_ns")
               (rtt *. 1e9);
-            Rto.sample t.rto rtt
-          end;
+          Rto.sample ~retransmitted:(seg.rexmits > 0) t.rto rtt;
           if seg.is_fin then t.fin_acked <- true;
           retire rest
       | rest -> rest

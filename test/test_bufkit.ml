@@ -324,6 +324,38 @@ let test_pool_over_release () =
   check Alcotest.int "outstanding never negative" 0
     (Pool.stats p).Pool.outstanding
 
+(* The multi-domain variant of the double-release regression: 4 domains
+   hammer acquire/release on one pool. Without the internal mutex two
+   domains can scan the free list concurrently and walk away with the
+   same buffer; the accounting invariants below then break. *)
+let test_pool_multidomain_accounting () =
+  let p = Pool.create ~buf_size:32 () in
+  let rounds = 2_000 in
+  let aliased = Atomic.make false in
+  let hammer () =
+    for i = 1 to rounds do
+      let a = Pool.acquire p in
+      let b = Pool.acquire p in
+      (* Two live acquisitions must never alias. *)
+      if a == b then Atomic.set aliased true;
+      (* Touch the buffers so a shared buffer would also tear data. *)
+      Bytebuf.set_uint8 a 0 (i land 0xff);
+      Bytebuf.set_uint8 b 0 ((i + 1) land 0xff);
+      Pool.release p b;
+      Pool.release p a
+    done
+  in
+  let domains = Array.init 3 (fun _ -> Domain.spawn hammer) in
+  hammer ();
+  Array.iter Domain.join domains;
+  check Alcotest.bool "no aliased buffers" false (Atomic.get aliased);
+  let st = Pool.stats p in
+  check Alcotest.int "all returned" 0 st.Pool.outstanding;
+  (* Every release succeeded (a double-release Invalid_argument in a
+     worker would have escaped the join), and the ledger balances. *)
+  check Alcotest.bool "high water sane" true
+    (st.Pool.high_water >= 2 && st.Pool.high_water <= 8)
+
 let test_pool_capacity_cap () =
   let p = Pool.create ~capacity:1 ~buf_size:4 () in
   let a = Pool.acquire p and b = Pool.acquire p in
@@ -401,6 +433,8 @@ let () =
           Alcotest.test_case "double release" `Quick test_pool_double_release;
           Alcotest.test_case "over release" `Quick test_pool_over_release;
           Alcotest.test_case "capacity cap" `Quick test_pool_capacity_cap;
+          Alcotest.test_case "multi-domain accounting" `Quick
+            test_pool_multidomain_accounting;
         ] );
       ( "hexdump",
         [

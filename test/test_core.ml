@@ -796,6 +796,7 @@ let test_stage2_decrypt_verify_pipeline () =
         match Sink.write_adu sink r.Stage2.adu with
         | Ok () -> ()
         | Error e -> Alcotest.fail e)
+      ()
   in
   let receiver =
     Alf_transport.receiver ~engine ~udp:ub ~port:3 ~stream:1
@@ -821,6 +822,7 @@ let test_stage2_rejects_sequential_cipher () =
     Stage2.create
       ~plan:(fun _ -> [ Ilp.Rc4_stream { key = "k" }; Ilp.Deliver_copy ])
       ~deliver:(fun _ -> incr delivered)
+      ()
   in
   Stage2.deliver_fn stage2 (Adu.make (Adu.name ~stream:0 ~index:0 ()) (buf "x"));
   Alcotest.(check int) "nothing delivered" 0 !delivered;
@@ -831,6 +833,7 @@ let test_stage2_rejects_invalid_plan () =
     Stage2.create
       ~plan:(fun _ -> [ Ilp.Deliver_copy; Ilp.Byteswap32 ])
       ~deliver:(fun _ -> Alcotest.fail "must not deliver")
+      ()
   in
   Stage2.deliver_fn stage2 (Adu.make (Adu.name ~stream:0 ~index:0 ()) (buf "abcd"));
   Alcotest.(check int) "rejection counted" 1 (Stage2.stats stage2).Stage2.rejected_invalid

@@ -19,6 +19,41 @@ let test_counter_negative_add () =
   | () -> fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* The regression the parallel stage-2 engine forces: counters are
+   shared by worker domains, so [incr] must be atomic. The pre-fix
+   read-modify-write implementation loses increments under exactly this
+   hammer (4 domains, one counter, exact expected total). *)
+let test_counter_multidomain_exact () =
+  let c = Obs.Counter.create () in
+  let per_domain = 25_000 in
+  let hammer () =
+    for _ = 1 to per_domain do
+      Obs.Counter.incr c
+    done
+  in
+  let domains = Array.init 3 (fun _ -> Domain.spawn hammer) in
+  hammer ();
+  Array.iter Domain.join domains;
+  check Alcotest.int "no lost increments" (4 * per_domain) (Obs.Counter.value c)
+
+let test_histogram_multidomain_count () =
+  let h = Obs.Histogram.create () in
+  let per_domain = 5_000 in
+  let hammer () =
+    for i = 1 to per_domain do
+      Obs.Histogram.record h (float_of_int i)
+    done
+  in
+  let domains = Array.init 3 (fun _ -> Domain.spawn hammer) in
+  hammer ();
+  Array.iter Domain.join domains;
+  check Alcotest.int "no lost samples" (4 * per_domain) (Obs.Histogram.count h);
+  (* The mean of four identical streams is the stream mean; a torn
+     concurrent update would shift it. *)
+  check (Alcotest.float 1e-6) "mean intact"
+    (float_of_int (per_domain + 1) /. 2.0)
+    (Obs.Histogram.mean h)
+
 (* --- Gauge --- *)
 
 let test_gauge_basic () =
@@ -270,6 +305,8 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_counter_basic;
           Alcotest.test_case "negative add" `Quick test_counter_negative_add;
+          Alcotest.test_case "multi-domain exact total" `Quick
+            test_counter_multidomain_exact;
         ] );
       ("gauge", [ Alcotest.test_case "basic" `Quick test_gauge_basic ]);
       ( "welford",
@@ -286,6 +323,8 @@ let () =
           Alcotest.test_case "single value" `Quick test_histogram_single_value;
           Alcotest.test_case "empty and underflow" `Quick
             test_histogram_empty_and_underflow;
+          Alcotest.test_case "multi-domain exact count" `Quick
+            test_histogram_multidomain_count;
           qcheck prop_histogram_percentile_monotone;
         ] );
       ( "json",

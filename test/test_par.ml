@@ -1,0 +1,394 @@
+(* The multicore stage-2 engine: the SPMC queue and domain pool under
+   real contention, and the central property — parallel out-of-order
+   execution of fused ILP plans is observationally identical to the
+   serial layered reference, for every non-sequential plan shape and
+   any pool size. *)
+
+open Bufkit
+open Alf_core
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* --- Spmc --- *)
+
+let test_spmc_fifo_serial () =
+  let q = Par.Spmc.create ~capacity:8 in
+  check Alcotest.int "rounded capacity" 8 (Par.Spmc.capacity q);
+  for i = 1 to 5 do
+    check Alcotest.bool "push" true (Par.Spmc.try_push q i)
+  done;
+  check Alcotest.int "length" 5 (Par.Spmc.length q);
+  for i = 1 to 5 do
+    match Par.Spmc.steal q with
+    | Some v -> check Alcotest.int "FIFO under no contention" i v
+    | None -> fail "queue emptied early"
+  done;
+  check Alcotest.bool "drained" true (Par.Spmc.steal q = None)
+
+let test_spmc_full () =
+  let q = Par.Spmc.create ~capacity:2 in
+  check Alcotest.bool "push 1" true (Par.Spmc.try_push q 1);
+  check Alcotest.bool "push 2" true (Par.Spmc.try_push q 2);
+  check Alcotest.bool "full refuses" false (Par.Spmc.try_push q 3);
+  ignore (Par.Spmc.steal q);
+  check Alcotest.bool "slot freed" true (Par.Spmc.try_push q 3)
+
+(* One producer, three thieves: every pushed item is stolen exactly once
+   (the sum is exact), across many ring wrap-arounds. *)
+let test_spmc_multidomain_exact () =
+  let q = Par.Spmc.create ~capacity:64 in
+  let n = 20_000 in
+  let stolen_sum = Atomic.make 0 in
+  let stolen_count = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let thief () =
+    let rec loop () =
+      match Par.Spmc.steal q with
+      | Some v ->
+          ignore (Atomic.fetch_and_add stolen_sum v);
+          ignore (Atomic.fetch_and_add stolen_count 1);
+          loop ()
+      | None -> if not (Atomic.get stop) then loop ()
+    in
+    loop ()
+  in
+  let thieves = Array.init 3 (fun _ -> Domain.spawn thief) in
+  for i = 1 to n do
+    while not (Par.Spmc.try_push q i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  (* A thief can legitimately exit in the window between observing an
+     empty queue and the producer's final pushes; the producer (also a
+     legal consumer) drains whatever is left, so exactly-once is checked
+     over all consumers. *)
+  let rec drain () =
+    match Par.Spmc.steal q with
+    | Some v ->
+        ignore (Atomic.fetch_and_add stolen_sum v);
+        ignore (Atomic.fetch_and_add stolen_count 1);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.int "every item stolen exactly once" n
+    (Atomic.get stolen_count);
+  check Alcotest.int "sum intact" (n * (n + 1) / 2) (Atomic.get stolen_sum)
+
+(* --- Pool --- *)
+
+let test_pool_runs_every_task_once () =
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      check Alcotest.int "size" 4 (Par.Pool.size pool);
+      let n = 500 in
+      let hits = Array.make n (Atomic.make 0) in
+      Array.iteri (fun i _ -> hits.(i) <- Atomic.make 0) hits;
+      for _ = 1 to 3 do
+        (* Several batches through one pool: workers must wake again. *)
+        Par.Pool.run pool
+          (Array.init n (fun i () -> ignore (Atomic.fetch_and_add hits.(i) 1)))
+      done;
+      Array.iteri
+        (fun i h ->
+          if Atomic.get h <> 3 then
+            fail (Printf.sprintf "task %d ran %d times" i (Atomic.get h)))
+        hits)
+
+let test_pool_inline_when_single () =
+  Par.Pool.with_pool ~domains:1 (fun pool ->
+      let seen = ref [] in
+      Par.Pool.run pool (Array.init 5 (fun i () -> seen := i :: !seen));
+      (* One domain degenerates to an in-order inline loop. *)
+      check (Alcotest.list Alcotest.int) "in order" [ 0; 1; 2; 3; 4 ]
+        (List.rev !seen))
+
+let test_pool_propagates_exception () =
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      let ran = Atomic.make 0 in
+      (match
+         Par.Pool.run pool
+           (Array.init 8 (fun i () ->
+                ignore (Atomic.fetch_and_add ran 1);
+                if i = 3 then failwith "boom"))
+       with
+      | () -> fail "expected Failure"
+      | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+      (* The batch settled (no abandoned tasks) and the pool survives. *)
+      check Alcotest.int "whole batch still ran" 8 (Atomic.get ran);
+      let ok = Atomic.make 0 in
+      Par.Pool.run pool
+        (Array.init 4 (fun _ () -> ignore (Atomic.fetch_and_add ok 1)));
+      check Alcotest.int "pool reusable after failure" 4 (Atomic.get ok))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Par.Pool.create ~domains:2 () in
+  Par.Pool.run pool [| (fun () -> ()) |];
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool;
+  match Par.Pool.run pool [| (fun () -> ()) |] with
+  | () -> fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+(* --- Ilp_par: parallel == serial, always --- *)
+
+let mkbuf rng len =
+  let b = Bytebuf.create len in
+  Netsim.Rng.fill_bytes rng b;
+  b
+
+let adus_of_payloads payloads =
+  let off = ref 0 in
+  Array.mapi
+    (fun i p ->
+      let o = !off in
+      off := o + Bytebuf.length p;
+      Adu.make
+        (Adu.name ~dest_off:o ~dest_len:(Bytebuf.length p) ~stream:1 ~index:i ())
+        p)
+    payloads
+
+let equal_results (a : Ilp.result) (b : Ilp.result) =
+  Bytebuf.equal a.Ilp.output b.Ilp.output && a.Ilp.checksums = b.Ilp.checksums
+
+(* Every non-sequential plan shape the engine knows, parameterised by the
+   ADU so positional ciphers get exercised too. *)
+let shapes : (string * (Adu.t -> Ilp.plan)) list =
+  [
+    ("deliver", fun _ -> [ Ilp.Deliver_copy ]);
+    ("checksum", fun _ -> [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ]);
+    ( "xor+checksum",
+      fun adu ->
+        [
+          Ilp.Xor_pad
+            { key = 0xFEEDL; pos = Int64.of_int adu.Adu.name.Adu.dest_off };
+          Ilp.Checksum Checksum.Kind.Crc32;
+          Ilp.Deliver_copy;
+        ] );
+    ( "swab+checksum",
+      fun _ ->
+        [
+          Ilp.Byteswap32;
+          Ilp.Checksum Checksum.Kind.Fletcher32;
+          Ilp.Deliver_copy;
+        ] );
+    ( "double-checksum",
+      fun _ ->
+        [
+          Ilp.Checksum Checksum.Kind.Internet;
+          Ilp.Xor_pad { key = 77L; pos = 0L };
+          Ilp.Checksum Checksum.Kind.Adler32;
+          Ilp.Deliver_copy;
+        ] );
+  ]
+
+let pool_sizes = [ 1; 2; Domain.recommended_domain_count () ]
+
+let prop_parallel_equals_layered =
+  (* Random ADU count and sizes (multiples of 4 so Byteswap32 is legal),
+     every shape, every pool size: byte-identical outputs, identical
+     per-ADU checksums, identical merged checksum. *)
+  QCheck.Test.make ~name:"ilp_par: parallel == layered for all shapes"
+    ~count:30
+    QCheck.(
+      pair (int_range 0 12) (list_of_size Gen.(return 16) (int_range 0 64)))
+    (fun (n_hint, size_hints) ->
+      let rng = Netsim.Rng.create ~seed:(Int64.of_int (n_hint + 1)) in
+      let sizes =
+        List.filteri (fun i _ -> i < n_hint) size_hints
+        |> List.map (fun s -> 4 * s)
+      in
+      let payloads = Array.of_list (List.map (mkbuf rng) sizes) in
+      let adus = adus_of_payloads payloads in
+      List.for_all
+        (fun (_, plan) ->
+          let reference =
+            Array.map
+              (fun (a : Adu.t) -> Ilp.run_layered (plan a) a.Adu.payload)
+              adus
+          in
+          let ref_merged =
+            Ilp_par.merge_checksums
+              (Array.map (fun (r : Ilp.result) -> r.Ilp.checksums) reference)
+          in
+          List.for_all
+            (fun domains ->
+              Par.Pool.with_pool ~domains (fun pool ->
+                  let out = Ilp_par.run ~pool ~plan adus in
+                  Array.length out.Ilp_par.results = Array.length reference
+                  && Array.for_all2 equal_results out.Ilp_par.results reference
+                  && out.Ilp_par.merged_checksums = ref_merged))
+            pool_sizes)
+        shapes)
+
+let test_ilp_par_dst_placement () =
+  let rng = Netsim.Rng.create ~seed:7L in
+  let payloads = Array.init 9 (fun i -> mkbuf rng (128 * (i + 1))) in
+  let adus = adus_of_payloads payloads in
+  let total = Array.fold_left (fun a p -> a + Bytebuf.length p) 0 payloads in
+  let plan (adu : Adu.t) =
+    [
+      Ilp.Xor_pad { key = 3L; pos = Int64.of_int adu.Adu.name.Adu.dest_off };
+      Ilp.Deliver_copy;
+    ]
+  in
+  Par.Pool.with_pool ~domains:3 (fun pool ->
+      let dst = Bytebuf.create total in
+      let out = Ilp_par.run ~pool ~dst ~plan adus in
+      (* Each region of dst holds that ADU's output - assembled without
+         any reassembly step, in whatever order domains finished. *)
+      Array.iteri
+        (fun i (r : Ilp.result) ->
+          let off = adus.(i).Adu.name.Adu.dest_off in
+          let got =
+            Bytebuf.sub dst ~pos:off ~len:(Bytebuf.length r.Ilp.output)
+          in
+          if not (Bytebuf.equal got r.Ilp.output) then
+            fail (Printf.sprintf "ADU %d region mismatch at %d" i off))
+        out.Ilp_par.results)
+
+let test_ilp_par_dst_bounds () =
+  let payload = Bytebuf.create 64 in
+  let adu = Adu.make (Adu.name ~dest_off:100 ~dest_len:64 ~stream:1 ~index:0 ()) payload in
+  let dst = Bytebuf.create 128 (* 100 + 64 > 128 *) in
+  match Ilp_par.run ~dst ~plan:(fun _ -> [ Ilp.Deliver_copy ]) [| adu |] with
+  | _ -> fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_ilp_par_in_order_degrades () =
+  let rng = Netsim.Rng.create ~seed:11L in
+  let payloads = Array.init 12 (fun _ -> mkbuf rng 256) in
+  let adus = adus_of_payloads payloads in
+  let plan _ = [ Ilp.Rc4_stream { key = "karn" }; Ilp.Deliver_copy ] in
+  let reference =
+    Array.map (fun (a : Adu.t) -> Ilp.run_layered (plan a) a.Adu.payload) adus
+  in
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      let out = Ilp_par.run ~pool ~plan adus in
+      check Alcotest.int "nothing ran parallel" 0 out.Ilp_par.parallel_adus;
+      check Alcotest.int "whole batch fell back" (Array.length adus)
+        out.Ilp_par.serial_fallback;
+      check Alcotest.bool "results still identical" true
+        (Array.for_all2 equal_results out.Ilp_par.results reference))
+
+let test_ilp_par_invalid_plan_rejected () =
+  let adu = Adu.make (Adu.name ~stream:1 ~index:0 ()) (Bytebuf.create 8) in
+  (* Byteswap32 not first: refused by validate, so refused up front here. *)
+  match
+    Ilp_par.run ~plan:(fun _ -> [ Ilp.Deliver_copy; Ilp.Byteswap32 ]) [| adu |]
+  with
+  | _ -> fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_merge_checksums_deterministic () =
+  let per_adu =
+    [|
+      [ (Checksum.Kind.Internet, 0x1234); (Checksum.Kind.Crc32, 0xAA) ];
+      [ (Checksum.Kind.Internet, 0x0001) ];
+      [ (Checksum.Kind.Internet, 0xFFFF); (Checksum.Kind.Crc32, 0xBB) ];
+    |]
+  in
+  let a = Ilp_par.merge_checksums per_adu in
+  let b = Ilp_par.merge_checksums per_adu in
+  check Alcotest.bool "pure function of slots" true (a = b);
+  (* Slot order is significant (index-ordered fold), so swapping two
+     ADUs' results must change the merge - completion order never enters,
+     only position. *)
+  let swapped = Array.copy per_adu in
+  swapped.(0) <- per_adu.(1);
+  swapped.(1) <- per_adu.(0);
+  check Alcotest.bool "position-sensitive" true
+    (Ilp_par.merge_checksums swapped <> a)
+
+(* --- Stage2 with a pool --- *)
+
+let test_stage2_pool_equivalence () =
+  let rng = Netsim.Rng.create ~seed:23L in
+  let payloads = Array.init 25 (fun _ -> mkbuf rng 512) in
+  let adus = adus_of_payloads payloads in
+  let plan = Stage2.decrypt_verify_at ~key:0xBEEFL in
+  let collect stage2_of_deliver =
+    let seen = ref [] in
+    let stage = stage2_of_deliver (fun r -> seen := r :: !seen) in
+    Array.iter (Stage2.deliver_fn stage) adus;
+    Stage2.flush stage;
+    check Alcotest.int "all processed" (Array.length adus)
+      (Stage2.stats stage).Stage2.processed;
+    List.rev_map
+      (fun (r : Stage2.result) ->
+        (r.Stage2.adu.Adu.name.Adu.index,
+         Bytebuf.to_string r.Stage2.adu.Adu.payload,
+         r.Stage2.checksums))
+      !seen
+  in
+  let serial = collect (fun deliver -> Stage2.create ~plan ~deliver ()) in
+  Par.Pool.with_pool ~domains:3 (fun pool ->
+      (* batch 8 does not divide 25: the flush drains the remainder. *)
+      let pooled =
+        collect (fun deliver ->
+            Stage2.create ~pool ~batch:8 ~plan ~deliver ())
+      in
+      check Alcotest.bool
+        "pooled delivery == serial delivery (same order, bytes, checksums)"
+        true (pooled = serial))
+
+let test_stage2_pool_still_rejects_in_order () =
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      let delivered = ref 0 in
+      let stage =
+        Stage2.create ~pool
+          ~plan:(fun _ -> [ Ilp.Rc4_stream { key = "k" }; Ilp.Deliver_copy ])
+          ~deliver:(fun _ -> incr delivered)
+          ()
+      in
+      Stage2.deliver_fn stage
+        (Adu.make (Adu.name ~stream:0 ~index:0 ()) (Bytebuf.create 4));
+      Stage2.flush stage;
+      check Alcotest.int "rejected, not queued" 0 !delivered;
+      check Alcotest.int "counted" 1
+        (Stage2.stats stage).Stage2.rejected_order)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "spmc",
+        [
+          Alcotest.test_case "fifo serial" `Quick test_spmc_fifo_serial;
+          Alcotest.test_case "full refuses" `Quick test_spmc_full;
+          Alcotest.test_case "multi-domain exact steal" `Quick
+            test_spmc_multidomain_exact;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "every task once, batches reuse" `Quick
+            test_pool_runs_every_task_once;
+          Alcotest.test_case "single domain inline" `Quick
+            test_pool_inline_when_single;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+        ] );
+      ( "ilp_par",
+        [
+          qcheck prop_parallel_equals_layered;
+          Alcotest.test_case "dst placement" `Quick test_ilp_par_dst_placement;
+          Alcotest.test_case "dst bounds" `Quick test_ilp_par_dst_bounds;
+          Alcotest.test_case "in-order degrades to serial" `Quick
+            test_ilp_par_in_order_degrades;
+          Alcotest.test_case "invalid plan rejected" `Quick
+            test_ilp_par_invalid_plan_rejected;
+          Alcotest.test_case "merge deterministic" `Quick
+            test_merge_checksums_deterministic;
+        ] );
+      ( "stage2",
+        [
+          Alcotest.test_case "pooled == serial" `Quick
+            test_stage2_pool_equivalence;
+          Alcotest.test_case "pooled still rejects in-order" `Quick
+            test_stage2_pool_still_rejects_in_order;
+        ] );
+    ]

@@ -84,6 +84,34 @@ let test_rto_clamps () =
   done;
   Alcotest.(check (float 1e-9)) "ceiling" 1.0 (Rto.rto r)
 
+(* Karn's algorithm: an RTT measured on a retransmitted segment is
+   ambiguous (the ACK may answer either transmission), so it must
+   neither feed the estimator nor cancel an exponential backoff. *)
+let test_rto_karn_ignores_retransmit_samples () =
+  let r = Rto.create () in
+  Rto.sample r 0.1;
+  let settled = Rto.rto r in
+  (* A wildly wrong ambiguous sample must not move the estimate. *)
+  Rto.sample ~retransmitted:true r 5.0;
+  Alcotest.(check (float 1e-9)) "estimator unmoved" settled (Rto.rto r);
+  Rto.sample ~retransmitted:true r 0.0001;
+  Alcotest.(check (float 1e-9)) "still unmoved" settled (Rto.rto r)
+
+let test_rto_karn_backoff_survives () =
+  let r = Rto.create () in
+  Rto.sample r 0.1;
+  let base = Rto.rto r in
+  Rto.backoff r;
+  Rto.backoff r;
+  (* The ambiguous sample arrives while we are backing off: the shift
+     must survive it... *)
+  Rto.sample ~retransmitted:true r 0.1;
+  Alcotest.(check (float 1e-9)) "backoff survives ambiguous sample"
+    (base *. 4.0) (Rto.rto r);
+  (* ...and a clean sample afterwards resets it as usual. *)
+  Rto.sample r 0.1;
+  Alcotest.(check bool) "clean sample resets" true (Rto.rto r < base *. 1.5)
+
 (* --- Reorder --- *)
 
 let buf = Bytebuf.of_string
@@ -486,6 +514,10 @@ let () =
           Alcotest.test_case "sampling" `Quick test_rto_sampling;
           Alcotest.test_case "backoff" `Quick test_rto_backoff;
           Alcotest.test_case "clamps" `Quick test_rto_clamps;
+          Alcotest.test_case "karn ignores retransmit samples" `Quick
+            test_rto_karn_ignores_retransmit_samples;
+          Alcotest.test_case "karn backoff survives" `Quick
+            test_rto_karn_backoff_survives;
         ] );
       ( "reorder",
         [
