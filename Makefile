@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke examples cli clean outputs
+.PHONY: all build test bench bench-quick bench-smoke soak soak-smoke examples cli clean outputs
 
 all: build
 
@@ -22,6 +22,16 @@ bench-quick:
 # minutes, and still writes a valid BENCH_ilp.json for comparison.
 bench-smoke:
 	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel
+
+# The full hostile-network soak matrix (E13): impairment x recovery
+# policy x FEC plus fault plans, invariants checked, BENCH_soak.json out.
+soak:
+	dune exec bin/alfnet.exe -- soak
+
+# The seeded 2-second subset that also runs inside `dune runtest`
+# (test/test_chaos.ml), for quick control-plane regression checks.
+soak-smoke:
+	dune exec bin/alfnet.exe -- soak --smoke
 
 examples:
 	dune exec examples/quickstart.exe

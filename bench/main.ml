@@ -827,6 +827,7 @@ let e11_fec_vs_retransmission () =
             match Framing.parse_fragment frag with
             | info -> Framing.push reasm info
             | exception Framing.Frag_error _ -> ())
+          ()
       in
       List.iter
         (fun b ->

@@ -6,6 +6,7 @@
      syntax     encode a sample value in each transfer syntax
      parallel   shard a batch of ADUs across worker domains (stage 2)
      metrics    run an instrumented workload and dump the metrics registry
+     soak       sweep impairment x recovery-policy x FEC under fault plans
 
    Examples:
      alfnet transfer --transport alf --loss 0.05 --size 500000
@@ -13,7 +14,9 @@
      alfnet atm --aal 5 --cell-loss 0.002 --adus 200
      alfnet syntax --ints 16
      alfnet parallel --domains 4 --adus 128 --plan decrypt
-     alfnet parallel --plan rc4   # demonstrates the in-order degradation *)
+     alfnet parallel --plan rc4   # demonstrates the in-order degradation
+     alfnet soak --smoke --seed 42
+     alfnet soak --out BENCH_soak.json *)
 
 open Bufkit
 open Netsim
@@ -558,10 +561,53 @@ let metrics_cmd =
        ~doc:"Run a small instrumented workload and dump the metrics registry as JSON.")
     Term.(ret (const run_metrics $ net_opts_term $ size))
 
+(* --- soak --- *)
+
+let run_soak smoke seed out =
+  let module Soak = Alf_chaos.Soak in
+  let outcomes = Soak.run_matrix ~smoke ~seed:(Int64.of_int seed) () in
+  List.iter (fun o -> Format.printf "%a@." Soak.pp_outcome o) outcomes;
+  Soak.write_json out outcomes;
+  let failed = List.filter (fun o -> not (Soak.ok o)) outcomes in
+  Format.printf "soak: %d/%d cases ok -> %s@."
+    (List.length outcomes - List.length failed)
+    (List.length outcomes) out;
+  if failed = [] then `Ok ()
+  else
+    `Error
+      ( false,
+        Printf.sprintf "%d soak case(s) violated invariants (see %s)"
+          (List.length failed) out )
+
+let soak_cmd =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Tier-1 subset: hostile impairment only, small ADUs.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Root RNG seed; the same seed reproduces the same report byte for byte.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_soak.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Sweep impairment x recovery-policy x FEC (plus sender-kill, outage \
+          and burst fault plans) and check the robustness invariants: \
+          quiescence, delivered-or-gone accounting, byte-exact delivery, \
+          zero retransmission footprint, counter consistency, and stage-1 \
+          corruption filtering.")
+    Term.(ret (const run_soak $ smoke $ seed $ out))
+
 let () =
   let doc = "ALF/ILP protocol laboratory (Clark & Tennenhouse, SIGCOMM 1990)" in
   let info = Cmd.info "alfnet" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ transfer_cmd; atm_cmd; syntax_cmd; parallel_cmd; metrics_cmd ]))
+          [ transfer_cmd; atm_cmd; syntax_cmd; parallel_cmd; metrics_cmd; soak_cmd ]))

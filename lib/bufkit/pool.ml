@@ -4,7 +4,10 @@ type stats = {
   reused : int;
   outstanding : int;
   high_water : int;
+  exhausted : int;
 }
+
+exception Exhausted
 
 type t = {
   (* All free-list and accounting state moves under [lock]. Without it,
@@ -15,50 +18,72 @@ type t = {
   lock : Mutex.t;
   buf_size : int;
   capacity : int;
+  max_outstanding : int option;
   mutable free : Bytebuf.t list;
   mutable free_count : int;
   mutable allocated : int;
   mutable reused : int;
   mutable outstanding : int;
   mutable high_water : int;
+  mutable exhausted : int;
 }
 
-let create ?(capacity = 64) ~buf_size () =
+let create ?(capacity = 64) ?max_outstanding ~buf_size () =
   if buf_size <= 0 then invalid_arg "Pool.create: buf_size must be positive";
   if capacity < 0 then invalid_arg "Pool.create: negative capacity";
+  (match max_outstanding with
+  | Some m when m <= 0 ->
+      invalid_arg "Pool.create: max_outstanding must be positive"
+  | _ -> ());
   {
     lock = Mutex.create ();
     buf_size;
     capacity;
+    max_outstanding;
     free = [];
     free_count = 0;
     allocated = 0;
     reused = 0;
     outstanding = 0;
     high_water = 0;
+    exhausted = 0;
   }
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let acquire_locked t =
+  let buf =
+    match t.free with
+    | b :: rest ->
+        t.free <- rest;
+        t.free_count <- t.free_count - 1;
+        t.reused <- t.reused + 1;
+        Bytebuf.fill b '\000';
+        b
+    | [] ->
+        t.allocated <- t.allocated + 1;
+        Bytebuf.create t.buf_size
+  in
+  t.outstanding <- t.outstanding + 1;
+  if t.outstanding > t.high_water then t.high_water <- t.outstanding;
+  buf
+
+let at_cap t =
+  match t.max_outstanding with
+  | Some m when t.outstanding >= m ->
+      t.exhausted <- t.exhausted + 1;
+      true
+  | _ -> false
+
 let acquire t =
   locked t (fun () ->
-      let buf =
-        match t.free with
-        | b :: rest ->
-            t.free <- rest;
-            t.free_count <- t.free_count - 1;
-            t.reused <- t.reused + 1;
-            Bytebuf.fill b '\000';
-            b
-        | [] ->
-            t.allocated <- t.allocated + 1;
-            Bytebuf.create t.buf_size
-      in
-      t.outstanding <- t.outstanding + 1;
-      if t.outstanding > t.high_water then t.high_water <- t.outstanding;
-      buf)
+      if at_cap t then raise Exhausted;
+      acquire_locked t)
+
+let try_acquire t =
+  locked t (fun () -> if at_cap t then None else Some (acquire_locked t))
 
 let release t buf =
   if Bytebuf.length buf <> t.buf_size then
@@ -86,9 +111,10 @@ let stats t =
         reused = t.reused;
         outstanding = t.outstanding;
         high_water = t.high_water;
+        exhausted = t.exhausted;
       })
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "pool(size=%d allocated=%d reused=%d outstanding=%d high_water=%d)"
-    s.buf_size s.allocated s.reused s.outstanding s.high_water
+    "pool(size=%d allocated=%d reused=%d outstanding=%d high_water=%d exhausted=%d)"
+    s.buf_size s.allocated s.reused s.outstanding s.high_water s.exhausted

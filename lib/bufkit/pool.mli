@@ -18,16 +18,29 @@ type stats = {
   reused : int;  (** Acquisitions served from the free list. *)
   outstanding : int;  (** Currently acquired and not yet released. *)
   high_water : int;  (** Maximum simultaneous outstanding buffers. *)
+  exhausted : int;  (** Acquisitions refused by the [max_outstanding] cap. *)
 }
 
-val create : ?capacity:int -> buf_size:int -> unit -> t
+exception Exhausted
+(** Raised by {!acquire} when the pool is capped and every buffer is out.
+    Chaos soaks use a small cap to model memory pressure; well-behaved
+    stages either handle this or use {!try_acquire}. *)
+
+val create : ?capacity:int -> ?max_outstanding:int -> buf_size:int -> unit -> t
 (** [create ~buf_size ()] is a pool of [buf_size]-byte buffers. At most
     [capacity] (default 64) released buffers are retained; beyond that,
-    releases drop the buffer for the GC. Raises [Invalid_argument] if
-    [buf_size <= 0] or [capacity < 0]. *)
+    releases drop the buffer for the GC. [max_outstanding] (default
+    unlimited) caps simultaneously-acquired buffers: at the cap,
+    {!acquire} raises {!Exhausted} and {!try_acquire} returns [None].
+    Raises [Invalid_argument] if [buf_size <= 0], [capacity < 0], or
+    [max_outstanding <= 0]. *)
 
 val acquire : t -> Bytebuf.t
-(** A zeroed buffer of [buf_size] bytes, recycled when possible. *)
+(** A zeroed buffer of [buf_size] bytes, recycled when possible. Raises
+    {!Exhausted} if a [max_outstanding] cap is set and reached. *)
+
+val try_acquire : t -> Bytebuf.t option
+(** Like {!acquire} but [None] instead of raising at the cap. *)
 
 val release : t -> Bytebuf.t -> unit
 (** Return a buffer to the pool. Raises [Invalid_argument] if the buffer

@@ -1,0 +1,92 @@
+(** Soak runs: hostile-network transfers checked against invariants.
+
+    One soak case builds a fresh two-node world from a seed, runs a full
+    ALF transfer under an impairment model (optionally with scheduled
+    {!Chaos} faults), and then checks the properties the ISSUE's
+    robustness claim rests on:
+
+    - {e quiesced}: the event queue drains — no NACK or CLOSE livelock;
+    - {e accounted}: every ADU is delivered or declared gone (by either
+      end) — no index hangs forever;
+    - {e byte_exact}: every delivered payload equals what was sent,
+      recomputed from the seed;
+    - {e footprint_zero}: the sender's retransmission store is released;
+    - {e counters_consistent}: the {!Obs} registry deltas equal the
+      endpoint stats records;
+    - {e stage1_clean}: no corrupted transmission unit survived past the
+      integrity check into reassembly.
+
+    Everything reported is derived from virtual time and seeded
+    randomness, so the same seed reproduces the same [BENCH_soak.json]
+    bytes. *)
+
+open Netsim
+
+type policy = Transport_buffer | App_recompute | App_recompute_partial | No_recovery
+(** [App_recompute_partial] can only regenerate even indices — the
+    sender-declared [Gone] path under real impairment. *)
+
+val policy_name : policy -> string
+
+type case = {
+  label : string;
+  seed : int64;
+  adus : int;
+  adu_bytes : int;
+  impair : Impair.t;  (** Data direction. *)
+  impair_back : Impair.t;  (** NACK/DONE direction — hostile runs impair both. *)
+  corrupt_e2e : float;
+      (** {!Chaos.corrupting_dgram} rate on the receiver's substrate:
+          corruption above the UDP checksum, which only the ALF
+          integrity trailer can catch. *)
+  policy : policy;
+  fec : bool;  (** Low FEC activation threshold vs disabled. *)
+  events : Chaos.event list;
+  horizon : float;  (** Virtual-time bound; quiescence must come earlier. *)
+}
+
+type invariants = {
+  quiesced : bool;
+  accounted : bool;
+  byte_exact : bool;
+  footprint_zero : bool;
+  counters_consistent : bool;
+  stage1_clean : bool;
+}
+
+type outcome = {
+  case : case;
+  inv : invariants;
+  delivered : int;
+  gone_sender : int;
+  gone_local : int;
+  corrupt_dropped : int;
+  nacks_sent : int;
+  retransmits : int;
+  fec_activated : bool;
+  end_time : float;  (** Virtual completion time. *)
+}
+
+val ok : outcome -> bool
+(** All six invariants hold. *)
+
+val run : case -> outcome
+
+val hostile : Impair.t
+(** The acceptance impairment: loss 0.3, corrupt 0.05, duplicate 0.05,
+    reorder 0.2 (jitter 5 ms so reordering actually occurs). *)
+
+val matrix : ?smoke:bool -> seed:int64 -> unit -> case list
+(** Impairment × recovery policy × FEC sweep plus fault-plan cases
+    (sender kill, outage, burst). [~smoke:true] is the 2-second tier-1
+    subset: hostile impairment only, fewer/smaller ADUs. *)
+
+val run_matrix : ?smoke:bool -> seed:int64 -> unit -> outcome list
+
+val outcome_json : outcome -> Obs.Json.t
+val to_json : outcome list -> Obs.Json.t
+
+val write_json : string -> outcome list -> unit
+(** Dump [to_json] (pretty, trailing newline) — [BENCH_soak.json]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -2,15 +2,87 @@ open Bufkit
 open Netsim
 
 (* Control-message discriminators (data fragments start with 0xAD, see
-   Framing). *)
+   Framing; FEC-wrapped fragments with 0xFE). *)
 let tag_nack = 0xC1
 let tag_close = 0xC2
 let tag_done = 0xC3
 let tag_gone = 0xC4
+let tag_fec = 0xFE
 
-type sender_config = { mtu : int; pace_bps : float option; close_retry : float }
+(* --- Per-datagram integrity ---
 
-let default_sender_config = { mtu = 1472; pace_bps = None; close_retry = 0.05 }
+   Every datagram (data fragment or control message) optionally carries a
+   4-byte big-endian checksum trailer over the rest of the payload.
+   Corrupted transmission units are dropped here, at stage 1, instead of
+   poisoning reassembly or being mistaken for control traffic. Both ends
+   must agree on the [integrity] kind; the trailer sits at the end so the
+   stream id at bytes 1–2 (what {!Mux} dispatches on) keeps its place. *)
+
+let trailer_size = 4
+
+let seal integrity buf =
+  match integrity with
+  | None -> buf
+  | Some kind ->
+      let n = Bytebuf.length buf in
+      let out = Bytebuf.create (n + trailer_size) in
+      Bytebuf.blit ~src:buf ~src_pos:0 ~dst:out ~dst_pos:0 ~len:n;
+      let d = Checksum.Kind.digest kind buf land 0xFFFFFFFF in
+      Bytebuf.set_uint8 out n ((d lsr 24) land 0xff);
+      Bytebuf.set_uint8 out (n + 1) ((d lsr 16) land 0xff);
+      Bytebuf.set_uint8 out (n + 2) ((d lsr 8) land 0xff);
+      Bytebuf.set_uint8 out (n + 3) (d land 0xff);
+      out
+
+let unseal integrity buf =
+  match integrity with
+  | None -> Some buf
+  | Some kind ->
+      let n = Bytebuf.length buf in
+      if n < trailer_size then None
+      else
+        let body = Bytebuf.sub buf ~pos:0 ~len:(n - trailer_size) in
+        let stored =
+          (Bytebuf.get_uint8 buf (n - 4) lsl 24)
+          lor (Bytebuf.get_uint8 buf (n - 3) lsl 16)
+          lor (Bytebuf.get_uint8 buf (n - 2) lsl 8)
+          lor Bytebuf.get_uint8 buf (n - 1)
+        in
+        if Checksum.Kind.digest kind body land 0xFFFFFFFF = stored then
+          Some body
+        else None
+
+type sender_config = {
+  mtu : int;
+  pace_bps : float option;
+  close_retry : float;
+  close_attempts : int;
+  integrity : Checksum.Kind.t option;
+  fec_k : int;
+  fec_loss_threshold : float;
+}
+
+let default_sender_config =
+  {
+    mtu = 1472;
+    pace_bps = None;
+    close_retry = 0.05;
+    close_attempts = 64;
+    integrity = Some Checksum.Kind.Crc32;
+    fec_k = 4;
+    fec_loss_threshold = 2.0;
+  }
+
+let fec_enabled c = c.fec_loss_threshold <= 1.0 && c.fec_k >= 2
+
+(* Wire budget left for a fragment once the trailer (and, when FEC may
+   activate mid-stream, the FEC tag + header + length prefix) is
+   reserved. Reserved up front so fragment sizes do not change when FEC
+   switches on. *)
+let frag_budget c =
+  let t = match c.integrity with Some _ -> trailer_size | None -> 0 in
+  let f = if fec_enabled c then 1 + Fec.header_size + 2 else 0 in
+  c.mtu - t - f
 
 type sender_stats = {
   mutable adus_sent : int;
@@ -21,6 +93,7 @@ type sender_stats = {
   mutable bytes_retransmitted : int;
   mutable adus_gone : int;
   mutable store_peak : int;
+  mutable nack_backoff_resets : int;
 }
 
 type sender = {
@@ -33,12 +106,19 @@ type sender = {
   store : Recovery.store;
   config : sender_config;
   stats : sender_stats;
-  outq : (int * Bytebuf.t) Queue.t;  (* (ADU index, fragment) *)
-  queued_frags : (int, int ref) Hashtbl.t;  (* fragments still queued per index *)
+  outq : (int * Bytebuf.t) Queue.t;  (* (ADU index, wire block) *)
+  queued_frags : (int, int ref) Hashtbl.t;  (* blocks still queued per index *)
   mutable pacing : bool;  (* a pace event is scheduled *)
   mutable max_index : int;
   mutable closing : bool;
   mutable done_received : bool;
+  mutable close_sent : int;  (* CLOSE transmissions so far *)
+  mutable close_shift : int;  (* exponential backoff exponent, capped *)
+  mutable s_gave_up : bool;  (* CLOSE budget exhausted, store released *)
+  mutable s_killed : bool;  (* chaos: the sending process died *)
+  mutable loss_ewma : float;  (* loss estimate from NACK volume *)
+  mutable fec_on : bool;  (* sticky once the estimate crosses threshold *)
+  mutable next_fec_group : int;  (* monotone across batches, mod 0x10000 *)
   mutable gone_announced : (int, unit) Hashtbl.t;
   mutable s_tracer : (string -> unit) option;
 }
@@ -52,9 +132,14 @@ let set_sender_tracer s f = s.s_tracer <- Some f
 let sender_stats s = s.stats
 let store_footprint s = Recovery.footprint s.store
 let finished s = s.done_received
+let sender_gave_up s = s.s_gave_up
+let fec_active s = s.fec_on
 
 let push_datagram s buf =
-  ignore (s.io.Dgram.send ~dst:s.peer ~dst_port:s.peer_port ~src_port:s.port buf)
+  if not s.s_killed then
+    ignore
+      (s.io.Dgram.send ~dst:s.peer ~dst_port:s.peer_port ~src_port:s.port
+         (seal s.config.integrity buf))
 
 let dequeue_and_send s =
   let index, frag = Queue.pop s.outq in
@@ -86,7 +171,30 @@ let kick s =
     ignore (Engine.schedule_after s.engine 0.0 (fun () -> pace s))
   end
 
+(* Graceful degradation: once active, fragment batches are XOR-protected
+   and each block is prefixed with the FEC tag so the receiver routes it
+   through its decoder. Group numbers stay monotone across batches —
+   otherwise a retransmitted ADU's group 0 would collide with the first
+   ADU's at the decoder. *)
+let fec_wrap s frags =
+  if not s.fec_on then frags
+  else begin
+    let k = s.config.fec_k in
+    let blocks = Fec.protect ~first_group:s.next_fec_group ~k frags in
+    s.next_fec_group <-
+      (s.next_fec_group + Fec.group_count ~k (List.length frags)) land 0xffff;
+    List.map
+      (fun b ->
+        let out = Bytebuf.create (1 + Bytebuf.length b) in
+        Bytebuf.set_uint8 out 0 tag_fec;
+        Bytebuf.blit ~src:b ~src_pos:0 ~dst:out ~dst_pos:1
+          ~len:(Bytebuf.length b);
+        out)
+      blocks
+  end
+
 let enqueue_frags s ~index frags =
+  let frags = fec_wrap s frags in
   let counter =
     match Hashtbl.find_opt s.queued_frags index with
     | Some n -> n
@@ -128,9 +236,30 @@ let send_gone s indices =
 let handle_nack s r =
   s.stats.nacks_received <- s.stats.nacks_received + 1;
   Obs.Counter.incr (Obs.Registry.counter "alf.sender.nacks_received");
+  (* Evidence the receiver is alive: CLOSE announcements can return to
+     their base cadence. *)
+  if s.close_shift > 0 then begin
+    s.close_shift <- 0;
+    s.stats.nack_backoff_resets <- s.stats.nack_backoff_resets + 1;
+    Obs.Counter.incr (Obs.Registry.counter "alf.sender.nack_backoff_resets")
+  end;
   let have_below = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
   Recovery.release_below s.store have_below;
   let count = Cursor.u16be r in
+  (* The NACK volume against what is still outstanding is a (noisy) loss
+     estimate; an EWMA of it decides when always-send-parity beats
+     per-loss round trips. *)
+  let outstanding = max 1 (s.max_index + 1 - have_below) in
+  let sample = min 1.0 (float_of_int count /. float_of_int outstanding) in
+  s.loss_ewma <- (0.8 *. s.loss_ewma) +. (0.2 *. sample);
+  if fec_enabled s.config && (not s.fec_on)
+     && s.loss_ewma >= s.config.fec_loss_threshold
+  then begin
+    s.fec_on <- true;
+    strace s "loss estimate %.2f >= %.2f: enabling FEC (k=%d)" s.loss_ewma
+      s.config.fec_loss_threshold s.config.fec_k;
+    Obs.Counter.incr (Obs.Registry.counter "alf.sender.fec_activated")
+  end;
   let gone = ref [] in
   for _ = 1 to count do
     let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
@@ -148,48 +277,77 @@ let handle_nack s r =
             (Obs.Registry.counter "alf.sender.bytes_retransmitted")
             (Bytebuf.length encoded);
           enqueue_frags s ~index
-            (Framing.fragment_encoded ~mtu:s.config.mtu ~stream:s.stream
-               ~index encoded)
+            (Framing.fragment_encoded ~mtu:(frag_budget s.config)
+               ~stream:s.stream ~index encoded)
       | Recovery.Gone -> gone := index :: !gone
   done;
   send_gone s (List.rev !gone)
 
 let rec close_loop s =
-  if not s.done_received then begin
+  if (not s.done_received) && (not s.s_killed) && not s.s_gave_up then begin
     (* Announce the total only once the paced data queue has drained:
        announcing earlier would make everything still queued look lost to
        the receiver. *)
     if Queue.is_empty s.outq then begin
-      let buf = Bytebuf.create 7 in
-      let w = Cursor.writer buf in
-      Cursor.put_u8 w tag_close;
-      Cursor.put_u16be w s.stream;
-      Cursor.put_int_as_u32be w (s.max_index + 1);
-      push_datagram s buf
+      if s.close_sent >= s.config.close_attempts then begin
+        (* The receiver has vanished: stop retrying and stop holding
+           retransmission copies for a peer that will never ask. *)
+        s.s_gave_up <- true;
+        strace s "giving up CLOSE after %d attempts; releasing store"
+          s.close_sent;
+        Obs.Counter.incr (Obs.Registry.counter "alf.sender.close_gave_up");
+        Recovery.release_below s.store (s.max_index + 1)
+      end
+      else begin
+        s.close_sent <- s.close_sent + 1;
+        let buf = Bytebuf.create 7 in
+        let w = Cursor.writer buf in
+        Cursor.put_u8 w tag_close;
+        Cursor.put_u16be w s.stream;
+        Cursor.put_int_as_u32be w (s.max_index + 1);
+        push_datagram s buf
+      end
     end;
-    ignore (Engine.schedule_after s.engine s.config.close_retry (fun () -> close_loop s))
+    if not s.s_gave_up then begin
+      (* Back off while unanswered; any NACK resets the cadence. *)
+      let delay = s.config.close_retry *. (2.0 ** float_of_int s.close_shift) in
+      if s.close_shift < 6 then s.close_shift <- s.close_shift + 1;
+      ignore (Engine.schedule_after s.engine delay (fun () -> close_loop s))
+    end
   end
 
 let sender_handle s ~src:_ ~src_port:_ payload =
-  let r = Cursor.reader payload in
-  (* One guard covers the whole parse: truncated control is ignored. *)
-  try
-    match Cursor.u8 r with
-    | tag when tag = tag_nack ->
-        let stream = Cursor.u16be r in
-        if stream = s.stream then handle_nack s r
-    | tag when tag = tag_done ->
-        let stream = Cursor.u16be r in
-        if stream = s.stream then begin
-          s.done_received <- true;
-          (* Everything is confirmed delivered (or gone): the transport no
-             longer needs its retransmission copies. *)
-          Recovery.release_below s.store (s.max_index + 1)
-        end
-    | _ -> ()
-  with Cursor.Underflow _ -> ()
+  if s.s_killed then ()
+  else
+    match unseal s.config.integrity payload with
+    | None ->
+        Obs.Counter.incr
+          (Obs.Registry.counter "alf.sender.ctl_corrupt_dropped")
+    | Some payload -> (
+        let r = Cursor.reader payload in
+        (* One guard covers the whole parse: truncated control is ignored. *)
+        try
+          match Cursor.u8 r with
+          | tag when tag = tag_nack ->
+              let stream = Cursor.u16be r in
+              if stream = s.stream && not s.done_received then handle_nack s r
+          | tag when tag = tag_done ->
+              let stream = Cursor.u16be r in
+              (* Duplicate DONEs (the first one's answer crossed a
+                 re-CLOSE) are idempotent. *)
+              if stream = s.stream && not s.done_received then begin
+                s.done_received <- true;
+                (* Everything is confirmed delivered (or gone): the
+                   transport no longer needs its retransmission copies. *)
+                Recovery.release_below s.store (s.max_index + 1)
+              end
+          | _ -> ()
+        with Cursor.Underflow _ -> ())
 
 let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config =
+  if frag_budget config <= Framing.fragment_header_size then
+    invalid_arg "Alf_transport: mtu too small for integrity/FEC overhead";
+  ignore (Obs.Registry.counter "alf.sender.nack_backoff_resets");
   let s =
     {
       engine;
@@ -210,6 +368,7 @@ let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config =
           bytes_retransmitted = 0;
           adus_gone = 0;
           store_peak = 0;
+          nack_backoff_resets = 0;
         };
       outq = Queue.create ();
       queued_frags = Hashtbl.create 64;
@@ -217,6 +376,13 @@ let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config =
       max_index = -1;
       closing = false;
       done_received = false;
+      close_sent = 0;
+      close_shift = 0;
+      s_gave_up = false;
+      s_killed = false;
+      loss_ewma = 0.0;
+      fec_on = false;
+      next_fec_group = 0;
       gone_announced = Hashtbl.create 16;
       s_tracer = None;
     }
@@ -245,6 +411,7 @@ let sender_mux ~engine ~mux ~peer ~peer_port ~stream ~policy
 
 let send_adu s adu =
   if s.closing then invalid_arg "Alf_transport.send_adu: sender closed";
+  if s.s_killed then invalid_arg "Alf_transport.send_adu: sender killed";
   let index = adu.Adu.name.Adu.index in
   if index > s.max_index then s.max_index <- index;
   let encoded = Adu.encode adu in
@@ -252,7 +419,8 @@ let send_adu s adu =
   let fp = Recovery.footprint s.store in
   if fp > s.stats.store_peak then s.stats.store_peak <- fp;
   let frags =
-    Framing.fragment_encoded ~mtu:s.config.mtu ~stream:s.stream ~index encoded
+    Framing.fragment_encoded ~mtu:(frag_budget s.config) ~stream:s.stream
+      ~index encoded
   in
   s.stats.adus_sent <- s.stats.adus_sent + 1;
   s.stats.frags_sent <- s.stats.frags_sent + List.length frags;
@@ -266,9 +434,20 @@ let send_adu s adu =
   enqueue_frags s ~index frags
 
 let close s =
-  if not s.closing then begin
+  if (not s.closing) && not s.s_killed then begin
     s.closing <- true;
     close_loop s
+  end
+
+let kill_sender s =
+  if not s.s_killed then begin
+    s.s_killed <- true;
+    (* The process is gone: nothing queued will reach the wire, and the
+       retransmission store dies with it. *)
+    Queue.clear s.outq;
+    Hashtbl.reset s.queued_frags;
+    Recovery.release_below s.store (s.max_index + 1);
+    Obs.Counter.incr (Obs.Registry.counter "alf.sender.killed")
   end
 
 (* --- Receiver --- *)
@@ -280,6 +459,15 @@ type receiver_stats = {
   mutable adus_lost : int;
   mutable nacks_sent : int;
   mutable duplicates : int;
+  mutable frags_corrupt_dropped : int;
+  mutable adus_gone_local : int;
+}
+
+(* Repair state for one missing index. *)
+type req = {
+  mutable first_missing : float;
+  mutable last_nack : float;
+  mutable tries : int;
 }
 
 type receiver = {
@@ -288,19 +476,28 @@ type receiver = {
   r_port : int;
   r_stream : int;
   nack_interval : float;
-  nack_holdoff : float;  (* do not re-request an index more often than this *)
-  nacked_at : (int, float) Hashtbl.t;
-  missing_since : (int, float) Hashtbl.t;  (* gap aging: when first seen missing *)
+  nack_holdoff : float;  (* base per-index re-request spacing *)
+  nack_budget : int;  (* max NACKs for one index before giving up on it *)
+  adu_deadline : float;  (* max seconds an index may stay missing *)
+  giveup_idle : float;  (* silence after which the sender is presumed dead *)
+  r_integrity : Checksum.Kind.t option;
+  nack_rto : Transport.Rto.t;  (* paces the repair loop *)
+  jitter : Rng.t;  (* desynchronises repair rounds, deterministically *)
+  reqs : (int, req) Hashtbl.t;
   app_deliver : Adu.t -> unit;
   r_stats : receiver_stats;
   series : Stats.series;
   reasm : Framing.reassembler;
   delivered : (int, unit) Hashtbl.t;
   gone : (int, unit) Hashtbl.t;
+  mutable fec_rx : Fec.decoder option;  (* created on first FEC block *)
   mutable frontier : int;  (* all below are delivered or gone *)
   mutable highest_seen : int;
   mutable total : int option;
   mutable sender_addr : (Packet.addr * int) option;
+  mutable last_rx : float;  (* last integrity-verified datagram *)
+  mutable last_loop_settled : int;  (* progress marker between rounds *)
+  mutable r_abandoned : bool;
   mutable complete_flag : bool;
   mutable complete_cb : unit -> unit;
   mutable r_tracer : (string -> unit) option;
@@ -313,7 +510,9 @@ let rtrace t fmt =
 
 let set_receiver_tracer t f = t.r_tracer <- Some f
 let receiver_stats t = t.r_stats
+let reassembly_stats t = Framing.stats t.reasm
 let complete t = t.complete_flag
+let abandoned t = t.r_abandoned
 let on_complete t f = t.complete_cb <- f
 let delivery_series t = t.series
 
@@ -339,7 +538,8 @@ let send_ctl t build =
   | None -> ()
   | Some (addr, port) ->
       ignore
-        (t.r_io.Dgram.send ~dst:addr ~dst_port:port ~src_port:t.r_port (build ()))
+        (t.r_io.Dgram.send ~dst:addr ~dst_port:port ~src_port:t.r_port
+           (seal t.r_integrity (build ())))
 
 let send_done t =
   send_ctl t (fun () ->
@@ -353,6 +553,9 @@ let check_complete t =
   match t.total with
   | Some total when (not t.complete_flag) && t.frontier >= total ->
       t.complete_flag <- true;
+      (* Nothing more will be asked for: drop all repair bookkeeping (a
+         long-lived receiver must not keep per-index state forever). *)
+      Hashtbl.reset t.reqs;
       send_done t;
       t.complete_cb ()
   | Some _ | None -> ()
@@ -372,44 +575,97 @@ let send_nack t indices =
       List.iter (fun i -> Cursor.put_int_as_u32be w i) indices;
       Cursor.written w)
 
+(* Local loss declaration: the repair budget or deadline for [index] is
+   exhausted, so stop asking and report the loss in application terms —
+   exactly what a sender-side GONE does, but decided here. *)
+let locally_gone t index reason =
+  Hashtbl.replace t.gone index ();
+  Hashtbl.remove t.reqs index;
+  Framing.forget t.reasm ~index;
+  t.r_stats.adus_gone_local <- t.r_stats.adus_gone_local + 1;
+  Obs.Counter.incr (Obs.Registry.counter "alf.receiver.adus_gone_deadline");
+  rtrace t "ADU %d locally gone (%s)" index reason;
+  advance_frontier t
+
 let rec nack_loop t =
-  if not t.complete_flag then begin
-    (* Suppress indices requested recently: a repair needs at least a
-       round trip to arrive, and re-requesting sooner only multiplies
-       retransmissions. *)
+  if t.complete_flag || t.r_abandoned then ()
+  else begin
     let now = Engine.now t.r_engine in
-    (* Age the gaps: an index must stay missing for a full interval before
-       it is reported (it may simply still be in flight), and must not
-       have been reported within the holdoff (its repair may still be in
-       flight). *)
     let current = missing t in
     List.iter
       (fun i ->
-        if not (Hashtbl.mem t.missing_since i) then
-          Hashtbl.replace t.missing_since i now)
+        if not (Hashtbl.mem t.reqs i) then
+          Hashtbl.replace t.reqs i
+            { first_missing = now; last_nack = neg_infinity; tries = 0 })
       current;
-    let due index =
-      (match Hashtbl.find_opt t.missing_since index with
-      | Some since -> now -. since >= t.nack_interval
-      | None -> false)
-      &&
-      match Hashtbl.find_opt t.nacked_at index with
-      | Some at when now -. at < t.nack_holdoff -> false
-      | Some _ | None -> true
-    in
-    (match List.filter due current with
-    | [] ->
-        (* Nothing missing (or everything recently requested); if the
-           sender still waits for DONE it will re-CLOSE and we answer. *)
-        ()
-    | gaps ->
-        if t.sender_addr <> None then begin
+    (* Budget/deadline: an index we have asked for [nack_budget] times, or
+       that has been missing for [adu_deadline], is not coming. *)
+    List.iter
+      (fun i ->
+        match Hashtbl.find_opt t.reqs i with
+        | Some r when now -. r.first_missing >= t.adu_deadline ->
+            locally_gone t i "deadline"
+        | Some r when r.tries >= t.nack_budget ->
+            locally_gone t i "retry budget"
+        | Some _ | None -> ())
+      current;
+    check_complete t;
+    if t.complete_flag then ()
+    else if now -. t.last_rx >= t.giveup_idle then begin
+      (* Dead air: the sender has vanished (or never appeared). Settle
+         what is outstanding as locally gone and stop the loop so the
+         engine can quiesce; a verified datagram revives us. *)
+      List.iter (fun i -> locally_gone t i "sender silent") (missing t);
+      check_complete t;
+      if not t.complete_flag then begin
+        t.r_abandoned <- true;
+        Hashtbl.reset t.reqs;
+        rtrace t "sender silent for %.3fs: abandoning repair" t.giveup_idle;
+        Obs.Counter.incr (Obs.Registry.counter "alf.receiver.abandoned")
+      end
+    end
+    else begin
+      (* An index must stay missing a full interval before it is reported
+         (it may simply still be in flight) and is re-requested with
+         per-index exponential spacing — a repair needs at least a round
+         trip, and re-requesting sooner only multiplies retransmissions. *)
+      let due i =
+        match Hashtbl.find_opt t.reqs i with
+        | None -> false
+        | Some r ->
+            now -. r.first_missing >= t.nack_interval
+            && now -. r.last_nack
+               >= t.nack_holdoff *. (2.0 ** float_of_int (min r.tries 6))
+      in
+      (match List.filter due (missing t) with
+      | [] -> ()
+      | gaps when t.sender_addr <> None ->
           rtrace t "NACK for %d missing ADUs (frontier %d)" (List.length gaps)
             t.frontier;
-          List.iter (fun i -> Hashtbl.replace t.nacked_at i now) gaps;
-          send_nack t gaps
-        end);
-    ignore (Engine.schedule_after t.r_engine t.nack_interval (fun () -> nack_loop t))
+          List.iter
+            (fun i ->
+              match Hashtbl.find_opt t.reqs i with
+              | Some r ->
+                  r.last_nack <- now;
+                  r.tries <- r.tries + 1
+              | None -> ())
+            gaps;
+          send_nack t gaps;
+          (* Rounds that keep asking without anything settling widen the
+             loop (Rto backoff); a clean repair sample resets it. *)
+          let settled_now =
+            Hashtbl.length t.delivered + Hashtbl.length t.gone
+          in
+          if settled_now = t.last_loop_settled then
+            Transport.Rto.backoff t.nack_rto;
+          t.last_loop_settled <- settled_now
+      | _ -> ());
+      let delay =
+        Transport.Rto.rto t.nack_rto
+        +. Rng.uniform t.jitter ~lo:0.0 ~hi:(0.5 *. t.nack_interval)
+      in
+      ignore (Engine.schedule_after t.r_engine delay (fun () -> nack_loop t))
+    end
   end
 
 let deliver_complete t adu =
@@ -417,8 +673,15 @@ let deliver_complete t adu =
   if settled t index then t.r_stats.duplicates <- t.r_stats.duplicates + 1
   else begin
     Hashtbl.replace t.delivered index ();
-    Hashtbl.remove t.missing_since index;
-    Hashtbl.remove t.nacked_at index;
+    (match Hashtbl.find_opt t.reqs index with
+    | Some r ->
+        (* A repair answered on the first ask is an unambiguous RTT
+           sample (Karn: multiply-requested ones are not). *)
+        if r.tries = 1 then
+          Transport.Rto.sample t.nack_rto
+            (Engine.now t.r_engine -. r.last_nack);
+        Hashtbl.remove t.reqs index
+    | None -> ());
     if index > t.frontier then begin
       t.r_stats.out_of_order <- t.r_stats.out_of_order + 1;
       rtrace t "ADU %d complete out of order (frontier %d)" index t.frontier
@@ -437,59 +700,111 @@ let deliver_complete t adu =
     check_complete t
   end
 
-let receiver_handle t ~src ~src_port payload =
-  if t.sender_addr = None then t.sender_addr <- Some (src, src_port);
-  let b0 = if Bytebuf.length payload > 0 then Bytebuf.get_uint8 payload 0 else -1 in
-  if b0 = 0xAD then begin
-    match Framing.parse_fragment payload with
-    | exception Framing.Frag_error _ -> ()
-    | frag ->
-        if frag.Framing.stream = t.r_stream then begin
-          if frag.Framing.index > t.highest_seen then
-            t.highest_seen <- frag.Framing.index;
-          if settled t frag.Framing.index then
-            t.r_stats.duplicates <- t.r_stats.duplicates + 1
-          else Framing.push t.reasm frag
+let handle_fragment t payload =
+  match Framing.parse_fragment payload with
+  | exception Framing.Frag_error _ -> ()
+  | frag ->
+      if frag.Framing.stream = t.r_stream then begin
+        if frag.Framing.index > t.highest_seen then
+          t.highest_seen <- frag.Framing.index;
+        if settled t frag.Framing.index then
+          t.r_stats.duplicates <- t.r_stats.duplicates + 1
+        else Framing.push t.reasm frag
+      end
+
+let fec_decoder t =
+  match t.fec_rx with
+  | Some d -> d
+  | None ->
+      let d =
+        Fec.decoder
+          ~deliver:(fun block ->
+            (* Source and recovered blocks alike are ordinary fragments. *)
+            if Bytebuf.length block > 0 && Bytebuf.get_uint8 block 0 = 0xAD
+            then handle_fragment t block)
+          ()
+      in
+      t.fec_rx <- Some d;
+      d
+
+let handle_control t payload =
+  let r = Cursor.reader payload in
+  try
+    match Cursor.u8 r with
+    | tag when tag = tag_close ->
+        let stream = Cursor.u16be r in
+        if stream = t.r_stream then begin
+          let total = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+          (* Duplicate CLOSEs are idempotent: the first total wins (they
+             are all equal from a sane sender anyway). *)
+          if t.total = None then t.total <- Some total;
+          let total = match t.total with Some n -> n | None -> total in
+          if total - 1 > t.highest_seen then t.highest_seen <- total - 1;
+          check_complete t;
+          (* A re-CLOSE after completion means our DONE was lost. *)
+          if t.complete_flag then send_done t
         end
-  end
-  else begin
-    let r = Cursor.reader payload in
-    try
-      match Cursor.u8 r with
-        | tag when tag = tag_close ->
-          let stream = Cursor.u16be r in
-          if stream = t.r_stream then begin
-            let total = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-            t.total <- Some total;
-            if total - 1 > t.highest_seen then t.highest_seen <- total - 1;
-            check_complete t;
-            if t.complete_flag then send_done t
-          end
-      | tag when tag = tag_gone ->
-          let stream = Cursor.u16be r in
-          if stream = t.r_stream then begin
-            let count = Cursor.u16be r in
-            for _ = 1 to count do
-              let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-              if not (settled t index) then begin
-                Hashtbl.replace t.gone index ();
-                Hashtbl.remove t.missing_since index;
-                Hashtbl.remove t.nacked_at index;
-                Framing.forget t.reasm ~index;
-                t.r_stats.adus_lost <- t.r_stats.adus_lost + 1;
-                Obs.Counter.incr (Obs.Registry.counter "alf.receiver.adus_lost");
-                advance_frontier t
-              end
-            done;
-            check_complete t
-          end
-      | _ -> ()
-    with Cursor.Underflow _ -> ()
-  end
+    | tag when tag = tag_gone ->
+        let stream = Cursor.u16be r in
+        if stream = t.r_stream then begin
+          let count = Cursor.u16be r in
+          for _ = 1 to count do
+            let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+            if not (settled t index) then begin
+              Hashtbl.replace t.gone index ();
+              Hashtbl.remove t.reqs index;
+              Framing.forget t.reasm ~index;
+              t.r_stats.adus_lost <- t.r_stats.adus_lost + 1;
+              Obs.Counter.incr (Obs.Registry.counter "alf.receiver.adus_lost");
+              advance_frontier t
+            end
+          done;
+          check_complete t
+        end
+    | _ -> ()
+  with Cursor.Underflow _ -> ()
+
+let receiver_handle t ~src ~src_port payload =
+  match unseal t.r_integrity payload with
+  | None ->
+      (* Stage-1 integrity: a flipped bit anywhere in the datagram stops
+         here, before it can poison reassembly or forge control. *)
+      t.r_stats.frags_corrupt_dropped <- t.r_stats.frags_corrupt_dropped + 1;
+      Obs.Counter.incr
+        (Obs.Registry.counter "alf.receiver.frags_corrupt_dropped")
+  | Some payload ->
+      (* Only integrity-verified traffic counts as liveness or identifies
+         the sender — garbage must not latch a spoofed repair address. *)
+      t.last_rx <- Engine.now t.r_engine;
+      if t.sender_addr = None then t.sender_addr <- Some (src, src_port);
+      if t.r_abandoned && not t.complete_flag then begin
+        t.r_abandoned <- false;
+        nack_loop t
+      end;
+      let b0 =
+        if Bytebuf.length payload > 0 then Bytebuf.get_uint8 payload 0 else -1
+      in
+      if b0 = 0xAD then handle_fragment t payload
+      else if b0 = tag_fec then Fec.push (fec_decoder t) (Bytebuf.shift payload 1)
+      else handle_control t payload
 
 let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
-    ~deliver =
+    ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~deliver =
+  if nack_budget < 1 then
+    invalid_arg "Alf_transport: nack_budget must be >= 1";
+  (* Eager registration so `alfnet metrics` shows the hardening counters
+     at zero instead of omitting them on clean runs. *)
+  ignore (Obs.Registry.counter "alf.receiver.frags_corrupt_dropped");
+  ignore (Obs.Registry.counter "alf.receiver.adus_gone_deadline");
   let deliver_ref = ref (fun (_ : Adu.t) -> ()) in
+  let seed =
+    match seed with
+    | Some s -> s
+    | None ->
+        (* Deterministic per endpoint, so runs stay reproducible without
+           the caller threading a seed. *)
+        Int64.of_int ((port * 65539) + (stream * 7919) + 0x5EED)
+  in
   let t =
     {
       r_engine = engine;
@@ -498,8 +813,15 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
       r_stream = stream;
       nack_interval;
       nack_holdoff;
-      nacked_at = Hashtbl.create 64;
-      missing_since = Hashtbl.create 64;
+      nack_budget;
+      adu_deadline;
+      giveup_idle;
+      r_integrity = integrity;
+      nack_rto =
+        Transport.Rto.create ~initial_rto:nack_interval
+          ~min_rto:nack_interval ~max_rto:1.0 ();
+      jitter = Rng.create ~seed;
+      reqs = Hashtbl.create 64;
       app_deliver = deliver;
       r_stats =
         {
@@ -509,15 +831,21 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
           adus_lost = 0;
           nacks_sent = 0;
           duplicates = 0;
+          frags_corrupt_dropped = 0;
+          adus_gone_local = 0;
         };
       series = Stats.series ();
       reasm = Framing.reassembler ~deliver:(fun adu -> !deliver_ref adu);
       delivered = Hashtbl.create 256;
       gone = Hashtbl.create 16;
+      fec_rx = None;
       frontier = 0;
       highest_seen = -1;
       total = None;
       sender_addr = None;
+      last_rx = Engine.now engine;
+      last_loop_settled = 0;
+      r_abandoned = false;
       complete_flag = false;
       complete_cb = (fun () -> ());
       r_tracer = None;
@@ -528,24 +856,30 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
   t
 
 let receiver_io ~engine ~io ~port ~stream ?(nack_interval = 0.02)
-    ?(nack_holdoff = 0.06) ~deliver () =
+    ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
+    ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
+    ~deliver () =
   let t =
     make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
-      ~deliver
+      ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~deliver
   in
   io.Dgram.bind ~port (receiver_handle t);
   t
 
-let receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff ~deliver
-    () =
+let receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ~deliver () =
   receiver_io ~engine ~io:(Dgram.of_udp udp) ~port ~stream ?nack_interval
-    ?nack_holdoff ~deliver ()
+    ?nack_holdoff ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed
+    ~deliver ()
 
 let receiver_mux ~engine ~mux ~stream ?(nack_interval = 0.02)
-    ?(nack_holdoff = 0.06) ~deliver () =
+    ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
+    ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
+    ~deliver () =
   let t =
     make_receiver ~engine ~io:(Mux.io mux) ~port:(Mux.port mux) ~stream
-      ~nack_interval ~nack_holdoff ~deliver
+      ~nack_interval ~nack_holdoff ~nack_budget ~adu_deadline ~giveup_idle
+      ~integrity ~seed ~deliver
   in
   Mux.attach mux ~stream (receiver_handle t);
   t

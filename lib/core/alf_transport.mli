@@ -27,7 +27,24 @@ open Netsim
 type sender_config = {
   mtu : int;  (** Max UDP payload per fragment (default 1472). *)
   pace_bps : float option;  (** Fragment pacing; [None] = send at once. *)
-  close_retry : float;  (** CLOSE retransmission interval, seconds. *)
+  close_retry : float;  (** Base CLOSE retransmission interval, seconds.
+      Backs off exponentially (cap 2⁶) while unanswered; any NACK resets
+      the cadence (counted as [nack_backoff_resets]). *)
+  close_attempts : int;  (** CLOSE transmissions before the sender gives
+      up on the receiver and releases its retransmission store
+      (default 64). *)
+  integrity : Checksum.Kind.t option;  (** Per-datagram checksum trailer
+      (4 bytes, appended to every fragment and control message). Both
+      ends must agree. Default [Some Crc32]; [None] restores the bare
+      wire format. *)
+  fec_k : int;  (** FEC group size when degradation activates (default 4:
+      25% overhead, repairs one loss per group with no round trip). *)
+  fec_loss_threshold : float;  (** Loss estimate (EWMA of NACK volume vs
+      outstanding ADUs) at which the sender switches the fragment stream
+      to {!Fec.protect} — sticky once crossed. A value > 1.0 (the
+      default, 2.0) disables FEC entirely. FEC-wrapped fragments are not
+      {!Mux}-compatible (the group id lands where the mux expects the
+      stream id), so leave it disabled on muxed endpoints. *)
 }
 
 val default_sender_config : sender_config
@@ -41,6 +58,8 @@ type sender_stats = {
   mutable bytes_retransmitted : int;
   mutable adus_gone : int;  (** NACKed but unrecoverable under the policy. *)
   mutable store_peak : int;  (** High-water retransmission footprint, bytes. *)
+  mutable nack_backoff_resets : int;  (** CLOSE backoff resets caused by a
+      NACK proving the receiver alive. *)
 }
 
 type sender
@@ -96,6 +115,19 @@ val close : sender -> unit
 val finished : sender -> bool
 (** DONE received. *)
 
+val sender_gave_up : sender -> bool
+(** [close_attempts] CLOSEs went unanswered: the sender stopped retrying
+    and released its store. *)
+
+val fec_active : sender -> bool
+(** The loss estimate crossed [fec_loss_threshold] and the fragment
+    stream is now FEC-protected. *)
+
+val kill_sender : sender -> unit
+(** Chaos hook: the sending process dies now. Queued fragments never
+    reach the wire, the retransmission store is released, and all
+    handlers and timers become no-ops. Idempotent. *)
+
 val set_sender_tracer : sender -> (string -> unit) -> unit
 (** Line-oriented event tracer (retransmissions, gone declarations). *)
 
@@ -111,6 +143,10 @@ type receiver_stats = {
   mutable adus_lost : int;  (** Declared gone by the sender. *)
   mutable nacks_sent : int;
   mutable duplicates : int;
+  mutable frags_corrupt_dropped : int;  (** Datagrams failing the
+      integrity trailer, dropped at stage 1. *)
+  mutable adus_gone_local : int;  (** Declared gone by the receiver: NACK
+      budget or deadline exhausted, or the sender went silent. *)
 }
 
 type receiver
@@ -122,13 +158,39 @@ val receiver :
   stream:int ->
   ?nack_interval:float ->
   ?nack_holdoff:float ->
+  ?nack_budget:int ->
+  ?adu_deadline:float ->
+  ?giveup_idle:float ->
+  ?integrity:Checksum.Kind.t option ->
+  ?seed:int64 ->
   deliver:(Adu.t -> unit) ->
   unit ->
   receiver
 (** [deliver] fires once per ADU, at the virtual instant its last fragment
-    arrives, regardless of index order. [nack_interval] (default 20 ms)
-    paces loss reports; an individual index is re-requested at most every
-    [nack_holdoff] seconds (default 60 ms — cover a repair round trip). *)
+    arrives, regardless of index order.
+
+    The repair loop is paced by an {!Transport.Rto} estimator seeded at
+    [nack_interval] (default 20 ms, also its floor; ceiling 1 s): rounds
+    that keep asking with no progress back off exponentially, a repair
+    that answers a single NACK feeds the measured round trip back, and a
+    small deterministic jitter (seeded from [seed], default derived from
+    port and stream) desynchronises rounds. An individual index is
+    re-requested no sooner than [nack_holdoff] seconds (default 60 ms —
+    cover a repair round trip), doubling per retry.
+
+    Hostile-network bounds: after [nack_budget] requests (default 50) or
+    [adu_deadline] seconds missing (default 10), an index is declared
+    {e locally gone} — reported in [adus_gone_local] exactly like a
+    sender-side GONE, so the application sees the loss in its own terms
+    instead of a hung transfer. After [giveup_idle] seconds (default 3)
+    with no integrity-verified datagram, the sender is presumed dead: all
+    outstanding indices go locally gone and the repair loop stops (so a
+    simulation can quiesce); any later verified datagram revives it.
+
+    [integrity] must match the sender's (default [Some Crc32]);
+    datagrams failing the check are dropped before they can poison
+    reassembly, forge control traffic, or latch a spoofed sender
+    address, and are counted in [frags_corrupt_dropped]. *)
 
 val receiver_io :
   engine:Engine.t ->
@@ -137,6 +199,11 @@ val receiver_io :
   stream:int ->
   ?nack_interval:float ->
   ?nack_holdoff:float ->
+  ?nack_budget:int ->
+  ?adu_deadline:float ->
+  ?giveup_idle:float ->
+  ?integrity:Checksum.Kind.t option ->
+  ?seed:int64 ->
   deliver:(Adu.t -> unit) ->
   unit ->
   receiver
@@ -148,6 +215,11 @@ val receiver_mux :
   stream:int ->
   ?nack_interval:float ->
   ?nack_holdoff:float ->
+  ?nack_budget:int ->
+  ?adu_deadline:float ->
+  ?giveup_idle:float ->
+  ?integrity:Checksum.Kind.t option ->
+  ?seed:int64 ->
   deliver:(Adu.t -> unit) ->
   unit ->
   receiver
@@ -180,9 +252,22 @@ val set_receiver_tracer : receiver -> (string -> unit) -> unit
 
 val receiver_stats : receiver -> receiver_stats
 
+val reassembly_stats : receiver -> Framing.reasm_stats
+(** Stage-1 reassembly counters — [corrupt_adus] staying zero under a
+    corrupting link is the soak evidence that integrity drops happen
+    before reassembly. *)
+
 val complete : receiver -> bool
 (** CLOSE seen and every index below the total delivered or declared
     gone. *)
+
+val abandoned : receiver -> bool
+(** The repair loop gave up after [giveup_idle] of sender silence without
+    reaching completion. Cleared if verified traffic resumes. *)
+
+val settled : receiver -> int -> bool
+(** Index delivered or gone (either end's declaration) — the
+    accounting soak invariants check. *)
 
 val on_complete : receiver -> (unit -> unit) -> unit
 

@@ -64,8 +64,9 @@ let wrap ~group ~pos ~k ~is_parity body =
     ~len:(Bytebuf.length body);
   out
 
-let protect ~k blocks =
+let protect ?(first_group = 0) ~k blocks =
   if k < 1 || k > 255 then invalid_arg "Fec.protect: k must be 1..255";
+  if first_group < 0 then invalid_arg "Fec.protect: negative first_group";
   let rec take n xs taken =
     if n = 0 then (List.rev taken, xs)
     else
@@ -90,7 +91,9 @@ let protect ~k blocks =
         let acc = wrap ~group:gno ~pos:size ~k:size ~is_parity:true p :: acc in
         build ((gno + 1) land 0xffff) rest acc
   in
-  build 0 blocks []
+  build (first_group land 0xffff) blocks []
+
+let group_count ~k n = if n <= 0 then 0 else (n + k - 1) / k
 
 type decoded = {
   mutable recovered : int;
@@ -108,20 +111,49 @@ type group_state = {
 type decoder = {
   deliver : Bytebuf.t -> unit;
   stats : decoded;
+  history : int;
   groups : (int, group_state) Hashtbl.t;
+  group_order : int Queue.t;  (* creation order, for bounded eviction *)
   completed : (int, unit) Hashtbl.t;  (* guards against duplicate blocks
       resurrecting a finished group (k=1 parity would re-deliver) *)
+  completed_order : int Queue.t;
 }
 
-let decoder ~deliver =
+let decoder ?(history = 4096) ~deliver () =
+  if history < 1 then invalid_arg "Fec.decoder: history must be positive";
   {
     deliver;
     stats = { recovered = 0; unrecoverable = 0; parity_overhead = 0 };
+    history;
     groups = Hashtbl.create 32;
+    group_order = Queue.create ();
     completed = Hashtbl.create 32;
+    completed_order = Queue.create ();
   }
 
 let stats t = t.stats
+
+(* Both tables are bounded to [history] entries so a long soak over a
+   lossy link cannot grow decoder state without limit: group numbers wrap
+   at 0x10000, so the guard table must forget eventually anyway, and an
+   incomplete group older than [history] newer ones will never complete. *)
+let mark_completed t gno =
+  Hashtbl.replace t.completed gno ();
+  Queue.push gno t.completed_order;
+  while Queue.length t.completed_order > t.history do
+    Hashtbl.remove t.completed (Queue.pop t.completed_order)
+  done
+
+let evict_stale_groups t =
+  while Hashtbl.length t.groups > t.history && not (Queue.is_empty t.group_order) do
+    let gno = Queue.pop t.group_order in
+    match Hashtbl.find_opt t.groups gno with
+    | None -> ()  (* already completed and removed *)
+    | Some g ->
+        if g.delivered < g.k then
+          t.stats.unrecoverable <- t.stats.unrecoverable + 1;
+        Hashtbl.remove t.groups gno
+  done
 
 let unprefix body =
   if Bytebuf.length body < 2 then None
@@ -146,7 +178,7 @@ let try_recover t gno g =
           t.deliver (Bytebuf.copy block)
       | None -> t.stats.unrecoverable <- t.stats.unrecoverable + 1);
       Hashtbl.remove t.groups gno;
-      Hashtbl.replace t.completed gno ()
+      mark_completed t gno
   | Some _ | None -> ()
 
 let push t block =
@@ -166,6 +198,8 @@ let push t block =
               { k; sources = Hashtbl.create 8; parity_block = None; delivered = 0 }
             in
             Hashtbl.replace t.groups gno g;
+            Queue.push gno t.group_order;
+            evict_stale_groups t;
             Some g
       in
       match g with
@@ -184,7 +218,7 @@ let push t block =
             Hashtbl.replace g.sources pos (with_length_prefix body);
             if Hashtbl.length g.sources = g.k then begin
               Hashtbl.remove t.groups gno;
-              Hashtbl.replace t.completed gno ()
+              mark_completed t gno
             end
             else try_recover t gno g
           end
@@ -198,4 +232,6 @@ let flush t =
         t.stats.unrecoverable <- t.stats.unrecoverable + 1)
     t.groups;
   Hashtbl.reset t.groups;
-  Hashtbl.reset t.completed
+  Queue.clear t.group_order;
+  Hashtbl.reset t.completed;
+  Queue.clear t.completed_order

@@ -34,11 +34,18 @@ val recover : have:(int * Bytebuf.t) list -> parity:Bytebuf.t -> k:int -> missin
 
 val header_size : int
 
-val protect : k:int -> Bytebuf.t list -> Bytebuf.t list
+val protect : ?first_group:int -> k:int -> Bytebuf.t list -> Bytebuf.t list
 (** Wrap a stream of blocks: every [k] consecutive blocks become [k]
     headered blocks plus one parity block (the final group may be
     shorter). [k] must be in 1..255. Output order preserves input order
-    with parities interleaved after each group. *)
+    with parities interleaved after each group. Group numbers start at
+    [first_group] (default 0, reduced mod 0x10000) — callers protecting
+    many batches through one decoder must keep them monotone so group
+    ids from different batches cannot collide. *)
+
+val group_count : k:int -> int -> int
+(** [group_count ~k n] is how many groups {!protect} forms over [n]
+    blocks — what a sender adds to its running group counter. *)
 
 type decoded = {
   mutable recovered : int;  (** Blocks reconstructed from parity. *)
@@ -48,11 +55,15 @@ type decoded = {
 
 type decoder
 
-val decoder : deliver:(Bytebuf.t -> unit) -> decoder
+val decoder : ?history:int -> deliver:(Bytebuf.t -> unit) -> unit -> decoder
 (** [deliver] receives every source block exactly once, in arrival order
     for directly-received blocks and at recovery time for reconstructed
     ones (recovered blocks may therefore arrive out of order — which is
-    fine, they are ADU fragments). *)
+    fine, they are ADU fragments). Decoder state is bounded: at most
+    [history] (default 4096) incomplete groups and [history] finished
+    group ids are remembered — necessary anyway since group numbers wrap
+    at 0x10000, and it keeps long lossy soaks from leaking. Evicted
+    incomplete groups count as unrecoverable. *)
 
 val push : decoder -> Bytebuf.t -> unit
 (** Feed one received (headered) block; lost blocks are simply never

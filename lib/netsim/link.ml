@@ -1,7 +1,8 @@
 type t = {
   engine : Engine.t;
   rng : Rng.t;
-  impair : Impair.t;
+  mutable impair : Impair.t;
+  mutable up : bool;
   queue_limit : int;
   bandwidth_bps : float;
   delay : float;
@@ -24,6 +25,7 @@ let create ~engine ~rng ?(impair = Impair.none) ?(queue_limit = 64) ?name
     engine;
     rng;
     impair;
+    up = true;
     queue_limit;
     bandwidth_bps;
     delay;
@@ -35,6 +37,11 @@ let create ~engine ~rng ?(impair = Impair.none) ?(queue_limit = 64) ?name
   }
 
 let set_receiver t f = t.receiver <- Some f
+let set_impair t impair = t.impair <- impair
+let impair t = t.impair
+let set_down t = t.up <- false
+let set_up t = t.up <- true
+let is_up t = t.up
 let stats t = t.stats
 let busy_until t = t.busy_until
 let queue_depth t = t.queued
@@ -75,7 +82,11 @@ let transmit t pkt =
       done
 
 let send t pkt =
-  if t.queued >= t.queue_limit then begin
+  if not t.up then begin
+    t.stats.dropped_down <- t.stats.dropped_down + 1;
+    false
+  end
+  else if t.queued >= t.queue_limit then begin
     t.stats.dropped_queue <- t.stats.dropped_queue + 1;
     false
   end

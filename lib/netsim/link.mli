@@ -30,7 +30,26 @@ val set_receiver : t -> (Packet.t -> unit) -> unit
 
 val send : t -> Packet.t -> bool
 (** [false] if the queue was full (the packet is counted as a congestion
-    drop). Never raises. *)
+    drop) or the link is administratively down (counted as
+    [dropped_down]). Never raises. *)
+
+val set_impair : t -> Impair.t -> unit
+(** Swap the impairment model at runtime. Packets already queued were
+    judged at [send] time only for queue overflow; in-flight packets keep
+    the verdict they drew when serialisation completed. Chaos plans use
+    this for burst-loss windows. *)
+
+val set_down : t -> unit
+(** Administratively disable the link: subsequent {!send}s fail and are
+    counted as [dropped_down]. Packets already in flight still arrive
+    (the wire had them). *)
+
+val set_up : t -> unit
+val is_up : t -> bool
+
+val impair : t -> Impair.t
+(** The impairment model currently in force (so a burst window can
+    restore what it found). *)
 
 val stats : t -> Stats.link
 val busy_until : t -> float

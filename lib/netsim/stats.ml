@@ -5,6 +5,7 @@ type link = {
   mutable delivered_bytes : int;
   mutable dropped_loss : int;
   mutable dropped_queue : int;
+  mutable dropped_down : int;
   mutable duplicated : int;
   mutable corrupted : int;
   mutable reordered : int;
@@ -18,6 +19,7 @@ let link () =
     delivered_bytes = 0;
     dropped_loss = 0;
     dropped_queue = 0;
+    dropped_down = 0;
     duplicated = 0;
     corrupted = 0;
     reordered = 0;
@@ -35,15 +37,16 @@ let register_link ?registry ~name l =
   pull "delivered_bytes" (fun () -> l.delivered_bytes);
   pull "dropped_loss" (fun () -> l.dropped_loss);
   pull "dropped_queue" (fun () -> l.dropped_queue);
+  pull "dropped_down" (fun () -> l.dropped_down);
   pull "duplicated" (fun () -> l.duplicated);
   pull "corrupted" (fun () -> l.corrupted);
   pull "reordered" (fun () -> l.reordered)
 
 let pp_link ppf l =
   Format.fprintf ppf
-    "sent=%d (%d B) delivered=%d (%d B) drop_loss=%d drop_queue=%d dup=%d corrupt=%d reorder=%d"
+    "sent=%d (%d B) delivered=%d (%d B) drop_loss=%d drop_queue=%d drop_down=%d dup=%d corrupt=%d reorder=%d"
     l.sent_pkts l.sent_bytes l.delivered_pkts l.delivered_bytes l.dropped_loss
-    l.dropped_queue l.duplicated l.corrupted l.reordered
+    l.dropped_queue l.dropped_down l.duplicated l.corrupted l.reordered
 
 (* Scalar summaries are Welford-backed: the old sumsq/n - mean² shortcut
    cancelled catastrophically for large-magnitude samples (timestamps,

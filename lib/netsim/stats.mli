@@ -17,6 +17,7 @@ type link = {
   mutable delivered_bytes : int;
   mutable dropped_loss : int;  (** By the impairment model. *)
   mutable dropped_queue : int;  (** Queue overflow (congestion). *)
+  mutable dropped_down : int;  (** Sent into an administratively-down link. *)
   mutable duplicated : int;
   mutable corrupted : int;
   mutable reordered : int;

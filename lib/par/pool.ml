@@ -11,6 +11,11 @@ type t = {
   idle_cond : Condition.t;
   first_error : (exn * Printexc.raw_backtrace) option Atomic.t;
   mutable down : bool;
+  (* Chaos hook: called with a monotone task sequence number before each
+     task body; a raise is captured exactly like a task failure. Set while
+     the pool is quiescent (between [run]s). *)
+  mutable fault_injector : (int -> unit) option;
+  task_seq : int Atomic.t;
   (* Registry accounting, resolved once — worker loops must not pay a
      registry lookup per task. *)
   c_tasks : Obs.Counter.t;
@@ -23,8 +28,16 @@ let size t = t.domains
 let finish_task t =
   ignore (Atomic.fetch_and_add t.pending (-1))
 
+let inject t =
+  match t.fault_injector with
+  | None -> ()
+  | Some f -> f (Atomic.fetch_and_add t.task_seq 1)
+
 let run_task t task =
-  (match task () with
+  (match
+     inject t;
+     task ()
+   with
   | () -> ()
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
@@ -77,6 +90,8 @@ let create ?domains () =
       idle_cond = Condition.create ();
       first_error = Atomic.make None;
       down = false;
+      fault_injector = None;
+      task_seq = Atomic.make 0;
       c_tasks = Obs.Registry.counter "par.pool.tasks";
       c_steals = Obs.Registry.counter "par.pool.steals";
       c_batches = Obs.Registry.counter "par.pool.batches";
@@ -102,8 +117,13 @@ let run t tasks =
     Obs.Counter.incr t.c_batches;
     if t.domains = 1 then
       (* Inline: no queue, no atomics on the data path, exceptions
-         propagate directly. *)
-      Array.iter (fun task -> task ()) tasks
+         propagate directly. The injector still fires so chaos plans
+         behave the same at every pool size. *)
+      Array.iter
+        (fun task ->
+          inject t;
+          task ())
+        tasks
     else begin
       Atomic.set t.first_error None;
       Atomic.set t.pending n;
@@ -134,6 +154,8 @@ let run t tasks =
       | None -> ()
     end
   end
+
+let set_fault_injector t f = t.fault_injector <- f
 
 let shutdown t =
   if not t.down then begin

@@ -36,6 +36,16 @@ val run : t -> (unit -> unit) array -> unit
     raise, one of the exceptions is re-raised on the caller after the
     whole batch has settled — the batch is never abandoned half-run. *)
 
+val set_fault_injector : t -> (int -> unit) option -> unit
+(** Chaos hook. When set, the function runs immediately before every task
+    body with a monotone task sequence number (over the pool's lifetime);
+    if it raises, the exception is captured and re-raised by [run]
+    exactly as a failing task would be (on a size-1 pool it propagates
+    inline, like a failing task on a size-1 pool). Set or clear it only
+    while the pool is quiescent — between [run]s. [None] removes the
+    hook. Used by [lib/chaos] to model a worker-domain crash
+    deterministically. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. The pool must not be
     used afterwards ([run] raises [Invalid_argument]). *)

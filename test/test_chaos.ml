@@ -1,0 +1,302 @@
+(* The hostile-network subsystem: seeded fault plans, the soak
+   invariants, and the hardened control plane's bounds — every ADU ends
+   up delivered or declared gone, delivered ones byte-exact, and the
+   event queue always drains. *)
+
+open Netsim
+open Alf_core
+open Alf_chaos
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let base_case =
+  {
+    Soak.label = "test";
+    seed = 1L;
+    adus = 16;
+    adu_bytes = 1500;
+    impair = Impair.none;
+    impair_back = Impair.none;
+    corrupt_e2e = 0.0;
+    policy = Soak.Transport_buffer;
+    fec = false;
+    events = [];
+    horizon = 120.0;
+  }
+
+(* --- the smoke matrix: tier-1's soak budget --- *)
+
+let test_smoke_matrix () =
+  let outcomes = Soak.run_matrix ~smoke:true ~seed:42L () in
+  check Alcotest.bool "has cases" true (List.length outcomes >= 4);
+  List.iter
+    (fun o ->
+      if not (Soak.ok o) then
+        fail (Format.asprintf "case failed: %a" Soak.pp_outcome o))
+    outcomes
+
+let test_same_seed_same_report () =
+  let render seed =
+    Obs.Json.to_string_pretty (Soak.to_json (Soak.run_matrix ~smoke:true ~seed ()))
+  in
+  check Alcotest.string "identical JSON" (render 99L) (render 99L);
+  if render 99L = render 100L then
+    fail "different seeds produced an identical report"
+
+(* --- the acceptance case: hostile impairment over each policy --- *)
+
+let hostile_case policy =
+  {
+    base_case with
+    Soak.label = "acceptance/" ^ Soak.policy_name policy;
+    seed = 4242L;
+    adus = 30;
+    adu_bytes = 2000;
+    impair = Soak.hostile;
+    impair_back = Soak.hostile;
+    corrupt_e2e = 0.05;
+    policy;
+  }
+
+let test_acceptance_policies () =
+  let total_corrupt = ref 0 in
+  List.iter
+    (fun policy ->
+      let o = Soak.run (hostile_case policy) in
+      if not (Soak.ok o) then
+        fail (Format.asprintf "invariant violated: %a" Soak.pp_outcome o);
+      check Alcotest.bool "something delivered" true (o.Soak.delivered > 0);
+      total_corrupt := !total_corrupt + o.Soak.corrupt_dropped)
+    [ Soak.Transport_buffer; Soak.App_recompute; Soak.No_recovery ];
+  (* 5% above-checksum corruption over three hostile runs must have put
+     the integrity trailer to work. *)
+  check Alcotest.bool "stage-1 integrity drops observed" true (!total_corrupt > 0)
+
+let test_no_recovery_declares_gone () =
+  let o = Soak.run (hostile_case Soak.No_recovery) in
+  check Alcotest.bool "ok" true (Soak.ok o);
+  check Alcotest.bool "losses surfaced as gone" true
+    (o.Soak.gone_sender + o.Soak.gone_local > 0);
+  check Alcotest.bool "not everything arrived" true
+    (o.Soak.delivered < (hostile_case Soak.No_recovery).Soak.adus)
+
+(* App_recompute returning None: the sender must declare those indices
+   gone over a real impaired link, and the receiver must account for
+   them as sender-gone. *)
+let test_recompute_none_goes_gone () =
+  let o =
+    Soak.run
+      {
+        (hostile_case Soak.App_recompute_partial) with
+        Soak.label = "recompute-partial";
+        seed = 77L;
+      }
+  in
+  if not (Soak.ok o) then
+    fail (Format.asprintf "invariant violated: %a" Soak.pp_outcome o);
+  check Alcotest.bool "unrecomputable indices went gone" true
+    (o.Soak.gone_sender > 0);
+  check Alcotest.bool "recomputable indices still flowed" true
+    (o.Soak.delivered > 0)
+
+let test_recovery_recall_none () =
+  let store = Recovery.store (Recovery.App_recompute (fun _ -> None)) in
+  Recovery.remember store ~index:3 (Bufkit.Bytebuf.of_string "x");
+  (match Recovery.recall store ~index:3 with
+  | Recovery.Gone -> ()
+  | Recovery.Data _ -> fail "recall should be Gone when recompute returns None");
+  check Alcotest.int "stores nothing" 0 (Recovery.footprint store)
+
+(* --- fault plans --- *)
+
+let test_kill_sender_quiesces () =
+  (* Kill mid-stream: the receiver must settle what it heard about,
+     declare the silence, and let the engine drain. *)
+  let o =
+    Soak.run
+      {
+        base_case with
+        Soak.label = "kill";
+        seed = 5L;
+        adus = 40;
+        adu_bytes = 3000;
+        impair = Impair.lossy 0.1;
+        impair_back = Impair.lossy 0.1;
+        events = [ Chaos.Kill_sender { at = 0.02 } ];
+      }
+  in
+  if not (Soak.ok o) then
+    fail (Format.asprintf "invariant violated: %a" Soak.pp_outcome o);
+  check Alcotest.bool "receiver gave up on the dead sender" true
+    (o.Soak.gone_local > 0)
+
+let test_outage_and_burst_recover () =
+  List.iter
+    (fun (label, events) ->
+      let o = Soak.run { base_case with Soak.label; seed = 9L; events } in
+      if not (Soak.ok o) then
+        fail (Format.asprintf "%s violated invariants: %a" label Soak.pp_outcome o);
+      check Alcotest.int (label ^ " fully delivered") base_case.Soak.adus
+        o.Soak.delivered)
+    [
+      ( "outage",
+        [ Chaos.Link_down { dir = Chaos.Forward; at = 0.001; duration = 0.2 } ] );
+      ( "burst",
+        [
+          Chaos.Burst_impair
+            {
+              dir = Chaos.Both;
+              at = 0.001;
+              duration = 0.3;
+              impair = Impair.make ~loss:0.6 ~corrupt:0.1 ();
+            };
+        ] );
+    ]
+
+let make_world seed =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:Impair.none
+      ~queue_limit:64 ~bandwidth_bps:10e6 ~delay:0.001 ~a:1 ~b:2 ()
+  in
+  (engine, net)
+
+let test_pool_squeeze_exhausts () =
+  let engine, net = make_world 3L in
+  let pool = Bufkit.Pool.create ~max_outstanding:4 ~buf_size:64 () in
+  Chaos.schedule ~engine ~net ~pool
+    {
+      Chaos.seed = 3L;
+      events = [ Chaos.Pool_squeeze { at = 0.01; duration = 0.5; hold = 4 } ];
+    };
+  (* Mid-squeeze: the chaos plan holds every buffer, so the capped pool
+     refuses — None from try_acquire, Exhausted from acquire. *)
+  ignore
+    (Engine.schedule_at engine 0.1 (fun () ->
+         check Alcotest.bool "try_acquire refused" true
+           (Bufkit.Pool.try_acquire pool = None);
+         (match Bufkit.Pool.acquire pool with
+         | exception Bufkit.Pool.Exhausted -> ()
+         | _ -> fail "acquire should raise Exhausted at the cap")));
+  Engine.run ~until:2.0 engine;
+  (* After release: capacity is back and the refusals were counted. *)
+  let b = Bufkit.Pool.acquire pool in
+  Bufkit.Pool.release pool b;
+  check Alcotest.bool "exhaustion counted" true
+    ((Bufkit.Pool.stats pool).Bufkit.Pool.exhausted >= 2)
+
+let test_worker_fault_one_shot () =
+  let engine, net = make_world 4L in
+  let par = Par.Pool.create ~domains:1 () in
+  Chaos.schedule ~engine ~net ~par
+    { Chaos.seed = 4L; events = [ Chaos.Worker_fault { at = 0.01 } ] };
+  Engine.run ~until:1.0 engine;
+  let ran = ref 0 in
+  let batch = Array.init 4 (fun _ () -> incr ran) in
+  (match Par.Pool.run par batch with
+  | exception Chaos.Fault _ -> ()
+  | () -> fail "armed injector should raise Chaos.Fault");
+  (* One-shot: the injector disarmed itself, the next batch is clean. *)
+  ran := 0;
+  Par.Pool.run par batch;
+  check Alcotest.int "next batch runs fully" 4 !ran;
+  Par.Pool.shutdown par
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_counters_registered () =
+  ignore (Soak.run { base_case with Soak.seed = 11L; adus = 4 });
+  let dump = Obs.Json.to_string_pretty (Obs.Registry.to_json ()) in
+  List.iter
+    (fun name ->
+      if not (contains dump name) then
+        fail (name ^ " not in the metrics registry"))
+    [
+      "alf.receiver.frags_corrupt_dropped";
+      "alf.receiver.adus_gone_deadline";
+      "alf.sender.nack_backoff_resets";
+    ]
+
+(* --- the property: delivered + gone covers everything sent, and
+   delivered payloads are byte-exact (checked inside the invariants) --- *)
+
+let soak_case_gen =
+  QCheck.make
+    ~print:(fun (seed, loss, policy, fec) ->
+      Printf.sprintf "seed=%d loss=%.2f policy=%s fec=%b" seed loss
+        (Soak.policy_name policy) fec)
+    QCheck.Gen.(
+      let* seed = 1 -- 10_000 in
+      let* loss = float_bound_inclusive 0.25 in
+      let* policy =
+        oneofl
+          [
+            Soak.Transport_buffer;
+            Soak.App_recompute;
+            Soak.App_recompute_partial;
+            Soak.No_recovery;
+          ]
+      in
+      let* fec = bool in
+      return (seed, loss, policy, fec))
+
+let prop_delivered_or_gone =
+  QCheck.Test.make ~name:"soak: delivered+gone = sent, byte-exact" ~count:15
+    soak_case_gen (fun (seed, loss, policy, fec) ->
+      let o =
+        Soak.run
+          {
+            base_case with
+            Soak.label = "prop";
+            seed = Int64.of_int seed;
+            adus = 10;
+            adu_bytes = 900;
+            impair = Impair.make ~loss ~corrupt:0.02 ~duplicate:0.02 ();
+            impair_back = Impair.lossy (loss /. 2.0);
+            corrupt_e2e = 0.02;
+            policy;
+            fec;
+            horizon = 60.0;
+          }
+      in
+      Soak.ok o
+      && o.Soak.delivered + o.Soak.gone_sender + o.Soak.gone_local = 10)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "soak",
+        [
+          Alcotest.test_case "smoke matrix all ok" `Quick test_smoke_matrix;
+          Alcotest.test_case "same seed, same report" `Quick
+            test_same_seed_same_report;
+          Alcotest.test_case "acceptance: hostile x policies" `Quick
+            test_acceptance_policies;
+          Alcotest.test_case "no-recovery surfaces gone" `Quick
+            test_no_recovery_declares_gone;
+          Alcotest.test_case "recompute None -> sender gone" `Quick
+            test_recompute_none_goes_gone;
+          Alcotest.test_case "Recovery.recall None is Gone" `Quick
+            test_recovery_recall_none;
+          qcheck prop_delivered_or_gone;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "kill sender quiesces" `Quick
+            test_kill_sender_quiesces;
+          Alcotest.test_case "outage and burst recover" `Quick
+            test_outage_and_burst_recover;
+          Alcotest.test_case "pool squeeze exhausts" `Quick
+            test_pool_squeeze_exhausts;
+          Alcotest.test_case "worker fault is one-shot" `Quick
+            test_worker_fault_one_shot;
+          Alcotest.test_case "obs counters registered" `Quick
+            test_counters_registered;
+        ] );
+    ]

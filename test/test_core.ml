@@ -1163,7 +1163,7 @@ let test_fec_clean_stream () =
   let protected = Fec.protect ~k:4 blocks in
   Alcotest.(check int) "adds one parity per group" 25 (List.length protected);
   let got = ref [] in
-  let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) in
+  let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) () in
   List.iter (Fec.push d) protected;
   Fec.flush d;
   Alcotest.(check (list string)) "all delivered in order"
@@ -1179,7 +1179,7 @@ let test_fec_single_loss_per_group_recovers () =
      1, 6, 11 in the protected stream = sources 1, 2, 3 of each group). *)
   let survivors = List.filteri (fun i _ -> i <> 1 && i <> 7 && i <> 13) protected in
   let got = ref [] in
-  let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) in
+  let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) () in
   List.iter (Fec.push d) survivors;
   Fec.flush d;
   let expected = List.map Bytebuf.to_string blocks in
@@ -1194,7 +1194,7 @@ let test_fec_double_loss_unrecoverable () =
   (* Drop two sources of the single group. *)
   let survivors = List.filteri (fun i _ -> i <> 0 && i <> 1) protected in
   let got = ref 0 in
-  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) () in
   List.iter (Fec.push d) survivors;
   Fec.flush d;
   Alcotest.(check int) "only direct blocks" 2 !got;
@@ -1206,7 +1206,7 @@ let test_fec_lost_parity_harmless () =
   let survivors = List.filteri (fun i _ -> i <> 4) protected in
   (* parity is last *)
   let got = ref 0 in
-  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) () in
   List.iter (Fec.push d) survivors;
   Fec.flush d;
   Alcotest.(check int) "all sources delivered" 4 !got;
@@ -1216,7 +1216,7 @@ let test_fec_duplicates_ignored () =
   let blocks = fec_stream 4 in
   let protected = Fec.protect ~k:4 blocks in
   let got = ref 0 in
-  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) () in
   List.iter (Fec.push d) protected;
   List.iter (Fec.push d) protected;
   Fec.flush d;
@@ -1228,7 +1228,7 @@ let test_fec_k1_duplicate_parity () =
   let blocks = fec_stream 1 in
   let protected = Fec.protect ~k:1 blocks in
   let got = ref 0 in
-  let d = Fec.decoder ~deliver:(fun _ -> incr got) in
+  let d = Fec.decoder ~deliver:(fun _ -> incr got) () in
   List.iter (Fec.push d) protected;
   List.iter (Fec.push d) protected;
   Fec.flush d;
@@ -1251,7 +1251,7 @@ let prop_fec_any_single_loss =
           protected
       in
       let got = ref [] in
-      let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) in
+      let d = Fec.decoder ~deliver:(fun b -> got := Bytebuf.to_string b :: !got) () in
       List.iter (Fec.push d) survivors;
       Fec.flush d;
       List.sort compare (List.map Bytebuf.to_string blocks)

@@ -97,7 +97,7 @@ let aal5_push buf =
   end
 
 let fec_push buf =
-  let d = Alf_core.Fec.decoder ~deliver:(fun _ -> ()) in
+  let d = Alf_core.Fec.decoder ~deliver:(fun _ -> ()) () in
   Alf_core.Fec.push d buf;
   Alf_core.Fec.flush d
 
