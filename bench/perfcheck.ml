@@ -1,0 +1,65 @@
+(* Performance gate over the machine-readable bench output
+   (BENCH_ilp.json): `make perf-smoke` runs a tiny-quota bench pass and
+   then this check. It fails (exit 1) when a fusion invariant the paper's
+   argument rests on has regressed:
+
+   - the fused copy+checksum loop must beat its serial composition
+     (E2, the original ILP claim);
+   - the compiled 3-stage plan (decrypt+checksum+deliver) must beat the
+     serial layered composition by at least 2x, and the per-byte
+     interpreter outright (E14, the plan compiler).
+
+   Ratios are between measurements of the *same run*, so host speed and
+   quota cancel out. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("perfcheck: " ^ s);
+      exit 1)
+    fmt
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_ilp.json"
+  in
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> die "cannot read %s (%s)" path msg
+  in
+  let rows =
+    match Obs.Json.parse text with
+    | Ok (Obs.Json.Arr rows) -> rows
+    | Ok _ -> die "%s: expected a top-level JSON array" path
+    | Error e -> die "%s: %s" path e
+  in
+  let mbps name =
+    let found =
+      List.find_map
+        (fun row ->
+          match (Obs.Json.member "name" row, Obs.Json.member "mbps" row) with
+          | Some (Obs.Json.Str n), Some (Obs.Json.Num v) when n = name ->
+              Some v
+          | _ -> None)
+        rows
+    in
+    match found with
+    | Some v -> v
+    | None -> die "%s: no measurement named %S" path name
+  in
+  let failures = ref 0 in
+  let check label num den floor =
+    let r = mbps num /. mbps den in
+    let ok = r >= floor in
+    if not ok then incr failures;
+    Printf.printf "perfcheck: %-44s %6.2fx  (floor %.2fx)  %s\n" label r floor
+      (if ok then "ok" else "FAIL")
+  in
+  check "ilp-fusion fused vs serial" "ilp-fusion/fused" "ilp-fusion/serial"
+    1.0;
+  check "ilp-compile 3stage compiled vs serial" "ilp-compile/3stage/compiled"
+    "ilp-compile/3stage/serial" 2.0;
+  check "ilp-compile 3stage compiled vs interpreted"
+    "ilp-compile/3stage/compiled" "ilp-compile/3stage/interpreted" 1.0;
+  if !failures > 0 then die "%d invariant(s) regressed in %s" !failures path;
+  Printf.printf "perfcheck: all fusion invariants hold in %s\n" path

@@ -5,6 +5,7 @@
      atm        carry ADUs over ATM cells through an adaptation layer
      syntax     encode a sample value in each transfer syntax
      parallel   shard a batch of ADUs across worker domains (stage 2)
+     ilp        compile a manipulation plan and race the three executors
      metrics    run an instrumented workload and dump the metrics registry
      soak       sweep impairment x recovery-policy x FEC under fault plans
 
@@ -15,6 +16,8 @@
      alfnet syntax --ints 16
      alfnet parallel --domains 4 --adus 128 --plan decrypt
      alfnet parallel --plan rc4   # demonstrates the in-order degradation
+     alfnet ilp --plan swab,crc32,copy --size 1048576
+     alfnet ilp --plan xor:42@1000,internet,fletcher32,copy
      alfnet soak --smoke --seed 42
      alfnet soak --out BENCH_soak.json *)
 
@@ -500,6 +503,150 @@ let parallel_cmd =
        ~doc:"Shard a batch of ADUs across worker domains (the \\u{00a7}7 parallel sink).")
     Term.(ret (const run_parallel $ domains $ adus $ adu_size $ plan))
 
+(* --- ilp: compile one declarative plan and race the three executors --- *)
+
+let parse_stage s =
+  let lower = String.lowercase_ascii s in
+  match String.index_opt lower ':' with
+  | None -> (
+      match lower with
+      | "swab" | "byteswap32" -> Ok Ilp.Byteswap32
+      | "copy" | "deliver" -> Ok Ilp.Deliver_copy
+      | "xor" -> Ok (Ilp.Xor_pad { key = 0xA5A5L; pos = 0L })
+      | "rc4" -> Ok (Ilp.Rc4_stream { key = "alfnet" })
+      | name -> (
+          match Checksum.Kind.of_string name with
+          | Some k -> Ok (Ilp.Checksum k)
+          | None -> Error (Printf.sprintf "unknown stage %S" s)))
+  | Some i -> (
+      let head = String.sub lower 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match head with
+      | "cksum" | "checksum" -> (
+          match Checksum.Kind.of_string arg with
+          | Some k -> Ok (Ilp.Checksum k)
+          | None -> Error (Printf.sprintf "unknown checksum kind %S" arg))
+      | "rc4" -> Ok (Ilp.Rc4_stream { key = arg })
+      | "xor" -> (
+          let key, pos =
+            match String.index_opt arg '@' with
+            | None -> (arg, "0")
+            | Some j ->
+                ( String.sub arg 0 j,
+                  String.sub arg (j + 1) (String.length arg - j - 1) )
+          in
+          match (Int64.of_string_opt key, Int64.of_string_opt pos) with
+          | Some key, Some pos when pos >= 0L -> Ok (Ilp.Xor_pad { key; pos })
+          | _ ->
+              Error
+                (Printf.sprintf "bad xor spec %S (expected xor:KEY[@POS])" arg))
+      | _ -> Error (Printf.sprintf "unknown stage %S" s))
+
+let run_ilp plan_spec size =
+  let specs =
+    String.split_on_char ',' plan_spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match
+    List.fold_left
+      (fun acc s ->
+        match (acc, parse_stage s) with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok stages, Ok st -> Ok (st :: stages))
+      (Ok []) specs
+  with
+  | Error e -> `Error (true, e)
+  | Ok rev_stages -> (
+      let plan = List.rev rev_stages in
+      match Ilp.validate plan with
+      | Error msg -> `Error (false, "plan does not validate: " ^ msg)
+      | Ok () when List.mem Ilp.Byteswap32 plan && size mod 4 <> 0 ->
+          `Error (true, "--size must be a multiple of 4 with swab")
+      | Ok () ->
+          let input = Bytebuf.create size in
+          Rng.fill_bytes (Rng.create ~seed:0x11FL) input;
+          Printf.printf "plan: [%s], %d bytes%s\n"
+            (String.concat "; " (List.map Ilp.stage_name plan))
+            size
+            (if Ilp.needs_in_order plan then
+               " (sequential cipher: ADUs must stay in order)"
+             else "");
+          let layered = Ilp.run_layered plan input in
+          let interp = Ilp.run_fused_interpreted plan input in
+          let fused = Ilp.run_fused plan input in
+          let agree =
+            Bytebuf.equal fused.Ilp.output layered.Ilp.output
+            && Bytebuf.equal fused.Ilp.output interp.Ilp.output
+            && fused.Ilp.checksums = layered.Ilp.checksums
+            && fused.Ilp.checksums = interp.Ilp.checksums
+          in
+          let time name f =
+            ignore (f ()) (* warm *);
+            let t0 = Obs.Clock.now_ns () in
+            let runs = ref 0 in
+            let dt = ref 0.0 in
+            while !dt < 5e7 do
+              ignore (f ());
+              incr runs;
+              dt := Obs.Clock.now_ns () -. t0
+            done;
+            let ns = !dt /. float_of_int !runs in
+            let mbps = 8.0 *. float_of_int size /. ns *. 1000.0 in
+            Printf.printf "  %-22s %10.1f Mb/s (%d passes over the data)\n"
+              name mbps
+              (match name with "layered" -> layered.Ilp.passes | _ -> 1);
+            mbps
+          in
+          let l = time "layered" (fun () -> Ilp.run_layered plan input) in
+          let i =
+            time "fused-interpreted" (fun () ->
+                Ilp.run_fused_interpreted plan input)
+          in
+          let c = time "fused-compiled" (fun () -> Ilp.run_fused plan input) in
+          Printf.printf
+            "compiled = %.2fx layered, %.2fx interpreted; compiled dispatch: %b\n"
+            (c /. l) (c /. i) fused.Ilp.compiled;
+          List.iter
+            (fun (kind, v) ->
+              Printf.printf "checksum %s = 0x%08x\n"
+                (Checksum.Kind.to_string kind)
+                v)
+            fused.Ilp.checksums;
+          let cs = Ilp.plan_cache_stats () in
+          Printf.printf
+            "plan cache: %d entries, %d hits / %d misses this process\n"
+            cs.Ilp.entries cs.Ilp.hits cs.Ilp.misses;
+          Printf.printf "executors byte- and checksum-identical: %b\n" agree;
+          if agree then `Ok ()
+          else `Error (false, "executors disagree - this is a bug"))
+
+let ilp_cmd =
+  let plan =
+    Arg.(
+      value
+      & opt string "xor:42,internet,copy"
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated stages: $(b,swab), $(b,xor:KEY[@POS]), \
+             $(b,rc4:KEY), $(b,copy), or a checksum kind \
+             ($(b,internet), $(b,fletcher16), $(b,fletcher32), \
+             $(b,adler32), $(b,crc32)).")
+  in
+  let size =
+    Arg.(
+      value & opt int 262144
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Input buffer size.")
+  in
+  Cmd.v
+    (Cmd.info "ilp"
+       ~doc:
+         "Compile a declarative manipulation plan and race the three \
+          executors: layered passes, per-byte interpreted fusion, and the \
+          word-at-a-time compiled loop (paper \\u{00a7}8).")
+    Term.(ret (const run_ilp $ plan $ size))
+
 (* --- metrics --- *)
 
 let run_metrics opts size =
@@ -610,4 +757,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ transfer_cmd; atm_cmd; syntax_cmd; parallel_cmd; metrics_cmd; soak_cmd ]))
+          [
+            transfer_cmd;
+            atm_cmd;
+            syntax_cmd;
+            parallel_cmd;
+            ilp_cmd;
+            metrics_cmd;
+            soak_cmd;
+          ]))

@@ -9,13 +9,24 @@ let check_range t pos len what =
     bounds_error "%s: pos=%d len=%d outside slice of length %d" what pos len
       t.len
 
+(* Fresh-storage allocations, for zero-alloc accounting on pooled hot
+   paths. Counts [create] only: [sub]/[shift]/[take] views share backing
+   storage and are not allocations in this sense. *)
+let created = Atomic.make 0
+
+let created_total () = Atomic.get created
+
 let create len =
   if len < 0 then invalid_arg "Bytebuf.create: negative length";
+  Atomic.incr created;
   { data = Bytes.make len '\000'; off = 0; len }
 
 let of_bytes b = { data = b; off = 0; len = Bytes.length b }
 let of_string s = of_bytes (Bytes.of_string s)
-let init len f = of_bytes (Bytes.init len f)
+
+let init len f =
+  Atomic.incr created;
+  of_bytes (Bytes.init len f)
 let empty = { data = Bytes.empty; off = 0; len = 0 }
 let length t = t.len
 

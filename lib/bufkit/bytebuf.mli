@@ -35,6 +35,13 @@ val init : int -> (int -> char) -> t
 val empty : t
 (** A distinguished zero-length slice. *)
 
+val created_total : unit -> int
+(** Number of fresh-storage slices allocated so far ({!create}, {!init} and
+    the functions built on them, e.g. {!copy}, {!concat}) across the whole
+    process. Views ({!sub}, {!shift}, {!take}) do not count. Monotonic and
+    domain-safe; used to demonstrate zero-allocation steady state on pooled
+    receive paths ([delta = 0] across a warm window). *)
+
 (** {1 Views} *)
 
 val length : t -> int

@@ -42,6 +42,12 @@ let feed_block st w =
   let st = { st with a; b; blocks = st.blocks + 1 } in
   if st.blocks >= 359 then { (reduce32 st) with blocks = 0 } else st
 
+let feed32_byte st b =
+  let b = b land 0xff in
+  match st.half with
+  | None -> { st with half = Some b }
+  | Some lo -> feed_block { st with half = None } (lo lor (b lsl 8))
+
 let feed32 st buf =
   let n = Bytebuf.length buf in
   let st = ref st in

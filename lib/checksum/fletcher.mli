@@ -25,6 +25,11 @@ val digest16 : Bytebuf.t -> int
 type state32
 
 val init32 : state32
+
+val feed32_byte : state32 -> int -> state32
+(** Absorb one byte, buffering it until its 16-bit block completes.
+    Equivalent to feeding a one-byte slice, without the allocation. *)
+
 val feed32 : state32 -> Bytebuf.t -> state32
 (** Data is consumed as 16-bit little-endian blocks; a trailing odd byte is
     zero-padded, matching the common implementation. *)

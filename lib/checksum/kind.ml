@@ -54,13 +54,21 @@ let feeder_byte f b =
   match f with
   | F_internet st -> F_internet (Internet.feed_byte st b)
   | F_fletcher16 st -> F_fletcher16 (Fletcher.feed16_byte st b)
-  | F_fletcher32 st ->
-      (* Fletcher-32 has no public byte interface; feed a one-byte slice. *)
-      let one = Bytebuf.create 1 in
-      Bytebuf.set_uint8 one 0 (b land 0xff);
-      F_fletcher32 (Fletcher.feed32 st one)
+  | F_fletcher32 st -> F_fletcher32 (Fletcher.feed32_byte st b)
   | F_adler st -> F_adler (Adler32.feed_byte st b)
   | F_crc st -> F_crc (Crc32.feed_byte st b)
+
+let feeder_word64le f w =
+  match f with
+  | F_internet st -> F_internet (Internet.feed_word64le st w)
+  | F_fletcher16 _ | F_fletcher32 _ | F_adler _ | F_crc _ ->
+      let f = ref f in
+      for i = 0 to 7 do
+        f :=
+          feeder_byte !f
+            (Int64.to_int (Int64.shift_right_logical w (8 * i)) land 0xff)
+      done;
+      !f
 
 let feeder_buf f buf =
   match f with

@@ -15,6 +15,16 @@ let mix64 z =
 let block t idx = mix64 (Int64.add t.key (Int64.mul idx 0x9E3779B97F4A7C15L))
 let block64 = block
 
+let word64_at t pos =
+  let idx = Int64.div pos 8L and off = Int64.to_int (Int64.rem pos 8L) in
+  if off = 0 then block t idx
+  else
+    (* Straddles two blocks: low octets from the tail of block [idx], high
+       octets from the head of block [idx+1]. *)
+    Int64.logor
+      (Int64.shift_right_logical (block t idx) (off * 8))
+      (Int64.shift_left (block t (Int64.add idx 1L)) ((8 - off) * 8))
+
 let byte_at t pos =
   let idx = Int64.div pos 8L and off = Int64.to_int (Int64.rem pos 8L) in
   Int64.to_int (Int64.shift_right_logical (block t idx) (off * 8)) land 0xff

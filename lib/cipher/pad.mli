@@ -22,6 +22,14 @@ val block64 : t -> int64 -> int64
     the low octet). Fused word-at-a-time loops XOR whole blocks at once;
     [byte_at t p = (block64 t (p/8) >> 8·(p mod 8)) land 0xff]. *)
 
+val word64_at : t -> int64 -> int64
+(** [word64_at t pos] is the keystream for positions [pos .. pos+7], packed
+    little-endian (byte for [pos] in the low octet), for {e any} position —
+    unaligned positions are assembled from the two straddled blocks. Equal
+    to [block64 t (pos/8)] when [pos] is a multiple of 8. This is what lets
+    a fused word loop XOR a pad whose stream offset is not word-aligned
+    (ADUs land at arbitrary [dest_off]). Positions must be non-negative. *)
+
 val transform_at : t -> pos:int64 -> Bytebuf.t -> unit
 (** XOR the slice in place with keystream bytes [pos, pos+len). Encryption
     and decryption are the same operation; ranges may be processed in any

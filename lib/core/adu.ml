@@ -50,7 +50,7 @@ let encode t =
   Bytebuf.set_uint8 buf 35 (Int32.to_int crc land 0xff);
   buf
 
-let decode buf =
+let decode_view buf =
   if Bytebuf.length buf < header_size then
     decode_error "ADU of %d bytes is shorter than the header" (Bytebuf.length buf);
   let r = Cursor.reader buf in
@@ -65,16 +65,25 @@ let decode buf =
   if Bytebuf.length buf <> header_size + plen then
     decode_error "ADU length field %d does not match %d available" plen
       (Bytebuf.length buf - header_size);
-  (* CRC is computed with its own field zeroed. *)
-  let scratch = Bytebuf.copy buf in
-  Bytebuf.set_uint8 scratch 32 0;
-  Bytebuf.set_uint8 scratch 33 0;
-  Bytebuf.set_uint8 scratch 34 0;
-  Bytebuf.set_uint8 scratch 35 0;
-  if not (Int32.equal (Checksum.Crc32.digest scratch) got_crc) then
-    decode_error "ADU CRC mismatch";
-  let payload = Bytebuf.copy (Cursor.bytes r plen) in
+  (* The CRC is computed with its own field zeroed: feed the bytes around
+     the field plus four literal zeros instead of copying the whole unit
+     into a zeroed scratch buffer. *)
+  let crc =
+    let st = Checksum.Crc32.feed_sub Checksum.Crc32.init buf ~pos:0 ~len:32 in
+    let st = ref st in
+    for _ = 1 to 4 do
+      st := Checksum.Crc32.feed_byte !st 0
+    done;
+    Checksum.Crc32.finish
+      (Checksum.Crc32.feed_sub !st buf ~pos:header_size ~len:plen)
+  in
+  if not (Int32.equal crc got_crc) then decode_error "ADU CRC mismatch";
+  let payload = Bytebuf.sub buf ~pos:header_size ~len:plen in
   { name = { stream; index; dest_off; dest_len; timestamp_us }; payload }
+
+let decode buf =
+  let t = decode_view buf in
+  { t with payload = Bytebuf.copy t.payload }
 
 let pp ppf t =
   Format.fprintf ppf "%a len=%d" pp_name t.name (Bytebuf.length t.payload)

@@ -53,4 +53,11 @@ val decode : Bytebuf.t -> t
 (** Raises {!Decode_error} on truncation, bad magic or CRC mismatch. The
     payload is a fresh copy. *)
 
+val decode_view : Bytebuf.t -> t
+(** Like {!decode}, but the payload {e aliases} the input buffer — zero
+    copies, zero allocations. The caller owns the lifetime question: if
+    the buffer is pooled or reused (e.g. a {!Bufkit.Pool} reassembly
+    buffer), the payload is only valid until the buffer is released, so
+    consume or copy it before then. *)
+
 val pp : Format.formatter -> t -> unit

@@ -789,7 +789,8 @@ let receiver_handle t ~src ~src_port payload =
       else handle_control t payload
 
 let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
-    ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~deliver =
+    ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~reasm_pool
+    ~deliver =
   if nack_budget < 1 then
     invalid_arg "Alf_transport: nack_budget must be >= 1";
   (* Eager registration so `alfnet metrics` shows the hardening counters
@@ -835,7 +836,10 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
           adus_gone_local = 0;
         };
       series = Stats.series ();
-      reasm = Framing.reassembler ~deliver:(fun adu -> !deliver_ref adu);
+      reasm =
+        Framing.reassembler ?pool:reasm_pool
+          ~deliver:(fun adu -> !deliver_ref adu)
+          ();
       delivered = Hashtbl.create 256;
       gone = Hashtbl.create 16;
       fec_rx = None;
@@ -858,38 +862,40 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
 let receiver_io ~engine ~io ~port ~stream ?(nack_interval = 0.02)
     ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
     ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
-    ~deliver () =
+    ?reasm_pool ~deliver () =
   let t =
     make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
-      ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~deliver
+      ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~reasm_pool
+      ~deliver
   in
   io.Dgram.bind ~port (receiver_handle t);
   t
 
 let receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ~deliver () =
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
+    ~deliver () =
   receiver_io ~engine ~io:(Dgram.of_udp udp) ~port ~stream ?nack_interval
     ?nack_holdoff ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed
-    ~deliver ()
+    ?reasm_pool ~deliver ()
 
 let receiver_mux ~engine ~mux ~stream ?(nack_interval = 0.02)
     ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
     ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
-    ~deliver () =
+    ?reasm_pool ~deliver () =
   let t =
     make_receiver ~engine ~io:(Mux.io mux) ~port:(Mux.port mux) ~stream
       ~nack_interval ~nack_holdoff ~nack_budget ~adu_deadline ~giveup_idle
-      ~integrity ~seed ~deliver
+      ~integrity ~seed ~reasm_pool ~deliver
   in
   Mux.attach mux ~stream (receiver_handle t);
   t
 
 let receiver_stage2 ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?pool ?batch ~plan ~deliver () =
-  let stage = Stage2.create ?pool ?batch ~plan ~deliver () in
+    ?pool ?batch ?reasm_pool ?out_pool ?in_pool ~plan ~deliver () =
+  let stage = Stage2.create ?pool ?batch ?out_pool ?in_pool ~plan ~deliver () in
   let t =
     receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
-      ~deliver:(Stage2.deliver_fn stage) ()
+      ?reasm_pool ~deliver:(Stage2.deliver_fn stage) ()
   in
   (* Stage 1 settles the last ADU before [check_complete] fires, so the
      flush here always drains the final partial batch. *)

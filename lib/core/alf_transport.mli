@@ -163,11 +163,18 @@ val receiver :
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
   ?seed:int64 ->
+  ?reasm_pool:Bufkit.Pool.t ->
   deliver:(Adu.t -> unit) ->
   unit ->
   receiver
 (** [deliver] fires once per ADU, at the virtual instant its last fragment
     arrives, regardless of index order.
+
+    With [?reasm_pool], reassembly buffers are recycled through the pool
+    ({!Framing.reassembler}) and delivered payloads are {e borrowed}: they
+    alias a pool buffer that is reclaimed the moment [deliver] returns.
+    Consume, transform ({!Ilp.run_fused}) or copy within the callback —
+    never retain. Without it payloads stay valid indefinitely.
 
     The repair loop is paced by an {!Transport.Rto} estimator seeded at
     [nack_interval] (default 20 ms, also its floor; ceiling 1 s): rounds
@@ -204,6 +211,7 @@ val receiver_io :
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
   ?seed:int64 ->
+  ?reasm_pool:Bufkit.Pool.t ->
   deliver:(Adu.t -> unit) ->
   unit ->
   receiver
@@ -220,6 +228,7 @@ val receiver_mux :
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
   ?seed:int64 ->
+  ?reasm_pool:Bufkit.Pool.t ->
   deliver:(Adu.t -> unit) ->
   unit ->
   receiver
@@ -235,6 +244,9 @@ val receiver_stage2 :
   ?nack_holdoff:float ->
   ?pool:Par.Pool.t ->
   ?batch:int ->
+  ?reasm_pool:Bufkit.Pool.t ->
+  ?out_pool:Bufkit.Pool.t ->
+  ?in_pool:Bufkit.Pool.t ->
   plan:(Adu.t -> Ilp.plan) ->
   deliver:(Stage2.result -> unit) ->
   unit ->
@@ -245,7 +257,17 @@ val receiver_stage2 :
     completion callback is pre-wired to {!Stage2.flush} so the final
     partial batch always drains — calling {!on_complete} afterwards
     replaces that wiring, so compose the flush into your own callback if
-    you need one. *)
+    you need one.
+
+    The three buffer pools make steady-state receive allocation-free
+    (zero [Bytebuf.create] per ADU after warmup): [?reasm_pool] recycles
+    stage-1 reassembly buffers, [?out_pool] supplies the fused loop's
+    output buffers (delivered payloads are then borrowed — consume them
+    inside [deliver]), and [?in_pool] stages borrowed inputs across
+    batch boundaries. Give [?in_pool] whenever [?reasm_pool] and [?pool]
+    are combined, since batching retains payloads past the stage-1
+    callback. Each pool is optional and degrades independently to plain
+    allocation. *)
 
 val set_receiver_tracer : receiver -> (string -> unit) -> unit
 (** Line-oriented event tracer (NACKs, out-of-order completions). *)

@@ -102,6 +102,7 @@ type partial = {
   total_len : int;
   nfrags : int;
   buf : Bytebuf.t;
+  owner : Bytebuf.t option;  (* pooled backing buffer, released on retire *)
   have : Bytes.t;  (* fragment bitmap *)
   mutable have_count : int;
   mutable bytes : int;
@@ -118,14 +119,16 @@ type reassembler = {
   deliver : Adu.t -> unit;
   stats : reasm_stats;
   partials : (int, partial) Hashtbl.t;  (* keyed by ADU index *)
+  pool : (Pool.t * int) option;  (* pool and its buf_size *)
 }
 
-let reassembler ~deliver =
+let reassembler ?pool ~deliver () =
   {
     deliver;
     stats =
       { completed = 0; duplicate_frags = 0; corrupt_adus = 0; inconsistent_frags = 0 };
     partials = Hashtbl.create 32;
+    pool = Option.map (fun p -> (p, (Pool.stats p).Pool.buf_size)) pool;
   }
 
 let stats t = t.stats
@@ -134,7 +137,17 @@ let pending_adus t = Hashtbl.length t.partials
 let pending_bytes t =
   Hashtbl.fold (fun _ p acc -> acc + p.bytes) t.partials 0
 
-let forget t ~index = Hashtbl.remove t.partials index
+let release_owner t p =
+  match (t.pool, p.owner) with
+  | Some (pool, _), Some owner -> Pool.release pool owner
+  | _ -> ()
+
+let forget t ~index =
+  match Hashtbl.find_opt t.partials index with
+  | Some p ->
+      Hashtbl.remove t.partials index;
+      release_owner t p
+  | None -> ()
 
 let bit_get bytes i = Char.code (Bytes.get bytes (i / 8)) land (1 lsl (i mod 8)) <> 0
 
@@ -147,11 +160,22 @@ let push t (f : frag_info) =
     match Hashtbl.find_opt t.partials f.index with
     | Some p -> p
     | None ->
+        (* Reassemble into a pooled buffer when one fits; fall back to a
+           fresh allocation for oversized ADUs or an exhausted pool. *)
+        let buf, owner =
+          match t.pool with
+          | Some (pool, buf_size) when f.total_len <= buf_size -> (
+              match Pool.try_acquire pool with
+              | Some full -> (Bytebuf.take full f.total_len, Some full)
+              | None -> (Bytebuf.create f.total_len, None))
+          | _ -> (Bytebuf.create f.total_len, None)
+        in
         let p =
           {
             total_len = f.total_len;
             nfrags = f.nfrags;
-            buf = Bytebuf.create f.total_len;
+            buf;
+            owner;
             have = Bytes.make ((f.nfrags + 7) / 8) '\000';
             have_count = 0;
             bytes = 0;
@@ -172,11 +196,17 @@ let push t (f : frag_info) =
     p.bytes <- p.bytes + len;
     if p.have_count = p.nfrags then begin
       Hashtbl.remove t.partials f.index;
-      match Adu.decode p.buf with
-      | adu ->
-          t.stats.completed <- t.stats.completed + 1;
-          t.deliver adu
-      | exception Adu.Decode_error _ ->
-          t.stats.corrupt_adus <- t.stats.corrupt_adus + 1
+      (* Deliver a zero-copy view: the payload aliases the reassembly
+         buffer, which (when pooled) is recycled as soon as [deliver]
+         returns — the stage-2 borrow contract. *)
+      Fun.protect
+        ~finally:(fun () -> release_owner t p)
+        (fun () ->
+          match Adu.decode_view p.buf with
+          | adu ->
+              t.stats.completed <- t.stats.completed + 1;
+              t.deliver adu
+          | exception Adu.Decode_error _ ->
+              t.stats.corrupt_adus <- t.stats.corrupt_adus + 1)
     end
   end

@@ -77,9 +77,19 @@ type reasm_stats = {
   mutable inconsistent_frags : int;
 }
 
-val reassembler : deliver:(Adu.t -> unit) -> reassembler
+val reassembler :
+  ?pool:Pool.t -> deliver:(Adu.t -> unit) -> unit -> reassembler
 (** Complete ADUs are delivered the moment their last fragment arrives —
-    in arrival order, not index order. *)
+    in arrival order, not index order.
+
+    Delivered payloads {e alias} the reassembly buffer ({!Adu.decode_view});
+    no per-ADU copy is made. With [?pool], reassembly buffers come from the
+    pool whenever the encoded ADU fits [buf_size] (falling back to fresh
+    allocation otherwise), and are recycled {e as soon as [deliver]
+    returns} — the callback must consume, transform or copy the payload
+    before returning, never retain it. Without a pool the buffer is fresh
+    per ADU and the payload stays valid indefinitely. Steady state with a
+    pool performs zero buffer allocations per ADU. *)
 
 val push : reassembler -> frag_info -> unit
 val stats : reassembler -> reasm_stats

@@ -18,18 +18,39 @@ let pp_stage ppf s = Format.pp_print_string ppf (stage_name s)
 
 type plan = stage list
 
-let validate plan =
+(* The validity of a plan depends only on its shape — which constructors
+   appear where — not on keys or stream positions. That is what makes the
+   plan cache sound: one validation + lowering per shape. *)
+type shape =
+  | Sh_check of Checksum.Kind.t
+  | Sh_xor
+  | Sh_rc4
+  | Sh_swap
+  | Sh_copy
+
+let shape_of_stage = function
+  | Checksum k -> Sh_check k
+  | Xor_pad _ -> Sh_xor
+  | Rc4_stream _ -> Sh_rc4
+  | Byteswap32 -> Sh_swap
+  | Deliver_copy -> Sh_copy
+
+let shape_of_plan plan = List.map shape_of_stage plan
+
+let validate_shape shape =
   let rec go i seen_rc4 = function
     | [] -> Ok ()
-    | Byteswap32 :: _ when i > 0 ->
+    | Sh_swap :: _ when i > 0 ->
         Error "byteswap32 reads across byte positions; it can only be fused as the first stage"
-    | Rc4_stream _ :: _ when seen_rc4 ->
+    | Sh_rc4 :: _ when seen_rc4 ->
         Error "two sequential ciphers cannot share one keystream position"
-    | Rc4_stream _ :: rest -> go (i + 1) true rest
-    | (Checksum _ | Xor_pad _ | Byteswap32 | Deliver_copy) :: rest ->
+    | Sh_rc4 :: rest -> go (i + 1) true rest
+    | (Sh_check _ | Sh_xor | Sh_swap | Sh_copy) :: rest ->
         go (i + 1) seen_rc4 rest
   in
-  go 0 false plan
+  go 0 false shape
+
+let validate plan = validate_shape (shape_of_plan plan)
 
 let needs_in_order plan =
   List.exists
@@ -64,21 +85,64 @@ let byteswap32_copy src =
   done;
   dst
 
-(* Registry accounting. Every run is cheap enough to meter — a handful of
-   counter bumps and one histogram insert — but the per-stage counters are
-   only maintained on the layered path, where a stage is a pass and the
-   attribution is exact. *)
-let record_run ~mode ~ns (r : result) =
+(* Registry accounting. Handles are resolved once at module initialisation —
+   a run costs a few atomic bumps and one histogram insert, never a string
+   concatenation or a registry lookup. *)
+type run_handles = {
+  rh_runs : Obs.Counter.t;
+  rh_bytes : Obs.Counter.t;
+  rh_passes : Obs.Counter.t;
+  rh_ns : Obs.Histogram.t;
+}
+
+let run_handles mode =
   let pfx = "ilp." ^ mode ^ "." in
-  Obs.Counter.incr (Obs.Registry.counter (pfx ^ "runs"));
-  Obs.Counter.add (Obs.Registry.counter (pfx ^ "bytes")) r.bytes_touched;
-  Obs.Counter.add (Obs.Registry.counter (pfx ^ "passes")) r.passes;
-  Obs.Histogram.record (Obs.Registry.histogram (pfx ^ "ns")) ns
+  {
+    rh_runs = Obs.Registry.counter (pfx ^ "runs");
+    rh_bytes = Obs.Registry.counter (pfx ^ "bytes");
+    rh_passes = Obs.Registry.counter (pfx ^ "passes");
+    rh_ns = Obs.Registry.histogram (pfx ^ "ns");
+  }
+
+let handles_layered = run_handles "layered"
+let handles_interpreted = run_handles "fused-interpreted"
+let handles_compiled = run_handles "fused-compiled"
+
+let record_run h ~ns (r : result) =
+  Obs.Counter.incr h.rh_runs;
+  Obs.Counter.add h.rh_bytes r.bytes_touched;
+  Obs.Counter.add h.rh_passes r.passes;
+  Obs.Histogram.record h.rh_ns ns
+
+type stage_handles = { sh_passes : Obs.Counter.t; sh_bytes : Obs.Counter.t }
+
+let stage_handles name =
+  {
+    sh_passes = Obs.Registry.counter ("ilp.stage." ^ name ^ ".passes");
+    sh_bytes = Obs.Registry.counter ("ilp.stage." ^ name ^ ".bytes");
+  }
+
+let checksum_stage_handles =
+  List.map
+    (fun k -> (k, stage_handles ("checksum:" ^ Checksum.Kind.to_string k)))
+    Checksum.Kind.all
+
+let h_stage_xor = stage_handles "xor-pad"
+let h_stage_rc4 = stage_handles "rc4"
+let h_stage_swap = stage_handles "byteswap32"
+let h_stage_copy = stage_handles "deliver-copy"
+
+let stage_handle = function
+  | Checksum k -> List.assoc k checksum_stage_handles
+  | Xor_pad _ -> h_stage_xor
+  | Rc4_stream _ -> h_stage_rc4
+  | Byteswap32 -> h_stage_swap
+  | Deliver_copy -> h_stage_copy
 
 let record_stage stage ~bytes =
-  let pfx = "ilp.stage." ^ stage_name stage ^ "." in
-  Obs.Counter.incr (Obs.Registry.counter (pfx ^ "passes"));
-  Obs.Counter.add (Obs.Registry.counter (pfx ^ "bytes")) bytes
+  let h = stage_handle stage in
+  Obs.Counter.incr h.sh_passes;
+  Obs.Counter.add h.sh_bytes bytes
 
 let run_layered_impl plan input =
   let n = Bytebuf.length input in
@@ -121,17 +185,37 @@ let run_layered_impl plan input =
     compiled = false;
   }
 
-(* Per-byte stage states for the fused loop. *)
+(* ------------------------------------------------------------------ *)
+(* The per-byte interpreter. Since the compiler below covers every
+   valid plan, this survives only as the test oracle for the
+   compilation-vs-interpretation ablation (experiments E2/E14).       *)
+(* ------------------------------------------------------------------ *)
+
 type fused_state =
   | F_check of Checksum.Kind.feeder ref * Checksum.Kind.t
   | F_pad of Cipher.Pad.t * int64
   | F_rc4 of Cipher.Rc4.t
   | F_copy
 
+let interp_byte states input output i src_i =
+  (* The one load... *)
+  let b = ref (Char.code (Bytebuf.unsafe_get input src_i)) in
+  List.iter
+    (fun st ->
+      match st with
+      | F_check (feeder, _) -> feeder := Checksum.Kind.feeder_byte !feeder !b
+      | F_pad (pad, pos) ->
+          b := !b lxor Cipher.Pad.byte_at pad (Int64.add pos (Int64.of_int i))
+      | F_rc4 rc4 -> b := !b lxor Cipher.Rc4.keystream_byte rc4
+      | F_copy -> ())
+    states;
+  (* ...and the one store. *)
+  Bytebuf.unsafe_set output i (Char.unsafe_chr !b)
+
 let run_fused_interpreted_impl plan input =
   (match validate plan with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg));
+  | Error msg -> invalid_arg ("Ilp.run_fused_interpreted: " ^ msg));
   let n = Bytebuf.length input in
   let swap_first = match plan with Byteswap32 :: _ -> true | _ -> false in
   if swap_first then check_swap_len input;
@@ -147,90 +231,303 @@ let run_fused_interpreted_impl plan input =
       rest
   in
   let output = Bytebuf.create n in
-  for i = 0 to n - 1 do
-    (* The one load: with a leading conversion we read the permuted
-       source position instead of adding a pass. *)
-    let src_i = if swap_first then i - (i mod 4) + (3 - (i mod 4)) else i in
-    let b = ref (Char.code (Bytebuf.unsafe_get input src_i)) in
-    List.iter
-      (fun st ->
-        match st with
-        | F_check (feeder, _) -> feeder := Checksum.Kind.feeder_byte !feeder !b
-        | F_pad (pad, pos) ->
-            b := !b lxor Cipher.Pad.byte_at pad (Int64.add pos (Int64.of_int i))
-        | F_rc4 rc4 -> b := !b lxor Cipher.Rc4.keystream_byte rc4
-        | F_copy -> ())
-      states;
-    (* The one store. *)
-    Bytebuf.unsafe_set output i (Char.unsafe_chr !b)
-  done;
+  (* With a leading conversion we read the permuted source position
+     instead of adding a pass; the branch is hoisted out of the loop. *)
+  if swap_first then
+    for i = 0 to n - 1 do
+      interp_byte states input output i (i - (i mod 4) + (3 - (i mod 4)))
+    done
+  else
+    for i = 0 to n - 1 do
+      interp_byte states input output i i
+    done;
   let checksums =
     List.filter_map
       (function
-        | F_check (feeder, kind) -> Some (kind, Checksum.Kind.feeder_finish !feeder)
+        | F_check (feeder, kind) ->
+            Some (kind, Checksum.Kind.feeder_finish !feeder)
         | F_pad _ | F_rc4 _ | F_copy -> None)
       states
   in
   { output; checksums; passes = 1; bytes_touched = 2 * n; compiled = false }
 
-(* §8's "compilation": recognised plan shapes dispatch straight to the
-   hand-fused word-at-a-time kernels instead of interpreting the stage
-   list per byte. *)
-let compile plan input =
-  let n = Bytebuf.length input in
-  let finish output checksums =
-    Some { output; checksums; passes = 1; bytes_touched = 2 * n; compiled = true }
+(* ------------------------------------------------------------------ *)
+(* §8's "compilation", generalised. Each stage lowers to a word-level
+   combinator; the combinators run inside one block-at-a-time loop
+   (8 bytes per load) with a byte tail for the last [len mod 8] bytes.
+   Dispatch happens per *word* over a pre-lowered stage array, never
+   per byte — and a handful of whole-plan shapes short-circuit to the
+   hand-fused kernels, which avoid even the per-word dispatch.         *)
+(* ------------------------------------------------------------------ *)
+
+let fold16 s =
+  let rec go s = if s > 0xffff then go ((s land 0xffff) + (s lsr 16)) else s in
+  go s
+
+let swap16 s = ((s land 0xff) lsl 8) lor ((s lsr 8) land 0xff)
+
+let lane_sum_le x =
+  Int64.to_int (Int64.logand x 0xFFFFL)
+  + (Int64.to_int (Int64.shift_right_logical x 16) land 0xFFFF)
+  + (Int64.to_int (Int64.shift_right_logical x 32) land 0xFFFF)
+  + (Int64.to_int (Int64.shift_right_logical x 48) land 0xFFFF)
+
+(* Reverse the bytes within each 32-bit half of a word. Octet [k] of a
+   native little-endian load is memory byte [k], so this is exactly
+   [Byteswap32] applied to two 4-byte groups at once. *)
+let bswap32_pairs w =
+  let open Int64 in
+  let w =
+    logor
+      (shift_left (logand w 0x00FF00FF00FF00FFL) 8)
+      (logand (shift_right_logical w 8) 0x00FF00FF00FF00FFL)
   in
-  match plan with
-  | [ Deliver_copy ] ->
-      let dst = Bytebuf.create n in
+  logor
+    (shift_left (logand w 0x0000FFFF0000FFFFL) 16)
+    (logand (shift_right_logical w 16) 0x0000FFFF0000FFFFL)
+
+(* Per-run stage state for the general fused loop. Built fresh each run
+   from the cached lowering (keys and stream positions are run-time
+   parameters, not part of the cached shape). *)
+type rt =
+  | R_inet of { mutable lanes : int; mutable besum : int }
+      (* Internet checksum on the 64-bit-lane fast path: lanes accumulate
+         byte-swapped network-order words during the word loop; [besum]
+         carries the converted big-endian sum through the byte tail. *)
+  | R_gen of { kind : Checksum.Kind.t; mutable f : Checksum.Kind.feeder }
+  | R_pad of { pad : Cipher.Pad.t; pos : int64 }
+  | R_rc4 of Cipher.Rc4.t
+  | R_copy
+
+let rt_of_stage = function
+  | Checksum Checksum.Kind.Internet -> R_inet { lanes = 0; besum = 0 }
+  | Checksum kind -> R_gen { kind; f = Checksum.Kind.feeder kind }
+  | Xor_pad { key; pos } -> R_pad { pad = Cipher.Pad.create ~key; pos }
+  | Rc4_stream { key } -> R_rc4 (Cipher.Rc4.create ~key)
+  | Deliver_copy -> R_copy
+  | Byteswap32 -> assert false (* stripped by the caller *)
+
+(* One word through one stage: transform and/or absorb, return the word
+   the next stage sees. [i] is the byte offset of the block. *)
+let rt_word rt i w =
+  match rt with
+  | R_inet s ->
+      s.lanes <- s.lanes + lane_sum_le w;
+      if s.lanes > 0x3FFFFFFF then s.lanes <- fold16 s.lanes;
+      w
+  | R_gen s ->
+      s.f <- Checksum.Kind.feeder_word64le s.f w;
+      w
+  | R_pad { pad; pos } ->
+      Int64.logxor w (Cipher.Pad.word64_at pad (Int64.add pos (Int64.of_int i)))
+  | R_rc4 rc4 ->
+      (* RC4's keystream is inherently serial per byte; generate eight
+         bytes in order and still XOR at word width. *)
+      let k = ref 0L in
+      for j = 0 to 7 do
+        k :=
+          Int64.logor !k
+            (Int64.shift_left
+               (Int64.of_int (Cipher.Rc4.keystream_byte rc4))
+               (8 * j))
+      done;
+      Int64.logxor w !k
+  | R_copy -> w
+
+(* Word loop → byte tail seam. The tail starts on an 8-aligned (hence
+   even) offset, so checksum byte parity is preserved. *)
+let rt_enter_tail = function
+  | R_inet s ->
+      s.besum <- s.besum + swap16 (fold16 s.lanes);
+      s.lanes <- 0
+  | R_gen _ | R_pad _ | R_rc4 _ | R_copy -> ()
+
+let rt_byte rt i b =
+  match rt with
+  | R_inet s ->
+      s.besum <- s.besum + (if i land 1 = 0 then b lsl 8 else b);
+      if s.besum > 0x3FFFFFFF then s.besum <- fold16 s.besum;
+      b
+  | R_gen s ->
+      s.f <- Checksum.Kind.feeder_byte s.f b;
+      b
+  | R_pad { pad; pos } ->
+      b lxor Cipher.Pad.byte_at pad (Int64.add pos (Int64.of_int i))
+  | R_rc4 rc4 -> b lxor Cipher.Rc4.keystream_byte rc4
+  | R_copy -> b
+
+let rt_finish = function
+  | R_inet s -> Some (Checksum.Kind.Internet, lnot (fold16 s.besum) land 0xffff)
+  | R_gen s -> Some (s.kind, Checksum.Kind.feeder_finish s.f)
+  | R_pad _ | R_rc4 _ | R_copy -> None
+
+let run_general ~swap_first plan input dst =
+  if swap_first then check_swap_len input;
+  let rest = if swap_first then List.tl plan else plan in
+  let stages = Array.of_list (List.map rt_of_stage rest) in
+  let nst = Array.length stages in
+  let n = Bytebuf.length input in
+  let sb, sbase, _ = Bytebuf.backing input in
+  let db, dbase, _ = Bytebuf.backing dst in
+  (* The word path assumes little-endian octet↔memory correspondence;
+     big-endian hosts take the (identical-result) byte path throughout. *)
+  let word_end = if Sys.big_endian then 0 else n land lnot 7 in
+  let i = ref 0 in
+  while !i < word_end do
+    let w = Bytes.get_int64_ne sb (sbase + !i) in
+    let w = ref (if swap_first then bswap32_pairs w else w) in
+    for s = 0 to nst - 1 do
+      w := rt_word stages.(s) !i !w
+    done;
+    Bytes.set_int64_ne db (dbase + !i) !w;
+    i := !i + 8
+  done;
+  for s = 0 to nst - 1 do
+    rt_enter_tail stages.(s)
+  done;
+  if swap_first then
+    while !i < n do
+      let src_i = !i - (!i mod 4) + (3 - (!i mod 4)) in
+      let b = ref (Char.code (Bytes.unsafe_get sb (sbase + src_i))) in
+      for s = 0 to nst - 1 do
+        b := rt_byte stages.(s) !i !b
+      done;
+      Bytes.unsafe_set db (dbase + !i) (Char.unsafe_chr !b);
+      incr i
+    done
+  else
+    while !i < n do
+      let b = ref (Char.code (Bytes.unsafe_get sb (sbase + !i))) in
+      for s = 0 to nst - 1 do
+        b := rt_byte stages.(s) !i !b
+      done;
+      Bytes.unsafe_set db (dbase + !i) (Char.unsafe_chr !b);
+      incr i
+    done;
+  List.filter_map rt_finish (Array.to_list stages)
+
+(* A lowering is what the cache stores per shape: either a dispatch to a
+   whole-plan hand-fused kernel (no per-word dispatch at all) or the
+   general combinator loop. *)
+type lowering =
+  | L_copy
+  | L_copy_checksum (* Internet checksum + copy, either order *)
+  | L_pad_checksum_copy
+  | L_checksum_pad_copy
+  | L_general of { swap_first : bool }
+
+let lower shape =
+  match validate_shape shape with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok
+        (match shape with
+        | [] | [ Sh_copy ] -> L_copy
+        | [ Sh_check Checksum.Kind.Internet ]
+        | [ Sh_check Checksum.Kind.Internet; Sh_copy ]
+        | [ Sh_copy; Sh_check Checksum.Kind.Internet ] ->
+            L_copy_checksum
+        | [ Sh_xor; Sh_check Checksum.Kind.Internet; Sh_copy ] ->
+            L_pad_checksum_copy
+        | [ Sh_check Checksum.Kind.Internet; Sh_xor; Sh_copy ] ->
+            L_checksum_pad_copy
+        | Sh_swap :: _ -> L_general { swap_first = true }
+        | _ -> L_general { swap_first = false })
+
+(* The plan cache. Shared across domains (Ilp_par workers compile through
+   it too), so lookups take a mutex — one brief critical section per run,
+   against a table whose population is bounded by the number of distinct
+   plan shapes the program ever uses. *)
+let cache : (shape list, (lowering, string) Stdlib.result) Hashtbl.t =
+  Hashtbl.create 16
+
+let cache_mu = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+let c_cache_hits = Obs.Registry.counter "ilp.plan_cache.hits"
+let c_cache_misses = Obs.Registry.counter "ilp.plan_cache.misses"
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let with_cache f =
+  Mutex.lock cache_mu;
+  match f () with
+  | v ->
+      Mutex.unlock cache_mu;
+      v
+  | exception e ->
+      Mutex.unlock cache_mu;
+      raise e
+
+let plan_cache_stats () =
+  with_cache (fun () ->
+      { hits = !cache_hits; misses = !cache_misses; entries = Hashtbl.length cache })
+
+let compile_lookup plan =
+  let shape = shape_of_plan plan in
+  with_cache (fun () ->
+      match Hashtbl.find_opt cache shape with
+      | Some r ->
+          incr cache_hits;
+          Obs.Counter.incr c_cache_hits;
+          r
+      | None ->
+          incr cache_misses;
+          Obs.Counter.incr c_cache_misses;
+          let r = lower shape in
+          Hashtbl.add cache shape r;
+          r)
+
+let dst_for dst_opt n =
+  match dst_opt with
+  | None -> Bytebuf.create n
+  | Some d ->
+      if Bytebuf.length d <> n then
+        invalid_arg "Ilp.run_fused: dst length must equal input length";
+      d
+
+let exec lowering plan input dst_opt =
+  let n = Bytebuf.length input in
+  let dst = dst_for dst_opt n in
+  let mk checksums =
+    { output = dst; checksums; passes = 1; bytes_touched = 2 * n; compiled = true }
+  in
+  match (lowering, plan) with
+  | L_copy, _ ->
       Kernels.copy ~src:input ~dst;
-      finish dst []
-  | [ Checksum Checksum.Kind.Internet ] ->
-      finish (Bytebuf.copy input) [ (Checksum.Kind.Internet, Kernels.checksum input) ]
-  | [ Checksum Checksum.Kind.Internet; Deliver_copy ]
-  | [ Deliver_copy; Checksum Checksum.Kind.Internet ] ->
-      (* The checksum covers the same bytes on either side of the copy. *)
-      let dst = Bytebuf.create n in
+      mk []
+  | L_copy_checksum, _ ->
       let c = Kernels.copy_checksum ~src:input ~dst in
-      finish dst [ (Checksum.Kind.Internet, c) ]
-  | [ Xor_pad { key; pos }; Deliver_copy ] ->
-      let dst = Bytebuf.create n in
-      Cipher.Pad.transform_copy_at (Cipher.Pad.create ~key) ~pos ~src:input ~dst;
-      finish dst []
-  | [ Xor_pad { key; pos }; Checksum Checksum.Kind.Internet; Deliver_copy ] ->
-      let dst = Bytebuf.create n in
+      mk [ (Checksum.Kind.Internet, c) ]
+  | L_pad_checksum_copy, Xor_pad { key; pos } :: _ ->
       let c = Kernels.copy_checksum_xor ~src:input ~dst ~key ~stream_pos:pos in
-      finish dst [ (Checksum.Kind.Internet, c) ]
-  | [ Checksum Checksum.Kind.Internet; Xor_pad { key; pos }; Deliver_copy ] ->
-      let dst = Bytebuf.create n in
+      mk [ (Checksum.Kind.Internet, c) ]
+  | L_checksum_pad_copy, _ :: Xor_pad { key; pos } :: _ ->
       let c = Kernels.checksum_xor_copy ~src:input ~dst ~key ~stream_pos:pos in
-      finish dst [ (Checksum.Kind.Internet, c) ]
-  | _ -> None
+      mk [ (Checksum.Kind.Internet, c) ]
+  | L_general { swap_first }, _ -> mk (run_general ~swap_first plan input dst)
+  | (L_pad_checksum_copy | L_checksum_pad_copy), _ ->
+      (* The lowering came from this plan's shape. *)
+      assert false
 
 let run_layered plan input =
   let r, ns = Obs.Clock.time_ns (fun () -> run_layered_impl plan input) in
-  record_run ~mode:"layered" ~ns r;
+  record_run handles_layered ~ns r;
   r
 
 let run_fused_interpreted plan input =
   let r, ns =
     Obs.Clock.time_ns (fun () -> run_fused_interpreted_impl plan input)
   in
-  record_run ~mode:"fused-interpreted" ~ns r;
+  record_run handles_interpreted ~ns r;
   r
 
-let run_fused plan input =
+let run_fused ?dst plan input =
   let r, ns =
     Obs.Clock.time_ns (fun () ->
-        (match validate plan with
-        | Ok () -> ()
-        | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg));
-        match compile plan input with
-        | Some result -> result
-        | None -> run_fused_interpreted_impl plan input)
+        match compile_lookup plan with
+        | Error msg -> invalid_arg ("Ilp.run_fused: " ^ msg)
+        | Ok lowering -> exec lowering plan input dst)
   in
-  record_run
-    ~mode:(if r.compiled then "fused-compiled" else "fused-interpreted")
-    ~ns r;
+  record_run handles_compiled ~ns r;
   r

@@ -8,13 +8,18 @@
     - {!run_layered}: one full pass over the data per stage, with an
       intermediate buffer wherever a stage rewrites bytes — the engineering
       style layered protocol suites induce;
-    - {!run_fused}: one pass. When the plan matches a known shape it is
-      {e compiled} — dispatched to a hand-fused word-at-a-time kernel
-      ({!Kernels}); otherwise it falls back to {!run_fused_interpreted},
-      a generic per-byte loop over the stage list. This is §8's
+    - {!run_fused}: one pass, always {e compiled}. Every valid plan is
+      lowered — once per plan {e shape}, through a cache — to a
+      block-at-a-time loop of word-level stage combinators (64-bit-lane
+      Internet checksum feeder, keystream XOR over words, byteswap32 as
+      a word shuffle, copy as the carrier), with a byte tail for the
+      last [len mod 8] bytes; a few whole-plan shapes short-circuit to
+      the hand-fused {!Kernels}. Stage dispatch happens per word over a
+      pre-lowered array, never per byte. This is §8's
       compilation-vs-interpretation distinction made executable: the
-      interpreted fusion demonstrates semantics, the compiled one
-      delivers the performance the paper claims (see experiment E2).
+      interpreted fusion ({!run_fused_interpreted}) survives as the
+      semantic oracle, the compiled path delivers the performance the
+      paper claims (see experiments E2 and E14).
 
     All executions produce identical outputs and checksum values (a
     property the test suite checks exhaustively); they differ only in
@@ -70,12 +75,33 @@ val run_layered : plan -> Bytebuf.t -> result
 (** Executes each stage as its own pass. Raises [Invalid_argument] on a
     [Byteswap32] with length not a multiple of 4. *)
 
-val run_fused : plan -> Bytebuf.t -> result
-(** Single-loop execution, compiled when the plan shape is known
-    ([result.compiled] says which happened). Raises [Invalid_argument] if
-    the plan does not {!validate} or on a bad [Byteswap32] length. *)
+val run_fused : ?dst:Bytebuf.t -> plan -> Bytebuf.t -> result
+(** Single-loop compiled execution ([result.compiled] is always [true]).
+    Raises [Invalid_argument] if the plan does not {!validate} or on a
+    bad [Byteswap32] length.
+
+    [?dst] supplies the output buffer — typically a {!Bufkit.Pool} slice
+    or a region of the application's destination, making delivery
+    allocation-free. Must have exactly the input's length (else
+    [Invalid_argument]); [result.output] is then [dst] itself. [dst]
+    must not overlap the input, except that passing the input itself
+    transforms in place when the plan has no leading [Byteswap32]. *)
 
 val run_fused_interpreted : plan -> Bytebuf.t -> result
-(** The generic per-byte stage interpreter, exposed for the
-    compilation-vs-interpretation ablation. Same results as
-    {!run_fused}, never compiled. *)
+(** The generic per-byte stage interpreter: closure-list dispatch per
+    byte — the anti-pattern the paper warns about, kept as the semantic
+    oracle for the compilation-vs-interpretation ablation. Same results
+    as {!run_fused}, never compiled. *)
+
+(** {1 The plan cache}
+
+    Lowering is keyed on the plan's {e shape} (the sequence of stage
+    constructors and checksum kinds) — keys and stream positions are
+    run-time parameters — so a stream of per-ADU plans that differ only
+    in [pos] compiles exactly once. The cache is shared across domains. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val plan_cache_stats : unit -> cache_stats
+(** Process-lifetime totals; also exported as the
+    [ilp.plan_cache.hits]/[.misses] registry counters. *)

@@ -41,9 +41,29 @@ let c_parallel = Obs.Registry.counter "ilp.par.parallel_adus"
 let c_fallback = Obs.Registry.counter "ilp.par.serial_fallback_adus"
 let c_batches = Obs.Registry.counter "ilp.par.batches"
 
-let run ?pool ?dst ~plan adus =
+let run ?pool ?dst ?outs ~plan adus =
   let n = Array.length adus in
   let plans = Array.map plan adus in
+  (match outs with
+  | Some outs when Array.length outs <> n ->
+      invalid_arg
+        (Printf.sprintf "Ilp_par.run: %d output slots for %d ADUs"
+           (Array.length outs) n)
+  | Some outs ->
+      Array.iteri
+        (fun i out ->
+          match out with
+          | Some out
+            when Bytebuf.length out <> Bytebuf.length adus.(i).Adu.payload ->
+              invalid_arg
+                (Printf.sprintf
+                   "Ilp_par.run: ADU %d output slot is %d bytes for a \
+                    %d-byte payload"
+                   i (Bytebuf.length out)
+                   (Bytebuf.length adus.(i).Adu.payload))
+          | _ -> ())
+        outs
+  | None -> ());
   (* Fail on the caller, before any work is dispatched: a worker raising
      halfway through leaves nothing half-written this way. *)
   Array.iteri
@@ -71,16 +91,19 @@ let run ?pool ?dst ~plan adus =
         adus);
   let results : Ilp.result option array = Array.make n None in
   let work i () =
-    let r = Ilp.run_fused plans.(i) adus.(i).Adu.payload in
-    (* Pre-assigned region: the name carries the destination offset, so
-       no completion order is observable in [dst]. *)
-    (match dst with
-    | None -> ()
-    | Some dst ->
-        Bytebuf.blit ~src:r.output ~src_pos:0 ~dst
-          ~dst_pos:adus.(i).Adu.name.dest_off
-          ~len:(Bytebuf.length r.output));
-    results.(i) <- Some r
+    (* Pre-assigned region: the name carries the destination offset, so no
+       completion order is observable in [dst]. The fused loop writes the
+       region (or the caller's per-ADU slot) directly — no intermediate
+       buffer, no blit. *)
+    let out =
+      match dst with
+      | Some dst ->
+          Some
+            (Bytebuf.sub dst ~pos:adus.(i).Adu.name.dest_off
+               ~len:(Bytebuf.length adus.(i).Adu.payload))
+      | None -> ( match outs with Some outs -> outs.(i) | None -> None)
+    in
+    results.(i) <- Some (Ilp.run_fused ?dst:out plans.(i) adus.(i).Adu.payload)
   in
   let in_order = Array.exists Ilp.needs_in_order plans in
   let parallel_adus, serial_fallback =

@@ -39,13 +39,18 @@ val merge_checksums :
 val run :
   ?pool:Par.Pool.t ->
   ?dst:Bytebuf.t ->
+  ?outs:Bytebuf.t option array ->
   plan:(Adu.t -> Ilp.plan) ->
   Adu.t array ->
   outcome
 (** Run each ADU's plan with the fused executor. Without [?pool] (or on a
     pool of size 1, or under the degradation rule) execution is serial in
-    index order on the caller. With [~dst], each ADU's output is also
-    blitted to [dst] at its name's [dest_off]; regions must be disjoint —
-    offsets and lengths are bounds-checked up front, and
-    [Invalid_argument] is raised before any work is dispatched. Plans
-    that fail {!Ilp.validate} also raise [Invalid_argument] up front. *)
+    index order on the caller. With [~dst], each ADU's fused loop writes
+    {e directly} into [dst] at its name's [dest_off] (the result's
+    [output] aliases that region); regions must be disjoint — offsets and
+    lengths are bounds-checked up front, and [Invalid_argument] is raised
+    before any work is dispatched. With [?outs] (ignored when [~dst] is
+    given), slot [i] supplies ADU [i]'s output buffer — typically a
+    {!Bufkit.Pool} slice; [None] slots allocate as usual. Each non-[None]
+    slot must match its payload's length (checked up front). Plans that
+    fail {!Ilp.validate} also raise [Invalid_argument] up front. *)

@@ -129,13 +129,13 @@ let copy_checksum_xor ~src ~dst ~key ~stream_pos =
   let db, dbase, _ = Bytebuf.backing dst in
   let i = ref 0 in
   let be_sum = ref 0 in
-  let aligned = Int64.rem stream_pos 8L = 0L && not Sys.big_endian in
-  if aligned then begin
-    let block0 = Int64.div stream_pos 8L in
+  if not Sys.big_endian then begin
+    (* [word64_at] assembles the keystream for any stream position, so
+       unaligned ADU offsets take the word path too. *)
     let lanes = ref 0 in
     while len - !i >= 8 do
       let x = Bytes.get_int64_ne sb (sbase + !i) in
-      let k = Cipher.Pad.block64 pad (Int64.add block0 (Int64.of_int (!i / 8))) in
+      let k = Cipher.Pad.word64_at pad (Int64.add stream_pos (Int64.of_int !i)) in
       let p = Int64.logxor x k in
       Bytes.set_int64_ne db (dbase + !i) p;
       lanes := !lanes + lane_sum_le p;
@@ -144,7 +144,7 @@ let copy_checksum_xor ~src ~dst ~key ~stream_pos =
     done;
     be_sum := swap16 (fold16 !lanes)
   end;
-  (* Tail (and the whole buffer on odd alignments): byte at a time. *)
+  (* Tail (and the whole buffer on big-endian hosts): byte at a time. *)
   while !i < len do
     let k = Cipher.Pad.byte_at pad (Int64.add stream_pos (Int64.of_int !i)) in
     let p = Char.code (Bytes.unsafe_get sb (sbase + !i)) lxor k in
@@ -162,13 +162,11 @@ let checksum_xor_copy ~src ~dst ~key ~stream_pos =
   let db, dbase, _ = Bytebuf.backing dst in
   let i = ref 0 in
   let be_sum = ref 0 in
-  let aligned = Int64.rem stream_pos 8L = 0L && not Sys.big_endian in
-  if aligned then begin
-    let block0 = Int64.div stream_pos 8L in
+  if not Sys.big_endian then begin
     let lanes = ref 0 in
     while len - !i >= 8 do
       let x = Bytes.get_int64_ne sb (sbase + !i) in
-      let k = Cipher.Pad.block64 pad (Int64.add block0 (Int64.of_int (!i / 8))) in
+      let k = Cipher.Pad.word64_at pad (Int64.add stream_pos (Int64.of_int !i)) in
       Bytes.set_int64_ne db (dbase + !i) (Int64.logxor x k);
       lanes := !lanes + lane_sum_le x;
       if !lanes > 0x3FFFFFFF then lanes := fold16 !lanes;

@@ -37,6 +37,8 @@ type t
 val create :
   ?pool:Par.Pool.t ->
   ?batch:int ->
+  ?out_pool:Bufkit.Pool.t ->
+  ?in_pool:Bufkit.Pool.t ->
   plan:(Adu.t -> Ilp.plan) ->
   deliver:(result -> unit) ->
   unit ->
@@ -44,7 +46,24 @@ val create :
 (** Without [?pool], each ADU is processed inline as it arrives (the
     PR-1 behaviour). With [?pool], ADUs accumulate and every [batch]
     (default 32) are executed in parallel; [deliver] still runs on the
-    caller, in arrival order. Raises [Invalid_argument] if [batch < 1]. *)
+    caller, in arrival order. Raises [Invalid_argument] if [batch < 1].
+
+    [?out_pool] recycles {e output} buffers: the fused loop writes into a
+    pool slice ([Ilp.run_fused ~dst]) instead of allocating per ADU. The
+    delivered payload then only remains valid while [deliver] runs —
+    consume or copy it before returning. ADUs larger than the pool's
+    [buf_size], or arriving while the pool is exhausted, fall back to
+    allocation transparently.
+
+    [?in_pool] matters only with [?pool] (batched mode): arriving
+    payloads are staged into pool-owned buffers until the flush. Provide
+    it whenever the transport hands out {e borrowed} payloads (a pooled
+    {!Framing.reassembler}); without it, batched mode retains the
+    caller's payload until the flush. If the staging pool cannot serve
+    an ADU, a private copy is made rather than retaining the borrow.
+
+    With both pools, steady-state receive does zero buffer allocations
+    per ADU (see the [ilp-compile/pooled-receive] bench row). *)
 
 val deliver_fn : t -> Adu.t -> unit
 (** The callback to hand to the transport: runs (or, pooled, enqueues)

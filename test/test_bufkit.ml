@@ -379,6 +379,32 @@ let test_hexdump_empty () =
   Alcotest.(check bool) "empty marker" true
     (Hexdump.to_string Bytebuf.empty = "(empty)\n")
 
+let test_created_total_accounting () =
+  let before = Bytebuf.created_total () in
+  let b = Bytebuf.create 8 in
+  let after_create = Bytebuf.created_total () in
+  Alcotest.(check bool) "create counts" true (after_create > before);
+  (* Views are free: aliasing must not move the allocation counter. *)
+  let snap = Bytebuf.created_total () in
+  ignore (Bytebuf.sub b ~pos:2 ~len:4);
+  ignore (Bytebuf.take b 3);
+  ignore (Bytebuf.shift b 1);
+  Alcotest.(check int) "views don't count" snap (Bytebuf.created_total ());
+  ignore (Bytebuf.copy b);
+  Alcotest.(check bool) "copy counts" true (Bytebuf.created_total () > snap)
+
+let test_pool_reuse_no_creates () =
+  let p = Pool.create ~buf_size:32 () in
+  let warm = Pool.acquire p in
+  Pool.release p warm;
+  let snap = Bytebuf.created_total () in
+  for _ = 1 to 10 do
+    let b = Pool.acquire p in
+    Pool.release p b
+  done;
+  Alcotest.(check int) "steady-state acquire allocates nothing" snap
+    (Bytebuf.created_total ())
+
 let () =
   Alcotest.run "bufkit"
     [
@@ -435,6 +461,10 @@ let () =
           Alcotest.test_case "capacity cap" `Quick test_pool_capacity_cap;
           Alcotest.test_case "multi-domain accounting" `Quick
             test_pool_multidomain_accounting;
+          Alcotest.test_case "created_total accounting" `Quick
+            test_created_total_accounting;
+          Alcotest.test_case "steady-state zero creates" `Quick
+            test_pool_reuse_no_creates;
         ] );
       ( "hexdump",
         [

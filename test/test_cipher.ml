@@ -162,6 +162,19 @@ let test_chain_per_adu_iv_restores_independence () =
   let d1 = Cipher.Chain.decrypt key ~iv:101L c1 in
   Alcotest.(check bool) "first too" true (Bytebuf.equal d1 adu1)
 
+let prop_pad_word64_at =
+  QCheck.Test.make ~name:"pad: word64_at = 8 byte_at at any offset" ~count:500
+    QCheck.(pair int64 (int_bound 10000))
+    (fun (key, pos) ->
+      let pad = Cipher.Pad.create ~key in
+      let pos = Int64.of_int pos in
+      let w = Cipher.Pad.word64_at pad pos in
+      List.for_all
+        (fun j ->
+          Int64.to_int (Int64.shift_right_logical w (8 * j)) land 0xff
+          = Cipher.Pad.byte_at pad (Int64.add pos (Int64.of_int j)))
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
 let () =
   Alcotest.run "cipher"
     [
@@ -180,6 +193,7 @@ let () =
           qcheck prop_pad_involution;
           qcheck prop_pad_out_of_order;
           qcheck prop_pad_copy_fused;
+          qcheck prop_pad_word64_at;
         ] );
       ( "chain",
         [

@@ -239,10 +239,13 @@ let test_ilp_passes_accounting () =
     (layered.Ilp.bytes_touched > (Ilp.run_fused plan (buf "0123456789")).Ilp.bytes_touched)
 
 let test_ilp_compilation_dispatch () =
-  (* Known plan shapes go to the fused kernels; others are interpreted. *)
+  (* Every valid plan compiles now: the known shapes hit the hand-fused
+     kernels, everything else lowers to the general word-combinator loop.
+     The per-byte interpreter is only the oracle. *)
   let input = buf "0123456789abcdef" in
   let compiled_plans =
     [
+      [];
       [ Ilp.Deliver_copy ];
       [ Ilp.Checksum Checksum.Kind.Internet ];
       [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ];
@@ -251,6 +254,16 @@ let test_ilp_compilation_dispatch () =
         Ilp.Deliver_copy ];
       [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Xor_pad { key = 5L; pos = 8L };
         Ilp.Deliver_copy ];
+      (* Shapes the old compiler punted to the interpreter: *)
+      [ Ilp.Checksum Checksum.Kind.Crc32 ];
+      [ Ilp.Byteswap32; Ilp.Deliver_copy ];
+      [ Ilp.Byteswap32; Ilp.Checksum Checksum.Kind.Fletcher32;
+        Ilp.Xor_pad { key = 77L; pos = 3L }; Ilp.Checksum Checksum.Kind.Adler32;
+        Ilp.Deliver_copy ];
+      [ Ilp.Rc4_stream { key = "k" }; Ilp.Checksum Checksum.Kind.Internet;
+        Ilp.Deliver_copy ];
+      [ Ilp.Xor_pad { key = 5L; pos = 13L }; Ilp.Checksum Checksum.Kind.Internet;
+        Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ];
     ]
   in
   List.iter
@@ -260,14 +273,7 @@ let test_ilp_compilation_dispatch () =
       let i = Ilp.run_fused_interpreted plan input in
       Alcotest.(check bool) "same output" true (Bytebuf.equal r.Ilp.output i.Ilp.output);
       Alcotest.(check bool) "same checksums" true (r.Ilp.checksums = i.Ilp.checksums))
-    compiled_plans;
-  let interpreted_only =
-    [ [ Ilp.Checksum Checksum.Kind.Crc32 ]; [ Ilp.Byteswap32; Ilp.Deliver_copy ] ]
-  in
-  List.iter
-    (fun plan ->
-      Alcotest.(check bool) "not compiled" false (Ilp.run_fused plan input).Ilp.compiled)
-    interpreted_only
+    compiled_plans
 
 let test_ilp_checksum_sees_transformed_data () =
   (* A checksum after the cipher must cover ciphertext, not plaintext. *)
@@ -281,6 +287,146 @@ let test_ilp_checksum_sees_transformed_data () =
     "before = plaintext checksum"
     [ (Checksum.Kind.Internet, Checksum.Internet.digest input) ]
     before.Ilp.checksums
+
+(* --- The plan compiler --- *)
+
+let arb_general_plan =
+  (* Full stage alphabet. Byteswap32 is only valid as the first stage, so
+     it is generated there (sometimes), keeping the share of valid plans
+     high without biasing the rest of the shape space. *)
+  let open QCheck.Gen in
+  let stage =
+    frequency
+      [
+        (3, map (fun k -> Ilp.Checksum k) (oneofl Checksum.Kind.all));
+        ( 3,
+          map2
+            (fun key pos -> Ilp.Xor_pad { key; pos = Int64.of_int pos })
+            int64 (int_bound 10000) );
+        (2, return Ilp.Deliver_copy);
+        (1, return (Ilp.Rc4_stream { key = "general-key" }));
+      ]
+  in
+  QCheck.make
+    ~print:(fun plan -> String.concat ";" (List.map Ilp.stage_name plan))
+    (map2
+       (fun lead rest -> if lead then Ilp.Byteswap32 :: rest else rest)
+       bool
+       (list_size (0 -- 4) stage))
+
+let prop_ilp_compiler_general =
+  (* The tentpole property: every valid plan compiles, and the compiled
+     word-at-a-time loop agrees with both oracles on outputs and checksum
+     values — over lengths that include ragged (non-multiple-of-8)
+     tails, so the word/byte seam is exercised. *)
+  QCheck.Test.make ~name:"ilp: compiled = interpreted = layered, any plan/len"
+    ~count:600
+    QCheck.(pair arb_general_plan (int_bound 131))
+    (fun (plan, len) ->
+      QCheck.assume (valid_plan plan);
+      let len = if List.mem Ilp.Byteswap32 plan then len - (len mod 4) else len in
+      let s = String.init len (fun i -> Char.chr ((i * 131 + 17) land 0xff)) in
+      let fused = Ilp.run_fused plan (buf s) in
+      let interp = Ilp.run_fused_interpreted plan (buf s) in
+      let layered = Ilp.run_layered plan (buf s) in
+      fused.Ilp.compiled && fused.Ilp.passes = 1
+      && Bytebuf.equal fused.Ilp.output interp.Ilp.output
+      && Bytebuf.equal fused.Ilp.output layered.Ilp.output
+      && fused.Ilp.checksums = interp.Ilp.checksums
+      && fused.Ilp.checksums = layered.Ilp.checksums)
+
+let prop_ilp_validate_shape_determined =
+  (* validate and needs_in_order are functions of the plan's shape alone —
+     the invariant the plan cache's shape key rests on. *)
+  QCheck.Test.make ~name:"ilp: validate/needs_in_order are shape properties"
+    ~count:400 arb_general_plan
+    (fun plan ->
+      let reparam =
+        List.map
+          (function
+            | Ilp.Xor_pad _ -> Ilp.Xor_pad { key = 42L; pos = 98765L }
+            | Ilp.Rc4_stream _ -> Ilp.Rc4_stream { key = "other-key" }
+            | s -> s)
+          plan
+      in
+      (match (Ilp.validate plan, Ilp.validate reparam) with
+      | Ok (), Ok () | Error _, Error _ -> true
+      | _ -> false)
+      && Ilp.needs_in_order plan = Ilp.needs_in_order reparam
+      && Ilp.needs_in_order plan
+         = List.exists (function Ilp.Rc4_stream _ -> true | _ -> false) plan)
+
+let prop_ilp_fused_agrees_with_validate =
+  QCheck.Test.make ~name:"ilp: run_fused raises iff validate rejects" ~count:400
+    arb_general_plan
+    (fun plan ->
+      let input = buf (String.make 20 'x') in
+      match Ilp.run_fused plan input with
+      | _ -> valid_plan plan
+      | exception Invalid_argument _ -> not (valid_plan plan))
+
+let test_ilp_run_fused_dst () =
+  let plan =
+    [
+      Ilp.Xor_pad { key = 7L; pos = 3L };
+      Ilp.Checksum Checksum.Kind.Internet;
+      Ilp.Deliver_copy;
+    ]
+  in
+  let input = buf "hello fused destination!" in
+  let dst = Bytebuf.create (Bytebuf.length input) in
+  let r = Ilp.run_fused ~dst plan input in
+  Alcotest.(check bool) "output is dst itself" true (r.Ilp.output == dst);
+  let r2 = Ilp.run_fused plan input in
+  Alcotest.(check bool) "same bytes" true (Bytebuf.equal dst r2.Ilp.output);
+  Alcotest.(check bool) "same checksums" true (r.Ilp.checksums = r2.Ilp.checksums);
+  (match Ilp.run_fused ~dst:(Bytebuf.create 5) plan input with
+  | _ -> Alcotest.fail "length mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  (* General-loop plan with a short dst too. *)
+  let gen_plan = [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ] in
+  (match Ilp.run_fused ~dst:(Bytebuf.create 5) gen_plan input with
+  | _ -> Alcotest.fail "length mismatch accepted (general)"
+  | exception Invalid_argument _ -> ());
+  (* In-place transform: dst = input is allowed without a leading
+     Byteswap32 (word and byte steps read position i before writing it). *)
+  let inplace = Bytebuf.copy input in
+  let r3 = Ilp.run_fused ~dst:inplace plan inplace in
+  Alcotest.(check bool) "in-place = out-of-place" true
+    (Bytebuf.equal r3.Ilp.output r2.Ilp.output)
+
+let test_ilp_plan_cache () =
+  (* A shape no other test uses, so the first run is this test's miss. *)
+  let mk pos =
+    [
+      Ilp.Checksum Checksum.Kind.Fletcher16;
+      Ilp.Xor_pad { key = Int64.of_int (pos * 7 + 1); pos = Int64.of_int pos };
+      Ilp.Checksum Checksum.Kind.Adler32;
+    ]
+  in
+  let input = buf "cache me if you can" in
+  ignore (Ilp.run_fused (mk 1) input);
+  let mid = Ilp.plan_cache_stats () in
+  for p = 2 to 21 do
+    ignore (Ilp.run_fused (mk p) input)
+  done;
+  let after = Ilp.plan_cache_stats () in
+  Alcotest.(check int) "same shape never re-lowered" mid.Ilp.misses
+    after.Ilp.misses;
+  Alcotest.(check int) "every later run hits" (mid.Ilp.hits + 20) after.Ilp.hits;
+  Alcotest.(check bool) "entries present" true (after.Ilp.entries > 0);
+  (* Invalid shapes are cached too: rejection is also O(lookup). *)
+  let bad = [ Ilp.Deliver_copy; Ilp.Byteswap32 ] in
+  let probe () =
+    match Ilp.run_fused bad input with
+    | _ -> Alcotest.fail "invalid plan accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  probe ();
+  let m1 = (Ilp.plan_cache_stats ()).Ilp.misses in
+  probe ();
+  Alcotest.(check int) "invalid shape cached" m1
+    (Ilp.plan_cache_stats ()).Ilp.misses
 
 (* --- ADU --- *)
 
@@ -325,6 +471,25 @@ let test_adu_name_validation () =
   | _ -> Alcotest.fail "negative index"
   | exception Invalid_argument _ -> ()
 
+let test_adu_decode_view_aliases () =
+  let adu = Adu.make (Adu.name ~stream:1 ~index:2 ()) (buf "view payload") in
+  let wire = Adu.encode adu in
+  let v = Adu.decode_view wire in
+  Alcotest.(check bool) "payload equal" true
+    (Bytebuf.equal v.Adu.payload adu.Adu.payload);
+  Alcotest.(check bool) "name equal" true (v.Adu.name = adu.Adu.name);
+  (* The view aliases the wire buffer — no copy was made. *)
+  Bytebuf.set_uint8 wire Adu.header_size
+    (Bytebuf.get_uint8 wire Adu.header_size lxor 0xff);
+  Alcotest.(check bool) "aliases wire" false
+    (Bytebuf.equal v.Adu.payload adu.Adu.payload);
+  (* decode still owns its payload. *)
+  let wire2 = Adu.encode adu in
+  let d = Adu.decode wire2 in
+  Bytebuf.set_uint8 wire2 Adu.header_size 0;
+  Alcotest.(check bool) "decode copies" true
+    (Bytebuf.equal d.Adu.payload adu.Adu.payload)
+
 (* --- Framing --- *)
 
 let test_framing_buffer_partition () =
@@ -365,7 +530,7 @@ let prop_framing_fragment_round_trip =
       let arr = Array.of_list infos in
       Rng.shuffle (Rng.create ~seed) arr;
       let got = ref [] in
-      let r = Framing.reassembler ~deliver:(fun a -> got := a :: !got) in
+      let r = Framing.reassembler ~deliver:(fun a -> got := a :: !got) () in
       Array.iter (Framing.push r) arr;
       match !got with
       | [ back ] ->
@@ -394,7 +559,7 @@ let test_framing_duplicate_fragments () =
   let adu = Adu.make (Adu.name ~stream:0 ~index:5 ()) (Bytebuf.create 600) in
   let frags = List.map Framing.parse_fragment (Framing.fragment ~mtu:256 adu) in
   let got = ref 0 in
-  let r = Framing.reassembler ~deliver:(fun _ -> incr got) in
+  let r = Framing.reassembler ~deliver:(fun _ -> incr got) () in
   (* Feed everything except the last fragment, twice: duplicates are
      absorbed and counted, nothing delivered. (De-duplication of whole
      completed ADUs is the transport's job, not the reassembler's.) *)
@@ -418,7 +583,7 @@ let test_framing_interleaved_adus () =
     | x :: xs, y :: ys -> x :: y :: interleave xs ys
   in
   let order = ref [] in
-  let r = Framing.reassembler ~deliver:(fun a -> order := a.Adu.name.Adu.index :: !order) in
+  let r = Framing.reassembler ~deliver:(fun a -> order := a.Adu.name.Adu.index :: !order) () in
   (* Interleave but give ADU 1 its last fragment first: it completes first. *)
   List.iter (Framing.push r) (interleave (List.rev f1) f0);
   Alcotest.(check int) "both complete" 2 (List.length !order)
@@ -426,11 +591,46 @@ let test_framing_interleaved_adus () =
 let test_framing_forget () =
   let adu = Adu.make (Adu.name ~stream:0 ~index:9 ()) (Bytebuf.create 600) in
   let frags = List.map Framing.parse_fragment (Framing.fragment ~mtu:256 adu) in
-  let r = Framing.reassembler ~deliver:(fun _ -> Alcotest.fail "must not deliver") in
+  let r = Framing.reassembler ~deliver:(fun _ -> Alcotest.fail "must not deliver") () in
   (match frags with f :: _ -> Framing.push r f | [] -> ());
   Alcotest.(check int) "pending" 1 (Framing.pending_adus r);
   Framing.forget r ~index:9;
   Alcotest.(check int) "forgotten" 0 (Framing.pending_adus r)
+
+let test_framing_pooled_zero_alloc () =
+  (* Stage-1 steady state with a pool: after the first ADU has warmed the
+     pool, reassembling further ADUs allocates no buffers at all. *)
+  let pool = Pool.create ~buf_size:2048 () in
+  let delivered = ref 0 in
+  let r =
+    Framing.reassembler ~pool
+      ~deliver:(fun a -> delivered := !delivered + Bytebuf.length a.Adu.payload)
+      ()
+  in
+  let payload = Bytebuf.of_string (String.init 700 (fun i -> Char.chr (i land 0xff))) in
+  let frags i =
+    List.map Framing.parse_fragment
+      (Framing.fragment ~mtu:256 (Adu.make (Adu.name ~stream:3 ~index:i ()) payload))
+  in
+  let batches = List.init 12 frags in
+  (match batches with b :: _ -> List.iter (Framing.push r) b | [] -> ());
+  let snap = Bytebuf.created_total () in
+  List.iteri (fun i b -> if i > 0 then List.iter (Framing.push r) b) batches;
+  Alcotest.(check int) "zero creates per ADU after warmup" snap
+    (Bytebuf.created_total ());
+  Alcotest.(check int) "all adus delivered" (12 * 700) !delivered;
+  Alcotest.(check int) "one pool buffer suffices" 1 (Pool.stats pool).Pool.allocated
+
+let test_framing_pooled_oversize_falls_back () =
+  (* ADUs beyond the pool's buf_size still reassemble (fresh buffer). *)
+  let pool = Pool.create ~buf_size:64 () in
+  let got = ref 0 in
+  let r = Framing.reassembler ~pool ~deliver:(fun _ -> incr got) () in
+  let adu = Adu.make (Adu.name ~stream:0 ~index:0 ()) (Bytebuf.create 500) in
+  List.iter (Framing.push r)
+    (List.map Framing.parse_fragment (Framing.fragment ~mtu:200 adu));
+  Alcotest.(check int) "delivered" 1 !got;
+  Alcotest.(check int) "pool untouched" 0 (Pool.stats pool).Pool.allocated
 
 (* --- Recovery --- *)
 
@@ -837,6 +1037,94 @@ let test_stage2_rejects_invalid_plan () =
   in
   Stage2.deliver_fn stage2 (Adu.make (Adu.name ~stream:0 ~index:0 ()) (buf "abcd"));
   Alcotest.(check int) "rejection counted" 1 (Stage2.stats stage2).Stage2.rejected_invalid
+
+let test_stage2_out_pool_inline () =
+  (* Inline stage 2 writing into pooled output slices: the delivered
+     payload is borrowed, and steady state allocates nothing. *)
+  let key = 99L in
+  let out_pool = Pool.create ~buf_size:1024 () in
+  let plain = buf "stage two pooled payload bytes!" in
+  let n = Bytebuf.length plain in
+  let ok = ref 0 in
+  let stage =
+    Stage2.create ~out_pool
+      ~plan:(Stage2.decrypt_verify_at ~key)
+      ~deliver:(fun (r : Stage2.result) ->
+        (* Borrowed: consume inside the callback. *)
+        if Bytebuf.equal r.Stage2.adu.Adu.payload plain then incr ok)
+      ()
+  in
+  let pad = Cipher.Pad.create ~key in
+  let adu i =
+    let sealed = Bytebuf.copy plain in
+    let off = i * 64 in
+    Cipher.Pad.transform_at pad ~pos:(Int64.of_int off) sealed;
+    Adu.make
+      (Adu.name ~stream:0 ~index:i ~dest_off:off ~dest_len:n ())
+      sealed
+  in
+  let adus = List.init 21 adu in
+  (match adus with a :: _ -> Stage2.deliver_fn stage a | [] -> ());
+  let snap = Bytebuf.created_total () in
+  List.iteri (fun i a -> if i > 0 then Stage2.deliver_fn stage a) adus;
+  Alcotest.(check int) "zero creates per ADU after warmup" snap
+    (Bytebuf.created_total ());
+  Alcotest.(check int) "every payload decrypted in place of delivery" 21 !ok;
+  Alcotest.(check int) "one output buffer recycled" 1
+    (Pool.stats out_pool).Pool.allocated
+
+let test_stage2_batched_pools_round_trip () =
+  (* Batched stage 2 with both pools, fed borrowed inputs (a pooled
+     reassembler would hand these out): inputs are staged, outputs are
+     pooled, results are byte-correct and in arrival order. *)
+  let key = 5L in
+  let pool = Par.Pool.create ~domains:2 () in
+  let in_pool = Pool.create ~buf_size:256 () in
+  let out_pool = Pool.create ~buf_size:256 () in
+  let pad = Cipher.Pad.create ~key in
+  let mk i =
+    let plain = Bytebuf.of_string (Printf.sprintf "adu %02d payload" i) in
+    let off = i * 32 in
+    let sealed = Bytebuf.copy plain in
+    Cipher.Pad.transform_at pad ~pos:(Int64.of_int off) sealed;
+    ( plain,
+      Adu.make
+        (Adu.name ~stream:0 ~index:i ~dest_off:off
+           ~dest_len:(Bytebuf.length plain) ())
+        sealed )
+  in
+  let expected = Array.init 10 (fun i -> fst (mk i)) in
+  let order = ref [] in
+  let stage =
+    Stage2.create ~pool ~batch:4 ~in_pool ~out_pool
+      ~plan:(Stage2.decrypt_verify_at ~key)
+      ~deliver:(fun (r : Stage2.result) ->
+        let i = r.Stage2.adu.Adu.name.Adu.index in
+        Alcotest.(check bool)
+          (Printf.sprintf "adu %d decrypts" i)
+          true
+          (Bytebuf.equal r.Stage2.adu.Adu.payload expected.(i));
+        order := i :: !order)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      (* Hand each ADU over in a borrowed buffer that is scribbled on as
+         soon as deliver_fn returns — only input staging keeps this safe. *)
+      let borrowed = Bytebuf.create 64 in
+      for i = 0 to 9 do
+        let _, adu = mk i in
+        let len = Bytebuf.length adu.Adu.payload in
+        let view = Bytebuf.take borrowed len in
+        Bytebuf.blit ~src:adu.Adu.payload ~src_pos:0 ~dst:view ~dst_pos:0 ~len;
+        Stage2.deliver_fn stage (Adu.make adu.Adu.name view);
+        Bytebuf.fill borrowed '\xee'
+      done;
+      Stage2.flush stage);
+  Alcotest.(check (list int)) "arrival order" (List.init 10 Fun.id)
+    (List.rev !order);
+  Alcotest.(check int) "all processed" 10 (Stage2.stats stage).Stage2.processed
 
 (* --- Mux: many streams, one port --- *)
 
@@ -1363,10 +1651,16 @@ let () =
           Alcotest.test_case "compilation dispatch" `Quick test_ilp_compilation_dispatch;
           qcheck prop_ilp_fused_equals_layered;
           qcheck prop_ilp_byteswap_first_ok;
+          qcheck prop_ilp_compiler_general;
+          qcheck prop_ilp_validate_shape_determined;
+          qcheck prop_ilp_fused_agrees_with_validate;
+          Alcotest.test_case "run_fused ?dst" `Quick test_ilp_run_fused_dst;
+          Alcotest.test_case "plan cache" `Quick test_ilp_plan_cache;
         ] );
       ( "adu",
         [
           Alcotest.test_case "name validation" `Quick test_adu_name_validation;
+          Alcotest.test_case "decode_view aliases" `Quick test_adu_decode_view_aliases;
           qcheck prop_adu_round_trip;
           qcheck prop_adu_corruption_detected;
         ] );
@@ -1378,6 +1672,10 @@ let () =
           Alcotest.test_case "duplicate fragments" `Quick test_framing_duplicate_fragments;
           Alcotest.test_case "interleaved adus" `Quick test_framing_interleaved_adus;
           Alcotest.test_case "forget" `Quick test_framing_forget;
+          Alcotest.test_case "pooled zero-alloc steady state" `Quick
+            test_framing_pooled_zero_alloc;
+          Alcotest.test_case "pooled oversize fallback" `Quick
+            test_framing_pooled_oversize_falls_back;
           qcheck prop_framing_fragment_round_trip;
         ] );
       ( "recovery",
@@ -1460,6 +1758,10 @@ let () =
           Alcotest.test_case "rejects sequential cipher" `Quick
             test_stage2_rejects_sequential_cipher;
           Alcotest.test_case "rejects invalid plan" `Quick test_stage2_rejects_invalid_plan;
+          Alcotest.test_case "out_pool inline zero-alloc" `Quick
+            test_stage2_out_pool_inline;
+          Alcotest.test_case "batched with in/out pools" `Quick
+            test_stage2_batched_pools_round_trip;
         ] );
       ( "mux",
         [
