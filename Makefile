@@ -1,8 +1,12 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke perf-smoke soak soak-smoke examples cli clean outputs
+.PHONY: all build check test bench bench-quick bench-smoke perf-smoke soak soak-smoke examples cli clean outputs
 
 all: build
+
+# The one-stop gate: full test suite plus the perf-smoke fusion
+# invariants (E2/E14/E15 ratios at a tiny quota).
+check: test perf-smoke
 
 build:
 	dune build @all
@@ -21,14 +25,16 @@ bench-quick:
 # Tiny-quota pass over the microbenchmark experiments only: seconds, not
 # minutes, and still writes a valid BENCH_ilp.json for comparison.
 bench-smoke:
-	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel ilp-compile
+	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel ilp-compile ilp-marshal
 
-# Quick perf gate: run the two fusion experiments at a tiny quota, then
-# fail if fused does not beat serial (E2) or the compiled 3-stage plan
-# does not beat serial layered execution by >= 2x (E14). Ratios compare
-# measurements within one run, so the short quota does not skew them.
+# Quick perf gate: run the fusion experiments at a tiny quota, then fail
+# if fused does not beat serial (E2), the compiled 3-stage plan does not
+# beat serial layered execution by >= 2x (E14), or the fused marshal
+# does not beat the encode-then-checksum-then-copy composition by
+# >= 1.5x per codec (E15). Ratios compare measurements within one run,
+# so the short quota does not skew them.
 perf-smoke:
-	ALFNET_BENCH_QUOTA=0.05 ALFNET_BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe -- ilp-fusion ilp-compile
+	ALFNET_BENCH_QUOTA=0.05 ALFNET_BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe -- ilp-fusion ilp-compile ilp-marshal
 	dune exec bench/perfcheck.exe -- BENCH_smoke.json
 
 # The full hostile-network soak matrix (E13): impairment x recovery

@@ -7,7 +7,16 @@
      (E2, the original ILP claim);
    - the compiled 3-stage plan (decrypt+checksum+deliver) must beat the
      serial layered composition by at least 2x, and the per-byte
-     interpreter outright (E14, the plan compiler).
+     interpreter outright (E14, the plan compiler);
+   - the fused marshal+checksum+deliver pass must beat the serial
+     encode-then-checksum-then-copy composition by at least 1.5x, and
+     must not fall below the bare cursor encode at all — the paper's
+     28 -> 24 Mb/s conversion+checksum figure (E15, fused presentation
+     conversion), for both codecs. Relative to the bare in-place
+     marshal (no stages) the per-word stage dispatch may cost up to
+     30%: the paper measured 14% (24/28) against a conversion loop an
+     order of magnitude slower than ours, so the fixed stage cost is a
+     proportionally larger slice here.
 
    Ratios are between measurements of the *same run*, so host speed and
    quota cancel out. *)
@@ -61,5 +70,23 @@ let () =
     "ilp-compile/3stage/serial" 2.0;
   check "ilp-compile 3stage compiled vs interpreted"
     "ilp-compile/3stage/compiled" "ilp-compile/3stage/interpreted" 1.0;
+  List.iter
+    (fun codec ->
+      check
+        (Printf.sprintf "ilp-marshal %s fused vs serial" codec)
+        (Printf.sprintf "ilp-marshal/%s/fused" codec)
+        (Printf.sprintf "ilp-marshal/%s/serial" codec)
+        1.5;
+      check
+        (Printf.sprintf "ilp-marshal %s fused vs encode-only" codec)
+        (Printf.sprintf "ilp-marshal/%s/fused" codec)
+        (Printf.sprintf "ilp-marshal/%s/encode-only" codec)
+        0.8;
+      check
+        (Printf.sprintf "ilp-marshal %s fused vs marshal-only" codec)
+        (Printf.sprintf "ilp-marshal/%s/fused" codec)
+        (Printf.sprintf "ilp-marshal/%s/marshal-only" codec)
+        0.7)
+    [ "xdr"; "ber" ];
   if !failures > 0 then die "%d invariant(s) regressed in %s" !failures path;
   Printf.printf "perfcheck: all fusion invariants hold in %s\n" path

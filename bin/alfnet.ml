@@ -6,6 +6,7 @@
      syntax     encode a sample value in each transfer syntax
      parallel   shard a batch of ADUs across worker domains (stage 2)
      ilp        compile a manipulation plan and race the three executors
+     marshal    fuse presentation conversion into the stage plan (one pass)
      metrics    run an instrumented workload and dump the metrics registry
      soak       sweep impairment x recovery-policy x FEC under fault plans
 
@@ -18,6 +19,7 @@
      alfnet parallel --plan rc4   # demonstrates the in-order degradation
      alfnet ilp --plan swab,crc32,copy --size 1048576
      alfnet ilp --plan xor:42@1000,internet,fletcher32,copy
+     alfnet marshal --codec xdr --plan rc4:key,internet,copy
      alfnet soak --smoke --seed 42
      alfnet soak --out BENCH_soak.json *)
 
@@ -647,6 +649,136 @@ let ilp_cmd =
           word-at-a-time compiled loop (paper \\u{00a7}8).")
     Term.(ret (const run_ilp $ plan $ size))
 
+(* --- marshal: fused presentation conversion on the send path --- *)
+
+let run_marshal codec plan_spec records =
+  let specs =
+    String.split_on_char ',' plan_spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match
+    List.fold_left
+      (fun acc s ->
+        match (acc, parse_stage s) with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok stages, Ok st -> Ok (st :: stages))
+      (Ok []) specs
+  with
+  | Error e -> `Error (true, e)
+  | Ok rev_stages -> (
+      let plan = List.rev rev_stages in
+      let value =
+        Wire.Value.List
+          (List.init records (fun i ->
+               Wire.Value.Record
+                 [
+                   ("seq", Wire.Value.Int i);
+                   ("stamp", Wire.Value.Int64 (Int64.of_int (i * 1_000_003)));
+                   ("tag", Wire.Value.Utf8 "sensor");
+                   ("payload", Wire.Value.int_array [| i; i + 1; i + 2; i + 3 |]);
+                 ]))
+      in
+      let source, encode =
+        match codec with
+        | "xdr" ->
+            let schema = Wire.Xdr.schema_of_value value in
+            ( Ilp.Marshal_xdr (schema, value),
+              fun () -> Wire.Xdr.encode schema value )
+        | _ -> (Ilp.Marshal_ber value, fun () -> Wire.Ber.encode value)
+      in
+      let n = Ilp.marshal_size source in
+      match Ilp.run_marshal source plan with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | fused ->
+          let serial = Ilp.run_layered plan (encode ()) in
+          let agree =
+            Bytebuf.equal fused.Ilp.output serial.Ilp.output
+            && fused.Ilp.checksums = serial.Ilp.checksums
+          in
+          Printf.printf "codec: %s, %d records, %d bytes on the wire\n" codec
+            records n;
+          Printf.printf "plan: [%s]\n"
+            (String.concat "; " (List.map Ilp.stage_name plan));
+          let time name f =
+            ignore (f ()) (* warm *);
+            let t0 = Obs.Clock.now_ns () in
+            let runs = ref 0 in
+            let dt = ref 0.0 in
+            while !dt < 5e7 do
+              ignore (f ());
+              incr runs;
+              dt := Obs.Clock.now_ns () -. t0
+            done;
+            let ns = !dt /. float_of_int !runs in
+            let mbps = 8.0 *. float_of_int n /. ns *. 1000.0 in
+            Printf.printf "  %-38s %10.1f Mb/s (%d passes)\n" name mbps
+              (match name with
+              | "serial: encode; layered stages" -> 1 + serial.Ilp.passes
+              | _ -> 1);
+            mbps
+          in
+          let s =
+            time "serial: encode; layered stages" (fun () ->
+                Ilp.run_layered plan (encode ()))
+          in
+          let dst = Bytebuf.create n in
+          let f =
+            time "fused: marshal+stages, one pass" (fun () ->
+                Ilp.run_marshal ~dst source plan)
+          in
+          Printf.printf "fused = %.2fx serial\n" (f /. s);
+          List.iter
+            (fun (kind, v) ->
+              Printf.printf "checksum %s = 0x%08x\n"
+                (Checksum.Kind.to_string kind)
+                v)
+            fused.Ilp.checksums;
+          let cs = Ilp.plan_cache_stats () in
+          Printf.printf
+            "plan cache: %d entries, %d hits / %d misses this process\n"
+            cs.Ilp.entries cs.Ilp.hits cs.Ilp.misses;
+          Printf.printf "serial and fused byte- and checksum-identical: %b\n"
+            agree;
+          if agree then `Ok ()
+          else `Error (false, "serial and fused disagree - this is a bug"))
+
+let marshal_cmd =
+  let codec =
+    Arg.(
+      value
+      & opt (enum [ ("ber", "ber"); ("xdr", "xdr") ]) "ber"
+      & info [ "codec" ] ~docv:"CODEC"
+          ~doc:"Transfer syntax: $(b,ber) or $(b,xdr).")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt string "internet,copy"
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated stages applied to the encoded bytes as they \
+             are produced: $(b,xor:KEY[@POS]), $(b,rc4:KEY), $(b,copy), or \
+             a checksum kind ($(b,internet), $(b,fletcher16), \
+             $(b,fletcher32), $(b,adler32), $(b,crc32)). $(b,swab) is \
+             rejected: a marshalling source already fixes byte order.")
+  in
+  let records =
+    Arg.(
+      value & opt int 2048
+      & info [ "records" ] ~docv:"N"
+          ~doc:"Records in the sample telemetry value.")
+  in
+  Cmd.v
+    (Cmd.info "marshal"
+       ~doc:
+         "Marshal a sample value with the stage plan fused into the \
+          encoder - encode, checksum and cipher in one pass - and race it \
+          against the serial encode-then-stages composition (paper \
+          \\u{00a7}4's presentation conversion as an ILP stage).")
+    Term.(ret (const run_marshal $ codec $ plan $ records))
+
 (* --- metrics --- *)
 
 let run_metrics opts size =
@@ -696,6 +828,11 @@ let run_metrics opts size =
   ignore (Ilp.run_layered plan chunk);
   ignore (Ilp.run_fused_interpreted plan chunk);
   ignore (Ilp.run_fused plan chunk);
+  (* One fused marshal round-trip so the ilp.marshal.* counters (plan
+     cache traffic, bytes encoded/decoded) are live in the dump. *)
+  let v = Wire.Value.Record [ ("n", Wire.Value.Int size) ] in
+  let enc = Ilp.run_marshal (Ilp.Marshal_ber v) [ Ilp.Deliver_copy ] in
+  ignore (Ilp.run_unmarshal [ Ilp.Deliver_copy ] Ilp.Unmarshal_ber enc.Ilp.output);
   print_endline (Obs.Json.to_string_pretty (Obs.Registry.to_json ()));
   `Ok ()
 
@@ -763,6 +900,7 @@ let () =
             syntax_cmd;
             parallel_cmd;
             ilp_cmd;
+            marshal_cmd;
             metrics_cmd;
             soak_cmd;
           ]))

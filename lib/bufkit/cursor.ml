@@ -1,4 +1,4 @@
-type reader = { rbuf : Bytebuf.t; mutable rpos : int }
+type reader = { rbuf : Bytebuf.t; mutable rpos : int; demand : int -> unit }
 type writer = { wbuf : Bytebuf.t; mutable wpos : int }
 
 exception Underflow of string
@@ -9,11 +9,16 @@ let overflow fmt = Format.kasprintf (fun s -> raise (Overflow s)) fmt
 
 (* Readers *)
 
-let reader rbuf = { rbuf; rpos = 0 }
+(* Shared sentinel: the common no-demand case is detected by physical
+   inequality in [need], so plain readers pay one pointer compare. *)
+let nop (_ : int) = ()
+let reader rbuf = { rbuf; rpos = 0; demand = nop }
+let demand_reader rbuf demand = { rbuf; rpos = 0; demand }
 let remaining r = Bytebuf.length r.rbuf - r.rpos
 let pos r = r.rpos
 
 let need r n what =
+  if r.demand != nop then r.demand (r.rpos + n);
   if n < 0 || remaining r < n then
     underflow "%s: need %d bytes, %d remain" what n (remaining r)
 

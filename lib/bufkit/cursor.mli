@@ -18,6 +18,16 @@ exception Overflow of string
 (** {1 Readers} *)
 
 val reader : Bytebuf.t -> reader
+
+val demand_reader : Bytebuf.t -> (int -> unit) -> reader
+(** [demand_reader buf f] reads like {!reader}, but calls [f upto] before
+    each access, where [upto] is the position just past the bytes about to
+    be read. A streaming producer uses this to materialise bytes lazily —
+    e.g. the fused receive path decrypts/verifies the prefix of an ADU
+    just ahead of the decoder. [f] may over-deliver (process past [upto])
+    but must ensure bytes [0..upto) are final when it returns. Plain
+    readers pay a single physical-equality check for this hook. *)
+
 val remaining : reader -> int
 val pos : reader -> int
 val skip : reader -> int -> unit

@@ -41,3 +41,63 @@ let feed st buf = feed_sub st buf ~pos:0 ~len:(Bytebuf.length buf)
 let finish st = Int32.of_int ((st lxor 0xFFFFFFFF) land 0xFFFFFFFF)
 let digest buf = finish (feed init buf)
 let digest_string s = digest (Bytebuf.of_string s)
+
+(* CRC concatenation without re-reading either input, via the standard
+   GF(2) matrix trick (same construction as zlib's crc32_combine): the
+   effect on the CRC register of appending one zero {e bit} is a linear
+   map over GF(2); squaring it repeatedly gives the map for 2^k zero
+   bytes, and applying the maps selected by the bits of [len2] shifts
+   [crc1] past [len2] bytes of zeros, after which the CRC of the
+   concatenation is that result xor [crc2]. This is what lets a fused
+   send path compute the payload CRC once, in the marshalling loop, and
+   still produce header-spanning digests without touching the payload
+   again. *)
+
+let gf2_times mat vec =
+  let sum = ref 0 in
+  let v = ref vec in
+  let i = ref 0 in
+  while !v <> 0 do
+    if !v land 1 = 1 then sum := !sum lxor mat.(!i);
+    v := !v lsr 1;
+    incr i
+  done;
+  !sum
+
+let gf2_square dst mat =
+  for n = 0 to 31 do
+    dst.(n) <- gf2_times mat mat.(n)
+  done
+
+let combine crc1 crc2 len2 =
+  if len2 <= 0 then crc1
+  else begin
+    let odd = Array.make 32 0 and even = Array.make 32 0 in
+    (* Operator for one zero bit (reflected polynomial). *)
+    odd.(0) <- 0xEDB88320;
+    let row = ref 1 in
+    for n = 1 to 31 do
+      odd.(n) <- !row;
+      row := !row lsl 1
+    done;
+    gf2_square even odd;
+    (* even = 2 zero bits *)
+    gf2_square odd even;
+    (* odd = 4 zero bits *)
+    let crc = ref (Int32.to_int crc1 land 0xFFFFFFFF) in
+    let len = ref len2 in
+    let continue = ref true in
+    while !continue do
+      gf2_square even odd;
+      if !len land 1 = 1 then crc := gf2_times even !crc;
+      len := !len lsr 1;
+      if !len = 0 then continue := false
+      else begin
+        gf2_square odd even;
+        if !len land 1 = 1 then crc := gf2_times odd !crc;
+        len := !len lsr 1;
+        if !len = 0 then continue := false
+      end
+    done;
+    Int32.of_int ((!crc lxor (Int32.to_int crc2 land 0xFFFFFFFF)) land 0xFFFFFFFF)
+  end

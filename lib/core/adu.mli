@@ -41,6 +41,10 @@ val make : name -> Bytebuf.t -> t
 val header_size : int
 (** 36 bytes. *)
 
+val magic : int
+(** The 16-bit wire magic at bytes 0–1 of every encoded ADU (0xADF0) —
+    exposed so fused send paths can lay the header down in place. *)
+
 val encoded_size : t -> int
 
 exception Decode_error of string

@@ -96,6 +96,19 @@ type sender_stats = {
   mutable nack_backoff_resets : int;
 }
 
+(* One queued wire block. The fused send path queues pre-sealed pooled
+   datagrams: [presealed] skips the allocating [seal] at transmission
+   time, and [release] returns the buffer to its pool once the send has
+   handed the bytes to the substrate (Udp copies synchronously). *)
+type outq_item = {
+  oq_index : int;
+  oq_frag : Bytebuf.t;
+  oq_presealed : bool;
+  oq_release : unit -> unit;
+}
+
+let no_release = ignore
+
 type sender = {
   engine : Engine.t;
   io : Dgram.t;
@@ -106,7 +119,8 @@ type sender = {
   store : Recovery.store;
   config : sender_config;
   stats : sender_stats;
-  outq : (int * Bytebuf.t) Queue.t;  (* (ADU index, wire block) *)
+  tx_pool : Pool.t option;  (* pooled datagrams for the fused send path *)
+  outq : outq_item Queue.t;
   queued_frags : (int, int ref) Hashtbl.t;  (* blocks still queued per index *)
   mutable pacing : bool;  (* a pace event is scheduled *)
   mutable max_index : int;
@@ -141,15 +155,23 @@ let push_datagram s buf =
       (s.io.Dgram.send ~dst:s.peer ~dst_port:s.peer_port ~src_port:s.port
          (seal s.config.integrity buf))
 
+let push_presealed s buf =
+  if not s.s_killed then
+    ignore
+      (s.io.Dgram.send ~dst:s.peer ~dst_port:s.peer_port ~src_port:s.port buf)
+
 let dequeue_and_send s =
-  let index, frag = Queue.pop s.outq in
-  (match Hashtbl.find_opt s.queued_frags index with
+  let it = Queue.pop s.outq in
+  (match Hashtbl.find_opt s.queued_frags it.oq_index with
   | Some n ->
       decr n;
-      if !n <= 0 then Hashtbl.remove s.queued_frags index
+      if !n <= 0 then Hashtbl.remove s.queued_frags it.oq_index
   | None -> ());
-  push_datagram s frag;
-  Bytebuf.length frag
+  if it.oq_presealed then push_presealed s it.oq_frag
+  else push_datagram s it.oq_frag;
+  let len = Bytebuf.length it.oq_frag in
+  it.oq_release ();
+  len
 
 let rec pace s =
   match (Queue.is_empty s.outq, s.config.pace_bps) with
@@ -193,20 +215,25 @@ let fec_wrap s frags =
       blocks
   end
 
-let enqueue_frags s ~index frags =
-  let frags = fec_wrap s frags in
+let enqueue_item s it =
   let counter =
-    match Hashtbl.find_opt s.queued_frags index with
+    match Hashtbl.find_opt s.queued_frags it.oq_index with
     | Some n -> n
     | None ->
         let n = ref 0 in
-        Hashtbl.replace s.queued_frags index n;
+        Hashtbl.replace s.queued_frags it.oq_index n;
         n
   in
+  incr counter;
+  Queue.push it s.outq
+
+let enqueue_frags s ~index frags =
+  let frags = fec_wrap s frags in
   List.iter
     (fun frag ->
-      incr counter;
-      Queue.push (index, frag) s.outq)
+      enqueue_item s
+        { oq_index = index; oq_frag = frag; oq_presealed = false;
+          oq_release = no_release })
     frags;
   kick s
 
@@ -344,7 +371,8 @@ let sender_handle s ~src:_ ~src_port:_ payload =
           | _ -> ()
         with Cursor.Underflow _ -> ())
 
-let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config =
+let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
+    ~config =
   if frag_budget config <= Framing.fragment_header_size then
     invalid_arg "Alf_transport: mtu too small for integrity/FEC overhead";
   ignore (Obs.Registry.counter "alf.sender.nack_backoff_resets");
@@ -358,6 +386,7 @@ let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config =
       stream;
       store = Recovery.store policy;
       config;
+      tx_pool;
       stats =
         {
           adus_sent = 0;
@@ -389,22 +418,25 @@ let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config =
   in
   s
 
-let sender_io ~engine ~io ~peer ~peer_port ~port ~stream ~policy
+let sender_io ~engine ~io ~peer ~peer_port ~port ~stream ~policy ?tx_pool
     ?(config = default_sender_config) () =
-  let s = make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~config in
+  let s =
+    make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
+      ~config
+  in
   io.Dgram.bind ~port (sender_handle s);
   s
 
-let sender ~engine ~udp ~peer ~peer_port ~port ~stream ~policy
+let sender ~engine ~udp ~peer ~peer_port ~port ~stream ~policy ?tx_pool
     ?(config = default_sender_config) () =
   sender_io ~engine ~io:(Dgram.of_udp udp) ~peer ~peer_port ~port ~stream
-    ~policy ~config ()
+    ~policy ?tx_pool ~config ()
 
-let sender_mux ~engine ~mux ~peer ~peer_port ~stream ~policy
+let sender_mux ~engine ~mux ~peer ~peer_port ~stream ~policy ?tx_pool
     ?(config = default_sender_config) () =
   let s =
     make_sender ~engine ~io:(Mux.io mux) ~peer ~peer_port ~port:(Mux.port mux)
-      ~stream ~policy ~config
+      ~stream ~policy ~tx_pool ~config
   in
   Mux.attach mux ~stream (sender_handle s);
   s
@@ -433,6 +465,179 @@ let send_adu s adu =
     (float_of_int s.stats.store_peak);
   enqueue_frags s ~index frags
 
+(* --- The fused send path ---
+
+   [send_value] never materialises the encoded value as its own buffer:
+   {!Ilp.run_marshal} encodes straight into the datagram (or ADU) slice
+   while a piggybacked CRC-32 stage digests the payload in the same
+   loop. Every digest that spans a header plus the payload — the ADU's
+   CRC field and the datagram integrity trailer — is then assembled with
+   {!Checksum.Crc32.combine}, so the payload is read exactly once. *)
+
+let account_sent s ~index ~encoded_len ~nfrags =
+  if index > s.max_index then s.max_index <- index;
+  let fp = Recovery.footprint s.store in
+  if fp > s.stats.store_peak then s.stats.store_peak <- fp;
+  s.stats.adus_sent <- s.stats.adus_sent + 1;
+  s.stats.frags_sent <- s.stats.frags_sent + nfrags;
+  s.stats.bytes_sent <- s.stats.bytes_sent + encoded_len;
+  Obs.Counter.incr (Obs.Registry.counter "alf.sender.adus_sent");
+  Obs.Counter.add (Obs.Registry.counter "alf.sender.bytes_sent") encoded_len;
+  Obs.Gauge.observe_max
+    (Obs.Registry.gauge "alf.sender.store_peak_bytes")
+    (float_of_int s.stats.store_peak)
+
+(* The 36-byte ADU header with its CRC field zeroed; patched once the
+   payload digest is known. *)
+let put_adu_header w (name : Adu.name) ~plen =
+  Cursor.put_u16be w Adu.magic;
+  Cursor.put_u16be w name.Adu.stream;
+  Cursor.put_int_as_u32be w name.Adu.index;
+  Cursor.put_u64be w (Int64.of_int name.Adu.dest_off);
+  Cursor.put_int_as_u32be w name.Adu.dest_len;
+  Cursor.put_u64be w name.Adu.timestamp_us;
+  Cursor.put_int_as_u32be w plen;
+  Cursor.put_u32be w 0l
+
+let patch_be32 buf off v =
+  Bytebuf.set_uint8 buf off ((v lsr 24) land 0xff);
+  Bytebuf.set_uint8 buf (off + 1) ((v lsr 16) land 0xff);
+  Bytebuf.set_uint8 buf (off + 2) ((v lsr 8) land 0xff);
+  Bytebuf.set_uint8 buf (off + 3) (v land 0xff)
+
+(* The payload digest captured by the appended CRC-32 stage (the last
+   CRC-32 entry — an identical user stage earlier in the plan saw the
+   data before later ciphers). *)
+let crc32_of_checksums checksums =
+  let rec last acc = function
+    | [] -> acc
+    | (Checksum.Kind.Crc32, v) :: tl -> last (Some v) tl
+    | _ :: tl -> last acc tl
+  in
+  match last None checksums with
+  | Some v -> Int32.of_int v
+  | None -> assert false (* the stage was appended by send_value *)
+
+let crc32_prefix buf ~pos ~len =
+  Checksum.Crc32.finish (Checksum.Crc32.feed_sub Checksum.Crc32.init buf ~pos ~len)
+
+let send_value s ~name ?(plan = []) source =
+  if s.closing then invalid_arg "Alf_transport.send_value: sender closed";
+  if s.s_killed then invalid_arg "Alf_transport.send_value: sender killed";
+  let index = name.Adu.index in
+  let n = Ilp.marshal_size source in
+  let encoded_len = Adu.header_size + n in
+  let plan' = plan @ [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ] in
+  let budget = frag_budget s.config in
+  let tsize =
+    match s.config.integrity with Some _ -> trailer_size | None -> 0
+  in
+  let dlen = Framing.fragment_header_size + encoded_len + tsize in
+  let body_off = Framing.fragment_header_size + Adu.header_size in
+  let fast =
+    if s.fec_on || Framing.fragment_header_size + encoded_len > budget then None
+    else
+      match s.tx_pool with
+      | None -> None
+      | Some pool -> (
+          match Pool.try_acquire pool with
+          | Some full when Bytebuf.length full >= dlen -> Some (pool, full)
+          | Some full ->
+              Pool.release pool full;
+              None
+          | None -> None)
+  in
+  match fast with
+  | Some (pool, full) ->
+      (* Single fragment, straight into a pooled datagram:
+         [frag hdr | adu hdr | payload | trailer], pre-sealed. *)
+      let dg = Bytebuf.take full dlen in
+      let w = Cursor.writer dg in
+      Cursor.put_u8 w Framing.frag_magic;
+      Cursor.put_u16be w s.stream;
+      Cursor.put_int_as_u32be w index;
+      Cursor.put_u16be w 0 (* frag_idx *);
+      Cursor.put_u16be w 1 (* nfrags *);
+      Cursor.put_int_as_u32be w encoded_len;
+      Cursor.put_int_as_u32be w 0 (* frag_off *);
+      put_adu_header w name ~plen:n;
+      let r =
+        Ilp.run_marshal ~dst:(Bytebuf.sub dg ~pos:body_off ~len:n) source plan'
+      in
+      let crc_payload = crc32_of_checksums r.Ilp.checksums in
+      let adu_crc =
+        Checksum.Crc32.combine
+          (crc32_prefix dg ~pos:Framing.fragment_header_size
+             ~len:Adu.header_size)
+          crc_payload n
+      in
+      patch_be32 dg
+        (Framing.fragment_header_size + 32)
+        (Int32.to_int adu_crc land 0xFFFFFFFF);
+      (match s.config.integrity with
+      | None -> ()
+      | Some kind ->
+          let body_len = Framing.fragment_header_size + encoded_len in
+          let d =
+            match kind with
+            | Checksum.Kind.Crc32 ->
+                (* Trailer = crc(headers ++ payload): combine the
+                   55-byte header prefix (ADU CRC now patched) with the
+                   payload digest from the fused pass. *)
+                Int32.to_int
+                  (Checksum.Crc32.combine
+                     (crc32_prefix dg ~pos:0 ~len:body_off)
+                     crc_payload n)
+                land 0xFFFFFFFF
+            | kind ->
+                Checksum.Kind.digest kind (Bytebuf.sub dg ~pos:0 ~len:body_len)
+                land 0xFFFFFFFF
+          in
+          patch_be32 dg body_len d);
+      (* Only a policy that actually retains data pays for a copy; the
+         pooled datagram itself is recycled after transmission. *)
+      (match Recovery.policy s.store with
+      | Recovery.Transport_buffer ->
+          Recovery.remember s.store ~index
+            (Bytebuf.copy
+               (Bytebuf.sub dg ~pos:Framing.fragment_header_size
+                  ~len:encoded_len))
+      | Recovery.App_recompute _ | Recovery.No_recovery -> ());
+      account_sent s ~index ~encoded_len ~nfrags:1;
+      enqueue_item s
+        {
+          oq_index = index;
+          oq_frag = dg;
+          oq_presealed = true;
+          oq_release = (fun () -> Pool.release pool full);
+        };
+      kick s
+  | None ->
+      (* General path (multi-fragment, FEC active, or no pool): fused
+         marshal into a fresh ADU buffer, then the standard
+         fragment/FEC/seal machinery. Still one pass over the payload. *)
+      let buf = Bytebuf.create encoded_len in
+      let w = Cursor.writer buf in
+      put_adu_header w name ~plen:n;
+      let r =
+        Ilp.run_marshal
+          ~dst:(Bytebuf.sub buf ~pos:Adu.header_size ~len:n)
+          source plan'
+      in
+      let crc_payload = crc32_of_checksums r.Ilp.checksums in
+      let adu_crc =
+        Checksum.Crc32.combine
+          (crc32_prefix buf ~pos:0 ~len:Adu.header_size)
+          crc_payload n
+      in
+      patch_be32 buf 32 (Int32.to_int adu_crc land 0xFFFFFFFF);
+      Recovery.remember s.store ~index buf;
+      let frags =
+        Framing.fragment_encoded ~mtu:budget ~stream:s.stream ~index buf
+      in
+      account_sent s ~index ~encoded_len ~nfrags:(List.length frags);
+      enqueue_frags s ~index frags
+
 let close s =
   if (not s.closing) && not s.s_killed then begin
     s.closing <- true;
@@ -443,7 +648,9 @@ let kill_sender s =
   if not s.s_killed then begin
     s.s_killed <- true;
     (* The process is gone: nothing queued will reach the wire, and the
-       retransmission store dies with it. *)
+       retransmission store dies with it. Pooled datagrams still go back
+       to their pool — the pool outlives the sender. *)
+    Queue.iter (fun it -> it.oq_release ()) s.outq;
     Queue.clear s.outq;
     Hashtbl.reset s.queued_frags;
     Recovery.release_below s.store (s.max_index + 1);
@@ -889,6 +1096,24 @@ let receiver_mux ~engine ~mux ~stream ?(nack_interval = 0.02)
   in
   Mux.attach mux ~stream (receiver_handle t);
   t
+
+let receiver_values ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
+    ?(plan = []) ~sink ~deliver () =
+  let c_failed = Obs.Registry.counter "alf.receiver.unmarshal_failed" in
+  let deliver_adu (adu : Adu.t) =
+    (* In place over the borrowed payload view: decrypt + verify + parse
+       in one pass, done before stage 1 reclaims the buffer. *)
+    match
+      Ilp.run_unmarshal ~dst:adu.Adu.payload plan sink adu.Adu.payload
+    with
+    | r -> deliver adu.Adu.name r.Ilp.value
+    | exception (Wire.Ber.Decode_error _ | Wire.Xdr.Error _) ->
+        Obs.Counter.incr c_failed
+  in
+  receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
+    ~deliver:deliver_adu ()
 
 let receiver_stage2 ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
     ?pool ?batch ?reasm_pool ?out_pool ?in_pool ~plan ~deliver () =

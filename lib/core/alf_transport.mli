@@ -72,9 +72,17 @@ val sender :
   port:int ->
   stream:int ->
   policy:Recovery.policy ->
+  ?tx_pool:Bufkit.Pool.t ->
   ?config:sender_config ->
   unit ->
   sender
+(** With [?tx_pool], {!send_value} builds single-fragment datagrams in
+    pooled buffers, recycled the moment the fragment has been handed to
+    the wire (the substrate copies synchronously) — steady-state transmit
+    then performs zero buffer allocations per ADU under [No_recovery] /
+    [App_recompute]. Pool buffers must be at least
+    [mtu + fragment_header_size] bytes; undersized or exhausted pools
+    fall back to plain allocation. *)
 
 val sender_io :
   engine:Engine.t ->
@@ -84,6 +92,7 @@ val sender_io :
   port:int ->
   stream:int ->
   policy:Recovery.policy ->
+  ?tx_pool:Bufkit.Pool.t ->
   ?config:sender_config ->
   unit ->
   sender
@@ -97,6 +106,7 @@ val sender_mux :
   peer_port:int ->
   stream:int ->
   policy:Recovery.policy ->
+  ?tx_pool:Bufkit.Pool.t ->
   ?config:sender_config ->
   unit ->
   sender
@@ -107,6 +117,26 @@ val sender_mux :
 val send_adu : sender -> Adu.t -> unit
 (** Queue an ADU. Indices must be used once each; they need not arrive
     here in order. *)
+
+val send_value : sender -> name:Adu.name -> ?plan:Ilp.plan -> Ilp.source -> unit
+(** The integrated send path (§4 of the paper as an API): marshal the
+    value, run the [plan]'s transform stages, compute the ADU CRC and
+    the datagram integrity trailer, and lay the result into the outgoing
+    datagram — all in {e one pass} over the payload bytes, which never
+    exist as a standalone encoding ({!Ilp.run_marshal}). Header-spanning
+    CRC fields are derived from the in-loop payload digest with
+    {!Checksum.Crc32.combine} rather than a second read.
+
+    When the encoding fits one fragment and the sender has a [tx_pool],
+    the datagram is built pre-sealed in a pooled buffer and released
+    after transmission — zero allocations per ADU in steady state unless
+    the recovery policy is [Transport_buffer] (which must retain an
+    owned copy). Multi-fragment or FEC-active sends fall back to the
+    standard fragmentation machinery, still encoding in a single pass.
+
+    [plan] must be valid for marshalling (no [Byteswap32]); the receiver
+    mirrors it in {!receiver_values}. [name.index] obeys the same
+    uniqueness rule as {!send_adu}. *)
 
 val close : sender -> unit
 (** No more ADUs: announce the total and retransmit the announcement until
@@ -234,6 +264,36 @@ val receiver_mux :
   receiver
 (** Like {!receiver} on a shared {!Mux} endpoint: many streams, one
     port, one demultiplexing step. *)
+
+val receiver_values :
+  engine:Engine.t ->
+  udp:Transport.Udp.t ->
+  port:int ->
+  stream:int ->
+  ?nack_interval:float ->
+  ?nack_holdoff:float ->
+  ?nack_budget:int ->
+  ?adu_deadline:float ->
+  ?giveup_idle:float ->
+  ?integrity:Checksum.Kind.t option ->
+  ?seed:int64 ->
+  ?reasm_pool:Bufkit.Pool.t ->
+  ?plan:Ilp.plan ->
+  sink:Ilp.sink ->
+  deliver:(Adu.name -> Wire.Value.t -> unit) ->
+  unit ->
+  receiver
+(** The fused receive decode mirroring {!send_value}: each delivered
+    ADU's payload is run through [plan] (the receive-side mirror of the
+    send plan — same stages, ciphers at matching positions) and decoded
+    by [sink] {e in one pass over the borrowed payload view}
+    ({!Ilp.run_unmarshal} with [dst = payload]: decrypt in place, parse
+    just behind). Works with [?reasm_pool] precisely because the decode
+    completes before the stage-1 callback returns. Payloads that fail to
+    decode are dropped and counted on the
+    [alf.receiver.unmarshal_failed] registry counter (the ADU itself
+    already passed its CRC, so this means sender/receiver plan or schema
+    disagreement). *)
 
 val receiver_stage2 :
   engine:Engine.t ->

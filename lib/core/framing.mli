@@ -41,6 +41,10 @@ val frames_of_timed :
 val fragment_header_size : int
 (** 19 bytes. *)
 
+val frag_magic : int
+(** First byte of every fragment (0xAD) — exposed so fused send paths can
+    lay the fragment header down in place. *)
+
 val fragment : mtu:int -> Adu.t -> Bytebuf.t list
 (** Wire-format fragments of the encoded ADU, each at most [mtu] bytes
     including the fragment header. [mtu] must exceed the header size.

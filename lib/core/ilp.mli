@@ -105,3 +105,64 @@ type cache_stats = { hits : int; misses : int; entries : int }
 val plan_cache_stats : unit -> cache_stats
 (** Process-lifetime totals; also exported as the
     [ilp.plan_cache.hits]/[.misses] registry counters. *)
+
+(** {1 Fused presentation conversion}
+
+    The paper's §4 observation, made a first-class engine feature:
+    presentation conversion is itself a data-manipulation stage, so the
+    marshaller can {e be} the first stage of a send plan and the
+    unmarshaller the last stage of a receive plan.
+
+    {!run_marshal} encodes a {!Wire.Value.t} while simultaneously
+    running the stage chain: the encoder drives a {!Wire.Wordsink}
+    whose word callback is the same combinator chain {!run_fused} uses,
+    so marshal + checksum + encrypt + the delivering store happen in one
+    pass — each wire word flows register → checksum lanes → keystream
+    XOR → final store without the value ever existing as an intermediate
+    buffer. {!run_unmarshal} mirrors it: the streaming decoder pulls
+    bytes through a {!Bufkit.Cursor.demand_reader} hook that
+    decrypts/verifies the input just ahead of the parse (and finishes
+    the pass after the decode so integrity covers the whole unit).
+
+    Plans containing [Byteswap32] are rejected in both directions — the
+    codecs already emit/consume wire byte order. Lowerings are cached in
+    the same shape cache as {!run_fused}, under source/sink-marked keys;
+    their traffic is reported on the [ilp.marshal.plan_cache.*]
+    counters. *)
+
+type source =
+  | Marshal_xdr of Wire.Xdr.schema * Wire.Value.t
+  | Marshal_ber of Wire.Value.t
+
+type sink = Unmarshal_xdr of Wire.Xdr.schema | Unmarshal_ber
+
+val marshal_size : source -> int
+(** Exact number of bytes {!run_marshal} will produce (the codec's
+    [sizeof]). Raises the codec's error on a schema mismatch. *)
+
+val run_marshal : ?dst:Bytebuf.t -> source -> plan -> result
+(** Single-pass fused marshal. [result.output] holds the encoding as
+    transformed by the plan (ciphers applied); [result.checksums] are
+    digests of the data as each checksum stage saw it, exactly as in
+    {!run_fused} — i.e. byte-identical to [run_fused plan (encode v)].
+    [?dst] must have exactly {!marshal_size}[ source] bytes (typically a
+    slice of a pooled datagram buffer, making the whole send path
+    allocation-free). Raises [Invalid_argument] on invalid plans and the
+    codec's error on schema/value mismatch. *)
+
+type unmarshal_result = {
+  value : Wire.Value.t;
+  consumed : int;  (** Bytes of input the decoded value occupied. *)
+  checksums : (Checksum.Kind.t * int) list;
+      (** Digests over the {e entire} input (not just [consumed]), of
+          the data as each stage saw it — matching the send side. *)
+}
+
+val run_unmarshal : ?dst:Bytebuf.t -> plan -> sink -> Bytebuf.t -> unmarshal_result
+(** Single-pass fused receive decode: run the plan's transform stages
+    over [input] and decode one value from the result, interleaved —
+    the decoder demands bytes just ahead of the parse. [?dst] receives
+    the transformed bytes (same length as the input); passing the input
+    itself transforms in place, which is how a borrowed ADU view is
+    decoded with zero allocation. Decode errors propagate as the
+    codec's exception; checksum stages still only make one pass. *)

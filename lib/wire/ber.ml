@@ -22,15 +22,11 @@ let int_len v =
   go 1
 
 let int64_len v =
-  let rec go k =
-    if k >= 8 then 8
-    else
-      let bits = (8 * k) - 1 in
-      let lo = Int64.neg (Int64.shift_left 1L bits)
-      and hi = Int64.shift_left 1L bits in
-      if Int64.compare v lo >= 0 && Int64.compare v hi < 0 then k else go (k + 1)
-  in
-  go 1
+  (* Any int64 needing fewer than 8 octets fits 63 bits, i.e. converts
+     to a native int exactly; only the conversion-lossy remainder is
+     pinned at 8. Keeps the hot sizing path in unboxed arithmetic. *)
+  let n = Int64.to_int v in
+  if Int64.equal (Int64.of_int n) v then int_len n else 8
 
 let len_size n =
   if n < 0x80 then 1
@@ -84,6 +80,9 @@ let put_int64_octets w v k =
       (Int64.to_int (Int64.shift_right v (8 * j)) land 0xff)
   done
 
+(* Children are encoded through top-level mutual recursion, not
+   [List.iter (fun v -> ...)]: the hot encode loop allocates no closure
+   per sequence (see the wire round-trip tests' allocation counts). *)
 let rec encode_into (v : Value.t) w =
   match v with
   | Null ->
@@ -114,17 +113,188 @@ let rec encode_into (v : Value.t) w =
   | List vs ->
       Cursor.put_u8 w tag_sequence;
       put_len w (content_size v);
-      List.iter (fun v -> encode_into v w) vs
+      encode_children vs w
   | Record fs ->
       Cursor.put_u8 w tag_sequence;
       put_len w (content_size v);
-      List.iter (fun (_, v) -> encode_into v w) fs
+      encode_field_children fs w
+
+and encode_children vs w =
+  match vs with
+  | [] -> ()
+  | v :: tl ->
+      encode_into v w;
+      encode_children tl w
+
+and encode_field_children fs w =
+  match fs with
+  | [] -> ()
+  | (_, v) :: tl ->
+      encode_into v w;
+      encode_field_children tl w
 
 let encode v =
   let buf = Bytebuf.create (sizeof v) in
   let w = Cursor.writer buf in
   encode_into v w;
   Cursor.written w
+
+(* --- Word-emitting encoder (fused ILP pipelines) --- *)
+
+(* Tag and length as one insert group (the dominant header shape is
+   tag + short length = 2 bytes = one operation). *)
+let sink_put_tag_len s tag n =
+  if n < 0x80 then Wordsink.insert s (Int64.of_int (tag lor (n lsl 8))) 2
+  else if n < 0x100 then
+    Wordsink.insert s (Int64.of_int (tag lor (0x81 lsl 8) lor (n lsl 16))) 3
+  else if n < 0x10000 then
+    Wordsink.insert s
+      (Int64.of_int
+         (tag lor (0x82 lsl 8) lor ((n lsr 8) lsl 16) lor ((n land 0xff) lsl 24)))
+      4
+  else if n < 0x1000000 then
+    Wordsink.insert s
+      (Int64.of_int
+         (tag
+         lor (0x83 lsl 8)
+         lor ((n lsr 16) lsl 16)
+         lor (((n lsr 8) land 0xff) lsl 24)
+         lor ((n land 0xff) lsl 32)))
+      5
+  else begin
+    Wordsink.put_u8 s tag;
+    Wordsink.put_u8 s 0x84;
+    Wordsink.put_u32be s n
+  end
+
+(* Tag, length and the k big-endian content octets of an INTEGER packed
+   into one insert group (k <= 6 keeps the group within 8 bytes). *)
+let int_group v k =
+  let g = ref (Int64.of_int (tag_integer lor (k lsl 8))) in
+  for j = 0 to k - 1 do
+    g :=
+      Int64.logor !g
+        (Int64.shift_left
+           (Int64.of_int ((v asr (8 * (k - 1 - j))) land 0xff))
+           ((2 + j) lsl 3))
+  done;
+  !g
+
+(* Preorder side-stack of sequence content lengths. The naive encoder
+   calls [content_size] at every SEQUENCE header, re-walking each
+   subtree once per nesting level; [measure] computes all of them in a
+   single walk and [emit_words] consumes them in the same preorder, so
+   the word-emitting path traverses the value exactly twice total
+   regardless of depth. *)
+type sizes = { mutable sz : int array; mutable wr : int; mutable rd : int }
+
+let sizes_push b c =
+  (if b.wr = Array.length b.sz then
+     let a = Array.make (2 * b.wr) 0 in
+     Array.blit b.sz 0 a 0 b.wr;
+     b.sz <- a);
+  let i = b.wr in
+  b.wr <- i + 1;
+  b.sz.(i) <- c;
+  i
+
+let rec measure (v : Value.t) b =
+  match v with
+  | Null -> 2
+  | Bool _ -> 3
+  | Int i -> 2 + int_len i
+  | Int64 i -> 2 + int64_len i
+  | Octets str | Utf8 str ->
+      let n = String.length str in
+      1 + len_size n + n
+  | List vs ->
+      (* Reserve the slot before the children so the stack stays in
+         preorder, then patch it once the subtree total is known. *)
+      let i = sizes_push b 0 in
+      let c = measure_children vs b 0 in
+      b.sz.(i) <- c;
+      1 + len_size c + c
+  | Record fs ->
+      let i = sizes_push b 0 in
+      let c = measure_fields fs b 0 in
+      b.sz.(i) <- c;
+      1 + len_size c + c
+
+and measure_children vs b acc =
+  match vs with
+  | [] -> acc
+  | v :: tl -> measure_children tl b (acc + measure v b)
+
+and measure_fields fs b acc =
+  match fs with
+  | [] -> acc
+  | (_, v) :: tl -> measure_fields tl b (acc + measure v b)
+
+let rec emit_words (v : Value.t) s b =
+  match v with
+  | Null -> Wordsink.insert s (Int64.of_int tag_null) 2
+  | Bool bl ->
+      Wordsink.insert s
+        (Int64.of_int
+           (tag_boolean lor (1 lsl 8) lor ((if bl then 0xff else 0x00) lsl 16)))
+        3
+  | Int i ->
+      let k = int_len i in
+      if k <= 6 then Wordsink.insert s (int_group i k) (2 + k)
+      else begin
+        Wordsink.put_u8 s tag_integer;
+        Wordsink.put_u8 s k;
+        for j = k - 1 downto 0 do
+          Wordsink.put_u8 s ((i asr (8 * j)) land 0xff)
+        done
+      end
+  | Int64 i ->
+      let k = int64_len i in
+      (* k <= 6 means the value fits in 48 bits, so the native-int group
+         builder is exact. *)
+      if k <= 6 then Wordsink.insert s (int_group (Int64.to_int i) k) (2 + k)
+      else begin
+        Wordsink.put_u8 s tag_integer;
+        Wordsink.put_u8 s k;
+        for j = k - 1 downto 0 do
+          Wordsink.put_u8 s (Int64.to_int (Int64.shift_right i (8 * j)) land 0xff)
+        done
+      end
+  | Octets str ->
+      sink_put_tag_len s tag_octets (String.length str);
+      Wordsink.put_string s str
+  | Utf8 str ->
+      sink_put_tag_len s tag_utf8 (String.length str);
+      Wordsink.put_string s str
+  | List vs ->
+      let c = b.sz.(b.rd) in
+      b.rd <- b.rd + 1;
+      sink_put_tag_len s tag_sequence c;
+      words_children vs s b
+  | Record fs ->
+      let c = b.sz.(b.rd) in
+      b.rd <- b.rd + 1;
+      sink_put_tag_len s tag_sequence c;
+      words_fields fs s b
+
+and words_children vs s b =
+  match vs with
+  | [] -> ()
+  | v :: tl ->
+      emit_words v s b;
+      words_children tl s b
+
+and words_fields fs s b =
+  match fs with
+  | [] -> ()
+  | (_, v) :: tl ->
+      emit_words v s b;
+      words_fields tl s b
+
+let encode_words (v : Value.t) s =
+  let b = { sz = Array.make 64 0; wr = 0; rd = 0 } in
+  ignore (measure v b : int);
+  emit_words v s b
 
 (* Interpretive (toolkit-style) encoder: every TLV becomes an intermediate
    string that is copied again by its parent, modelling the layered
@@ -229,12 +399,13 @@ let rec decode_value r : Value.t =
   end
   else decode_error "BER: unsupported tag 0x%02x" tag
 
+let decode_reader r =
+  try decode_value r with
+  | Cursor.Underflow msg -> decode_error "BER: truncated input (%s)" msg
+
 let decode_prefix buf =
   let r = Cursor.reader buf in
-  let v =
-    try decode_value r with
-    | Cursor.Underflow msg -> decode_error "BER: truncated input (%s)" msg
-  in
+  let v = decode_reader r in
   (v, Cursor.pos r)
 
 let decode buf =

@@ -30,6 +30,13 @@ val encode_into : Value.t -> Cursor.writer -> unit
 (** Encode into an existing buffer (for fused stacks); raises
     [Cursor.Overflow] if it does not fit. *)
 
+val encode_words : Value.t -> Wordsink.t -> unit
+(** Drive a {!Wordsink} with the encoding, one 64-bit word at a time, so
+    downstream ILP stage combinators (checksum feeder, keystream XOR, the
+    delivering store) consume each word as it is produced instead of
+    re-reading a finished buffer. Emits exactly {!sizeof}[ v] bytes; the
+    caller flushes the sink. Byte-for-byte identical to {!encode}. *)
+
 val encode_interpretive : Value.t -> Bytebuf.t
 
 val decode : Bytebuf.t -> Value.t
@@ -39,10 +46,19 @@ val decode : Bytebuf.t -> Value.t
 val decode_prefix : Bytebuf.t -> Value.t * int
 (** Decode one value, returning it and the number of bytes consumed. *)
 
+val decode_reader : Cursor.reader -> Value.t
+(** Decode one value from an existing reader, leaving it positioned after
+    the value. With a {!Cursor.demand_reader} this is the streaming
+    decoder of the fused receive path: bytes are verified/decrypted on
+    demand, just ahead of the parse. *)
+
 (** {1 Integer-array fast paths (experiments E3 and E4)} *)
 
 val encode_int_array : int array -> Bytebuf.t
-(** SEQUENCE OF INTEGER, tuned single pass. *)
+(** SEQUENCE OF INTEGER, tuned single pass. BER INTEGERs are
+    variable-length (minimal two's complement), so — unlike
+    {!Xdr.encode_int_array}'s fixed 32-bit lanes — the full OCaml [int]
+    range round-trips exactly; nothing is truncated (property-tested). *)
 
 val decode_int_array : Bytebuf.t -> int array
 

@@ -1,0 +1,102 @@
+(* A word-granular byte sink: encoders push wire bytes, the sink packs
+   them into a 64-bit accumulator (first wire byte in the low octet, the
+   same octet<->memory correspondence a little-endian load gives the ILP
+   word loop) and hands each completed word to [word] together with the
+   byte offset of its first byte. Whatever tail is left over when [flush]
+   is called goes out byte-by-byte through [byte] — the tail necessarily
+   starts on an 8-aligned offset, which is exactly the word-loop/byte-tail
+   seam the fused checksum combinators rely on for 16-bit parity. *)
+
+type t = {
+  mutable acc : int64;
+  mutable fill : int;  (* bytes currently packed in [acc], 0..7 *)
+  mutable pos : int;  (* total bytes pushed so far *)
+  word : int -> int64 -> unit;
+  byte : int -> int -> unit;
+}
+
+let create ~word ~byte = { acc = 0L; fill = 0; pos = 0; word; byte }
+let pos t = t.pos
+
+(* The workhorse: insert [k] wire bytes (1..8), already packed
+   little-endian (first wire byte in the low octet) into [le]. Bits of
+   [le] above the low [8k] must be zero. *)
+let insert t le k =
+  let fill = t.fill in
+  let base = t.pos - fill in
+  t.acc <- Int64.logor t.acc (Int64.shift_left le (fill lsl 3));
+  t.pos <- t.pos + k;
+  let nfill = fill + k in
+  if nfill >= 8 then begin
+    t.word base t.acc;
+    let rem = nfill - 8 in
+    t.acc <-
+      (if rem = 0 then 0L else Int64.shift_right_logical le ((8 - fill) lsl 3));
+    t.fill <- rem
+  end
+  else t.fill <- nfill
+
+let put_u8 t b = insert t (Int64.of_int (b land 0xff)) 1
+
+let put_u16be t v =
+  insert t (Int64.of_int (((v lsr 8) land 0xff) lor ((v land 0xff) lsl 8))) 2
+
+let put_u32be t v =
+  insert t
+    (Int64.of_int
+       (((v lsr 24) land 0xff)
+       lor (((v lsr 16) land 0xff) lsl 8)
+       lor (((v lsr 8) land 0xff) lsl 16)
+       lor ((v land 0xff) lsl 24)))
+    4
+
+let bswap64 x =
+  let open Int64 in
+  let x =
+    logor
+      (shift_left (logand x 0x00FF00FF00FF00FFL) 8)
+      (logand (shift_right_logical x 8) 0x00FF00FF00FF00FFL)
+  in
+  let x =
+    logor
+      (shift_left (logand x 0x0000FFFF0000FFFFL) 16)
+      (logand (shift_right_logical x 16) 0x0000FFFF0000FFFFL)
+  in
+  logor (shift_left x 32) (shift_right_logical x 32)
+
+let put_u64be t v = insert t (bswap64 v) 8
+
+let put_string t s =
+  let n = String.length s in
+  let i = ref 0 in
+  (* Up to word alignment byte-wise, then whole unaligned loads. *)
+  while t.fill <> 0 && !i < n do
+    put_u8 t (Char.code (String.unsafe_get s !i));
+    incr i
+  done;
+  while n - !i >= 8 do
+    insert t (String.get_int64_le s !i) 8;
+    i := !i + 8
+  done;
+  while !i < n do
+    put_u8 t (Char.code (String.unsafe_get s !i));
+    incr i
+  done
+
+let put_zeros t k =
+  for _ = 1 to k do
+    insert t 0L 1
+  done
+
+let flush t =
+  let fill = t.fill in
+  if fill > 0 then begin
+    let base = t.pos - fill in
+    let acc = t.acc in
+    for j = 0 to fill - 1 do
+      t.byte (base + j)
+        (Int64.to_int (Int64.shift_right_logical acc (j lsl 3)) land 0xff)
+    done;
+    t.acc <- 0L;
+    t.fill <- 0
+  end

@@ -1,0 +1,49 @@
+(** A word-emitting byte sink for fused presentation pipelines.
+
+    {!Ber.encode_words} and {!Xdr.encode_words} drive one of these instead
+    of a {!Bufkit.Cursor.writer}: wire bytes are packed into a 64-bit
+    accumulator and handed downstream one {e word} at a time, while they
+    are still in a register — so an ILP stage chain (checksum feeder,
+    keystream XOR, the final store) can consume the encoding as it is
+    produced instead of re-reading a finished buffer (the paper's §4
+    "conversion and checksum in one step", generalised).
+
+    Packing is little-endian: wire byte [base + k] sits in octet [k] of
+    the word passed to [word] — the same correspondence a little-endian
+    64-bit load gives, so the word is exactly what {!Ilp}'s fused loop
+    would have loaded from a finished encoding. Words are emitted only at
+    8-byte boundaries; the final partial word (if any) leaves through
+    [byte] at {!flush}, one byte at a time, starting on an 8-aligned
+    offset — the same word-loop/byte-tail seam the fused Internet
+    checksum needs to keep 16-bit parity. *)
+
+type t
+
+val create : word:(int -> int64 -> unit) -> byte:(int -> int -> unit) -> t
+(** [create ~word ~byte]: [word base w] receives each completed word
+    ([base] = byte offset of its first byte, always a multiple of 8);
+    [byte off b] receives each tail byte at {!flush}. *)
+
+val pos : t -> int
+(** Total bytes pushed so far (including bytes still in the
+    accumulator). *)
+
+val insert : t -> int64 -> int -> unit
+(** [insert t le k] pushes [k] wire bytes (1..8) packed little-endian in
+    [le] (first wire byte in the low octet; bits above [8k] must be 0).
+    The primitive everything else reduces to — encoders use it to push a
+    whole tag/length/content group in one operation. *)
+
+val put_u8 : t -> int -> unit
+val put_u16be : t -> int -> unit
+
+val put_u32be : t -> int -> unit
+(** Low 32 bits of the argument, big-endian on the wire. *)
+
+val put_u64be : t -> int64 -> unit
+val put_string : t -> string -> unit
+val put_zeros : t -> int -> unit
+
+val flush : t -> unit
+(** Emit any buffered tail bytes through [byte]. Call exactly once, after
+    the encoder is done. *)

@@ -38,6 +38,9 @@ let rec schema_of_value (v : Value.t) =
 
 let padding n = (4 - (n land 3)) land 3
 
+(* Children are sized/encoded through top-level mutual recursion, not
+   [List.iter (fun v -> ...)] or a rebuilt [List (List.map snd fs)]:
+   the hot loops allocate nothing per element. *)
 let rec sizeof schema (v : Value.t) =
   match (schema, v) with
   | S_void, Null -> 0
@@ -50,18 +53,28 @@ let rec sizeof schema (v : Value.t) =
   | (S_opaque, Octets s) | (S_string, Utf8 s) ->
       let n = String.length s in
       4 + n + padding n
-  | S_array s, List vs ->
-      List.fold_left (fun acc v -> acc + sizeof s v) 4 vs
-  | S_struct ss, List vs ->
-      if List.length ss <> List.length vs then
-        error "XDR: struct arity mismatch";
-      List.fold_left2 (fun acc s v -> acc + sizeof s v) 0 ss vs
-  | S_struct ss, Record fs ->
-      sizeof (S_struct ss) (List (List.map snd fs))
+  | S_array s, List vs -> sizeof_list s vs 4
+  | S_struct ss, List vs -> sizeof_struct ss vs 0
+  | S_struct ss, Record fs -> sizeof_fields ss fs 0
   | ( (S_void | S_bool | S_int | S_hyper | S_opaque | S_string | S_array _ | S_struct _),
       (Null | Bool _ | Int _ | Int64 _ | Octets _ | Utf8 _ | List _ | Record _) )
     ->
       error "XDR: value does not match schema"
+
+and sizeof_list s vs acc =
+  match vs with [] -> acc | v :: tl -> sizeof_list s tl (acc + sizeof s v)
+
+and sizeof_struct ss vs acc =
+  match (ss, vs) with
+  | [], [] -> acc
+  | s :: ss, v :: vs -> sizeof_struct ss vs (acc + sizeof s v)
+  | _, _ -> error "XDR: struct arity mismatch"
+
+and sizeof_fields ss fs acc =
+  match (ss, fs) with
+  | [], [] -> acc
+  | s :: ss, (_, v) :: fs -> sizeof_fields ss fs (acc + sizeof s v)
+  | _, _ -> error "XDR: struct arity mismatch"
 
 let put_padded w s =
   let n = String.length s in
@@ -83,17 +96,86 @@ let rec encode_into schema (v : Value.t) w =
   | (S_opaque, Octets s) | (S_string, Utf8 s) -> put_padded w s
   | S_array s, List vs ->
       Cursor.put_int_as_u32be w (List.length vs);
-      List.iter (fun v -> encode_into s v w) vs
-  | S_struct ss, List vs ->
-      if List.length ss <> List.length vs then
-        error "XDR: struct arity mismatch";
-      List.iter2 (fun s v -> encode_into s v w) ss vs
-  | S_struct ss, Record fs ->
-      encode_into (S_struct ss) (List (List.map snd fs)) w
+      encode_list s vs w
+  | S_struct ss, List vs -> encode_struct ss vs w
+  | S_struct ss, Record fs -> encode_fields ss fs w
   | ( (S_void | S_bool | S_int | S_hyper | S_opaque | S_string | S_array _ | S_struct _),
       (Null | Bool _ | Int _ | Int64 _ | Octets _ | Utf8 _ | List _ | Record _) )
     ->
       error "XDR: value does not match schema"
+
+and encode_list s vs w =
+  match vs with
+  | [] -> ()
+  | v :: tl ->
+      encode_into s v w;
+      encode_list s tl w
+
+and encode_struct ss vs w =
+  match (ss, vs) with
+  | [], [] -> ()
+  | s :: ss, v :: vs ->
+      encode_into s v w;
+      encode_struct ss vs w
+  | _, _ -> error "XDR: struct arity mismatch"
+
+and encode_fields ss fs w =
+  match (ss, fs) with
+  | [], [] -> ()
+  | s :: ss, (_, v) :: fs ->
+      encode_into s v w;
+      encode_fields ss fs w
+  | _, _ -> error "XDR: struct arity mismatch"
+
+(* Word-emitting twin of [encode_into]: same wire bytes, but pushed into a
+   {!Wordsink} so a fused ILP chain consumes the encoding as it is
+   produced. Each fixed-width scalar goes in as one grouped insert. *)
+let rec encode_words schema (v : Value.t) sink =
+  match (schema, v) with
+  | S_void, Null -> ()
+  | S_bool, Bool b -> Wordsink.put_u32be sink (if b then 1 else 0)
+  | S_int, Int i ->
+      check_int32 i;
+      Wordsink.put_u32be sink i
+  | S_hyper, Int64 i -> Wordsink.put_u64be sink i
+  | S_hyper, Int i -> Wordsink.put_u64be sink (Int64.of_int i)
+  | (S_opaque, Octets s) | (S_string, Utf8 s) ->
+      let n = String.length s in
+      Wordsink.put_u32be sink n;
+      Wordsink.put_string sink s;
+      Wordsink.put_zeros sink (padding n)
+  | S_array s, List vs ->
+      Wordsink.put_u32be sink (List.length vs);
+      words_list s vs sink
+  | S_struct ss, List vs -> words_struct ss vs sink
+  | S_struct ss, Record fs -> words_fields ss fs sink
+  | ( (S_void | S_bool | S_int | S_hyper | S_opaque | S_string | S_array _ | S_struct _),
+      (Null | Bool _ | Int _ | Int64 _ | Octets _ | Utf8 _ | List _ | Record _) )
+    ->
+      error "XDR: value does not match schema"
+
+and words_list s vs sink =
+  match vs with
+  | [] -> ()
+  | v :: tl ->
+      encode_words s v sink;
+      words_list s tl sink
+
+and words_struct ss vs sink =
+  match (ss, vs) with
+  | [], [] -> ()
+  | s :: ss, v :: vs ->
+      encode_words s v sink;
+      words_struct ss vs sink
+  | _, _ -> error "XDR: struct arity mismatch"
+
+and words_fields ss fs sink =
+  match (ss, fs) with
+  | [], [] -> ()
+  | s :: ss, (_, v) :: fs ->
+      encode_words s v sink;
+      words_fields ss fs sink
+  | _, _ -> error "XDR: struct arity mismatch"
 
 let encode schema v =
   let buf = Bytebuf.create (sizeof schema v) in
@@ -135,12 +217,13 @@ let rec decode_value schema r : Value.t =
       List (go n [])
   | S_struct ss -> List (List.map (fun s -> decode_value s r) ss)
 
+let decode_reader schema r =
+  try decode_value schema r with
+  | Cursor.Underflow msg -> error "XDR: truncated input (%s)" msg
+
 let decode_prefix schema buf =
   let r = Cursor.reader buf in
-  let v =
-    try decode_value schema r with
-    | Cursor.Underflow msg -> error "XDR: truncated input (%s)" msg
-  in
+  let v = decode_reader schema r in
   (v, Cursor.pos r)
 
 let decode schema buf =
@@ -178,6 +261,10 @@ let encode_int_array a =
   in
   set32 0 n;
   for i = 0 to n - 1 do
+    (* Same range discipline as [schema_of_value]/[encode_into]: XDR
+       integers are exactly 32 bits, and the byte stores below would
+       silently truncate anything wider. *)
+    check_int32 a.(i);
     set32 (4 + (4 * i)) a.(i)
   done;
   buf

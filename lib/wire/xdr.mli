@@ -31,14 +31,33 @@ val sizeof : schema -> Value.t -> int
 
 val encode : schema -> Value.t -> Bytebuf.t
 val encode_into : schema -> Value.t -> Cursor.writer -> unit
+
+val encode_words : schema -> Value.t -> Wordsink.t -> unit
+(** Drive a {!Wordsink} with the encoding, one 64-bit word at a time, so
+    downstream ILP stage combinators (checksum feeder, keystream XOR, the
+    delivering store) consume each word as it is produced instead of
+    re-reading a finished buffer. Emits exactly {!sizeof}[ schema v]
+    bytes; the caller flushes the sink. Byte-for-byte identical to
+    {!encode}. *)
+
 val decode : schema -> Bytebuf.t -> Value.t
 val decode_prefix : schema -> Bytebuf.t -> Value.t * int
+
+val decode_reader : schema -> Cursor.reader -> Value.t
+(** Decode one value from an existing reader, leaving it positioned after
+    the value. With a {!Cursor.demand_reader} this is the streaming
+    decoder of the fused receive path: bytes are verified/decrypted on
+    demand, just ahead of the parse. *)
 
 val pp_schema : Format.formatter -> schema -> unit
 
 (** {1 Integer-array fast paths} *)
 
 val encode_int_array : int array -> Bytebuf.t
-(** Counted array of 32-bit big-endian integers. *)
+(** Counted array of 32-bit big-endian integers. Raises {!Error} on any
+    element outside 32-bit range — the same discipline as
+    {!schema_of_value} and {!encode_into}; the lanes are fixed-width, so
+    wider values cannot be represented (they used to be truncated
+    silently). Use {!Ber.encode_int_array} for full [int]-range data. *)
 
 val decode_int_array : Bytebuf.t -> int array

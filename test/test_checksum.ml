@@ -238,6 +238,32 @@ let prop_crc32_chunking =
       go 0;
       Int32.equal (Checksum.Crc32.finish !st) (Checksum.Crc32.digest (buf s)))
 
+let prop_crc32_combine =
+  QCheck.Test.make ~name:"crc32: combine(crc a, crc b, |b|) = crc (a^b)"
+    ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 80)) (string_of_size Gen.(0 -- 80)))
+    (fun (a, b) ->
+      Int32.equal
+        (Checksum.Crc32.combine
+           (Checksum.Crc32.digest_string a)
+           (Checksum.Crc32.digest_string b)
+           (String.length b))
+        (Checksum.Crc32.digest_string (a ^ b)))
+
+let test_crc32_combine_known () =
+  (* Splitting the check vector anywhere must reproduce it. *)
+  let s = "123456789" in
+  for cut = 0 to String.length s do
+    let a = String.sub s 0 cut and b = String.sub s cut (String.length s - cut) in
+    check Alcotest.int32
+      (Printf.sprintf "cut %d" cut)
+      0xCBF43926l
+      (Checksum.Crc32.combine
+         (Checksum.Crc32.digest_string a)
+         (Checksum.Crc32.digest_string b)
+         (String.length b))
+  done
+
 (* --- Kind dispatch --- *)
 
 let test_kind_names () =
@@ -361,7 +387,9 @@ let () =
           Alcotest.test_case "check value" `Quick test_crc32_check_value;
           Alcotest.test_case "fox" `Quick test_crc32_fox;
           Alcotest.test_case "empty" `Quick test_crc32_empty;
+          Alcotest.test_case "combine known" `Quick test_crc32_combine_known;
           qcheck prop_crc32_chunking;
+          qcheck prop_crc32_combine;
         ] );
       ( "kind",
         [

@@ -1,0 +1,413 @@
+(* The fused presentation path: marshal/unmarshal as ILP stages.
+
+   The contract under test is byte-exactness: run_marshal must equal
+   run_fused over a finished encoding (outputs and checksums), and
+   run_unmarshal must invert it through mirrored plans — so the single
+   pass is an optimisation, never a semantic change. *)
+
+open Bufkit
+open Netsim
+open Alf_core
+open Wire
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* Abstract values, bounded depth, 32-bit ints (same shape as the wire
+   suite's generator). *)
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int (Int32.to_int i)) int32;
+        map (fun i -> Value.Int64 i) int64;
+        map (fun s -> Value.Octets s) (string_size (0 -- 20));
+        map
+          (fun s -> Value.Utf8 s)
+          (string_size ~gen:(char_range 'a' 'z') (0 -- 12));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          ( 1,
+            map (fun vs -> Value.List vs) (list_size (0 -- 4) (node (depth - 1)))
+          );
+          ( 1,
+            map
+              (fun vs ->
+                Value.Record
+                  (List.mapi (fun i v -> ("f" ^ string_of_int i, v)) vs))
+              (list_size (1 -- 3) (node (depth - 1))) );
+        ]
+  in
+  node 3
+
+let arb_value = QCheck.make ~print:(Format.asprintf "%a" Value.pp) value_gen
+
+(* Random marshal-compatible plans: any mix of checksum/cipher/copy
+   stages (no Byteswap32 — rejected by construction), at most one RC4. *)
+let plan_gen : Ilp.plan QCheck.Gen.t =
+  let open QCheck.Gen in
+  let stage =
+    oneof
+      [
+        map (fun k -> Ilp.Checksum k) (oneofl Checksum.Kind.all);
+        map2
+          (fun key pos -> Ilp.Xor_pad { key; pos = Int64.of_int pos })
+          int64 small_nat;
+        map
+          (fun key -> Ilp.Rc4_stream { key })
+          (string_size ~gen:(char_range 'a' 'z') (1 -- 8));
+        return Ilp.Deliver_copy;
+      ]
+  in
+  let keep_first_rc4 plan =
+    let seen = ref false in
+    List.filter
+      (function
+        | Ilp.Rc4_stream _ -> if !seen then false else (seen := true; true)
+        | _ -> true)
+      plan
+  in
+  map keep_first_rc4 (list_size (0 -- 4) stage)
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Ilp.pp_stage)
+    plan
+
+let arb_plan = QCheck.make ~print:(Format.asprintf "%a" pp_plan) plan_gen
+
+(* --- Marshal = fused-over-encode --- *)
+
+let same_result (got : Ilp.result) (ref_ : Ilp.result) =
+  Bytebuf.equal got.Ilp.output ref_.Ilp.output
+  && got.Ilp.checksums = ref_.Ilp.checksums
+
+let prop_marshal_equals_fused_ber =
+  QCheck.Test.make ~name:"marshal: ber = run_fused over encode" ~count:300
+    QCheck.(pair arb_value arb_plan)
+    (fun (v, plan) ->
+      same_result
+        (Ilp.run_marshal (Ilp.Marshal_ber v) plan)
+        (Ilp.run_fused plan (Ber.encode v)))
+
+let prop_marshal_equals_fused_xdr =
+  QCheck.Test.make ~name:"marshal: xdr = run_fused over encode" ~count:300
+    QCheck.(pair arb_value arb_plan)
+    (fun (v, plan) ->
+      let schema = Xdr.schema_of_value v in
+      same_result
+        (Ilp.run_marshal (Ilp.Marshal_xdr (schema, v)) plan)
+        (Ilp.run_fused plan (Xdr.encode schema v)))
+
+let test_marshal_into_dst () =
+  let v = Value.int_array [| 10; 20; 30 |] in
+  let n = Ilp.marshal_size (Ilp.Marshal_ber v) in
+  Alcotest.(check int) "marshal_size = sizeof" (Ber.sizeof v) n;
+  let dst = Bytebuf.create n in
+  let r = Ilp.run_marshal ~dst (Ilp.Marshal_ber v) [ Ilp.Deliver_copy ] in
+  Alcotest.(check bool) "output is dst" true (r.Ilp.output == dst);
+  Alcotest.(check bool) "bytes = encode" true
+    (Bytebuf.equal dst (Ber.encode v));
+  match
+    Ilp.run_marshal ~dst:(Bytebuf.create (n + 1)) (Ilp.Marshal_ber v) []
+  with
+  | _ -> Alcotest.fail "oversized dst accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- Unmarshal: mirrored plans round-trip --- *)
+
+(* Send plan / matching receive plan: ciphers are involutions, so the
+   mirror applies them in reverse order; a checksum stage mirrors to the
+   position where it sees the same bytes. *)
+let mirror_pairs key rc4_key =
+  [
+    ([], []);
+    ([ Ilp.Checksum Checksum.Kind.Internet ],
+     [ Ilp.Checksum Checksum.Kind.Internet ]);
+    ([ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Xor_pad { key; pos = 0L } ],
+     [ Ilp.Xor_pad { key; pos = 0L }; Ilp.Checksum Checksum.Kind.Crc32 ]);
+    ([ Ilp.Rc4_stream { key = rc4_key } ],
+     [ Ilp.Rc4_stream { key = rc4_key } ]);
+    ([ Ilp.Xor_pad { key; pos = 32L }; Ilp.Rc4_stream { key = rc4_key } ],
+     [ Ilp.Rc4_stream { key = rc4_key }; Ilp.Xor_pad { key; pos = 32L } ]);
+  ]
+
+let prop_unmarshal_round_trip =
+  QCheck.Test.make ~name:"unmarshal: mirrored plans recover the value"
+    ~count:200 arb_value (fun v ->
+      List.for_all
+        (fun (send_plan, recv_plan) ->
+          let sent = Ilp.run_marshal (Ilp.Marshal_ber v) send_plan in
+          let r = Ilp.run_unmarshal recv_plan Ilp.Unmarshal_ber sent.Ilp.output in
+          Value.equal r.Ilp.value (Value.canonical v)
+          && r.Ilp.consumed = Ber.sizeof v
+          && (* same digests on both sides of the wire *)
+          List.sort compare sent.Ilp.checksums
+          = List.sort compare r.Ilp.checksums)
+        (mirror_pairs 0xFEED5EEDL "rc4key"))
+
+let prop_unmarshal_round_trip_xdr =
+  QCheck.Test.make ~name:"unmarshal: xdr mirrored round trip" ~count:200
+    arb_value (fun v ->
+      let schema = Xdr.schema_of_value v in
+      let send_plan =
+        [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Xor_pad { key = 9L; pos = 0L } ]
+      and recv_plan =
+        [ Ilp.Xor_pad { key = 9L; pos = 0L }; Ilp.Checksum Checksum.Kind.Internet ]
+      in
+      let sent = Ilp.run_marshal (Ilp.Marshal_xdr (schema, v)) send_plan in
+      let r =
+        Ilp.run_unmarshal recv_plan (Ilp.Unmarshal_xdr schema) sent.Ilp.output
+      in
+      Value.equal r.Ilp.value (Value.canonical v)
+      && sent.Ilp.checksums = r.Ilp.checksums)
+
+let prop_unmarshal_trailing_garbage =
+  (* The decoder stops at the value; the transform and its checksums
+     still cover the entire input, exactly like run_fused would. *)
+  QCheck.Test.make ~name:"unmarshal: trailing bytes transformed, not parsed"
+    ~count:200
+    QCheck.(pair arb_value (string_gen_of_size Gen.(1 -- 16) Gen.char))
+    (fun (v, junk) ->
+      let plan = [ Ilp.Xor_pad { key = 77L; pos = 0L }; Ilp.Checksum Checksum.Kind.Crc32 ] in
+      let sent =
+        Ilp.run_marshal (Ilp.Marshal_ber v) [ Ilp.Xor_pad { key = 77L; pos = 0L } ]
+      in
+      let input = Bytebuf.concat [ sent.Ilp.output; Bytebuf.of_string junk ] in
+      let ref_ = Ilp.run_fused plan input in
+      let dst = Bytebuf.create (Bytebuf.length input) in
+      let r = Ilp.run_unmarshal ~dst plan Ilp.Unmarshal_ber input in
+      Value.equal r.Ilp.value (Value.canonical v)
+      && r.Ilp.consumed = Ber.sizeof v
+      && r.Ilp.checksums = ref_.Ilp.checksums
+      && Bytebuf.equal dst ref_.Ilp.output)
+
+let test_unmarshal_in_place () =
+  let v = Value.Record [ ("a", Value.Utf8 "in-place"); ("b", Value.Int 3) ] in
+  let sent =
+    Ilp.run_marshal (Ilp.Marshal_ber v) [ Ilp.Xor_pad { key = 11L; pos = 0L } ]
+  in
+  let buf = sent.Ilp.output in
+  let r =
+    Ilp.run_unmarshal ~dst:buf
+      [ Ilp.Xor_pad { key = 11L; pos = 0L } ]
+      Ilp.Unmarshal_ber buf
+  in
+  Alcotest.(check bool) "value" true (Value.equal r.Ilp.value (Value.canonical v));
+  (* the borrowed view now holds the decrypted encoding *)
+  Alcotest.(check bool) "in place" true (Bytebuf.equal buf (Ber.encode (Value.canonical v)))
+
+let test_byteswap_rejected () =
+  let v = Value.int_array [| 1; 2 |] in
+  (match Ilp.run_marshal (Ilp.Marshal_ber v) [ Ilp.Byteswap32 ] with
+  | _ -> Alcotest.fail "marshal accepted Byteswap32"
+  | exception Invalid_argument _ -> ());
+  match
+    Ilp.run_unmarshal [ Ilp.Byteswap32 ] Ilp.Unmarshal_ber (Ber.encode v)
+  with
+  | _ -> Alcotest.fail "unmarshal accepted Byteswap32"
+  | exception Invalid_argument _ -> ()
+
+let test_marshal_cache_counters () =
+  let hits = Obs.Registry.counter "ilp.marshal.plan_cache.hits" in
+  let misses = Obs.Registry.counter "ilp.marshal.plan_cache.misses" in
+  let encoded = Obs.Registry.counter "ilp.marshal.bytes_encoded" in
+  let v = Value.int_array [| 1; 2; 3; 4 |] in
+  let plan key = [ Ilp.Checksum Checksum.Kind.Adler32; Ilp.Xor_pad { key; pos = 0L } ] in
+  (* First run caches the shape (hit or miss depending on suite order). *)
+  ignore (Ilp.run_marshal (Ilp.Marshal_ber v) (plan 1L));
+  let h0 = Obs.Counter.value hits
+  and m0 = Obs.Counter.value misses
+  and e0 = Obs.Counter.value encoded in
+  for i = 2 to 6 do
+    (* different keys, same shape: must all hit *)
+    ignore (Ilp.run_marshal (Ilp.Marshal_ber v) (plan (Int64.of_int i)))
+  done;
+  Alcotest.(check int) "5 cache hits" (h0 + 5) (Obs.Counter.value hits);
+  Alcotest.(check int) "no new misses" m0 (Obs.Counter.value misses);
+  Alcotest.(check int) "bytes_encoded advances" (e0 + (5 * Ber.sizeof v))
+    (Obs.Counter.value encoded)
+
+(* --- The integrated transport path --- *)
+
+let test_send_value_end_to_end () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:42L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy 0.0)
+      ~queue_limit:1024 ~bandwidth_bps:10e6 ~delay:0.005 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let key = 0x5EED_CAFEL in
+  let send_plan =
+    [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Xor_pad { key; pos = 0L } ]
+  and recv_plan =
+    [ Ilp.Xor_pad { key; pos = 0L }; Ilp.Checksum Checksum.Kind.Internet ]
+  in
+  let got = ref [] in
+  let receiver =
+    Alf_transport.receiver_values ~engine ~udp:ub ~port:7000 ~stream:1
+      ~plan:recv_plan ~sink:Ilp.Unmarshal_ber
+      ~deliver:(fun name v -> got := (name.Adu.index, v) :: !got)
+      ()
+  in
+  let tx_pool = Pool.create ~buf_size:1491 () in
+  let sender =
+    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
+      ~stream:1 ~policy:Recovery.No_recovery ~tx_pool ()
+  in
+  let values =
+    [
+      Value.int_array [| 1; 2; 3 |];
+      Value.Utf8 "integrated send path";
+      Value.Record [ ("off", Value.Int 512); ("data", Value.Octets "tile") ];
+      (* big enough to take the multi-fragment fallback *)
+      Value.Octets (String.make 5000 'q');
+      Value.List [];
+    ]
+  in
+  List.iteri
+    (fun i v ->
+      Alf_transport.send_value sender
+        ~name:(Adu.name ~stream:1 ~index:i ())
+        ~plan:send_plan (Ilp.Marshal_ber v))
+    values;
+  Alf_transport.close sender;
+  Engine.run ~until:60.0 engine;
+  Alcotest.(check bool) "complete" true (Alf_transport.complete receiver);
+  Alcotest.(check int) "all delivered" (List.length values) (List.length !got);
+  List.iteri
+    (fun i v ->
+      match List.assoc_opt i !got with
+      | Some got_v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "value %d" i)
+            true
+            (Value.equal got_v (Value.canonical v))
+      | None -> Alcotest.fail (Printf.sprintf "value %d missing" i))
+    values;
+  let rs = Alf_transport.receiver_stats receiver in
+  Alcotest.(check int) "nothing corrupt" 0 rs.Alf_transport.frags_corrupt_dropped
+
+let test_send_value_matches_send_adu_wire () =
+  (* A fused send and a classic encode-then-send must be byte-identical
+     on the wire: same fragment header, same ADU header and CRC, same
+     integrity trailer. *)
+  let captured = ref [] in
+  let io =
+    {
+      Dgram.send =
+        (fun ~dst:_ ~dst_port:_ ~src_port:_ b ->
+          captured := Bytebuf.to_string b :: !captured;
+          true);
+      bind = (fun ~port:_ _ -> ());
+      max_payload = 65507;
+    }
+  in
+  let v = Value.Record [ ("a", Value.int_array [| 5; 6; 7 |]) ] in
+  let name = Adu.name ~dest_off:96 ~dest_len:24 ~stream:4 ~index:0 () in
+  let wire_of send =
+    let engine = Engine.create () in
+    let s =
+      Alf_transport.sender_io ~engine ~io ~peer:2 ~peer_port:7000 ~port:7001
+        ~stream:4 ~policy:Recovery.No_recovery
+        ~tx_pool:(Pool.create ~buf_size:1491 ())
+        ()
+    in
+    captured := [];
+    send s;
+    Engine.run ~until:1.0 engine;
+    match !captured with
+    | [ one ] -> one
+    | l -> Alcotest.fail (Printf.sprintf "expected 1 datagram, got %d" (List.length l))
+  in
+  let fused =
+    wire_of (fun s -> Alf_transport.send_value s ~name (Ilp.Marshal_ber v))
+  in
+  let classic =
+    wire_of (fun s -> Alf_transport.send_adu s (Adu.make name (Ber.encode v)))
+  in
+  Alcotest.(check string) "identical wire bytes" classic fused
+
+let test_send_value_zero_alloc () =
+  (* Steady-state fused transmit performs zero Bytebuf creations per
+     ADU: pooled datagram, take/sub views, combine-derived CRCs. *)
+  let engine = Engine.create () in
+  let io =
+    {
+      Dgram.send = (fun ~dst:_ ~dst_port:_ ~src_port:_ _ -> true);
+      bind = (fun ~port:_ _ -> ());
+      max_payload = 65507;
+    }
+  in
+  let tx_pool = Pool.create ~buf_size:1491 () in
+  let sender =
+    Alf_transport.sender_io ~engine ~io ~peer:2 ~peer_port:7000 ~port:7001
+      ~stream:1 ~policy:Recovery.No_recovery ~tx_pool ()
+  in
+  let plan =
+    [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Xor_pad { key = 7L; pos = 0L } ]
+  in
+  let v = Value.int_array (Array.init 100 (fun i -> i * 17)) in
+  let now = ref 0.0 in
+  let send i =
+    Alf_transport.send_value sender
+      ~name:(Adu.name ~stream:1 ~index:i ())
+      ~plan (Ilp.Marshal_ber v);
+    (* steady state = the engine drains (and the pool recycles) between
+       sends, as it would on a live wire *)
+    now := !now +. 0.001;
+    Engine.run ~until:!now engine
+  in
+  (* Warmup: pool buffer, obs metrics, plan lowering all come into being. *)
+  for i = 0 to 4 do
+    send i
+  done;
+  let before = Bytebuf.created_total () in
+  for i = 5 to 54 do
+    send i
+  done;
+  Alcotest.(check int) "zero Bytebuf creations across 50 sends" 0
+    (Bytebuf.created_total () - before);
+  let st = Alf_transport.sender_stats sender in
+  Alcotest.(check int) "all sent" 55 st.Alf_transport.adus_sent
+
+let () =
+  Alcotest.run "marshal"
+    [
+      ( "fused marshal",
+        [
+          Alcotest.test_case "into dst" `Quick test_marshal_into_dst;
+          Alcotest.test_case "byteswap rejected" `Quick test_byteswap_rejected;
+          Alcotest.test_case "cache counters" `Quick test_marshal_cache_counters;
+          qcheck prop_marshal_equals_fused_ber;
+          qcheck prop_marshal_equals_fused_xdr;
+        ] );
+      ( "fused unmarshal",
+        [
+          Alcotest.test_case "in place" `Quick test_unmarshal_in_place;
+          qcheck prop_unmarshal_round_trip;
+          qcheck prop_unmarshal_round_trip_xdr;
+          qcheck prop_unmarshal_trailing_garbage;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "send_value end to end" `Quick
+            test_send_value_end_to_end;
+          Alcotest.test_case "wire parity with send_adu" `Quick
+            test_send_value_matches_send_adu_wire;
+          Alcotest.test_case "zero-alloc transmit" `Quick
+            test_send_value_zero_alloc;
+        ] );
+    ]

@@ -227,6 +227,121 @@ let test_int_array_wire_sizes () =
     (Bytebuf.length (Ber.encode_int_array big)
     > Bytebuf.length (Xdr.encode_int_array big))
 
+(* --- Word-emitting encoders --- *)
+
+(* Capture a Wordsink drive into a buffer, exactly as the fused marshal
+   loop's final store would — words at 8-aligned bases, tail via bytes. *)
+let words_encode n drive =
+  let out = Bytebuf.create n in
+  let word base w =
+    for k = 0 to 7 do
+      Bytebuf.set_uint8 out (base + k)
+        (Int64.to_int (Int64.shift_right_logical w (8 * k)) land 0xff)
+    done
+  in
+  let byte off b = Bytebuf.set_uint8 out off b in
+  let sink = Wordsink.create ~word ~byte in
+  drive sink;
+  Wordsink.flush sink;
+  out
+
+let prop_ber_words_equal =
+  QCheck.Test.make ~name:"ber: encode_words = encode" ~count:500 arb_value
+    (fun v ->
+      Bytebuf.equal (Ber.encode v) (words_encode (Ber.sizeof v) (Ber.encode_words v)))
+
+let prop_xdr_words_equal =
+  QCheck.Test.make ~name:"xdr: encode_words = encode" ~count:500 arb_value
+    (fun v ->
+      let schema = Xdr.schema_of_value v in
+      Bytebuf.equal
+        (Xdr.encode schema v)
+        (words_encode (Xdr.sizeof schema v) (Xdr.encode_words schema v)))
+
+let test_words_boundaries () =
+  (* 32-bit extremes, empties, and strings straddling word boundaries. *)
+  let cases =
+    [
+      Value.Int 0x7FFFFFFF;
+      Value.Int (-0x80000000);
+      Value.Int64 Int64.min_int;
+      Value.List [];
+      Value.Utf8 "";
+      Value.Octets "";
+      Value.Utf8 "1234567";
+      Value.Octets "12345678";
+      Value.Record [ ("a", Value.Octets "123456789") ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let label = Format.asprintf "%a" Value.pp v in
+      Alcotest.(check string)
+        ("ber " ^ label)
+        (hexbuf (Ber.encode v))
+        (hexbuf (words_encode (Ber.sizeof v) (Ber.encode_words v)));
+      let schema = Xdr.schema_of_value v in
+      Alcotest.(check string)
+        ("xdr " ^ label)
+        (hexbuf (Xdr.encode schema v))
+        (hexbuf (words_encode (Xdr.sizeof schema v) (Xdr.encode_words schema v))))
+    cases
+
+let test_xdr_int_array_range () =
+  (* Same 32-bit discipline as schema_of_value — never silent truncation. *)
+  match Xdr.encode_int_array [| 1; 0x100000000 |] with
+  | _ -> Alcotest.fail "expected range error"
+  | exception Xdr.Error _ -> ()
+
+let prop_ber_int_array_full_range =
+  QCheck.Test.make ~name:"ber: int-array full int range" ~count:300
+    QCheck.(array_of_size Gen.(0 -- 30) int)
+    (fun a -> Ber.decode_int_array (Ber.encode_int_array a) = a)
+
+let arb_garbage = QCheck.(string_gen_of_size Gen.(0 -- 12) Gen.char)
+
+let prop_xdr_decode_prefix_garbage =
+  QCheck.Test.make ~name:"xdr: decode_prefix ignores trailing garbage"
+    ~count:300
+    QCheck.(pair arb_value arb_garbage)
+    (fun (v, junk) ->
+      let schema = Xdr.schema_of_value v in
+      let enc = Xdr.encode schema v in
+      let got, used =
+        Xdr.decode_prefix schema (Bytebuf.concat [ enc; Bytebuf.of_string junk ])
+      in
+      Value.equal got (Value.canonical v) && used = Bytebuf.length enc)
+
+let prop_ber_decode_prefix_garbage =
+  QCheck.Test.make ~name:"ber: decode_prefix ignores trailing garbage"
+    ~count:300
+    QCheck.(pair arb_value arb_garbage)
+    (fun (v, junk) ->
+      let enc = Ber.encode v in
+      let got, used =
+        Ber.decode_prefix (Bytebuf.concat [ enc; Bytebuf.of_string junk ])
+      in
+      Value.equal got (Value.canonical v) && used = Bytebuf.length enc)
+
+let test_encode_allocation () =
+  (* The hoisted encoders build the result in exactly one buffer — no
+     per-element or per-field intermediates. *)
+  let v =
+    Value.List
+      [
+        Value.Record [ ("a", Value.Int 5); ("b", Value.Utf8 "hello") ];
+        Value.int_array [| 1; 2; 3 |];
+        Value.Octets (String.make 40 'x');
+      ]
+  in
+  let schema = Xdr.schema_of_value v in
+  let before = Bytebuf.created_total () in
+  ignore (Ber.encode v);
+  Alcotest.(check int) "ber: one buffer" 1 (Bytebuf.created_total () - before);
+  let before = Bytebuf.created_total () in
+  ignore (Xdr.encode schema v);
+  Alcotest.(check int) "xdr: one buffer" 1 (Bytebuf.created_total () - before)
+
 (* --- Syntax --- *)
 
 let all_syntaxes v =
@@ -400,6 +515,17 @@ let () =
           qcheck prop_lwts_round_trip;
           qcheck prop_lwts_never_longer_than_xdr;
           qcheck prop_lwts_int_array;
+        ] );
+      ( "words",
+        [
+          Alcotest.test_case "boundary cases" `Quick test_words_boundaries;
+          Alcotest.test_case "xdr int-array range" `Quick test_xdr_int_array_range;
+          Alcotest.test_case "encode allocation" `Quick test_encode_allocation;
+          qcheck prop_ber_words_equal;
+          qcheck prop_xdr_words_equal;
+          qcheck prop_ber_int_array_full_range;
+          qcheck prop_xdr_decode_prefix_garbage;
+          qcheck prop_ber_decode_prefix_garbage;
         ] );
       ( "text",
         [
