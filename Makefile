@@ -1,12 +1,13 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick bench-smoke perf-smoke soak soak-smoke examples cli clean outputs
+.PHONY: all build check test bench bench-quick bench-smoke bench-udp perf-smoke udp-smoke soak soak-smoke udp-soak examples cli clean outputs
 
 all: build
 
-# The one-stop gate: full test suite plus the perf-smoke fusion
-# invariants (E2/E14/E15 ratios at a tiny quota).
-check: test perf-smoke
+# The one-stop gate: full test suite, the perf-smoke fusion invariants
+# (E2/E14/E15 ratios at a tiny quota), and the real-socket loopback
+# self-test with its zero-allocation gate (E16).
+check: test perf-smoke udp-smoke
 
 build:
 	dune build @all
@@ -36,6 +37,25 @@ bench-smoke:
 perf-smoke:
 	ALFNET_BENCH_QUOTA=0.05 ALFNET_BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe -- ilp-fusion ilp-compile ilp-marshal
 	dune exec bench/perfcheck.exe -- BENCH_smoke.json
+
+# Real loopback UDP (E16): stream fused-send ADUs over actual sockets
+# via the Rt poll loop, race the same workload through the simulator,
+# and gate on zero steady-state Bytebuf allocations per ADU on the send
+# path. Needs no privileges: everything stays on 127.0.0.1.
+bench-udp:
+	dune exec bin/alfnet.exe -- udp --bench --out BENCH_udp.json
+	dune exec bench/perfcheck.exe -- --udp BENCH_udp.json
+
+# The quick E16 pass that rides in `make check`: smaller stream, same
+# invariants and zero-alloc gate.
+udp-smoke:
+	dune exec bin/alfnet.exe -- udp --bench --adus 2000 --out BENCH_udp_smoke.json
+	dune exec bench/perfcheck.exe -- --udp BENCH_udp_smoke.json
+
+# The soak matrix on real sockets: loss/corruption injected at the
+# datagram seam, same six robustness invariants as `make soak`.
+udp-soak:
+	dune exec bin/alfnet.exe -- udp --soak --out BENCH_udp_soak.json
 
 # The full hostile-network soak matrix (E13): impairment x recovery
 # policy x FEC plus fault plans, invariants checked, BENCH_soak.json out.

@@ -331,12 +331,12 @@ let e6_one ~alf ~loss =
     let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
     let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
     let receiver =
-      Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1
+      Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:9 ~stream:1
         ~deliver:(fun adu -> Pipeline.feed app ~bytes:(Bytebuf.length adu.Adu.payload))
         ()
     in
     let sender =
-      Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10
+      Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:9 ~port:10
         ~stream:1 ~policy:Recovery.Transport_buffer
         ~config:
           { Alf_transport.default_sender_config with Alf_transport.pace_bps = Some 9e6 }
@@ -420,13 +420,13 @@ let e6_alf_pipeline () =
       let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
       let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
       let receiver =
-        Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1
+        Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:9 ~stream:1
           ~deliver:(fun _ -> ()) ()
       in
       let done_at = ref nan in
       Alf_transport.on_complete receiver (fun () -> done_at := Engine.now engine);
       let sender =
-        Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10
+        Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:9 ~port:10
           ~stream:1 ~policy:Recovery.Transport_buffer
           ~config:
             { Alf_transport.default_sender_config with
@@ -629,10 +629,10 @@ let e9_recovery_policies () =
     let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
     let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
     let receiver =
-      Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1 ~deliver:(fun _ -> ()) ()
+      Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:9 ~stream:1 ~deliver:(fun _ -> ()) ()
     in
     let sender =
-      Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10 ~stream:1
+      Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:9 ~port:10 ~stream:1
         ~policy ()
     in
     for i = 0 to count - 1 do
@@ -779,12 +779,12 @@ let e11_fec_vs_retransmission () =
     let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
     let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
     let receiver =
-      Alf_transport.receiver ~engine ~udp:ub ~port:9 ~stream:1 ~deliver:(fun _ -> ()) ()
+      Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:9 ~stream:1 ~deliver:(fun _ -> ()) ()
     in
     let done_at = ref nan in
     Alf_transport.on_complete receiver (fun () -> done_at := Engine.now engine);
     let sender =
-      Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:9 ~port:10 ~stream:1
+      Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:9 ~port:10 ~stream:1
         ~policy:Recovery.Transport_buffer
         ~config:
           { Alf_transport.default_sender_config with

@@ -19,7 +19,13 @@
      proportionally larger slice here.
 
    Ratios are between measurements of the *same run*, so host speed and
-   quota cancel out. *)
+   quota cancel out.
+
+   With --udp it gates BENCH_udp.json (`alfnet udp --bench`) instead:
+   the fused send path must stay zero-allocation in steady state over
+   real loopback sockets (steady_allocs_per_adu = 0), hold the stream's
+   own invariants (ok = true), and both backends must post a positive
+   throughput. *)
 
 let die fmt =
   Printf.ksprintf
@@ -29,8 +35,12 @@ let die fmt =
     fmt
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let udp_mode = List.mem "--udp" args in
   let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_ilp.json"
+    match List.filter (fun a -> a <> "--udp") args with
+    | p :: _ -> p
+    | [] -> if udp_mode then "BENCH_udp.json" else "BENCH_ilp.json"
   in
   let text =
     try In_channel.with_open_text path In_channel.input_all
@@ -56,6 +66,38 @@ let () =
     | Some v -> v
     | None -> die "%s: no measurement named %S" path name
   in
+  let field row_name key =
+    let found =
+      List.find_map
+        (fun row ->
+          match Obs.Json.member "name" row with
+          | Some (Obs.Json.Str n) when n = row_name -> Obs.Json.member key row
+          | _ -> None)
+        rows
+    in
+    match found with
+    | Some v -> v
+    | None -> die "%s: row %S has no field %S" path row_name key
+  in
+  if udp_mode then begin
+    let udp = mbps "udp/fused-send" and sim = mbps "netsim/fused-send" in
+    if udp <= 0.0 then die "udp/fused-send throughput is %.2f Mb/s" udp;
+    if sim <= 0.0 then die "netsim/fused-send throughput is %.2f Mb/s" sim;
+    (match field "udp/fused-send" "steady_allocs_per_adu" with
+    | Obs.Json.Num 0.0 -> ()
+    | Obs.Json.Num a ->
+        die "fused UDP send path allocated %.3f Bytebufs/ADU in steady state"
+          a
+    | _ -> die "steady_allocs_per_adu is not a number");
+    (match field "udp/fused-send" "ok" with
+    | Obs.Json.Bool true -> ()
+    | _ -> die "udp stream violated its own invariants (ok = false)");
+    Printf.printf
+      "perfcheck: udp %.1f Mb/s vs netsim %.1f Mb/s, zero steady-state \
+       allocations — gate holds in %s\n"
+      udp sim path;
+    exit 0
+  end;
   let failures = ref 0 in
   let check label num den floor =
     let r = mbps num /. mbps den in

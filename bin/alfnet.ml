@@ -9,6 +9,7 @@
      marshal    fuse presentation conversion into the stage plan (one pass)
      metrics    run an instrumented workload and dump the metrics registry
      soak       sweep impairment x recovery-policy x FEC under fault plans
+     udp        the same transport over real loopback UDP sockets (Rt loop)
 
    Examples:
      alfnet transfer --transport alf --loss 0.05 --size 500000
@@ -21,7 +22,10 @@
      alfnet ilp --plan xor:42@1000,internet,fletcher32,copy
      alfnet marshal --codec xdr --plan rc4:key,internet,copy
      alfnet soak --smoke --seed 42
-     alfnet soak --out BENCH_soak.json *)
+     alfnet soak --out BENCH_soak.json
+     alfnet udp --adus 10000
+     alfnet udp --bench --out BENCH_udp.json
+     alfnet udp --soak --smoke *)
 
 open Bufkit
 open Netsim
@@ -163,7 +167,7 @@ let run_transfer transport substrate opts size adu_size policy_name verbose
       in
       let out = Sink.create ~size in
       let receiver =
-        Alf_transport.receiver_io ~engine ~io:io_b ~port:7 ~stream:1
+        Alf_transport.receiver_io ~sched:(Netsim.Engine.sched engine) ~io:io_b ~port:7 ~stream:1
           ~deliver:(fun adu ->
             match Sink.write_adu out adu with
             | Ok () -> ()
@@ -184,7 +188,7 @@ let run_transfer transport substrate opts size adu_size policy_name verbose
             Alf_transport.pace_bps =
               Some (opts.bandwidth *. float_of_int (max 1 stripes) *. 0.95) }
         in
-        Alf_transport.sender_io ~engine ~io:io_a ~peer:2 ~peer_port:7 ~port:8
+        Alf_transport.sender_io ~sched:(Netsim.Engine.sched engine) ~io:io_a ~peer:2 ~peer_port:7 ~port:8
           ~stream:1 ~policy ~config ()
       in
       if show_trace then
@@ -800,12 +804,12 @@ let run_metrics opts size =
       ()
   in
   let receiver =
-    Alf_transport.receiver_io ~engine ~io:(Dgram.of_udp ub) ~port:7 ~stream:1
+    Alf_transport.receiver_io ~sched:(Netsim.Engine.sched engine) ~io:(Dgram.of_udp ub) ~port:7 ~stream:1
       ~deliver:(Stage2.deliver_fn stage) ()
   in
   ignore (Alf_transport.receiver_stats receiver);
   let sender =
-    Alf_transport.sender_io ~engine ~io:(Dgram.of_udp ua) ~peer:2 ~peer_port:7
+    Alf_transport.sender_io ~sched:(Netsim.Engine.sched engine) ~io:(Dgram.of_udp ua) ~peer:2 ~peer_port:7
       ~port:8 ~stream:1 ~policy:Recovery.Transport_buffer ()
   in
   List.iter (Alf_transport.send_adu sender)
@@ -888,6 +892,293 @@ let soak_cmd =
           corruption filtering.")
     Term.(ret (const run_soak $ smoke $ seed $ out))
 
+(* --- udp: the transport over real sockets --- *)
+
+(* One fused-send workload shared by the loopback stream and its netsim
+   twin: identical ADUs (one BER int-array value), identical transport
+   parameters, so the BENCH_udp.json rows differ only in what carries the
+   datagrams. *)
+let udp_workload_value =
+  Wire.Value.int_array (Array.init 256 (fun i -> i * 131))
+
+type stream_report = {
+  sr_adus : int;
+  sr_payload_bytes : int;
+  sr_mbps : float;
+  sr_steady_allocs : int;  (* Bytebufs created inside the steady window *)
+  sr_measured : int;  (* ADUs inside the steady window *)
+  sr_delivered : int;
+  sr_mismatches : int;
+  sr_complete : bool;
+  sr_finished : bool;
+  sr_pending_timers : int;
+  sr_send_dropped : int;
+}
+
+(* Stream [adus] fused-send ADUs sender->receiver over one loopback
+   [Rt.Udp_link]. The feeder paces itself: up to 32 ADUs per 1 ms timer
+   tick, far below what the (drained-every-wakeup) socket buffer absorbs.
+   After [warmup] deliveries the Bytebuf creation counter and the wall
+   clock are snapshotted; the window closes when the last ADU arrives,
+   before CLOSE/DONE (which allocate control datagrams) go out. *)
+let run_udp_stream ~adus () =
+  let loop = Rt.Loop.create () in
+  let sched = Rt.Loop.sched loop in
+  let rx_pool = Pool.create ~buf_size:2048 () in
+  let link = Rt.Udp_link.create ~loop ~pool:rx_pool () in
+  let io = Dgram.of_rt link in
+  let v = udp_workload_value in
+  let source = Ilp.Marshal_ber v in
+  let payload_bytes = Ilp.marshal_size source in
+  let expected = Bytebuf.to_string (Wire.Ber.encode v) in
+  let delivered = ref 0 and mismatches = ref 0 in
+  let reasm_pool = Pool.create ~buf_size:2048 () in
+  let receiver =
+    Alf_transport.receiver_io ~sched ~io ~port:9000 ~stream:1 ~reasm_pool
+      ~deliver:(fun adu ->
+        incr delivered;
+        if Bytebuf.to_string adu.Adu.payload <> expected then incr mismatches)
+      ()
+  in
+  let tx_pool = Pool.create ~buf_size:2048 () in
+  let peer = Rt.Udp_link.local_addr link ~port:9000 in
+  (* Recovery by recompute: allocation-free unless a datagram actually
+     vanishes (loopback: it does not), unlike Transport_buffer which
+     retains a copy of every ADU and would break the zero-alloc gate. *)
+  let policy =
+    Recovery.App_recompute
+      (fun i ->
+        Some
+          (Adu.encode
+             (Adu.make (Adu.name ~stream:1 ~index:i ()) (Wire.Ber.encode v))))
+  in
+  let sender =
+    Alf_transport.sender_io ~sched ~io ~peer ~peer_port:9000 ~port:9001
+      ~stream:1 ~policy ~tx_pool ()
+  in
+  let warmup = max 64 (min 256 (adus / 4)) in
+  let sent = ref 0 in
+  let rec feeder () =
+    let n = min 32 (adus - !sent) in
+    for _ = 1 to n do
+      Alf_transport.send_value sender
+        ~name:(Adu.name ~stream:1 ~index:!sent ())
+        source;
+      incr sent
+    done;
+    if !sent < adus then ignore (Rt.Sched.schedule_after sched 0.001 feeder)
+  in
+  feeder ();
+  ignore (Rt.Loop.run_until loop ~timeout:30.0 (fun () -> !delivered >= warmup));
+  let alloc0 = Bytebuf.created_total () in
+  let t0 = Unix.gettimeofday () in
+  ignore (Rt.Loop.run_until loop ~timeout:120.0 (fun () -> !delivered >= adus));
+  let t1 = Unix.gettimeofday () in
+  let alloc1 = Bytebuf.created_total () in
+  Alf_transport.close sender;
+  ignore
+    (Rt.Loop.run_until loop ~timeout:10.0 (fun () ->
+         Alf_transport.finished sender && Alf_transport.complete receiver));
+  Rt.Loop.run_for loop 0.02;
+  let measured = !delivered - warmup in
+  let mbps =
+    if t1 > t0 && measured > 0 then
+      float_of_int (measured * payload_bytes) *. 8.0 /. (t1 -. t0) /. 1e6
+    else 0.0
+  in
+  let report =
+    {
+      sr_adus = adus;
+      sr_payload_bytes = payload_bytes;
+      sr_mbps = mbps;
+      sr_steady_allocs = alloc1 - alloc0;
+      sr_measured = measured;
+      sr_delivered = !delivered;
+      sr_mismatches = !mismatches;
+      sr_complete = Alf_transport.complete receiver;
+      sr_finished = Alf_transport.finished sender;
+      sr_pending_timers = Rt.Loop.pending_timers loop;
+      sr_send_dropped = (Rt.Udp_link.stats link).Rt.Udp_link.send_dropped;
+    }
+  in
+  Rt.Udp_link.close link;
+  report
+
+(* The same workload through the simulator, timed on the wall clock:
+   what a virtual wire costs per byte vs a real one. *)
+let run_netsim_stream ~adus () =
+  let engine = Engine.create () in
+  let sched = Netsim.Engine.sched engine in
+  let rng = Rng.create ~seed:42L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:Impair.none ~queue_limit:4096
+      ~bandwidth_bps:1e9 ~delay:1e-4 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let v = udp_workload_value in
+  let source = Ilp.Marshal_ber v in
+  let payload_bytes = Ilp.marshal_size source in
+  let delivered = ref 0 in
+  let reasm_pool = Pool.create ~buf_size:2048 () in
+  let _receiver =
+    Alf_transport.receiver ~sched ~udp:ub ~port:9000 ~stream:1 ~reasm_pool
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  let tx_pool = Pool.create ~buf_size:2048 () in
+  let sender =
+    Alf_transport.sender ~sched ~udp:ua ~peer:2 ~peer_port:9000 ~port:9001
+      ~stream:1 ~policy:Recovery.No_recovery ~tx_pool ()
+  in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to adus - 1 do
+    Alf_transport.send_value sender ~name:(Adu.name ~stream:1 ~index:i ()) source;
+    (* drain between sends, as a live wire would *)
+    Engine.run ~until:(Engine.now engine +. 0.001) ~max_events:100_000 engine
+  done;
+  Alf_transport.close sender;
+  Engine.run ~until:(Engine.now engine +. 60.0) ~max_events:20_000_000 engine;
+  let t1 = Unix.gettimeofday () in
+  let mbps =
+    if t1 > t0 then
+      float_of_int (!delivered * payload_bytes) *. 8.0 /. (t1 -. t0) /. 1e6
+    else 0.0
+  in
+  (mbps, !delivered, payload_bytes)
+
+let stream_ok r =
+  r.sr_mismatches = 0
+  && r.sr_delivered = r.sr_adus
+  && r.sr_complete && r.sr_finished
+  && r.sr_steady_allocs = 0
+  && r.sr_pending_timers = 0
+
+let pp_stream_report ppf r =
+  Format.fprintf ppf
+    "udp stream: %d ADUs x %dB  %.1f Mb/s  steady allocs %d/%d ADUs  \
+     delivered %d  mismatches %d  complete %b finished %b  pending timers %d  \
+     send_dropped %d"
+    r.sr_adus r.sr_payload_bytes r.sr_mbps r.sr_steady_allocs r.sr_measured
+    r.sr_delivered r.sr_mismatches r.sr_complete r.sr_finished
+    r.sr_pending_timers r.sr_send_dropped
+
+let run_udp_selftest adus =
+  let r = run_udp_stream ~adus () in
+  Format.printf "%a@." pp_stream_report r;
+  if stream_ok r then begin
+    Format.printf "udp selftest: OK (delivered+gone = sent, zero steady-state \
+                   Bytebuf allocations)@.";
+    `Ok ()
+  end
+  else `Error (false, "udp selftest failed (see report line above)")
+
+let run_udp_bench adus out =
+  let r = run_udp_stream ~adus () in
+  Format.printf "%a@." pp_stream_report r;
+  let sim_mbps, sim_delivered, payload_bytes = run_netsim_stream ~adus () in
+  Format.printf "netsim stream: %d ADUs x %dB  %.1f Mb/s@." sim_delivered
+    payload_bytes sim_mbps;
+  let i = Obs.Json.num_of_int in
+  let rows =
+    Obs.Json.Arr
+      [
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str "udp/fused-send");
+            ("mbps", Obs.Json.Num r.sr_mbps);
+            ("adus", i r.sr_adus);
+            ("payload_bytes", i r.sr_payload_bytes);
+            ( "steady_allocs_per_adu",
+              Obs.Json.Num
+                (if r.sr_measured = 0 then nan
+                 else float_of_int r.sr_steady_allocs /. float_of_int r.sr_measured) );
+            ("ok", Obs.Json.Bool (stream_ok r));
+          ];
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str "netsim/fused-send");
+            ("mbps", Obs.Json.Num sim_mbps);
+            ("adus", i sim_delivered);
+            ("payload_bytes", i payload_bytes);
+          ];
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string_pretty rows);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "udp bench -> %s@." out;
+  if stream_ok r then `Ok ()
+  else `Error (false, "udp stream violated its invariants (see report line)")
+
+let run_udp_soak smoke seed out =
+  let module Soak = Alf_chaos.Soak in
+  let outcomes = Soak.run_udp_matrix ~smoke ~seed:(Int64.of_int seed) () in
+  List.iter (fun o -> Format.printf "%a@." Soak.pp_outcome o) outcomes;
+  Soak.write_json out outcomes;
+  let failed = List.filter (fun o -> not (Soak.ok o)) outcomes in
+  Format.printf "udp soak: %d/%d cases ok -> %s@."
+    (List.length outcomes - List.length failed)
+    (List.length outcomes) out;
+  if failed = [] then `Ok ()
+  else
+    `Error
+      ( false,
+        Printf.sprintf "%d udp soak case(s) violated invariants (see %s)"
+          (List.length failed) out )
+
+let udp_cmd =
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:"Race the loopback stream against its netsim twin and write \
+                the two fused-send rows to $(docv).")
+  in
+  let soak =
+    Arg.(
+      value & flag
+      & info [ "soak" ]
+          ~doc:"Run the real-socket soak matrix (loss, corruption and a \
+                sender kill at the datagram seam) instead of the selftest.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"With $(b,--soak): the three-case tier-1 subset.")
+  in
+  let adus =
+    Arg.(
+      value & opt int 10_000
+      & info [ "adus" ] ~docv:"N" ~doc:"ADUs to stream (selftest and bench).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Root RNG seed for $(b,--soak).")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_udp.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+  in
+  let run bench soak smoke adus seed out =
+    if adus < 512 then `Error (false, "--adus must be at least 512 (warmup)")
+    else if bench then run_udp_bench adus out
+    else if soak then run_udp_soak smoke seed out
+    else run_udp_selftest adus
+  in
+  Cmd.v
+    (Cmd.info "udp"
+       ~doc:
+         "Run the ALF transport over real loopback UDP sockets (the Rt \
+          event loop): a zero-allocation streaming selftest by default, a \
+          netsim-vs-real-socket bench with $(b,--bench), or the soak matrix \
+          on real sockets with $(b,--soak). Needs no privileges: everything \
+          stays on 127.0.0.1.")
+    Term.(ret (const run $ bench $ soak $ smoke $ adus $ seed $ out))
+
 let () =
   let doc = "ALF/ILP protocol laboratory (Clark & Tennenhouse, SIGCOMM 1990)" in
   let info = Cmd.info "alfnet" ~version:"1.0.0" ~doc in
@@ -903,4 +1194,5 @@ let () =
             marshal_cmd;
             metrics_cmd;
             soak_cmd;
+            udp_cmd;
           ]))

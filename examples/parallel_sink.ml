@@ -53,7 +53,7 @@ let () =
   let receivers =
     Array.init workers (fun w ->
         let udp = Transport.Udp.create ~engine ~node:(node_of (w + 1)) () in
-        Alf_transport.receiver ~engine ~udp ~port:40 ~stream:w
+        Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp ~port:40 ~stream:w
           ~deliver:(fun adu ->
             let local_off = adu.Adu.name.Adu.dest_off in
             Bytebuf.blit ~src:adu.Adu.payload ~src_pos:0 ~dst:shards.(w)
@@ -68,7 +68,7 @@ let () =
   let source_mux = Mux.create ~udp:source_udp ~port:50 in
   let senders =
     Array.init workers (fun w ->
-        Alf_transport.sender_mux ~engine ~mux:source_mux ~peer:(w + 1)
+        Alf_transport.sender_mux ~sched:(Netsim.Engine.sched engine) ~mux:source_mux ~peer:(w + 1)
           ~peer_port:40 ~stream:w ~policy:Recovery.Transport_buffer ())
   in
   for w = 0 to workers - 1 do

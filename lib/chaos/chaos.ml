@@ -60,6 +60,20 @@ let corrupting_dgram ~rng ~rate (d : Alf_core.Dgram.t) =
               handler ~src ~src_port buf));
     }
 
+(* Wire loss for substrates that cannot drop in flight (real loopback
+   UDP): a send vanishes with probability [rate] while still reporting
+   success — the sender must not learn, exactly as on a real wire. *)
+let lossy_dgram ~rng ~rate (d : Alf_core.Dgram.t) =
+  if rate <= 0.0 then d
+  else
+    {
+      d with
+      Alf_core.Dgram.send =
+        (fun ~dst ~dst_port ~src_port payload ->
+          if Rng.bool rng ~p:rate then true
+          else d.Alf_core.Dgram.send ~dst ~dst_port ~src_port payload);
+    }
+
 let links net = function
   | Forward -> [ net.Topology.ab ]
   | Backward -> [ net.Topology.ba ]

@@ -64,5 +64,13 @@ val corrupting_dgram :
     catch — and what soak cases use to prove corrupted transmission
     units die at stage 1. [rate <= 0] returns the substrate unchanged. *)
 
+val lossy_dgram :
+  rng:Rng.t -> rate:float -> Alf_core.Dgram.t -> Alf_core.Dgram.t
+(** Wire loss at the datagram seam, for substrates with no in-flight
+    drop hook (real loopback UDP): each send vanishes with probability
+    [rate] but still reports success, exactly as a packet lost beyond
+    the first hop would. Deterministic from [rng]. [rate <= 0] returns
+    the substrate unchanged. *)
+
 val pp_event : Format.formatter -> event -> unit
 val pp_plan : Format.formatter -> plan -> unit

@@ -101,7 +101,7 @@ let run case =
       ~rate:case.corrupt_e2e (Dgram.of_udp ub)
   in
   let receiver =
-    Alf_transport.receiver_io ~engine ~io:io_b ~port:7000 ~stream:1
+    Alf_transport.receiver_io ~sched:(Netsim.Engine.sched engine) ~io:io_b ~port:7000 ~stream:1
       ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30
       ~adu_deadline:5.0 ~giveup_idle:1.0
       ~seed:(Int64.add case.seed 1L)
@@ -133,7 +133,7 @@ let run case =
     }
   in
   let sender =
-    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
+    Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
       ~stream:1 ~policy ~config ()
   in
   Chaos.schedule ~engine ~net
@@ -189,6 +189,154 @@ let run case =
     fec_activated = Alf_transport.fec_active sender;
     end_time = Engine.now engine;
   }
+
+(* --- The same transfer over real sockets ---
+
+   One [Rt.Loop], one [Rt.Udp_link], both endpoints in-process on
+   127.0.0.1. The link cannot drop or corrupt in flight, so the case's
+   impairment model is applied at the datagram seam instead:
+   [Chaos.lossy_dgram] on each side's sends ([impair].loss forward,
+   [impair_back].loss backward) and [Chaos.corrupting_dgram] above the
+   receiver, exactly as in the simulator runs. Link-level events
+   (outages, bursts) have no real-socket hook and are skipped;
+   [Kill_sender] fires off a wall-clock timer. [horizon] and [end_time]
+   are wall seconds. *)
+
+let run_udp case =
+  let loop = Rt.Loop.create () in
+  let sched = Rt.Loop.sched loop in
+  let link = Rt.Udp_link.create ~loop () in
+  let c_delivered = Obs.Registry.counter "alf.receiver.adus_delivered" in
+  let c_nacks = Obs.Registry.counter "alf.receiver.nacks_sent" in
+  let c_corrupt = Obs.Registry.counter "alf.receiver.frags_corrupt_dropped" in
+  let c_gone_local = Obs.Registry.counter "alf.receiver.adus_gone_deadline" in
+  let base_delivered = Obs.Counter.value c_delivered in
+  let base_nacks = Obs.Counter.value c_nacks in
+  let base_corrupt = Obs.Counter.value c_corrupt in
+  let base_gone_local = Obs.Counter.value c_gone_local in
+  let mismatches = ref 0 in
+  let base_io = Dgram.of_rt link in
+  let io_b =
+    Chaos.corrupting_dgram
+      ~rng:(Rng.create ~seed:(Int64.add case.seed 2L))
+      ~rate:case.corrupt_e2e
+      (Chaos.lossy_dgram
+         ~rng:(Rng.create ~seed:(Int64.add case.seed 4L))
+         ~rate:case.impair_back.Impair.loss base_io)
+  in
+  let io_a =
+    Chaos.lossy_dgram
+      ~rng:(Rng.create ~seed:(Int64.add case.seed 3L))
+      ~rate:case.impair.Impair.loss base_io
+  in
+  let receiver =
+    Alf_transport.receiver_io ~sched ~io:io_b ~port:7000 ~stream:1
+      ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30 ~adu_deadline:5.0
+      ~giveup_idle:1.0
+      ~seed:(Int64.add case.seed 1L)
+      ~deliver:(fun adu ->
+        let i = adu.Adu.name.Adu.index in
+        if Bytebuf.to_string adu.Adu.payload <> expected_payload case i then
+          incr mismatches)
+      ()
+  in
+  let policy =
+    match case.policy with
+    | Transport_buffer -> Recovery.Transport_buffer
+    | App_recompute ->
+        Recovery.App_recompute (fun i -> Some (Adu.encode (make_adu case i)))
+    | App_recompute_partial ->
+        Recovery.App_recompute
+          (fun i ->
+            if i land 1 = 0 then Some (Adu.encode (make_adu case i)) else None)
+    | No_recovery -> Recovery.No_recovery
+  in
+  let config =
+    {
+      Alf_transport.default_sender_config with
+      Alf_transport.pace_bps = Some 20e6;
+      fec_loss_threshold = (if case.fec then 0.01 else 2.0);
+      fec_k = 4;
+    }
+  in
+  let peer = Rt.Udp_link.local_addr link ~port:7000 in
+  let sender =
+    Alf_transport.sender_io ~sched ~io:io_a ~peer ~peer_port:7000 ~port:7001
+      ~stream:1 ~policy ~config ()
+  in
+  let killed = killed_in_plan case in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Chaos.Kill_sender { at } ->
+          ignore
+            (Rt.Sched.schedule_after sched at (fun () ->
+                 Alf_transport.kill_sender sender))
+      | Chaos.Link_down _ | Chaos.Burst_impair _ | Chaos.Pool_squeeze _
+      | Chaos.Worker_fault _ ->
+          ())
+    case.events;
+  for i = 0 to case.adus - 1 do
+    Alf_transport.send_adu sender (make_adu case i)
+  done;
+  Alf_transport.close sender;
+  let settled_both () =
+    (Alf_transport.finished sender
+    || Alf_transport.sender_gave_up sender
+    || killed)
+    && (Alf_transport.complete receiver || Alf_transport.abandoned receiver)
+  in
+  ignore (Rt.Loop.run_until loop ~timeout:case.horizon settled_both);
+  (* One more beat so crossing DONE/CLOSE datagrams drain and the
+     endpoints disarm their timers. *)
+  Rt.Loop.run_for loop 0.05;
+  let r_stats = Alf_transport.receiver_stats receiver in
+  let s_stats = Alf_transport.sender_stats sender in
+  let all_settled = ref true in
+  for i = 0 to case.adus - 1 do
+    if not (Alf_transport.settled receiver i) then all_settled := false
+  done;
+  let accounted =
+    if killed then
+      Alf_transport.missing receiver = []
+      && (Alf_transport.complete receiver || Alf_transport.abandoned receiver)
+    else !all_settled && Alf_transport.complete receiver
+  in
+  let inv =
+    {
+      quiesced = settled_both () && Rt.Loop.pending_timers loop = 0;
+      accounted;
+      byte_exact = !mismatches = 0;
+      footprint_zero = Alf_transport.store_footprint sender = 0;
+      counters_consistent =
+        Obs.Counter.value c_delivered - base_delivered
+          = r_stats.Alf_transport.adus_delivered
+        && Obs.Counter.value c_nacks - base_nacks
+           = r_stats.Alf_transport.nacks_sent
+        && Obs.Counter.value c_corrupt - base_corrupt
+           = r_stats.Alf_transport.frags_corrupt_dropped
+        && Obs.Counter.value c_gone_local - base_gone_local
+           = r_stats.Alf_transport.adus_gone_local;
+      stage1_clean =
+        (Alf_transport.reassembly_stats receiver).Framing.corrupt_adus = 0;
+    }
+  in
+  let outcome =
+    {
+      case;
+      inv;
+      delivered = r_stats.Alf_transport.adus_delivered;
+      gone_sender = r_stats.Alf_transport.adus_lost;
+      gone_local = r_stats.Alf_transport.adus_gone_local;
+      corrupt_dropped = r_stats.Alf_transport.frags_corrupt_dropped;
+      nacks_sent = r_stats.Alf_transport.nacks_sent;
+      retransmits = s_stats.Alf_transport.adus_retransmitted;
+      fec_activated = Alf_transport.fec_active sender;
+      end_time = Rt.Loop.now loop;
+    }
+  in
+  Rt.Udp_link.close link;
+  outcome
 
 (* --- The matrix --- *)
 
@@ -317,6 +465,44 @@ let write_json path outcomes =
   close_out oc
 
 let run_matrix ?smoke ~seed () = List.map run (matrix ?smoke ~seed ())
+
+(* Horizons are wall seconds here, so the UDP matrix is a focused subset:
+   every recovery policy under loss, end-to-end corruption, and a
+   mid-transfer sender kill. Link-level faults (outage, burst) only exist
+   in the simulator and stay in {!matrix}. *)
+let udp_matrix ?(smoke = false) ~seed () =
+  let adus = if smoke then 12 else 40 in
+  let adu_bytes = if smoke then 1200 else 3000 in
+  let horizon = 20.0 in
+  let mk = base_case ~seed ~adus ~adu_bytes ~horizon in
+  let lossy = Impair.lossy 0.1 in
+  let cases =
+    [
+      mk ~label:"udp/clean/buffer" ~impair:Impair.none ~impair_back:Impair.none
+        ~policy:Transport_buffer ~fec:false ~events:[] ();
+      mk ~label:"udp/lossy/buffer" ~impair:lossy ~impair_back:lossy
+        ~policy:Transport_buffer ~fec:false ~events:[] ();
+      mk ~label:"udp/lossy/recompute" ~impair:lossy ~impair_back:lossy
+        ~policy:App_recompute ~fec:false ~events:[] ();
+      mk ~label:"udp/corrupt/buffer" ~impair:Impair.none
+        ~impair_back:Impair.none ~corrupt_e2e:0.05 ~policy:Transport_buffer
+        ~fec:false ~events:[] ();
+      mk ~label:"udp/lossy/none" ~impair:lossy ~impair_back:lossy
+        ~policy:No_recovery ~fec:false ~events:[] ();
+      mk ~label:"udp/lossy/buffer+kill" ~impair:lossy ~impair_back:lossy
+        ~policy:Transport_buffer ~fec:false
+        ~events:[ Chaos.Kill_sender { at = 0.05 } ] ();
+    ]
+  in
+  if smoke then
+    List.filter
+      (fun c ->
+        List.mem c.label
+          [ "udp/clean/buffer"; "udp/lossy/buffer"; "udp/lossy/buffer+kill" ])
+      cases
+  else cases
+
+let run_udp_matrix ?smoke ~seed () = List.map run_udp (udp_matrix ?smoke ~seed ())
 
 let pp_outcome ppf o =
   Format.fprintf ppf

@@ -72,6 +72,14 @@ val ok : outcome -> bool
 
 val run : case -> outcome
 
+val run_udp : case -> outcome
+(** The same transfer and invariants over a real loopback UDP socket pair
+    ([Rt.Loop] + [Rt.Udp_link]) instead of the simulator. Loss and
+    corruption come from {!Chaos.lossy_dgram}/{!Chaos.corrupting_dgram}
+    at the datagram seam (a real wire cannot be told to misbehave);
+    link-level events (outage, burst) are skipped, [Kill_sender] fires
+    off a wall-clock timer. [horizon] and [end_time] are wall seconds. *)
+
 val hostile : Impair.t
 (** The acceptance impairment: loss 0.3, corrupt 0.05, duplicate 0.05,
     reorder 0.2 (jitter 5 ms so reordering actually occurs). *)
@@ -82,6 +90,13 @@ val matrix : ?smoke:bool -> seed:int64 -> unit -> case list
     subset: hostile impairment only, fewer/smaller ADUs. *)
 
 val run_matrix : ?smoke:bool -> seed:int64 -> unit -> outcome list
+
+val udp_matrix : ?smoke:bool -> seed:int64 -> unit -> case list
+(** The real-socket subset: every recovery policy under loss, e2e
+    corruption, and a mid-transfer sender kill, with wall-clock horizons.
+    [~smoke:true] keeps three cases for tier-1 time budgets. *)
+
+val run_udp_matrix : ?smoke:bool -> seed:int64 -> unit -> outcome list
 
 val outcome_json : outcome -> Obs.Json.t
 val to_json : outcome list -> Obs.Json.t

@@ -110,7 +110,7 @@ type outq_item = {
 let no_release = ignore
 
 type sender = {
-  engine : Engine.t;
+  sched : Rt.Sched.t;
   io : Dgram.t;
   peer : Packet.addr;
   peer_port : int;
@@ -123,6 +123,8 @@ type sender = {
   outq : outq_item Queue.t;
   queued_frags : (int, int ref) Hashtbl.t;  (* blocks still queued per index *)
   mutable pacing : bool;  (* a pace event is scheduled *)
+  mutable pace_timer : Rt.Sched.timer option;
+  mutable close_timer : Rt.Sched.timer option;
   mutable max_index : int;
   mutable closing : bool;
   mutable done_received : bool;
@@ -175,23 +177,43 @@ let dequeue_and_send s =
 
 let rec pace s =
   match (Queue.is_empty s.outq, s.config.pace_bps) with
-  | true, _ -> s.pacing <- false
+  | true, _ ->
+      s.pacing <- false;
+      s.pace_timer <- None
   | false, None ->
       (* Unpaced: drain everything now. *)
       while not (Queue.is_empty s.outq) do
         ignore (dequeue_and_send s)
       done;
-      s.pacing <- false
+      s.pacing <- false;
+      s.pace_timer <- None
   | false, Some rate ->
       let sent_len = dequeue_and_send s in
       let gap = 8.0 *. float_of_int sent_len /. rate in
-      ignore (Engine.schedule_after s.engine gap (fun () -> pace s))
+      s.pace_timer <-
+        Some (Rt.Sched.schedule_after s.sched gap (fun () -> pace s))
 
 let kick s =
   if not s.pacing then begin
     s.pacing <- true;
-    ignore (Engine.schedule_after s.engine 0.0 (fun () -> pace s))
+    s.pace_timer <-
+      Some (Rt.Sched.schedule_after s.sched 0.0 (fun () -> pace s))
   end
+
+(* A finished sender (DONE received, killed, or gave up) must leave no
+   timer armed: a closed session's callbacks firing later is exactly the
+   leak this cancels. *)
+let stop_sender_timers s =
+  (match s.pace_timer with Some tm -> Rt.Sched.cancel tm | None -> ());
+  s.pace_timer <- None;
+  s.pacing <- false;
+  (match s.close_timer with Some tm -> Rt.Sched.cancel tm | None -> ());
+  s.close_timer <- None
+
+let flush_outq s =
+  Queue.iter (fun it -> it.oq_release ()) s.outq;
+  Queue.clear s.outq;
+  Hashtbl.reset s.queued_frags
 
 (* Graceful degradation: once active, fragment batches are XOR-protected
    and each block is prefixed with the FEC tag so the receiver routes it
@@ -339,9 +361,12 @@ let rec close_loop s =
       (* Back off while unanswered; any NACK resets the cadence. *)
       let delay = s.config.close_retry *. (2.0 ** float_of_int s.close_shift) in
       if s.close_shift < 6 then s.close_shift <- s.close_shift + 1;
-      ignore (Engine.schedule_after s.engine delay (fun () -> close_loop s))
+      s.close_timer <-
+        Some (Rt.Sched.schedule_after s.sched delay (fun () -> close_loop s))
     end
+    else s.close_timer <- None
   end
+  else s.close_timer <- None
 
 let sender_handle s ~src:_ ~src_port:_ payload =
   if s.s_killed then ()
@@ -365,20 +390,25 @@ let sender_handle s ~src:_ ~src_port:_ payload =
               if stream = s.stream && not s.done_received then begin
                 s.done_received <- true;
                 (* Everything is confirmed delivered (or gone): the
-                   transport no longer needs its retransmission copies. *)
-                Recovery.release_below s.store (s.max_index + 1)
+                   transport no longer needs its retransmission copies,
+                   its queued retransmissions, or its timers. Without
+                   the cancel, the CLOSE/pace closures keep firing into
+                   a dead session. *)
+                Recovery.release_below s.store (s.max_index + 1);
+                flush_outq s;
+                stop_sender_timers s
               end
           | _ -> ()
         with Cursor.Underflow _ -> ())
 
-let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
+let make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
     ~config =
   if frag_budget config <= Framing.fragment_header_size then
     invalid_arg "Alf_transport: mtu too small for integrity/FEC overhead";
   ignore (Obs.Registry.counter "alf.sender.nack_backoff_resets");
   let s =
     {
-      engine;
+      sched;
       io;
       peer;
       peer_port;
@@ -402,6 +432,8 @@ let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
       outq = Queue.create ();
       queued_frags = Hashtbl.create 64;
       pacing = false;
+      pace_timer = None;
+      close_timer = None;
       max_index = -1;
       closing = false;
       done_received = false;
@@ -418,24 +450,24 @@ let make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
   in
   s
 
-let sender_io ~engine ~io ~peer ~peer_port ~port ~stream ~policy ?tx_pool
+let sender_io ~sched ~io ~peer ~peer_port ~port ~stream ~policy ?tx_pool
     ?(config = default_sender_config) () =
   let s =
-    make_sender ~engine ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
+    make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
       ~config
   in
   io.Dgram.bind ~port (sender_handle s);
   s
 
-let sender ~engine ~udp ~peer ~peer_port ~port ~stream ~policy ?tx_pool
+let sender ~sched ~udp ~peer ~peer_port ~port ~stream ~policy ?tx_pool
     ?(config = default_sender_config) () =
-  sender_io ~engine ~io:(Dgram.of_udp udp) ~peer ~peer_port ~port ~stream
+  sender_io ~sched ~io:(Dgram.of_udp udp) ~peer ~peer_port ~port ~stream
     ~policy ?tx_pool ~config ()
 
-let sender_mux ~engine ~mux ~peer ~peer_port ~stream ~policy ?tx_pool
+let sender_mux ~sched ~mux ~peer ~peer_port ~stream ~policy ?tx_pool
     ?(config = default_sender_config) () =
   let s =
-    make_sender ~engine ~io:(Mux.io mux) ~peer ~peer_port ~port:(Mux.port mux)
+    make_sender ~sched ~io:(Mux.io mux) ~peer ~peer_port ~port:(Mux.port mux)
       ~stream ~policy ~tx_pool ~config
   in
   Mux.attach mux ~stream (sender_handle s);
@@ -650,9 +682,8 @@ let kill_sender s =
     (* The process is gone: nothing queued will reach the wire, and the
        retransmission store dies with it. Pooled datagrams still go back
        to their pool — the pool outlives the sender. *)
-    Queue.iter (fun it -> it.oq_release ()) s.outq;
-    Queue.clear s.outq;
-    Hashtbl.reset s.queued_frags;
+    flush_outq s;
+    stop_sender_timers s;
     Recovery.release_below s.store (s.max_index + 1);
     Obs.Counter.incr (Obs.Registry.counter "alf.sender.killed")
   end
@@ -678,7 +709,7 @@ type req = {
 }
 
 type receiver = {
-  r_engine : Engine.t;
+  r_sched : Rt.Sched.t;
   r_io : Dgram.t;
   r_port : int;
   r_stream : int;
@@ -703,6 +734,7 @@ type receiver = {
   mutable total : int option;
   mutable sender_addr : (Packet.addr * int) option;
   mutable last_rx : float;  (* last integrity-verified datagram *)
+  mutable nack_timer : Rt.Sched.timer option;
   mutable last_loop_settled : int;  (* progress marker between rounds *)
   mutable r_abandoned : bool;
   mutable complete_flag : bool;
@@ -761,8 +793,12 @@ let check_complete t =
   | Some total when (not t.complete_flag) && t.frontier >= total ->
       t.complete_flag <- true;
       (* Nothing more will be asked for: drop all repair bookkeeping (a
-         long-lived receiver must not keep per-index state forever). *)
+         long-lived receiver must not keep per-index state forever) and
+         disarm the repair loop — a pending NACK timer firing into a
+         completed session is the other half of the timer leak. *)
       Hashtbl.reset t.reqs;
+      (match t.nack_timer with Some tm -> Rt.Sched.cancel tm | None -> ());
+      t.nack_timer <- None;
       send_done t;
       t.complete_cb ()
   | Some _ | None -> ()
@@ -795,9 +831,10 @@ let locally_gone t index reason =
   advance_frontier t
 
 let rec nack_loop t =
+  t.nack_timer <- None;
   if t.complete_flag || t.r_abandoned then ()
   else begin
-    let now = Engine.now t.r_engine in
+    let now = Rt.Sched.now t.r_sched in
     let current = missing t in
     List.iter
       (fun i ->
@@ -821,7 +858,7 @@ let rec nack_loop t =
     else if now -. t.last_rx >= t.giveup_idle then begin
       (* Dead air: the sender has vanished (or never appeared). Settle
          what is outstanding as locally gone and stop the loop so the
-         engine can quiesce; a verified datagram revives us. *)
+         scheduler can quiesce; a verified datagram revives us. *)
       List.iter (fun i -> locally_gone t i "sender silent") (missing t);
       check_complete t;
       if not t.complete_flag then begin
@@ -871,7 +908,8 @@ let rec nack_loop t =
         Transport.Rto.rto t.nack_rto
         +. Rng.uniform t.jitter ~lo:0.0 ~hi:(0.5 *. t.nack_interval)
       in
-      ignore (Engine.schedule_after t.r_engine delay (fun () -> nack_loop t))
+      t.nack_timer <-
+        Some (Rt.Sched.schedule_after t.r_sched delay (fun () -> nack_loop t))
     end
   end
 
@@ -886,7 +924,7 @@ let deliver_complete t adu =
            sample (Karn: multiply-requested ones are not). *)
         if r.tries = 1 then
           Transport.Rto.sample t.nack_rto
-            (Engine.now t.r_engine -. r.last_nack);
+            (Rt.Sched.now t.r_sched -. r.last_nack);
         Hashtbl.remove t.reqs index
     | None -> ());
     if index > t.frontier then begin
@@ -901,7 +939,7 @@ let deliver_complete t adu =
     Obs.Counter.add
       (Obs.Registry.counter "alf.receiver.bytes_delivered")
       (Bytebuf.length adu.Adu.payload);
-    Stats.record t.series ~t:(Engine.now t.r_engine)
+    Stats.record t.series ~t:(Rt.Sched.now t.r_sched)
       (float_of_int t.r_stats.bytes_delivered);
     t.app_deliver adu;
     check_complete t
@@ -982,7 +1020,7 @@ let receiver_handle t ~src ~src_port payload =
   | Some payload ->
       (* Only integrity-verified traffic counts as liveness or identifies
          the sender — garbage must not latch a spoofed repair address. *)
-      t.last_rx <- Engine.now t.r_engine;
+      t.last_rx <- Rt.Sched.now t.r_sched;
       if t.sender_addr = None then t.sender_addr <- Some (src, src_port);
       if t.r_abandoned && not t.complete_flag then begin
         t.r_abandoned <- false;
@@ -995,7 +1033,7 @@ let receiver_handle t ~src ~src_port payload =
       else if b0 = tag_fec then Fec.push (fec_decoder t) (Bytebuf.shift payload 1)
       else handle_control t payload
 
-let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
+let make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff
     ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~reasm_pool
     ~deliver =
   if nack_budget < 1 then
@@ -1015,7 +1053,7 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
   in
   let t =
     {
-      r_engine = engine;
+      r_sched = sched;
       r_io = io;
       r_port = port;
       r_stream = stream;
@@ -1054,7 +1092,8 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
       highest_seen = -1;
       total = None;
       sender_addr = None;
-      last_rx = Engine.now engine;
+      last_rx = Rt.Sched.now sched;
+      nack_timer = None;
       last_loop_settled = 0;
       r_abandoned = false;
       complete_flag = false;
@@ -1066,38 +1105,38 @@ let make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
   nack_loop t;
   t
 
-let receiver_io ~engine ~io ~port ~stream ?(nack_interval = 0.02)
+let receiver_io ~sched ~io ~port ~stream ?(nack_interval = 0.02)
     ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
     ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
     ?reasm_pool ~deliver () =
   let t =
-    make_receiver ~engine ~io ~port ~stream ~nack_interval ~nack_holdoff
+    make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff
       ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~reasm_pool
       ~deliver
   in
   io.Dgram.bind ~port (receiver_handle t);
   t
 
-let receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+let receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
     ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
     ~deliver () =
-  receiver_io ~engine ~io:(Dgram.of_udp udp) ~port ~stream ?nack_interval
+  receiver_io ~sched ~io:(Dgram.of_udp udp) ~port ~stream ?nack_interval
     ?nack_holdoff ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed
     ?reasm_pool ~deliver ()
 
-let receiver_mux ~engine ~mux ~stream ?(nack_interval = 0.02)
+let receiver_mux ~sched ~mux ~stream ?(nack_interval = 0.02)
     ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
     ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
     ?reasm_pool ~deliver () =
   let t =
-    make_receiver ~engine ~io:(Mux.io mux) ~port:(Mux.port mux) ~stream
+    make_receiver ~sched ~io:(Mux.io mux) ~port:(Mux.port mux) ~stream
       ~nack_interval ~nack_holdoff ~nack_budget ~adu_deadline ~giveup_idle
       ~integrity ~seed ~reasm_pool ~deliver
   in
   Mux.attach mux ~stream (receiver_handle t);
   t
 
-let receiver_values ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+let receiver_values ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
     ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
     ?(plan = []) ~sink ~deliver () =
   let c_failed = Obs.Registry.counter "alf.receiver.unmarshal_failed" in
@@ -1111,15 +1150,15 @@ let receiver_values ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
     | exception (Wire.Ber.Decode_error _ | Wire.Xdr.Error _) ->
         Obs.Counter.incr c_failed
   in
-  receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+  receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
     ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
     ~deliver:deliver_adu ()
 
-let receiver_stage2 ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+let receiver_stage2 ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
     ?pool ?batch ?reasm_pool ?out_pool ?in_pool ~plan ~deliver () =
   let stage = Stage2.create ?pool ?batch ?out_pool ?in_pool ~plan ~deliver () in
   let t =
-    receiver ~engine ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
       ?reasm_pool ~deliver:(Stage2.deliver_fn stage) ()
   in
   (* Stage 1 settles the last ADU before [check_complete] fires, so the

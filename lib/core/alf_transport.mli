@@ -20,7 +20,15 @@
 
     All ordering, naming and recovery state is per-ADU; nothing anywhere
     in the path waits for sequence-number contiguity — the property that
-    keeps the presentation pipeline of experiment E6 busy under loss. *)
+    keeps the presentation pipeline of experiment E6 busy under loss.
+
+    The transport is backend-neutral: every timer and clock read goes
+    through a {!Rt.Sched.t}, so the same code runs over the simulator
+    ([Netsim.Engine.sched engine]) or over real sockets and wall-clock
+    time ([Rt.Loop.sched loop] with a [Dgram.of_rt] substrate). All
+    session timers are held as cancellable handles and disarmed when the
+    session finishes (DONE received, completion, kill, give-up) — no
+    callback fires into a closed session. *)
 
 open Netsim
 
@@ -65,7 +73,7 @@ type sender_stats = {
 type sender
 
 val sender :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   udp:Transport.Udp.t ->
   peer:Packet.addr ->
   peer_port:int ->
@@ -85,7 +93,7 @@ val sender :
     fall back to plain allocation. *)
 
 val sender_io :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   io:Dgram.t ->
   peer:Packet.addr ->
   peer_port:int ->
@@ -100,7 +108,7 @@ val sender_io :
     [Dgram.of_atm]: the same ALF machinery, cells underneath. *)
 
 val sender_mux :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   mux:Mux.t ->
   peer:Packet.addr ->
   peer_port:int ->
@@ -182,7 +190,7 @@ type receiver_stats = {
 type receiver
 
 val receiver :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   udp:Transport.Udp.t ->
   port:int ->
   stream:int ->
@@ -230,7 +238,7 @@ val receiver :
     address, and are counted in [frags_corrupt_dropped]. *)
 
 val receiver_io :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   io:Dgram.t ->
   port:int ->
   stream:int ->
@@ -248,7 +256,7 @@ val receiver_io :
 (** Like {!receiver} over any datagram substrate. *)
 
 val receiver_mux :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   mux:Mux.t ->
   stream:int ->
   ?nack_interval:float ->
@@ -266,7 +274,7 @@ val receiver_mux :
     port, one demultiplexing step. *)
 
 val receiver_values :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   udp:Transport.Udp.t ->
   port:int ->
   stream:int ->
@@ -296,7 +304,7 @@ val receiver_values :
     disagreement). *)
 
 val receiver_stage2 :
-  engine:Engine.t ->
+  sched:Rt.Sched.t ->
   udp:Transport.Udp.t ->
   port:int ->
   stream:int ->

@@ -51,6 +51,18 @@ let striped channels =
           Array.fold_left (fun m ch -> min m ch.max_payload) max_int arr;
       }
 
+let of_rt link =
+  {
+    send =
+      (fun ~dst ~dst_port ~src_port payload ->
+        Rt.Udp_link.send link ~dst ~dst_port ~src_port payload);
+    bind =
+      (fun ~port handler ->
+        Rt.Udp_link.bind link ~port (fun ~src ~src_port payload ->
+            handler ~src ~src_port payload));
+    max_payload = Rt.Udp_link.max_payload;
+  }
+
 let of_udp udp =
   {
     send =

@@ -24,6 +24,13 @@ type t = {
 val of_udp : Transport.Udp.t -> t
 (** UDP-like datagrams over the packet-switched simulator. *)
 
+val of_rt : Rt.Udp_link.t -> t
+(** Real UDP datagrams over kernel sockets ({!Rt.Udp_link}): the link's
+    integer peer addresses are {!Netsim.Packet.addr}-compatible, so the
+    transport built on this record is byte-for-byte the one that runs
+    over the simulator. Delivered payloads are borrowed (stage-1
+    contract); pair with [Rt.Loop.sched] as the transport scheduler. *)
+
 val of_atm : Atmsim.Bearer.t -> t
 (** Datagrams over ATM: the destination port selects the virtual circuit
     (VCI), a 2-byte in-frame header carries the source port, and the AAL

@@ -119,6 +119,7 @@ type reassembler = {
   deliver : Adu.t -> unit;
   stats : reasm_stats;
   partials : (int, partial) Hashtbl.t;  (* keyed by ADU index *)
+  retired : (int, unit) Hashtbl.t;  (* completed or forgotten indices *)
   pool : (Pool.t * int) option;  (* pool and its buf_size *)
 }
 
@@ -128,6 +129,7 @@ let reassembler ?pool ~deliver () =
     stats =
       { completed = 0; duplicate_frags = 0; corrupt_adus = 0; inconsistent_frags = 0 };
     partials = Hashtbl.create 32;
+    retired = Hashtbl.create 32;
     pool = Option.map (fun p -> (p, (Pool.stats p).Pool.buf_size)) pool;
   }
 
@@ -143,6 +145,7 @@ let release_owner t p =
   | _ -> ()
 
 let forget t ~index =
+  Hashtbl.replace t.retired index ();
   match Hashtbl.find_opt t.partials index with
   | Some p ->
       Hashtbl.remove t.partials index;
@@ -156,6 +159,15 @@ let bit_set bytes i =
     (Char.chr (Char.code (Bytes.get bytes (i / 8)) lor (1 lsl (i mod 8))))
 
 let push t (f : frag_info) =
+  (* A fragment for an index that already completed (or was forgotten) is
+     a late retransmission crossing the repair that satisfied it. Short-
+     circuit before any buffer acquisition or copy work: without this
+     check a retired index would re-open a partial — re-allocating a
+     reassembly buffer, re-blitting the chunk, and (for single-fragment
+     ADUs) re-delivering the ADU. *)
+  if Hashtbl.mem t.retired f.index then
+    t.stats.duplicate_frags <- t.stats.duplicate_frags + 1
+  else
   let p =
     match Hashtbl.find_opt t.partials f.index with
     | Some p -> p
@@ -196,6 +208,7 @@ let push t (f : frag_info) =
     p.bytes <- p.bytes + len;
     if p.have_count = p.nfrags then begin
       Hashtbl.remove t.partials f.index;
+      Hashtbl.replace t.retired f.index ();
       (* Deliver a zero-copy view: the payload aliases the reassembly
          buffer, which (when pooled) is recycled as soon as [deliver]
          returns — the stage-2 borrow contract. *)

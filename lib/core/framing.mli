@@ -96,6 +96,11 @@ val reassembler :
     pool performs zero buffer allocations per ADU. *)
 
 val push : reassembler -> frag_info -> unit
+(** An index that already completed (or was {!forget}-gotten) is
+    {e retired}: further fragments for it — late retransmissions crossing
+    the repair that satisfied them — count as [duplicate_frags] and are
+    dropped before any buffer acquisition or copy work. *)
+
 val stats : reassembler -> reasm_stats
 
 val pending_adus : reassembler -> int
@@ -104,4 +109,6 @@ val pending_adus : reassembler -> int
 val pending_bytes : reassembler -> int
 
 val forget : reassembler -> index:int -> unit
-(** Drop partial state for an ADU (e.g. the sender declared it gone). *)
+(** Drop partial state for an ADU (e.g. the sender declared it gone) and
+    retire the index: stray late fragments for it are counted as
+    duplicates instead of re-opening a partial. *)

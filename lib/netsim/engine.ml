@@ -85,6 +85,15 @@ let schedule_after t delay f = schedule_at t (t.clock +. delay) f
 let cancel ev =
   if not ev.cancelled then ev.cancelled <- true
 
+let sched t =
+  {
+    Rt.Sched.now = (fun () -> t.clock);
+    schedule =
+      (fun delay f ->
+        let ev = schedule_after t delay f in
+        Rt.Sched.make_timer (fun () -> cancel ev));
+  }
+
 let rec drop_cancelled t =
   match peek t with
   | Some ev when ev.cancelled ->

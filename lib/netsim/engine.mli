@@ -28,6 +28,12 @@ val schedule_after : t -> float -> (unit -> unit) -> timer
 val cancel : timer -> unit
 (** Idempotent; cancelling a fired timer is a no-op. *)
 
+val sched : t -> Rt.Sched.t
+(** The engine as a scheduler backend: the same closures a real event
+    loop ([Rt.Loop.sched]) provides, but over virtual time. Code written
+    against [Rt.Sched.t] runs unchanged over the simulator or the
+    kernel. *)
+
 val pending : t -> int
 (** Number of live (uncancelled, unfired) events. *)
 

@@ -1,0 +1,72 @@
+type t = {
+  wheel : Timerwheel.t;
+  epoch : float;
+  mutable fds : (Unix.file_descr * (unit -> unit)) list;
+}
+
+let create ?slots ?granularity () =
+  {
+    wheel = Timerwheel.create ?slots ?granularity ~now:0.0 ();
+    epoch = Unix.gettimeofday ();
+    fds = [];
+  }
+
+let now t = Unix.gettimeofday () -. t.epoch
+
+let sched t =
+  {
+    Sched.now = (fun () -> now t);
+    (* Clamp here, at the loop clock, not in the wheel: the wheel's own
+       clock lags behind [now t] between advances, so a negative delay
+       left unclamped would land *before* a zero delay scheduled a
+       moment earlier and overtake it. *)
+    schedule =
+      (fun delay f ->
+        Timerwheel.schedule t.wheel ~at:(now t +. Float.max delay 0.0) f);
+  }
+
+let on_readable t fd cb =
+  t.fds <- (fd, cb) :: List.remove_assoc fd t.fds
+
+let clear_readable t fd = t.fds <- List.remove_assoc fd t.fds
+
+let pending_timers t = Timerwheel.pending t.wheel
+
+(* One wakeup: timers first (so due work is never starved by a busy
+   socket), then at most one select round of descriptor dispatch. *)
+let poll_once t ~max_wait =
+  ignore (Timerwheel.advance t.wheel ~now:(now t));
+  let wait =
+    match Timerwheel.next_deadline t.wheel with
+    | Some d -> Float.max 0.0 (Float.min max_wait (d -. now t))
+    | None -> max_wait
+  in
+  let rd = List.map fst t.fds in
+  match Unix.select rd [] [] wait with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          match List.assoc_opt fd t.fds with
+          | Some cb -> cb ()
+          | None -> ())
+        ready;
+      ignore (Timerwheel.advance t.wheel ~now:(now t))
+
+let run_until ?(max_select = 0.05) t ~timeout pred =
+  let deadline = now t +. timeout in
+  let rec go () =
+    ignore (Timerwheel.advance t.wheel ~now:(now t));
+    if pred () then true
+    else
+      let remaining = deadline -. now t in
+      if remaining <= 0.0 then false
+      else begin
+        poll_once t ~max_wait:(Float.min max_select remaining);
+        go ()
+      end
+  in
+  go ()
+
+let run_for t duration =
+  ignore (run_until t ~timeout:duration (fun () -> false))

@@ -1,0 +1,17 @@
+type timer = { mutable cancelled : bool; on_cancel : unit -> unit }
+
+type t = {
+  now : unit -> float;
+  schedule : float -> (unit -> unit) -> timer;
+}
+
+let schedule_after t delay f = t.schedule delay f
+let now t = t.now ()
+
+let cancel tm =
+  if not tm.cancelled then begin
+    tm.cancelled <- true;
+    tm.on_cancel ()
+  end
+
+let make_timer on_cancel = { cancelled = false; on_cancel }

@@ -1,0 +1,39 @@
+(** The backend signature: what a protocol endpoint needs from its
+    runtime.
+
+    [Alf_transport] (and anything else that keeps timers) consumes
+    exactly this — a clock and a deferred-callback scheduler with
+    cancellation — so the same transport code runs over the discrete-event
+    simulator ([Netsim.Engine.sched]) or over a real poll loop
+    ({!Loop.sched}) without change. The record is deliberately tiny: the
+    two closures are the whole contract, and a backend is anything that
+    can honour the ordering guarantee below.
+
+    {b Ordering guarantee} (every backend must provide it; the soak
+    matrix's reproducibility depends on it): callbacks fire in
+    (deadline, schedule order) order. A delay [<= 0] (including negative)
+    is clamped to "now" and the callback fires {e after} every callback
+    already due at the current instant — never before. *)
+
+type timer
+(** Handle to one scheduled callback. *)
+
+type t = {
+  now : unit -> float;  (** Seconds; monotone within one backend. *)
+  schedule : float -> (unit -> unit) -> timer;
+      (** [schedule delay f] runs [f] once, [delay] seconds from [now()]
+          (clamped to now when [delay <= 0]). *)
+}
+
+val schedule_after : t -> float -> (unit -> unit) -> timer
+(** [schedule_after t delay f] = [t.schedule delay f]. *)
+
+val now : t -> float
+
+val cancel : timer -> unit
+(** The callback will not run. Idempotent; cancelling an already-fired
+    timer is a no-op. *)
+
+val make_timer : (unit -> unit) -> timer
+(** For backend implementors: wrap the backend's own cancellation action
+    (itself expected to be idempotent) as a timer handle. *)

@@ -1,0 +1,119 @@
+type cell = {
+  deadline : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  granularity : float;
+  nslots : int;
+  slots : cell list array;  (* unsorted; sweeps order by (deadline, seq) *)
+  mutable wheel_now : float;
+  mutable cur_tick : int;
+  mutable next_seq : int;
+}
+
+let tick_of t time = int_of_float (time /. t.granularity)
+
+let create ?(slots = 256) ?(granularity = 0.001) ~now () =
+  if slots <= 0 then invalid_arg "Timerwheel.create: slots must be positive";
+  if granularity <= 0.0 then
+    invalid_arg "Timerwheel.create: granularity must be positive";
+  let t =
+    {
+      granularity;
+      nslots = slots;
+      slots = Array.make slots [];
+      wheel_now = now;
+      cur_tick = 0;
+      next_seq = 0;
+    }
+  in
+  t.cur_tick <- tick_of t now;
+  t
+
+let now t = t.wheel_now
+
+let schedule t ~at f =
+  let deadline = if at < t.wheel_now then t.wheel_now else at in
+  let cell = { deadline; seq = t.next_seq; action = f; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  let slot = tick_of t deadline mod t.nslots in
+  t.slots.(slot) <- cell :: t.slots.(slot);
+  Sched.make_timer (fun () -> cell.cancelled <- true)
+
+(* Sweep the slots a tick range hashes to, removing due and cancelled
+   cells; returns the due ones (unordered). When the range spans a full
+   revolution every slot is visited exactly once. *)
+let collect t ~from_tick ~to_tick =
+  let nvisit = min (to_tick - from_tick + 1) t.nslots in
+  let due = ref [] in
+  for k = 0 to nvisit - 1 do
+    let idx = (from_tick + k) mod t.nslots in
+    let keep =
+      List.filter
+        (fun c ->
+          if c.cancelled then false
+          else if c.deadline <= t.wheel_now then begin
+            due := c :: !due;
+            false
+          end
+          else true)
+        t.slots.(idx)
+    in
+    t.slots.(idx) <- keep
+  done;
+  !due
+
+let fire_order a b =
+  match compare a.deadline b.deadline with 0 -> compare a.seq b.seq | c -> c
+
+let advance t ~now =
+  if now > t.wheel_now then t.wheel_now <- now;
+  let fired = ref 0 in
+  let from_tick = ref t.cur_tick in
+  let continue = ref true in
+  while !continue do
+    let target = tick_of t t.wheel_now in
+    let due = collect t ~from_tick:!from_tick ~to_tick:target in
+    t.cur_tick <- target;
+    (* Later rounds only exist because a fired action scheduled something
+       already due — those land at the current tick. *)
+    from_tick := target;
+    match List.sort fire_order due with
+    | [] -> continue := false
+    | batch ->
+        List.iter
+          (fun c ->
+            (* Re-check: an earlier callback in this batch may have
+               cancelled a later one. *)
+            if not c.cancelled then begin
+              c.cancelled <- true;
+              incr fired;
+              c.action ()
+            end)
+          batch
+  done;
+  !fired
+
+let pending t =
+  Array.fold_left
+    (fun acc cells ->
+      List.fold_left
+        (fun acc c -> if c.cancelled then acc else acc + 1)
+        acc cells)
+    0 t.slots
+
+let next_deadline t =
+  Array.fold_left
+    (fun acc cells ->
+      List.fold_left
+        (fun acc c ->
+          if c.cancelled then acc
+          else
+            match acc with
+            | None -> Some c.deadline
+            | Some d -> if c.deadline < d then Some c.deadline else acc)
+        acc cells)
+    None t.slots

@@ -1,0 +1,44 @@
+(** A hashed timer wheel.
+
+    Replaces the per-session [schedule_after] closure pattern for real
+    runtimes: thousands of sessions each keeping a pace/close/NACK timer
+    hash into a fixed ring of slots, insertion and cancellation are O(1),
+    and one {!advance} per wakeup fires everything due. Cancelled cells
+    are dropped the next time their slot is swept, so closed sessions do
+    not accumulate dead callbacks — the leak this structure exists to
+    prevent.
+
+    Ordering contract (the {!Sched} guarantee): {!advance} fires due
+    callbacks in (deadline, schedule order) order, and a deadline at or
+    before the wheel's current time is clamped to it — a zero or negative
+    delay never jumps ahead of callbacks already due. Callbacks scheduled
+    {e during} an advance whose (clamped) deadline falls within it fire in
+    the same advance, after everything already due. *)
+
+type t
+
+val create : ?slots:int -> ?granularity:float -> now:float -> unit -> t
+(** [slots] (default 256) ring size; [granularity] (default 1 ms) seconds
+    of deadline space per slot. Raises [Invalid_argument] if either is
+    not positive. *)
+
+val now : t -> float
+(** The wheel's clock: the [now] of the last {!advance} (initially the
+    creation [now]). *)
+
+val schedule : t -> at:float -> (unit -> unit) -> Sched.timer
+(** Run the callback at absolute time [at] (clamped to {!now} if
+    earlier). The handle cancels in O(1). *)
+
+val advance : t -> now:float -> int
+(** Move the clock forward and fire every pending callback with
+    [deadline <= now], in (deadline, schedule order) order; returns how
+    many fired. A [now] before the wheel's clock is treated as the
+    clock (time never runs backwards). *)
+
+val pending : t -> int
+(** Live (uncancelled, unfired) callbacks. *)
+
+val next_deadline : t -> float option
+(** Earliest live deadline — what a poll loop turns into its select
+    timeout. [None] when nothing is pending. *)

@@ -1,0 +1,186 @@
+open Bufkit
+
+let max_payload = 65507
+
+type stats = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable send_dropped : int;
+  mutable no_peer : int;
+  mutable unrouted : int;
+  mutable recv_batches : int;
+  mutable max_batch : int;
+}
+
+type t = {
+  loop : Loop.t;
+  recv_batch : int;
+  pool : Pool.t option;
+  scratch : Bytebuf.t;  (* staging when the pool is absent or exhausted *)
+  bind_addr : Unix.inet_addr;
+  socks : (int, Unix.file_descr) Hashtbl.t;  (* virtual port -> socket *)
+  handlers : (int, src:int -> src_port:int -> Bytebuf.t -> unit) Hashtbl.t;
+  peers : (int * int, Unix.sockaddr) Hashtbl.t;
+  rev : (Unix.sockaddr, int * int) Hashtbl.t;
+  mutable next_addr : int;
+  mutable closed : bool;
+  stats : stats;
+}
+
+let stats t = t.stats
+
+let create ?(recv_batch = 32) ?(buf_size = 2048) ?pool
+    ?(bind_addr = Unix.inet_addr_loopback) ~loop () =
+  if recv_batch < 1 then invalid_arg "Udp_link.create: recv_batch";
+  if buf_size < 1 then invalid_arg "Udp_link.create: buf_size";
+  {
+    loop;
+    recv_batch;
+    pool;
+    scratch = Bytebuf.create buf_size;
+    bind_addr;
+    socks = Hashtbl.create 8;
+    handlers = Hashtbl.create 8;
+    peers = Hashtbl.create 16;
+    rev = Hashtbl.create 16;
+    next_addr = 1;
+    closed = false;
+    stats =
+      {
+        datagrams_sent = 0;
+        datagrams_received = 0;
+        send_dropped = 0;
+        no_peer = 0;
+        unrouted = 0;
+        recv_batches = 0;
+        max_batch = 0;
+      };
+  }
+
+let register_sockaddr t sa ~port =
+  match Hashtbl.find_opt t.rev sa with
+  | Some (addr, _) -> addr
+  | None ->
+      let addr = t.next_addr in
+      t.next_addr <- t.next_addr + 1;
+      Hashtbl.replace t.peers (addr, port) sa;
+      Hashtbl.replace t.rev sa (addr, port);
+      addr
+
+let set_peer t ~addr ~port sa =
+  Hashtbl.replace t.peers (addr, port) sa;
+  Hashtbl.replace t.rev sa (addr, port)
+
+(* Identify an arrival's source. First contact from an unknown sockaddr
+   registers it under a fresh address and a synthetic virtual port: the
+   pair is only ever echoed back into [send], where the registry resolves
+   it again, so its actual value is immaterial. *)
+let source_of t sa =
+  match Hashtbl.find_opt t.rev sa with
+  | Some pair -> pair
+  | None ->
+      let addr = t.next_addr in
+      t.next_addr <- t.next_addr + 1;
+      Hashtbl.replace t.peers (addr, 0) sa;
+      Hashtbl.replace t.rev sa (addr, 0);
+      (addr, 0)
+
+let drain t ~port fd =
+  let received = ref 0 in
+  let continue = ref true in
+  while !continue && !received < t.recv_batch do
+    let staging, release =
+      match t.pool with
+      | Some pool -> (
+          match Pool.try_acquire pool with
+          | Some full -> (full, fun () -> Pool.release pool full)
+          | None -> (t.scratch, ignore))
+      | None -> (t.scratch, ignore)
+    in
+    let bytes, off, cap = Bytebuf.backing staging in
+    match Unix.recvfrom fd bytes off cap [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        release ();
+        continue := false
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EINTR), _, _) ->
+        (* A previous send drew an ICMP unreachable; the datagram it
+           refers to is already gone. Keep draining. *)
+        release ()
+    | n, sa ->
+        incr received;
+        t.stats.datagrams_received <- t.stats.datagrams_received + 1;
+        let src, src_port = source_of t sa in
+        (match Hashtbl.find_opt t.handlers port with
+        | Some handler -> handler ~src ~src_port (Bytebuf.take staging n)
+        | None -> t.stats.unrouted <- t.stats.unrouted + 1);
+        release ()
+  done;
+  if !received > 0 then begin
+    t.stats.recv_batches <- t.stats.recv_batches + 1;
+    if !received > t.stats.max_batch then t.stats.max_batch <- !received
+  end
+
+let socket_for t ~port =
+  match Hashtbl.find_opt t.socks port with
+  | Some fd -> fd
+  | None ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+      Unix.set_nonblock fd;
+      (* Bigger kernel buffers absorb the bursts a paced simulator never
+         produces; best-effort (rmem_max caps silently). *)
+      (try Unix.setsockopt_int fd Unix.SO_RCVBUF (1 lsl 21) with _ -> ());
+      (try Unix.setsockopt_int fd Unix.SO_SNDBUF (1 lsl 21) with _ -> ());
+      Unix.bind fd (Unix.ADDR_INET (t.bind_addr, 0));
+      Hashtbl.replace t.socks port fd;
+      ignore (register_sockaddr t (Unix.getsockname fd) ~port);
+      Loop.on_readable t.loop fd (fun () -> drain t ~port fd);
+      fd
+
+let bind t ~port handler =
+  if t.closed then invalid_arg "Udp_link.bind: link closed";
+  Hashtbl.replace t.handlers port handler;
+  ignore (socket_for t ~port)
+
+let local_sockaddr t ~port =
+  match Hashtbl.find_opt t.socks port with
+  | Some fd -> Unix.getsockname fd
+  | None -> raise Not_found
+
+let local_addr t ~port =
+  match Hashtbl.find_opt t.rev (local_sockaddr t ~port) with
+  | Some (addr, _) -> addr
+  | None -> raise Not_found
+
+let send t ~dst ~dst_port ~src_port payload =
+  if t.closed then false
+  else
+    match Hashtbl.find_opt t.peers (dst, dst_port) with
+    | None ->
+        t.stats.no_peer <- t.stats.no_peer + 1;
+        false
+    | Some sa -> (
+        let fd = socket_for t ~port:src_port in
+        let bytes, off, len = Bytebuf.backing payload in
+        match Unix.sendto fd bytes off len [] sa with
+        | _ ->
+            t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
+            true
+        | exception
+            Unix.Unix_error
+              ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ENOBUFS
+                | Unix.ECONNREFUSED ),
+                _,
+                _ ) ->
+            t.stats.send_dropped <- t.stats.send_dropped + 1;
+            false)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.iter
+      (fun _ fd ->
+        Loop.clear_readable t.loop fd;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      t.socks;
+    Hashtbl.reset t.socks
+  end

@@ -705,14 +705,14 @@ let make_alf_world ?(loss = 0.0) ?(policy = Recovery.Transport_buffer)
   let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
   let delivered = ref [] in
   let receiver =
-    Alf_transport.receiver ~engine ~udp:ub ~port:7000 ~stream:1
+    Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:7000 ~stream:1
       ~deliver:(fun adu ->
         delivered :=
           (adu.Adu.name.Adu.index, Bytebuf.to_string adu.Adu.payload) :: !delivered)
       ()
   in
   let sender =
-    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
+    Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
       ~stream:1 ~policy ()
   in
   let payload i = String.init adu_payload (fun j -> Char.chr ((i + j) land 0xff)) in
@@ -789,11 +789,11 @@ let test_alf_app_recompute_policy () =
   in
   let delivered = ref 0 in
   let receiver =
-    Alf_transport.receiver ~engine ~udp:ub ~port:7000 ~stream:1
+    Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:7000 ~stream:1
       ~deliver:(fun _ -> incr delivered) ()
   in
   let sender =
-    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
+    Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
       ~stream:1 ~policy:(Recovery.App_recompute regenerate) ()
   in
   for i = 0 to 29 do
@@ -923,7 +923,7 @@ let test_session_then_negotiated_transfer () =
           | _ -> Alcotest.fail "unexpected syntax"
         in
         let r =
-          Alf_transport.receiver_io ~engine ~io:io_b ~port:910
+          Alf_transport.receiver_io ~sched:(Netsim.Engine.sched engine) ~io:io_b ~port:910
             ~stream:g.Session.g_stream
             ~deliver:(fun adu ->
               Hashtbl.replace received adu.Adu.name.Adu.index
@@ -942,7 +942,7 @@ let test_session_then_negotiated_transfer () =
       | Some g ->
           let syntax = Wire.Syntax.Ber in
           let sender =
-            Alf_transport.sender_io ~engine ~io:io_a ~peer:2 ~peer_port:910
+            Alf_transport.sender_io ~sched:(Netsim.Engine.sched engine) ~io:io_a ~peer:2 ~peer_port:910
               ~port:911 ~stream:g.Session.g_stream
               ~policy:Recovery.Transport_buffer
               ~config:
@@ -999,11 +999,11 @@ let test_stage2_decrypt_verify_pipeline () =
       ()
   in
   let receiver =
-    Alf_transport.receiver ~engine ~udp:ub ~port:3 ~stream:1
+    Alf_transport.receiver ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:3 ~stream:1
       ~deliver:(Stage2.deliver_fn stage2) ()
   in
   let sender =
-    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:3 ~port:4 ~stream:1
+    Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:3 ~port:4 ~stream:1
       ~policy:Recovery.Transport_buffer ()
   in
   List.iter
@@ -1141,7 +1141,7 @@ let test_mux_two_streams_one_port () =
   let mux_b = Mux.create ~udp:ub ~port:6000 in
   let got = Hashtbl.create 8 in
   let mk_receiver stream =
-    Alf_transport.receiver_mux ~engine ~mux:mux_b ~stream
+    Alf_transport.receiver_mux ~sched:(Netsim.Engine.sched engine) ~mux:mux_b ~stream
       ~deliver:(fun adu ->
         let key = (stream, adu.Adu.name.Adu.index) in
         if Hashtbl.mem got key then Alcotest.fail "cross-stream duplicate";
@@ -1150,7 +1150,7 @@ let test_mux_two_streams_one_port () =
   in
   let r1 = mk_receiver 1 and r2 = mk_receiver 2 in
   let mk_sender stream =
-    Alf_transport.sender_mux ~engine ~mux:mux_a ~peer:2 ~peer_port:6000 ~stream
+    Alf_transport.sender_mux ~sched:(Netsim.Engine.sched engine) ~mux:mux_a ~peer:2 ~peer_port:6000 ~stream
       ~policy:Recovery.Transport_buffer ()
   in
   let s1 = mk_sender 1 and s2 = mk_sender 2 in
@@ -1183,7 +1183,7 @@ let test_mux_unrouted_counted () =
   let mux_b = Mux.create ~udp:ub ~port:6000 in
   (* A sender for stream 9, but no receiver attached for it. *)
   let s =
-    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:6000 ~port:6001
+    Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:6000 ~port:6001
       ~stream:9 ~policy:Recovery.No_recovery ()
   in
   Alf_transport.send_adu s (Adu.make (Adu.name ~stream:9 ~index:0 ()) (buf "x"));

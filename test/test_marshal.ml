@@ -257,14 +257,14 @@ let test_send_value_end_to_end () =
   in
   let got = ref [] in
   let receiver =
-    Alf_transport.receiver_values ~engine ~udp:ub ~port:7000 ~stream:1
+    Alf_transport.receiver_values ~sched:(Netsim.Engine.sched engine) ~udp:ub ~port:7000 ~stream:1
       ~plan:recv_plan ~sink:Ilp.Unmarshal_ber
       ~deliver:(fun name v -> got := (name.Adu.index, v) :: !got)
       ()
   in
   let tx_pool = Pool.create ~buf_size:1491 () in
   let sender =
-    Alf_transport.sender ~engine ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
+    Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
       ~stream:1 ~policy:Recovery.No_recovery ~tx_pool ()
   in
   let values =
@@ -320,7 +320,7 @@ let test_send_value_matches_send_adu_wire () =
   let wire_of send =
     let engine = Engine.create () in
     let s =
-      Alf_transport.sender_io ~engine ~io ~peer:2 ~peer_port:7000 ~port:7001
+      Alf_transport.sender_io ~sched:(Netsim.Engine.sched engine) ~io ~peer:2 ~peer_port:7000 ~port:7001
         ~stream:4 ~policy:Recovery.No_recovery
         ~tx_pool:(Pool.create ~buf_size:1491 ())
         ()
@@ -353,7 +353,7 @@ let test_send_value_zero_alloc () =
   in
   let tx_pool = Pool.create ~buf_size:1491 () in
   let sender =
-    Alf_transport.sender_io ~engine ~io ~peer:2 ~peer_port:7000 ~port:7001
+    Alf_transport.sender_io ~sched:(Netsim.Engine.sched engine) ~io ~peer:2 ~peer_port:7000 ~port:7001
       ~stream:1 ~policy:Recovery.No_recovery ~tx_pool ()
   in
   let plan =

@@ -1,0 +1,419 @@
+(* The real-I/O runtime: timer wheel ordering, the poll loop, the UDP
+   link, and the backend-parametric transport suite — the same delivery
+   and accounting assertions over the simulator and over real loopback
+   sockets, through the one [Rt.Sched] seam. *)
+
+open Bufkit
+open Netsim
+open Alf_core
+
+(* --- Timerwheel --- *)
+
+let test_wheel_fifo_same_deadline () =
+  let w = Rt.Timerwheel.create ~now:0.0 () in
+  let order = ref [] in
+  let tag i () = order := i :: !order in
+  ignore (Rt.Timerwheel.schedule w ~at:1.0 (tag 1));
+  ignore (Rt.Timerwheel.schedule w ~at:1.0 (tag 2));
+  ignore (Rt.Timerwheel.schedule w ~at:1.0 (tag 3));
+  Alcotest.(check int) "pending" 3 (Rt.Timerwheel.pending w);
+  let fired = Rt.Timerwheel.advance w ~now:1.0 in
+  Alcotest.(check int) "fired" 3 fired;
+  Alcotest.(check (list int)) "schedule order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_wheel_clamp_never_overtakes () =
+  (* A deadline in the past is clamped to the wheel's now — it must fire
+     after callbacks already due at that instant, never before. *)
+  let w = Rt.Timerwheel.create ~now:10.0 () in
+  let order = ref [] in
+  let tag i () = order := i :: !order in
+  ignore (Rt.Timerwheel.schedule w ~at:10.0 (tag 1));
+  ignore (Rt.Timerwheel.schedule w ~at:4.0 (tag 2));
+  (* past: clamps to 10 *)
+  ignore (Rt.Timerwheel.schedule w ~at:10.0 (tag 3));
+  ignore (Rt.Timerwheel.advance w ~now:10.0);
+  Alcotest.(check (list int)) "clamped keeps FIFO" [ 1; 2; 3 ] (List.rev !order)
+
+let test_wheel_cancel () =
+  let w = Rt.Timerwheel.create ~now:0.0 () in
+  let fired = ref [] in
+  let tag i () = fired := i :: !fired in
+  let _t1 = Rt.Timerwheel.schedule w ~at:0.5 (tag 1) in
+  let t2 = Rt.Timerwheel.schedule w ~at:0.5 (tag 2) in
+  let _t3 = Rt.Timerwheel.schedule w ~at:0.5 (tag 3) in
+  Rt.Sched.cancel t2;
+  Rt.Sched.cancel t2 (* idempotent *);
+  Alcotest.(check int) "pending after cancel" 2 (Rt.Timerwheel.pending w);
+  let n = Rt.Timerwheel.advance w ~now:1.0 in
+  Alcotest.(check int) "fired" 2 n;
+  Alcotest.(check (list int)) "survivors" [ 1; 3 ] (List.rev !fired);
+  Alcotest.(check int) "drained" 0 (Rt.Timerwheel.pending w)
+
+let test_wheel_rotation () =
+  (* Two deadlines hashing to the same slot, whole revolutions apart:
+     the sweep must fire only what is actually due. *)
+  let w = Rt.Timerwheel.create ~slots:8 ~granularity:0.001 ~now:0.0 () in
+  let fired = ref [] in
+  let tag i () = fired := i :: !fired in
+  let revolution = 8.0 *. 0.001 in
+  ignore (Rt.Timerwheel.schedule w ~at:0.003 (tag 1));
+  ignore (Rt.Timerwheel.schedule w ~at:(0.003 +. (2.0 *. revolution)) (tag 2));
+  ignore (Rt.Timerwheel.advance w ~now:0.004);
+  Alcotest.(check (list int)) "only the due one" [ 1 ] (List.rev !fired);
+  Alcotest.(check int) "far one still pending" 1 (Rt.Timerwheel.pending w);
+  (match Rt.Timerwheel.next_deadline w with
+  | Some d -> Alcotest.(check bool) "deadline beyond now" true (d > 0.004)
+  | None -> Alcotest.fail "expected a pending deadline");
+  ignore (Rt.Timerwheel.advance w ~now:(0.003 +. (3.0 *. revolution)));
+  Alcotest.(check (list int)) "eventually fires" [ 1; 2 ] (List.rev !fired);
+  Alcotest.(check int) "empty" 0 (Rt.Timerwheel.pending w)
+
+let test_wheel_reschedule_in_callback () =
+  (* A callback scheduled during an advance, due within it, fires in the
+     same advance — after everything already due. *)
+  let w = Rt.Timerwheel.create ~now:0.0 () in
+  let order = ref [] in
+  ignore
+    (Rt.Timerwheel.schedule w ~at:1.0 (fun () ->
+         order := 1 :: !order;
+         ignore
+           (Rt.Timerwheel.schedule w ~at:0.2 (fun () -> order := 3 :: !order))));
+  ignore (Rt.Timerwheel.schedule w ~at:1.0 (fun () -> order := 2 :: !order));
+  let n = Rt.Timerwheel.advance w ~now:1.0 in
+  Alcotest.(check int) "all three in one advance" 3 n;
+  Alcotest.(check (list int)) "late-scheduled goes last" [ 1; 2; 3 ]
+    (List.rev !order)
+
+(* --- The Sched ordering contract, on both backends --- *)
+
+(* At the instant two callbacks are already due, a callback scheduled
+   with zero and one with negative delay must fire after them, in
+   schedule order: [a; b; c; d]. The simulator heap and the timer wheel
+   must agree — the soak matrix's reproducibility rides on it. *)
+let sched_fifo_scenario (sched : Rt.Sched.t) step =
+  let order = ref [] in
+  let tag i () = order := i :: !order in
+  ignore
+    (Rt.Sched.schedule_after sched 1.0 (fun () ->
+         tag 1 ();
+         ignore (Rt.Sched.schedule_after sched 0.0 (tag 3));
+         ignore (Rt.Sched.schedule_after sched (-5.0) (tag 4))));
+  ignore (Rt.Sched.schedule_after sched 1.0 (tag 2));
+  step ();
+  List.rev !order
+
+let test_engine_sched_fifo () =
+  let engine = Engine.create () in
+  let got =
+    sched_fifo_scenario (Engine.sched engine) (fun () ->
+        Engine.run ~until:2.0 engine)
+  in
+  Alcotest.(check (list int)) "engine FIFO under zero/negative delay"
+    [ 1; 2; 3; 4 ] got
+
+let test_loop_sched_fifo () =
+  let loop = Rt.Loop.create ~granularity:0.0005 () in
+  let sched = Rt.Loop.sched loop in
+  let order = ref [] in
+  let tag i () = order := i :: !order in
+  (* Compress the scenario to real milliseconds: both roots due 2 ms out. *)
+  ignore
+    (Rt.Sched.schedule_after sched 0.002 (fun () ->
+         tag 1 ();
+         ignore (Rt.Sched.schedule_after sched 0.0 (tag 3));
+         ignore (Rt.Sched.schedule_after sched (-5.0) (tag 4))));
+  ignore (Rt.Sched.schedule_after sched 0.002 (tag 2));
+  let done_ = Rt.Loop.run_until loop ~timeout:5.0 (fun () -> List.length !order = 4) in
+  Alcotest.(check bool) "completed" true done_;
+  Alcotest.(check (list int)) "loop FIFO under zero/negative delay"
+    [ 1; 2; 3; 4 ]
+    (List.rev !order);
+  Alcotest.(check int) "no timers left" 0 (Rt.Loop.pending_timers loop)
+
+(* --- Loop: descriptors --- *)
+
+let test_loop_readable () =
+  let loop = Rt.Loop.create () in
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock r;
+  let got = Buffer.create 16 in
+  Rt.Loop.on_readable loop r (fun () ->
+      let b = Bytes.create 64 in
+      match Unix.read r b 0 64 with
+      | n -> Buffer.add_subbytes got b 0 n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+  let timer_fired = ref false in
+  ignore
+    (Rt.Sched.schedule_after (Rt.Loop.sched loop) 0.001 (fun () ->
+         timer_fired := true;
+         ignore (Unix.write_substring w "ping" 0 4)));
+  let done_ =
+    Rt.Loop.run_until loop ~timeout:5.0 (fun () -> Buffer.contents got = "ping")
+  in
+  Alcotest.(check bool) "delivered" true done_;
+  Alcotest.(check bool) "timer ran first" true !timer_fired;
+  Rt.Loop.clear_readable loop r;
+  Unix.close r;
+  Unix.close w
+
+(* --- Udp_link --- *)
+
+let test_udp_link_roundtrip () =
+  let loop = Rt.Loop.create () in
+  let link = Rt.Udp_link.create ~loop () in
+  let got_b = ref [] and got_a = ref [] in
+  Rt.Udp_link.bind link ~port:5000 (fun ~src ~src_port payload ->
+      got_b := (src, src_port, Bytebuf.to_string payload) :: !got_b);
+  Rt.Udp_link.bind link ~port:5001 (fun ~src ~src_port payload ->
+      got_a := (src, src_port, Bytebuf.to_string payload) :: !got_a);
+  let b_addr = Rt.Udp_link.local_addr link ~port:5000 in
+  Alcotest.(check bool) "send accepted" true
+    (Rt.Udp_link.send link ~dst:b_addr ~dst_port:5000 ~src_port:5001
+       (Bytebuf.of_string "hello"));
+  let ok = Rt.Loop.run_until loop ~timeout:5.0 (fun () -> !got_b <> []) in
+  Alcotest.(check bool) "forward delivered" true ok;
+  let src, src_port, payload =
+    match !got_b with [ x ] -> x | _ -> Alcotest.fail "expected one datagram"
+  in
+  Alcotest.(check string) "payload" "hello" payload;
+  (* The source token the handler saw routes a reply back. *)
+  Alcotest.(check bool) "reply accepted" true
+    (Rt.Udp_link.send link ~dst:src ~dst_port:src_port ~src_port:5000
+       (Bytebuf.of_string "aloha"));
+  let ok = Rt.Loop.run_until loop ~timeout:5.0 (fun () -> !got_a <> []) in
+  Alcotest.(check bool) "reply delivered" true ok;
+  (match !got_a with
+  | [ (_, _, p) ] -> Alcotest.(check string) "reply payload" "aloha" p
+  | _ -> Alcotest.fail "expected one reply");
+  let st = Rt.Udp_link.stats link in
+  Alcotest.(check int) "sent" 2 st.Rt.Udp_link.datagrams_sent;
+  Alcotest.(check int) "received" 2 st.Rt.Udp_link.datagrams_received;
+  (* Unknown destination: refused locally, counted, not an exception. *)
+  Alcotest.(check bool) "unknown peer refused" false
+    (Rt.Udp_link.send link ~dst:9999 ~dst_port:1 ~src_port:5000
+       (Bytebuf.of_string "x"));
+  Alcotest.(check int) "no_peer counted" 1 (Rt.Udp_link.stats link).Rt.Udp_link.no_peer;
+  Rt.Udp_link.close link
+
+(* --- Backend-parametric transport suite --- *)
+
+type world = {
+  w_sched : Rt.Sched.t;
+  w_io_a : Dgram.t;  (* sender substrate *)
+  w_io_b : Dgram.t;  (* receiver substrate *)
+  w_peer : unit -> Packet.addr;  (* receiver address, once bound *)
+  w_run : timeout:float -> (unit -> bool) -> unit;
+  w_pending : unit -> int;  (* live timers after quiescence *)
+  w_horizon : float;
+  w_teardown : unit -> unit;
+}
+
+let netsim_world ~loss () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:11L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:(Impair.lossy loss)
+      ~queue_limit:1024 ~bandwidth_bps:50e6 ~delay:0.002 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  {
+    w_sched = Engine.sched engine;
+    w_io_a = Dgram.of_udp ua;
+    w_io_b = Dgram.of_udp ub;
+    w_peer = (fun () -> 2);
+    w_run =
+      (fun ~timeout pred ->
+        let deadline = Engine.now engine +. timeout in
+        while (not (pred ())) && Engine.now engine < deadline do
+          Engine.run ~until:(Engine.now engine +. 0.05) ~max_events:1_000_000
+            engine
+        done);
+    w_pending = (fun () -> Engine.pending engine);
+    w_horizon = 120.0;
+    w_teardown = ignore;
+  }
+
+let rt_world ~loss () =
+  let loop = Rt.Loop.create () in
+  let link = Rt.Udp_link.create ~loop () in
+  let io = Dgram.of_rt link in
+  let io_a =
+    Alf_chaos.Chaos.lossy_dgram ~rng:(Rng.create ~seed:12L) ~rate:loss io
+  in
+  {
+    w_sched = Rt.Loop.sched loop;
+    w_io_a = io_a;
+    w_io_b = io;
+    w_peer = (fun () -> Rt.Udp_link.local_addr link ~port:7000);
+    w_run =
+      (fun ~timeout pred -> ignore (Rt.Loop.run_until loop ~timeout pred));
+    w_pending = (fun () -> Rt.Loop.pending_timers loop);
+    w_horizon = 20.0;
+    w_teardown = (fun () -> Rt.Udp_link.close link);
+  }
+
+(* One lossy transfer, any backend: everything delivered (recovery on),
+   byte-exact, delivered ∪ gone = sent, and — the PR's leak regression —
+   zero live timers once both ends have settled. *)
+let transfer_suite mkworld () =
+  let w = mkworld ~loss:0.05 () in
+  let adus = 30 and adu_bytes = 900 in
+  let payload i =
+    String.init adu_bytes (fun j -> Char.chr (((i * 131) + j) land 0xff))
+  in
+  let delivered = ref 0 and mismatches = ref 0 in
+  let receiver =
+    Alf_transport.receiver_io ~sched:w.w_sched ~io:w.w_io_b ~port:7000
+      ~stream:1 ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30
+      ~adu_deadline:5.0 ~giveup_idle:1.0
+      ~deliver:(fun adu ->
+        incr delivered;
+        if Bytebuf.to_string adu.Adu.payload <> payload adu.Adu.name.Adu.index
+        then incr mismatches)
+      ()
+  in
+  let sender =
+    Alf_transport.sender_io ~sched:w.w_sched ~io:w.w_io_a ~peer:(w.w_peer ())
+      ~peer_port:7000 ~port:7001 ~stream:1 ~policy:Recovery.Transport_buffer ()
+  in
+  for i = 0 to adus - 1 do
+    Alf_transport.send_adu sender
+      (Adu.make (Adu.name ~stream:1 ~index:i ()) (Bytebuf.of_string (payload i)))
+  done;
+  Alf_transport.close sender;
+  w.w_run ~timeout:w.w_horizon (fun () ->
+      (Alf_transport.finished sender || Alf_transport.sender_gave_up sender)
+      && (Alf_transport.complete receiver || Alf_transport.abandoned receiver));
+  Alcotest.(check bool) "sender finished" true (Alf_transport.finished sender);
+  Alcotest.(check bool) "receiver complete" true (Alf_transport.complete receiver);
+  Alcotest.(check int) "all delivered" adus !delivered;
+  Alcotest.(check int) "byte exact" 0 !mismatches;
+  let settled = ref true in
+  for i = 0 to adus - 1 do
+    if not (Alf_transport.settled receiver i) then settled := false
+  done;
+  Alcotest.(check bool) "delivered union gone = sent" true !settled;
+  Alcotest.(check int) "store released" 0 (Alf_transport.store_footprint sender);
+  (* The timer-leak regression: a closed session must leave nothing
+     armed — pace, close-retry and NACK timers all cancelled. *)
+  Alcotest.(check int) "no timers survive completion" 0 (w.w_pending ());
+  w.w_teardown ()
+
+(* No callback runs after completion: once both ends settle, driving the
+   backend for a long tail must not move a single receiver counter. *)
+let test_no_callbacks_after_close () =
+  let w = netsim_world ~loss:0.05 () in
+  let receiver =
+    Alf_transport.receiver_io ~sched:w.w_sched ~io:w.w_io_b ~port:7000
+      ~stream:1 ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  let sender =
+    Alf_transport.sender_io ~sched:w.w_sched ~io:w.w_io_a ~peer:(w.w_peer ())
+      ~peer_port:7000 ~port:7001 ~stream:1 ~policy:Recovery.Transport_buffer ()
+  in
+  for i = 0 to 9 do
+    Alf_transport.send_adu sender
+      (Adu.make (Adu.name ~stream:1 ~index:i ()) (Bytebuf.of_string (String.make 500 'x')))
+  done;
+  Alf_transport.close sender;
+  w.w_run ~timeout:60.0 (fun () ->
+      Alf_transport.finished sender && Alf_transport.complete receiver);
+  Alcotest.(check bool) "settled" true (Alf_transport.finished sender);
+  Alcotest.(check int) "quiesced immediately" 0 (w.w_pending ());
+  let nacks0 = (Alf_transport.receiver_stats receiver).Alf_transport.nacks_sent in
+  (* A long idle tail: the leaked pace/close/NACK closures used to keep
+     firing here forever. *)
+  w.w_run ~timeout:60.0 (fun () -> false);
+  Alcotest.(check int) "still quiesced" 0 (w.w_pending ());
+  Alcotest.(check int) "no NACKs after completion" nacks0
+    (Alf_transport.receiver_stats receiver).Alf_transport.nacks_sent
+
+(* --- Reassembler: retired indices --- *)
+
+let two_frag_adu ~index =
+  let payload = Bytebuf.of_string (String.init 300 (fun i -> Char.chr (i land 0xff))) in
+  let adu = Adu.make (Adu.name ~stream:1 ~index ()) payload in
+  let frags = Framing.fragment ~mtu:200 adu in
+  Alcotest.(check int) "fixture is two fragments" 2 (List.length frags);
+  List.map Framing.parse_fragment frags
+
+let test_reassembler_retired_duplicates () =
+  let delivered = ref 0 in
+  let r = Framing.reassembler ~deliver:(fun _ -> incr delivered) () in
+  let frags = two_frag_adu ~index:0 in
+  List.iter (Framing.push r) frags;
+  Alcotest.(check int) "delivered once" 1 !delivered;
+  let st = Framing.stats r in
+  Alcotest.(check int) "completed" 1 st.Framing.completed;
+  (* Late retransmissions of a completed ADU: counted and dropped before
+     any buffer or copy work — no reopened partial, no reallocation. *)
+  let created0 = Bytebuf.created_total () in
+  List.iter (Framing.push r) frags;
+  List.iter (Framing.push r) frags;
+  Alcotest.(check int) "no re-delivery" 1 !delivered;
+  Alcotest.(check int) "duplicates counted" 4 st.Framing.duplicate_frags;
+  Alcotest.(check int) "no partial reopened" 0 (Framing.pending_adus r);
+  Alcotest.(check int) "completed unchanged" 1 st.Framing.completed;
+  Alcotest.(check int) "zero byte-touch: no buffers created" created0
+    (Bytebuf.created_total ())
+
+let test_reassembler_forget_retires () =
+  let delivered = ref 0 in
+  let r = Framing.reassembler ~deliver:(fun _ -> incr delivered) () in
+  let frags = two_frag_adu ~index:7 in
+  Framing.push r (List.hd frags);
+  Alcotest.(check int) "partial open" 1 (Framing.pending_adus r);
+  Framing.forget r ~index:7;
+  Alcotest.(check int) "partial dropped" 0 (Framing.pending_adus r);
+  (* The straggler that raced the gone-declaration must not reopen it. *)
+  List.iter (Framing.push r) frags;
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "no partial reopened" 0 (Framing.pending_adus r);
+  Alcotest.(check int) "stragglers counted as duplicates" 2
+    (Framing.stats r).Framing.duplicate_frags
+
+let () =
+  Alcotest.run "rt"
+    [
+      ( "timerwheel",
+        [
+          Alcotest.test_case "same-deadline FIFO" `Quick
+            test_wheel_fifo_same_deadline;
+          Alcotest.test_case "past deadline clamps, never overtakes" `Quick
+            test_wheel_clamp_never_overtakes;
+          Alcotest.test_case "cancellation" `Quick test_wheel_cancel;
+          Alcotest.test_case "slot rotation" `Quick test_wheel_rotation;
+          Alcotest.test_case "reschedule inside advance" `Quick
+            test_wheel_reschedule_in_callback;
+        ] );
+      ( "sched-contract",
+        [
+          Alcotest.test_case "engine zero/negative delay FIFO" `Quick
+            test_engine_sched_fifo;
+          Alcotest.test_case "loop zero/negative delay FIFO" `Quick
+            test_loop_sched_fifo;
+        ] );
+      ( "loop",
+        [ Alcotest.test_case "timers and readable fds" `Quick test_loop_readable ] );
+      ( "udp-link",
+        [ Alcotest.test_case "loopback round trip" `Quick test_udp_link_roundtrip ] );
+      ( "transport-backends",
+        [
+          Alcotest.test_case "lossy transfer over netsim" `Quick
+            (transfer_suite netsim_world);
+          Alcotest.test_case "lossy transfer over loopback UDP" `Quick
+            (transfer_suite rt_world);
+          Alcotest.test_case "no callback runs after close" `Quick
+            test_no_callbacks_after_close;
+        ] );
+      ( "reassembler",
+        [
+          Alcotest.test_case "retired index swallows duplicates" `Quick
+            test_reassembler_retired_duplicates;
+          Alcotest.test_case "forget retires the index" `Quick
+            test_reassembler_forget_retires;
+        ] );
+    ]
