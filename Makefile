@@ -1,13 +1,14 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick bench-smoke bench-udp perf-smoke udp-smoke soak soak-smoke udp-soak examples cli clean outputs
+.PHONY: all build check test bench bench-quick bench-smoke bench-udp bench-serve perf-smoke udp-smoke serve-smoke soak soak-smoke udp-soak examples cli clean outputs
 
 all: build
 
 # The one-stop gate: full test suite, the perf-smoke fusion invariants
-# (E2/E14/E15 ratios at a tiny quota), and the real-socket loopback
-# self-test with its zero-allocation gate (E16).
-check: test perf-smoke udp-smoke
+# (E2/E14/E15 ratios at a tiny quota), the real-socket loopback
+# self-test with its zero-allocation gate (E16), and the sharded
+# many-session engine self-test on both backends (E17).
+check: test perf-smoke udp-smoke serve-smoke
 
 build:
 	dune build @all
@@ -51,6 +52,19 @@ bench-udp:
 udp-smoke:
 	dune exec bin/alfnet.exe -- udp --bench --adus 2000 --out BENCH_udp_smoke.json
 	dune exec bench/perfcheck.exe -- --udp BENCH_udp_smoke.json
+
+# The many-session engine (E17): sessions x domains scaling sweep over
+# netsim plus a full-count point on real loopback sockets, gated on
+# every-session-DONE, delivered union gone = sent, peak concurrency =
+# session count, and zero steady-state pool allocations.
+bench-serve:
+	dune exec bin/alfnet.exe -- serve --bench --sessions 100000 --out BENCH_scale.json
+	dune exec bench/perfcheck.exe -- --serve BENCH_scale.json
+
+# The quick E17 pass that rides in `make check`: a few thousand
+# concurrent sessions through both backends, same invariants.
+serve-smoke:
+	dune exec bin/alfnet.exe -- serve --backend both --sessions 4000
 
 # The soak matrix on real sockets: loss/corruption injected at the
 # datagram seam, same six robustness invariants as `make soak`.

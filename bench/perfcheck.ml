@@ -25,7 +25,14 @@
    the fused send path must stay zero-allocation in steady state over
    real loopback sockets (steady_allocs_per_adu = 0), hold the stream's
    own invariants (ok = true), and both backends must post a positive
-   throughput. *)
+   throughput.
+
+   With --serve it gates BENCH_scale.json (`alfnet serve --bench`): every
+   sessions x domains point must hold the serve engine's invariants
+   (ok = true: every session DONE, delivered union gone = sent, peak
+   concurrency = the session count), post a positive throughput, and
+   stage a zero-steady-state-allocation data path
+   (pool_allocs_steady = 0, fallback_allocs = 0). *)
 
 let die fmt =
   Printf.ksprintf
@@ -37,10 +44,14 @@ let die fmt =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let udp_mode = List.mem "--udp" args in
+  let serve_mode = List.mem "--serve" args in
   let path =
-    match List.filter (fun a -> a <> "--udp") args with
+    match List.filter (fun a -> a <> "--udp" && a <> "--serve") args with
     | p :: _ -> p
-    | [] -> if udp_mode then "BENCH_udp.json" else "BENCH_ilp.json"
+    | [] ->
+        if serve_mode then "BENCH_scale.json"
+        else if udp_mode then "BENCH_udp.json"
+        else "BENCH_ilp.json"
   in
   let text =
     try In_channel.with_open_text path In_channel.input_all
@@ -79,6 +90,42 @@ let () =
     | Some v -> v
     | None -> die "%s: row %S has no field %S" path row_name key
   in
+  if serve_mode then begin
+    if rows = [] then die "%s: no measurements" path;
+    let str row k =
+      match Obs.Json.member k row with Some (Obs.Json.Str s) -> s | _ -> "?"
+    in
+    let num row k name =
+      match Obs.Json.member k row with
+      | Some (Obs.Json.Num v) -> v
+      | _ -> die "%s: row %S has no numeric %S" path name k
+    in
+    let sessions_max = ref 0.0 and peak = ref 0.0 in
+    List.iter
+      (fun row ->
+        let name = str row "name" in
+        (match Obs.Json.member "ok" row with
+        | Some (Obs.Json.Bool true) -> ()
+        | _ -> die "%s violated the serve invariants (ok = false)" name);
+        let aps = num row "adus_per_s" name in
+        if aps <= 0.0 then die "%s posted %.1f ADUs/s" name aps;
+        let steady = num row "pool_allocs_steady" name in
+        if steady <> 0.0 then
+          die "%s allocated %.0f pool buffers in steady state" name steady;
+        let fallback = num row "fallback_allocs" name in
+        if fallback <> 0.0 then
+          die "%s fell back to %.0f heap allocations" name fallback;
+        let s = num row "sessions" name in
+        if s > !sessions_max then sessions_max := s;
+        let p = num row "peak_sessions" name in
+        if p > !peak then peak := p)
+      rows;
+    Printf.printf
+      "perfcheck: serve gate holds over %d points in %s — up to %.0f \
+       concurrent sessions (peak live %.0f), zero steady-state allocations\n"
+      (List.length rows) path !sessions_max !peak;
+    exit 0
+  end;
   if udp_mode then begin
     let udp = mbps "udp/fused-send" and sim = mbps "netsim/fused-send" in
     if udp <= 0.0 then die "udp/fused-send throughput is %.2f Mb/s" udp;

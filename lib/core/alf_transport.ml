@@ -1,56 +1,11 @@
 open Bufkit
 open Netsim
 
-(* Control-message discriminators (data fragments start with 0xAD, see
-   Framing; FEC-wrapped fragments with 0xFE). *)
-let tag_nack = 0xC1
-let tag_close = 0xC2
-let tag_done = 0xC3
-let tag_gone = 0xC4
-let tag_fec = 0xFE
-
-(* --- Per-datagram integrity ---
-
-   Every datagram (data fragment or control message) optionally carries a
-   4-byte big-endian checksum trailer over the rest of the payload.
-   Corrupted transmission units are dropped here, at stage 1, instead of
-   poisoning reassembly or being mistaken for control traffic. Both ends
-   must agree on the [integrity] kind; the trailer sits at the end so the
-   stream id at bytes 1–2 (what {!Mux} dispatches on) keeps its place. *)
-
-let trailer_size = 4
-
-let seal integrity buf =
-  match integrity with
-  | None -> buf
-  | Some kind ->
-      let n = Bytebuf.length buf in
-      let out = Bytebuf.create (n + trailer_size) in
-      Bytebuf.blit ~src:buf ~src_pos:0 ~dst:out ~dst_pos:0 ~len:n;
-      let d = Checksum.Kind.digest kind buf land 0xFFFFFFFF in
-      Bytebuf.set_uint8 out n ((d lsr 24) land 0xff);
-      Bytebuf.set_uint8 out (n + 1) ((d lsr 16) land 0xff);
-      Bytebuf.set_uint8 out (n + 2) ((d lsr 8) land 0xff);
-      Bytebuf.set_uint8 out (n + 3) (d land 0xff);
-      out
-
-let unseal integrity buf =
-  match integrity with
-  | None -> Some buf
-  | Some kind ->
-      let n = Bytebuf.length buf in
-      if n < trailer_size then None
-      else
-        let body = Bytebuf.sub buf ~pos:0 ~len:(n - trailer_size) in
-        let stored =
-          (Bytebuf.get_uint8 buf (n - 4) lsl 24)
-          lor (Bytebuf.get_uint8 buf (n - 3) lsl 16)
-          lor (Bytebuf.get_uint8 buf (n - 2) lsl 8)
-          lor Bytebuf.get_uint8 buf (n - 1)
-        in
-        if Checksum.Kind.digest kind body land 0xFFFFFFFF = stored then
-          Some body
-        else None
+(* Wire dialect — control tags, integrity trailer, message codecs — lives
+   in {!Ctl}, shared with the sharded {!Serve} engine. *)
+let trailer_size = Ctl.trailer_size
+let seal = Ctl.seal
+let unseal = Ctl.unseal
 
 type sender_config = {
   mtu : int;
@@ -146,6 +101,11 @@ let strace s fmt =
 
 let set_sender_tracer s f = s.s_tracer <- Some f
 let sender_stats s = s.stats
+
+let sender_table_sizes s =
+  ( Queue.length s.outq,
+    Hashtbl.length s.queued_frags,
+    Hashtbl.length s.gone_announced )
 let store_footprint s = Recovery.footprint s.store
 let finished s = s.done_received
 let sender_gave_up s = s.s_gave_up
@@ -215,6 +175,16 @@ let flush_outq s =
   Queue.clear s.outq;
   Hashtbl.reset s.queued_frags
 
+(* Every sender exit path — DONE received, killed, CLOSE budget exhausted
+   — funnels here so no per-index table survives the session: the output
+   queue and its per-index fragment counters, the gone-announced dedup
+   set, the retransmission store, and both timers. *)
+let teardown_sender s =
+  flush_outq s;
+  stop_sender_timers s;
+  Hashtbl.reset s.gone_announced;
+  Recovery.release_below s.store (s.max_index + 1)
+
 (* Graceful degradation: once active, fragment batches are XOR-protected
    and each block is prefixed with the FEC tag so the receiver routes it
    through its decoder. Group numbers stay monotone across batches —
@@ -230,7 +200,7 @@ let fec_wrap s frags =
     List.map
       (fun b ->
         let out = Bytebuf.create (1 + Bytebuf.length b) in
-        Bytebuf.set_uint8 out 0 tag_fec;
+        Bytebuf.set_uint8 out 0 Ctl.tag_fec;
         Bytebuf.blit ~src:b ~src_pos:0 ~dst:out ~dst_pos:1
           ~len:(Bytebuf.length b);
         out)
@@ -273,16 +243,9 @@ let send_gone s indices =
       s.stats.adus_gone <- s.stats.adus_gone + List.length fresh;
       Obs.Counter.add (Obs.Registry.counter "alf.sender.adus_gone")
         (List.length fresh);
-      let count = List.length indices in
-      let buf = Bytebuf.create (1 + 2 + 2 + (4 * count)) in
-      let w = Cursor.writer buf in
-      Cursor.put_u8 w tag_gone;
-      Cursor.put_u16be w s.stream;
-      Cursor.put_u16be w count;
-      List.iter (fun i -> Cursor.put_int_as_u32be w i) indices;
-      push_datagram s buf
+      push_datagram s (Ctl.build_gone ~stream:s.stream indices)
 
-let handle_nack s r =
+let handle_nack s ~have_below ~indices =
   s.stats.nacks_received <- s.stats.nacks_received + 1;
   Obs.Counter.incr (Obs.Registry.counter "alf.sender.nacks_received");
   (* Evidence the receiver is alive: CLOSE announcements can return to
@@ -292,12 +255,11 @@ let handle_nack s r =
     s.stats.nack_backoff_resets <- s.stats.nack_backoff_resets + 1;
     Obs.Counter.incr (Obs.Registry.counter "alf.sender.nack_backoff_resets")
   end;
-  let have_below = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
   Recovery.release_below s.store have_below;
-  let count = Cursor.u16be r in
   (* The NACK volume against what is still outstanding is a (noisy) loss
      estimate; an EWMA of it decides when always-send-parity beats
      per-loss round trips. *)
+  let count = List.length indices in
   let outstanding = max 1 (s.max_index + 1 - have_below) in
   let sample = min 1.0 (float_of_int count /. float_of_int outstanding) in
   s.loss_ewma <- (0.8 *. s.loss_ewma) +. (0.2 *. sample);
@@ -310,26 +272,27 @@ let handle_nack s r =
     Obs.Counter.incr (Obs.Registry.counter "alf.sender.fec_activated")
   end;
   let gone = ref [] in
-  for _ = 1 to count do
-    let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-    (* A request for an ADU whose fragments are still waiting in the
-       output queue is stale: the data is already on its way. *)
-    if not (Hashtbl.mem s.queued_frags index) then
-      match Recovery.recall s.store ~index with
-      | Recovery.Data encoded ->
-          strace s "retransmit ADU %d (%d bytes)" index (Bytebuf.length encoded);
-          s.stats.adus_retransmitted <- s.stats.adus_retransmitted + 1;
-          s.stats.bytes_retransmitted <-
-            s.stats.bytes_retransmitted + Bytebuf.length encoded;
-          Obs.Counter.incr (Obs.Registry.counter "alf.sender.retransmits");
-          Obs.Counter.add
-            (Obs.Registry.counter "alf.sender.bytes_retransmitted")
-            (Bytebuf.length encoded);
-          enqueue_frags s ~index
-            (Framing.fragment_encoded ~mtu:(frag_budget s.config)
-               ~stream:s.stream ~index encoded)
-      | Recovery.Gone -> gone := index :: !gone
-  done;
+  List.iter
+    (fun index ->
+      (* A request for an ADU whose fragments are still waiting in the
+         output queue is stale: the data is already on its way. *)
+      if not (Hashtbl.mem s.queued_frags index) then
+        match Recovery.recall s.store ~index with
+        | Recovery.Data encoded ->
+            strace s "retransmit ADU %d (%d bytes)" index
+              (Bytebuf.length encoded);
+            s.stats.adus_retransmitted <- s.stats.adus_retransmitted + 1;
+            s.stats.bytes_retransmitted <-
+              s.stats.bytes_retransmitted + Bytebuf.length encoded;
+            Obs.Counter.incr (Obs.Registry.counter "alf.sender.retransmits");
+            Obs.Counter.add
+              (Obs.Registry.counter "alf.sender.bytes_retransmitted")
+              (Bytebuf.length encoded);
+            enqueue_frags s ~index
+              (Framing.fragment_encoded ~mtu:(frag_budget s.config)
+                 ~stream:s.stream ~index encoded)
+        | Recovery.Gone -> gone := index :: !gone)
+    indices;
   send_gone s (List.rev !gone)
 
 let rec close_loop s =
@@ -345,16 +308,11 @@ let rec close_loop s =
         strace s "giving up CLOSE after %d attempts; releasing store"
           s.close_sent;
         Obs.Counter.incr (Obs.Registry.counter "alf.sender.close_gave_up");
-        Recovery.release_below s.store (s.max_index + 1)
+        teardown_sender s
       end
       else begin
         s.close_sent <- s.close_sent + 1;
-        let buf = Bytebuf.create 7 in
-        let w = Cursor.writer buf in
-        Cursor.put_u8 w tag_close;
-        Cursor.put_u16be w s.stream;
-        Cursor.put_int_as_u32be w (s.max_index + 1);
-        push_datagram s buf
+        push_datagram s (Ctl.build_close ~stream:s.stream ~total:(s.max_index + 1))
       end
     end;
     if not s.s_gave_up then begin
@@ -376,30 +334,22 @@ let sender_handle s ~src:_ ~src_port:_ payload =
         Obs.Counter.incr
           (Obs.Registry.counter "alf.sender.ctl_corrupt_dropped")
     | Some payload -> (
-        let r = Cursor.reader payload in
-        (* One guard covers the whole parse: truncated control is ignored. *)
-        try
-          match Cursor.u8 r with
-          | tag when tag = tag_nack ->
-              let stream = Cursor.u16be r in
-              if stream = s.stream && not s.done_received then handle_nack s r
-          | tag when tag = tag_done ->
-              let stream = Cursor.u16be r in
-              (* Duplicate DONEs (the first one's answer crossed a
-                 re-CLOSE) are idempotent. *)
-              if stream = s.stream && not s.done_received then begin
-                s.done_received <- true;
-                (* Everything is confirmed delivered (or gone): the
-                   transport no longer needs its retransmission copies,
-                   its queued retransmissions, or its timers. Without
-                   the cancel, the CLOSE/pace closures keep firing into
-                   a dead session. *)
-                Recovery.release_below s.store (s.max_index + 1);
-                flush_outq s;
-                stop_sender_timers s
-              end
-          | _ -> ()
-        with Cursor.Underflow _ -> ())
+        (* Truncated or foreign control parses to [None] and is ignored. *)
+        match Ctl.parse payload with
+        | Some (Ctl.Nack { stream; have_below; indices })
+          when stream = s.stream && not s.done_received ->
+            handle_nack s ~have_below ~indices
+        | Some (Ctl.Done { stream })
+          when stream = s.stream && not s.done_received ->
+            (* Duplicate DONEs (the first one's answer crossed a re-CLOSE)
+               are idempotent. Everything is confirmed delivered (or
+               gone): the transport no longer needs its retransmission
+               copies, its queued retransmissions, its per-index tables,
+               or its timers — without the cancel, the CLOSE/pace
+               closures keep firing into a dead session. *)
+            s.done_received <- true;
+            teardown_sender s
+        | Some _ | None -> ())
 
 let make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
     ~config =
@@ -682,9 +632,7 @@ let kill_sender s =
     (* The process is gone: nothing queued will reach the wire, and the
        retransmission store dies with it. Pooled datagrams still go back
        to their pool — the pool outlives the sender. *)
-    flush_outq s;
-    stop_sender_timers s;
-    Recovery.release_below s.store (s.max_index + 1);
+    teardown_sender s;
     Obs.Counter.incr (Obs.Registry.counter "alf.sender.killed")
   end
 
@@ -749,18 +697,43 @@ let rtrace t fmt =
 
 let set_receiver_tracer t f = t.r_tracer <- Some f
 let receiver_stats t = t.r_stats
+let receiver_frontier t = t.frontier
+
+let receiver_table_sizes t =
+  ( Hashtbl.length t.delivered,
+    Hashtbl.length t.gone,
+    Hashtbl.length t.reqs )
+
+let receiver_retired_count t = Framing.retired_count t.reasm
 let reassembly_stats t = Framing.stats t.reasm
 let complete t = t.complete_flag
 let abandoned t = t.r_abandoned
 let on_complete t f = t.complete_cb <- f
 let delivery_series t = t.series
 
-let settled t index = Hashtbl.mem t.delivered index || Hashtbl.mem t.gone index
+(* Everything below the contiguous frontier is settled by definition, so
+   the per-index tables only hold indices settled {e out of order} — the
+   reordering window, not the stream. Answering by frontier comparison
+   first is what lets [advance_frontier] retire entries as it passes
+   them; without the retirement the delivered/gone tables grow by one
+   entry per ADU for the life of a streaming receiver. *)
+let settled t index =
+  index < t.frontier
+  || Hashtbl.mem t.delivered index
+  || Hashtbl.mem t.gone index
 
 let advance_frontier t =
-  while settled t t.frontier do
+  let start = t.frontier in
+  while
+    Hashtbl.mem t.delivered t.frontier || Hashtbl.mem t.gone t.frontier
+  do
+    Hashtbl.remove t.delivered t.frontier;
+    Hashtbl.remove t.gone t.frontier;
+    Hashtbl.remove t.reqs t.frontier;
     t.frontier <- t.frontier + 1
-  done
+  done;
+  (* The reassembler's retired-index table rides the same frontier. *)
+  if t.frontier > start then Framing.retire_below t.reasm ~bound:t.frontier
 
 let missing t =
   let bound =
@@ -780,13 +753,7 @@ let send_ctl t build =
         (t.r_io.Dgram.send ~dst:addr ~dst_port:port ~src_port:t.r_port
            (seal t.r_integrity (build ())))
 
-let send_done t =
-  send_ctl t (fun () ->
-      let buf = Bytebuf.create 3 in
-      let w = Cursor.writer buf in
-      Cursor.put_u8 w tag_done;
-      Cursor.put_u16be w t.r_stream;
-      Cursor.written w)
+let send_done t = send_ctl t (fun () -> Ctl.build_done ~stream:t.r_stream)
 
 let check_complete t =
   match t.total with
@@ -808,15 +775,7 @@ let send_nack t indices =
   t.r_stats.nacks_sent <- t.r_stats.nacks_sent + 1;
   Obs.Counter.incr (Obs.Registry.counter "alf.receiver.nacks_sent");
   send_ctl t (fun () ->
-      let count = List.length indices in
-      let buf = Bytebuf.create (1 + 2 + 4 + 2 + (4 * count)) in
-      let w = Cursor.writer buf in
-      Cursor.put_u8 w tag_nack;
-      Cursor.put_u16be w t.r_stream;
-      Cursor.put_int_as_u32be w t.frontier;
-      Cursor.put_u16be w count;
-      List.iter (fun i -> Cursor.put_int_as_u32be w i) indices;
-      Cursor.written w)
+      Ctl.build_nack ~stream:t.r_stream ~have_below:t.frontier indices)
 
 (* Local loss declaration: the repair budget or deadline for [index] is
    exhausted, so stop asking and report the loss in application terms —
@@ -896,9 +855,12 @@ let rec nack_loop t =
             gaps;
           send_nack t gaps;
           (* Rounds that keep asking without anything settling widen the
-             loop (Rto backoff); a clean repair sample resets it. *)
+             loop (Rto backoff); a clean repair sample resets it. The
+             marker must be monotone — stats counters, not table sizes,
+             which shrink as the frontier retires entries. *)
           let settled_now =
-            Hashtbl.length t.delivered + Hashtbl.length t.gone
+            t.r_stats.adus_delivered + t.r_stats.adus_lost
+            + t.r_stats.adus_gone_local
           in
           if settled_now = t.last_loop_settled then
             Transport.Rto.backoff t.nack_rto;
@@ -973,41 +935,30 @@ let fec_decoder t =
       d
 
 let handle_control t payload =
-  let r = Cursor.reader payload in
-  try
-    match Cursor.u8 r with
-    | tag when tag = tag_close ->
-        let stream = Cursor.u16be r in
-        if stream = t.r_stream then begin
-          let total = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-          (* Duplicate CLOSEs are idempotent: the first total wins (they
-             are all equal from a sane sender anyway). *)
-          if t.total = None then t.total <- Some total;
-          let total = match t.total with Some n -> n | None -> total in
-          if total - 1 > t.highest_seen then t.highest_seen <- total - 1;
-          check_complete t;
-          (* A re-CLOSE after completion means our DONE was lost. *)
-          if t.complete_flag then send_done t
-        end
-    | tag when tag = tag_gone ->
-        let stream = Cursor.u16be r in
-        if stream = t.r_stream then begin
-          let count = Cursor.u16be r in
-          for _ = 1 to count do
-            let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-            if not (settled t index) then begin
-              Hashtbl.replace t.gone index ();
-              Hashtbl.remove t.reqs index;
-              Framing.forget t.reasm ~index;
-              t.r_stats.adus_lost <- t.r_stats.adus_lost + 1;
-              Obs.Counter.incr (Obs.Registry.counter "alf.receiver.adus_lost");
-              advance_frontier t
-            end
-          done;
-          check_complete t
-        end
-    | _ -> ()
-  with Cursor.Underflow _ -> ()
+  match Ctl.parse payload with
+  | Some (Ctl.Close { stream; total }) when stream = t.r_stream ->
+      (* Duplicate CLOSEs are idempotent: the first total wins (they are
+         all equal from a sane sender anyway). *)
+      if t.total = None then t.total <- Some total;
+      let total = match t.total with Some n -> n | None -> total in
+      if total - 1 > t.highest_seen then t.highest_seen <- total - 1;
+      check_complete t;
+      (* A re-CLOSE after completion means our DONE was lost. *)
+      if t.complete_flag then send_done t
+  | Some (Ctl.Gone { stream; indices }) when stream = t.r_stream ->
+      List.iter
+        (fun index ->
+          if not (settled t index) then begin
+            Hashtbl.replace t.gone index ();
+            Hashtbl.remove t.reqs index;
+            Framing.forget t.reasm ~index;
+            t.r_stats.adus_lost <- t.r_stats.adus_lost + 1;
+            Obs.Counter.incr (Obs.Registry.counter "alf.receiver.adus_lost");
+            advance_frontier t
+          end)
+        indices;
+      check_complete t
+  | Some _ | None -> ()
 
 let receiver_handle t ~src ~src_port payload =
   match unseal t.r_integrity payload with
@@ -1029,8 +980,9 @@ let receiver_handle t ~src ~src_port payload =
       let b0 =
         if Bytebuf.length payload > 0 then Bytebuf.get_uint8 payload 0 else -1
       in
-      if b0 = 0xAD then handle_fragment t payload
-      else if b0 = tag_fec then Fec.push (fec_decoder t) (Bytebuf.shift payload 1)
+      if b0 = Framing.frag_magic then handle_fragment t payload
+      else if b0 = Ctl.tag_fec then
+        Fec.push (fec_decoder t) (Bytebuf.shift payload 1)
       else handle_control t payload
 
 let make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff

@@ -172,6 +172,11 @@ val set_sender_tracer : sender -> (string -> unit) -> unit
 val sender_stats : sender -> sender_stats
 val store_footprint : sender -> int
 
+val sender_table_sizes : sender -> int * int * int
+(** [(outq, queued_frags, gone_announced)] loads — the teardown probe:
+    all three must be zero once the sender has finished, been killed, or
+    given up. *)
+
 (** {1 Receiver} *)
 
 type receiver_stats = {
@@ -357,7 +362,25 @@ val abandoned : receiver -> bool
 
 val settled : receiver -> int -> bool
 (** Index delivered or gone (either end's declaration) — the
-    accounting soak invariants check. *)
+    accounting soak invariants check. Answered by comparison against the
+    contiguous frontier for indices below it, by table lookup above:
+    per-index state is retired as the frontier passes it, so a streaming
+    receiver's tables stay sized by the reordering window, not the
+    stream. *)
+
+val receiver_frontier : receiver -> int
+(** Lowest index not yet settled; everything below is delivered or
+    gone. *)
+
+val receiver_table_sizes : receiver -> int * int * int
+(** [(delivered, gone, reqs)] Hashtbl loads — the bounded-state probe: on
+    a long-lived in-order stream all three stay flat (entries exist only
+    for indices settled or chased out of order). *)
+
+val receiver_retired_count : receiver -> int
+(** Live entries in the stage-1 reassembler's retired-index table (see
+    {!Framing.retire_below}); rides the same frontier as the receiver
+    tables. *)
 
 val on_complete : receiver -> (unit -> unit) -> unit
 

@@ -120,6 +120,7 @@ type reassembler = {
   stats : reasm_stats;
   partials : (int, partial) Hashtbl.t;  (* keyed by ADU index *)
   retired : (int, unit) Hashtbl.t;  (* completed or forgotten indices *)
+  mutable floor : int;  (* every index below is implicitly retired *)
   pool : (Pool.t * int) option;  (* pool and its buf_size *)
 }
 
@@ -130,11 +131,13 @@ let reassembler ?pool ~deliver () =
       { completed = 0; duplicate_frags = 0; corrupt_adus = 0; inconsistent_frags = 0 };
     partials = Hashtbl.create 32;
     retired = Hashtbl.create 32;
+    floor = 0;
     pool = Option.map (fun p -> (p, (Pool.stats p).Pool.buf_size)) pool;
   }
 
 let stats t = t.stats
 let pending_adus t = Hashtbl.length t.partials
+let retired_count t = Hashtbl.length t.retired
 
 let pending_bytes t =
   Hashtbl.fold (fun _ p acc -> acc + p.bytes) t.partials 0
@@ -145,12 +148,42 @@ let release_owner t p =
   | _ -> ()
 
 let forget t ~index =
-  Hashtbl.replace t.retired index ();
+  if index >= t.floor then Hashtbl.replace t.retired index ();
   match Hashtbl.find_opt t.partials index with
   | Some p ->
       Hashtbl.remove t.partials index;
       release_owner t p
   | None -> ()
+
+(* Everything below [bound] is settled upstream: raise the implicit
+   retirement floor and drop the per-index entries it subsumes. Without
+   this, [retired] grows by one entry per completed ADU for the life of
+   the stream. The cost per call is the number of live entries at or
+   ahead of the old floor — the reordering window, not the stream. *)
+let retire_below t ~bound =
+  if bound > t.floor then begin
+    t.floor <- bound;
+    if Hashtbl.length t.retired > 0 then begin
+      let dead =
+        Hashtbl.fold
+          (fun i () acc -> if i < bound then i :: acc else acc)
+          t.retired []
+      in
+      List.iter (Hashtbl.remove t.retired) dead
+    end;
+    if Hashtbl.length t.partials > 0 then begin
+      let dead =
+        Hashtbl.fold
+          (fun i p acc -> if i < bound then (i, p) :: acc else acc)
+          t.partials []
+      in
+      List.iter
+        (fun (i, p) ->
+          Hashtbl.remove t.partials i;
+          release_owner t p)
+        dead
+    end
+  end
 
 let bit_get bytes i = Char.code (Bytes.get bytes (i / 8)) land (1 lsl (i mod 8)) <> 0
 
@@ -165,7 +198,7 @@ let push t (f : frag_info) =
      check a retired index would re-open a partial — re-allocating a
      reassembly buffer, re-blitting the chunk, and (for single-fragment
      ADUs) re-delivering the ADU. *)
-  if Hashtbl.mem t.retired f.index then
+  if f.index < t.floor || Hashtbl.mem t.retired f.index then
     t.stats.duplicate_frags <- t.stats.duplicate_frags + 1
   else
   let p =

@@ -112,3 +112,16 @@ val forget : reassembler -> index:int -> unit
 (** Drop partial state for an ADU (e.g. the sender declared it gone) and
     retire the index: stray late fragments for it are counted as
     duplicates instead of re-opening a partial. *)
+
+val retire_below : reassembler -> bound:int -> unit
+(** Every index below [bound] is settled upstream (the receiver's
+    contiguous frontier passed it): raise the implicit retirement floor
+    and release the per-index entries — retired marks and any stale
+    partials, whose pooled buffers go back to the pool — that the floor
+    subsumes. Keeps a long-lived reassembler's tables sized by the
+    reordering window instead of the stream length. Monotone; calls with
+    a lower bound are no-ops. *)
+
+val retired_count : reassembler -> int
+(** Live entries in the retired-index table (above the floor) — the
+    bounded-state regression probe. *)

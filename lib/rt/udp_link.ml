@@ -57,19 +57,35 @@ let create ?(recv_batch = 32) ?(buf_size = 2048) ?pool
       };
   }
 
+(* The one write path for both registry directions. A sockaddr already
+   known under another (addr, port) — typically the synthetic port 0 that
+   {!source_of} assigns on first contact — is upgraded {e in place}: the
+   stale forward entry is removed, so the registry never holds two peers
+   for one sockaddr or a rev mapping pointing at a dead pair (which would
+   misattribute [src_port] on every later arrival). *)
+let rebind t sa ~addr ~port =
+  (match Hashtbl.find_opt t.rev sa with
+  | Some (a0, p0) when (a0, p0) <> (addr, port) -> Hashtbl.remove t.peers (a0, p0)
+  | Some _ | None -> ());
+  Hashtbl.replace t.peers (addr, port) sa;
+  Hashtbl.replace t.rev sa (addr, port)
+
 let register_sockaddr t sa ~port =
   match Hashtbl.find_opt t.rev sa with
-  | Some (addr, _) -> addr
+  | Some (addr, p0) ->
+      (* First contact registered it under port 0; now the caller knows
+         the real port. Keep the address — tokens already handed to
+         handlers stay valid, since sends resolve through [peers] and the
+         old pair is re-pointed here. *)
+      if p0 <> port then rebind t sa ~addr ~port;
+      addr
   | None ->
       let addr = t.next_addr in
       t.next_addr <- t.next_addr + 1;
-      Hashtbl.replace t.peers (addr, port) sa;
-      Hashtbl.replace t.rev sa (addr, port);
+      rebind t sa ~addr ~port;
       addr
 
-let set_peer t ~addr ~port sa =
-  Hashtbl.replace t.peers (addr, port) sa;
-  Hashtbl.replace t.rev sa (addr, port)
+let set_peer t ~addr ~port sa = rebind t sa ~addr ~port
 
 (* Identify an arrival's source. First contact from an unknown sockaddr
    registers it under a fresh address and a synthetic virtual port: the

@@ -66,7 +66,10 @@ val local_sockaddr : t -> port:int -> Unix.sockaddr
 
 val set_peer : t -> addr:int -> port:int -> Unix.sockaddr -> unit
 (** Name a remote endpoint: sends to [(addr, port)] go to the sockaddr,
-    and arrivals from it identify as [(addr, port)]. *)
+    and arrivals from it identify as [(addr, port)]. A sockaddr already
+    auto-registered under a synthetic pair (first contact) is upgraded in
+    place — the stale pair stops routing, and later arrivals identify
+    under the new one; tokens captured before the upgrade are invalid. *)
 
 val send : t -> dst:int -> dst_port:int -> src_port:int -> Bytebuf.t -> bool
 (** [false] when the peer is unregistered or the kernel refused the

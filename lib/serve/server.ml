@@ -1,0 +1,757 @@
+open Bufkit
+open Alf_core
+
+type key = { peer : int; peer_port : int; stream : int }
+
+type config = {
+  port : int;
+  shards : int;
+  integrity : Checksum.Kind.t option;
+  max_sessions_per_shard : int;
+  rx_buf_size : int;
+  rx_bufs_per_shard : int;
+  ctl_bufs_per_shard : int;
+  reasm_bufs_per_shard : int;
+  max_adu : int;
+  idle_timeout : float;
+  done_linger : float;
+  harvest_interval : float;
+  nack_holdoff : float;
+  nack_budget : int;
+  stage2_plan : Ilp.plan;
+  obs_prefix : string;
+}
+
+let default_config =
+  {
+    port = 7000;
+    shards = 4;
+    integrity = Some Checksum.Kind.Crc32;
+    max_sessions_per_shard = 1 lsl 17;
+    rx_buf_size = 2048;
+    rx_bufs_per_shard = 1024;
+    ctl_bufs_per_shard = 256;
+    reasm_bufs_per_shard = 64;
+    max_adu = 1 lsl 14;
+    idle_timeout = 5.0;
+    done_linger = 0.5;
+    harvest_interval = 0.05;
+    nack_holdoff = 0.06;
+    nack_budget = 8;
+    stage2_plan = [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ];
+    obs_prefix = "serve";
+  }
+
+type session = {
+  key : key;
+  mutable frontier : int;  (* everything below is delivered or gone *)
+  mutable highest : int;  (* highest index seen, -1 before any *)
+  mutable total : int;  (* from CLOSE; -1 while unknown *)
+  ahead : (int, bool) Hashtbl.t;  (* index >= frontier -> delivered? *)
+  mutable reasm : Framing.reassembler option;  (* multi-fragment only *)
+  mutable last_rx : float;
+  mutable completed : bool;
+  mutable completed_at : float;
+  mutable nack_tries : int;
+  mutable last_nack : float;
+  mutable s_delivered : int;
+  mutable s_gone : int;
+}
+
+type pending = {
+  p_src : int;
+  p_src_port : int;
+  p_buf : Bytebuf.t;
+  p_release : unit -> unit;
+}
+
+type outmsg = {
+  o_dst : int;
+  o_dst_port : int;
+  o_buf : Bytebuf.t;
+  o_release : unit -> unit;
+}
+
+type counters = {
+  c_datagrams : Obs.Counter.t;
+  c_delivered : Obs.Counter.t;
+  c_bytes : Obs.Counter.t;
+  c_gone : Obs.Counter.t;
+  c_gone_local : Obs.Counter.t;
+  c_dups : Obs.Counter.t;
+  c_corrupt : Obs.Counter.t;
+  c_admitted : Obs.Counter.t;
+  c_evicted : Obs.Counter.t;
+  c_harvested : Obs.Counter.t;
+  c_rx_dropped : Obs.Counter.t;
+  c_ctl_sent : Obs.Counter.t;
+  c_nacks : Obs.Counter.t;
+  c_dones : Obs.Counter.t;
+  c_fallback_allocs : Obs.Counter.t;
+  c_fec_dropped : Obs.Counter.t;
+}
+
+type shard = {
+  sid : int;
+  lock : Mutex.t;
+  sessions : (key, session) Hashtbl.t;
+  inbox : pending Queue.t;
+  outbox : outmsg Queue.t;
+  rx_pool : Pool.t;
+  ctl_pool : Pool.t;
+  reasm_pool : Pool.t;
+  scratch : Bytebuf.t;  (* stage-2 destination, one per shard domain *)
+  ctr : counters;
+  mutable peak_sessions : int;
+}
+
+type t = {
+  config : config;
+  sched : Rt.Sched.t;
+  io : Dgram.t option;
+  pool : Par.Pool.t option;
+  shards : shard array;
+  on_adu : (key -> Adu.t -> unit) option;
+  mutable harvest_timer : Rt.Sched.timer option;
+  mutable stopped : bool;
+}
+
+(* The memory budget is allocated up front: fill each pool's free list at
+   create so steady state never sees a fresh buffer — the zero-allocation
+   gate then measures the hot path, not warm-up timing. *)
+let warm pool n =
+  List.init n (fun _ -> Pool.try_acquire pool)
+  |> List.iter (function Some b -> Pool.release pool b | None -> ())
+
+let make_shard config registry sid =
+  let c name =
+    Obs.Registry.counter ?registry
+      (Printf.sprintf "%s.shard%d.%s" config.obs_prefix sid name)
+  in
+  let sessions = Hashtbl.create 256 in
+  Obs.Registry.pull ?registry
+    (Printf.sprintf "%s.shard%d.sessions" config.obs_prefix sid)
+    (fun () -> float_of_int (Hashtbl.length sessions));
+  let rx_pool =
+    Pool.create ~capacity:config.rx_bufs_per_shard
+      ~max_outstanding:config.rx_bufs_per_shard ~buf_size:config.rx_buf_size
+      ()
+  in
+  let ctl_pool =
+    Pool.create ~capacity:config.ctl_bufs_per_shard
+      ~max_outstanding:config.ctl_bufs_per_shard ~buf_size:config.rx_buf_size
+      ()
+  in
+  let reasm_pool =
+    Pool.create ~capacity:config.reasm_bufs_per_shard
+      ~buf_size:(config.max_adu + Adu.header_size) ()
+  in
+  warm rx_pool config.rx_bufs_per_shard;
+  warm ctl_pool config.ctl_bufs_per_shard;
+  warm reasm_pool config.reasm_bufs_per_shard;
+  {
+    sid;
+    lock = Mutex.create ();
+    sessions;
+    inbox = Queue.create ();
+    outbox = Queue.create ();
+    rx_pool;
+    ctl_pool;
+    reasm_pool;
+    scratch = Bytebuf.create config.max_adu;
+    ctr =
+      {
+        c_datagrams = c "datagrams";
+        c_delivered = c "delivered";
+        c_bytes = c "delivered_bytes";
+        c_gone = c "gone";
+        c_gone_local = c "gone_local";
+        c_dups = c "dups";
+        c_corrupt = c "corrupt";
+        c_admitted = c "admitted";
+        c_evicted = c "evicted";
+        c_harvested = c "harvested";
+        c_rx_dropped = c "rx_dropped";
+        c_ctl_sent = c "ctl_sent";
+        c_nacks = c "nacks";
+        c_dones = c "dones";
+        c_fallback_allocs = c "fallback_allocs";
+        c_fec_dropped = c "fec_dropped";
+      };
+    peak_sessions = 0;
+  }
+
+(* ---- session bookkeeping (all under the owning shard's lock) ---- *)
+
+let settled s index = index < s.frontier || Hashtbl.mem s.ahead index
+
+let advance s =
+  let start = s.frontier in
+  while Hashtbl.mem s.ahead s.frontier do
+    Hashtbl.remove s.ahead s.frontier;
+    s.frontier <- s.frontier + 1
+  done;
+  if s.frontier > start then
+    match s.reasm with
+    | Some r -> Framing.retire_below r ~bound:s.frontier
+    | None -> ()
+
+let drop_session sh s =
+  (match s.reasm with
+  | Some r -> Framing.retire_below r ~bound:(s.highest + 1)
+  | None -> ());
+  Hashtbl.reset s.ahead;
+  Hashtbl.remove sh.sessions s.key
+
+(* Victim choice when a shard is at capacity: a completed session that is
+   merely lingering for a late re-CLOSE beats any live one; among
+   completed, the longest-done; among live, the longest-idle (LRU). *)
+let evict_one sh =
+  let victim =
+    Hashtbl.fold
+      (fun _ s best ->
+        match best with
+        | None -> Some s
+        | Some b ->
+            let better =
+              if s.completed <> b.completed then s.completed
+              else if s.completed then s.completed_at < b.completed_at
+              else s.last_rx < b.last_rx
+            in
+            if better then Some s else best)
+      sh.sessions None
+  in
+  match victim with
+  | Some s ->
+      drop_session sh s;
+      Obs.Counter.incr sh.ctr.c_evicted
+  | None -> ()
+
+let admit t sh k now =
+  if Hashtbl.length sh.sessions >= t.config.max_sessions_per_shard then
+    evict_one sh;
+  let s =
+    {
+      key = k;
+      frontier = 0;
+      highest = -1;
+      total = -1;
+      ahead = Hashtbl.create 8;
+      reasm = None;
+      last_rx = now;
+      completed = false;
+      completed_at = 0.;
+      nack_tries = 0;
+      last_nack = now;
+      s_delivered = 0;
+      s_gone = 0;
+    }
+  in
+  Hashtbl.replace sh.sessions k s;
+  Obs.Counter.incr sh.ctr.c_admitted;
+  let live = Hashtbl.length sh.sessions in
+  if live > sh.peak_sessions then sh.peak_sessions <- live;
+  s
+
+let find_or_admit t sh k now =
+  match Hashtbl.find_opt sh.sessions k with
+  | Some s -> s
+  | None -> admit t sh k now
+
+(* ---- control replies (queued; the main thread drains after pump) ---- *)
+
+let queue_ctl t sh ~dst ~dst_port write =
+  (match Pool.try_acquire sh.ctl_pool with
+  | Some buf ->
+      let len = write buf in
+      let total = Ctl.seal_in_place t.config.integrity buf ~len in
+      Queue.add
+        {
+          o_dst = dst;
+          o_dst_port = dst_port;
+          o_buf = Bytebuf.take buf total;
+          o_release = (fun () -> Pool.release sh.ctl_pool buf);
+        }
+        sh.outbox
+  | None ->
+      Obs.Counter.incr sh.ctr.c_fallback_allocs;
+      let buf = Bytebuf.create t.config.rx_buf_size in
+      let len = write buf in
+      let total = Ctl.seal_in_place t.config.integrity buf ~len in
+      Queue.add
+        {
+          o_dst = dst;
+          o_dst_port = dst_port;
+          o_buf = Bytebuf.take buf total;
+          o_release = ignore;
+        }
+        sh.outbox);
+  Obs.Counter.incr sh.ctr.c_ctl_sent
+
+let send_done t sh s =
+  queue_ctl t sh ~dst:s.key.peer ~dst_port:s.key.peer_port (fun buf ->
+      Ctl.write_done buf ~stream:s.key.stream);
+  Obs.Counter.incr sh.ctr.c_dones
+
+let maybe_complete t sh s =
+  if (not s.completed) && s.total >= 0 && s.frontier >= s.total then begin
+    s.completed <- true;
+    s.completed_at <- Rt.Sched.now t.sched;
+    send_done t sh s
+  end
+
+(* ---- stage 2 + delivery ---- *)
+
+let deliver_adu t sh s adu =
+  let index = adu.Adu.name.Adu.index in
+  if settled s index then Obs.Counter.incr sh.ctr.c_dups
+  else begin
+    let payload = adu.Adu.payload in
+    let plen = Bytebuf.length payload in
+    if plen > 0 then
+      if plen <= Bytebuf.length sh.scratch then
+        ignore
+          (Ilp.run_fused
+             ~dst:(Bytebuf.take sh.scratch plen)
+             t.config.stage2_plan payload)
+      else begin
+        Obs.Counter.incr sh.ctr.c_fallback_allocs;
+        ignore (Ilp.run_fused t.config.stage2_plan payload)
+      end;
+    Hashtbl.replace s.ahead index true;
+    s.s_delivered <- s.s_delivered + 1;
+    Obs.Counter.incr sh.ctr.c_delivered;
+    Obs.Counter.add sh.ctr.c_bytes plen;
+    if index > s.highest then s.highest <- index;
+    (match t.on_adu with Some f -> f s.key adu | None -> ());
+    advance s;
+    maybe_complete t sh s
+  end
+
+(* ---- per-datagram dispatch (inside a shard task) ---- *)
+
+let handle_fragment t sh now ~src ~src_port body =
+  match Framing.parse_fragment body with
+  | exception Framing.Frag_error _ -> Obs.Counter.incr sh.ctr.c_corrupt
+  | frag ->
+      let k = { peer = src; peer_port = src_port; stream = frag.Framing.stream } in
+      let s = find_or_admit t sh k now in
+      s.last_rx <- now;
+      if frag.Framing.index > s.highest then s.highest <- frag.Framing.index;
+      if settled s frag.Framing.index then Obs.Counter.incr sh.ctr.c_dups
+      else if frag.Framing.nfrags = 1 then (
+        (* The single-fragment fast path: the whole encoded ADU is already
+           in the staged datagram — decode the view, no reassembler, no
+           copy. *)
+        match Adu.decode_view frag.Framing.chunk with
+        | exception Adu.Decode_error _ -> Obs.Counter.incr sh.ctr.c_corrupt
+        | adu -> deliver_adu t sh s adu)
+      else begin
+        let r =
+          match s.reasm with
+          | Some r -> r
+          | None ->
+              let r =
+                Framing.reassembler ~pool:sh.reasm_pool
+                  ~deliver:(fun adu -> deliver_adu t sh s adu)
+                  ()
+              in
+              s.reasm <- Some r;
+              r
+        in
+        Framing.push r frag
+      end
+
+let handle_control t sh now ~src ~src_port body =
+  match Ctl.parse body with
+  | Some (Ctl.Close { stream; total }) ->
+      let s =
+        find_or_admit t sh { peer = src; peer_port = src_port; stream } now
+      in
+      s.last_rx <- now;
+      if s.total < 0 then s.total <- max total 0;
+      (* A CLOSE landing after completion means our DONE was lost. *)
+      if s.completed then send_done t sh s else maybe_complete t sh s
+  | Some (Ctl.Gone { stream; indices }) ->
+      let s =
+        find_or_admit t sh { peer = src; peer_port = src_port; stream } now
+      in
+      s.last_rx <- now;
+      List.iter
+        (fun i ->
+          if i >= 0 && not (settled s i) then begin
+            Hashtbl.replace s.ahead i false;
+            s.s_gone <- s.s_gone + 1;
+            Obs.Counter.incr sh.ctr.c_gone;
+            if i > s.highest then s.highest <- i
+          end)
+        indices;
+      advance s;
+      maybe_complete t sh s
+  | Some (Ctl.Nack _) | Some (Ctl.Done _) | None -> ()
+
+let process_pending t sh now p =
+  Obs.Counter.incr sh.ctr.c_datagrams;
+  match Ctl.unseal t.config.integrity p.p_buf with
+  | None -> Obs.Counter.incr sh.ctr.c_corrupt
+  | Some body ->
+      if Bytebuf.length body = 0 then Obs.Counter.incr sh.ctr.c_corrupt
+      else
+        let b0 = Bytebuf.get_uint8 body 0 in
+        if b0 = Framing.frag_magic then
+          handle_fragment t sh now ~src:p.p_src ~src_port:p.p_src_port body
+        else if b0 = Ctl.tag_fec then Obs.Counter.incr sh.ctr.c_fec_dropped
+        else handle_control t sh now ~src:p.p_src ~src_port:p.p_src_port body
+
+let process_shard t sh =
+  Mutex.lock sh.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.lock)
+    (fun () ->
+      let now = Rt.Sched.now t.sched in
+      while not (Queue.is_empty sh.inbox) do
+        let p = Queue.pop sh.inbox in
+        process_pending t sh now p;
+        p.p_release ()
+      done)
+
+(* ---- ingest (main thread: the bound handler or a test driver) ---- *)
+
+let ingest t ~src ~src_port buf =
+  let len = Bytebuf.length buf in
+  match Demux.stream_of_datagram buf with
+  | None -> Obs.Counter.incr t.shards.(0).ctr.c_rx_dropped
+  | Some stream ->
+      let sid =
+        Demux.shard_of ~shards:t.config.shards ~peer:src ~peer_port:src_port
+          ~stream
+      in
+      let sh = t.shards.(sid) in
+      if len > t.config.rx_buf_size then Obs.Counter.incr sh.ctr.c_rx_dropped
+      else (
+        match Pool.try_acquire sh.rx_pool with
+        | None ->
+            (* The shard's staging budget is spent: admission control by
+               backpressure, counted, never blocking the ingest thread. *)
+            Obs.Counter.incr sh.ctr.c_rx_dropped
+        | Some staging ->
+            Bytebuf.blit ~src:buf ~src_pos:0 ~dst:staging ~dst_pos:0 ~len;
+            Mutex.lock sh.lock;
+            Queue.add
+              {
+                p_src = src;
+                p_src_port = src_port;
+                p_buf = Bytebuf.take staging len;
+                p_release = (fun () -> Pool.release sh.rx_pool staging);
+              }
+              sh.inbox;
+            Mutex.unlock sh.lock)
+
+(* ---- outbox drain (main thread only: substrates are not thread-safe) ---- *)
+
+let drain_outboxes t =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.lock;
+      while not (Queue.is_empty sh.outbox) do
+        let m = Queue.pop sh.outbox in
+        (match t.io with
+        | Some io ->
+            ignore
+              (io.Dgram.send ~dst:m.o_dst ~dst_port:m.o_dst_port
+                 ~src_port:t.config.port m.o_buf)
+        | None -> ());
+        m.o_release ()
+      done;
+      Mutex.unlock sh.lock)
+    t.shards
+
+let pump t =
+  let busy =
+    Array.to_list t.shards
+    |> List.filter (fun sh -> not (Queue.is_empty sh.inbox))
+  in
+  (match (busy, t.pool) with
+  | [], _ -> ()
+  | [ sh ], _ -> process_shard t sh
+  | shs, Some pool when Par.Pool.size pool > 1 ->
+      Par.Pool.run pool
+        (Array.of_list (List.map (fun sh () -> process_shard t sh) shs))
+  | shs, _ -> List.iter (fun sh -> process_shard t sh) shs);
+  drain_outboxes t
+
+(* ---- harvest: idle/lingering eviction + NACK repair ---- *)
+
+let repair t sh s now =
+  let bound = if s.total >= 0 then s.total else s.highest + 1 in
+  if s.frontier < bound then begin
+    let holdoff =
+      t.config.nack_holdoff *. float_of_int (1 lsl min s.nack_tries 6)
+    in
+    if now -. s.last_nack >= holdoff then
+      if s.nack_tries >= t.config.nack_budget then begin
+        (* Repair budget spent: declare the rest locally gone so the
+           session can settle instead of hanging — the loss is reported
+           in application terms, exactly like a sender GONE. *)
+        for i = s.frontier to bound - 1 do
+          if not (settled s i) then begin
+            Hashtbl.replace s.ahead i false;
+            s.s_gone <- s.s_gone + 1;
+            Obs.Counter.incr sh.ctr.c_gone_local
+          end
+        done;
+        advance s;
+        maybe_complete t sh s
+      end
+      else begin
+        (* Fit the NACK in one pooled control buffer: 13-byte body header,
+           4 bytes per index, 4-byte trailer. *)
+        let cap = min 256 ((t.config.rx_buf_size - 17) / 4) in
+        let missing = ref [] and n = ref 0 in
+        let i = ref (bound - 1) in
+        while !i >= s.frontier && !n < cap do
+          if not (settled s !i) then begin
+            missing := !i :: !missing;
+            incr n
+          end;
+          decr i
+        done;
+        if !missing <> [] then begin
+          queue_ctl t sh ~dst:s.key.peer ~dst_port:s.key.peer_port (fun buf ->
+              Ctl.write_nack buf ~stream:s.key.stream ~have_below:s.frontier
+                !missing);
+          Obs.Counter.incr sh.ctr.c_nacks;
+          s.nack_tries <- s.nack_tries + 1;
+          s.last_nack <- now
+        end
+      end
+  end
+
+let harvest_shard t sh now =
+  Mutex.lock sh.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.lock)
+    (fun () ->
+      let expired = ref [] in
+      Hashtbl.iter
+        (fun _ s ->
+          if s.completed then begin
+            if now -. s.completed_at >= t.config.done_linger then
+              expired := s :: !expired
+          end
+          else if now -. s.last_rx >= t.config.idle_timeout then
+            expired := s :: !expired
+          else repair t sh s now)
+        sh.sessions;
+      List.iter
+        (fun s ->
+          drop_session sh s;
+          Obs.Counter.incr sh.ctr.c_harvested)
+        !expired)
+
+let harvest t =
+  let now = Rt.Sched.now t.sched in
+  Array.iter (fun sh -> harvest_shard t sh now) t.shards;
+  drain_outboxes t
+
+let rec arm_harvest t =
+  if t.config.harvest_interval > 0. && not t.stopped then
+    t.harvest_timer <-
+      Some
+        (Rt.Sched.schedule_after t.sched t.config.harvest_interval (fun () ->
+             if not t.stopped then begin
+               harvest t;
+               arm_harvest t
+             end))
+
+let stop t =
+  t.stopped <- true;
+  (match t.harvest_timer with Some tm -> Rt.Sched.cancel tm | None -> ());
+  t.harvest_timer <- None
+
+let create ~sched ?io ?pool ?registry ?on_adu ?(config = default_config) () =
+  if config.shards < 1 then invalid_arg "Server.create: shards";
+  if config.max_sessions_per_shard < 1 then
+    invalid_arg "Server.create: max_sessions_per_shard";
+  if config.rx_buf_size < Framing.fragment_header_size + Ctl.trailer_size then
+    invalid_arg "Server.create: rx_buf_size";
+  let shards = Array.init config.shards (make_shard config registry) in
+  let t =
+    {
+      config;
+      sched;
+      io;
+      pool;
+      shards;
+      on_adu;
+      harvest_timer = None;
+      stopped = false;
+    }
+  in
+  (match io with
+  | Some io ->
+      io.Dgram.bind ~port:config.port (fun ~src ~src_port buf ->
+          ingest t ~src ~src_port buf)
+  | None -> ());
+  arm_harvest t;
+  t
+
+(* ---- observation ---- *)
+
+type snapshot = {
+  datagrams : int;
+  delivered : int;
+  delivered_bytes : int;
+  gone : int;
+  gone_local : int;
+  dups : int;
+  corrupt : int;
+  admitted : int;
+  evicted : int;
+  harvested : int;
+  rx_dropped : int;
+  ctl_sent : int;
+  nacks : int;
+  dones : int;
+  fallback_allocs : int;
+  fec_dropped : int;
+}
+
+let snapshot_of_counters c =
+  let v = Obs.Counter.value in
+  {
+    datagrams = v c.c_datagrams;
+    delivered = v c.c_delivered;
+    delivered_bytes = v c.c_bytes;
+    gone = v c.c_gone;
+    gone_local = v c.c_gone_local;
+    dups = v c.c_dups;
+    corrupt = v c.c_corrupt;
+    admitted = v c.c_admitted;
+    evicted = v c.c_evicted;
+    harvested = v c.c_harvested;
+    rx_dropped = v c.c_rx_dropped;
+    ctl_sent = v c.c_ctl_sent;
+    nacks = v c.c_nacks;
+    dones = v c.c_dones;
+    fallback_allocs = v c.c_fallback_allocs;
+    fec_dropped = v c.c_fec_dropped;
+  }
+
+let add_snapshot a b =
+  {
+    datagrams = a.datagrams + b.datagrams;
+    delivered = a.delivered + b.delivered;
+    delivered_bytes = a.delivered_bytes + b.delivered_bytes;
+    gone = a.gone + b.gone;
+    gone_local = a.gone_local + b.gone_local;
+    dups = a.dups + b.dups;
+    corrupt = a.corrupt + b.corrupt;
+    admitted = a.admitted + b.admitted;
+    evicted = a.evicted + b.evicted;
+    harvested = a.harvested + b.harvested;
+    rx_dropped = a.rx_dropped + b.rx_dropped;
+    ctl_sent = a.ctl_sent + b.ctl_sent;
+    nacks = a.nacks + b.nacks;
+    dones = a.dones + b.dones;
+    fallback_allocs = a.fallback_allocs + b.fallback_allocs;
+    fec_dropped = a.fec_dropped + b.fec_dropped;
+  }
+
+let zero_snapshot =
+  {
+    datagrams = 0;
+    delivered = 0;
+    delivered_bytes = 0;
+    gone = 0;
+    gone_local = 0;
+    dups = 0;
+    corrupt = 0;
+    admitted = 0;
+    evicted = 0;
+    harvested = 0;
+    rx_dropped = 0;
+    ctl_sent = 0;
+    nacks = 0;
+    dones = 0;
+    fallback_allocs = 0;
+    fec_dropped = 0;
+  }
+
+let shard_count t = Array.length t.shards
+let shard_snapshot t sid = snapshot_of_counters t.shards.(sid).ctr
+
+let totals t =
+  Array.fold_left
+    (fun acc sh -> add_snapshot acc (snapshot_of_counters sh.ctr))
+    zero_snapshot t.shards
+
+let shard_sessions t sid = Hashtbl.length t.shards.(sid).sessions
+
+let live_sessions t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sessions) 0 t.shards
+
+let peak_sessions t =
+  Array.fold_left (fun acc sh -> acc + sh.peak_sessions) 0 t.shards
+
+let pool_allocated t =
+  Array.fold_left
+    (fun acc sh ->
+      acc
+      + (Pool.stats sh.rx_pool).Pool.allocated
+      + (Pool.stats sh.ctl_pool).Pool.allocated
+      + (Pool.stats sh.reasm_pool).Pool.allocated)
+    0 t.shards
+
+let data_pool_allocated t =
+  Array.fold_left
+    (fun acc sh ->
+      acc
+      + (Pool.stats sh.rx_pool).Pool.allocated
+      + (Pool.stats sh.reasm_pool).Pool.allocated)
+    0 t.shards
+
+let shard_of_key t ~peer ~peer_port ~stream =
+  Demux.shard_of ~shards:t.config.shards ~peer ~peer_port ~stream
+
+let locate t ~peer ~peer_port ~stream =
+  let k = { peer; peer_port; stream } in
+  let found = ref None in
+  Array.iter
+    (fun sh ->
+      if !found = None && Hashtbl.mem sh.sessions k then found := Some sh.sid)
+    t.shards;
+  !found
+
+type session_view = {
+  v_frontier : int;
+  v_total : int;
+  v_delivered : int;
+  v_gone : int;
+  v_completed : bool;
+  v_ahead_load : int;
+}
+
+let session_view t ~peer ~peer_port ~stream =
+  let k = { peer; peer_port; stream } in
+  let sid = shard_of_key t ~peer ~peer_port ~stream in
+  match Hashtbl.find_opt t.shards.(sid).sessions k with
+  | None -> None
+  | Some s ->
+      Some
+        {
+          v_frontier = s.frontier;
+          v_total = s.total;
+          v_delivered = s.s_delivered;
+          v_gone = s.s_gone;
+          v_completed = s.completed;
+          v_ahead_load = Hashtbl.length s.ahead;
+        }
+
+let max_ahead_load t =
+  Array.fold_left
+    (fun acc sh ->
+      Hashtbl.fold
+        (fun _ s m -> max m (Hashtbl.length s.ahead))
+        sh.sessions acc)
+    0 t.shards

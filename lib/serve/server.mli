@@ -1,0 +1,163 @@
+(** The million-session stage-1 engine.
+
+    One UDP port, any number of concurrent ADU streams: arrivals are
+    routed by {!Demux.shard_of} to a domain-sharded session table — no
+    global lock, one mutex and one set of buffer pools per shard — and
+    each shard's batch of staged datagrams is processed as one task on a
+    {!Par.Pool} (stage 1 reassembly + the stage-2 manipulation plan run
+    inline, on the shard's own scratch buffer). The single-session
+    transport ({!Alf_transport}) keeps its endpoint model; this engine is
+    the concentrator the paper's §7 parallel-sink argument implies: since
+    every ADU is self-contained, sessions are embarrassingly parallel and
+    the only shared state is the demux function.
+
+    Threading contract: {!ingest} and {!pump} are called from the main
+    thread ({!ingest} usually via the bound {!Dgram.t} handler). During
+    {!pump} the shard tasks run on worker domains; all sends are deferred
+    through per-shard outboxes and flushed by the main thread after the
+    batch — the datagram substrates are not thread-safe and never see a
+    worker domain. Memory is budgeted per shard by capped pools: when a
+    shard's staging pool is exhausted, arrivals for it are dropped and
+    counted ([rx_dropped]) — backpressure, not allocation. *)
+
+open Bufkit
+open Alf_core
+
+type key = { peer : int; peer_port : int; stream : int }
+(** A session: one sender endpoint, one stream id. *)
+
+type config = {
+  port : int;  (** Served port (bound on the substrate at {!create}). *)
+  shards : int;
+  integrity : Checksum.Kind.t option;  (** Must match the senders'. *)
+  max_sessions_per_shard : int;  (** Admission cap; beyond it the shard
+      evicts (completed-first, then LRU). *)
+  rx_buf_size : int;  (** Staging buffer size >= the substrate MTU. *)
+  rx_bufs_per_shard : int;  (** Staging budget: bounds datagrams queued
+      per shard between pumps; exhaustion drops ([rx_dropped]). *)
+  ctl_bufs_per_shard : int;  (** Control-reply budget; exhaustion falls
+      back to allocation ([fallback_allocs]). *)
+  reasm_bufs_per_shard : int;  (** Reassembly buffers (multi-fragment
+      ADUs only — single-fragment ADUs never touch a reassembler). *)
+  max_adu : int;  (** Largest decoded ADU the stage-2 scratch covers. *)
+  idle_timeout : float;  (** Seconds of silence before an incomplete
+      session is harvested. *)
+  done_linger : float;  (** Seconds a completed session is kept to
+      re-answer a lost DONE. *)
+  harvest_interval : float;  (** Harvest cadence via the {!Rt.Sched}
+      seam; [<= 0] disables the timer ({!harvest} still works). *)
+  nack_holdoff : float;  (** Base per-session NACK spacing (doubles per
+      round, cap 2^6). *)
+  nack_budget : int;  (** NACK rounds before missing indices are declared
+      locally gone. *)
+  stage2_plan : Ilp.plan;  (** Run fused over every delivered payload
+      into the shard scratch (default checksum + deliver-copy). *)
+  obs_prefix : string;  (** Registry namespace:
+      [<prefix>.shard<N>.<counter>]. *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  sched:Rt.Sched.t ->
+  ?io:Dgram.t ->
+  ?pool:Par.Pool.t ->
+  ?registry:Obs.Registry.t ->
+  ?on_adu:(key -> Adu.t -> unit) ->
+  ?config:config ->
+  unit ->
+  t
+(** Without [?io] the engine is driven by hand ({!ingest}/{!pump}) and
+    control replies are accounted but not transmitted. [?pool] supplies
+    the stage-2 worker domains — absent (or size 1), shard tasks run
+    inline on the caller. [?on_adu] fires per delivered ADU {e on the
+    owning shard's task}, payload borrowed (valid only during the call);
+    it must be domain-safe. [?registry] defaults to the process-wide
+    one; tests pass a fresh registry so re-created engines do not share
+    find-or-create counters. *)
+
+val ingest : t -> src:int -> src_port:int -> Bytebuf.t -> unit
+(** Stage 0: route by {!Demux.shard_of} (reading the stream id pre-seal),
+    copy into the owning shard's staging pool, enqueue. The input buffer
+    is borrowed — never retained — so substrate receive buffers recycle
+    immediately. Main thread only. *)
+
+val pump : t -> unit
+(** Process every shard's staged datagrams (one task per busy shard on
+    the worker pool), then flush the control outboxes. Main thread only;
+    do not call from inside a {!Par.Pool} task. *)
+
+val harvest : t -> unit
+(** One sweep: evict completed-and-lingered and idle sessions, run the
+    NACK repair schedule for gappy ones, flush outboxes. Runs
+    automatically every [harvest_interval] when positive. *)
+
+val stop : t -> unit
+(** Cancel the harvest timer. Idempotent. *)
+
+(** {1 Observation}
+
+    Every counter below is also a registry metric
+    ([<obs_prefix>.shard<N>.<name>], plus a [.sessions] pull gauge per
+    shard), so shard totals are externally checkable against these
+    programmatic sums. *)
+
+type snapshot = {
+  datagrams : int;  (** Staged datagrams processed. *)
+  delivered : int;  (** ADUs through stage 2. *)
+  delivered_bytes : int;
+  gone : int;  (** Sender-declared unrecoverable. *)
+  gone_local : int;  (** Declared gone here: NACK budget exhausted. *)
+  dups : int;
+  corrupt : int;  (** Failed the trailer, ADU CRC, or parse. *)
+  admitted : int;
+  evicted : int;  (** Capacity evictions. *)
+  harvested : int;  (** Idle / lingering-DONE evictions. *)
+  rx_dropped : int;  (** Staging backpressure (or oversized/short). *)
+  ctl_sent : int;
+  nacks : int;
+  dones : int;
+  fallback_allocs : int;  (** Pool-miss allocations (should be 0). *)
+  fec_dropped : int;  (** FEC-wrapped datagrams (unsupported here). *)
+}
+
+val shard_count : t -> int
+val shard_snapshot : t -> int -> snapshot
+val totals : t -> snapshot
+(** Sum of every shard's snapshot. *)
+
+val shard_sessions : t -> int -> int
+val live_sessions : t -> int
+val peak_sessions : t -> int
+(** Sum of per-shard high-water session counts. *)
+
+val pool_allocated : t -> int
+(** Fresh buffers ever created across all shard pools. *)
+
+val data_pool_allocated : t -> int
+(** Same, staging + reassembly pools only — the
+    zero-steady-state-allocation gate: its delta over a steady window of
+    the data phase must be 0 (the control pool legitimately warms up
+    later, when DONEs and repair NACKs start flowing). *)
+
+val shard_of_key : t -> peer:int -> peer_port:int -> stream:int -> int
+val locate : t -> peer:int -> peer_port:int -> stream:int -> int option
+(** The shard whose table actually holds the session (scan; tests check
+    it equals {!shard_of_key}). *)
+
+type session_view = {
+  v_frontier : int;
+  v_total : int;  (** -1 until a CLOSE arrives. *)
+  v_delivered : int;
+  v_gone : int;
+  v_completed : bool;
+  v_ahead_load : int;  (** Live entries in the ahead-of-frontier table. *)
+}
+
+val session_view : t -> peer:int -> peer_port:int -> stream:int -> session_view option
+
+val max_ahead_load : t -> int
+(** Largest ahead-table load over all live sessions (O(sessions); the
+    flat-table probe). *)

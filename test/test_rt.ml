@@ -195,6 +195,75 @@ let test_udp_link_roundtrip () =
   Alcotest.(check int) "no_peer counted" 1 (Rt.Udp_link.stats link).Rt.Udp_link.no_peer;
   Rt.Udp_link.close link
 
+(* First contact and the in-place upgrade: a datagram from an unknown
+   sockaddr identifies under a synthetic port-0 pair that still routes a
+   reply; a later [set_peer] for the same sockaddr upgrades the registry
+   entry in place — the stale pair stops routing and later arrivals
+   identify under the real name. *)
+let test_udp_link_first_contact_upgrade () =
+  let loop = Rt.Loop.create () in
+  let link_a = Rt.Udp_link.create ~loop () in
+  let link_b = Rt.Udp_link.create ~loop () in
+  let got_a = ref [] and got_b = ref [] in
+  Rt.Udp_link.bind link_a ~port:6000 (fun ~src ~src_port payload ->
+      got_a := (src, src_port, Bytebuf.to_string payload) :: !got_a);
+  Rt.Udp_link.bind link_b ~port:6001 (fun ~src ~src_port payload ->
+      got_b := (src, src_port, Bytebuf.to_string payload) :: !got_b);
+  (* a knows b by name; b has never heard of a. *)
+  Rt.Udp_link.set_peer link_a ~addr:50 ~port:6001
+    (Rt.Udp_link.local_sockaddr link_b ~port:6001);
+  Alcotest.(check bool) "first datagram accepted" true
+    (Rt.Udp_link.send link_a ~dst:50 ~dst_port:6001 ~src_port:6000
+       (Bytebuf.of_string "hello"));
+  ignore (Rt.Loop.run_until loop ~timeout:5.0 (fun () -> !got_b <> []));
+  let src, src_port =
+    match !got_b with
+    | [ (s, p, "hello") ] -> (s, p)
+    | _ -> Alcotest.fail "expected the hello"
+  in
+  Alcotest.(check int) "first contact carries the synthetic port" 0 src_port;
+  (* The synthetic token still routes a reply... *)
+  Alcotest.(check bool) "token routes a reply" true
+    (Rt.Udp_link.send link_b ~dst:src ~dst_port:src_port ~src_port:6001
+       (Bytebuf.of_string "aloha"));
+  ignore (Rt.Loop.run_until loop ~timeout:5.0 (fun () -> !got_a <> []));
+  (match !got_a with
+  | [ (sa, spa, "aloha") ] ->
+      (* a seeded b's name, so b's reply identifies under it. *)
+      Alcotest.(check int) "reply source address" 50 sa;
+      Alcotest.(check int) "reply source port" 6001 spa
+  | _ -> Alcotest.fail "expected the aloha");
+  (* ...until b learns the real name: upgrade in place. *)
+  Rt.Udp_link.set_peer link_b ~addr:9 ~port:6000
+    (Rt.Udp_link.local_sockaddr link_a ~port:6000);
+  Alcotest.(check bool) "stale synthetic pair stops routing" false
+    (Rt.Udp_link.send link_b ~dst:src ~dst_port:src_port ~src_port:6001
+       (Bytebuf.of_string "x"));
+  Alcotest.(check int) "stale pair counted as no_peer" 1
+    (Rt.Udp_link.stats link_b).Rt.Udp_link.no_peer;
+  got_a := [];
+  Alcotest.(check bool) "upgraded pair routes" true
+    (Rt.Udp_link.send link_b ~dst:9 ~dst_port:6000 ~src_port:6001
+       (Bytebuf.of_string "named"));
+  ignore (Rt.Loop.run_until loop ~timeout:5.0 (fun () -> !got_a <> []));
+  (match !got_a with
+  | [ (_, _, "named") ] -> ()
+  | _ -> Alcotest.fail "expected the named datagram");
+  (* Later arrivals from the same sockaddr identify under the real
+     name, not a fresh synthetic one. *)
+  got_b := [];
+  ignore
+    (Rt.Udp_link.send link_a ~dst:50 ~dst_port:6001 ~src_port:6000
+       (Bytebuf.of_string "again"));
+  ignore (Rt.Loop.run_until loop ~timeout:5.0 (fun () -> !got_b <> []));
+  (match !got_b with
+  | [ (s, p, "again") ] ->
+      Alcotest.(check int) "arrival identifies under the upgrade" 9 s;
+      Alcotest.(check int) "with the real port" 6000 p
+  | _ -> Alcotest.fail "expected the again datagram");
+  Rt.Udp_link.close link_a;
+  Rt.Udp_link.close link_b
+
 (* --- Backend-parametric transport suite --- *)
 
 type world = {
@@ -331,6 +400,145 @@ let test_no_callbacks_after_close () =
   Alcotest.(check int) "no NACKs after completion" nacks0
     (Alf_transport.receiver_stats receiver).Alf_transport.nacks_sent
 
+(* A long-lived in-order stream: the receiver's per-index tables and the
+   reassembler's retired set must stay sized by the reordering window,
+   not by the stream — the frontier retires state as it passes. *)
+let test_receiver_tables_stay_flat () =
+  let w = netsim_world ~loss:0.0 () in
+  let adus = 300 and batch = 25 in
+  let delivered = ref 0 in
+  let receiver =
+    Alf_transport.receiver_io ~sched:w.w_sched ~io:w.w_io_b ~port:7000
+      ~stream:1 ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  let sender =
+    Alf_transport.sender_io ~sched:w.w_sched ~io:w.w_io_a ~peer:(w.w_peer ())
+      ~peer_port:7000 ~port:7001 ~stream:1 ~policy:Recovery.Transport_buffer ()
+  in
+  let max_tables = ref 0 and max_retired = ref 0 in
+  let sample () =
+    let d, g, r = Alf_transport.receiver_table_sizes receiver in
+    if d + g + r > !max_tables then max_tables := d + g + r;
+    let ret = Alf_transport.receiver_retired_count receiver in
+    if ret > !max_retired then max_retired := ret
+  in
+  for b = 0 to (adus / batch) - 1 do
+    for i = b * batch to ((b + 1) * batch) - 1 do
+      Alf_transport.send_adu sender
+        (Adu.make
+           (Adu.name ~stream:1 ~index:i ())
+           (Bytebuf.of_string (String.make 400 'y')))
+    done;
+    w.w_run ~timeout:10.0 (fun () -> !delivered >= (b + 1) * batch);
+    sample ()
+  done;
+  Alf_transport.close sender;
+  w.w_run ~timeout:w.w_horizon (fun () ->
+      Alf_transport.finished sender && Alf_transport.complete receiver);
+  sample ();
+  Alcotest.(check int) "all delivered" adus !delivered;
+  Alcotest.(check int) "frontier swept the stream" adus
+    (Alf_transport.receiver_frontier receiver);
+  (* 300 ADUs through; state never exceeded a small reordering window. *)
+  Alcotest.(check bool) "per-index tables stay flat" true (!max_tables <= 8);
+  Alcotest.(check bool) "retired set stays flat" true (!max_retired <= 8);
+  let d, g, r = Alf_transport.receiver_table_sizes receiver in
+  Alcotest.(check (list int)) "tables empty at completion" [ 0; 0; 0 ]
+    [ d; g; r ];
+  w.w_teardown ()
+
+(* Sender teardown: every exit path — DONE, kill, give-up — must leave
+   all three sender tables (outq, queued fragments, gone-announced) and
+   the retransmission store empty. *)
+let sender_tables name sender =
+  let outq, frags, gone = Alf_transport.sender_table_sizes sender in
+  Alcotest.(check (list int)) (name ^ ": sender tables cleared") [ 0; 0; 0 ]
+    [ outq; frags; gone ];
+  Alcotest.(check int) (name ^ ": store released") 0
+    (Alf_transport.store_footprint sender)
+
+let test_sender_teardown_on_done () =
+  (* No_recovery under loss: NACKs are answered with GONE, so the
+     gone-announced table is exercised before the DONE clears it. *)
+  let w = netsim_world ~loss:0.1 () in
+  let receiver =
+    Alf_transport.receiver_io ~sched:w.w_sched ~io:w.w_io_b ~port:7000
+      ~stream:1 ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  let sender =
+    Alf_transport.sender_io ~sched:w.w_sched ~io:w.w_io_a ~peer:(w.w_peer ())
+      ~peer_port:7000 ~port:7001 ~stream:1 ~policy:Recovery.No_recovery ()
+  in
+  for i = 0 to 19 do
+    Alf_transport.send_adu sender
+      (Adu.make (Adu.name ~stream:1 ~index:i ()) (Bytebuf.of_string (String.make 600 'z')))
+  done;
+  Alf_transport.close sender;
+  w.w_run ~timeout:w.w_horizon (fun () ->
+      Alf_transport.finished sender && Alf_transport.complete receiver);
+  Alcotest.(check bool) "finished via DONE" true (Alf_transport.finished sender);
+  sender_tables "done" sender;
+  Alcotest.(check int) "no timers left" 0 (w.w_pending ())
+
+let test_sender_teardown_on_kill () =
+  let w = netsim_world ~loss:0.0 () in
+  let sender =
+    Alf_transport.sender_io ~sched:w.w_sched ~io:w.w_io_a ~peer:(w.w_peer ())
+      ~peer_port:7000 ~port:7001 ~stream:1 ~policy:Recovery.Transport_buffer
+      ~config:
+        {
+          Alf_transport.default_sender_config with
+          Alf_transport.pace_bps = Some 10_000.0;
+        }
+      ()
+  in
+  for i = 0 to 9 do
+    Alf_transport.send_adu sender
+      (Adu.make (Adu.name ~stream:1 ~index:i ()) (Bytebuf.of_string (String.make 900 'k')))
+  done;
+  (* Pacing at 10 kbps: most of the queue is still waiting. *)
+  let outq, frags, _ = Alf_transport.sender_table_sizes sender in
+  Alcotest.(check bool) "work queued before the kill" true (outq + frags > 0);
+  Alf_transport.kill_sender sender;
+  sender_tables "kill" sender;
+  Alf_transport.kill_sender sender (* idempotent *);
+  sender_tables "kill twice" sender;
+  (* The paced-send timers died with the session. *)
+  w.w_run ~timeout:5.0 (fun () -> w.w_pending () = 0);
+  Alcotest.(check int) "no timers left" 0 (w.w_pending ())
+
+let test_sender_teardown_on_giveup () =
+  (* Nobody bound at the far end: every CLOSE goes unanswered and the
+     sender must eventually release everything on its own. *)
+  let w = netsim_world ~loss:0.0 () in
+  let sender =
+    Alf_transport.sender_io ~sched:w.w_sched ~io:w.w_io_a ~peer:(w.w_peer ())
+      ~peer_port:7000 ~port:7001 ~stream:1 ~policy:Recovery.Transport_buffer
+      ~config:
+        {
+          Alf_transport.default_sender_config with
+          Alf_transport.close_retry = 0.05;
+          close_attempts = 3;
+        }
+      ()
+  in
+  for i = 0 to 4 do
+    Alf_transport.send_adu sender
+      (Adu.make (Adu.name ~stream:1 ~index:i ()) (Bytebuf.of_string (String.make 500 'g')))
+  done;
+  Alcotest.(check bool) "store holds the copies" true
+    (Alf_transport.store_footprint sender > 0);
+  Alf_transport.close sender;
+  w.w_run ~timeout:w.w_horizon (fun () -> Alf_transport.sender_gave_up sender);
+  Alcotest.(check bool) "gave up" true (Alf_transport.sender_gave_up sender);
+  Alcotest.(check bool) "never finished" false (Alf_transport.finished sender);
+  sender_tables "give-up" sender;
+  Alcotest.(check int) "no timers left" 0 (w.w_pending ())
+
 (* --- Reassembler: retired indices --- *)
 
 let two_frag_adu ~index =
@@ -399,7 +607,11 @@ let () =
       ( "loop",
         [ Alcotest.test_case "timers and readable fds" `Quick test_loop_readable ] );
       ( "udp-link",
-        [ Alcotest.test_case "loopback round trip" `Quick test_udp_link_roundtrip ] );
+        [
+          Alcotest.test_case "loopback round trip" `Quick test_udp_link_roundtrip;
+          Alcotest.test_case "first contact, then upgrade in place" `Quick
+            test_udp_link_first_contact_upgrade;
+        ] );
       ( "transport-backends",
         [
           Alcotest.test_case "lossy transfer over netsim" `Quick
@@ -408,6 +620,17 @@ let () =
             (transfer_suite rt_world);
           Alcotest.test_case "no callback runs after close" `Quick
             test_no_callbacks_after_close;
+          Alcotest.test_case "streaming receiver tables stay flat" `Quick
+            test_receiver_tables_stay_flat;
+        ] );
+      ( "sender-teardown",
+        [
+          Alcotest.test_case "DONE clears every table" `Quick
+            test_sender_teardown_on_done;
+          Alcotest.test_case "kill clears every table" `Quick
+            test_sender_teardown_on_kill;
+          Alcotest.test_case "give-up clears every table" `Quick
+            test_sender_teardown_on_giveup;
         ] );
       ( "reassembler",
         [
