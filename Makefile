@@ -1,14 +1,15 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick bench-smoke bench-udp bench-serve perf-smoke udp-smoke serve-smoke soak soak-smoke udp-soak examples cli clean outputs
+.PHONY: all build check test bench bench-quick bench-smoke bench-udp bench-serve bench-hostile perf-smoke udp-smoke serve-smoke hostile-smoke soak soak-smoke udp-soak examples cli clean outputs
 
 all: build
 
 # The one-stop gate: full test suite, the perf-smoke fusion invariants
 # (E2/E14/E15 ratios at a tiny quota), the real-socket loopback
-# self-test with its zero-allocation gate (E16), and the sharded
-# many-session engine self-test on both backends (E17).
-check: test perf-smoke udp-smoke serve-smoke
+# self-test with its zero-allocation gate (E16), the sharded
+# many-session engine self-test on both backends (E17), and the
+# adversarial-ingress self-test under byzantine load (E18).
+check: test perf-smoke udp-smoke serve-smoke hostile-smoke
 
 build:
 	dune build @all
@@ -65,6 +66,19 @@ bench-serve:
 # concurrent sessions through both backends, same invariants.
 serve-smoke:
 	dune exec bin/alfnet.exe -- serve --backend both --sessions 4000
+
+# Adversarial ingress (E18): the full 10^5-session run on both backends
+# with >= 30% byzantine traffic mixed in, then the perfcheck gate over
+# the written rows — honest sessions exact, pool budget flat, every
+# drop reason-coded, stage-0 validation under 3% of the clean path.
+bench-hostile:
+	dune exec bin/alfnet.exe -- serve --bench --hostile --sessions 100000 --out BENCH_hostile.json
+	dune exec bench/perfcheck.exe -- --hostile BENCH_hostile.json
+
+# The quick E18 pass that rides in `make check`: both backends under the
+# byzantine mix at a few thousand sessions, same invariants.
+hostile-smoke:
+	dune exec bin/alfnet.exe -- serve --hostile --backend both --sessions 4000
 
 # The soak matrix on real sockets: loss/corruption injected at the
 # datagram seam, same six robustness invariants as `make soak`.

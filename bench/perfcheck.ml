@@ -32,7 +32,15 @@
    (ok = true: every session DONE, delivered union gone = sent, peak
    concurrency = the session count), post a positive throughput, and
    stage a zero-steady-state-allocation data path
-   (pool_allocs_steady = 0, fallback_allocs = 0). *)
+   (pool_allocs_steady = 0, fallback_allocs = 0).
+
+   With --hostile it gates BENCH_hostile.json (`alfnet serve --bench
+   --hostile`): both backends must survive a >= 30% byzantine traffic
+   mix with every honest session completing exactly (ok = true covers
+   the exact delivered+gone accounting, flat pool budget, conservation
+   and reason-coded drop totals), zero dispatch errors, and the stage-0
+   validator's measured cost must stay under 3% of the clean run's wall
+   clock (the hostile/stage0-overhead row). *)
 
 let die fmt =
   Printf.ksprintf
@@ -45,11 +53,17 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let udp_mode = List.mem "--udp" args in
   let serve_mode = List.mem "--serve" args in
+  let hostile_mode = List.mem "--hostile" args in
   let path =
-    match List.filter (fun a -> a <> "--udp" && a <> "--serve") args with
+    match
+      List.filter
+        (fun a -> a <> "--udp" && a <> "--serve" && a <> "--hostile")
+        args
+    with
     | p :: _ -> p
     | [] ->
-        if serve_mode then "BENCH_scale.json"
+        if hostile_mode then "BENCH_hostile.json"
+        else if serve_mode then "BENCH_scale.json"
         else if udp_mode then "BENCH_udp.json"
         else "BENCH_ilp.json"
   in
@@ -90,6 +104,56 @@ let () =
     | Some v -> v
     | None -> die "%s: row %S has no field %S" path row_name key
   in
+  if hostile_mode then begin
+    if rows = [] then die "%s: no measurements" path;
+    let str row k =
+      match Obs.Json.member k row with Some (Obs.Json.Str s) -> s | _ -> "?"
+    in
+    let num row k name =
+      match Obs.Json.member k row with
+      | Some (Obs.Json.Num v) -> v
+      | _ -> die "%s: row %S has no numeric %S" path name k
+    in
+    let require_ok row name =
+      match Obs.Json.member "ok" row with
+      | Some (Obs.Json.Bool true) -> ()
+      | _ -> die "%s violated the adversarial-ingress invariants (ok = false)" name
+    in
+    let hostile_rows = ref 0 and overhead = ref None in
+    List.iter
+      (fun row ->
+        let name = str row "name" in
+        require_ok row name;
+        if Obs.Json.member "hostile_ratio" row <> None then begin
+          incr hostile_rows;
+          let ratio = num row "hostile_ratio" name in
+          if ratio < 0.3 then
+            die "%s ran only %.0f%% byzantine traffic (need >= 30%%)" name
+              (100.0 *. ratio);
+          let de = num row "dispatch_errors" name in
+          if de <> 0.0 then die "%s leaked %.0f dispatch errors" name de
+        end;
+        if name = "hostile/stage0-overhead" then
+          overhead := Some (num row "overhead_frac" name))
+      rows;
+    if !hostile_rows < 2 then
+      die "%s: expected hostile rows for both backends, found %d" path
+        !hostile_rows;
+    (match !overhead with
+    | None -> die "%s: no hostile/stage0-overhead row" path
+    | Some f ->
+        if f >= 0.03 then
+          die
+            "stage-0 validation costs %.1f%% of the clean path (budget 3%%)"
+            (100.0 *. f));
+    Printf.printf
+      "perfcheck: hostile gate holds over %d rows in %s — honest sessions \
+       exact under >= 30%% byzantine traffic, stage-0 overhead %.2f%% of \
+       the clean path\n"
+      (List.length rows) path
+      (match !overhead with Some f -> 100.0 *. f | None -> 0.0);
+    exit 0
+  end;
   if serve_mode then begin
     if rows = [] then die "%s: no measurements" path;
     let str row k =

@@ -28,7 +28,9 @@
      alfnet udp --bench --out BENCH_udp.json
      alfnet udp --soak --smoke
      alfnet serve --sessions 100000 --backend both
-     alfnet serve --bench --out BENCH_scale.json *)
+     alfnet serve --bench --out BENCH_scale.json
+     alfnet serve --hostile --backend both --sessions 4000
+     alfnet serve --bench --hostile --out BENCH_hostile.json *)
 
 open Bufkit
 open Netsim
@@ -840,6 +842,58 @@ let run_metrics opts size =
   let v = Wire.Value.Record [ ("n", Wire.Value.Int size) ] in
   let enc = Ilp.run_marshal (Ilp.Marshal_ber v) [ Ilp.Deliver_copy ] in
   ignore (Ilp.run_unmarshal [ Ilp.Deliver_copy ] Ilp.Unmarshal_ber enc.Ilp.output);
+  (* The serve engine's adversarial-ingress surface: a small sharded
+     server under mixed honest and byzantine load on the default
+     registry, so serve.shard*.{arrivals,drop.*}, serve.drop.* and
+     serve.load_state all appear in the dump with live values. *)
+  let module Sv = Alf_serve.Server in
+  let module Lg = Alf_serve.Loadgen in
+  let module Hs = Alf_chaos.Hostile in
+  let engine3 = Engine.create () in
+  let rng3 = Rng.create ~seed:0x5E12EL in
+  let net3 =
+    Topology.point_to_point ~engine:engine3 ~rng:rng3 ~impair:Impair.none
+      ~queue_limit:1_000_000 ~bandwidth_bps:1e9 ~delay:1e-4 ~a:1 ~b:2 ()
+  in
+  let ua3 = Transport.Udp.create ~engine:engine3 ~node:net3.Topology.a () in
+  let ub3 = Transport.Udp.create ~engine:engine3 ~node:net3.Topology.b () in
+  let server =
+    Sv.create ~sched:(Engine.sched engine3) ~io:(Dgram.of_udp ub3) ()
+  in
+  let gen =
+    Lg.create ~io:(Dgram.of_udp ua3)
+      {
+        Lg.default_config with
+        Lg.sessions = 200;
+        adus_per_session = 2;
+        payload_len = 64;
+        server = 2;
+      }
+  in
+  let hclient =
+    Hs.create ~io:(Dgram.of_udp ua3)
+      { Hs.default_config with Hs.server = 2; payload_len = 64 }
+  in
+  let rounds = ref 0 in
+  while (not (Lg.finished gen)) && !rounds < 200 do
+    incr rounds;
+    let sent = Lg.step gen ~budget:256 in
+    ignore (Hs.step hclient ~budget:96);
+    Engine.run ~until:(Engine.now engine3 +. 0.005) ~max_events:1_000_000
+      engine3;
+    Sv.pump server;
+    Engine.run ~until:(Engine.now engine3 +. 0.005) ~max_events:1_000_000
+      engine3;
+    if sent = 0 && not (Lg.finished gen) then begin
+      Sv.harvest server;
+      Engine.run ~until:(Engine.now engine3 +. 0.05) ~max_events:1_000_000
+        engine3;
+      Sv.pump server;
+      Lg.nudge gen
+    end
+  done;
+  Sv.pump server;
+  Sv.stop server;
   print_endline (Obs.Json.to_string_pretty (Obs.Registry.to_json ()));
   `Ok ()
 
@@ -1186,6 +1240,8 @@ let udp_cmd =
 
 module Serve = Alf_serve.Server
 module Loadgen = Alf_serve.Loadgen
+module Ingress = Alf_serve.Ingress
+module Hostile = Alf_chaos.Hostile
 
 type serve_report = {
   sv_backend : string;
@@ -1201,6 +1257,7 @@ type serve_report = {
   sv_done : int;
   sv_delivered : int;
   sv_gone : int;
+  sv_arrivals : int;
   sv_dropped : int;
   sv_steady_allocs : int;  (* data-pool allocations inside the window *)
   sv_fallback_allocs : int;
@@ -1248,6 +1305,13 @@ let obs_sums_match registry server =
   && sum "datagrams" = totals.Serve.datagrams
   && sum "dones" = totals.Serve.dones
   && sum "admitted" = totals.Serve.admitted
+  && sum "arrivals" = totals.Serve.arrivals
+  && sum "accepted" = totals.Serve.accepted
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun i r ->
+            sum ("drop." ^ Ingress.reason_name r) = totals.Serve.drops.(i))
+          Ingress.all_reasons)
 
 (* The common driver skeleton: [emit] pushes a bounded batch of loadgen
    datagrams, [turn] lets the backend carry them (and the replies), pump
@@ -1256,6 +1320,7 @@ let obs_sums_match registry server =
    the control pool's own warm-up (DONEs, repair NACKs) starts only at
    the CLOSE round, after the window has closed. *)
 let drive_serve ~backend ~sessions ~adus ~payload ~shards ~domains ~budget
+    ?(hostile : Hostile.t option) ?(hostile_budget = 0) ?(load_hw = ref 0)
     ~(turn : unit -> unit) ~(gen : Loadgen.t) ~(server : Serve.t) ~registry
     ~max_rounds () =
   let data_emissions = sessions * adus in
@@ -1271,6 +1336,9 @@ let drive_serve ~backend ~sessions ~adus ~payload ~shards ~domains ~budget
   while (not (Loadgen.finished gen)) && !rounds < max_rounds do
     incr rounds;
     let sent = Loadgen.step gen ~budget in
+    (match hostile with
+    | Some h -> ignore (Hostile.step h ~budget:hostile_budget)
+    | None -> ());
     emitted := !emitted + sent;
     (match !window_base with
     | None when !emitted >= half_data && !emitted < data_emissions ->
@@ -1282,6 +1350,8 @@ let drive_serve ~backend ~sessions ~adus ~payload ~shards ~domains ~budget
     turn ();
     Serve.pump server;
     turn ();
+    let li = Serve.load_state_index (Serve.load_state server) in
+    if li > !load_hw then load_hw := li;
     let live = Serve.live_sessions server in
     if live > !peak_live then peak_live := live;
     if sent = 0 && not (Loadgen.finished gen) then begin
@@ -1295,6 +1365,11 @@ let drive_serve ~backend ~sessions ~adus ~payload ~shards ~domains ~budget
       if !stalls mod 3 = 0 then Loadgen.nudge gen
     end
   done;
+  (* Settle: carry anything still in flight and process what is staged,
+     so the conservation check (arrivals = accepted + drops once the
+     queues drain) sees an empty inbox. *)
+  turn ();
+  Serve.pump server;
   let wall = Unix.gettimeofday () -. t0 in
   let totals = Serve.totals server in
   let gstats = Loadgen.stats gen in
@@ -1319,13 +1394,192 @@ let drive_serve ~backend ~sessions ~adus ~payload ~shards ~domains ~budget
     sv_done = Loadgen.done_count gen;
     sv_delivered = delivered;
     sv_gone = totals.Serve.gone + totals.Serve.gone_local;
-    sv_dropped = totals.Serve.rx_dropped + gstats.Loadgen.send_failed;
+    sv_arrivals = totals.Serve.arrivals;
+    sv_dropped = totals.Serve.dropped + gstats.Loadgen.send_failed;
     sv_steady_allocs = !window_allocs;
     sv_fallback_allocs = totals.Serve.fallback_allocs;
     sv_max_ahead = Serve.max_ahead_load server;
     sv_counter_sum_ok = obs_sums_match registry server;
     sv_finished = Loadgen.finished gen;
   }
+
+(* --- hostile mode: the byzantine client mixed into the drive --- *)
+
+let hostile_base_port = 40_000
+
+(* Under byzantine load the engine totals include hostile deliveries, so
+   honest sessions are accounted exactly through the [on_complete] hook:
+   the first completion of each honest session (keyed back to its loadgen
+   index) contributes its delivered/gone split once — a completed session
+   evicted and later re-driven to completion by the repair path would
+   otherwise double-count. The hook fires on worker domains; the mutex
+   makes it domain-safe. *)
+type honest_acct = {
+  ha_mu : Mutex.t;
+  ha_seen : Bytes.t;
+  mutable ha_completions : int;
+  mutable ha_delivered_gone : int;
+}
+
+let honest_acct ~sessions =
+  {
+    ha_mu = Mutex.create ();
+    ha_seen = Bytes.make sessions '\000';
+    ha_completions = 0;
+    ha_delivered_gone = 0;
+  }
+
+let record_honest acct k ~delivered ~gone =
+  let base = Loadgen.default_config.Loadgen.base_port
+  and spp = Loadgen.default_config.Loadgen.streams_per_port in
+  if k.Serve.peer_port >= base && k.Serve.peer_port < hostile_base_port then begin
+    let idx = ((k.Serve.peer_port - base) * spp) + k.Serve.stream - 1 in
+    if idx >= 0 && idx < Bytes.length acct.ha_seen then begin
+      Mutex.lock acct.ha_mu;
+      if Bytes.get acct.ha_seen idx = '\000' then begin
+        Bytes.set acct.ha_seen idx '\001';
+        acct.ha_completions <- acct.ha_completions + 1;
+        acct.ha_delivered_gone <- acct.ha_delivered_gone + delivered + gone
+      end;
+      Mutex.unlock acct.ha_mu
+    end
+  end
+
+type hostile_extras = {
+  hx_sent : int;
+  hx_send_failed : int;
+  hx_malformed : int;  (* bad-bytes datagrams injected *)
+  hx_wellformed : int;  (* valid-bytes abuse injected *)
+  hx_replies : int;
+  hx_ratio : float;  (* hostile share of all datagrams sent *)
+  hx_malformed_drops : int;
+  hx_backpressure : int;
+  hx_policy_drops : int;
+  hx_dispatch_errors : int;
+  hx_drop_account_ok : bool;
+  hx_conservation_ok : bool;
+  hx_honest_completions : int;
+  hx_honest_delivered_gone : int;
+  hx_honest_exact : bool;
+  hx_pool_growth : int;
+  hx_max_load_state : int;
+  hx_drops : (string * int) list;  (* reason -> engine total *)
+}
+
+(* [lossless] marks a substrate that neither drops nor corrupts in
+   flight (netsim with no impairment): there — and only there — every
+   injected malformed datagram must be accounted as a malformed-shape
+   drop or a backpressure drop, exactly. On real sockets the kernel may
+   shed datagrams before ingest ever sees them, so only the lower bound
+   holds (nothing the server drops as malformed can outnumber what the
+   client injected). *)
+let hostile_extras_of ~server ~acct ~sessions ~adus ~gen ~pool_warm ~load_hw
+    ~lossless h =
+  let hs = Hostile.stats h in
+  let totals = Serve.totals server in
+  let gstats = Loadgen.stats gen in
+  let drop r = totals.Serve.drops.(Ingress.reason_index r) in
+  let malformed_drops = Serve.malformed_drops totals in
+  let backpressure = drop Ingress.Backpressure in
+  let honest_sent = gstats.Loadgen.sent_datagrams in
+  let all_sent = hs.Hostile.sent + honest_sent in
+  {
+    hx_sent = hs.Hostile.sent;
+    hx_send_failed = hs.Hostile.send_failed;
+    hx_malformed = hs.Hostile.malformed;
+    hx_wellformed = hs.Hostile.wellformed;
+    hx_replies = hs.Hostile.replies_rx;
+    hx_ratio =
+      (if all_sent = 0 then 0.
+       else float_of_int hs.Hostile.sent /. float_of_int all_sent);
+    hx_malformed_drops = malformed_drops;
+    hx_backpressure = backpressure;
+    hx_policy_drops = totals.Serve.dropped - malformed_drops;
+    hx_dispatch_errors = drop Ingress.Dispatch_error;
+    hx_drop_account_ok =
+      malformed_drops <= hs.Hostile.malformed
+      && ((not lossless)
+         || hs.Hostile.send_failed > 0
+         || hs.Hostile.malformed <= malformed_drops + backpressure);
+    hx_conservation_ok =
+      totals.Serve.arrivals = totals.Serve.accepted + totals.Serve.dropped;
+    hx_honest_completions = acct.ha_completions;
+    hx_honest_delivered_gone = acct.ha_delivered_gone;
+    hx_honest_exact =
+      acct.ha_completions = sessions
+      && acct.ha_delivered_gone = sessions * adus;
+    hx_pool_growth = Serve.pool_allocated server - pool_warm;
+    hx_max_load_state = load_hw;
+    hx_drops =
+      Array.to_list
+        (Array.mapi
+           (fun i r -> (Ingress.reason_name r, totals.Serve.drops.(i)))
+           Ingress.all_reasons);
+  }
+
+let hostile_ok (r, hx) =
+  r.sv_finished
+  && r.sv_done = r.sv_sessions
+  && hx.hx_honest_exact
+  && r.sv_steady_allocs = 0
+  && hx.hx_pool_growth = 0
+  && hx.hx_dispatch_errors = 0
+  && hx.hx_drop_account_ok
+  && hx.hx_conservation_ok
+  && hx.hx_ratio >= 0.3
+  && r.sv_counter_sum_ok
+
+let pp_hostile_extras ppf hx =
+  Format.fprintf ppf
+    "  hostile: %d sent (%.0f%% of traffic, %d malformed / %d wellformed)  \
+     replies %d  malformed drops %d  backpressure %d  policy drops %d  \
+     dispatch errors %d  honest %d sessions / %d ADUs  pool growth %d  \
+     peak load state %d  accounting %b  conservation %b@\n  drops:"
+    hx.hx_sent
+    (100. *. hx.hx_ratio)
+    hx.hx_malformed hx.hx_wellformed hx.hx_replies hx.hx_malformed_drops
+    hx.hx_backpressure hx.hx_policy_drops hx.hx_dispatch_errors
+    hx.hx_honest_completions hx.hx_honest_delivered_gone hx.hx_pool_growth
+    hx.hx_max_load_state hx.hx_drop_account_ok hx.hx_conservation_ok;
+  List.iter
+    (fun (name, n) -> if n > 0 then Format.fprintf ppf " %s=%d" name n)
+    hx.hx_drops
+
+let hostile_row r hx =
+  let i = Obs.Json.num_of_int in
+  Obs.Json.Obj
+    [
+      ( "name",
+        Obs.Json.Str
+          (Printf.sprintf "hostile/%s/s%d" r.sv_backend r.sv_sessions) );
+      ("sessions", i r.sv_sessions);
+      ("adus_per_session", i r.sv_adus);
+      ("payload_bytes", i r.sv_payload);
+      ("shards", i r.sv_shards);
+      ("domains", i r.sv_domains);
+      ("wall_s", Obs.Json.Num r.sv_wall_s);
+      ("adus_per_s", Obs.Json.Num r.sv_adus_per_s);
+      ("arrivals", i r.sv_arrivals);
+      ("hostile_sent", i hx.hx_sent);
+      ("hostile_malformed", i hx.hx_malformed);
+      ("hostile_wellformed", i hx.hx_wellformed);
+      ("hostile_ratio", Obs.Json.Num hx.hx_ratio);
+      ("malformed_drops", i hx.hx_malformed_drops);
+      ("backpressure_drops", i hx.hx_backpressure);
+      ("policy_drops", i hx.hx_policy_drops);
+      ("dispatch_errors", i hx.hx_dispatch_errors);
+      ("honest_completions", i hx.hx_honest_completions);
+      ("honest_delivered_gone", i hx.hx_honest_delivered_gone);
+      ("pool_growth", i hx.hx_pool_growth);
+      ("max_load_state", i hx.hx_max_load_state);
+      ("steady_allocs", i r.sv_steady_allocs);
+      ("drop_account_ok", Obs.Json.Bool hx.hx_drop_account_ok);
+      ("conservation_ok", Obs.Json.Bool hx.hx_conservation_ok);
+      ("obs_sums_ok", Obs.Json.Bool r.sv_counter_sum_ok);
+      ( "drops",
+        Obs.Json.Obj (List.map (fun (n, v) -> (n, i v)) hx.hx_drops) );
+      ("ok", Obs.Json.Bool (hostile_ok (r, hx)));
+    ]
 
 let serve_config ~shards ~rx_buf_size ~per_shard =
   {
@@ -1341,7 +1595,18 @@ let serve_config ~shards ~rx_buf_size ~per_shard =
 let serve_rx_buf_size ~payload =
   max 192 (Framing.fragment_header_size + Adu.header_size + payload + 32)
 
-let run_serve_netsim ~sessions ~adus ~payload ~shards ~domains () =
+let hostile_config ~server ~payload =
+  {
+    Hostile.default_config with
+    Hostile.server;
+    server_port = Serve.default_config.Serve.port;
+    base_port = hostile_base_port;
+    payload_len = payload;
+    integrity = Serve.default_config.Serve.integrity;
+  }
+
+let run_serve_netsim ?(hostile = false) ~sessions ~adus ~payload ~shards
+    ~domains () =
   let engine = Engine.create () in
   let sched = Netsim.Engine.sched engine in
   let rng = Rng.create ~seed:42L in
@@ -1357,11 +1622,14 @@ let run_serve_netsim ~sessions ~adus ~payload ~shards ~domains () =
   in
   let rx_buf_size = serve_rx_buf_size ~payload in
   let per_shard = max 512 (2 * 4096 / shards) in
+  let acct = honest_acct ~sessions in
+  let on_complete = if hostile then Some (record_honest acct) else None in
   let server =
-    Serve.create ~sched ?pool ~io:(Dgram.of_udp ub) ~registry
+    Serve.create ~sched ?pool ~io:(Dgram.of_udp ub) ~registry ?on_complete
       ~config:(serve_config ~shards ~rx_buf_size ~per_shard)
       ()
   in
+  let pool_warm = Serve.pool_allocated server in
   let gen =
     Loadgen.create ~io:(Dgram.of_udp ua)
       {
@@ -1373,22 +1641,36 @@ let run_serve_netsim ~sessions ~adus ~payload ~shards ~domains () =
         server_port = Serve.default_config.Serve.port;
       }
   in
+  let hclient =
+    if hostile then
+      Some (Hostile.create ~io:(Dgram.of_udp ua) (hostile_config ~server:2 ~payload))
+    else None
+  in
   let budget = max 256 (shards * per_shard / 2) in
   let turn () =
     Engine.run ~until:(Engine.now engine +. 0.005) ~max_events:10_000_000
       engine
   in
+  let load_hw = ref 0 in
   let r =
     drive_serve ~backend:"netsim" ~sessions ~adus ~payload ~shards ~domains
-      ~budget ~turn ~gen ~server ~registry
+      ~budget ?hostile:hclient ~hostile_budget:(budget * 3 / 7) ~load_hw
+      ~turn ~gen ~server ~registry
       ~max_rounds:(max 200 (sessions * (adus + 1) * 4 / budget))
       ()
   in
+  let hx =
+    Option.map
+      (hostile_extras_of ~server ~acct ~sessions ~adus ~gen ~pool_warm
+         ~load_hw:!load_hw ~lossless:true)
+      hclient
+  in
   Serve.stop server;
   (match pool with Some p -> Par.Pool.shutdown p | None -> ());
-  r
+  (r, hx)
 
-let run_serve_rt ~sessions ~adus ~payload ~shards ~domains () =
+let run_serve_rt ?(hostile = false) ~sessions ~adus ~payload ~shards ~domains
+    () =
   let loop = Rt.Loop.create () in
   let sched = Rt.Loop.sched loop in
   let rx_buf_size = serve_rx_buf_size ~payload in
@@ -1402,11 +1684,14 @@ let run_serve_rt ~sessions ~adus ~payload ~shards ~domains () =
     if domains > 1 then Some (Par.Pool.create ~domains ()) else None
   in
   let per_shard = max 512 (2 * 4096 / shards) in
+  let acct = honest_acct ~sessions in
+  let on_complete = if hostile then Some (record_honest acct) else None in
   let server =
-    Serve.create ~sched ?pool ~io ~registry
+    Serve.create ~sched ?pool ~io ~registry ?on_complete
       ~config:(serve_config ~shards ~rx_buf_size ~per_shard)
       ()
   in
+  let pool_warm = Serve.pool_allocated server in
   let server_addr =
     Rt.Udp_link.local_addr link ~port:Serve.default_config.Serve.port
   in
@@ -1421,27 +1706,109 @@ let run_serve_rt ~sessions ~adus ~payload ~shards ~domains () =
         server_port = Serve.default_config.Serve.port;
       }
   in
+  let hclient =
+    if hostile then
+      Some (Hostile.create ~io (hostile_config ~server:server_addr ~payload))
+    else None
+  in
   (* Loopback sockets drop under burst (finite SO_RCVBUF): keep bursts a
      fraction of the 2 MB budget and let the NACK/re-CLOSE repair path
      absorb what still slips. *)
   let budget = 1024 in
   let turn () = Rt.Loop.run_for loop 0.002 in
+  let load_hw = ref 0 in
   let r =
     drive_serve ~backend:"rt" ~sessions ~adus ~payload ~shards ~domains
-      ~budget ~turn ~gen ~server ~registry
+      ~budget ?hostile:hclient ~hostile_budget:(budget * 3 / 7) ~load_hw
+      ~turn ~gen ~server ~registry
       ~max_rounds:(max 500 (sessions * (adus + 1) * 8 / budget))
       ()
+  in
+  let hx =
+    Option.map
+      (hostile_extras_of ~server ~acct ~sessions ~adus ~gen ~pool_warm
+         ~load_hw:!load_hw ~lossless:false)
+      hclient
   in
   Serve.stop server;
   Rt.Udp_link.close link;
   (match pool with Some p -> Par.Pool.shutdown p | None -> ());
-  r
+  (r, hx)
 
-let run_serve_backend backend ~sessions ~adus ~payload ~shards ~domains () =
+let run_serve_backend ?hostile backend ~sessions ~adus ~payload ~shards
+    ~domains () =
   match backend with
-  | "netsim" -> run_serve_netsim ~sessions ~adus ~payload ~shards ~domains ()
-  | "rt" -> run_serve_rt ~sessions ~adus ~payload ~shards ~domains ()
+  | "netsim" ->
+      run_serve_netsim ?hostile ~sessions ~adus ~payload ~shards ~domains ()
+  | "rt" -> run_serve_rt ?hostile ~sessions ~adus ~payload ~shards ~domains ()
   | other -> invalid_arg ("unknown serve backend: " ^ other)
+
+(* The clean-path cost gate: stage-0 validation is a fixed header
+   inspection per arrival, so its share of honest throughput is
+   (ns-per-validate x arrival rate). The cost is measured directly over
+   the wire mix a serving port actually carries — a sealed data fragment
+   and each control datagram — and scaled by the clean run's own arrival
+   rate; the resulting fraction of the clean run's wall clock must stay
+   under 3%. *)
+let stage0_overhead_row ~payload clean =
+  let integrity = Serve.default_config.Serve.integrity in
+  let rx_buf_size = serve_rx_buf_size ~payload in
+  let limits =
+    {
+      Ingress.trailer =
+        (match integrity with Some _ -> Ctl.trailer_size | None -> 0);
+      max_len = rx_buf_size;
+      max_total_len = Serve.default_config.Serve.max_adu + Adu.header_size;
+    }
+  in
+  let payload_buf = Bytebuf.create payload in
+  Rng.fill_bytes (Rng.create ~seed:0x57A6E0L) payload_buf;
+  let adu = Adu.make (Adu.name ~stream:7 ~index:0 ()) payload_buf in
+  let dgs =
+    Array.of_list
+      (List.map (Ctl.seal integrity)
+         (Framing.fragment ~mtu:65507 adu
+         @ [
+             Ctl.build_close ~stream:7 ~total:2;
+             Ctl.build_done ~stream:7;
+             Ctl.build_nack ~stream:7 ~have_below:0 [ 1; 2 ];
+           ]))
+  in
+  let k = Array.length dgs in
+  let iters = 2_000_000 in
+  let sink = ref 0 in
+  let spin n =
+    for i = 0 to n - 1 do
+      match Ingress.validate limits dgs.(i mod k) with
+      | Ingress.Accept s -> sink := !sink + s
+      | Ingress.Reject _ -> ()
+    done
+  in
+  spin (iters / 10);
+  let t0 = Unix.gettimeofday () in
+  spin iters;
+  let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  ignore (Sys.opaque_identity !sink);
+  let frac =
+    if clean.sv_wall_s > 0. then
+      ns *. float_of_int clean.sv_arrivals /. (clean.sv_wall_s *. 1e9)
+    else 1.
+  in
+  Format.printf
+    "hostile/stage0-overhead: %.1f ns/validate x %d arrivals over %.2fs \
+     clean wall = %.2f%% of the clean path@."
+    ns clean.sv_arrivals clean.sv_wall_s (100. *. frac);
+  let i = Obs.Json.num_of_int in
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str "hostile/stage0-overhead");
+      ("ns_per_validate", Obs.Json.Num ns);
+      ("validated", i iters);
+      ("arrivals", i clean.sv_arrivals);
+      ("clean_wall_s", Obs.Json.Num clean.sv_wall_s);
+      ("overhead_frac", Obs.Json.Num frac);
+      ("ok", Obs.Json.Bool (frac < 0.03));
+    ]
 
 let serve_row r =
   let i = Obs.Json.num_of_int in
@@ -1477,7 +1844,9 @@ let run_serve_selftest backend sessions adus payload shards domains =
   let reports =
     List.map
       (fun b ->
-        let r = run_serve_backend b ~sessions ~adus ~payload ~shards ~domains () in
+        let r, _ =
+          run_serve_backend b ~sessions ~adus ~payload ~shards ~domains ()
+        in
         Format.printf "%a@." pp_serve_report r;
         r)
       backends
@@ -1489,6 +1858,31 @@ let run_serve_selftest backend sessions adus payload shards domains =
     `Ok ()
   end
   else `Error (false, "serve selftest failed (see report lines above)")
+
+let run_serve_hostile backend sessions adus payload shards domains =
+  let backends =
+    match backend with "both" -> [ "netsim"; "rt" ] | b -> [ b ]
+  in
+  let results =
+    List.map
+      (fun b ->
+        let r, hx =
+          run_serve_backend ~hostile:true b ~sessions ~adus ~payload ~shards
+            ~domains ()
+        in
+        let hx = Option.get hx in
+        Format.printf "%a@.%a@." pp_serve_report r pp_hostile_extras hx;
+        (r, hx))
+      backends
+  in
+  if List.for_all hostile_ok results then begin
+    Format.printf
+      "hostile selftest: OK (every honest session DONE with exact \
+       delivered+gone accounting under >= 30%% byzantine traffic, pool \
+       budget flat, zero dispatch errors, every drop reason-coded)@.";
+    `Ok ()
+  end
+  else `Error (false, "hostile selftest failed (see report lines above)")
 
 let run_serve_bench sessions adus payload out =
   (* Always sweep past one domain, even on a core-limited container:
@@ -1508,7 +1902,7 @@ let run_serve_bench sessions adus payload out =
       List.iter
         (fun d ->
           let shards = max 4 (2 * d) in
-          let r =
+          let r, _ =
             run_serve_netsim ~sessions:s ~adus ~payload ~shards ~domains:d ()
           in
           Format.printf "%a@." pp_serve_report r;
@@ -1517,7 +1911,7 @@ let run_serve_bench sessions adus payload out =
     session_points;
   (* One real-socket point at the full session count: the same engine,
      kernel datagrams underneath. *)
-  let rt =
+  let rt, _ =
     run_serve_rt ~sessions ~adus ~payload ~shards:(max 4 (2 * max_domains))
       ~domains:max_domains ()
   in
@@ -1542,6 +1936,49 @@ let run_serve_bench sessions adus payload out =
   then `Ok ()
   else `Error (false, "a serve bench row violated its invariants (see " ^ out ^ ")")
 
+let rows_all_ok rows =
+  List.for_all
+    (fun row ->
+      match row with
+      | Obs.Json.Obj fields -> (
+          match List.assoc_opt "ok" fields with
+          | Some (Obs.Json.Bool b) -> b
+          | _ -> false)
+      | _ -> false)
+    rows
+
+let run_hostile_bench sessions adus payload out =
+  let domains = max 2 (min 4 (Domain.recommended_domain_count () - 1)) in
+  let shards = max 4 (2 * domains) in
+  (* The clean baseline first, on the same geometry: the stage-0 overhead
+     gate scales the measured per-datagram validation cost by this run's
+     arrival rate, and its row proves the hardened defaults leave the
+     honest path intact. *)
+  let clean, _ = run_serve_netsim ~sessions ~adus ~payload ~shards ~domains () in
+  Format.printf "%a@." pp_serve_report clean;
+  let rows = ref [ serve_row clean ] in
+  List.iter
+    (fun b ->
+      let r, hx =
+        run_serve_backend ~hostile:true b ~sessions ~adus ~payload ~shards
+          ~domains ()
+      in
+      let hx = Option.get hx in
+      Format.printf "%a@.%a@." pp_serve_report r pp_hostile_extras hx;
+      rows := hostile_row r hx :: !rows)
+    [ "netsim"; "rt" ];
+  rows := stage0_overhead_row ~payload clean :: !rows;
+  let rows = List.rev !rows in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string_pretty (Obs.Json.Arr rows));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "hostile bench -> %s@." out;
+  if rows_all_ok rows then `Ok ()
+  else
+    `Error
+      (false, "a hostile bench row violated its invariants (see " ^ out ^ ")")
+
 let serve_cmd =
   let bench =
     Arg.(
@@ -1550,6 +1987,17 @@ let serve_cmd =
           ~doc:
             "Sweep sessions x domains on the simulator plus one real-socket \
              point and write the scaling rows to $(docv).")
+  in
+  let hostile =
+    Arg.(
+      value & flag
+      & info [ "hostile" ]
+          ~doc:
+            "Mix a seeded byzantine client (fuzz, truncation, replay, \
+             session churn, slow drip, NACK storms, forged CLOSE totals) \
+             into the drive at >= 30% of the traffic and gate on the \
+             adversarial-ingress invariants; with $(b,--bench), write \
+             BENCH_hostile.json including the stage-0 overhead row.")
   in
   let backend =
     Arg.(
@@ -1588,12 +2036,17 @@ let serve_cmd =
       value & opt string "BENCH_scale.json"
       & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
   in
-  let run bench backend sessions adus payload shards domains out =
+  let run bench hostile backend sessions adus payload shards domains out =
     if sessions < 1 || adus < 1 || payload < 1 then
       `Error (false, "--sessions, --adus and --payload must be positive")
     else if shards < 1 || domains < 1 then
       `Error (false, "--shards and --domains must be positive")
+    else if bench && hostile then
+      let out = if out = "BENCH_scale.json" then "BENCH_hostile.json" else out in
+      run_hostile_bench sessions adus payload out
     else if bench then run_serve_bench sessions adus payload out
+    else if hostile then
+      run_serve_hostile backend sessions adus payload shards domains
     else run_serve_selftest backend sessions adus payload shards domains
   in
   Cmd.v
@@ -1608,8 +2061,8 @@ let serve_cmd =
           writes sessions x domains scaling curves.")
     Term.(
       ret
-        (const run $ bench $ backend $ sessions $ adus $ payload $ shards
-       $ domains $ out))
+        (const run $ bench $ hostile $ backend $ sessions $ adus $ payload
+       $ shards $ domains $ out))
 
 let () =
   let doc = "ALF/ILP protocol laboratory (Clark & Tennenhouse, SIGCOMM 1990)" in

@@ -28,8 +28,6 @@ let encoded_size t = header_size + Bytebuf.length t.payload
 
 exception Decode_error of string
 
-let decode_error fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
-
 let encode t =
   let plen = Bytebuf.length t.payload in
   let buf = Bytebuf.create (header_size + plen) in
@@ -50,36 +48,53 @@ let encode t =
   Bytebuf.set_uint8 buf 35 (Int32.to_int crc land 0xff);
   buf
 
-let decode_view buf =
+(* The total decoder: malformed input is an [Error _], never an
+   exception. After the length check every read below is within the
+   36-byte header, so no [Cursor.Underflow] can escape. The raising
+   {!decode_view} is a thin wrapper kept for existing callers. *)
+let decode_view_res buf =
   if Bytebuf.length buf < header_size then
-    decode_error "ADU of %d bytes is shorter than the header" (Bytebuf.length buf);
-  let r = Cursor.reader buf in
-  if Cursor.u16be r <> magic then decode_error "bad ADU magic";
-  let stream = Cursor.u16be r in
-  let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-  let dest_off = Int64.to_int (Cursor.u64be r) in
-  let dest_len = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-  let timestamp_us = Cursor.u64be r in
-  let plen = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-  let got_crc = Cursor.u32be r in
-  if Bytebuf.length buf <> header_size + plen then
-    decode_error "ADU length field %d does not match %d available" plen
-      (Bytebuf.length buf - header_size);
-  (* The CRC is computed with its own field zeroed: feed the bytes around
-     the field plus four literal zeros instead of copying the whole unit
-     into a zeroed scratch buffer. *)
-  let crc =
-    let st = Checksum.Crc32.feed_sub Checksum.Crc32.init buf ~pos:0 ~len:32 in
-    let st = ref st in
-    for _ = 1 to 4 do
-      st := Checksum.Crc32.feed_byte !st 0
-    done;
-    Checksum.Crc32.finish
-      (Checksum.Crc32.feed_sub !st buf ~pos:header_size ~len:plen)
-  in
-  if not (Int32.equal crc got_crc) then decode_error "ADU CRC mismatch";
-  let payload = Bytebuf.sub buf ~pos:header_size ~len:plen in
-  { name = { stream; index; dest_off; dest_len; timestamp_us }; payload }
+    Error
+      (Printf.sprintf "ADU of %d bytes is shorter than the header"
+         (Bytebuf.length buf))
+  else
+    let r = Cursor.reader buf in
+    if Cursor.u16be r <> magic then Error "bad ADU magic"
+    else
+      let stream = Cursor.u16be r in
+      let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+      let dest_off = Int64.to_int (Cursor.u64be r) in
+      let dest_len = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+      let timestamp_us = Cursor.u64be r in
+      let plen = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+      let got_crc = Cursor.u32be r in
+      if Bytebuf.length buf <> header_size + plen then
+        Error
+          (Printf.sprintf "ADU length field %d does not match %d available"
+             plen
+             (Bytebuf.length buf - header_size))
+      else
+        (* The CRC is computed with its own field zeroed: feed the bytes
+           around the field plus four literal zeros instead of copying the
+           whole unit into a zeroed scratch buffer. *)
+        let crc =
+          let st = Checksum.Crc32.feed_sub Checksum.Crc32.init buf ~pos:0 ~len:32 in
+          let st = ref st in
+          for _ = 1 to 4 do
+            st := Checksum.Crc32.feed_byte !st 0
+          done;
+          Checksum.Crc32.finish
+            (Checksum.Crc32.feed_sub !st buf ~pos:header_size ~len:plen)
+        in
+        if not (Int32.equal crc got_crc) then Error "ADU CRC mismatch"
+        else
+          let payload = Bytebuf.sub buf ~pos:header_size ~len:plen in
+          Ok { name = { stream; index; dest_off; dest_len; timestamp_us }; payload }
+
+let decode_view buf =
+  match decode_view_res buf with
+  | Ok t -> t
+  | Error msg -> raise (Decode_error msg)
 
 let decode buf =
   let t = decode_view buf in

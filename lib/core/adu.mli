@@ -64,4 +64,9 @@ val decode_view : Bytebuf.t -> t
     buffer), the payload is only valid until the buffer is released, so
     consume or copy it before then. *)
 
+val decode_view_res : Bytebuf.t -> (t, string) result
+(** Total form of {!decode_view}: malformed input (truncation, bad magic,
+    length mismatch, CRC mismatch) is an [Error _], never an exception.
+    The form server dispatch and other hostile-input paths use. *)
+
 val pp : Format.formatter -> t -> unit

@@ -79,24 +79,34 @@ type frag_info = {
 
 exception Frag_error of string
 
-let frag_error fmt = Format.kasprintf (fun s -> raise (Frag_error s)) fmt
+(* The total parser: every malformed input is a [Error _], never an
+   exception — the form server dispatch and other hostile-input paths
+   consume. The raising {!parse_fragment} below is a thin wrapper kept
+   for existing callers. *)
+let parse_fragment_res buf =
+  if Bytebuf.length buf < fragment_header_size then
+    Error (Printf.sprintf "fragment of %d bytes" (Bytebuf.length buf))
+  else
+    let r = Cursor.reader buf in
+    if Cursor.u8 r <> frag_magic then Error "bad fragment magic"
+    else
+      let stream = Cursor.u16be r in
+      let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+      let frag_idx = Cursor.u16be r in
+      let nfrags = Cursor.u16be r in
+      let total_len = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+      let frag_off = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
+      let chunk = Cursor.rest r in
+      if nfrags = 0 || frag_idx >= nfrags then
+        Error "fragment indices inconsistent"
+      else if frag_off + Bytebuf.length chunk > total_len then
+        Error "fragment overruns its ADU"
+      else Ok { stream; index; frag_idx; nfrags; total_len; frag_off; chunk }
 
 let parse_fragment buf =
-  if Bytebuf.length buf < fragment_header_size then
-    frag_error "fragment of %d bytes" (Bytebuf.length buf);
-  let r = Cursor.reader buf in
-  if Cursor.u8 r <> frag_magic then frag_error "bad fragment magic";
-  let stream = Cursor.u16be r in
-  let index = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-  let frag_idx = Cursor.u16be r in
-  let nfrags = Cursor.u16be r in
-  let total_len = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-  let frag_off = Int32.to_int (Cursor.u32be r) land 0xFFFFFFFF in
-  let chunk = Cursor.rest r in
-  if nfrags = 0 || frag_idx >= nfrags then frag_error "fragment indices inconsistent";
-  if frag_off + Bytebuf.length chunk > total_len then
-    frag_error "fragment overruns its ADU";
-  { stream; index; frag_idx; nfrags; total_len; frag_off; chunk }
+  match parse_fragment_res buf with
+  | Ok f -> f
+  | Error msg -> raise (Frag_error msg)
 
 type partial = {
   total_len : int;
@@ -185,6 +195,18 @@ let retire_below t ~bound =
     end
   end
 
+(* Drop every in-flight partial and release its pooled buffer, whatever
+   its index. Used on session teardown: [retire_below] only sweeps below
+   a bound, which can strand partials for indices the session never saw
+   settle — a pool-budget leak under hostile churn. Keeps [floor] (the
+   session is going away anyway) and empties [retired]. *)
+let clear t =
+  if Hashtbl.length t.partials > 0 then begin
+    Hashtbl.iter (fun _ p -> release_owner t p) t.partials;
+    Hashtbl.reset t.partials
+  end;
+  Hashtbl.reset t.retired
+
 let bit_get bytes i = Char.code (Bytes.get bytes (i / 8)) land (1 lsl (i mod 8)) <> 0
 
 let bit_set bytes i =
@@ -248,11 +270,10 @@ let push t (f : frag_info) =
       Fun.protect
         ~finally:(fun () -> release_owner t p)
         (fun () ->
-          match Adu.decode_view p.buf with
-          | adu ->
+          match Adu.decode_view_res p.buf with
+          | Ok adu ->
               t.stats.completed <- t.stats.completed + 1;
               t.deliver adu
-          | exception Adu.Decode_error _ ->
-              t.stats.corrupt_adus <- t.stats.corrupt_adus + 1)
+          | Error _ -> t.stats.corrupt_adus <- t.stats.corrupt_adus + 1)
     end
   end

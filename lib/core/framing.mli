@@ -70,6 +70,10 @@ exception Frag_error of string
 val parse_fragment : Bytebuf.t -> frag_info
 (** Raises {!Frag_error} on malformed input. [chunk] aliases the input. *)
 
+val parse_fragment_res : Bytebuf.t -> (frag_info, string) result
+(** Total form of {!parse_fragment}: malformed input is an [Error _],
+    never an exception. [chunk] aliases the input. *)
+
 (** {1 Reassembly (receive stage 1)} *)
 
 type reassembler
@@ -125,3 +129,9 @@ val retire_below : reassembler -> bound:int -> unit
 val retired_count : reassembler -> int
 (** Live entries in the retired-index table (above the floor) — the
     bounded-state regression probe. *)
+
+val clear : reassembler -> unit
+(** Drop every in-flight partial — releasing pooled reassembly buffers —
+    and empty the retired table, whatever the indices. For session
+    teardown, where {!retire_below} would strand partials above the
+    session's settled bound (a pool-budget leak under hostile churn). *)

@@ -10,6 +10,7 @@ type stats = {
   mutable unrouted : int;
   mutable recv_batches : int;
   mutable max_batch : int;
+  mutable recv_pool_misses : int;
 }
 
 type t = {
@@ -54,6 +55,7 @@ let create ?(recv_batch = 32) ?(buf_size = 2048) ?pool
         unrouted = 0;
         recv_batches = 0;
         max_batch = 0;
+        recv_pool_misses = 0;
       };
   }
 
@@ -110,7 +112,13 @@ let drain t ~port fd =
       | Some pool -> (
           match Pool.try_acquire pool with
           | Some full -> (full, fun () -> Pool.release pool full)
-          | None -> (t.scratch, ignore))
+          | None ->
+              (* The receive budget is spent but the kernel queue is not:
+                 fall back to the scratch buffer rather than leave the
+                 datagram queued, and account the miss — under a hostile
+                 flood this is the socket-drain pressure signal. *)
+              t.stats.recv_pool_misses <- t.stats.recv_pool_misses + 1;
+              (t.scratch, ignore))
       | None -> (t.scratch, ignore)
     in
     let bytes, off, cap = Bytebuf.backing staging in

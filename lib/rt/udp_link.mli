@@ -33,6 +33,8 @@ type stats = {
   mutable unrouted : int;  (** Arrivals on a port with no handler. *)
   mutable recv_batches : int;  (** Wakeups that drained >= 1 datagram. *)
   mutable max_batch : int;  (** Largest single-wakeup drain. *)
+  mutable recv_pool_misses : int;  (** Pool-exhausted drains that fell
+      back to the scratch buffer — the socket-side overload signal. *)
 }
 
 val create :

@@ -20,6 +20,17 @@ type config = {
   nack_budget : int;
   stage2_plan : Ilp.plan;
   obs_prefix : string;
+  ingress_validation : bool;
+  max_ahead_window : int;
+  police_buckets : int;
+  admit_rate : float;
+  admit_burst : float;
+  ctl_rate : float;
+  ctl_burst : float;
+  shed_hi : float;
+  brown_hi : float;
+  load_lo : float;
+  load_ticks : int;
 }
 
 let default_config =
@@ -40,7 +51,30 @@ let default_config =
     nack_budget = 8;
     stage2_plan = [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ];
     obs_prefix = "serve";
+    ingress_validation = true;
+    max_ahead_window = 4096;
+    police_buckets = 1024;
+    (* Rates are per (shard, peer-hash) bucket: honest load spreads one
+       peer's streams across all shards, so a bucket sees 1/shards of a
+       port's traffic — the burst covers honest startup several times
+       over while a single-port flood exhausts it quickly. *)
+    admit_rate = 200.;
+    admit_burst = 512.;
+    ctl_rate = 400.;
+    ctl_burst = 1024.;
+    shed_hi = 0.75;
+    brown_hi = 0.92;
+    load_lo = 0.35;
+    load_ticks = 2;
   }
+
+type load_state = Normal | Shedding | Brownout
+
+let load_state_index = function Normal -> 0 | Shedding -> 1 | Brownout -> 2
+let load_state_name = function
+  | Normal -> "normal"
+  | Shedding -> "shedding"
+  | Brownout -> "brownout"
 
 type session = {
   key : key;
@@ -73,22 +107,22 @@ type outmsg = {
 }
 
 type counters = {
+  c_arrivals : Obs.Counter.t;
+  c_accepted : Obs.Counter.t;
   c_datagrams : Obs.Counter.t;
   c_delivered : Obs.Counter.t;
   c_bytes : Obs.Counter.t;
   c_gone : Obs.Counter.t;
   c_gone_local : Obs.Counter.t;
   c_dups : Obs.Counter.t;
-  c_corrupt : Obs.Counter.t;
   c_admitted : Obs.Counter.t;
   c_evicted : Obs.Counter.t;
   c_harvested : Obs.Counter.t;
-  c_rx_dropped : Obs.Counter.t;
   c_ctl_sent : Obs.Counter.t;
   c_nacks : Obs.Counter.t;
   c_dones : Obs.Counter.t;
   c_fallback_allocs : Obs.Counter.t;
-  c_fec_dropped : Obs.Counter.t;
+  c_drops : Obs.Counter.t array;  (* indexed by Ingress.reason_index *)
 }
 
 type shard = {
@@ -102,7 +136,11 @@ type shard = {
   reasm_pool : Pool.t;
   scratch : Bytebuf.t;  (* stage-2 destination, one per shard domain *)
   ctr : counters;
+  admit_police : Police.t;  (* session creation, under the shard lock *)
+  ctl_police : Police.t;  (* control traffic, under the shard lock *)
   mutable peak_sessions : int;
+  mutable inbox_peak : int;  (* high-water marks since the last harvest, *)
+  mutable outbox_peak : int;  (* the overload-control occupancy signal *)
 }
 
 type t = {
@@ -111,10 +149,17 @@ type t = {
   io : Dgram.t option;
   pool : Par.Pool.t option;
   shards : shard array;
+  limits : Ingress.limits;
   on_adu : (key -> Adu.t -> unit) option;
+  on_complete : (key -> delivered:int -> gone:int -> unit) option;
+  mutable load : load_state;
+  mutable load_pending : load_state;  (* candidate next state... *)
+  mutable load_streak : int;  (* ...and its consecutive confirmations *)
   mutable harvest_timer : Rt.Sched.timer option;
   mutable stopped : bool;
 }
+
+let load_state t = t.load
 
 (* The memory budget is allocated up front: fill each pool's free list at
    create so steady state never sees a fresh buffer — the zero-allocation
@@ -161,25 +206,39 @@ let make_shard config registry sid =
     scratch = Bytebuf.create config.max_adu;
     ctr =
       {
+        c_arrivals = c "arrivals";
+        c_accepted = c "accepted";
         c_datagrams = c "datagrams";
         c_delivered = c "delivered";
         c_bytes = c "delivered_bytes";
         c_gone = c "gone";
         c_gone_local = c "gone_local";
         c_dups = c "dups";
-        c_corrupt = c "corrupt";
         c_admitted = c "admitted";
         c_evicted = c "evicted";
         c_harvested = c "harvested";
-        c_rx_dropped = c "rx_dropped";
         c_ctl_sent = c "ctl_sent";
         c_nacks = c "nacks";
         c_dones = c "dones";
         c_fallback_allocs = c "fallback_allocs";
-        c_fec_dropped = c "fec_dropped";
+        c_drops =
+          Array.map
+            (fun r -> c ("drop." ^ Ingress.reason_name r))
+            Ingress.all_reasons;
       };
+    admit_police =
+      Police.create ~buckets:config.police_buckets ~rate:config.admit_rate
+        ~burst:config.admit_burst ();
+    ctl_police =
+      Police.create ~buckets:config.police_buckets ~rate:config.ctl_rate
+        ~burst:config.ctl_burst ();
     peak_sessions = 0;
+    inbox_peak = 0;
+    outbox_peak = 0;
   }
+
+let count_drop sh reason =
+  Obs.Counter.incr sh.ctr.c_drops.(Ingress.reason_index reason)
 
 (* ---- session bookkeeping (all under the owning shard's lock) ---- *)
 
@@ -197,9 +256,12 @@ let advance s =
     | None -> ()
 
 let drop_session sh s =
-  (match s.reasm with
-  | Some r -> Framing.retire_below r ~bound:(s.highest + 1)
-  | None -> ());
+  (* [clear], not [retire_below ~bound:(highest+1)]: a hostile sender can
+     hold a partial at an index it never advanced [highest] past (or the
+     session can be evicted mid-reassembly), and any bound-based sweep
+     would strand that partial's pooled buffer — a budget leak a churn
+     flood turns into exhaustion. *)
+  (match s.reasm with Some r -> Framing.clear r | None -> ());
   Hashtbl.reset s.ahead;
   Hashtbl.remove sh.sessions s.key
 
@@ -253,11 +315,6 @@ let admit t sh k now =
   if live > sh.peak_sessions then sh.peak_sessions <- live;
   s
 
-let find_or_admit t sh k now =
-  match Hashtbl.find_opt sh.sessions k with
-  | Some s -> s
-  | None -> admit t sh k now
-
 (* ---- control replies (queued; the main thread drains after pump) ---- *)
 
 let queue_ctl t sh ~dst ~dst_port write =
@@ -286,6 +343,8 @@ let queue_ctl t sh ~dst ~dst_port write =
           o_release = ignore;
         }
         sh.outbox);
+  let depth = Queue.length sh.outbox in
+  if depth > sh.outbox_peak then sh.outbox_peak <- depth;
   Obs.Counter.incr sh.ctr.c_ctl_sent
 
 let send_done t sh s =
@@ -297,7 +356,10 @@ let maybe_complete t sh s =
   if (not s.completed) && s.total >= 0 && s.frontier >= s.total then begin
     s.completed <- true;
     s.completed_at <- Rt.Sched.now t.sched;
-    send_done t sh s
+    send_done t sh s;
+    match t.on_complete with
+    | Some f -> f s.key ~delivered:s.s_delivered ~gone:s.s_gone
+    | None -> ()
   end
 
 (* ---- stage 2 + delivery ---- *)
@@ -328,80 +390,161 @@ let deliver_adu t sh s adu =
     maybe_complete t sh s
   end
 
-(* ---- per-datagram dispatch (inside a shard task) ---- *)
+(* ---- per-datagram dispatch (inside a shard task) ----
+
+   Every handler returns [Some reason] (the datagram was dropped, count
+   it under that one reason) or [None] (accepted). Handlers are total:
+   the [Dispatch_error] guard in {!process_pending} is a last resort,
+   not a code path. *)
+
+(* Admission gate for a datagram that would create a session: refused
+   outright in brownout, then rate-limited per peer. Returns the session
+   or the drop reason. *)
+let gated_admit t sh k now =
+  match Hashtbl.find_opt sh.sessions k with
+  | Some s -> Ok s
+  | None ->
+      if t.load = Brownout then Error Ingress.Shed
+      else if
+        not
+          (Police.allow sh.admit_police
+             ~key:(Demux.hash ~peer:k.peer ~peer_port:k.peer_port ~stream:0)
+             ~now)
+      then Error Ingress.Policed_new
+      else Ok (admit t sh k now)
 
 let handle_fragment t sh now ~src ~src_port body =
-  match Framing.parse_fragment body with
-  | exception Framing.Frag_error _ -> Obs.Counter.incr sh.ctr.c_corrupt
-  | frag ->
+  match Framing.parse_fragment_res body with
+  | Error _ -> Some Ingress.Frag_header
+  | Ok frag -> (
       let k = { peer = src; peer_port = src_port; stream = frag.Framing.stream } in
-      let s = find_or_admit t sh k now in
-      s.last_rx <- now;
-      if frag.Framing.index > s.highest then s.highest <- frag.Framing.index;
-      if settled s frag.Framing.index then Obs.Counter.incr sh.ctr.c_dups
-      else if frag.Framing.nfrags = 1 then (
-        (* The single-fragment fast path: the whole encoded ADU is already
-           in the staged datagram — decode the view, no reassembler, no
-           copy. *)
-        match Adu.decode_view frag.Framing.chunk with
-        | exception Adu.Decode_error _ -> Obs.Counter.incr sh.ctr.c_corrupt
-        | adu -> deliver_adu t sh s adu)
-      else begin
-        let r =
-          match s.reasm with
-          | Some r -> r
-          | None ->
+      match gated_admit t sh k now with
+      | Error reason -> Some reason
+      | Ok s ->
+          s.last_rx <- now;
+          if settled s frag.Framing.index then begin
+            Obs.Counter.incr sh.ctr.c_dups;
+            None
+          end
+          else if frag.Framing.index >= s.frontier + t.config.max_ahead_window
+          then
+            (* Beyond the admission window: a forged index would otherwise
+               grow the ahead table and stretch the repair scan without
+               bound. Checked before [highest] moves, so a hostile index
+               cannot poison the repair horizon either. *)
+            Some Ingress.Window
+          else begin
+            if frag.Framing.index > s.highest then
+              s.highest <- frag.Framing.index;
+            if frag.Framing.nfrags = 1 then (
+              (* The single-fragment fast path: the whole encoded ADU is
+                 already in the staged datagram — decode the view, no
+                 reassembler, no copy. *)
+              match Adu.decode_view_res frag.Framing.chunk with
+              | Error _ -> Some Ingress.Bad_adu
+              | Ok adu ->
+                  deliver_adu t sh s adu;
+                  None)
+            else begin
               let r =
-                Framing.reassembler ~pool:sh.reasm_pool
-                  ~deliver:(fun adu -> deliver_adu t sh s adu)
-                  ()
+                match s.reasm with
+                | Some r -> r
+                | None ->
+                    let r =
+                      Framing.reassembler ~pool:sh.reasm_pool
+                        ~deliver:(fun adu -> deliver_adu t sh s adu)
+                        ()
+                    in
+                    s.reasm <- Some r;
+                    r
               in
-              s.reasm <- Some r;
-              r
-        in
-        Framing.push r frag
-      end
+              (* [push] reports malformed outcomes through its stats; the
+                 deltas attribute this datagram to exactly one reason. *)
+              let st = Framing.stats r in
+              let dups0 = st.Framing.duplicate_frags in
+              let corrupt0 = st.Framing.corrupt_adus in
+              let inconsistent0 = st.Framing.inconsistent_frags in
+              Framing.push r frag;
+              if st.Framing.corrupt_adus > corrupt0 then Some Ingress.Bad_adu
+              else if st.Framing.inconsistent_frags > inconsistent0 then
+                Some Ingress.Frag_header
+              else begin
+                if st.Framing.duplicate_frags > dups0 then
+                  Obs.Counter.incr sh.ctr.c_dups;
+                None
+              end
+            end
+          end)
 
 let handle_control t sh now ~src ~src_port body =
-  match Ctl.parse body with
-  | Some (Ctl.Close { stream; total }) ->
-      let s =
-        find_or_admit t sh { peer = src; peer_port = src_port; stream } now
-      in
-      s.last_rx <- now;
-      if s.total < 0 then s.total <- max total 0;
-      (* A CLOSE landing after completion means our DONE was lost. *)
-      if s.completed then send_done t sh s else maybe_complete t sh s
-  | Some (Ctl.Gone { stream; indices }) ->
-      let s =
-        find_or_admit t sh { peer = src; peer_port = src_port; stream } now
-      in
-      s.last_rx <- now;
-      List.iter
-        (fun i ->
-          if i >= 0 && not (settled s i) then begin
-            Hashtbl.replace s.ahead i false;
-            s.s_gone <- s.s_gone + 1;
-            Obs.Counter.incr sh.ctr.c_gone;
-            if i > s.highest then s.highest <- i
-          end)
-        indices;
-      advance s;
-      maybe_complete t sh s
-  | Some (Ctl.Nack _) | Some (Ctl.Done _) | None -> ()
+  if
+    not
+      (Police.allow sh.ctl_police
+         ~key:(Demux.hash ~peer:src ~peer_port:src_port ~stream:0)
+         ~now)
+  then Some Ingress.Policed_ctl
+  else
+    match Ctl.parse body with
+    | None -> Some Ingress.Ctl_malformed
+    | Some (Ctl.Close { stream; total }) -> (
+        match
+          gated_admit t sh { peer = src; peer_port = src_port; stream } now
+        with
+        | Error reason -> Some reason
+        | Ok s ->
+            s.last_rx <- now;
+            if s.total < 0 then s.total <- max total 0;
+            (* A CLOSE landing after completion means our DONE was lost. *)
+            if s.completed then send_done t sh s else maybe_complete t sh s;
+            None)
+    | Some (Ctl.Gone { stream; indices }) -> (
+        match
+          gated_admit t sh { peer = src; peer_port = src_port; stream } now
+        with
+        | Error reason -> Some reason
+        | Ok s ->
+            s.last_rx <- now;
+            List.iter
+              (fun i ->
+                (* Same admission window as fragments: forged GONE indices
+                   must not grow the ahead table or move [highest]. *)
+                if
+                  i >= 0
+                  && i < s.frontier + t.config.max_ahead_window
+                  && not (settled s i)
+                then begin
+                  Hashtbl.replace s.ahead i false;
+                  s.s_gone <- s.s_gone + 1;
+                  Obs.Counter.incr sh.ctr.c_gone;
+                  if i > s.highest then s.highest <- i
+                end)
+              indices;
+            advance s;
+            maybe_complete t sh s;
+            None)
+    | Some (Ctl.Nack _) | Some (Ctl.Done _) -> None
 
-let process_pending t sh now p =
-  Obs.Counter.incr sh.ctr.c_datagrams;
+let dispatch t sh now p =
   match Ctl.unseal t.config.integrity p.p_buf with
-  | None -> Obs.Counter.incr sh.ctr.c_corrupt
+  | None -> Some Ingress.Bad_crc
   | Some body ->
-      if Bytebuf.length body = 0 then Obs.Counter.incr sh.ctr.c_corrupt
+      if Bytebuf.length body = 0 then Some Ingress.Runt
       else
         let b0 = Bytebuf.get_uint8 body 0 in
         if b0 = Framing.frag_magic then
           handle_fragment t sh now ~src:p.p_src ~src_port:p.p_src_port body
-        else if b0 = Ctl.tag_fec then Obs.Counter.incr sh.ctr.c_fec_dropped
+        else if b0 = Ctl.tag_fec then Some Ingress.Fec_unsupported
         else handle_control t sh now ~src:p.p_src ~src_port:p.p_src_port body
+
+let process_pending t sh now p =
+  Obs.Counter.incr sh.ctr.c_datagrams;
+  match dispatch t sh now p with
+  | None -> Obs.Counter.incr sh.ctr.c_accepted
+  | Some reason -> count_drop sh reason
+  | exception _ ->
+      (* The last-resort guard the satellite audit demands: a dispatch
+         bug costs one counted datagram, never the server. *)
+      count_drop sh Ingress.Dispatch_error
 
 let process_shard t sh =
   Mutex.lock sh.lock;
@@ -419,33 +562,46 @@ let process_shard t sh =
 
 let ingest t ~src ~src_port buf =
   let len = Bytebuf.length buf in
-  match Demux.stream_of_datagram buf with
-  | None -> Obs.Counter.incr t.shards.(0).ctr.c_rx_dropped
-  | Some stream ->
-      let sid =
-        Demux.shard_of ~shards:t.config.shards ~peer:src ~peer_port:src_port
-          ~stream
-      in
-      let sh = t.shards.(sid) in
-      if len > t.config.rx_buf_size then Obs.Counter.incr sh.ctr.c_rx_dropped
-      else (
-        match Pool.try_acquire sh.rx_pool with
-        | None ->
-            (* The shard's staging budget is spent: admission control by
-               backpressure, counted, never blocking the ingest thread. *)
-            Obs.Counter.incr sh.ctr.c_rx_dropped
-        | Some staging ->
-            Bytebuf.blit ~src:buf ~src_pos:0 ~dst:staging ~dst_pos:0 ~len;
-            Mutex.lock sh.lock;
-            Queue.add
-              {
-                p_src = src;
-                p_src_port = src_port;
-                p_buf = Bytebuf.take staging len;
-                p_release = (fun () -> Pool.release sh.rx_pool staging);
-              }
-              sh.inbox;
-            Mutex.unlock sh.lock)
+  (* Route first (runts land on shard 0) so that every arrival — and the
+     accept or single drop reason it resolves to — is charged to exactly
+     one shard: per-shard [arrivals = accepted + Σ drops] holds by
+     construction. *)
+  let sh =
+    match Demux.stream_of_datagram buf with
+    | None -> t.shards.(0)
+    | Some stream ->
+        t.shards.(Demux.shard_of ~shards:t.config.shards ~peer:src
+                    ~peer_port:src_port ~stream)
+  in
+  Obs.Counter.incr sh.ctr.c_arrivals;
+  let verdict =
+    if t.config.ingress_validation then Ingress.validate t.limits buf
+    else if len < 3 then Ingress.Reject Ingress.Runt
+    else if len > t.config.rx_buf_size then Ingress.Reject Ingress.Oversize
+    else Ingress.Accept 0
+  in
+  match verdict with
+  | Ingress.Reject reason -> count_drop sh reason
+  | Ingress.Accept _ -> (
+      match Pool.try_acquire sh.rx_pool with
+      | None ->
+          (* The shard's staging budget is spent: admission control by
+             backpressure, counted, never blocking the ingest thread. *)
+          count_drop sh Ingress.Backpressure
+      | Some staging ->
+          Bytebuf.blit ~src:buf ~src_pos:0 ~dst:staging ~dst_pos:0 ~len;
+          Mutex.lock sh.lock;
+          Queue.add
+            {
+              p_src = src;
+              p_src_port = src_port;
+              p_buf = Bytebuf.take staging len;
+              p_release = (fun () -> Pool.release sh.rx_pool staging);
+            }
+            sh.inbox;
+          let depth = Queue.length sh.inbox in
+          if depth > sh.inbox_peak then sh.inbox_peak <- depth;
+          Mutex.unlock sh.lock)
 
 (* ---- outbox drain (main thread only: substrates are not thread-safe) ---- *)
 
@@ -484,6 +640,10 @@ let pump t =
 
 let repair t sh s now =
   let bound = if s.total >= 0 then s.total else s.highest + 1 in
+  (* Clamp to the admission window: [total] is an attacker-supplied u32,
+     and an unclamped bound would turn the give-up loop below into a
+     4-billion-iteration stall on one hostile CLOSE. *)
+  let bound = min bound (s.frontier + t.config.max_ahead_window) in
   if s.frontier < bound then begin
     let holdoff =
       t.config.nack_holdoff *. float_of_int (1 lsl min s.nack_tries 6)
@@ -527,31 +687,103 @@ let repair t sh s now =
       end
   end
 
+(* Shedding tightens the timers (completed sessions go immediately,
+   idle ones in half the time); brownout halves them again and — via
+   {!gated_admit} — refuses new admissions entirely. Completed-first
+   ordering is already {!evict_one}'s victim policy, so the ladder is
+   completed-first → LRU → new-admission refusal, as load rises. *)
+let effective_linger t =
+  match t.load with Normal -> t.config.done_linger | Shedding | Brownout -> 0.
+
+let effective_idle t =
+  match t.load with
+  | Normal -> t.config.idle_timeout
+  | Shedding -> t.config.idle_timeout /. 2.
+  | Brownout -> t.config.idle_timeout /. 4.
+
+(* Returns the shard's staging occupancy since the last harvest: the
+   larger of inbox depth against the rx budget and outbox depth against
+   the ctl budget, as a fraction. Peaks reset so each harvest sees one
+   interval's pressure. *)
 let harvest_shard t sh now =
   Mutex.lock sh.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock sh.lock)
     (fun () ->
+      let linger = effective_linger t and idle = effective_idle t in
       let expired = ref [] in
       Hashtbl.iter
         (fun _ s ->
           if s.completed then begin
-            if now -. s.completed_at >= t.config.done_linger then
-              expired := s :: !expired
+            if now -. s.completed_at >= linger then expired := s :: !expired
           end
-          else if now -. s.last_rx >= t.config.idle_timeout then
-            expired := s :: !expired
+          else if now -. s.last_rx >= idle then expired := s :: !expired
           else repair t sh s now)
         sh.sessions;
       List.iter
         (fun s ->
           drop_session sh s;
           Obs.Counter.incr sh.ctr.c_harvested)
-        !expired)
+        !expired;
+      let occ =
+        Float.max
+          (float_of_int sh.inbox_peak
+          /. float_of_int (max 1 t.config.rx_bufs_per_shard))
+          (float_of_int sh.outbox_peak
+          /. float_of_int (max 1 t.config.ctl_bufs_per_shard))
+      in
+      sh.inbox_peak <- 0;
+      sh.outbox_peak <- 0;
+      occ)
+
+(* Deterministic hysteresis: the occupancy signal proposes a target
+   state; the engine moves one level at a time, and only after the same
+   proposal held for [load_ticks] consecutive harvests. The middle band
+   (between [load_lo] and [shed_hi]) proposes at most Shedding, so
+   Brownout — which refuses the admissions that would keep staging busy —
+   always has a way back down. *)
+let update_load t occ =
+  let target =
+    if occ >= t.config.brown_hi then Brownout
+    else if occ >= t.config.shed_hi then Shedding
+    else if occ <= t.config.load_lo then Normal
+    else if t.load = Normal then Normal
+    else Shedding
+  in
+  if target = t.load then begin
+    t.load_pending <- t.load;
+    t.load_streak <- 0
+  end
+  else begin
+    if target = t.load_pending then t.load_streak <- t.load_streak + 1
+    else begin
+      t.load_pending <- target;
+      t.load_streak <- 1
+    end;
+    if t.load_streak >= t.config.load_ticks then begin
+      let step a b = if b > a then a + 1 else a - 1 in
+      let next =
+        match
+          step (load_state_index t.load) (load_state_index target)
+        with
+        | 0 -> Normal
+        | 1 -> Shedding
+        | _ -> Brownout
+      in
+      t.load <- next;
+      t.load_streak <- 0;
+      t.load_pending <- target
+    end
+  end
 
 let harvest t =
   let now = Rt.Sched.now t.sched in
-  Array.iter (fun sh -> harvest_shard t sh now) t.shards;
+  let occ =
+    Array.fold_left
+      (fun acc sh -> Float.max acc (harvest_shard t sh now))
+      0. t.shards
+  in
+  update_load t occ;
   drain_outboxes t
 
 let rec arm_harvest t =
@@ -569,13 +801,24 @@ let stop t =
   (match t.harvest_timer with Some tm -> Rt.Sched.cancel tm | None -> ());
   t.harvest_timer <- None
 
-let create ~sched ?io ?pool ?registry ?on_adu ?(config = default_config) () =
+let create ~sched ?io ?pool ?registry ?on_adu ?on_complete
+    ?(config = default_config) () =
   if config.shards < 1 then invalid_arg "Server.create: shards";
   if config.max_sessions_per_shard < 1 then
     invalid_arg "Server.create: max_sessions_per_shard";
   if config.rx_buf_size < Framing.fragment_header_size + Ctl.trailer_size then
     invalid_arg "Server.create: rx_buf_size";
+  if config.max_ahead_window < 1 then
+    invalid_arg "Server.create: max_ahead_window";
   let shards = Array.init config.shards (make_shard config registry) in
+  let limits =
+    {
+      Ingress.trailer =
+        (match config.integrity with Some _ -> Ctl.trailer_size | None -> 0);
+      max_len = config.rx_buf_size;
+      max_total_len = config.max_adu + Adu.header_size;
+    }
+  in
   let t =
     {
       config;
@@ -583,11 +826,30 @@ let create ~sched ?io ?pool ?registry ?on_adu ?(config = default_config) () =
       io;
       pool;
       shards;
+      limits;
       on_adu;
+      on_complete;
+      load = Normal;
+      load_pending = Normal;
+      load_streak = 0;
       harvest_timer = None;
       stopped = false;
     }
   in
+  Obs.Registry.pull ?registry
+    (config.obs_prefix ^ ".load_state")
+    (fun () -> float_of_int (load_state_index t.load));
+  Array.iter
+    (fun r ->
+      let i = Ingress.reason_index r in
+      Obs.Registry.pull ?registry
+        (config.obs_prefix ^ ".drop." ^ Ingress.reason_name r)
+        (fun () ->
+          float_of_int
+            (Array.fold_left
+               (fun acc sh -> acc + Obs.Counter.value sh.ctr.c_drops.(i))
+               0 t.shards)))
+    Ingress.all_reasons;
   (match io with
   | Some io ->
       io.Dgram.bind ~port:config.port (fun ~src ~src_port buf ->
@@ -599,84 +861,102 @@ let create ~sched ?io ?pool ?registry ?on_adu ?(config = default_config) () =
 (* ---- observation ---- *)
 
 type snapshot = {
+  arrivals : int;
+  accepted : int;
   datagrams : int;
   delivered : int;
   delivered_bytes : int;
   gone : int;
   gone_local : int;
   dups : int;
-  corrupt : int;
   admitted : int;
   evicted : int;
   harvested : int;
-  rx_dropped : int;
   ctl_sent : int;
   nacks : int;
   dones : int;
   fallback_allocs : int;
-  fec_dropped : int;
+  drops : int array;  (* indexed by Ingress.reason_index *)
+  dropped : int;  (* Σ drops *)
 }
 
 let snapshot_of_counters c =
   let v = Obs.Counter.value in
+  let drops = Array.map v c.c_drops in
   {
+    arrivals = v c.c_arrivals;
+    accepted = v c.c_accepted;
     datagrams = v c.c_datagrams;
     delivered = v c.c_delivered;
     delivered_bytes = v c.c_bytes;
     gone = v c.c_gone;
     gone_local = v c.c_gone_local;
     dups = v c.c_dups;
-    corrupt = v c.c_corrupt;
     admitted = v c.c_admitted;
     evicted = v c.c_evicted;
     harvested = v c.c_harvested;
-    rx_dropped = v c.c_rx_dropped;
     ctl_sent = v c.c_ctl_sent;
     nacks = v c.c_nacks;
     dones = v c.c_dones;
     fallback_allocs = v c.c_fallback_allocs;
-    fec_dropped = v c.c_fec_dropped;
+    drops;
+    dropped = Array.fold_left ( + ) 0 drops;
   }
 
 let add_snapshot a b =
   {
+    arrivals = a.arrivals + b.arrivals;
+    accepted = a.accepted + b.accepted;
     datagrams = a.datagrams + b.datagrams;
     delivered = a.delivered + b.delivered;
     delivered_bytes = a.delivered_bytes + b.delivered_bytes;
     gone = a.gone + b.gone;
     gone_local = a.gone_local + b.gone_local;
     dups = a.dups + b.dups;
-    corrupt = a.corrupt + b.corrupt;
     admitted = a.admitted + b.admitted;
     evicted = a.evicted + b.evicted;
     harvested = a.harvested + b.harvested;
-    rx_dropped = a.rx_dropped + b.rx_dropped;
     ctl_sent = a.ctl_sent + b.ctl_sent;
     nacks = a.nacks + b.nacks;
     dones = a.dones + b.dones;
     fallback_allocs = a.fallback_allocs + b.fallback_allocs;
-    fec_dropped = a.fec_dropped + b.fec_dropped;
+    drops = Array.init Ingress.reason_count (fun i -> a.drops.(i) + b.drops.(i));
+    dropped = a.dropped + b.dropped;
   }
 
 let zero_snapshot =
   {
+    arrivals = 0;
+    accepted = 0;
     datagrams = 0;
     delivered = 0;
     delivered_bytes = 0;
     gone = 0;
     gone_local = 0;
     dups = 0;
-    corrupt = 0;
     admitted = 0;
     evicted = 0;
     harvested = 0;
-    rx_dropped = 0;
     ctl_sent = 0;
     nacks = 0;
     dones = 0;
     fallback_allocs = 0;
-    fec_dropped = 0;
+    drops = Array.make Ingress.reason_count 0;
+    dropped = 0;
   }
+
+let drop_count t reason =
+  let i = Ingress.reason_index reason in
+  Array.fold_left
+    (fun acc sh -> acc + Obs.Counter.value sh.ctr.c_drops.(i))
+    0 t.shards
+
+let malformed_drops s =
+  Array.fold_left ( + ) 0
+    (Array.map
+       (fun r ->
+         if Ingress.is_malformed r then s.drops.(Ingress.reason_index r) else 0)
+       Ingress.all_reasons)
 
 let shard_count t = Array.length t.shards
 let shard_snapshot t sid = snapshot_of_counters t.shards.(sid).ctr
@@ -709,6 +989,15 @@ let data_pool_allocated t =
       acc
       + (Pool.stats sh.rx_pool).Pool.allocated
       + (Pool.stats sh.reasm_pool).Pool.allocated)
+    0 t.shards
+
+let pool_outstanding t =
+  Array.fold_left
+    (fun acc sh ->
+      acc
+      + (Pool.stats sh.rx_pool).Pool.outstanding
+      + (Pool.stats sh.ctl_pool).Pool.outstanding
+      + (Pool.stats sh.reasm_pool).Pool.outstanding)
     0 t.shards
 
 let shard_of_key t ~peer ~peer_port ~stream =

@@ -18,7 +18,17 @@
     batch — the datagram substrates are not thread-safe and never see a
     worker domain. Memory is budgeted per shard by capped pools: when a
     shard's staging pool is exhausted, arrivals for it are dropped and
-    counted ([rx_dropped]) — backpressure, not allocation. *)
+    counted ([drop.backpressure]) — backpressure, not allocation.
+
+    {b Adversarial ingress.} Every arrival passes the total, alloc-free
+    {!Ingress.validate} before demux, so no byte sequence can raise or
+    touch shard state un-classified; each shard rate-limits session
+    creation and control traffic per peer through fixed-size {!Police}
+    tables; and the engine runs an explicit load-state ladder
+    (Normal/Shedding/Brownout, hysteresis over staging occupancy) that
+    tightens harvest timers and finally refuses new admissions. Every
+    dropped datagram lands in exactly one reason-coded [drop.*] counter:
+    per shard, [arrivals = accepted + Σ drops] once the queues drain. *)
 
 open Bufkit
 open Alf_core
@@ -54,9 +64,36 @@ type config = {
       into the shard scratch (default checksum + deliver-copy). *)
   obs_prefix : string;  (** Registry namespace:
       [<prefix>.shard<N>.<counter>]. *)
+  ingress_validation : bool;  (** Stage-0 {!Ingress.validate} before
+      demux (default true; false keeps only the legacy length checks —
+      the clean-path A/B switch for the <3% overhead gate). *)
+  max_ahead_window : int;  (** Largest accepted distance of any index
+      (fragment or GONE) above a session's frontier; beyond it the
+      datagram is dropped ([drop.window]). Bounds the ahead table and the
+      repair scan against forged indices and hostile CLOSE totals. *)
+  police_buckets : int;  (** Token buckets per shard per {!Police} table
+      (fixed size, pre-allocated — never grows). *)
+  admit_rate : float;  (** Session-creation tokens/second per peer bucket. *)
+  admit_burst : float;
+  ctl_rate : float;  (** Control-datagram tokens/second per peer bucket. *)
+  ctl_burst : float;
+  shed_hi : float;  (** Occupancy fraction proposing Shedding. *)
+  brown_hi : float;  (** Occupancy fraction proposing Brownout. *)
+  load_lo : float;  (** Occupancy fraction proposing Normal again. *)
+  load_ticks : int;  (** Consecutive harvest confirmations before the
+      load state moves one level. *)
 }
 
 val default_config : config
+
+(** {1 Overload control} *)
+
+type load_state = Normal | Shedding | Brownout
+
+val load_state_index : load_state -> int
+(** 0, 1, 2 — the [serve.load_state] gauge value. *)
+
+val load_state_name : load_state -> string
 
 type t
 
@@ -66,6 +103,7 @@ val create :
   ?pool:Par.Pool.t ->
   ?registry:Obs.Registry.t ->
   ?on_adu:(key -> Adu.t -> unit) ->
+  ?on_complete:(key -> delivered:int -> gone:int -> unit) ->
   ?config:config ->
   unit ->
   t
@@ -74,9 +112,17 @@ val create :
     the stage-2 worker domains — absent (or size 1), shard tasks run
     inline on the caller. [?on_adu] fires per delivered ADU {e on the
     owning shard's task}, payload borrowed (valid only during the call);
-    it must be domain-safe. [?registry] defaults to the process-wide
-    one; tests pass a fresh registry so re-created engines do not share
-    find-or-create counters. *)
+    it must be domain-safe. [?on_complete] fires once per session, on
+    the owning shard's task, the moment it completes (frontier reaches
+    the CLOSE total) with its delivered/gone split — the hook hostile
+    drivers use to account {e honest} sessions exactly while byzantine
+    traffic pollutes the engine totals; it must be domain-safe.
+    [?registry] defaults to the process-wide one; tests pass a fresh
+    registry so re-created engines do not share find-or-create counters.
+    Also registers engine-level pulls: [<prefix>.load_state] and
+    [<prefix>.drop.<reason>] (sum over shards). *)
+
+val load_state : t -> load_state
 
 val ingest : t -> src:int -> src_port:int -> Bytebuf.t -> unit
 (** Stage 0: route by {!Demux.shard_of} (reading the stream id pre-seal),
@@ -105,23 +151,32 @@ val stop : t -> unit
     programmatic sums. *)
 
 type snapshot = {
-  datagrams : int;  (** Staged datagrams processed. *)
+  arrivals : int;  (** Datagrams presented to {!ingest} for this shard. *)
+  accepted : int;  (** Dispatched without a drop (includes dup no-ops). *)
+  datagrams : int;  (** Staged datagrams processed on the shard. *)
   delivered : int;  (** ADUs through stage 2. *)
   delivered_bytes : int;
   gone : int;  (** Sender-declared unrecoverable. *)
   gone_local : int;  (** Declared gone here: NACK budget exhausted. *)
   dups : int;
-  corrupt : int;  (** Failed the trailer, ADU CRC, or parse. *)
   admitted : int;
   evicted : int;  (** Capacity evictions. *)
   harvested : int;  (** Idle / lingering-DONE evictions. *)
-  rx_dropped : int;  (** Staging backpressure (or oversized/short). *)
   ctl_sent : int;
   nacks : int;
   dones : int;
   fallback_allocs : int;  (** Pool-miss allocations (should be 0). *)
-  fec_dropped : int;  (** FEC-wrapped datagrams (unsupported here). *)
+  drops : int array;  (** Per {!Ingress.reason}, by {!Ingress.reason_index}. *)
+  dropped : int;  (** Σ [drops]. Once queues drain,
+      [arrivals = accepted + dropped] per shard. *)
 }
+
+val drop_count : t -> Ingress.reason -> int
+(** Engine total for one drop reason (sum over shards). *)
+
+val malformed_drops : snapshot -> int
+(** Σ of the malformed-shape reasons ({!Ingress.is_malformed}) — the
+    number tests equate with injected-malformed counts. *)
 
 val shard_count : t -> int
 val shard_snapshot : t -> int -> snapshot
@@ -141,6 +196,13 @@ val data_pool_allocated : t -> int
     zero-steady-state-allocation gate: its delta over a steady window of
     the data phase must be 0 (the control pool legitimately warms up
     later, when DONEs and repair NACKs start flowing). *)
+
+val pool_outstanding : t -> int
+(** Buffers currently acquired across every shard pool (staging, control
+    and reassembly) — the live footprint, and the eviction-leak probe:
+    once the queues are drained it is bounded by the {e live} sessions'
+    partials, however many sessions churned through, because dropping a
+    session releases every pooled buffer it held. *)
 
 val shard_of_key : t -> peer:int -> peer_port:int -> stream:int -> int
 val locate : t -> peer:int -> peer_port:int -> stream:int -> int option

@@ -116,6 +116,162 @@ let adu_decode buf = ignore (Alf_core.Adu.decode buf)
 let frag_parse buf = ignore (Alf_core.Framing.parse_fragment buf)
 let cell_decode buf = if Bytebuf.length buf = 53 then ignore (Atmsim.Cell.decode buf)
 
+(* --- the serve engine's full shard dispatch under a byte-level
+   datagram storm ---
+
+   >= 10^6 seeded cases through ingest -> stage-0 validation -> demux ->
+   shard dispatch: random bytes, bit-flipped valid datagrams (CRC-32
+   detects every single-bit error, so each must land in a malformed
+   reason), truncations at every boundary of every corpus datagram, and
+   duplicated/reordered valid control. Invariants: nothing raises, an
+   honest session interleaved with the storm still completes exactly,
+   arrivals = accepted + drops, and the malformed-shape drop total
+   equals the injected-malformed count to the datagram (the driver pumps
+   often enough that backpressure never intercepts one). *)
+let test_serve_dispatch_storm () =
+  let module Server = Alf_serve.Server in
+  let module Ingress = Alf_serve.Ingress in
+  let open Alf_core in
+  let integrity = Some Checksum.Kind.Crc32 in
+  let engine = Netsim.Engine.create () in
+  let registry = Obs.Registry.create () in
+  let rx_buf_size = 512 in
+  let server =
+    Server.create ~sched:(Netsim.Engine.sched engine) ~registry
+      ~config:
+        {
+          Server.default_config with
+          Server.shards = 4;
+          rx_buf_size;
+          harvest_interval = 0.;
+          (* Policing has its own tests; unlimited buckets here keep the
+             wellformed corpus out of the policy counters so malformed
+             accounting stays exact. *)
+          admit_burst = 1e9;
+          ctl_burst = 1e9;
+        }
+      ()
+  in
+  let seal = Ctl.seal integrity in
+  let rng = Netsim.Rng.create ~seed:0xF0CC1AL in
+  (* Corpus: sealed valid datagrams of every kind the engine serves. *)
+  let corpus =
+    Array.of_list
+      (List.concat_map
+         (fun stream ->
+           let payload =
+             Bytebuf.init (32 + (stream * 7 mod 64)) (fun i ->
+                 Char.chr ((i + stream) land 0xff))
+           in
+           let single =
+             Framing.fragment ~mtu:400
+               (Adu.make (Adu.name ~stream ~index:0 ()) payload)
+           in
+           let multi =
+             Framing.fragment ~mtu:77
+               (Adu.make (Adu.name ~stream ~index:1 ()) payload)
+           in
+           List.map seal
+             (single @ multi
+             @ [
+                 Ctl.build_close ~stream ~total:(stream mod 5);
+                 Ctl.build_done ~stream;
+                 Ctl.build_nack ~stream ~have_below:0 [ 1; 2 ];
+                 Ctl.build_gone ~stream [ 0; 3 ];
+               ]))
+         [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+  in
+  let pick () = corpus.(Netsim.Rng.int rng ~bound:(Array.length corpus)) in
+  let malformed = ref 0 and injected = ref 0 and since_pump = ref 0 in
+  let shoot buf =
+    incr injected;
+    incr since_pump;
+    Server.ingest server ~src:5
+      ~src_port:(3100 + Netsim.Rng.int rng ~bound:4)
+      buf;
+    if !since_pump >= 256 then begin
+      since_pump := 0;
+      Server.pump server
+    end
+  in
+  (* The honest session the storm must not displace. *)
+  let honest_stream = 900 and honest_port = 3001 in
+  let honest_payload = Bytebuf.of_string (String.make 48 'h') in
+  List.iter
+    (fun index ->
+      List.iter
+        (fun f -> Server.ingest server ~src:5 ~src_port:honest_port (seal f))
+        (Framing.fragment ~mtu:77
+           (Adu.make (Adu.name ~stream:honest_stream ~index ()) honest_payload)))
+    [ 0; 1 ];
+  Server.pump server;
+  (* Truncations at every boundary of every corpus datagram. *)
+  Array.iter
+    (fun base ->
+      for l = 1 to Bytebuf.length base - 1 do
+        incr malformed;
+        shoot (Bytebuf.take (Bytebuf.copy base) l)
+      done)
+    corpus;
+  (* The seeded storm up to the case target. *)
+  let target = 1_000_000 in
+  let scratch = Bytebuf.create rx_buf_size in
+  while !injected < target do
+    match Netsim.Rng.int rng ~bound:8 with
+    | 0 | 1 ->
+        (* Random bytes, random length. *)
+        let len = 1 + Netsim.Rng.int rng ~bound:rx_buf_size in
+        let b = Bytebuf.take scratch len in
+        Netsim.Rng.fill_bytes rng b;
+        incr malformed;
+        shoot b
+    | 2 | 3 | 4 ->
+        (* One flipped bit in a valid datagram. *)
+        let b = Bytebuf.copy (pick ()) in
+        let pos = Netsim.Rng.int rng ~bound:(Bytebuf.length b) in
+        let bit = 1 lsl Netsim.Rng.int rng ~bound:8 in
+        Bytebuf.set_uint8 b pos (Bytebuf.get_uint8 b pos lxor bit);
+        incr malformed;
+        shoot b
+    | 5 ->
+        (* A random truncation. *)
+        let base = pick () in
+        let l = 1 + Netsim.Rng.int rng ~bound:(Bytebuf.length base - 1) in
+        incr malformed;
+        shoot (Bytebuf.take (Bytebuf.copy base) l)
+    | _ ->
+        (* Valid datagrams replayed out of order and duplicated. *)
+        shoot (Bytebuf.copy (pick ()))
+  done;
+  Server.pump server;
+  (* Close the honest session after the storm: still there, completes. *)
+  Server.ingest server ~src:5 ~src_port:honest_port
+    (seal (Ctl.build_close ~stream:honest_stream ~total:2));
+  Server.pump server;
+  (match
+     Server.session_view server ~peer:5 ~peer_port:honest_port
+       ~stream:honest_stream
+   with
+  | Some v ->
+      Alcotest.(check bool) "honest session completed" true v.Server.v_completed;
+      Alcotest.(check int) "honest ADUs delivered" 2 v.Server.v_delivered
+  | None -> Alcotest.fail "honest session displaced by the storm");
+  let totals = Server.totals server in
+  Alcotest.(check bool)
+    (Printf.sprintf "case target reached (%d)" !injected)
+    true
+    (!injected >= target);
+  Alcotest.(check int) "every arrival classified exactly once"
+    totals.Server.arrivals
+    (totals.Server.accepted + totals.Server.dropped);
+  Alcotest.(check int) "no backpressure intercepted the accounting" 0
+    totals.Server.drops.(Ingress.reason_index Ingress.Backpressure);
+  Alcotest.(check int) "zero dispatch errors" 0
+    totals.Server.drops.(Ingress.reason_index Ingress.Dispatch_error);
+  Alcotest.(check int) "malformed drops = injected malformed" !malformed
+    (Server.malformed_drops totals);
+  Server.stop server
+
 (* Live endpoints fed raw garbage datagrams from a hostile peer. *)
 let prop_endpoints_survive_garbage =
   QCheck.Test.make ~name:"live ALF/RPC endpoints survive garbage" ~count:200
@@ -173,6 +329,11 @@ let () =
         ] );
       ( "live-endpoints",
         [ qcheck prop_endpoints_survive_garbage ] );
+      ( "serve-dispatch",
+        [
+          Alcotest.test_case "10^6 datagrams through shard dispatch" `Slow
+            test_serve_dispatch_storm;
+        ] );
       ( "mutated-valid",
         [
           qcheck (never_crashes "mutated adu" adu_decode (arb_mutated_of valid_adu));

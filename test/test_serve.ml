@@ -8,6 +8,9 @@ open Alf_core
 module Demux = Alf_serve.Demux
 module Server = Alf_serve.Server
 module Loadgen = Alf_serve.Loadgen
+module Ingress = Alf_serve.Ingress
+module Police = Alf_serve.Police
+module Hostile = Alf_chaos.Hostile
 
 let qcheck t = QCheck_alcotest.to_alcotest t
 let integrity = Some Checksum.Kind.Crc32
@@ -103,8 +106,9 @@ let test_ingest_placement () =
     totals.Server.delivered;
   Alcotest.(check int) "every session completed (DONE queued)" sessions
     totals.Server.dones;
-  Alcotest.(check int) "nothing corrupt" 0 totals.Server.corrupt;
-  Alcotest.(check int) "nothing dropped" 0 totals.Server.rx_dropped;
+  Alcotest.(check int) "nothing dropped" 0 totals.Server.dropped;
+  Alcotest.(check int) "arrivals conserve" totals.Server.arrivals
+    (totals.Server.accepted + totals.Server.dropped);
   Alcotest.(check int) "no duplicates" 0 totals.Server.dups;
   (* Placement: the table that holds each session is the one the pure
      demux function names; the shard tables partition the session set. *)
@@ -280,6 +284,336 @@ let test_admission_eviction () =
    + totals.Server.harvested);
   Server.stop server
 
+(* --- stage-0 ingress: the total pre-demux classifier --- *)
+
+let test_ingress_verdicts () =
+  let limits =
+    {
+      Ingress.trailer = Ctl.trailer_size;
+      max_len = 512;
+      max_total_len = 4096 + Adu.header_size;
+    }
+  in
+  let seal = Ctl.seal integrity in
+  let verdict buf = Ingress.validate limits buf in
+  let reject name expect buf =
+    match verdict buf with
+    | Ingress.Reject r when r = expect -> ()
+    | Ingress.Reject r ->
+        Alcotest.failf "%s: dropped as %s, expected %s" name
+          (Ingress.reason_name r) (Ingress.reason_name expect)
+    | Ingress.Accept _ -> Alcotest.failf "%s: accepted" name
+  in
+  let accept name stream buf =
+    match verdict buf with
+    | Ingress.Accept s -> Alcotest.(check int) name stream s
+    | Ingress.Reject r ->
+        Alcotest.failf "%s: rejected as %s" name (Ingress.reason_name r)
+  in
+  let payload = Bytebuf.of_string (String.make 60 'p') in
+  let adu = Adu.make (Adu.name ~stream:9 ~index:1 ()) payload in
+  let frag = seal (List.hd (Framing.fragment ~mtu:1200 adu)) in
+  accept "valid fragment" 9 frag;
+  accept "valid close" 9 (seal (Ctl.build_close ~stream:9 ~total:2));
+  accept "valid done" 9 (seal (Ctl.build_done ~stream:9));
+  accept "valid nack" 9 (seal (Ctl.build_nack ~stream:9 ~have_below:0 [ 1 ]));
+  accept "valid gone" 9 (seal (Ctl.build_gone ~stream:9 [ 1 ]));
+  reject "empty" Ingress.Runt (Bytebuf.of_string "");
+  reject "trailer-only" Ingress.Runt (Bytebuf.of_string "\xAD\x00\x00\x00\x00");
+  reject "oversize" Ingress.Oversize (Bytebuf.create 513);
+  reject "unknown kind" Ingress.Bad_kind (Bytebuf.of_string "\x99aaaaaaa");
+  (let b = Bytebuf.copy frag in
+   Bytebuf.set_uint8 b 9 0;
+   Bytebuf.set_uint8 b 10 0;
+   (* nfrags = 0 *)
+   reject "zero nfrags" Ingress.Frag_header b);
+  (let b = Bytebuf.copy frag in
+   Bytebuf.set_uint8 b 7 0xFF;
+   Bytebuf.set_uint8 b 8 0xFF;
+   (* frag_idx >= nfrags *)
+   reject "frag index past count" Ingress.Frag_header b);
+  (let b = Bytebuf.copy frag in
+   Bytebuf.set_uint8 b 11 0xFF;
+   (* total_len > max_total_len: attacker-controlled allocation *)
+   reject "huge total_len" Ingress.Frag_header b);
+  reject "truncated fragment" Ingress.Frag_header (Bytebuf.take frag 30);
+  (let b = seal (Ctl.build_nack ~stream:9 ~have_below:0 [ 1; 2; 3 ]) in
+   reject "nack count disagrees" Ingress.Ctl_malformed
+     (Bytebuf.take b (Bytebuf.length b - 8)));
+  (let b = Bytebuf.create 40 in
+   Bytebuf.set_uint8 b 0 0xFE;
+   reject "fec" Ingress.Fec_unsupported b);
+  (* Total over arbitrary bytes: every one-byte prefix-to-length slice of
+     a valid datagram classifies without raising. *)
+  for l = 1 to Bytebuf.length frag - 1 do
+    ignore (verdict (Bytebuf.take frag l))
+  done
+
+let test_police () =
+  let p = Police.create ~buckets:8 ~rate:10. ~burst:3. () in
+  let k = 0x1234L and k2 = 0x1235L in
+  Alcotest.(check bool) "burst passes" true
+    (Police.allow p ~key:k ~now:0.
+    && Police.allow p ~key:k ~now:0.
+    && Police.allow p ~key:k ~now:0.);
+  Alcotest.(check bool) "burst exhausted" false (Police.allow p ~key:k ~now:0.);
+  Alcotest.(check bool) "other bucket untouched" true
+    (Police.allow p ~key:k2 ~now:0.);
+  Alcotest.(check bool) "refill after elapsed time" true
+    (Police.allow p ~key:k ~now:0.1);
+  Alcotest.(check bool) "refill is rate-limited" false
+    (Police.allow p ~key:k ~now:0.1);
+  Alcotest.(check bool) "backwards clock is safe" false
+    (Police.allow p ~key:k ~now:0.05);
+  Alcotest.(check bool) "negative keys map into the table" true
+    (Police.allow p ~key:(-7L) ~now:0.)
+
+(* --- hostile churn must not leak reassembly buffers: evicting a session
+   with a live partial releases its pooled buffer --- *)
+let test_eviction_releases_partials () =
+  let engine = Engine.create () in
+  let registry = Obs.Registry.create () in
+  let cap = 8 in
+  let server =
+    Server.create ~sched:(Engine.sched engine) ~registry
+      ~config:
+        {
+          Server.default_config with
+          Server.shards = 1;
+          max_sessions_per_shard = cap;
+          reasm_bufs_per_shard = 2 * cap;
+          harvest_interval = 0.;
+        }
+      ()
+  in
+  let seal = Ctl.seal integrity in
+  let payload = Bytebuf.of_string (String.make 64 'x') in
+  (* First fragment only of a 2-fragment ADU: the session parks a pooled
+     partial that only eviction (or completion) can release. *)
+  let first_frag_of stream =
+    let adu = Adu.make (Adu.name ~stream ~index:0 ()) payload in
+    match Framing.fragment ~mtu:77 adu with
+    | f0 :: _ :: _ -> seal f0
+    | _ -> Alcotest.fail "expected a 2-fragment ADU"
+  in
+  let warm = Server.pool_allocated server in
+  for round = 1 to 5 do
+    for s = 1 to cap do
+      Server.ingest server ~src:3 ~src_port:2000
+        (first_frag_of ((100 * round) + s));
+      Server.pump server
+    done
+  done;
+  Alcotest.(check int) "table capped" cap (Server.shard_sessions server 0);
+  (* 40 sessions churned through holding partials; without the release-
+     on-drop fix the evicted 32 would pin their buffers forever. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "outstanding bounded by live partials (%d)"
+       (Server.pool_outstanding server))
+    true
+    (Server.pool_outstanding server <= cap);
+  Alcotest.(check int) "pool budget never grows past the pre-warm" warm
+    (Server.pool_allocated server);
+  (* The pool still serves: a fresh multi-fragment session completes. *)
+  let stream = 7777 in
+  let adu = Adu.make (Adu.name ~stream ~index:0 ()) payload in
+  List.iter
+    (fun f -> Server.ingest server ~src:3 ~src_port:2000 (seal f))
+    (Framing.fragment ~mtu:77 adu);
+  Server.ingest server ~src:3 ~src_port:2000
+    (seal (Ctl.build_close ~stream ~total:1));
+  Server.pump server;
+  (match Server.session_view server ~peer:3 ~peer_port:2000 ~stream with
+  | Some v -> Alcotest.(check bool) "fresh session completed" true v.Server.v_completed
+  | None -> Alcotest.fail "fresh session missing");
+  let totals = Server.totals server in
+  Alcotest.(check int) "no fallback allocations" 0 totals.Server.fallback_allocs;
+  Alcotest.(check int) "arrivals conserve" totals.Server.arrivals
+    (totals.Server.accepted + totals.Server.dropped);
+  Server.stop server
+
+(* --- the load-state ladder: occupancy proposes, hysteresis confirms,
+   one level at a time, and brownout refuses new admissions --- *)
+let test_load_state_ladder () =
+  let engine = Engine.create () in
+  let registry = Obs.Registry.create () in
+  let bufs = 16 in
+  let server =
+    Server.create ~sched:(Engine.sched engine) ~registry
+      ~config:
+        {
+          Server.default_config with
+          Server.shards = 1;
+          rx_bufs_per_shard = bufs;
+          ctl_bufs_per_shard = bufs;
+          harvest_interval = 0.;
+          load_ticks = 2;
+        }
+      ()
+  in
+  let seal = Ctl.seal integrity in
+  let payload = Bytebuf.of_string (String.make 16 'y') in
+  let frag_for stream =
+    let adu = Adu.make (Adu.name ~stream ~index:0 ()) payload in
+    seal (List.hd (Framing.fragment ~mtu:1200 adu))
+  in
+  let d = frag_for 5 in
+  let flood () =
+    (* Fill the staging pool completely: occupancy 1.0 >= brown_hi. *)
+    for _ = 1 to bufs do
+      Server.ingest server ~src:4 ~src_port:2100 d
+    done;
+    Server.harvest server;
+    Server.pump server
+  in
+  let states = [ Server.Normal; Server.Shedding; Server.Brownout ] in
+  ignore states;
+  Alcotest.(check int) "starts Normal" 0
+    (Server.load_state_index (Server.load_state server));
+  flood ();
+  Alcotest.(check int) "one pressured harvest: still Normal (hysteresis)" 0
+    (Server.load_state_index (Server.load_state server));
+  flood ();
+  Alcotest.(check int) "confirmed: one level up, Shedding" 1
+    (Server.load_state_index (Server.load_state server));
+  flood ();
+  flood ();
+  Alcotest.(check int) "confirmed again: Brownout" 2
+    (Server.load_state_index (Server.load_state server));
+  (* Brownout refuses new admissions, reason-coded. *)
+  let shed_before =
+    (Server.totals server).Server.drops.(Ingress.reason_index Ingress.Shed)
+  in
+  Server.ingest server ~src:4 ~src_port:2101 (frag_for 99);
+  Server.pump server;
+  let shed_after =
+    (Server.totals server).Server.drops.(Ingress.reason_index Ingress.Shed)
+  in
+  Alcotest.(check int) "brownout sheds the new admission" (shed_before + 1)
+    shed_after;
+  Alcotest.(check bool) "new session refused" true
+    (Server.locate server ~peer:4 ~peer_port:2101 ~stream:99 = None);
+  (* Quiet harvests walk it back down, one level per confirmation. *)
+  let quiet () =
+    Server.harvest server;
+    Server.pump server
+  in
+  quiet ();
+  Alcotest.(check int) "still Brownout (hysteresis)" 2
+    (Server.load_state_index (Server.load_state server));
+  quiet ();
+  Alcotest.(check int) "back to Shedding" 1
+    (Server.load_state_index (Server.load_state server));
+  quiet ();
+  quiet ();
+  Alcotest.(check int) "back to Normal" 0
+    (Server.load_state_index (Server.load_state server));
+  Server.stop server
+
+(* --- the byzantine client against a netsim server: honest sessions
+   complete exactly, every drop is reason-coded, pool budget flat --- *)
+let test_hostile_mix () =
+  let sessions = 400 and adus = 2 in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:11L in
+  let net =
+    Topology.point_to_point ~engine ~rng ~impair:Impair.none
+      ~queue_limit:1_000_000 ~bandwidth_bps:1e9 ~delay:1e-4 ~a:1 ~b:2 ()
+  in
+  let ua = Transport.Udp.create ~engine ~node:net.Topology.a () in
+  let ub = Transport.Udp.create ~engine ~node:net.Topology.b () in
+  let registry = Obs.Registry.create () in
+  let honest = ref 0 and honest_dg = ref 0 in
+  let mu = Mutex.create () in
+  let server =
+    Server.create ~sched:(Engine.sched engine) ~io:(Dgram.of_udp ub) ~registry
+      ~on_complete:(fun k ~delivered ~gone ->
+        if k.Server.peer_port < 40_000 then begin
+          Mutex.lock mu;
+          incr honest;
+          honest_dg := !honest_dg + delivered + gone;
+          Mutex.unlock mu
+        end)
+      ~config:
+        { Server.default_config with Server.shards = 4; harvest_interval = 0.02 }
+      ()
+  in
+  let warm = Server.pool_allocated server in
+  let gen =
+    Loadgen.create ~io:(Dgram.of_udp ua)
+      {
+        Loadgen.default_config with
+        Loadgen.sessions;
+        adus_per_session = adus;
+        payload_len = 64;
+        server = 2;
+        integrity;
+      }
+  in
+  let hostile =
+    Hostile.create ~io:(Dgram.of_udp ua)
+      { Hostile.default_config with Hostile.server = 2; payload_len = 64 }
+  in
+  let rounds = ref 0 in
+  while (not (Loadgen.finished gen)) && !rounds < 400 do
+    incr rounds;
+    let sent = Loadgen.step gen ~budget:256 in
+    ignore (Hostile.step hostile ~budget:110);
+    Engine.run ~until:(Engine.now engine +. 0.005) ~max_events:1_000_000 engine;
+    Server.pump server;
+    Engine.run ~until:(Engine.now engine +. 0.005) ~max_events:1_000_000 engine;
+    if sent = 0 && not (Loadgen.finished gen) then begin
+      Server.harvest server;
+      Engine.run ~until:(Engine.now engine +. 0.05) ~max_events:1_000_000 engine;
+      Server.pump server;
+      Loadgen.nudge gen
+    end
+  done;
+  Engine.run ~until:(Engine.now engine +. 0.01) ~max_events:1_000_000 engine;
+  Server.pump server;
+  Alcotest.(check bool) "honest generator finished" true (Loadgen.finished gen);
+  Alcotest.(check int) "every honest session completed exactly once" sessions
+    !honest;
+  Alcotest.(check int) "honest delivered+gone = sent" (sessions * adus)
+    !honest_dg;
+  let totals = Server.totals server in
+  let hs = Hostile.stats hostile in
+  Alcotest.(check bool) "at least 30% byzantine" true
+    (float_of_int hs.Hostile.sent
+    >= 0.3 *. float_of_int (hs.Hostile.sent + (Loadgen.stats gen).Loadgen.sent_datagrams));
+  Alcotest.(check int) "arrivals conserve under attack" totals.Server.arrivals
+    (totals.Server.accepted + totals.Server.dropped);
+  let malformed_drops = Server.malformed_drops totals in
+  let backpressure =
+    totals.Server.drops.(Ingress.reason_index Ingress.Backpressure)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "injected malformed (%d) within [%d, %d]"
+       hs.Hostile.malformed malformed_drops (malformed_drops + backpressure))
+    true
+    (malformed_drops <= hs.Hostile.malformed
+    && hs.Hostile.malformed <= malformed_drops + backpressure);
+  Alcotest.(check int) "zero dispatch errors" 0
+    totals.Server.drops.(Ingress.reason_index Ingress.Dispatch_error);
+  Alcotest.(check int) "pool budget never grows past the pre-warm" warm
+    (Server.pool_allocated server);
+  (* Per-shard drop counters sum to the engine totals, per reason. *)
+  Array.iteri
+    (fun i r ->
+      let acc = ref 0 in
+      for sid = 0 to Server.shard_count server - 1 do
+        acc :=
+          !acc
+          + registry_counter registry
+              (Printf.sprintf "serve.shard%d.drop.%s" sid
+                 (Ingress.reason_name r))
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "drop.%s sums across shards" (Ingress.reason_name r))
+        totals.Server.drops.(i) !acc)
+    Ingress.all_reasons;
+  Server.stop server
+
 let () =
   Alcotest.run "serve"
     [
@@ -297,5 +631,22 @@ let () =
       ( "admission",
         [
           Alcotest.test_case "capacity eviction" `Quick test_admission_eviction;
+        ] );
+      ( "ingress",
+        [
+          Alcotest.test_case "stage-0 verdicts" `Quick test_ingress_verdicts;
+          Alcotest.test_case "token-bucket policing" `Quick test_police;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "eviction releases partials" `Quick
+            test_eviction_releases_partials;
+          Alcotest.test_case "load-state ladder hysteresis" `Quick
+            test_load_state_ladder;
+        ] );
+      ( "hostile",
+        [
+          Alcotest.test_case "byzantine mix over netsim" `Quick
+            test_hostile_mix;
         ] );
     ]
