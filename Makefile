@@ -5,7 +5,8 @@
 all: build
 
 # The one-stop gate: full test suite, the perf-smoke fusion invariants
-# (E2/E14/E15 ratios at a tiny quota), the real-socket loopback
+# (E2/E14/E15 ratios plus the E19 schema-compiler gate at a tiny
+# quota), the real-socket loopback
 # self-test with its zero-allocation gate (E16), the sharded
 # many-session engine self-test on both backends (E17), and the
 # adversarial-ingress self-test under byzantine load (E18).
@@ -28,17 +29,20 @@ bench-quick:
 # Tiny-quota pass over the microbenchmark experiments only: seconds, not
 # minutes, and still writes a valid BENCH_ilp.json for comparison.
 bench-smoke:
-	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel ilp-compile ilp-marshal
+	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel ilp-compile ilp-marshal schema-marshal
 
 # Quick perf gate: run the fusion experiments at a tiny quota, then fail
 # if fused does not beat serial (E2), the compiled 3-stage plan does not
 # beat serial layered execution by >= 2x (E14), or the fused marshal
 # does not beat the encode-then-checksum-then-copy composition by
-# >= 1.5x per codec (E15). Ratios compare measurements within one run,
-# so the short quota does not skew them.
+# >= 1.5x per codec (E15), or the schema-compiled marshal/lazy view
+# falls below the interpreters, allocates in steady state, or stops
+# hitting its program cache (E19). Ratios compare measurements within
+# one run, so the short quota does not skew them.
 perf-smoke:
-	ALFNET_BENCH_QUOTA=0.05 ALFNET_BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe -- ilp-fusion ilp-compile ilp-marshal
+	ALFNET_BENCH_QUOTA=0.05 ALFNET_BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe -- ilp-fusion ilp-compile ilp-marshal schema-marshal
 	dune exec bench/perfcheck.exe -- BENCH_smoke.json
+	dune exec bench/perfcheck.exe -- --schema BENCH_smoke.json
 
 # Real loopback UDP (E16): stream fused-send ADUs over actual sockets
 # via the Rt poll loop, race the same workload through the simulator,

@@ -36,6 +36,15 @@ let record_measurement ~name ~bytes ~ns ~mbps =
       :: !records
   end
 
+(* Append a custom machine-readable row alongside the throughput
+   measurements — experiments use this to carry non-throughput gate
+   fields (allocation counts, cache hit rates) into the JSON output.
+   Qualified like measurements: "<experiment>/<name>". *)
+let record_row ~name fields =
+  let qualified = if !experiment = "" then name else !experiment ^ "/" ^ name in
+  records :=
+    Obs.Json.Obj (("name", Obs.Json.Str qualified) :: fields) :: !records
+
 let recorded_count () = List.length !records
 
 let write_json path =

@@ -1156,6 +1156,108 @@ let e15_ilp_marshal () =
     (fun () -> Wire.Xdr.encode schema value);
   codec "ber" (Ilp.Marshal_ber value) (fun () -> Wire.Ber.encode value)
 
+(* ------------------------------------------------------------------ *)
+(* E19 — schema-compiled presentation: marshal without walking the     *)
+(* value tags, validate-then-view instead of eager decode.             *)
+(* ------------------------------------------------------------------ *)
+
+let e19_schema_marshal () =
+  Harness.heading
+    "E19: schema-compiled marshal and lazy validate-view vs the interpreters";
+  (* The E15 presentation-heavy shape, so the compiled/interpretive gap
+     is measured on the same regime the fused-marshal experiment used. *)
+  let value =
+    Wire.Value.List
+      (List.init 2048 (fun i ->
+           Wire.Value.Record
+             [
+               ("seq", Wire.Value.Int i);
+               ("stamp", Wire.Value.Int64 (Int64.of_int (i * 1_000_003)));
+               ("tag", Wire.Value.Utf8 "sensor");
+               ("payload", Wire.Value.int_array [| i; i + 1; i + 2; i + 3 |]);
+             ]))
+  in
+  let schema = Wire.Xdr.schema_of_value value in
+  let prog = Wire.Schema.prog_of_xdr schema in
+  let plan = [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ] in
+  let n = Ilp.marshal_size (Ilp.Marshal_prog (prog, value)) in
+  let dst = Bytebuf.create n in
+  let host m fn = Harness.measure_mbps ("xdr/" ^ m) ~bytes:n fn in
+  (* Transmit: the same fused marshal+checksum+deliver pass, interpreted
+     (tag dispatch per node) vs compiled (the schema op-program), plus
+     the cached entry point (schema-keyed lookup per call) and the raw
+     copy that bounds them all. *)
+  let interp =
+    host "interp-fused" (fun () ->
+        ignore (Ilp.run_marshal ~dst (Ilp.Marshal_xdr_interp (schema, value)) plan))
+  in
+  let compiled =
+    host "compiled-fused" (fun () ->
+        ignore (Ilp.run_marshal ~dst (Ilp.Marshal_prog (prog, value)) plan))
+  in
+  let cached =
+    host "compiled-cached-fused" (fun () ->
+        ignore (Ilp.run_marshal ~dst (Ilp.Marshal_xdr (schema, value)) plan))
+  in
+  let encoded = Wire.Xdr.encode schema value in
+  let raw =
+    host "raw-copy" (fun () ->
+        Bytebuf.blit ~src:encoded ~src_pos:0 ~dst ~dst_pos:0 ~len:n)
+  in
+  (* Receive: eager decode (materialize the Value.t) vs the validate
+     pass that backs the lazy view — both behind the same plan. *)
+  let rx_plan = [ Ilp.Checksum Checksum.Kind.Internet; Ilp.Deliver_copy ] in
+  let rx_dst = Bytebuf.create n in
+  let decode =
+    host "decode-fused" (fun () ->
+        ignore
+          (Ilp.run_unmarshal ~dst:rx_dst rx_plan (Ilp.Unmarshal_xdr schema)
+             encoded))
+  in
+  let view =
+    host "view-fused" (fun () ->
+        ignore (Ilp.run_view ~dst:rx_dst rx_plan prog encoded))
+  in
+  Harness.subheading (Printf.sprintf "xdr (%d bytes on the wire)" n);
+  Harness.row_header [ "Mb/s" ];
+  Harness.row "tx interpreted: fused marshal" [ Harness.f1 interp ];
+  Harness.row "tx compiled: schema op-program" [ Harness.f1 compiled ];
+  Harness.row "tx compiled, cache lookup per call" [ Harness.f1 cached ];
+  Harness.row "tx bound: raw copy of the encoding" [ Harness.f1 raw ];
+  Harness.row "rx eager: fused decode to Value.t" [ Harness.f1 decode ];
+  Harness.row "rx lazy: fused validate -> view" [ Harness.f1 view ];
+  Harness.note
+    "  compiled/interp %.2fx (raw copy bounds both at %.0fx compiled)\n\
+    \  view/decode %.2fx (validation is the whole per-byte cost of receive)\n"
+    (compiled /. interp) (raw /. compiled) (view /. decode);
+  (* The gate row: steady-state allocation counts on both directions and
+     the schema-program cache traffic, machine-readable for perfcheck
+     --schema. *)
+  let tx_run () =
+    ignore (Ilp.run_marshal ~dst (Ilp.Marshal_xdr (schema, value)) plan)
+  and rx_run () = ignore (Ilp.run_view ~dst:rx_dst rx_plan prog encoded) in
+  for _ = 1 to 5 do tx_run (); rx_run () done;
+  let before = Bytebuf.created_total () in
+  for _ = 1 to 50 do tx_run () done;
+  let tx_allocs = Bytebuf.created_total () - before in
+  let before = Bytebuf.created_total () in
+  for _ = 1 to 50 do rx_run () done;
+  let rx_allocs = Bytebuf.created_total () - before in
+  let stats = Wire.Schema.cache_stats () in
+  Harness.record_row ~name:"gate"
+    [
+      ("steady_allocs", Obs.Json.num_of_int tx_allocs);
+      ("rx_steady_allocs", Obs.Json.num_of_int rx_allocs);
+      ("cache_hits", Obs.Json.num_of_int stats.Wire.Schema.hits);
+      ("cache_misses", Obs.Json.num_of_int stats.Wire.Schema.misses);
+      ("cache_entries", Obs.Json.num_of_int stats.Wire.Schema.entries);
+    ];
+  Harness.note
+    "  steady state: %d tx / %d rx Bytebuf allocations over 50 rounds each\n\
+    \  schema cache: %d hits / %d misses (%d entries)\n"
+    tx_allocs rx_allocs stats.Wire.Schema.hits stats.Wire.Schema.misses
+    stats.Wire.Schema.entries
+
 let experiments =
   [
     ("table1", e1_table1);
@@ -1172,6 +1274,7 @@ let experiments =
     ("ilp-parallel", e12_ilp_parallel);
     ("ilp-compile", e14_ilp_compile);
     ("ilp-marshal", e15_ilp_marshal);
+    ("schema-marshal", e19_schema_marshal);
   ]
 
 let () =

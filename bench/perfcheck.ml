@@ -21,6 +21,13 @@
    Ratios are between measurements of the *same run*, so host speed and
    quota cancel out.
 
+   With --schema it gates the E19 rows of the same file: the
+   schema-compiled fused marshal must not fall below the interpretive
+   fused marshal (nor may the cached entry point, beyond noise), the
+   lazy validate-view receive must not fall below the eager decode, both
+   directions must be allocation-free in steady state, and the
+   schema-program cache must hit at least as often as it misses.
+
    With --udp it gates BENCH_udp.json (`alfnet udp --bench`) instead:
    the fused send path must stay zero-allocation in steady state over
    real loopback sockets (steady_allocs_per_adu = 0), hold the stream's
@@ -54,10 +61,12 @@ let () =
   let udp_mode = List.mem "--udp" args in
   let serve_mode = List.mem "--serve" args in
   let hostile_mode = List.mem "--hostile" args in
+  let schema_mode = List.mem "--schema" args in
   let path =
     match
       List.filter
-        (fun a -> a <> "--udp" && a <> "--serve" && a <> "--hostile")
+        (fun a ->
+          a <> "--udp" && a <> "--serve" && a <> "--hostile" && a <> "--schema")
         args
     with
     | p :: _ -> p
@@ -104,6 +113,64 @@ let () =
     | Some v -> v
     | None -> die "%s: row %S has no field %S" path row_name key
   in
+  if schema_mode then begin
+    (* E19: the schema compiler must pay for itself. The compiled fused
+       marshal may not fall below the interpretive fused marshal (that
+       would mean the op-program is slower than tag dispatch), the cache
+       lookup per call must stay in the noise, the lazy validate-view
+       receive may not fall below the eager decode, both directions must
+       be allocation-free in steady state, and the schema-program cache
+       must actually hit. *)
+    let failures = ref 0 in
+    let check label num den floor =
+      let r = mbps num /. mbps den in
+      let ok = r >= floor in
+      if not ok then incr failures;
+      Printf.printf "perfcheck: %-44s %6.2fx  (floor %.2fx)  %s\n" label r
+        floor
+        (if ok then "ok" else "FAIL")
+    in
+    check "schema compiled vs interpreted fused" "schema-marshal/xdr/compiled-fused"
+      "schema-marshal/xdr/interp-fused" 1.0;
+    check "schema cached-lookup vs interpreted fused"
+      "schema-marshal/xdr/compiled-cached-fused"
+      "schema-marshal/xdr/interp-fused" 0.95;
+    check "schema lazy view vs eager decode" "schema-marshal/xdr/view-fused"
+      "schema-marshal/xdr/decode-fused" 1.0;
+    let gate = "schema-marshal/gate" in
+    let num key =
+      match field gate key with
+      | Obs.Json.Num v -> v
+      | _ -> die "%s: %S field %S is not a number" path gate key
+    in
+    let tx = num "steady_allocs" and rx = num "rx_steady_allocs" in
+    if tx <> 0.0 then begin
+      incr failures;
+      Printf.printf
+        "perfcheck: compiled marshal allocated %.0f Bytebufs in steady state  FAIL\n"
+        tx
+    end;
+    if rx <> 0.0 then begin
+      incr failures;
+      Printf.printf
+        "perfcheck: lazy receive allocated %.0f Bytebufs in steady state  FAIL\n"
+        rx
+    end;
+    let hits = num "cache_hits" and misses = num "cache_misses" in
+    if hits < misses then begin
+      incr failures;
+      Printf.printf
+        "perfcheck: schema cache hit %.0f / missed %.0f — compiling more than \
+         reusing  FAIL\n"
+        hits misses
+    end;
+    if !failures > 0 then die "%d schema invariant(s) regressed in %s" !failures path;
+    Printf.printf
+      "perfcheck: schema-compiled presentation invariants hold in %s (cache \
+       %.0f hits / %.0f misses, zero steady-state allocations)\n"
+      path hits misses;
+    exit 0
+  end;
   if hostile_mode then begin
     if rows = [] then die "%s: no measurements" path;
     let str row k =

@@ -842,6 +842,15 @@ let run_metrics opts size =
   let v = Wire.Value.Record [ ("n", Wire.Value.Int size) ] in
   let enc = Ilp.run_marshal (Ilp.Marshal_ber v) [ Ilp.Deliver_copy ] in
   ignore (Ilp.run_unmarshal [ Ilp.Deliver_copy ] Ilp.Unmarshal_ber enc.Ilp.output);
+  (* And one compiled-schema round trip (twice, so the program cache
+     registers a hit as well as a miss) plus a validate-view pass, so
+     wire.schema.cache.* and ilp.view.* are live in the dump. *)
+  let xs = Wire.Xdr.schema_of_value v in
+  let xe = Ilp.run_marshal (Ilp.Marshal_xdr (xs, v)) [ Ilp.Deliver_copy ] in
+  ignore (Ilp.run_marshal (Ilp.Marshal_xdr (xs, v)) [ Ilp.Deliver_copy ]);
+  ignore
+    (Ilp.run_view [ Ilp.Deliver_copy ] (Wire.Schema.prog_of_xdr xs)
+       xe.Ilp.output);
   (* The serve engine's adversarial-ingress surface: a small sharded
      server under mixed honest and byzantine load on the default
      registry, so serve.shard*.{arrivals,drop.*}, serve.drop.* and

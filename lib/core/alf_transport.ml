@@ -543,8 +543,17 @@ let send_value s ~name ?(plan = []) source =
       Cursor.put_int_as_u32be w encoded_len;
       Cursor.put_int_as_u32be w 0 (* frag_off *);
       put_adu_header w name ~plen:n;
+      (* Compiled sizing can defer a schema/value mismatch to emit time
+         (static subtrees are never walked by [marshal_size]), so the
+         fused encode may now raise after the pool acquire — release the
+         datagram on the way out or the slot leaks. *)
       let r =
-        Ilp.run_marshal ~dst:(Bytebuf.sub dg ~pos:body_off ~len:n) source plan'
+        try
+          Ilp.run_marshal ~dst:(Bytebuf.sub dg ~pos:body_off ~len:n) source
+            plan'
+        with e ->
+          Pool.release pool full;
+          raise e
       in
       let crc_payload = crc32_of_checksums r.Ilp.checksums in
       let adu_crc =
@@ -1101,6 +1110,24 @@ let receiver_values ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
     | r -> deliver adu.Adu.name r.Ilp.value
     | exception (Wire.Ber.Decode_error _ | Wire.Xdr.Error _) ->
         Obs.Counter.incr c_failed
+  in
+  receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
+    ~deliver:deliver_adu ()
+
+let receiver_views ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
+    ?(plan = []) ~prog ~deliver () =
+  let c_invalid = Obs.Registry.counter "alf.receiver.view_invalid" in
+  let deliver_adu (adu : Adu.t) =
+    (* Transform in place over the borrowed payload, then hand out a
+       validated lazy view instead of materializing a Value.t — the
+       application decodes only the fields it touches, and only copies
+       what it wants to keep. Total on hostile payloads. *)
+    let r = Ilp.run_view ~dst:adu.Adu.payload plan prog adu.Adu.payload in
+    match r.Ilp.view with
+    | Ok (view, _) -> deliver adu.Adu.name view
+    | Error _ -> Obs.Counter.incr c_invalid
   in
   receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
     ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool

@@ -308,6 +308,34 @@ val receiver_values :
     already passed its CRC, so this means sender/receiver plan or schema
     disagreement). *)
 
+val receiver_views :
+  sched:Rt.Sched.t ->
+  udp:Transport.Udp.t ->
+  port:int ->
+  stream:int ->
+  ?nack_interval:float ->
+  ?nack_holdoff:float ->
+  ?nack_budget:int ->
+  ?adu_deadline:float ->
+  ?giveup_idle:float ->
+  ?integrity:Checksum.Kind.t option ->
+  ?seed:int64 ->
+  ?reasm_pool:Bufkit.Pool.t ->
+  ?plan:Ilp.plan ->
+  prog:Wire.Schema.prog ->
+  deliver:(Adu.name -> Wire.View.t -> unit) ->
+  unit ->
+  receiver
+(** The lazy mirror of {!receiver_values}: one pass runs [plan] plus the
+    compiled {!Wire.Schema.validate} over the borrowed payload
+    ({!Ilp.run_view} with [dst = payload] — in place, zero copies, zero
+    allocations), and [deliver] receives a {!Wire.View.t} instead of a
+    materialized value. The view borrows the payload: it is valid only
+    during the callback (copy out to retain — that is the point: the
+    application pays decode cost only for the fields it touches).
+    Invalid payloads are dropped and counted on
+    [alf.receiver.view_invalid]; arbitrary bytes never raise. *)
+
 val receiver_stage2 :
   sched:Rt.Sched.t ->
   udp:Transport.Udp.t ->

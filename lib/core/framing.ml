@@ -16,10 +16,13 @@ let frames_of_buffer ~stream ~adu_size ?(base_off = 0) buf =
   go 0 0 []
 
 let frames_of_values ~stream ~syntax values =
+  (* One sizing pass for the whole batch: [placements] already computed
+     every ADU's encoded length, so each encode reuses it instead of
+     re-walking the value ([encode] = sizeof + encode_into). *)
   let places = Wire.Syntax.placements syntax values in
   List.mapi
     (fun index (value, (dest_off, dest_len)) ->
-      let payload = Wire.Syntax.encode syntax value in
+      let payload = Wire.Syntax.encode_sized syntax value ~size:dest_len in
       let name = Adu.name ~dest_off ~dest_len ~stream ~index () in
       Adu.make name payload)
     (List.combine values places)

@@ -587,12 +587,20 @@ let run_fused ?dst plan input =
 
 type source =
   | Marshal_xdr of Wire.Xdr.schema * Wire.Value.t
+  | Marshal_prog of Wire.Schema.prog * Wire.Value.t
+  | Marshal_xdr_interp of Wire.Xdr.schema * Wire.Value.t
   | Marshal_ber of Wire.Value.t
 
 type sink = Unmarshal_xdr of Wire.Xdr.schema | Unmarshal_ber
 
+(* [Marshal_xdr] resolves through the schema-program cache, so sizing is
+   the compiled precomputation (O(1) for static schemas) rather than an
+   interpretive walk. BER headers are value-dependent (TLV lengths), so
+   BER keeps the interpretive sizer. *)
 let marshal_size = function
-  | Marshal_xdr (s, v) -> Wire.Xdr.sizeof s v
+  | Marshal_xdr (s, v) -> Wire.Schema.size (Wire.Schema.prog_of_xdr s) v
+  | Marshal_prog (p, v) -> Wire.Schema.size p v
+  | Marshal_xdr_interp (s, v) -> Wire.Xdr.sizeof s v
   | Marshal_ber v -> Wire.Ber.sizeof v
 
 type unmarshal_result = {
@@ -626,7 +634,7 @@ let presentation_lookup shape =
           r)
 
 let shape_of_source = function
-  | Marshal_xdr _ -> Sh_src_xdr
+  | Marshal_xdr _ | Marshal_prog _ | Marshal_xdr_interp _ -> Sh_src_xdr
   | Marshal_ber _ -> Sh_src_ber
 
 let shape_of_sink = function
@@ -673,7 +681,9 @@ let run_marshal_impl source plan dst_opt =
   in
   let sink = Wire.Wordsink.create ~word ~byte in
   (match source with
-  | Marshal_xdr (s, v) -> Wire.Xdr.encode_words s v sink
+  | Marshal_xdr (s, v) -> Wire.Schema.emit (Wire.Schema.prog_of_xdr s) sink v
+  | Marshal_prog (p, v) -> Wire.Schema.emit p sink v
+  | Marshal_xdr_interp (s, v) -> Wire.Xdr.encode_words s v sink
   | Marshal_ber v -> Wire.Ber.encode_words v sink);
   if Wire.Wordsink.pos sink <> n then
     invalid_arg "Ilp.run_marshal: encoder emitted fewer bytes than sizeof";
@@ -764,4 +774,38 @@ let run_unmarshal ?dst plan sink input =
   Obs.Counter.add handles_unmarshal.rh_passes 1;
   Obs.Histogram.record handles_unmarshal.rh_ns ns;
   Obs.Counter.add c_bytes_decoded r.consumed;
+  r
+
+(* Lazy receive: run the manipulation plan over the whole unit (the
+   checksum must cover all of it anyway), then VALIDATE instead of
+   decoding — the parse proper happens later, field by field, only for
+   the fields the application touches. Total on hostile input. *)
+
+type view_result = {
+  view : (Wire.View.t * int, string) Stdlib.result;
+  view_checksums : (Checksum.Kind.t * int) list;
+}
+
+let handles_view = run_handles "view"
+
+let run_view_impl plan prog input dst_opt =
+  (match presentation_lookup (shape_of_plan plan @ [ Sh_sink_xdr ]) with
+  | Error msg -> invalid_arg ("Ilp.run_view: " ^ msg)
+  | Ok _ -> ());
+  let n = Bytebuf.length input in
+  let dst = dst_for dst_opt n in
+  (* Sink plans exclude Byteswap32 ([lower] rejects it before a decoder),
+     so the general transform runs without the swap prologue. *)
+  let view_checksums = run_general ~swap_first:false plan input dst in
+  { view = Wire.View.make prog dst ~pos:0; view_checksums }
+
+let run_view ?dst plan prog input =
+  let r, ns = Obs.Clock.time_ns (fun () -> run_view_impl plan prog input dst) in
+  Obs.Counter.incr handles_view.rh_runs;
+  Obs.Counter.add handles_view.rh_bytes (2 * Bytebuf.length input);
+  Obs.Counter.add handles_view.rh_passes 1;
+  Obs.Histogram.record handles_view.rh_ns ns;
+  (match r.view with
+  | Ok (_, consumed) -> Obs.Counter.add c_bytes_decoded consumed
+  | Error _ -> ());
   r

@@ -132,13 +132,31 @@ val plan_cache_stats : unit -> cache_stats
 
 type source =
   | Marshal_xdr of Wire.Xdr.schema * Wire.Value.t
+      (** Resolved through the {!Wire.Schema} program cache: the schema
+          is compiled once, then sizing and emission run the compiled
+          (branchless, schema-dispatch-free) programs. Byte-identical to
+          the interpretive encoder. *)
+  | Marshal_prog of Wire.Schema.prog * Wire.Value.t
+      (** A pre-resolved compiled program — skips even the cache lookup.
+          The steady-state form for a sender that marshals one schema
+          repeatedly. *)
+  | Marshal_xdr_interp of Wire.Xdr.schema * Wire.Value.t
+      (** The PR 5 interpretive walk ({!Wire.Xdr.encode_words}), kept as
+          the ablation baseline the E19 bench and the compiled==interp
+          properties compare against. *)
   | Marshal_ber of Wire.Value.t
+      (** BER stays interpretive: its TLV headers are value-dependent,
+          so there is no static shape to compile. *)
 
 type sink = Unmarshal_xdr of Wire.Xdr.schema | Unmarshal_ber
 
 val marshal_size : source -> int
 (** Exact number of bytes {!run_marshal} will produce (the codec's
-    [sizeof]). Raises the codec's error on a schema mismatch. *)
+    [sizeof], or the compiled size program for the compiled sources).
+    Raises the codec's error on a schema mismatch — except inside
+    statically-sized subtrees of a compiled schema, where sizing never
+    inspects the value and the mismatch surfaces in {!run_marshal}
+    instead (see {!Wire.Schema.size}). *)
 
 val run_marshal : ?dst:Bytebuf.t -> source -> plan -> result
 (** Single-pass fused marshal. [result.output] holds the encoding as
@@ -166,3 +184,33 @@ val run_unmarshal : ?dst:Bytebuf.t -> plan -> sink -> Bytebuf.t -> unmarshal_res
     itself transforms in place, which is how a borrowed ADU view is
     decoded with zero allocation. Decode errors propagate as the
     codec's exception; checksum stages still only make one pass. *)
+
+(** {2 Lazy receive: transform + validate, decode on demand}
+
+    {!run_unmarshal} still materializes a {!Wire.Value.t} per unit.
+    {!run_view} is the lazy mirror: one pass runs the manipulation plan
+    over the whole unit (integrity must cover it all anyway) and the
+    compiled {!Wire.Schema.validate} program over the result — no value
+    is built, no bytes are copied beyond the plan's own store. The
+    returned {!Wire.View.t} then decodes only the fields the application
+    actually touches. *)
+
+type view_result = {
+  view : (Wire.View.t * int, string) Stdlib.result;
+      (** The root view over the transformed bytes plus the encoding's
+          length, or a validation error. Total: hostile bytes yield
+          [Error], never an exception. *)
+  view_checksums : (Checksum.Kind.t * int) list;
+      (** Digests over the entire input, as in {!unmarshal_result}. *)
+}
+
+val run_view : ?dst:Bytebuf.t -> plan -> Wire.Schema.prog -> Bytebuf.t -> view_result
+(** [run_view plan prog input] transforms [input] under [plan] (into
+    [?dst], defaulting to a fresh buffer; passing [input] itself
+    transforms in place — the zero-copy borrowed-ADU form) and validates
+    one [prog]-shaped value at offset 0. Trailing bytes after the value
+    are reflected in the returned length, as with {!Xdr.decode_prefix}.
+    The view {e borrows} [dst]; it must not outlive the buffer's owner.
+    Raises [Invalid_argument] only on invalid plans (same rules as
+    {!run_unmarshal}); byte content never raises. Accounted under
+    [ilp.view.*]. *)

@@ -19,6 +19,7 @@ type config = {
   nack_holdoff : float;
   nack_budget : int;
   stage2_plan : Ilp.plan;
+  stage2_schema : Wire.Xdr.schema option;
   obs_prefix : string;
   ingress_validation : bool;
   max_ahead_window : int;
@@ -50,6 +51,7 @@ let default_config =
     nack_holdoff = 0.06;
     nack_budget = 8;
     stage2_plan = [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ];
+    stage2_schema = None;
     obs_prefix = "serve";
     ingress_validation = true;
     max_ahead_window = 4096;
@@ -122,6 +124,8 @@ type counters = {
   c_nacks : Obs.Counter.t;
   c_dones : Obs.Counter.t;
   c_fallback_allocs : Obs.Counter.t;
+  c_views : Obs.Counter.t;
+  c_view_invalid : Obs.Counter.t;
   c_drops : Obs.Counter.t array;  (* indexed by Ingress.reason_index *)
 }
 
@@ -151,6 +155,8 @@ type t = {
   shards : shard array;
   limits : Ingress.limits;
   on_adu : (key -> Adu.t -> unit) option;
+  on_view : (key -> Wire.View.t -> unit) option;
+  stage2_prog : Wire.Schema.prog option;  (* compiled once at create *)
   on_complete : (key -> delivered:int -> gone:int -> unit) option;
   mutable load : load_state;
   mutable load_pending : load_state;  (* candidate next state... *)
@@ -221,6 +227,8 @@ let make_shard config registry sid =
         c_nacks = c "nacks";
         c_dones = c "dones";
         c_fallback_allocs = c "fallback_allocs";
+        c_views = c "views";
+        c_view_invalid = c "view_invalid";
         c_drops =
           Array.map
             (fun r -> c ("drop." ^ Ingress.reason_name r))
@@ -370,16 +378,38 @@ let deliver_adu t sh s adu =
   else begin
     let payload = adu.Adu.payload in
     let plen = Bytebuf.length payload in
-    if plen > 0 then
-      if plen <= Bytebuf.length sh.scratch then
-        ignore
-          (Ilp.run_fused
-             ~dst:(Bytebuf.take sh.scratch plen)
-             t.config.stage2_plan payload)
-      else begin
-        Obs.Counter.incr sh.ctr.c_fallback_allocs;
-        ignore (Ilp.run_fused t.config.stage2_plan payload)
-      end;
+    (match t.stage2_prog with
+    | Some prog ->
+        (* Lazy stage 2: same plan transform into the shard scratch, but
+           a validate pass instead of a decode — the on_view hook reads
+           fields on demand over the scratch bytes. Byzantine payloads
+           land in [view_invalid], never an exception. *)
+        let r =
+          if plen <= Bytebuf.length sh.scratch then
+            Ilp.run_view
+              ~dst:(Bytebuf.take sh.scratch plen)
+              t.config.stage2_plan prog payload
+          else begin
+            Obs.Counter.incr sh.ctr.c_fallback_allocs;
+            Ilp.run_view t.config.stage2_plan prog payload
+          end
+        in
+        (match r.Ilp.view with
+        | Ok (view, _) ->
+            Obs.Counter.incr sh.ctr.c_views;
+            (match t.on_view with Some f -> f s.key view | None -> ())
+        | Error _ -> Obs.Counter.incr sh.ctr.c_view_invalid)
+    | None ->
+        if plen > 0 then
+          if plen <= Bytebuf.length sh.scratch then
+            ignore
+              (Ilp.run_fused
+                 ~dst:(Bytebuf.take sh.scratch plen)
+                 t.config.stage2_plan payload)
+          else begin
+            Obs.Counter.incr sh.ctr.c_fallback_allocs;
+            ignore (Ilp.run_fused t.config.stage2_plan payload)
+          end);
     Hashtbl.replace s.ahead index true;
     s.s_delivered <- s.s_delivered + 1;
     Obs.Counter.incr sh.ctr.c_delivered;
@@ -801,7 +831,7 @@ let stop t =
   (match t.harvest_timer with Some tm -> Rt.Sched.cancel tm | None -> ());
   t.harvest_timer <- None
 
-let create ~sched ?io ?pool ?registry ?on_adu ?on_complete
+let create ~sched ?io ?pool ?registry ?on_adu ?on_view ?on_complete
     ?(config = default_config) () =
   if config.shards < 1 then invalid_arg "Server.create: shards";
   if config.max_sessions_per_shard < 1 then
@@ -828,6 +858,8 @@ let create ~sched ?io ?pool ?registry ?on_adu ?on_complete
       shards;
       limits;
       on_adu;
+      on_view;
+      stage2_prog = Option.map Wire.Schema.prog_of_xdr config.stage2_schema;
       on_complete;
       load = Normal;
       load_pending = Normal;
@@ -876,6 +908,8 @@ type snapshot = {
   nacks : int;
   dones : int;
   fallback_allocs : int;
+  views : int;  (* validated lazy views handed to on_view *)
+  view_invalid : int;  (* payloads failing schema validation *)
   drops : int array;  (* indexed by Ingress.reason_index *)
   dropped : int;  (* Σ drops *)
 }
@@ -899,6 +933,8 @@ let snapshot_of_counters c =
     nacks = v c.c_nacks;
     dones = v c.c_dones;
     fallback_allocs = v c.c_fallback_allocs;
+    views = v c.c_views;
+    view_invalid = v c.c_view_invalid;
     drops;
     dropped = Array.fold_left ( + ) 0 drops;
   }
@@ -920,6 +956,8 @@ let add_snapshot a b =
     nacks = a.nacks + b.nacks;
     dones = a.dones + b.dones;
     fallback_allocs = a.fallback_allocs + b.fallback_allocs;
+    views = a.views + b.views;
+    view_invalid = a.view_invalid + b.view_invalid;
     drops = Array.init Ingress.reason_count (fun i -> a.drops.(i) + b.drops.(i));
     dropped = a.dropped + b.dropped;
   }
@@ -941,6 +979,8 @@ let zero_snapshot =
     nacks = 0;
     dones = 0;
     fallback_allocs = 0;
+    views = 0;
+    view_invalid = 0;
     drops = Array.make Ingress.reason_count 0;
     dropped = 0;
   }

@@ -62,6 +62,14 @@ type config = {
       locally gone. *)
   stage2_plan : Ilp.plan;  (** Run fused over every delivered payload
       into the shard scratch (default checksum + deliver-copy). *)
+  stage2_schema : Wire.Xdr.schema option;  (** When set, stage 2 goes
+      lazy: the plan transform feeds the compiled
+      {!Wire.Schema.validate} pass ({!Ilp.run_view}) instead of a blind
+      copy, and delivered payloads surface as {!Wire.View.t} through
+      [?on_view] — decoded field by field on demand, never materialized.
+      Payloads that fail validation count as [view_invalid] (the session
+      bookkeeping still advances; a hostile payload cannot wedge the
+      stream). Default [None]. *)
   obs_prefix : string;  (** Registry namespace:
       [<prefix>.shard<N>.<counter>]. *)
   ingress_validation : bool;  (** Stage-0 {!Ingress.validate} before
@@ -103,6 +111,7 @@ val create :
   ?pool:Par.Pool.t ->
   ?registry:Obs.Registry.t ->
   ?on_adu:(key -> Adu.t -> unit) ->
+  ?on_view:(key -> Wire.View.t -> unit) ->
   ?on_complete:(key -> delivered:int -> gone:int -> unit) ->
   ?config:config ->
   unit ->
@@ -112,7 +121,11 @@ val create :
     the stage-2 worker domains — absent (or size 1), shard tasks run
     inline on the caller. [?on_adu] fires per delivered ADU {e on the
     owning shard's task}, payload borrowed (valid only during the call);
-    it must be domain-safe. [?on_complete] fires once per session, on
+    it must be domain-safe. [?on_view] fires per delivered ADU when
+    [config.stage2_schema] is set, {e on the owning shard's task}, with
+    a lazy view over the shard scratch — valid only during the call,
+    domain-safe required, decode only what you touch (that is the
+    point). [?on_complete] fires once per session, on
     the owning shard's task, the moment it completes (frontier reaches
     the CLOSE total) with its delivered/gone split — the hook hostile
     drivers use to account {e honest} sessions exactly while byzantine
@@ -166,6 +179,10 @@ type snapshot = {
   nacks : int;
   dones : int;
   fallback_allocs : int;  (** Pool-miss allocations (should be 0). *)
+  views : int;  (** Payloads validated and handed to [?on_view]
+      (lazy stage 2 only). *)
+  view_invalid : int;  (** Payloads that failed schema validation —
+      counted, dropped, never raised. *)
   drops : int array;  (** Per {!Ingress.reason}, by {!Ingress.reason_index}. *)
   dropped : int;  (** Σ [drops]. Once queues drain,
       [arrivals = accepted + dropped] per shard. *)

@@ -1,0 +1,117 @@
+(** Schema-compiled presentation programs.
+
+    The PR 5 encoders walk [(schema, value)] pairs interpretively on
+    every send — a per-field tag dispatch the architecture should pay
+    {e once per schema}, not once per value (Bebop's branchless-encoding
+    argument). This module lowers an {!Xdr.schema} into three compiled
+    programs, cached per schema:
+
+    - {!emit} — drives a {!Wordsink} with the value's encoding through
+      per-node specialized closures: no schema dispatch in the loop,
+      fixed-width fields as direct word inserts, int arrays blitted two
+      big-endian lanes per 8-byte word. Byte-identical to
+      {!Xdr.encode_words}, including error behaviour on mismatched
+      values.
+    - {!size} — the branchless length precomputation: statically-sized
+      subtrees are folded to constants at compile time, so a fully
+      static schema sizes in O(1) and a mixed struct walks only its
+      dynamic fields. (Consequently size does NOT type-check the parts
+      it never visits; a mismatch surfaces when {!emit} runs — which any
+      marshal path does.)
+    - {!validate} — a total, allocation-free one-pass structural check
+      over received bytes (LowParse-style), with runs of content-free
+      fixed-size fields fused into single bounds comparisons. Returns
+      [Ok consumed] exactly when {!Xdr.decode_prefix} would succeed and
+      consume [consumed] bytes — the guarantee {!View}'s trusting O(1)
+      accessors are built on.
+
+    Compiled programs are shared through a mutex-guarded schema-keyed
+    cache ({!prog_of_xdr}) that sits alongside the ILP plan cache:
+    schema + plan together lower to one specialized fused loop in
+    {!Ilp.run_marshal}. Cache traffic is observable as
+    [wire.schema.cache.hits]/[wire.schema.cache.misses]. *)
+
+open Bufkit
+
+(** {1 The wire-shape description} *)
+
+type t = private {
+  shape : shape;
+  static : int option;
+      (** Encoded size in bytes when it is value-independent. *)
+  content_free : bool;
+      (** No booleans and no counted lengths anywhere below: any byte
+          content of the right length is a valid encoding, so validation
+          of this subtree is a single bounds check. Content-free implies
+          statically sized. *)
+}
+
+and shape =
+  | Void
+  | Bool
+  | Int
+  | Hyper
+  | Opaque
+  | Str
+  | Array of t
+  | Struct of t array * int option array
+      (** Fields, and for each field its byte offset from the struct's
+          first byte when every earlier field is statically sized —
+          [offsets.(0)] is always [Some 0]. The O(1) field-seek table
+          used by {!View.field}. *)
+
+val of_xdr : Xdr.schema -> t
+val to_xdr : t -> Xdr.schema
+val of_value : Value.t -> t
+(** [of_xdr (Xdr.schema_of_value v)]. *)
+
+val static : t -> int option
+val content_free : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Compiled programs} *)
+
+type prog
+(** The compiled form: description + size/emit/validate programs. *)
+
+val compile : Xdr.schema -> prog
+(** Lower a schema. Prefer {!prog_of_xdr}, which caches. *)
+
+val root : prog -> t
+val xdr_schema : prog -> Xdr.schema
+
+val static_size : prog -> int option
+(** [Some n] when every value of this schema encodes to exactly [n]
+    bytes — sizing is free and sizing-time mismatch detection is
+    impossible (it moves to emit time). *)
+
+val size : prog -> Value.t -> int
+(** Encoded size of [v]. Equals {!Xdr.sizeof} on matching values; on
+    mismatched values it raises {!Xdr.Error} {e unless} the mismatch
+    lies inside a statically-sized subtree (see {!static_size}). *)
+
+val emit : prog -> Wordsink.t -> Value.t -> unit
+(** Emit the encoding. Byte-identical to {!Xdr.encode_words}; raises
+    {!Xdr.Error} on any schema/value mismatch, like the interpretive
+    encoder. Allocates nothing in steady state. *)
+
+val validate : prog -> Bytebuf.t -> pos:int -> (int, string) result
+(** [validate p buf ~pos] structurally checks one encoded value starting
+    at [pos] and returns [Ok end_pos] (trailing bytes allowed — the
+    caller decides whether they are an error). Total on arbitrary bytes:
+    never raises, never allocates beyond the result. [Ok e] iff
+    {!Xdr.decode_prefix} on the same bytes succeeds consuming
+    [e - pos]. *)
+
+(** {1 The schema-program cache} *)
+
+val prog_of_xdr : Xdr.schema -> prog
+(** Find-or-compile, mutex-guarded, shared across domains. Counts
+    [wire.schema.cache.{hits,misses}]. *)
+
+val prog_of_value : Value.t -> prog
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val cache_stats : unit -> cache_stats

@@ -36,7 +36,17 @@ val decode : t -> Bytebuf.t -> Value.t
 
 val sizeof : t -> Value.t -> int
 (** Exact encoded size, computed without encoding. This is what lets a
-    sender label ADUs with receiver-meaningful locations. *)
+    sender label ADUs with receiver-meaningful locations. XDR sizes run
+    the compiled {!Schema} size program (statically-sized subtrees cost
+    nothing — and, consequently, are not type-checked here; a mismatch
+    inside one surfaces at {!encode} time). *)
+
+val encode_sized : t -> Value.t -> size:int -> Bytebuf.t
+(** [encode_sized t v ~size] encodes [v] into a [size]-byte buffer,
+    where [size] is a previously computed {!sizeof}[ t v] — the batch
+    form: {!placements} already sized every ADU, so encoding each one
+    must not walk the value again just to size its buffer. Raises
+    {!Error} if the encoding does not occupy exactly [size] bytes. *)
 
 val placements : t -> Value.t list -> (int * int) list
 (** [placements t adus] is [(offset, length)] of each ADU's encoding within

@@ -1,0 +1,77 @@
+(** Lazy zero-copy decoding over a borrowed payload.
+
+    {!make} runs the compiled {!Schema.validate} pass once; the returned
+    view is just (buffer, offset, schema node) — no [Value.t] is built,
+    no bytes are copied. Accessors then decode {e on demand}: scalars are
+    read straight from the backing bytes, {!octets_view} aliases the
+    payload, {!field} on a static-prefix struct and {!elem} on a
+    static-element array are O(1) seeks, and only {!to_value} pays the
+    full materialization the interpretive decoder always paid.
+
+    Views {e borrow} their buffer. On the receive path the buffer is an
+    ADU payload owned by a pool: a view must not outlive the delivery
+    callback it was handed to (copy out — e.g. {!to_value} or
+    [Bytebuf.copy (octets_view v)] — to retain data).
+
+    Accessors trust validation: they never bounds-fail on a view built
+    by {!make}, and calling a wrong-shape accessor (e.g. {!get_int} on a
+    string node) raises [Invalid_argument] — a programming error, not a
+    wire condition. Wire conditions are all caught at {!make} time,
+    which is total on arbitrary bytes. *)
+
+open Bufkit
+
+type t
+
+val make : Schema.prog -> Bytebuf.t -> pos:int -> ((t * int), string) result
+(** [make prog buf ~pos] validates one encoded value at [pos] and
+    returns the root view plus the end position (trailing bytes are the
+    caller's concern, as with {!Xdr.decode_prefix}). Total: arbitrary
+    bytes yield [Error], never an exception. The view aliases [buf]. *)
+
+val schema : t -> Schema.t
+val offset : t -> int
+(** Start of this node's encoding within the underlying buffer. *)
+
+val buffer : t -> Bytebuf.t
+(** The underlying (borrowed) buffer. *)
+
+(** {1 Scalars} *)
+
+val get_bool : t -> bool
+val get_int : t -> int
+val get_hyper : t -> int64
+
+val get_string : t -> string
+(** Copies the bytes out (a [string] must own its storage). Use
+    {!octets_view} to stay zero-copy. *)
+
+val get_octets : t -> string
+
+val octets_view : t -> Bytebuf.t
+(** The counted bytes of a string/opaque node as a sub-slice {e aliasing
+    the payload} — the zero-copy accessor. *)
+
+(** {1 Structure} *)
+
+val count : t -> int
+(** Array element count (O(1) — reads the wire count), or struct field
+    count (O(1) — schema arity). *)
+
+val elem : t -> int -> t
+(** [elem v i] is the [i]th array element. O(1) when the element type is
+    statically sized (offset is [4 + i*k]); otherwise a trusted skip-walk
+    over the preceding elements. Raises [Invalid_argument] out of
+    range. *)
+
+val field : t -> int -> t
+(** [field v i] is the [i]th struct field. O(1) while every earlier
+    field is statically sized (the compiled offset table); otherwise a
+    trusted walk from the last static offset. *)
+
+(** {1 Materialization} *)
+
+val to_value : t -> Value.t
+(** Decode the whole subtree — identical to what {!Xdr.decode} would
+    produce (hypers canonicalized, structs as [List]). The opt-in slow
+    path; everything above it avoids this. *)

@@ -51,6 +51,15 @@ val decode_reader : schema -> Cursor.reader -> Value.t
 
 val pp_schema : Format.formatter -> schema -> unit
 
+val check_int32 : int -> unit
+(** Raises {!Error} when the value cannot travel in a 32-bit lane — the
+    range discipline shared by every encoder, including the compiled
+    programs in {!Schema}. *)
+
+val padding : int -> int
+(** Bytes of zero padding after an [n]-byte counted item: [(4 - n mod 4)
+    mod 4]. *)
+
 (** {1 Integer-array fast paths} *)
 
 val encode_int_array : int array -> Bytebuf.t
