@@ -1,16 +1,16 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick bench-smoke bench-udp bench-serve bench-hostile perf-smoke udp-smoke serve-smoke hostile-smoke soak soak-smoke udp-soak examples cli clean outputs
+.PHONY: all build check test bench bench-quick bench-smoke bench-udp bench-serve bench-hostile perf-smoke secure-smoke udp-smoke serve-smoke hostile-smoke soak soak-smoke udp-soak examples cli clean outputs
 
 all: build
 
 # The one-stop gate: full test suite, the perf-smoke fusion invariants
 # (E2/E14/E15 ratios plus the E19 schema-compiler gate at a tiny
-# quota), the real-socket loopback
-# self-test with its zero-allocation gate (E16), the sharded
+# quota), the fused AEAD record-layer gate (E20), the real-socket
+# loopback self-test with its zero-allocation gate (E16), the sharded
 # many-session engine self-test on both backends (E17), and the
 # adversarial-ingress self-test under byzantine load (E18).
-check: test perf-smoke udp-smoke serve-smoke hostile-smoke
+check: test perf-smoke secure-smoke udp-smoke serve-smoke hostile-smoke
 
 build:
 	dune build @all
@@ -29,7 +29,7 @@ bench-quick:
 # Tiny-quota pass over the microbenchmark experiments only: seconds, not
 # minutes, and still writes a valid BENCH_ilp.json for comparison.
 bench-smoke:
-	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel ilp-compile ilp-marshal schema-marshal
+	ALFNET_BENCH_QUOTA=0.05 dune exec bench/main.exe -- table1 ilp-fusion fused-convert ilp-parallel ilp-compile ilp-marshal schema-marshal secure-record
 
 # Quick perf gate: run the fusion experiments at a tiny quota, then fail
 # if fused does not beat serial (E2), the compiled 3-stage plan does not
@@ -43,6 +43,15 @@ perf-smoke:
 	ALFNET_BENCH_QUOTA=0.05 ALFNET_BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe -- ilp-fusion ilp-compile ilp-marshal schema-marshal
 	dune exec bench/perfcheck.exe -- BENCH_smoke.json
 	dune exec bench/perfcheck.exe -- --schema BENCH_smoke.json
+
+# The fused AEAD record layer (E20): marshal + ChaCha20 + Poly1305 +
+# CRC-32 framing in one pass must beat the layered reference stack
+# (per-layer byte-grain walks and PDU copies) by >= 1.5x on send and
+# >= 1.3x on receive, stay within noise of the word-grain layered
+# upper bound, and allocate nothing in steady state on either side.
+secure-smoke:
+	ALFNET_BENCH_QUOTA=0.05 ALFNET_BENCH_JSON=BENCH_secure_smoke.json dune exec bench/main.exe -- secure-record
+	dune exec bench/perfcheck.exe -- --secure BENCH_secure_smoke.json
 
 # Real loopback UDP (E16): stream fused-send ADUs over actual sockets
 # via the Rt poll loop, race the same workload through the simulator,

@@ -1258,6 +1258,269 @@ let e19_schema_marshal () =
     tx_allocs rx_allocs stats.Wire.Schema.hits stats.Wire.Schema.misses
     stats.Wire.Schema.entries
 
+let e20_secure_record () =
+  Harness.heading
+    "E20: fused AEAD record layer vs the layered encrypt-then-MAC composition";
+  (* The E15/E19 presentation-heavy shape again, so the record layer is
+     measured on the same regime as the marshal experiments: the fused
+     row is marshal + ChaCha20 + Poly1305 + CRC-32 framing in ONE pass. *)
+  let value =
+    Wire.Value.List
+      (List.init 2048 (fun i ->
+           Wire.Value.Record
+             [
+               ("seq", Wire.Value.Int i);
+               ("stamp", Wire.Value.Int64 (Int64.of_int (i * 1_000_003)));
+               ("tag", Wire.Value.Utf8 "sensor");
+               ("payload", Wire.Value.int_array [| i; i + 1; i + 2; i + 3 |]);
+             ]))
+  in
+  let schema = Wire.Xdr.schema_of_value value in
+  let source = Ilp.Marshal_xdr (schema, value) in
+  let n = Ilp.marshal_size source in
+  let dst = Bytebuf.create n in
+  let rc = Secure.Record.of_int64 0xE20BE7CA57L in
+  let name = Adu.name ~dest_off:0 ~dest_len:n ~stream:7 ~index:0 () in
+  let _, p = Secure.Record.seal_params rc name in
+  (* One immutable AAD copy so every row MACs identical bytes without
+     touching the record handle's scratch inside the timed loop. *)
+  let aad = Bytebuf.create (Bytebuf.length p.Ilp.aead_aad) in
+  Bytebuf.blit ~src:p.Ilp.aead_aad ~src_pos:0 ~dst:aad ~dst_pos:0
+    ~len:(Bytebuf.length aad);
+  let p = { p with Ilp.aead_aad = aad } in
+  let host m fn = Harness.measure_mbps ("xdr/" ^ m) ~bytes:n fn in
+  let tx_plan =
+    [ Ilp.Aead_seal p; Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ]
+  in
+  let mar =
+    host "marshal-only" (fun () -> ignore (Ilp.run_marshal ~dst source []))
+  in
+  (* The serial baseline: the layered reference stack a classical suite
+     pays for the same record. Each layer owns its PDU — presentation
+     encodes into a fresh buffer, the security layer copies it and runs
+     encrypt-then-MAC byte by byte, the framing layer copies again and
+     checksums byte by byte — processing at the byte grain the era's
+     layered implementations worked at (the same grain as the E2/E14
+     interpreted ablation; satellite §5 measures the RC4 byte-chain
+     version of the same pathology). *)
+  let serial =
+    host "serial" (fun () ->
+        let enc = (Ilp.run_marshal source []).Ilp.output in
+        let ct = Bytebuf.copy enc in
+        let a =
+          Cipher.Aead.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+            ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad
+        in
+        let bytes, base, len = Bytebuf.backing ct in
+        for i = 0 to len - 1 do
+          Bytes.unsafe_set bytes (base + i)
+            (Char.unsafe_chr
+               (Cipher.Aead.seal_byte a i
+                  (Char.code (Bytes.unsafe_get bytes (base + i)))))
+        done;
+        ignore (Cipher.Aead.tag a);
+        let frame = Bytebuf.copy ct in
+        let fb, fbase, _ = Bytebuf.backing frame in
+        let st = ref Checksum.Crc32.init in
+        for i = 0 to len - 1 do
+          st :=
+            Checksum.Crc32.feed_byte !st
+              (Char.code (Bytes.unsafe_get fb (fbase + i)))
+        done;
+        ignore (Checksum.Crc32.finish !st))
+  in
+  (* The same composition hand-optimised to word grain, buffers reused:
+     the upper bound for any layered implementation — encode, an
+     encryption walk, a MAC walk (AAD ‖ pad ‖ ct ‖ pad ‖ lengths, per
+     RFC 8439), a framing-checksum walk — four word-level passes where
+     the plan compiler does one. *)
+  let serial_words =
+    host "serial-words" (fun () ->
+        ignore (Ilp.run_marshal ~dst source []);
+        let st =
+          Cipher.Chacha20.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+            ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2
+        in
+        Cipher.Chacha20.transform_at st ~pos:0 dst;
+        let k0, k1, k2, k3 = Cipher.Chacha20.poly_key st in
+        let mac = Cipher.Poly1305.create ~k0 ~k1 ~k2 ~k3 in
+        Cipher.Poly1305.feed_sub mac aad;
+        Cipher.Poly1305.pad16 mac;
+        Cipher.Poly1305.feed_sub mac dst;
+        Cipher.Poly1305.pad16 mac;
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int (Bytebuf.length aad));
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int n);
+        ignore (Cipher.Poly1305.finish mac);
+        ignore
+          (Checksum.Crc32.finish
+             (Checksum.Crc32.feed_sub Checksum.Crc32.init dst ~pos:0 ~len:n)))
+  in
+  (* The stronger baseline: encrypt+MAC already fused per walk
+     (seal_in_place), leaving encode, seal and checksum as three passes. *)
+  let seal_crc =
+    host "seal-then-checksum" (fun () ->
+        ignore (Ilp.run_marshal ~dst source []);
+        ignore
+          (Cipher.Aead.seal_in_place ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+             ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad dst);
+        ignore
+          (Checksum.Crc32.finish
+             (Checksum.Crc32.feed_sub Checksum.Crc32.init dst ~pos:0 ~len:n)))
+  in
+  let fused =
+    host "fused" (fun () -> ignore (Ilp.run_marshal ~dst source tx_plan))
+  in
+  (* Receive: the record open — MAC over the ciphertext and the decrypt —
+     fused into one in-place walk vs the two-walk MAC-then-decrypt. *)
+  let sealed = Bytebuf.create n in
+  let reseal () =
+    ignore (Ilp.run_marshal ~dst:sealed source []);
+    ignore
+      (Cipher.Aead.seal_in_place ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+         ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad sealed)
+  in
+  reseal ();
+  let ct_copy = Bytebuf.create n in
+  Bytebuf.blit ~src:sealed ~src_pos:0 ~dst:ct_copy ~dst_pos:0 ~len:n;
+  let restore () =
+    Bytebuf.blit ~src:ct_copy ~src_pos:0 ~dst:sealed ~dst_pos:0 ~len:n
+  in
+  (* Layered receiver at the byte grain, mirroring the [serial] sender:
+     the framing layer checks its CRC and strips (a pass and a copy),
+     the security layer MACs and decrypts (two more passes), each walk
+     one byte at a time. *)
+  let open_serial =
+    host "open-serial" (fun () ->
+        let bytes, base, len = Bytebuf.backing sealed in
+        let st = ref Checksum.Crc32.init in
+        for i = 0 to len - 1 do
+          st :=
+            Checksum.Crc32.feed_byte !st
+              (Char.code (Bytes.unsafe_get bytes (base + i)))
+        done;
+        ignore (Checksum.Crc32.finish !st);
+        let ct = Bytebuf.copy sealed in
+        let cb, cbase, _ = Bytebuf.backing ct in
+        let ks =
+          Cipher.Chacha20.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+            ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2
+        in
+        let k0, k1, k2, k3 = Cipher.Chacha20.poly_key ks in
+        let mac = Cipher.Poly1305.create ~k0 ~k1 ~k2 ~k3 in
+        Cipher.Poly1305.feed_sub mac aad;
+        Cipher.Poly1305.pad16 mac;
+        for i = 0 to len - 1 do
+          Cipher.Poly1305.feed_byte mac (Char.code (Bytes.unsafe_get cb (cbase + i)))
+        done;
+        Cipher.Poly1305.pad16 mac;
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int (Bytebuf.length aad));
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int n);
+        ignore (Cipher.Poly1305.finish mac);
+        for i = 0 to len - 1 do
+          Bytes.unsafe_set cb (cbase + i)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get cb (cbase + i))
+               lxor Cipher.Chacha20.byte_at ks i))
+        done)
+  in
+  (* Word-grain layered receiver, buffers reused: CRC walk, MAC walk,
+     decrypt walk — three word-level passes. *)
+  let open_words =
+    host "open-words" (fun () ->
+        ignore
+          (Checksum.Crc32.finish
+             (Checksum.Crc32.feed_sub Checksum.Crc32.init sealed ~pos:0 ~len:n));
+        let ks =
+          Cipher.Chacha20.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+            ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2
+        in
+        let k0, k1, k2, k3 = Cipher.Chacha20.poly_key ks in
+        let mac = Cipher.Poly1305.create ~k0 ~k1 ~k2 ~k3 in
+        Cipher.Poly1305.feed_sub mac aad;
+        Cipher.Poly1305.pad16 mac;
+        Cipher.Poly1305.feed_sub mac sealed;
+        Cipher.Poly1305.pad16 mac;
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int (Bytebuf.length aad));
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int n);
+        ignore (Cipher.Poly1305.finish mac);
+        Cipher.Chacha20.transform_at ks ~pos:0 sealed;
+        restore ())
+  in
+  (* Fused receiver: framing CRC, MAC and decrypt ride one word loop —
+     every wire word is loaded once. *)
+  let open_fused =
+    host "open-fused" (fun () ->
+        let a =
+          Cipher.Aead.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+            ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad
+        in
+        let bytes, base, len = Bytebuf.backing sealed in
+        let st = ref Checksum.Crc32.init in
+        let i = ref 0 in
+        while !i + 8 <= len do
+          let w = Bytes.get_int64_le bytes (base + !i) in
+          st := Checksum.Crc32.feed_word64le !st w;
+          Bytes.set_int64_le bytes (base + !i) (Cipher.Aead.open_word a !i w);
+          i := !i + 8
+        done;
+        while !i < len do
+          let b = Char.code (Bytes.unsafe_get bytes (base + !i)) in
+          st := Checksum.Crc32.feed_byte !st b;
+          Bytes.unsafe_set bytes (base + !i)
+            (Char.unsafe_chr (Cipher.Aead.open_byte a !i b));
+          incr i
+        done;
+        ignore (Checksum.Crc32.finish !st);
+        ignore (Cipher.Aead.tag a);
+        restore ())
+  in
+  Harness.subheading (Printf.sprintf "xdr (%d bytes on the wire)" n);
+  Harness.row_header [ "Mb/s" ];
+  Harness.row "fused marshal, no stages" [ Harness.f1 mar ];
+  Harness.row "serial: layered stack, byte grain" [ Harness.f1 serial ];
+  Harness.row "serial-words: 4 word-grain walks" [ Harness.f1 serial_words ];
+  Harness.row "serial-words + seal_in_place" [ Harness.f1 seal_crc ];
+  Harness.row "fused: marshal+seal+checksum+deliver" [ Harness.f1 fused ];
+  Harness.row "rx serial: byte-grain CRC;MAC;decrypt" [ Harness.f1 open_serial ];
+  Harness.row "rx words: CRC, MAC, decrypt walks" [ Harness.f1 open_words ];
+  Harness.row "rx fused: CRC+MAC+decrypt, one walk" [ Harness.f1 open_fused ];
+  Harness.note
+    "  fused/serial %.2fx (vs word-grain layered %.2fx, vs seal_in_place \
+     composition %.2fx)\n\
+    \  rx fused/serial %.2fx (vs word-grain %.2fx) | record cost vs bare \
+     marshal %.2fx\n"
+    (fused /. serial)
+    (fused /. serial_words)
+    (fused /. seal_crc)
+    (open_fused /. open_serial)
+    (open_fused /. open_words)
+    (fused /. mar);
+  (* The gate row: the fused seal and the in-place open must do no
+     steady-state Bytebuf allocation — the record layer adds zero buffer
+     traffic to the send and receive paths. *)
+  let tx_run () = ignore (Ilp.run_marshal ~dst source tx_plan) in
+  let rx_run () =
+    ignore
+      (Cipher.Aead.open_in_place_tag ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+         ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad sealed);
+    restore ()
+  in
+  for _ = 1 to 5 do tx_run (); rx_run () done;
+  let before = Bytebuf.created_total () in
+  for _ = 1 to 50 do tx_run () done;
+  let tx_allocs = Bytebuf.created_total () - before in
+  let before = Bytebuf.created_total () in
+  for _ = 1 to 50 do rx_run () done;
+  let rx_allocs = Bytebuf.created_total () - before in
+  Harness.record_row ~name:"gate"
+    [
+      ("steady_allocs", Obs.Json.num_of_int tx_allocs);
+      ("rx_steady_allocs", Obs.Json.num_of_int rx_allocs);
+    ];
+  Harness.note
+    "  steady state: %d tx / %d rx Bytebuf allocations over 50 rounds each\n"
+    tx_allocs rx_allocs
+
 let experiments =
   [
     ("table1", e1_table1);
@@ -1275,6 +1538,7 @@ let experiments =
     ("ilp-compile", e14_ilp_compile);
     ("ilp-marshal", e15_ilp_marshal);
     ("schema-marshal", e19_schema_marshal);
+    ("secure-record", e20_secure_record);
   ]
 
 let () =

@@ -28,6 +28,17 @@
    directions must be allocation-free in steady state, and the
    schema-program cache must hit at least as often as it misses.
 
+   With --secure it gates the E20 rows of the same file: the fused
+   marshal+AEAD+frame single pass must beat the serial
+   encrypt-then-MAC-then-checksum composition (the layered reference
+   stack, byte-grain per-layer walks plus per-layer PDU copies) by at
+   least 1.5x on send and 1.3x on receive, must stay within noise of
+   the word-grain layered upper bound (shared ChaCha20/Poly1305 compute
+   floors both sides, so the paper's own E15 fusion margin cannot
+   reappear here — the honest win is pass elimination plus word-grain
+   processing), and both record directions must be allocation-free in
+   steady state.
+
    With --udp it gates BENCH_udp.json (`alfnet udp --bench`) instead:
    the fused send path must stay zero-allocation in steady state over
    real loopback sockets (steady_allocs_per_adu = 0), hold the stream's
@@ -62,11 +73,13 @@ let () =
   let serve_mode = List.mem "--serve" args in
   let hostile_mode = List.mem "--hostile" args in
   let schema_mode = List.mem "--schema" args in
+  let secure_mode = List.mem "--secure" args in
   let path =
     match
       List.filter
         (fun a ->
-          a <> "--udp" && a <> "--serve" && a <> "--hostile" && a <> "--schema")
+          a <> "--udp" && a <> "--serve" && a <> "--hostile" && a <> "--schema"
+          && a <> "--secure")
         args
     with
     | p :: _ -> p
@@ -169,6 +182,57 @@ let () =
       "perfcheck: schema-compiled presentation invariants hold in %s (cache \
        %.0f hits / %.0f misses, zero steady-state allocations)\n"
       path hits misses;
+    exit 0
+  end;
+  if secure_mode then begin
+    (* E20: the fused AEAD record layer must pay for itself. The
+       marshal+seal+frame single pass vs the layered reference stack is
+       the acceptance headline; the word-grain rows guard against the
+       fused dispatch itself regressing (both sides share the
+       ChaCha20/Poly1305 compute floor, so those ratios live near 1x by
+       construction); the gate row pins the zero-allocation contract. *)
+    let failures = ref 0 in
+    let check label num den floor =
+      let r = mbps num /. mbps den in
+      let ok = r >= floor in
+      if not ok then incr failures;
+      Printf.printf "perfcheck: %-44s %6.2fx  (floor %.2fx)  %s\n" label r
+        floor
+        (if ok then "ok" else "FAIL")
+    in
+    check "secure fused vs serial layered stack" "secure-record/xdr/fused"
+      "secure-record/xdr/serial" 1.5;
+    check "secure fused vs word-grain layered" "secure-record/xdr/fused"
+      "secure-record/xdr/serial-words" 0.85;
+    check "secure rx fused vs serial layered" "secure-record/xdr/open-fused"
+      "secure-record/xdr/open-serial" 1.3;
+    check "secure rx fused vs word-grain layered"
+      "secure-record/xdr/open-fused" "secure-record/xdr/open-words" 0.8;
+    let gate = "secure-record/gate" in
+    let num key =
+      match field gate key with
+      | Obs.Json.Num v -> v
+      | _ -> die "%s: %S field %S is not a number" path gate key
+    in
+    let tx = num "steady_allocs" and rx = num "rx_steady_allocs" in
+    if tx <> 0.0 then begin
+      incr failures;
+      Printf.printf
+        "perfcheck: fused seal allocated %.0f Bytebufs in steady state  FAIL\n"
+        tx
+    end;
+    if rx <> 0.0 then begin
+      incr failures;
+      Printf.printf
+        "perfcheck: record open allocated %.0f Bytebufs in steady state  FAIL\n"
+        rx
+    end;
+    if !failures > 0 then
+      die "%d secure-record invariant(s) regressed in %s" !failures path;
+    Printf.printf
+      "perfcheck: secure-record invariants hold in %s (zero steady-state \
+       allocations on seal and open)\n"
+      path;
     exit 0
   end;
   if hostile_mode then begin

@@ -10,6 +10,7 @@
      metrics    run an instrumented workload and dump the metrics registry
      soak       sweep impairment x recovery-policy x FEC under fault plans
      udp        the same transport over real loopback UDP sockets (Rt loop)
+     secure     the fused AEAD record layer: soak selftest and fused-vs-serial bench
      serve      the sharded many-session server engine under a load generator
 
    Examples:
@@ -27,6 +28,8 @@
      alfnet udp --adus 10000
      alfnet udp --bench --out BENCH_udp.json
      alfnet udp --soak --smoke
+     alfnet secure --selftest --smoke
+     alfnet secure --bench --out BENCH_secure.json
      alfnet serve --sessions 100000 --backend both
      alfnet serve --bench --out BENCH_scale.json
      alfnet serve --hostile --backend both --sessions 4000
@@ -220,7 +223,8 @@ let run_transfer transport substrate opts size adu_size policy_name verbose
         Session.initiate ~engine ~io:io_a ~port:98 ~peer:2 ~peer_port:99
           ~offer:
             { Session.stream = 1; syntaxes = [ "raw" ];
-              rate_bps = opts.bandwidth *. 2.0; policy = policy_name }
+              rate_bps = opts.bandwidth *. 2.0; policy = policy_name;
+              ciphers = [ "chacha20" ] }
           ~on_result:(fun result ->
             match result with
             | Some _ -> start_data_phase ()
@@ -851,6 +855,20 @@ let run_metrics opts size =
   ignore
     (Ilp.run_view [ Ilp.Deliver_copy ] (Wire.Schema.prog_of_xdr xs)
        xe.Ilp.output);
+  (* One sealed round trip through the AEAD record layer, a wrong-key
+     open, and an epoch roll, so cipher.{sealed,opened,auth_fail,rekeys}
+     are live in the dump. *)
+  let rc_tx = Secure.Record.of_int64 0xC1B3EL in
+  let rc_rx = Secure.Record.of_int64 0xC1B3EL in
+  let adu = Adu.make (Adu.name ~stream:9 ~index:0 ()) (Wire.Ber.encode v) in
+  let sealed = Secure.Record.seal_adu rc_tx adu in
+  ignore (Secure.Record.open_adu rc_rx sealed);
+  ignore (Secure.Record.open_adu (Secure.Record.of_int64 0xBAD0L) sealed);
+  Secure.Record.rekey rc_tx;
+  ignore
+    (Secure.Record.open_adu rc_rx
+       (Secure.Record.seal_adu rc_tx
+          (Adu.make (Adu.name ~stream:9 ~index:1 ()) (Wire.Ber.encode v))));
   (* The serve engine's adversarial-ingress surface: a small sharded
      server under mixed honest and byzantine load on the default
      registry, so serve.shard*.{arrivals,drop.*}, serve.drop.* and
@@ -1245,6 +1263,333 @@ let udp_cmd =
           stays on 127.0.0.1.")
     Term.(ret (const run $ bench $ soak $ smoke $ adus $ seed $ out))
 
+(* --- secure: the fused AEAD record layer (E20) from the CLI --- *)
+
+(* The E15/E19 presentation-heavy shape at a CLI-friendly size — the same
+   regime bench/main.ml's E20 measures, so the --bench ratios are directly
+   comparable with the secure-record/* rows in BENCH_ilp.json. *)
+let secure_workload () =
+  let value =
+    Wire.Value.List
+      (List.init 1024 (fun i ->
+           Wire.Value.Record
+             [
+               ("seq", Wire.Value.Int i);
+               ("stamp", Wire.Value.Int64 (Int64.of_int (i * 1_000_003)));
+               ("tag", Wire.Value.Utf8 "sensor");
+               ("payload", Wire.Value.int_array [| i; i + 1; i + 2; i + 3 |]);
+             ]))
+  in
+  let schema = Wire.Xdr.schema_of_value value in
+  let source = Ilp.Marshal_xdr (schema, value) in
+  let n = Ilp.marshal_size source in
+  let rc = Secure.Record.of_int64 0x5EC0BE7CA57L in
+  let name = Adu.name ~dest_off:0 ~dest_len:n ~stream:1 ~index:0 () in
+  let _, p = Secure.Record.seal_params rc name in
+  (* One immutable AAD copy so every row MACs identical bytes without
+     touching the record handle's scratch inside the timed loops. *)
+  let aad = Bytebuf.create (Bytebuf.length p.Ilp.aead_aad) in
+  Bytebuf.blit ~src:p.Ilp.aead_aad ~src_pos:0 ~dst:aad ~dst_pos:0
+    ~len:(Bytebuf.length aad);
+  (source, n, { p with Ilp.aead_aad = aad })
+
+let secure_tx_plan p =
+  [ Ilp.Aead_seal p; Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ]
+
+(* The fused one-walk open: framing CRC, Poly1305 and the ChaCha20
+   decrypt ride one word loop over the sealed frame, in place. *)
+let secure_open_fused p dst n =
+  let a =
+    Cipher.Aead.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+      ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad:p.Ilp.aead_aad
+  in
+  let bytes, base, _ = Bytebuf.backing dst in
+  let st = ref Checksum.Crc32.init in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    let w = Bytes.get_int64_le bytes (base + !i) in
+    st := Checksum.Crc32.feed_word64le !st w;
+    Bytes.set_int64_le bytes (base + !i) (Cipher.Aead.open_word a !i w);
+    i := !i + 8
+  done;
+  while !i < n do
+    let b = Char.code (Bytes.unsafe_get bytes (base + !i)) in
+    st := Checksum.Crc32.feed_byte !st b;
+    Bytes.unsafe_set bytes (base + !i)
+      (Char.unsafe_chr (Cipher.Aead.open_byte a !i b));
+    incr i
+  done;
+  ignore (Checksum.Crc32.finish !st);
+  ignore (Cipher.Aead.tag a)
+
+(* Steady-state Bytebuf deltas for the fused seal (tx) and the fused
+   one-walk open (rx) — the acceptance gate's created_total check, run
+   directly so the CLI can vouch for it without the bench harness. *)
+let secure_alloc_gate () =
+  let source, n, p = secure_workload () in
+  let dst = Bytebuf.create n in
+  let plan = secure_tx_plan p in
+  ignore (Ilp.run_marshal ~dst source plan);
+  let a0 = Bytebuf.created_total () in
+  for _ = 1 to 50 do
+    ignore (Ilp.run_marshal ~dst source plan)
+  done;
+  let tx = Bytebuf.created_total () - a0 in
+  (* A sealed frame to re-open, restored after every round so each open
+     sees the same ciphertext. *)
+  ignore (Ilp.run_marshal ~dst source []);
+  ignore
+    (Cipher.Aead.seal_in_place ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+       ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad:p.Ilp.aead_aad dst);
+  let ct_copy = Bytebuf.create n in
+  Bytebuf.blit ~src:dst ~src_pos:0 ~dst:ct_copy ~dst_pos:0 ~len:n;
+  let open_once () =
+    secure_open_fused p dst n;
+    Bytebuf.blit ~src:ct_copy ~src_pos:0 ~dst ~dst_pos:0 ~len:n
+  in
+  open_once ();
+  let b0 = Bytebuf.created_total () in
+  for _ = 1 to 50 do
+    open_once ()
+  done;
+  let rx = Bytebuf.created_total () - b0 in
+  (tx, rx)
+
+let run_secure_selftest smoke seed =
+  let module Soak = Alf_chaos.Soak in
+  let seed = Int64.of_int seed in
+  let secure_only = List.filter (fun c -> c.Soak.secure) in
+  let sim_cases = secure_only (Soak.matrix ~smoke ~seed ()) in
+  let udp_cases = secure_only (Soak.udp_matrix ~smoke ~seed ()) in
+  Format.printf "netsim: %d secure soak case(s)@." (List.length sim_cases);
+  let sim = List.map Soak.run sim_cases in
+  List.iter (fun o -> Format.printf "%a@." Soak.pp_outcome o) sim;
+  Format.printf "udp: %d secure soak case(s)@." (List.length udp_cases);
+  let udp = List.map Soak.run_udp udp_cases in
+  List.iter (fun o -> Format.printf "%a@." Soak.pp_outcome o) udp;
+  let tx_allocs, rx_allocs = secure_alloc_gate () in
+  Format.printf
+    "steady-state Bytebuf allocs over 50 rounds: tx %d, rx %d (gate 0)@."
+    tx_allocs rx_allocs;
+  let bad = List.filter (fun o -> not (Soak.ok o)) (sim @ udp) in
+  if bad = [] && tx_allocs = 0 && rx_allocs = 0 then begin
+    Format.printf
+      "secure selftest ok: rekey under loss absorbed and tag corruption \
+       counted on both backends, zero steady-state allocations@.";
+    `Ok ()
+  end
+  else if bad <> [] then
+    `Error
+      ( false,
+        Printf.sprintf "%d secure soak case(s) violated invariants"
+          (List.length bad) )
+  else
+    `Error
+      ( false,
+        Printf.sprintf "steady-state Bytebuf allocations: tx %d rx %d (want 0)"
+          tx_allocs rx_allocs )
+
+let run_secure_bench out =
+  let source, n, p = secure_workload () in
+  let dst = Bytebuf.create n in
+  let aad = p.Ilp.aead_aad in
+  let time f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    let stop = t0 +. 0.2 in
+    while Unix.gettimeofday () < stop do
+      f ();
+      incr iters
+    done;
+    float_of_int (n * !iters) *. 8.0 /. ((Unix.gettimeofday () -. t0) *. 1e6)
+  in
+  (* The serial baseline: the layered reference stack — presentation
+     encodes into its own PDU, the security layer copies and runs
+     encrypt-then-MAC byte by byte, framing copies again and checksums
+     byte by byte (the same byte-grain composition E20's serial row and
+     the E2/E14 interpreted ablations measure). *)
+  let serial =
+    time (fun () ->
+        let enc = (Ilp.run_marshal source []).Ilp.output in
+        let ct = Bytebuf.copy enc in
+        let a =
+          Cipher.Aead.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+            ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad
+        in
+        let bytes, base, len = Bytebuf.backing ct in
+        for i = 0 to len - 1 do
+          Bytes.unsafe_set bytes (base + i)
+            (Char.unsafe_chr
+               (Cipher.Aead.seal_byte a i
+                  (Char.code (Bytes.unsafe_get bytes (base + i)))))
+        done;
+        ignore (Cipher.Aead.tag a);
+        let frame = Bytebuf.copy ct in
+        let fb, fbase, _ = Bytebuf.backing frame in
+        let st = ref Checksum.Crc32.init in
+        for i = 0 to len - 1 do
+          st :=
+            Checksum.Crc32.feed_byte !st
+              (Char.code (Bytes.unsafe_get fb (fbase + i)))
+        done;
+        ignore (Checksum.Crc32.finish !st))
+  in
+  let fused =
+    time (fun () -> ignore (Ilp.run_marshal ~dst source (secure_tx_plan p)))
+  in
+  (* Receive: seal a frame once, then race the layered byte-grain open
+     (CRC pass + copy, MAC pass, decrypt pass) against the one-walk
+     fused open. *)
+  let sealed = Bytebuf.create n in
+  ignore (Ilp.run_marshal ~dst:sealed source []);
+  ignore
+    (Cipher.Aead.seal_in_place ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+       ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2 ~aad sealed);
+  let ct_copy = Bytebuf.create n in
+  Bytebuf.blit ~src:sealed ~src_pos:0 ~dst:ct_copy ~dst_pos:0 ~len:n;
+  let open_serial =
+    time (fun () ->
+        let bytes, base, len = Bytebuf.backing sealed in
+        let st = ref Checksum.Crc32.init in
+        for i = 0 to len - 1 do
+          st :=
+            Checksum.Crc32.feed_byte !st
+              (Char.code (Bytes.unsafe_get bytes (base + i)))
+        done;
+        ignore (Checksum.Crc32.finish !st);
+        let ct = Bytebuf.copy sealed in
+        let cb, cbase, _ = Bytebuf.backing ct in
+        let ks =
+          Cipher.Chacha20.create ~key:p.Ilp.aead_key ~n0:p.Ilp.aead_n0
+            ~n1:p.Ilp.aead_n1 ~n2:p.Ilp.aead_n2
+        in
+        let k0, k1, k2, k3 = Cipher.Chacha20.poly_key ks in
+        let mac = Cipher.Poly1305.create ~k0 ~k1 ~k2 ~k3 in
+        Cipher.Poly1305.feed_sub mac aad;
+        Cipher.Poly1305.pad16 mac;
+        for i = 0 to len - 1 do
+          Cipher.Poly1305.feed_byte mac
+            (Char.code (Bytes.unsafe_get cb (cbase + i)))
+        done;
+        Cipher.Poly1305.pad16 mac;
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int (Bytebuf.length aad));
+        Cipher.Poly1305.feed_word64 mac (Int64.of_int n);
+        ignore (Cipher.Poly1305.finish mac);
+        for i = 0 to len - 1 do
+          Bytes.unsafe_set cb (cbase + i)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get cb (cbase + i))
+               lxor Cipher.Chacha20.byte_at ks i))
+        done)
+  in
+  let open_fused =
+    time (fun () ->
+        secure_open_fused p sealed n;
+        Bytebuf.blit ~src:ct_copy ~src_pos:0 ~dst:sealed ~dst_pos:0 ~len:n)
+  in
+  let tx_allocs, rx_allocs = secure_alloc_gate () in
+  let tx_ratio = fused /. serial and rx_ratio = open_fused /. open_serial in
+  Format.printf "secure bench (xdr, %d bytes on the wire)@." n;
+  Format.printf "  serial: layered stack, byte grain     %8.1f Mb/s@." serial;
+  Format.printf "  fused: marshal+seal+CRC, one pass     %8.1f Mb/s  (%.2fx)@."
+    fused tx_ratio;
+  Format.printf "  rx serial: byte-grain CRC;MAC;decrypt %8.1f Mb/s@."
+    open_serial;
+  Format.printf "  rx fused: CRC+MAC+decrypt, one walk   %8.1f Mb/s  (%.2fx)@."
+    open_fused rx_ratio;
+  Format.printf "  steady-state Bytebuf allocs: tx %d, rx %d@." tx_allocs
+    rx_allocs;
+  let ok =
+    tx_ratio >= 1.5 && rx_ratio >= 1.3 && tx_allocs = 0 && rx_allocs = 0
+  in
+  let rows =
+    Obs.Json.Arr
+      [
+        Obs.Json.Obj
+          [ ("name", Obs.Json.Str "secure/xdr/serial"); ("mbps", Obs.Json.Num serial) ];
+        Obs.Json.Obj
+          [ ("name", Obs.Json.Str "secure/xdr/fused"); ("mbps", Obs.Json.Num fused) ];
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str "secure/xdr/open-serial");
+            ("mbps", Obs.Json.Num open_serial);
+          ];
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str "secure/xdr/open-fused");
+            ("mbps", Obs.Json.Num open_fused);
+          ];
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str "secure/gate");
+            ("steady_allocs", Obs.Json.Num (float_of_int tx_allocs));
+            ("rx_steady_allocs", Obs.Json.Num (float_of_int rx_allocs));
+            ("ok", Obs.Json.Bool ok);
+          ];
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string_pretty rows);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "secure bench -> %s@." out;
+  if ok then `Ok ()
+  else
+    `Error
+      ( false,
+        Printf.sprintf
+          "secure record gate failed: tx %.2fx (floor 1.5), rx %.2fx (floor \
+           1.3), allocs tx %d rx %d (want 0)"
+          tx_ratio rx_ratio tx_allocs rx_allocs )
+
+let secure_cmd =
+  let selftest =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Run the secure soak cases on both backends plus the zero-alloc \
+             gate (the default).")
+  in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Race the fused single-pass seal/open against the layered \
+             byte-grain composition and write the rows to $(docv).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"With the selftest: the tier-1 soak subsets.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Root RNG seed for the soak cases.")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_secure.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+  in
+  let run selftest bench smoke seed out =
+    ignore selftest;
+    if bench then run_secure_bench out else run_secure_selftest smoke seed
+  in
+  Cmd.v
+    (Cmd.info "secure"
+       ~doc:
+         "Exercise the fused AEAD record layer: by default the secure soak \
+          cases (mid-stream rekey under loss, tag-targeted corruption) on \
+          both the simulator and real loopback UDP plus the zero-allocation \
+          steady-state gate; $(b,--bench) races the one-pass \
+          marshal+ChaCha20+Poly1305+CRC-32 seal (and the one-walk open) \
+          against the layered byte-grain reference stack.")
+    Term.(ret (const run $ selftest $ bench $ smoke $ seed $ out))
+
 (* --- serve: the sharded many-session engine under a load generator --- *)
 
 module Serve = Alf_serve.Server
@@ -1465,6 +1810,7 @@ type hostile_extras = {
   hx_backpressure : int;
   hx_policy_drops : int;
   hx_dispatch_errors : int;
+  hx_auth_drops : int;  (* AEAD record auth failures (secure runs) *)
   hx_drop_account_ok : bool;
   hx_conservation_ok : bool;
   hx_honest_completions : int;
@@ -1490,6 +1836,12 @@ let hostile_extras_of ~server ~acct ~sessions ~adus ~gen ~pool_warm ~load_hw
   let drop r = totals.Serve.drops.(Ingress.reason_index r) in
   let malformed_drops = Serve.malformed_drops totals in
   let backpressure = drop Ingress.Backpressure in
+  (* Auth drops are malformed-shape (the bytes were forged above the
+     CRC) but arise from the byzantine client's *wellformed* abuse — on
+     a secure run its perfectly formed keyless ADUs all fail the record
+     open. Account them separately so the bad-bytes ledger stays exact. *)
+  let auth_drops = drop Ingress.Auth in
+  let malformed_wo_auth = malformed_drops - auth_drops in
   let honest_sent = gstats.Loadgen.sent_datagrams in
   let all_sent = hs.Hostile.sent + honest_sent in
   {
@@ -1505,11 +1857,13 @@ let hostile_extras_of ~server ~acct ~sessions ~adus ~gen ~pool_warm ~load_hw
     hx_backpressure = backpressure;
     hx_policy_drops = totals.Serve.dropped - malformed_drops;
     hx_dispatch_errors = drop Ingress.Dispatch_error;
+    hx_auth_drops = auth_drops;
     hx_drop_account_ok =
-      malformed_drops <= hs.Hostile.malformed
+      malformed_wo_auth <= hs.Hostile.malformed
+      && auth_drops <= hs.Hostile.wellformed + hs.Hostile.malformed
       && ((not lossless)
          || hs.Hostile.send_failed > 0
-         || hs.Hostile.malformed <= malformed_drops + backpressure);
+         || hs.Hostile.malformed <= malformed_wo_auth + backpressure);
     hx_conservation_ok =
       totals.Serve.arrivals = totals.Serve.accepted + totals.Serve.dropped;
     hx_honest_completions = acct.ha_completions;
@@ -1541,13 +1895,15 @@ let hostile_ok (r, hx) =
 let pp_hostile_extras ppf hx =
   Format.fprintf ppf
     "  hostile: %d sent (%.0f%% of traffic, %d malformed / %d wellformed)  \
-     replies %d  malformed drops %d  backpressure %d  policy drops %d  \
-     dispatch errors %d  honest %d sessions / %d ADUs  pool growth %d  \
-     peak load state %d  accounting %b  conservation %b@\n  drops:"
+     replies %d  malformed drops %d  auth drops %d  backpressure %d  \
+     policy drops %d  dispatch errors %d  honest %d sessions / %d ADUs  \
+     pool growth %d  peak load state %d  accounting %b  conservation \
+     %b@\n  drops:"
     hx.hx_sent
     (100. *. hx.hx_ratio)
     hx.hx_malformed hx.hx_wellformed hx.hx_replies hx.hx_malformed_drops
-    hx.hx_backpressure hx.hx_policy_drops hx.hx_dispatch_errors
+    hx.hx_auth_drops hx.hx_backpressure hx.hx_policy_drops
+    hx.hx_dispatch_errors
     hx.hx_honest_completions hx.hx_honest_delivered_gone hx.hx_pool_growth
     hx.hx_max_load_state hx.hx_drop_account_ok hx.hx_conservation_ok;
   List.iter
@@ -1574,6 +1930,7 @@ let hostile_row r hx =
       ("hostile_wellformed", i hx.hx_wellformed);
       ("hostile_ratio", Obs.Json.Num hx.hx_ratio);
       ("malformed_drops", i hx.hx_malformed_drops);
+      ("auth_drops", i hx.hx_auth_drops);
       ("backpressure_drops", i hx.hx_backpressure);
       ("policy_drops", i hx.hx_policy_drops);
       ("dispatch_errors", i hx.hx_dispatch_errors);
@@ -1590,10 +1947,15 @@ let hostile_row r hx =
       ("ok", Obs.Json.Bool (hostile_ok (r, hx)));
     ]
 
-let serve_config ~shards ~rx_buf_size ~per_shard =
+let serve_secure_seed = 0x5EC0DEA15EC0DEL
+
+let serve_config ?secure ~shards ~rx_buf_size ~per_shard () =
   {
     Serve.default_config with
     Serve.shards;
+    secure =
+      (if secure = Some true then Some (Secure.Record.of_int64 serve_secure_seed)
+       else None);
     rx_buf_size;
     rx_bufs_per_shard = per_shard;
     ctl_bufs_per_shard = per_shard;
@@ -1614,8 +1976,8 @@ let hostile_config ~server ~payload =
     integrity = Serve.default_config.Serve.integrity;
   }
 
-let run_serve_netsim ?(hostile = false) ~sessions ~adus ~payload ~shards
-    ~domains () =
+let run_serve_netsim ?(hostile = false) ?(secure = false) ~sessions ~adus
+    ~payload ~shards ~domains () =
   let engine = Engine.create () in
   let sched = Netsim.Engine.sched engine in
   let rng = Rng.create ~seed:42L in
@@ -1635,7 +1997,7 @@ let run_serve_netsim ?(hostile = false) ~sessions ~adus ~payload ~shards
   let on_complete = if hostile then Some (record_honest acct) else None in
   let server =
     Serve.create ~sched ?pool ~io:(Dgram.of_udp ub) ~registry ?on_complete
-      ~config:(serve_config ~shards ~rx_buf_size ~per_shard)
+      ~config:(serve_config ~secure ~shards ~rx_buf_size ~per_shard ())
       ()
   in
   let pool_warm = Serve.pool_allocated server in
@@ -1648,6 +2010,9 @@ let run_serve_netsim ?(hostile = false) ~sessions ~adus ~payload ~shards
         payload_len = payload;
         server = 2;
         server_port = Serve.default_config.Serve.port;
+        secure =
+          (if secure then Some (Secure.Record.of_int64 serve_secure_seed)
+           else None);
       }
   in
   let hclient =
@@ -1678,8 +2043,8 @@ let run_serve_netsim ?(hostile = false) ~sessions ~adus ~payload ~shards
   (match pool with Some p -> Par.Pool.shutdown p | None -> ());
   (r, hx)
 
-let run_serve_rt ?(hostile = false) ~sessions ~adus ~payload ~shards ~domains
-    () =
+let run_serve_rt ?(hostile = false) ?(secure = false) ~sessions ~adus
+    ~payload ~shards ~domains () =
   let loop = Rt.Loop.create () in
   let sched = Rt.Loop.sched loop in
   let rx_buf_size = serve_rx_buf_size ~payload in
@@ -1697,7 +2062,7 @@ let run_serve_rt ?(hostile = false) ~sessions ~adus ~payload ~shards ~domains
   let on_complete = if hostile then Some (record_honest acct) else None in
   let server =
     Serve.create ~sched ?pool ~io ~registry ?on_complete
-      ~config:(serve_config ~shards ~rx_buf_size ~per_shard)
+      ~config:(serve_config ~secure ~shards ~rx_buf_size ~per_shard ())
       ()
   in
   let pool_warm = Serve.pool_allocated server in
@@ -1713,6 +2078,9 @@ let run_serve_rt ?(hostile = false) ~sessions ~adus ~payload ~shards ~domains
         payload_len = payload;
         server = server_addr;
         server_port = Serve.default_config.Serve.port;
+        secure =
+          (if secure then Some (Secure.Record.of_int64 serve_secure_seed)
+           else None);
       }
   in
   let hclient =
@@ -1744,12 +2112,15 @@ let run_serve_rt ?(hostile = false) ~sessions ~adus ~payload ~shards ~domains
   (match pool with Some p -> Par.Pool.shutdown p | None -> ());
   (r, hx)
 
-let run_serve_backend ?hostile backend ~sessions ~adus ~payload ~shards
-    ~domains () =
+let run_serve_backend ?hostile ?secure backend ~sessions ~adus ~payload
+    ~shards ~domains () =
   match backend with
   | "netsim" ->
-      run_serve_netsim ?hostile ~sessions ~adus ~payload ~shards ~domains ()
-  | "rt" -> run_serve_rt ?hostile ~sessions ~adus ~payload ~shards ~domains ()
+      run_serve_netsim ?hostile ?secure ~sessions ~adus ~payload ~shards
+        ~domains ()
+  | "rt" ->
+      run_serve_rt ?hostile ?secure ~sessions ~adus ~payload ~shards ~domains
+        ()
   | other -> invalid_arg ("unknown serve backend: " ^ other)
 
 (* The clean-path cost gate: stage-0 validation is a fixed header
@@ -1846,7 +2217,7 @@ let serve_row r =
       ("ok", Obs.Json.Bool (serve_ok r));
     ]
 
-let run_serve_selftest backend sessions adus payload shards domains =
+let run_serve_selftest ~secure backend sessions adus payload shards domains =
   let backends =
     match backend with "both" -> [ "netsim"; "rt" ] | b -> [ b ]
   in
@@ -1854,7 +2225,8 @@ let run_serve_selftest backend sessions adus payload shards domains =
     List.map
       (fun b ->
         let r, _ =
-          run_serve_backend b ~sessions ~adus ~payload ~shards ~domains ()
+          run_serve_backend ~secure b ~sessions ~adus ~payload ~shards
+            ~domains ()
         in
         Format.printf "%a@." pp_serve_report r;
         r)
@@ -1863,12 +2235,13 @@ let run_serve_selftest backend sessions adus payload shards domains =
   if List.for_all serve_ok reports then begin
     Format.printf
       "serve selftest: OK (every session DONE, delivered+gone = sent, zero \
-       steady-state pool allocations)@.";
+       steady-state pool allocations%s)@."
+      (if secure then ", AEAD record layer on every ADU" else "");
     `Ok ()
   end
   else `Error (false, "serve selftest failed (see report lines above)")
 
-let run_serve_hostile backend sessions adus payload shards domains =
+let run_serve_hostile ~secure backend sessions adus payload shards domains =
   let backends =
     match backend with "both" -> [ "netsim"; "rt" ] | b -> [ b ]
   in
@@ -1876,19 +2249,25 @@ let run_serve_hostile backend sessions adus payload shards domains =
     List.map
       (fun b ->
         let r, hx =
-          run_serve_backend ~hostile:true b ~sessions ~adus ~payload ~shards
-            ~domains ()
+          run_serve_backend ~hostile:true ~secure b ~sessions ~adus ~payload
+            ~shards ~domains ()
         in
         let hx = Option.get hx in
         Format.printf "%a@.%a@." pp_serve_report r pp_hostile_extras hx;
         (r, hx))
       backends
   in
-  if List.for_all hostile_ok results then begin
+  let secure_ok (_, hx) =
+    (not secure) || (hx.hx_auth_drops > 0 && hx.hx_drop_account_ok)
+  in
+  if List.for_all hostile_ok results && List.for_all secure_ok results then begin
     Format.printf
       "hostile selftest: OK (every honest session DONE with exact \
        delivered+gone accounting under >= 30%% byzantine traffic, pool \
-       budget flat, zero dispatch errors, every drop reason-coded)@.";
+       budget flat, zero dispatch errors, every drop reason-coded%s)@."
+      (if secure then
+         ", byzantine ADUs rejected at the record open as counted auth drops"
+       else "");
     `Ok ()
   end
   else `Error (false, "hostile selftest failed (see report lines above)")
@@ -1997,6 +2376,16 @@ let serve_cmd =
             "Sweep sessions x domains on the simulator plus one real-socket \
              point and write the scaling rows to $(docv).")
   in
+  let secure =
+    Arg.(
+      value & flag
+      & info [ "secure" ]
+          ~doc:
+            "Run with the ChaCha20/Poly1305 record layer on: the load \
+             generator seals every ADU and the server opens it in place \
+             before stage 2; on hostile runs, also gates that byzantine \
+             data lands in the $(b,drop.auth) ledger exactly.")
+  in
   let hostile =
     Arg.(
       value & flag
@@ -2045,7 +2434,8 @@ let serve_cmd =
       value & opt string "BENCH_scale.json"
       & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
   in
-  let run bench hostile backend sessions adus payload shards domains out =
+  let run bench secure hostile backend sessions adus payload shards domains
+      out =
     if sessions < 1 || adus < 1 || payload < 1 then
       `Error (false, "--sessions, --adus and --payload must be positive")
     else if shards < 1 || domains < 1 then
@@ -2055,8 +2445,8 @@ let serve_cmd =
       run_hostile_bench sessions adus payload out
     else if bench then run_serve_bench sessions adus payload out
     else if hostile then
-      run_serve_hostile backend sessions adus payload shards domains
-    else run_serve_selftest backend sessions adus payload shards domains
+      run_serve_hostile ~secure backend sessions adus payload shards domains
+    else run_serve_selftest ~secure backend sessions adus payload shards domains
   in
   Cmd.v
     (Cmd.info "serve"
@@ -2070,8 +2460,8 @@ let serve_cmd =
           writes sessions x domains scaling curves.")
     Term.(
       ret
-        (const run $ bench $ hostile $ backend $ sessions $ adus $ payload
-       $ shards $ domains $ out))
+        (const run $ bench $ secure $ hostile $ backend $ sessions $ adus
+       $ payload $ shards $ domains $ out))
 
 let () =
   let doc = "ALF/ILP protocol laboratory (Clark & Tennenhouse, SIGCOMM 1990)" in
@@ -2089,5 +2479,6 @@ let () =
             metrics_cmd;
             soak_cmd;
             udp_cmd;
+            secure_cmd;
             serve_cmd;
           ]))

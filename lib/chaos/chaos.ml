@@ -60,6 +60,78 @@ let corrupting_dgram ~rng ~rate (d : Alf_core.Dgram.t) =
               handler ~src ~src_port buf));
     }
 
+(* Corruption aimed *above every checksum*: flip one bit of the
+   Poly1305 tag inside an inbound sealed data fragment, then re-true the
+   ADU CRC and the datagram integrity trailer over the damaged bytes.
+   Stage 1 now vouches for the unit end to end — only the AEAD record
+   open can catch it, and it must: a counted auth drop that behaves like
+   loss (unretire + NACK repair), never a delivery. Only single-fragment
+   data datagrams are touched (the tag and the ADU CRC live in the same
+   unit there); control traffic and multi-fragment pieces pass clean. *)
+let auth_corrupting_dgram ~rng ~rate ~integrity (d : Alf_core.Dgram.t) =
+  if rate <= 0.0 then d
+  else
+    let open Bufkit in
+    let open Alf_core in
+    let trailer =
+      match integrity with Some _ -> Ctl.trailer_size | None -> 0
+    in
+    let adu_pos = Framing.fragment_header_size in
+    let flip buf =
+      let body = Bytebuf.length buf - trailer in
+      if body <= adu_pos + Adu.header_size + Secure.Record.overhead then buf
+      else
+        match Framing.parse_fragment_res (Bytebuf.take buf body) with
+        | Error _ -> buf
+        | Ok f ->
+            if f.Framing.nfrags <> 1 || Bytebuf.length f.Framing.chunk < body - adu_pos
+            then buf
+            else begin
+              let buf = Bytebuf.copy buf in
+              (* One bit, somewhere in the 16-byte tag at the very end of
+                 the sealed payload. *)
+              let pos = body - 1 - Rng.int rng ~bound:16 in
+              Bytebuf.set_uint8 buf pos
+                (Bytebuf.get_uint8 buf pos lxor (1 lsl Rng.int rng ~bound:8));
+              (* Re-true the ADU CRC (computed with its own field zeroed,
+                 see Adu.encode) ... *)
+              let plen = body - adu_pos - Adu.header_size in
+              let crc =
+                let st =
+                  Checksum.Crc32.feed_sub Checksum.Crc32.init buf ~pos:adu_pos
+                    ~len:32
+                in
+                let st = ref st in
+                for _ = 1 to 4 do
+                  st := Checksum.Crc32.feed_byte !st 0
+                done;
+                Checksum.Crc32.finish
+                  (Checksum.Crc32.feed_sub !st buf
+                     ~pos:(adu_pos + Adu.header_size)
+                     ~len:plen)
+              in
+              let p = adu_pos + 32 in
+              Bytebuf.set_uint8 buf p
+                (Int32.to_int (Int32.shift_right_logical crc 24) land 0xff);
+              Bytebuf.set_uint8 buf (p + 1)
+                (Int32.to_int (Int32.shift_right_logical crc 16) land 0xff);
+              Bytebuf.set_uint8 buf (p + 2)
+                (Int32.to_int (Int32.shift_right_logical crc 8) land 0xff);
+              Bytebuf.set_uint8 buf (p + 3) (Int32.to_int crc land 0xff);
+              (* ... and the datagram trailer over the whole unit. *)
+              ignore (Ctl.seal_in_place integrity buf ~len:body);
+              buf
+            end
+    in
+    {
+      d with
+      Alf_core.Dgram.bind =
+        (fun ~port handler ->
+          d.Alf_core.Dgram.bind ~port (fun ~src ~src_port buf ->
+              let buf = if Rng.bool rng ~p:rate then flip buf else buf in
+              handler ~src ~src_port buf));
+    }
+
 (* Wire loss for substrates that cannot drop in flight (real loopback
    UDP): a send vanishes with probability [rate] while still reporting
    success — the sender must not learn, exactly as on a real wire. *)

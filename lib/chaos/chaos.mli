@@ -64,6 +64,19 @@ val corrupting_dgram :
     catch — and what soak cases use to prove corrupted transmission
     units die at stage 1. [rate <= 0] returns the substrate unchanged. *)
 
+val auth_corrupting_dgram :
+  rng:Netsim.Rng.t ->
+  rate:float ->
+  integrity:Checksum.Kind.t option ->
+  Alf_core.Dgram.t ->
+  Alf_core.Dgram.t
+(** Above-{e every}-checksum corruption: with probability [rate], flip
+    one bit of the Poly1305 tag in an inbound single-fragment sealed
+    data unit and {e recompute} the ADU CRC and integrity trailer over
+    the damage, so stage 1 vouches for it and only the AEAD record open
+    ({!Alf_core.Secure.Record}) can reject it — the fault the record
+    layer exists to catch. *)
+
 val lossy_dgram :
   rng:Rng.t -> rate:float -> Alf_core.Dgram.t -> Alf_core.Dgram.t
 (** Wire loss at the datagram seam, for substrates with no in-flight

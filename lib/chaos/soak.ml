@@ -20,6 +20,9 @@ type case = {
   corrupt_e2e : float;
   policy : policy;
   fec : bool;
+  secure : bool;
+  rekey_at : int;
+  corrupt_tag : float;
   events : Chaos.event list;
   horizon : float;
 }
@@ -40,6 +43,7 @@ type outcome = {
   gone_sender : int;
   gone_local : int;
   corrupt_dropped : int;
+  auth_dropped : int;
   nacks_sent : int;
   retransmits : int;
   fec_activated : bool;
@@ -66,6 +70,30 @@ let make_adu case index =
        ~stream:1 ~index ())
     (Bytebuf.of_string (expected_payload case index))
 
+(* Both ends of a secure case derive the same base key from the seed;
+   each side gets its own Record (fresh epoch counter, own scratch). *)
+let record_of case =
+  if case.secure then
+    Some (Secure.Record.of_int64 (Int64.add case.seed 7L))
+  else None
+
+(* Regeneration must reproduce the original wire bytes: seal under the
+   epoch the ADU was first sent with (indices at or past [rekey_at] went
+   out after the roll), or receiver partials could mix fragments of two
+   incarnations. *)
+let recompute_encode case rc i =
+  let adu = make_adu case i in
+  let adu =
+    match rc with
+    | Some rc ->
+        let epoch =
+          if case.rekey_at >= 0 && i >= case.rekey_at then 1 else 0
+        in
+        Secure.Record.seal_adu ~epoch rc adu
+    | None -> adu
+  in
+  Adu.encode adu
+
 let killed_in_plan case =
   List.exists
     (function Chaos.Kill_sender _ -> true | _ -> false)
@@ -87,24 +115,32 @@ let run case =
   let c_nacks = Obs.Registry.counter "alf.receiver.nacks_sent" in
   let c_corrupt = Obs.Registry.counter "alf.receiver.frags_corrupt_dropped" in
   let c_gone_local = Obs.Registry.counter "alf.receiver.adus_gone_deadline" in
+  let c_auth = Obs.Registry.counter "alf.receiver.auth_dropped" in
   let base_delivered = Obs.Counter.value c_delivered in
   let base_nacks = Obs.Counter.value c_nacks in
   let base_corrupt = Obs.Counter.value c_corrupt in
   let base_gone_local = Obs.Counter.value c_gone_local in
+  let base_auth = Obs.Counter.value c_auth in
   let mismatches = ref 0 in
+  let rc_tx = record_of case and rc_rx = record_of case in
   (* The receiver's substrate is wrapped with above-checksum corruption:
      UDP filters in-flight damage itself, so this is the only way a
-     corrupted transmission unit ever reaches the ALF integrity check. *)
+     corrupted transmission unit ever reaches the ALF integrity check.
+     [auth_corrupting_dgram] goes one deadlier: it re-trues the CRCs
+     over a flipped tag bit, so only the record open can object. *)
   let io_b =
-    Chaos.corrupting_dgram
-      ~rng:(Rng.create ~seed:(Int64.add case.seed 2L))
-      ~rate:case.corrupt_e2e (Dgram.of_udp ub)
+    Chaos.auth_corrupting_dgram
+      ~rng:(Rng.create ~seed:(Int64.add case.seed 5L))
+      ~rate:case.corrupt_tag ~integrity:(Some Checksum.Kind.Crc32)
+      (Chaos.corrupting_dgram
+         ~rng:(Rng.create ~seed:(Int64.add case.seed 2L))
+         ~rate:case.corrupt_e2e (Dgram.of_udp ub))
   in
   let receiver =
     Alf_transport.receiver_io ~sched:(Netsim.Engine.sched engine) ~io:io_b ~port:7000 ~stream:1
       ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30
       ~adu_deadline:5.0 ~giveup_idle:1.0
-      ~seed:(Int64.add case.seed 1L)
+      ~seed:(Int64.add case.seed 1L) ?secure:rc_rx
       ~deliver:(fun adu ->
         let i = adu.Adu.name.Adu.index in
         if Bytebuf.to_string adu.Adu.payload <> expected_payload case i then
@@ -115,13 +151,13 @@ let run case =
     match case.policy with
     | Transport_buffer -> Recovery.Transport_buffer
     | App_recompute ->
-        Recovery.App_recompute (fun i -> Some (Adu.encode (make_adu case i)))
+        Recovery.App_recompute (fun i -> Some (recompute_encode case rc_tx i))
     | App_recompute_partial ->
         (* Odd indices cannot be recomputed: the sender must declare them
            gone — the Recovery.recall = Gone path under real impairment. *)
         Recovery.App_recompute
           (fun i ->
-            if i land 1 = 0 then Some (Adu.encode (make_adu case i)) else None)
+            if i land 1 = 0 then Some (recompute_encode case rc_tx i) else None)
     | No_recovery -> Recovery.No_recovery
   in
   let config =
@@ -134,12 +170,17 @@ let run case =
   in
   let sender =
     Alf_transport.sender ~sched:(Netsim.Engine.sched engine) ~udp:ua ~peer:2 ~peer_port:7000 ~port:7001
-      ~stream:1 ~policy ~config ()
+      ~stream:1 ~policy ?secure:rc_tx ~config ()
   in
   Chaos.schedule ~engine ~net
     ~kill_sender:(fun () -> Alf_transport.kill_sender sender)
     { Chaos.seed = case.seed; events = case.events };
   for i = 0 to case.adus - 1 do
+    (* The mid-stream rekey: ADUs before [rekey_at] are sealed (and, under
+       Transport_buffer, retransmitted) at epoch e, the rest at e+1 —
+       repairs of old units race the receiver's rolled-forward window. *)
+    if case.rekey_at = i then
+      Option.iter Secure.Record.rekey rc_tx;
     Alf_transport.send_adu sender (make_adu case i)
   done;
   Alf_transport.close sender;
@@ -172,7 +213,9 @@ let run case =
         && Obs.Counter.value c_corrupt - base_corrupt
            = r_stats.Alf_transport.frags_corrupt_dropped
         && Obs.Counter.value c_gone_local - base_gone_local
-           = r_stats.Alf_transport.adus_gone_local;
+           = r_stats.Alf_transport.adus_gone_local
+        && Obs.Counter.value c_auth - base_auth
+           = r_stats.Alf_transport.adus_auth_dropped;
       stage1_clean =
         (Alf_transport.reassembly_stats receiver).Framing.corrupt_adus = 0;
     }
@@ -184,6 +227,7 @@ let run case =
     gone_sender = r_stats.Alf_transport.adus_lost;
     gone_local = r_stats.Alf_transport.adus_gone_local;
     corrupt_dropped = r_stats.Alf_transport.frags_corrupt_dropped;
+    auth_dropped = r_stats.Alf_transport.adus_auth_dropped;
     nacks_sent = r_stats.Alf_transport.nacks_sent;
     retransmits = s_stats.Alf_transport.adus_retransmitted;
     fec_activated = Alf_transport.fec_active sender;
@@ -210,19 +254,25 @@ let run_udp case =
   let c_nacks = Obs.Registry.counter "alf.receiver.nacks_sent" in
   let c_corrupt = Obs.Registry.counter "alf.receiver.frags_corrupt_dropped" in
   let c_gone_local = Obs.Registry.counter "alf.receiver.adus_gone_deadline" in
+  let c_auth = Obs.Registry.counter "alf.receiver.auth_dropped" in
   let base_delivered = Obs.Counter.value c_delivered in
   let base_nacks = Obs.Counter.value c_nacks in
   let base_corrupt = Obs.Counter.value c_corrupt in
   let base_gone_local = Obs.Counter.value c_gone_local in
+  let base_auth = Obs.Counter.value c_auth in
   let mismatches = ref 0 in
+  let rc_tx = record_of case and rc_rx = record_of case in
   let base_io = Dgram.of_rt link in
   let io_b =
-    Chaos.corrupting_dgram
-      ~rng:(Rng.create ~seed:(Int64.add case.seed 2L))
-      ~rate:case.corrupt_e2e
-      (Chaos.lossy_dgram
-         ~rng:(Rng.create ~seed:(Int64.add case.seed 4L))
-         ~rate:case.impair_back.Impair.loss base_io)
+    Chaos.auth_corrupting_dgram
+      ~rng:(Rng.create ~seed:(Int64.add case.seed 5L))
+      ~rate:case.corrupt_tag ~integrity:(Some Checksum.Kind.Crc32)
+      (Chaos.corrupting_dgram
+         ~rng:(Rng.create ~seed:(Int64.add case.seed 2L))
+         ~rate:case.corrupt_e2e
+         (Chaos.lossy_dgram
+            ~rng:(Rng.create ~seed:(Int64.add case.seed 4L))
+            ~rate:case.impair_back.Impair.loss base_io))
   in
   let io_a =
     Chaos.lossy_dgram
@@ -233,7 +283,7 @@ let run_udp case =
     Alf_transport.receiver_io ~sched ~io:io_b ~port:7000 ~stream:1
       ~nack_interval:0.02 ~nack_holdoff:0.06 ~nack_budget:30 ~adu_deadline:5.0
       ~giveup_idle:1.0
-      ~seed:(Int64.add case.seed 1L)
+      ~seed:(Int64.add case.seed 1L) ?secure:rc_rx
       ~deliver:(fun adu ->
         let i = adu.Adu.name.Adu.index in
         if Bytebuf.to_string adu.Adu.payload <> expected_payload case i then
@@ -244,11 +294,11 @@ let run_udp case =
     match case.policy with
     | Transport_buffer -> Recovery.Transport_buffer
     | App_recompute ->
-        Recovery.App_recompute (fun i -> Some (Adu.encode (make_adu case i)))
+        Recovery.App_recompute (fun i -> Some (recompute_encode case rc_tx i))
     | App_recompute_partial ->
         Recovery.App_recompute
           (fun i ->
-            if i land 1 = 0 then Some (Adu.encode (make_adu case i)) else None)
+            if i land 1 = 0 then Some (recompute_encode case rc_tx i) else None)
     | No_recovery -> Recovery.No_recovery
   in
   let config =
@@ -262,7 +312,7 @@ let run_udp case =
   let peer = Rt.Udp_link.local_addr link ~port:7000 in
   let sender =
     Alf_transport.sender_io ~sched ~io:io_a ~peer ~peer_port:7000 ~port:7001
-      ~stream:1 ~policy ~config ()
+      ~stream:1 ~policy ?secure:rc_tx ~config ()
   in
   let killed = killed_in_plan case in
   List.iter
@@ -277,6 +327,7 @@ let run_udp case =
           ())
     case.events;
   for i = 0 to case.adus - 1 do
+    if case.rekey_at = i then Option.iter Secure.Record.rekey rc_tx;
     Alf_transport.send_adu sender (make_adu case i)
   done;
   Alf_transport.close sender;
@@ -316,7 +367,9 @@ let run_udp case =
         && Obs.Counter.value c_corrupt - base_corrupt
            = r_stats.Alf_transport.frags_corrupt_dropped
         && Obs.Counter.value c_gone_local - base_gone_local
-           = r_stats.Alf_transport.adus_gone_local;
+           = r_stats.Alf_transport.adus_gone_local
+        && Obs.Counter.value c_auth - base_auth
+           = r_stats.Alf_transport.adus_auth_dropped;
       stage1_clean =
         (Alf_transport.reassembly_stats receiver).Framing.corrupt_adus = 0;
     }
@@ -329,6 +382,7 @@ let run_udp case =
       gone_sender = r_stats.Alf_transport.adus_lost;
       gone_local = r_stats.Alf_transport.adus_gone_local;
       corrupt_dropped = r_stats.Alf_transport.frags_corrupt_dropped;
+      auth_dropped = r_stats.Alf_transport.adus_auth_dropped;
       nacks_sent = r_stats.Alf_transport.nacks_sent;
       retransmits = s_stats.Alf_transport.adus_retransmitted;
       fec_activated = Alf_transport.fec_active sender;
@@ -353,8 +407,9 @@ let impairments =
     ("hostile", hostile, hostile, 0.05);
   ]
 
-let base_case ~seed ~adus ~adu_bytes ~horizon ?(corrupt_e2e = 0.0) ~label
-    ~impair ~impair_back ~policy ~fec ~events () =
+let base_case ~seed ~adus ~adu_bytes ~horizon ?(corrupt_e2e = 0.0)
+    ?(secure = false) ?(rekey_at = -1) ?(corrupt_tag = 0.0) ~label ~impair
+    ~impair_back ~policy ~fec ~events () =
   {
     label;
     seed;
@@ -365,6 +420,9 @@ let base_case ~seed ~adus ~adu_bytes ~horizon ?(corrupt_e2e = 0.0) ~label
     corrupt_e2e;
     policy;
     fec;
+    secure;
+    rekey_at;
+    corrupt_tag;
     events;
     horizon;
   }
@@ -395,6 +453,24 @@ let matrix ?(smoke = false) ~seed () =
           [ Transport_buffer; App_recompute; No_recovery ])
       impairments
   in
+  (* The record-layer cases: a mid-stream rekey racing loss-driven
+     retransmissions (the two-epoch window absorbs both the stored
+     old-epoch repairs and the recall-time re-seals), and tag-targeted
+     corruption that every checksum vouches for — only the record open
+     may catch it, as counted auth drops repaired like loss. *)
+  let secure_cases =
+    [
+      mk ~label:"hostile/secure-buffer+rekey" ~impair:hostile
+        ~impair_back:hostile ~corrupt_e2e:0.05 ~policy:Transport_buffer
+        ~fec:false ~secure:true ~rekey_at:(adus / 2) ~events:[] ();
+      mk ~label:"hostile/secure-recompute+rekey" ~impair:hostile
+        ~impair_back:hostile ~corrupt_e2e:0.05 ~policy:App_recompute
+        ~fec:false ~secure:true ~rekey_at:(adus / 2) ~events:[] ();
+      mk ~label:"lossy/secure+tagflip" ~impair:(Impair.lossy 0.1)
+        ~impair_back:(Impair.lossy 0.1) ~policy:Transport_buffer ~fec:false
+        ~secure:true ~corrupt_tag:0.08 ~events:[] ();
+    ]
+  in
   let faults =
     [
       mk ~label:"hostile/recompute-partial" ~impair:hostile
@@ -423,7 +499,10 @@ let matrix ?(smoke = false) ~seed () =
         ();
     ]
   in
-  sweep @ if smoke then [ List.nth faults 1 ] else faults
+  sweep
+  @ (if smoke then [ List.hd secure_cases; List.nth secure_cases 2 ]
+     else secure_cases)
+  @ if smoke then [ List.nth faults 1 ] else faults
 
 let outcome_json o =
   let b v = Obs.Json.Bool v in
@@ -434,6 +513,8 @@ let outcome_json o =
       ("seed", Obs.Json.Str (Int64.to_string o.case.seed));
       ("policy", Obs.Json.Str (policy_name o.case.policy));
       ("fec", b o.case.fec);
+      ("secure", b o.case.secure);
+      ("rekey_at", i o.case.rekey_at);
       ("ok", b (ok o));
       ("quiesced", b o.inv.quiesced);
       ("accounted", b o.inv.accounted);
@@ -445,6 +526,7 @@ let outcome_json o =
       ("gone_sender", i o.gone_sender);
       ("gone_local", i o.gone_local);
       ("corrupt_dropped", i o.corrupt_dropped);
+      ("auth_dropped", i o.auth_dropped);
       ("nacks_sent", i o.nacks_sent);
       ("retransmits", i o.retransmits);
       ("fec_activated", b o.fec_activated);
@@ -492,13 +574,21 @@ let udp_matrix ?(smoke = false) ~seed () =
       mk ~label:"udp/lossy/buffer+kill" ~impair:lossy ~impair_back:lossy
         ~policy:Transport_buffer ~fec:false
         ~events:[ Chaos.Kill_sender { at = 0.05 } ] ();
+      mk ~label:"udp/secure/rekey+tagflip" ~impair:lossy ~impair_back:lossy
+        ~policy:Transport_buffer ~fec:false ~secure:true ~rekey_at:(adus / 2)
+        ~corrupt_tag:0.05 ~events:[] ();
     ]
   in
   if smoke then
     List.filter
       (fun c ->
         List.mem c.label
-          [ "udp/clean/buffer"; "udp/lossy/buffer"; "udp/lossy/buffer+kill" ])
+          [
+            "udp/clean/buffer";
+            "udp/lossy/buffer";
+            "udp/lossy/buffer+kill";
+            "udp/secure/rekey+tagflip";
+          ])
       cases
   else cases
 
@@ -506,9 +596,10 @@ let run_udp_matrix ?smoke ~seed () = List.map run_udp (udp_matrix ?smoke ~seed (
 
 let pp_outcome ppf o =
   Format.fprintf ppf
-    "%-28s %s  delivered=%d gone=%d+%d corrupt_dropped=%d nacks=%d retx=%d%s"
+    "%-28s %s  delivered=%d gone=%d+%d corrupt_dropped=%d auth_dropped=%d \
+     nacks=%d retx=%d%s"
     o.case.label
     (if ok o then "OK " else "FAIL")
-    o.delivered o.gone_sender o.gone_local o.corrupt_dropped o.nacks_sent
-    o.retransmits
+    o.delivered o.gone_sender o.gone_local o.corrupt_dropped o.auth_dropped
+    o.nacks_sent o.retransmits
     (if o.fec_activated then " fec" else "")

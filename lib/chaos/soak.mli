@@ -41,6 +41,19 @@ type case = {
           integrity trailer can catch. *)
   policy : policy;
   fec : bool;  (** Low FEC activation threshold vs disabled. *)
+  secure : bool;
+      (** Run the transfer under the AEAD record layer (both endpoints
+          derive the same {!Secure.Record} from the case seed). *)
+  rekey_at : int;
+      (** Sender epoch bump just before this index ([-1] = never): the
+          rekey-under-loss case — retransmissions of earlier ADUs carry
+          the old epoch while recomputed repairs re-seal at the new one,
+          and the receiver's two-epoch window must absorb both. *)
+  corrupt_tag : float;
+      (** {!Chaos.auth_corrupting_dgram} rate on the receiver's
+          substrate: tag-targeted corruption with every checksum
+          recomputed to vouch for it — only the AEAD open can catch it,
+          as counted auth drops repaired like loss. *)
   events : Chaos.event list;
   horizon : float;  (** Virtual-time bound; quiescence must come earlier. *)
 }
@@ -61,6 +74,9 @@ type outcome = {
   gone_sender : int;
   gone_local : int;
   corrupt_dropped : int;
+  auth_dropped : int;
+      (** ADUs rejected by the AEAD open (bad tag / unacceptable epoch)
+          — counted drops, repaired through the normal NACK path. *)
   nacks_sent : int;
   retransmits : int;
   fec_activated : bool;

@@ -10,6 +10,17 @@ type state
 
 val init : state
 val feed_byte : state -> int -> state
+
+val feed_word64le : state -> int64 -> state
+(** Advance over eight bytes at once (little-endian word order) by
+    slicing-by-8: one lookup per byte, no chained dependency — the word
+    feeder the fused ILP loop and {!feed_sub}'s fast path run on. *)
+
+val feed_block64 : state -> Bytes.t -> int -> state
+(** [feed_block64 st bytes off] advances over the 64 bytes at
+    [bytes.(off..)] — eight {!feed_word64le} steps in one call, the
+    block-grain form the fused ILP flush uses. *)
+
 val feed : state -> Bytebuf.t -> state
 val feed_sub : state -> Bytebuf.t -> pos:int -> len:int -> state
 val finish : state -> int32

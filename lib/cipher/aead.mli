@@ -1,0 +1,79 @@
+(** RFC 8439 ChaCha20-Poly1305 AEAD as fused word-at-a-time combinators.
+
+    One {!t} seals or opens exactly one record: feed the payload through
+    {!seal_word}/{!open_word} (and byte-tail variants) in position order,
+    then read the 128-bit {!tag}. Encrypt, MAC and (in the caller's loop)
+    copy/checksum all happen in the same pass over the data — the ILP
+    thesis applied to real crypto. The MAC covers
+    [AAD ‖ pad16 ‖ ct ‖ pad16 ‖ len(AAD) ‖ len(ct)]. *)
+
+open Bufkit
+
+type t
+
+val create :
+  key:Chacha20.key -> n0:int -> n1:int -> n2:int -> aad:Bytebuf.t -> t
+(** Start a record under (key, 96-bit nonce). The AAD is absorbed
+    immediately; [aad] may be reused by the caller afterwards. *)
+
+val seal_word : t -> int -> int64 -> int64
+(** [seal_word t pos w]: ciphertext word for plaintext [w] at payload
+    position [pos] (little-endian packing); the ciphertext enters the MAC. *)
+
+val open_word : t -> int -> int64 -> int64
+(** Inverse of {!seal_word}: MACs the ciphertext word, returns plaintext. *)
+
+val seal_byte : t -> int -> int -> int
+val open_byte : t -> int -> int -> int
+
+val seal_block64 : t -> pos:int -> Bytes.t -> off:int -> unit
+(** [seal_block64 t ~pos bytes ~off] seals 64 payload bytes in place at
+    [bytes.(off..)], stream position [pos] (must be 64-aligned): one
+    keystream seek, four direct MAC folds — the block-grain form of
+    {!seal_word} the fused loop's flush uses. *)
+
+val open_block64 : t -> pos:int -> Bytes.t -> off:int -> unit
+(** Inverse of {!seal_block64}: MAC the ciphertext block, then decrypt
+    it in place. *)
+
+val tag : t -> int64 * int64
+(** Close the record: pad16 the ciphertext, absorb the length block, and
+    return the Poly1305 tag as little-endian [(lo, hi)]. Call once. *)
+
+val tag_matches : lo:int64 -> hi:int64 -> int64 * int64 -> bool
+(** Branch-free 128-bit tag comparison. *)
+
+val seal_in_place :
+  key:Chacha20.key ->
+  n0:int ->
+  n1:int ->
+  n2:int ->
+  aad:Bytebuf.t ->
+  Bytebuf.t ->
+  int64 * int64
+(** Whole-buffer seal (encrypt in place, return tag): the serial baseline
+    and test oracle for the fused plan stages. *)
+
+val open_in_place_tag :
+  key:Chacha20.key ->
+  n0:int ->
+  n1:int ->
+  n2:int ->
+  aad:Bytebuf.t ->
+  Bytebuf.t ->
+  int64 * int64
+(** Whole-buffer open without the verdict: decrypt in place and return the
+    {e computed} tag for the caller to compare (oracle / layered form). *)
+
+val open_in_place :
+  key:Chacha20.key ->
+  n0:int ->
+  n1:int ->
+  n2:int ->
+  aad:Bytebuf.t ->
+  Bytebuf.t ->
+  lo:int64 ->
+  hi:int64 ->
+  bool
+(** Whole-buffer open: decrypt in place and check the tag. [false] means
+    auth failure — the buffer then holds garbage the caller must drop. *)

@@ -5,7 +5,15 @@
     constraint the paper discusses — a connection encrypted with a
     sequential stream cannot decrypt data units out of order unless the
     cipher is re-keyed at synchronisation points (per packet, or per ADU).
-    Contrast with {!Pad}, which is seekable. *)
+    Contrast with {!Pad}, which is seekable.
+
+    {b Status: §5 ablation only.} This module is kept as the
+    experimental control demonstrating the in-order chaining pathology
+    (serial degradation under {!Ilp_par} sharding, no out-of-order
+    decrypt). The default record cipher everywhere — {!Secure.Record},
+    session negotiation, the ILP {!Ilp.Aead_seal}/[Aead_open] stages —
+    is the seekable {!Chacha20}/{!Poly1305} AEAD; RC4 must be selected
+    explicitly (cipher name "rc4") to reproduce the ablation. *)
 
 open Bufkit
 

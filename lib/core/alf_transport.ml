@@ -74,6 +74,7 @@ type sender = {
   store : Recovery.store;
   config : sender_config;
   stats : sender_stats;
+  s_secure : Secure.Record.t option;  (* AEAD record layer, when keyed *)
   tx_pool : Pool.t option;  (* pooled datagrams for the fused send path *)
   outq : outq_item Queue.t;
   queued_frags : (int, int ref) Hashtbl.t;  (* blocks still queued per index *)
@@ -351,8 +352,8 @@ let sender_handle s ~src:_ ~src_port:_ payload =
             teardown_sender s
         | Some _ | None -> ())
 
-let make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
-    ~config =
+let make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~secure
+    ~tx_pool ~config =
   if frag_budget config <= Framing.fragment_header_size then
     invalid_arg "Alf_transport: mtu too small for integrity/FEC overhead";
   ignore (Obs.Registry.counter "alf.sender.nack_backoff_resets");
@@ -366,6 +367,7 @@ let make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
       stream;
       store = Recovery.store policy;
       config;
+      s_secure = secure;
       tx_pool;
       stats =
         {
@@ -400,25 +402,25 @@ let make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
   in
   s
 
-let sender_io ~sched ~io ~peer ~peer_port ~port ~stream ~policy ?tx_pool
-    ?(config = default_sender_config) () =
+let sender_io ~sched ~io ~peer ~peer_port ~port ~stream ~policy ?secure
+    ?tx_pool ?(config = default_sender_config) () =
   let s =
-    make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~tx_pool
-      ~config
+    make_sender ~sched ~io ~peer ~peer_port ~port ~stream ~policy ~secure
+      ~tx_pool ~config
   in
   io.Dgram.bind ~port (sender_handle s);
   s
 
-let sender ~sched ~udp ~peer ~peer_port ~port ~stream ~policy ?tx_pool
+let sender ~sched ~udp ~peer ~peer_port ~port ~stream ~policy ?secure ?tx_pool
     ?(config = default_sender_config) () =
   sender_io ~sched ~io:(Dgram.of_udp udp) ~peer ~peer_port ~port ~stream
-    ~policy ?tx_pool ~config ()
+    ~policy ?secure ?tx_pool ~config ()
 
-let sender_mux ~sched ~mux ~peer ~peer_port ~stream ~policy ?tx_pool
+let sender_mux ~sched ~mux ~peer ~peer_port ~stream ~policy ?secure ?tx_pool
     ?(config = default_sender_config) () =
   let s =
     make_sender ~sched ~io:(Mux.io mux) ~peer ~peer_port ~port:(Mux.port mux)
-      ~stream ~policy ~tx_pool ~config
+      ~stream ~policy ~secure ~tx_pool ~config
   in
   Mux.attach mux ~stream (sender_handle s);
   s
@@ -426,6 +428,11 @@ let sender_mux ~sched ~mux ~peer ~peer_port ~stream ~policy ?tx_pool
 let send_adu s adu =
   if s.closing then invalid_arg "Alf_transport.send_adu: sender closed";
   if s.s_killed then invalid_arg "Alf_transport.send_adu: sender killed";
+  let adu =
+    match s.s_secure with
+    | Some rc -> Secure.Record.seal_adu rc adu
+    | None -> adu
+  in
   let index = adu.Adu.name.Adu.index in
   if index > s.max_index then s.max_index <- index;
   let encoded = Adu.encode adu in
@@ -508,8 +515,30 @@ let send_value s ~name ?(plan = []) source =
   if s.s_killed then invalid_arg "Alf_transport.send_value: sender killed";
   let index = name.Adu.index in
   let n = Ilp.marshal_size source in
-  let encoded_len = Adu.header_size + n in
-  let plan' = plan @ [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ] in
+  (* With a record layer the marshalled bytes are sealed in the same
+     fused pass ([Aead_seal] slots in just before the CRC stage, so the
+     trailer digests ciphertext) and the payload grows by the 20-byte
+     record trailer: ct ‖ epoch ‖ tag. *)
+  let sec =
+    match s.s_secure with
+    | None -> None
+    | Some rc ->
+        let e, p = Secure.Record.seal_params rc name in
+        Some (e, p)
+  in
+  let sec_over =
+    match sec with None -> 0 | Some _ -> Secure.Record.overhead
+  in
+  let plen = n + sec_over in
+  let encoded_len = Adu.header_size + plen in
+  let plan' =
+    match sec with
+    | None -> plan @ [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ]
+    | Some (_, p) ->
+        plan
+        @ [ Ilp.Aead_seal p; Ilp.Checksum Checksum.Kind.Crc32;
+            Ilp.Deliver_copy ]
+  in
   let budget = frag_budget s.config in
   let tsize =
     match s.config.integrity with Some _ -> trailer_size | None -> 0
@@ -542,7 +571,7 @@ let send_value s ~name ?(plan = []) source =
       Cursor.put_u16be w 1 (* nfrags *);
       Cursor.put_int_as_u32be w encoded_len;
       Cursor.put_int_as_u32be w 0 (* frag_off *);
-      put_adu_header w name ~plen:n;
+      put_adu_header w name ~plen;
       (* Compiled sizing can defer a schema/value mismatch to emit time
          (static subtrees are never walked by [marshal_size]), so the
          fused encode may now raise after the pool acquire — release the
@@ -555,12 +584,28 @@ let send_value s ~name ?(plan = []) source =
           Pool.release pool full;
           raise e
       in
-      let crc_payload = crc32_of_checksums r.Ilp.checksums in
+      let crc_ct = crc32_of_checksums r.Ilp.checksums in
+      (* The record trailer is spliced after the ciphertext the same way
+         the payload CRC is spliced into the headers: write the 20 bytes,
+         digest just them, and [combine] extends the fused-pass ciphertext
+         digest — the payload is still read exactly once. *)
+      let crc_payload =
+        match sec with
+        | None -> crc_ct
+        | Some (e, _) ->
+            let tail = Bytebuf.sub dg ~pos:(body_off + n) ~len:sec_over in
+            (match r.Ilp.tags with
+            | [ tag ] -> Secure.Record.write_trailer tail ~e ~tag
+            | _ -> assert false (* exactly one Aead_seal in plan' *));
+            Checksum.Crc32.combine crc_ct
+              (crc32_prefix dg ~pos:(body_off + n) ~len:sec_over)
+              sec_over
+      in
       let adu_crc =
         Checksum.Crc32.combine
           (crc32_prefix dg ~pos:Framing.fragment_header_size
              ~len:Adu.header_size)
-          crc_payload n
+          crc_payload plen
       in
       patch_be32 dg
         (Framing.fragment_header_size + 32)
@@ -578,7 +623,7 @@ let send_value s ~name ?(plan = []) source =
                 Int32.to_int
                   (Checksum.Crc32.combine
                      (crc32_prefix dg ~pos:0 ~len:body_off)
-                     crc_payload n)
+                     crc_payload plen)
                 land 0xFFFFFFFF
             | kind ->
                 Checksum.Kind.digest kind (Bytebuf.sub dg ~pos:0 ~len:body_len)
@@ -609,17 +654,31 @@ let send_value s ~name ?(plan = []) source =
          fragment/FEC/seal machinery. Still one pass over the payload. *)
       let buf = Bytebuf.create encoded_len in
       let w = Cursor.writer buf in
-      put_adu_header w name ~plen:n;
+      put_adu_header w name ~plen;
       let r =
         Ilp.run_marshal
           ~dst:(Bytebuf.sub buf ~pos:Adu.header_size ~len:n)
           source plan'
       in
-      let crc_payload = crc32_of_checksums r.Ilp.checksums in
+      let crc_ct = crc32_of_checksums r.Ilp.checksums in
+      let crc_payload =
+        match sec with
+        | None -> crc_ct
+        | Some (e, _) ->
+            let tail =
+              Bytebuf.sub buf ~pos:(Adu.header_size + n) ~len:sec_over
+            in
+            (match r.Ilp.tags with
+            | [ tag ] -> Secure.Record.write_trailer tail ~e ~tag
+            | _ -> assert false);
+            Checksum.Crc32.combine crc_ct
+              (crc32_prefix buf ~pos:(Adu.header_size + n) ~len:sec_over)
+              sec_over
+      in
       let adu_crc =
         Checksum.Crc32.combine
           (crc32_prefix buf ~pos:0 ~len:Adu.header_size)
-          crc_payload n
+          crc_payload plen
       in
       patch_be32 buf 32 (Int32.to_int adu_crc land 0xFFFFFFFF);
       Recovery.remember s.store ~index buf;
@@ -655,6 +714,7 @@ type receiver_stats = {
   mutable nacks_sent : int;
   mutable duplicates : int;
   mutable frags_corrupt_dropped : int;
+  mutable adus_auth_dropped : int;
   mutable adus_gone_local : int;
 }
 
@@ -676,6 +736,7 @@ type receiver = {
   adu_deadline : float;  (* max seconds an index may stay missing *)
   giveup_idle : float;  (* silence after which the sender is presumed dead *)
   r_integrity : Checksum.Kind.t option;
+  r_secure : Secure.Record.t option;  (* AEAD record layer, when keyed *)
   nack_rto : Transport.Rto.t;  (* paces the repair loop *)
   jitter : Rng.t;  (* desynchronises repair rounds, deterministically *)
   reqs : (int, req) Hashtbl.t;
@@ -995,14 +1056,15 @@ let receiver_handle t ~src ~src_port payload =
       else handle_control t payload
 
 let make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff
-    ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~reasm_pool
-    ~deliver =
+    ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~secure ~seed
+    ~reasm_pool ~deliver =
   if nack_budget < 1 then
     invalid_arg "Alf_transport: nack_budget must be >= 1";
   (* Eager registration so `alfnet metrics` shows the hardening counters
      at zero instead of omitting them on clean runs. *)
   ignore (Obs.Registry.counter "alf.receiver.frags_corrupt_dropped");
   ignore (Obs.Registry.counter "alf.receiver.adus_gone_deadline");
+  ignore (Obs.Registry.counter "alf.receiver.auth_dropped");
   let deliver_ref = ref (fun (_ : Adu.t) -> ()) in
   let seed =
     match seed with
@@ -1024,6 +1086,7 @@ let make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff
       adu_deadline;
       giveup_idle;
       r_integrity = integrity;
+      r_secure = secure;
       nack_rto =
         Transport.Rto.create ~initial_rto:nack_interval
           ~min_rto:nack_interval ~max_rto:1.0 ();
@@ -1039,6 +1102,7 @@ let make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff
           nacks_sent = 0;
           duplicates = 0;
           frags_corrupt_dropped = 0;
+          adus_auth_dropped = 0;
           adus_gone_local = 0;
         };
       series = Stats.series ();
@@ -1062,44 +1126,64 @@ let make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff
       r_tracer = None;
     }
   in
-  deliver_ref := (fun adu -> deliver_complete t adu);
+  deliver_ref :=
+    (match secure with
+    | None -> fun adu -> deliver_complete t adu
+    | Some rc ->
+        fun adu ->
+          (* The record opens in place over the reassembly view — one
+             fused MAC+decrypt pass — before the ADU is marked settled.
+             A failure is a counted drop, and the index is un-retired so
+             the ordinary NACK repair fetches the genuine bytes: forged
+             or tag-damaged data that slipped past the stage-1 checksum
+             behaves exactly like a lost datagram. *)
+          let index = adu.Adu.name.Adu.index in
+          (match
+             Secure.Record.open_payload rc adu.Adu.name adu.Adu.payload
+           with
+          | Ok ct -> deliver_complete t (Adu.make adu.Adu.name ct)
+          | Error _ ->
+              t.r_stats.adus_auth_dropped <- t.r_stats.adus_auth_dropped + 1;
+              Obs.Counter.incr (Obs.Registry.counter "alf.receiver.auth_dropped");
+              rtrace t "ADU %d failed record authentication: dropped" index;
+              Framing.unretire t.reasm ~index));
   nack_loop t;
   t
 
 let receiver_io ~sched ~io ~port ~stream ?(nack_interval = 0.02)
     ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
-    ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
+    ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?secure ?seed
     ?reasm_pool ~deliver () =
   let t =
     make_receiver ~sched ~io ~port ~stream ~nack_interval ~nack_holdoff
-      ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~seed ~reasm_pool
-      ~deliver
+      ~nack_budget ~adu_deadline ~giveup_idle ~integrity ~secure ~seed
+      ~reasm_pool ~deliver
   in
   io.Dgram.bind ~port (receiver_handle t);
   t
 
 let receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
-    ~deliver () =
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?secure ?seed
+    ?reasm_pool ~deliver () =
   receiver_io ~sched ~io:(Dgram.of_udp udp) ~port ~stream ?nack_interval
-    ?nack_holdoff ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed
-    ?reasm_pool ~deliver ()
+    ?nack_holdoff ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?secure
+    ?seed ?reasm_pool ~deliver ()
 
 let receiver_mux ~sched ~mux ~stream ?(nack_interval = 0.02)
     ?(nack_holdoff = 0.06) ?(nack_budget = 50) ?(adu_deadline = 10.0)
-    ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?seed
+    ?(giveup_idle = 3.0) ?(integrity = Some Checksum.Kind.Crc32) ?secure ?seed
     ?reasm_pool ~deliver () =
   let t =
     make_receiver ~sched ~io:(Mux.io mux) ~port:(Mux.port mux) ~stream
       ~nack_interval ~nack_holdoff ~nack_budget ~adu_deadline ~giveup_idle
-      ~integrity ~seed ~reasm_pool ~deliver
+      ~integrity ~secure ~seed ~reasm_pool ~deliver
   in
   Mux.attach mux ~stream (receiver_handle t);
   t
 
 let receiver_values ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
-    ?(plan = []) ~sink ~deliver () =
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?secure ?seed
+    ?reasm_pool ?(plan = []) ~sink ~deliver () =
   let c_failed = Obs.Registry.counter "alf.receiver.unmarshal_failed" in
   let deliver_adu (adu : Adu.t) =
     (* In place over the borrowed payload view: decrypt + verify + parse
@@ -1112,12 +1196,12 @@ let receiver_values ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
         Obs.Counter.incr c_failed
   in
   receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
-    ~deliver:deliver_adu ()
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?secure ?seed
+    ?reasm_pool ~deliver:deliver_adu ()
 
 let receiver_views ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
-    ?(plan = []) ~prog ~deliver () =
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?secure ?seed
+    ?reasm_pool ?(plan = []) ~prog ~deliver () =
   let c_invalid = Obs.Registry.counter "alf.receiver.view_invalid" in
   let deliver_adu (adu : Adu.t) =
     (* Transform in place over the borrowed payload, then hand out a
@@ -1130,14 +1214,14 @@ let receiver_views ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
     | Error _ -> Obs.Counter.incr c_invalid
   in
   receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?seed ?reasm_pool
-    ~deliver:deliver_adu ()
+    ?nack_budget ?adu_deadline ?giveup_idle ?integrity ?secure ?seed
+    ?reasm_pool ~deliver:deliver_adu ()
 
 let receiver_stage2 ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
-    ?pool ?batch ?reasm_pool ?out_pool ?in_pool ~plan ~deliver () =
+    ?secure ?pool ?batch ?reasm_pool ?out_pool ?in_pool ~plan ~deliver () =
   let stage = Stage2.create ?pool ?batch ?out_pool ?in_pool ~plan ~deliver () in
   let t =
-    receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff
+    receiver ~sched ~udp ~port ~stream ?nack_interval ?nack_holdoff ?secure
       ?reasm_pool ~deliver:(Stage2.deliver_fn stage) ()
   in
   (* Stage 1 settles the last ADU before [check_complete] fires, so the

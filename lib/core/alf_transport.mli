@@ -80,6 +80,7 @@ val sender :
   port:int ->
   stream:int ->
   policy:Recovery.policy ->
+  ?secure:Secure.Record.t ->
   ?tx_pool:Bufkit.Pool.t ->
   ?config:sender_config ->
   unit ->
@@ -100,6 +101,7 @@ val sender_io :
   port:int ->
   stream:int ->
   policy:Recovery.policy ->
+  ?secure:Secure.Record.t ->
   ?tx_pool:Bufkit.Pool.t ->
   ?config:sender_config ->
   unit ->
@@ -114,6 +116,7 @@ val sender_mux :
   peer_port:int ->
   stream:int ->
   policy:Recovery.policy ->
+  ?secure:Secure.Record.t ->
   ?tx_pool:Bufkit.Pool.t ->
   ?config:sender_config ->
   unit ->
@@ -188,6 +191,9 @@ type receiver_stats = {
   mutable duplicates : int;
   mutable frags_corrupt_dropped : int;  (** Datagrams failing the
       integrity trailer, dropped at stage 1. *)
+  mutable adus_auth_dropped : int;  (** Reassembled ADUs failing record
+      authentication ({!Secure.Record}): counted, un-retired for NACK
+      repair, never delivered. *)
   mutable adus_gone_local : int;  (** Declared gone by the receiver: NACK
       budget or deadline exhausted, or the sender went silent. *)
 }
@@ -205,6 +211,7 @@ val receiver :
   ?adu_deadline:float ->
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
+  ?secure:Secure.Record.t ->
   ?seed:int64 ->
   ?reasm_pool:Bufkit.Pool.t ->
   deliver:(Adu.t -> unit) ->
@@ -253,6 +260,7 @@ val receiver_io :
   ?adu_deadline:float ->
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
+  ?secure:Secure.Record.t ->
   ?seed:int64 ->
   ?reasm_pool:Bufkit.Pool.t ->
   deliver:(Adu.t -> unit) ->
@@ -270,6 +278,7 @@ val receiver_mux :
   ?adu_deadline:float ->
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
+  ?secure:Secure.Record.t ->
   ?seed:int64 ->
   ?reasm_pool:Bufkit.Pool.t ->
   deliver:(Adu.t -> unit) ->
@@ -289,6 +298,7 @@ val receiver_values :
   ?adu_deadline:float ->
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
+  ?secure:Secure.Record.t ->
   ?seed:int64 ->
   ?reasm_pool:Bufkit.Pool.t ->
   ?plan:Ilp.plan ->
@@ -319,6 +329,7 @@ val receiver_views :
   ?adu_deadline:float ->
   ?giveup_idle:float ->
   ?integrity:Checksum.Kind.t option ->
+  ?secure:Secure.Record.t ->
   ?seed:int64 ->
   ?reasm_pool:Bufkit.Pool.t ->
   ?plan:Ilp.plan ->
@@ -343,6 +354,7 @@ val receiver_stage2 :
   stream:int ->
   ?nack_interval:float ->
   ?nack_holdoff:float ->
+  ?secure:Secure.Record.t ->
   ?pool:Par.Pool.t ->
   ?batch:int ->
   ?reasm_pool:Bufkit.Pool.t ->

@@ -198,6 +198,13 @@ let retire_below t ~bound =
     end
   end
 
+(* A completed index whose ADU was then rejected upstream (record
+   authentication failure) must become repairable again: drop the
+   retired mark so a NACK-driven retransmission re-opens a partial
+   instead of short-circuiting as a late duplicate. *)
+let unretire t ~index =
+  if index >= t.floor then Hashtbl.remove t.retired index
+
 (* Drop every in-flight partial and release its pooled buffer, whatever
    its index. Used on session teardown: [retire_below] only sweeps below
    a bound, which can strand partials for indices the session never saw
@@ -277,6 +284,13 @@ let push t (f : frag_info) =
           | Ok adu ->
               t.stats.completed <- t.stats.completed + 1;
               t.deliver adu
-          | Error _ -> t.stats.corrupt_adus <- t.stats.corrupt_adus + 1)
+          | Error _ ->
+              (* A reassembled unit that fails its own CRC (e.g. mixed
+                 fragments of two repair incarnations) must stay
+                 repairable: drop the retired mark so a later whole
+                 retransmission re-opens a partial instead of being
+                 silently ignored until the NACK budget runs out. *)
+              Hashtbl.remove t.retired f.index;
+              t.stats.corrupt_adus <- t.stats.corrupt_adus + 1)
     end
   end

@@ -117,6 +117,13 @@ val forget : reassembler -> index:int -> unit
     retire the index: stray late fragments for it are counted as
     duplicates instead of re-opening a partial. *)
 
+val unretire : reassembler -> index:int -> unit
+(** Make a completed index repairable again: drop its retired mark so a
+    retransmission can re-open a partial. Used when an ADU reassembled
+    cleanly but failed record authentication — the delivered bytes were
+    forged or damaged above the checksum, and the repair machinery must
+    be allowed to fetch the real ones. No-op below the floor. *)
+
 val retire_below : reassembler -> bound:int -> unit
 (** Every index below [bound] is settled upstream (the receiver's
     contiguous frontier passed it): raise the implicit retirement floor

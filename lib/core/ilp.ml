@@ -1,9 +1,23 @@
 open Bufkit
 
+(* Everything an AEAD record stage needs at run time: the (already
+   epoch-derived) key, the 96-bit nonce as three u32 words, and the
+   additional authenticated data. The AAD buffer is only read while the
+   stage runs, so callers may reuse a scratch slice across records. *)
+type aead_params = {
+  aead_key : Cipher.Chacha20.key;
+  aead_n0 : int;
+  aead_n1 : int;
+  aead_n2 : int;
+  aead_aad : Bytebuf.t;
+}
+
 type stage =
   | Checksum of Checksum.Kind.t
   | Xor_pad of { key : int64; pos : int64 }
   | Rc4_stream of { key : string }
+  | Aead_seal of aead_params
+  | Aead_open of aead_params
   | Byteswap32
   | Deliver_copy
 
@@ -11,6 +25,8 @@ let stage_name = function
   | Checksum k -> "checksum:" ^ Checksum.Kind.to_string k
   | Xor_pad _ -> "xor-pad"
   | Rc4_stream _ -> "rc4"
+  | Aead_seal _ -> "aead-seal"
+  | Aead_open _ -> "aead-open"
   | Byteswap32 -> "byteswap32"
   | Deliver_copy -> "deliver-copy"
 
@@ -25,6 +41,8 @@ type shape =
   | Sh_check of Checksum.Kind.t
   | Sh_xor
   | Sh_rc4
+  | Sh_aead_seal
+  | Sh_aead_open
   | Sh_swap
   | Sh_copy
   | Sh_src_xdr  (* marshalling source, prepended by the marshal lookup *)
@@ -36,42 +54,55 @@ let shape_of_stage = function
   | Checksum k -> Sh_check k
   | Xor_pad _ -> Sh_xor
   | Rc4_stream _ -> Sh_rc4
+  | Aead_seal _ -> Sh_aead_seal
+  | Aead_open _ -> Sh_aead_open
   | Byteswap32 -> Sh_swap
   | Deliver_copy -> Sh_copy
 
 let shape_of_plan plan = List.map shape_of_stage plan
 
 let validate_shape shape =
-  let rec go i seen_rc4 = function
+  let rec go i seen_rc4 seen_aead = function
     | [] -> Ok ()
     | Sh_swap :: _ when i > 0 ->
         Error "byteswap32 reads across byte positions; it can only be fused as the first stage"
     | Sh_rc4 :: _ when seen_rc4 ->
         Error "two sequential ciphers cannot share one keystream position"
-    | Sh_rc4 :: rest -> go (i + 1) true rest
+    | Sh_rc4 :: rest -> go (i + 1) true seen_aead rest
+    | (Sh_aead_seal | Sh_aead_open) :: _ when seen_aead ->
+        Error "two AEAD records cannot share one plan: each seal/open is one record"
+    | (Sh_aead_seal | Sh_aead_open) :: rest -> go (i + 1) seen_rc4 true rest
     | (Sh_check _ | Sh_xor | Sh_swap | Sh_copy) :: rest ->
-        go (i + 1) seen_rc4 rest
+        go (i + 1) seen_rc4 seen_aead rest
     | (Sh_src_xdr | Sh_src_ber | Sh_sink_xdr | Sh_sink_ber) :: _ ->
         (* The marshal/unmarshal lookups strip their boundary markers
            before validating the stage chain. *)
         Error "marshal source / unmarshal sink markers are plan boundaries"
   in
-  go 0 false shape
+  go 0 false false shape
 
 let has_swap = List.exists (function Sh_swap -> true | _ -> false)
 
 let validate plan = validate_shape (shape_of_plan plan)
 
+(* RC4 is the only order-coupled stage left: its keystream byte [i]
+   requires bytes [0..i-1] first, so a batch containing it degrades to
+   serial processing — the paper's §5 chaining pathology, kept as an
+   ablation. ChaCha20 AEAD stages are seekable (per-record nonces,
+   counter-addressed keystream) and impose no cross-ADU ordering. *)
 let needs_in_order plan =
   List.exists
     (function
       | Rc4_stream _ -> true
-      | Checksum _ | Xor_pad _ | Byteswap32 | Deliver_copy -> false)
+      | Checksum _ | Xor_pad _ | Aead_seal _ | Aead_open _ | Byteswap32
+      | Deliver_copy ->
+          false)
     plan
 
 type result = {
   output : Bytebuf.t;
   checksums : (Checksum.Kind.t * int) list;
+  tags : (int64 * int64) list;
   passes : int;
   bytes_touched : int;
   compiled : bool;
@@ -139,6 +170,8 @@ let checksum_stage_handles =
 
 let h_stage_xor = stage_handles "xor-pad"
 let h_stage_rc4 = stage_handles "rc4"
+let h_stage_aead_seal = stage_handles "aead-seal"
+let h_stage_aead_open = stage_handles "aead-open"
 let h_stage_swap = stage_handles "byteswap32"
 let h_stage_copy = stage_handles "deliver-copy"
 
@@ -146,6 +179,8 @@ let stage_handle = function
   | Checksum k -> List.assoc k checksum_stage_handles
   | Xor_pad _ -> h_stage_xor
   | Rc4_stream _ -> h_stage_rc4
+  | Aead_seal _ -> h_stage_aead_seal
+  | Aead_open _ -> h_stage_aead_open
   | Byteswap32 -> h_stage_swap
   | Deliver_copy -> h_stage_copy
 
@@ -159,6 +194,7 @@ let run_layered_impl plan input =
   let passes = ref 0 in
   let touched = ref 0 in
   let checks = ref [] in
+  let tags = ref [] in
   let current = ref input in
   let apply stage =
     incr passes;
@@ -175,6 +211,24 @@ let run_layered_impl plan input =
     | Rc4_stream { key } ->
         touched := !touched + (2 * n);
         current := Cipher.Rc4.transform (Cipher.Rc4.create ~key) !current
+    | Aead_seal { aead_key; aead_n0; aead_n1; aead_n2; aead_aad } ->
+        (* Encrypt pass + MAC pass over the result: the honest layered
+           composition the fused stage is measured against. *)
+        touched := !touched + (3 * n);
+        let out = Bytebuf.copy !current in
+        tags :=
+          Cipher.Aead.seal_in_place ~key:aead_key ~n0:aead_n0 ~n1:aead_n1
+            ~n2:aead_n2 ~aad:aead_aad out
+          :: !tags;
+        current := out
+    | Aead_open { aead_key; aead_n0; aead_n1; aead_n2; aead_aad } ->
+        touched := !touched + (3 * n);
+        let out = Bytebuf.copy !current in
+        tags :=
+          Cipher.Aead.open_in_place_tag ~key:aead_key ~n0:aead_n0 ~n1:aead_n1
+            ~n2:aead_n2 ~aad:aead_aad out
+          :: !tags;
+        current := out
     | Byteswap32 ->
         touched := !touched + (2 * n);
         current := byteswap32_copy !current
@@ -190,6 +244,7 @@ let run_layered_impl plan input =
   {
     output;
     checksums = List.rev !checks;
+    tags = List.rev !tags;
     passes = !passes;
     bytes_touched = !touched;
     compiled = false;
@@ -205,6 +260,7 @@ type fused_state =
   | F_check of Checksum.Kind.feeder ref * Checksum.Kind.t
   | F_pad of Cipher.Pad.t * int64
   | F_rc4 of Cipher.Rc4.t
+  | F_aead of Cipher.Aead.t * bool (* true = seal *)
   | F_copy
 
 let interp_byte states input output i src_i =
@@ -217,6 +273,8 @@ let interp_byte states input output i src_i =
       | F_pad (pad, pos) ->
           b := !b lxor Cipher.Pad.byte_at pad (Int64.add pos (Int64.of_int i))
       | F_rc4 rc4 -> b := !b lxor Cipher.Rc4.keystream_byte rc4
+      | F_aead (a, seal) ->
+          b := (if seal then Cipher.Aead.seal_byte else Cipher.Aead.open_byte) a i !b
       | F_copy -> ())
     states;
   (* ...and the one store. *)
@@ -236,6 +294,16 @@ let run_fused_interpreted_impl plan input =
         | Checksum kind -> F_check (ref (Checksum.Kind.feeder kind), kind)
         | Xor_pad { key; pos } -> F_pad (Cipher.Pad.create ~key, pos)
         | Rc4_stream { key } -> F_rc4 (Cipher.Rc4.create ~key)
+        | Aead_seal { aead_key; aead_n0; aead_n1; aead_n2; aead_aad } ->
+            F_aead
+              ( Cipher.Aead.create ~key:aead_key ~n0:aead_n0 ~n1:aead_n1
+                  ~n2:aead_n2 ~aad:aead_aad,
+                true )
+        | Aead_open { aead_key; aead_n0; aead_n1; aead_n2; aead_aad } ->
+            F_aead
+              ( Cipher.Aead.create ~key:aead_key ~n0:aead_n0 ~n1:aead_n1
+                  ~n2:aead_n2 ~aad:aead_aad,
+                false )
         | Deliver_copy -> F_copy
         | Byteswap32 -> assert false)
       rest
@@ -256,10 +324,15 @@ let run_fused_interpreted_impl plan input =
       (function
         | F_check (feeder, kind) ->
             Some (kind, Checksum.Kind.feeder_finish !feeder)
-        | F_pad _ | F_rc4 _ | F_copy -> None)
+        | F_pad _ | F_rc4 _ | F_aead _ | F_copy -> None)
       states
   in
-  { output; checksums; passes = 1; bytes_touched = 2 * n; compiled = false }
+  let tags =
+    List.filter_map
+      (function F_aead (a, _) -> Some (Cipher.Aead.tag a) | _ -> None)
+      states
+  in
+  { output; checksums; tags; passes = 1; bytes_touched = 2 * n; compiled = false }
 
 (* ------------------------------------------------------------------ *)
 (* §8's "compilation", generalised. Each stage lowers to a word-level
@@ -305,15 +378,36 @@ type rt =
          byte-swapped network-order words during the word loop; [besum]
          carries the converted big-endian sum through the byte tail. *)
   | R_gen of { kind : Checksum.Kind.t; mutable f : Checksum.Kind.feeder }
+  | R_crc32 of { mutable crc : Checksum.Crc32.state }
+      (* CRC-32 on its own unboxed fast path: slicing-by-8 per word, no
+         feeder box per step — the framing stage every secure plan runs. *)
   | R_pad of { pad : Cipher.Pad.t; pos : int64 }
   | R_rc4 of Cipher.Rc4.t
+  | R_aead of { a : Cipher.Aead.t; seal : bool }
   | R_copy
 
 let rt_of_stage = function
   | Checksum Checksum.Kind.Internet -> R_inet { lanes = 0; besum = 0 }
+  | Checksum Checksum.Kind.Crc32 -> R_crc32 { crc = Checksum.Crc32.init }
   | Checksum kind -> R_gen { kind; f = Checksum.Kind.feeder kind }
   | Xor_pad { key; pos } -> R_pad { pad = Cipher.Pad.create ~key; pos }
   | Rc4_stream { key } -> R_rc4 (Cipher.Rc4.create ~key)
+  | Aead_seal { aead_key; aead_n0; aead_n1; aead_n2; aead_aad } ->
+      R_aead
+        {
+          a =
+            Cipher.Aead.create ~key:aead_key ~n0:aead_n0 ~n1:aead_n1
+              ~n2:aead_n2 ~aad:aead_aad;
+          seal = true;
+        }
+  | Aead_open { aead_key; aead_n0; aead_n1; aead_n2; aead_aad } ->
+      R_aead
+        {
+          a =
+            Cipher.Aead.create ~key:aead_key ~n0:aead_n0 ~n1:aead_n1
+              ~n2:aead_n2 ~aad:aead_aad;
+          seal = false;
+        }
   | Deliver_copy -> R_copy
   | Byteswap32 -> assert false (* stripped by the caller *)
 
@@ -327,6 +421,9 @@ let rt_word rt i w =
       w
   | R_gen s ->
       s.f <- Checksum.Kind.feeder_word64le s.f w;
+      w
+  | R_crc32 s ->
+      s.crc <- Checksum.Crc32.feed_word64le s.crc w;
       w
   | R_pad { pad; pos } ->
       Int64.logxor w (Cipher.Pad.word64_at pad (Int64.add pos (Int64.of_int i)))
@@ -342,6 +439,8 @@ let rt_word rt i w =
                (8 * j))
       done;
       Int64.logxor w !k
+  | R_aead { a; seal } ->
+      if seal then Cipher.Aead.seal_word a i w else Cipher.Aead.open_word a i w
   | R_copy -> w
 
 (* Word loop → byte tail seam. The tail starts on an 8-aligned (hence
@@ -350,7 +449,7 @@ let rt_enter_tail = function
   | R_inet s ->
       s.besum <- s.besum + swap16 (fold16 s.lanes);
       s.lanes <- 0
-  | R_gen _ | R_pad _ | R_rc4 _ | R_copy -> ()
+  | R_gen _ | R_crc32 _ | R_pad _ | R_rc4 _ | R_aead _ | R_copy -> ()
 
 let rt_byte rt i b =
   match rt with
@@ -361,15 +460,57 @@ let rt_byte rt i b =
   | R_gen s ->
       s.f <- Checksum.Kind.feeder_byte s.f b;
       b
+  | R_crc32 s ->
+      s.crc <- Checksum.Crc32.feed_byte s.crc b;
+      b
   | R_pad { pad; pos } ->
       b lxor Cipher.Pad.byte_at pad (Int64.add pos (Int64.of_int i))
   | R_rc4 rc4 -> b lxor Cipher.Rc4.keystream_byte rc4
+  | R_aead { a; seal } ->
+      if seal then Cipher.Aead.seal_byte a i b else Cipher.Aead.open_byte a i b
   | R_copy -> b
+
+(* One 64-byte block through one stage, in place at [db.(off..)], stream
+   position [i] (64-aligned): the batched form of [rt_word] the marshal
+   sink flushes behind the writer — one dispatch per stage per block
+   instead of one per word, and the AEAD/CRC stages drop to their
+   block-grain primitives (one keystream seek, direct MAC folds, eight
+   sliced CRC steps per call). *)
+let rt_block64 rt db off i =
+  match rt with
+  | R_aead { a; seal } ->
+      if seal then Cipher.Aead.seal_block64 a ~pos:i db ~off
+      else Cipher.Aead.open_block64 a ~pos:i db ~off
+  | R_crc32 s -> s.crc <- Checksum.Crc32.feed_block64 s.crc db off
+  | R_inet s ->
+      let lanes = ref s.lanes in
+      for k = 0 to 7 do
+        lanes := !lanes + lane_sum_le (Bytes.get_int64_le db (off + (8 * k)))
+      done;
+      (* One overflow check per block: eight words add < 2^19, so the
+         running sum stays far below the 63-bit bound. *)
+      s.lanes <- (if !lanes > 0x3FFFFFFF then fold16 !lanes else !lanes)
+  | R_copy -> ()
+  | (R_gen _ | R_pad _ | R_rc4 _) as rt ->
+      for k = 0 to 7 do
+        let o = off + (8 * k) in
+        Bytes.set_int64_le db o (rt_word rt (i + (8 * k)) (Bytes.get_int64_le db o))
+      done
 
 let rt_finish = function
   | R_inet s -> Some (Checksum.Kind.Internet, lnot (fold16 s.besum) land 0xffff)
   | R_gen s -> Some (s.kind, Checksum.Kind.feeder_finish s.f)
-  | R_pad _ | R_rc4 _ | R_copy -> None
+  | R_crc32 s ->
+      Some
+        ( Checksum.Kind.Crc32,
+          Int32.to_int (Checksum.Crc32.finish s.crc) land 0xFFFFFFFF )
+  | R_pad _ | R_rc4 _ | R_aead _ | R_copy -> None
+
+(* The AEAD analogue of [rt_finish]: close the record and read the
+   Poly1305 tag. Must run after every payload byte has passed through. *)
+let rt_finish_tag = function
+  | R_aead { a; _ } -> Some (Cipher.Aead.tag a)
+  | R_inet _ | R_gen _ | R_crc32 _ | R_pad _ | R_rc4 _ | R_copy -> None
 
 let run_general ~swap_first plan input dst =
   if swap_first then check_swap_len input;
@@ -414,7 +555,8 @@ let run_general ~swap_first plan input dst =
       Bytes.unsafe_set db (dbase + !i) (Char.unsafe_chr !b);
       incr i
     done;
-  List.filter_map rt_finish (Array.to_list stages)
+  let stages = Array.to_list stages in
+  (List.filter_map rt_finish stages, List.filter_map rt_finish_tag stages)
 
 (* A lowering is what the cache stores per shape: either a dispatch to a
    whole-plan hand-fused kernel (no per-word dispatch at all) or the
@@ -527,8 +669,15 @@ let dst_for dst_opt n =
 let exec lowering plan input dst_opt =
   let n = Bytebuf.length input in
   let dst = dst_for dst_opt n in
-  let mk checksums =
-    { output = dst; checksums; passes = 1; bytes_touched = 2 * n; compiled = true }
+  let mk ?(tags = []) checksums =
+    {
+      output = dst;
+      checksums;
+      tags;
+      passes = 1;
+      bytes_touched = 2 * n;
+      compiled = true;
+    }
   in
   match (lowering, plan) with
   | L_copy, _ ->
@@ -543,7 +692,9 @@ let exec lowering plan input dst_opt =
   | L_checksum_pad_copy, _ :: Xor_pad { key; pos } :: _ ->
       let c = Kernels.checksum_xor_copy ~src:input ~dst ~key ~stream_pos:pos in
       mk [ (Checksum.Kind.Internet, c) ]
-  | L_general { swap_first }, _ -> mk (run_general ~swap_first plan input dst)
+  | L_general { swap_first }, _ ->
+      let checksums, tags = run_general ~swap_first plan input dst in
+      mk ~tags checksums
   | (L_pad_checksum_copy | L_checksum_pad_copy | L_marshal | L_unmarshal), _ ->
       (* The lowering came from this plan's shape; marshal/unmarshal
          lowerings are only ever produced for marked shapes, which never
@@ -607,6 +758,7 @@ type unmarshal_result = {
   value : Wire.Value.t;
   consumed : int;
   checksums : (Checksum.Kind.t * int) list;
+  tags : (int64 * int64) list;
 }
 
 (* Marshal/unmarshal plans go through the same shape cache, under keys
@@ -659,25 +811,35 @@ let run_marshal_impl source plan dst_opt =
   let stages = Array.of_list (List.map rt_of_stage plan) in
   let nst = Array.length stages in
   let db, dbase, _ = Bytebuf.backing dst in
-  (* The sink's callbacks ARE the fused loop body: each completed word
-     runs down the combinator chain and lands with the single store.
-     The [base + 8 <= n] guard keeps a misbehaving encoder from writing
-     past the slice (pooled buffers share backing storage). *)
-  let word base w =
-    if base + 8 > n then invalid_arg "Ilp.run_marshal: encoder overran sizeof";
-    let w = ref w in
-    for s = 0 to nst - 1 do
-      w := rt_word stages.(s) base !w
-    done;
-    Bytes.set_int64_le db (dbase + base) !w
+  (* The sink's callbacks ARE the fused loop body. Each completed word
+     lands with a single store, and the stage chain runs in 64-byte block
+     flushes that lag the writer by at most one block: the data is still
+     L1-hot when the stages read it back, and one [rt_block64] dispatch
+     per stage replaces eight [rt_word] dispatches — the AEAD and CRC
+     stages additionally batch their own work (one keystream seek, four
+     direct MAC folds, eight sliced CRC steps per call). The
+     [base + 8 <= n] guard keeps a misbehaving encoder from writing past
+     the slice (pooled buffers share backing storage). *)
+  let processed = ref 0 in
+  let word =
+    if nst = 0 then fun base w ->
+      if base + 8 > n then invalid_arg "Ilp.run_marshal: encoder overran sizeof";
+      Bytes.set_int64_le db (dbase + base) w
+    else fun base w ->
+      if base + 8 > n then invalid_arg "Ilp.run_marshal: encoder overran sizeof";
+      Bytes.set_int64_le db (dbase + base) w;
+      (* Words arrive sequentially, so at most one block completes. *)
+      if base + 8 - !processed = 64 then begin
+        let p = !processed in
+        for s = 0 to nst - 1 do
+          rt_block64 stages.(s) db (dbase + p) p
+        done;
+        processed := p + 64
+      end
   in
   let byte off b =
     if off >= n then invalid_arg "Ilp.run_marshal: encoder overran sizeof";
-    let b = ref b in
-    for s = 0 to nst - 1 do
-      b := rt_byte stages.(s) off !b
-    done;
-    Bytes.unsafe_set db (dbase + off) (Char.unsafe_chr b.contents)
+    Bytes.unsafe_set db (dbase + off) (Char.unsafe_chr (b land 0xff))
   in
   let sink = Wire.Wordsink.create ~word ~byte in
   (match source with
@@ -687,14 +849,43 @@ let run_marshal_impl source plan dst_opt =
   | Marshal_ber v -> Wire.Ber.encode_words v sink);
   if Wire.Wordsink.pos sink <> n then
     invalid_arg "Ilp.run_marshal: encoder emitted fewer bytes than sizeof";
-  (* Word-loop → byte-tail seam: always taken, even with an empty tail
-     (the Internet-checksum combinator folds its lanes here). *)
+  Wire.Wordsink.flush sink;
+  (* Drain the sub-block tail the flush loop lagged behind on: word
+     steps up to the last whole word, then the word-loop → byte-tail
+     seam (always taken, even with an empty tail — the Internet-checksum
+     combinator folds its lanes there), then byte steps. The seam stays
+     on an 8-aligned offset, preserving checksum byte parity. *)
+  let i = ref !processed in
+  while !i + 8 <= n do
+    let w = ref (Bytes.get_int64_le db (dbase + !i)) in
+    for s = 0 to nst - 1 do
+      w := rt_word stages.(s) !i !w
+    done;
+    Bytes.set_int64_le db (dbase + !i) !w;
+    i := !i + 8
+  done;
   for s = 0 to nst - 1 do
     rt_enter_tail stages.(s)
   done;
-  Wire.Wordsink.flush sink;
-  let checksums = List.filter_map rt_finish (Array.to_list stages) in
-  ({ output = dst; checksums; passes = 1; bytes_touched = 2 * n; compiled = true }
+  while !i < n do
+    let b = ref (Char.code (Bytes.unsafe_get db (dbase + !i))) in
+    for s = 0 to nst - 1 do
+      b := rt_byte stages.(s) !i !b
+    done;
+    Bytes.unsafe_set db (dbase + !i) (Char.unsafe_chr !b);
+    incr i
+  done;
+  let stages = Array.to_list stages in
+  let checksums = List.filter_map rt_finish stages in
+  let tags = List.filter_map rt_finish_tag stages in
+  ({
+     output = dst;
+     checksums;
+     tags;
+     passes = 1;
+     bytes_touched = 2 * n;
+     compiled = true;
+   }
     : result)
 
 let run_marshal ?dst source plan =
@@ -762,8 +953,10 @@ let run_unmarshal_impl plan sink input dst_opt =
     for s = 0 to nst - 1 do
       rt_enter_tail stages.(s)
     done;
-  let checksums = List.filter_map rt_finish (Array.to_list stages) in
-  { value; consumed; checksums }
+  let stages = Array.to_list stages in
+  let checksums = List.filter_map rt_finish stages in
+  let tags = List.filter_map rt_finish_tag stages in
+  { value; consumed; checksums; tags }
 
 let run_unmarshal ?dst plan sink input =
   let r, ns =
@@ -784,6 +977,7 @@ let run_unmarshal ?dst plan sink input =
 type view_result = {
   view : (Wire.View.t * int, string) Stdlib.result;
   view_checksums : (Checksum.Kind.t * int) list;
+  view_tags : (int64 * int64) list;
 }
 
 let handles_view = run_handles "view"
@@ -796,8 +990,8 @@ let run_view_impl plan prog input dst_opt =
   let dst = dst_for dst_opt n in
   (* Sink plans exclude Byteswap32 ([lower] rejects it before a decoder),
      so the general transform runs without the swap prologue. *)
-  let view_checksums = run_general ~swap_first:false plan input dst in
-  { view = Wire.View.make prog dst ~pos:0; view_checksums }
+  let view_checksums, view_tags = run_general ~swap_first:false plan input dst in
+  { view = Wire.View.make prog dst ~pos:0; view_checksums; view_tags }
 
 let run_view ?dst plan prog input =
   let r, ns = Obs.Clock.time_ns (fun () -> run_view_impl plan prog input dst) in

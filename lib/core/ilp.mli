@@ -31,6 +31,18 @@
 
 open Bufkit
 
+(** Run-time parameters of an AEAD record stage: the (epoch-derived)
+    ChaCha20 key, the 96-bit nonce as three u32 words, and the additional
+    authenticated data. The AAD slice is only read while the stage runs,
+    so a per-endpoint scratch buffer can be reused across records. *)
+type aead_params = {
+  aead_key : Cipher.Chacha20.key;
+  aead_n0 : int;
+  aead_n1 : int;
+  aead_n2 : int;
+  aead_aad : Bytebuf.t;
+}
+
 type stage =
   | Checksum of Checksum.Kind.t
       (** Accumulate an error-detecting code over the data {e as this
@@ -40,7 +52,21 @@ type stage =
           so ADUs can be processed out of order. *)
   | Rc4_stream of { key : string }
       (** Sequential stream cipher; fusable, but forces in-order
-          processing across data units. *)
+          processing across data units. Kept as the §5 chaining-pathology
+          ablation — {!Aead_seal}/{!Aead_open} are the real record
+          stages. *)
+  | Aead_seal of aead_params
+      (** ChaCha20-Poly1305 record encryption fused into the word loop:
+          each word is XORed with the seekable keystream and the
+          ciphertext absorbed into the MAC in the same register trip.
+          The 128-bit tag lands in [result.tags]. One AEAD stage per
+          plan; downstream checksum stages digest the {e ciphertext}. *)
+  | Aead_open of aead_params
+      (** The receive mirror: MAC the arriving ciphertext and decrypt it
+          in the same pass. The computed tag lands in [result.tags] (or
+          [unmarshal_result.tags]/[view_result.view_tags]) — the caller
+          compares it against the transmitted tag and treats a mismatch
+          as a counted drop; the stage itself never fails. *)
   | Byteswap32
       (** Presentation conversion in miniature: reverse each 4-byte
           group (big↔little endian array). Requires length ≡ 0 mod 4. *)
@@ -57,15 +83,19 @@ type plan = stage list
 val validate : plan -> (unit, string) result
 (** Fusion ordering constraints: at most one [Byteswap32] and only as the
     first stage; at most one [Rc4_stream] (keystream split is undefined
-    otherwise). [run_fused] refuses plans that do not validate. *)
+    otherwise); at most one AEAD stage (one plan = one record).
+    [run_fused] refuses plans that do not validate. *)
 
 val needs_in_order : plan -> bool
 (** True iff some stage (an [Rc4_stream]) forbids processing data units
-    out of order — the property ALF needs to avoid. *)
+    out of order — the property ALF needs to avoid. AEAD stages are
+    seekable and never set this. *)
 
 type result = {
   output : Bytebuf.t;
   checksums : (Checksum.Kind.t * int) list;  (** In plan order. *)
+  tags : (int64 * int64) list;
+      (** Poly1305 tags of AEAD stages, in plan order (at most one). *)
   passes : int;  (** Full passes made over the data. *)
   bytes_touched : int;  (** Total bytes read + written across passes. *)
   compiled : bool;  (** The plan was dispatched to a fused kernel. *)
@@ -174,6 +204,8 @@ type unmarshal_result = {
   checksums : (Checksum.Kind.t * int) list;
       (** Digests over the {e entire} input (not just [consumed]), of
           the data as each stage saw it — matching the send side. *)
+  tags : (int64 * int64) list;
+      (** Computed Poly1305 tags of AEAD stages, over the entire input. *)
 }
 
 val run_unmarshal : ?dst:Bytebuf.t -> plan -> sink -> Bytebuf.t -> unmarshal_result
@@ -202,6 +234,9 @@ type view_result = {
           [Error], never an exception. *)
   view_checksums : (Checksum.Kind.t * int) list;
       (** Digests over the entire input, as in {!unmarshal_result}. *)
+  view_tags : (int64 * int64) list;
+      (** Computed Poly1305 tags of AEAD stages, as in
+          {!unmarshal_result}. *)
 }
 
 val run_view : ?dst:Bytebuf.t -> plan -> Wire.Schema.prog -> Bytebuf.t -> view_result

@@ -6,6 +6,7 @@ type offer = {
   syntaxes : string list;
   rate_bps : float;
   policy : string;
+  ciphers : string list;
 }
 
 type granted = {
@@ -13,6 +14,7 @@ type granted = {
   g_syntax : string;
   g_rate_bps : float;
   g_policy : string;
+  g_cipher : string;
 }
 
 let tag_setup = 0xE1
@@ -30,9 +32,12 @@ let short_string r =
 
 let encode_setup (o : offer) =
   let names = List.filteri (fun i _ -> i < 255) o.syntaxes in
+  let ciphers = List.filteri (fun i _ -> i < 255) o.ciphers in
   let size =
     1 + 2 + 8 + 1 + String.length o.policy + 1
     + List.fold_left (fun acc s -> acc + 1 + String.length s) 0 names
+    + 1
+    + List.fold_left (fun acc s -> acc + 1 + String.length s) 0 ciphers
   in
   let buf = Bytebuf.create size in
   let w = Cursor.writer buf in
@@ -42,20 +47,26 @@ let encode_setup (o : offer) =
   put_short_string w o.policy;
   Cursor.put_u8 w (List.length names);
   List.iter (put_short_string w) names;
+  Cursor.put_u8 w (List.length ciphers);
+  List.iter (put_short_string w) ciphers;
   Cursor.written w
 
 let decode_setup r =
   let stream = Cursor.u16be r in
   let rate_bps = Int64.float_of_bits (Cursor.u64be r) in
   let policy = short_string r in
-  let count = Cursor.u8 r in
   let rec names k acc =
     if k = 0 then List.rev acc else names (k - 1) (short_string r :: acc)
   in
-  { stream; syntaxes = names count []; rate_bps; policy }
+  let syntaxes = names (Cursor.u8 r) [] in
+  let ciphers = names (Cursor.u8 r) [] in
+  { stream; syntaxes; rate_bps; policy; ciphers }
 
 let encode_accept (g : granted) =
-  let size = 1 + 2 + 8 + 1 + String.length g.g_policy + 1 + String.length g.g_syntax in
+  let size =
+    1 + 2 + 8 + 1 + String.length g.g_policy + 1 + String.length g.g_syntax
+    + 1 + String.length g.g_cipher
+  in
   let buf = Bytebuf.create size in
   let w = Cursor.writer buf in
   Cursor.put_u8 w tag_accept;
@@ -63,6 +74,7 @@ let encode_accept (g : granted) =
   Cursor.put_u64be w (Int64.bits_of_float g.g_rate_bps);
   put_short_string w g.g_policy;
   put_short_string w g.g_syntax;
+  put_short_string w g.g_cipher;
   Cursor.written w
 
 let decode_accept r =
@@ -70,7 +82,8 @@ let decode_accept r =
   let g_rate_bps = Int64.float_of_bits (Cursor.u64be r) in
   let g_policy = short_string r in
   let g_syntax = short_string r in
-  { g_stream; g_syntax; g_rate_bps; g_policy }
+  let g_cipher = short_string r in
+  { g_stream; g_syntax; g_rate_bps; g_policy; g_cipher }
 
 let encode_reject ~stream =
   let buf = Bytebuf.create 3 in
@@ -86,6 +99,7 @@ type responder = {
   r_io : Dgram.t;
   r_port : int;
   supported : string list;
+  sup_ciphers : string list;
   max_rate : float;
   on_session : peer:Packet.addr -> granted -> unit;
   table : (Packet.addr * int, granted option) Hashtbl.t;
@@ -98,12 +112,19 @@ let sessions_accepted r = r.accepted
 let sessions_rejected r = r.rejected
 
 let decide r (o : offer) : granted option =
-  let lowered = List.map String.lowercase_ascii r.supported in
+  let pick wanted supported =
+    let lowered = List.map String.lowercase_ascii supported in
+    List.find_opt
+      (fun s -> List.mem (String.lowercase_ascii s) lowered)
+      wanted
+  in
+  (* An initiator that names no cipher means the modern default, not
+     plaintext: ChaCha20 is the record layer unless explicitly ablated. *)
+  let wanted_ciphers = if o.ciphers = [] then [ "chacha20" ] else o.ciphers in
   match
-    List.find_opt (fun s -> List.mem (String.lowercase_ascii s) lowered) o.syntaxes
+    (pick o.syntaxes r.supported, pick wanted_ciphers r.sup_ciphers)
   with
-  | None -> None
-  | Some syntax ->
+  | Some syntax, Some cipher ->
       Some
         {
           g_stream = o.stream;
@@ -111,7 +132,9 @@ let decide r (o : offer) : granted option =
           g_rate_bps =
             (if o.rate_bps <= 0.0 then 0.0 else Float.min o.rate_bps r.max_rate);
           g_policy = o.policy;
+          g_cipher = String.lowercase_ascii cipher;
         }
+  | _ -> None
 
 let responder_handle r ~src ~src_port payload =
   let reply buf =
@@ -142,14 +165,17 @@ let responder_handle r ~src ~src_port payload =
     | _ -> ()
   with Cursor.Underflow _ -> ()
 
-let listen ~engine ~io ~port ~supported ?(max_rate_bps = infinity) ~on_session
-    () =
+let default_ciphers = [ "chacha20"; "none" ]
+
+let listen ~engine ~io ~port ~supported ?(ciphers = default_ciphers)
+    ?(max_rate_bps = infinity) ~on_session () =
   let r =
     {
       r_engine = engine;
       r_io = io;
       r_port = port;
       supported;
+      sup_ciphers = ciphers;
       max_rate = max_rate_bps;
       on_session;
       table = Hashtbl.create 16;

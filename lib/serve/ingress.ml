@@ -24,6 +24,7 @@ type reason =
   | Policed_ctl
   | Shed
   | Dispatch_error
+  | Auth
 
 let all_reasons =
   [|
@@ -41,6 +42,7 @@ let all_reasons =
     Policed_ctl;
     Shed;
     Dispatch_error;
+    Auth;
   |]
 
 let reason_count = Array.length all_reasons
@@ -60,6 +62,7 @@ let reason_index = function
   | Policed_ctl -> 11
   | Shed -> 12
   | Dispatch_error -> 13
+  | Auth -> 14
 
 let reason_name = function
   | Runt -> "runt"
@@ -76,6 +79,7 @@ let reason_name = function
   | Policed_ctl -> "policed_ctl"
   | Shed -> "shed"
   | Dispatch_error -> "dispatch_error"
+  | Auth -> "auth"
 
 (* A malformed-shape rejection: the datagram's bytes themselves are bad,
    as opposed to a policy drop (backpressure, policing, shedding) of a
@@ -83,7 +87,7 @@ let reason_name = function
    malformed counts with drop-counter sums. *)
 let is_malformed = function
   | Runt | Oversize | Bad_kind | Frag_header | Ctl_malformed | Fec_unsupported
-  | Bad_crc | Bad_adu ->
+  | Bad_crc | Bad_adu | Auth ->
       true
   | Backpressure | Window | Policed_new | Policed_ctl | Shed | Dispatch_error
     ->

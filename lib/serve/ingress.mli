@@ -10,14 +10,15 @@
 
 open Bufkit
 
-(** Why a datagram was dropped. The first eight are {e malformed-shape}
-    reasons (the bytes themselves are bad); the rest are {e policy} drops
-    of well-formed traffic. Stage 0 itself only emits [Runt], [Oversize],
-    [Bad_kind], [Frag_header], [Ctl_malformed] and [Fec_unsupported]; the
-    others are attributed by later stages ([Bad_crc]/[Bad_adu] on the
-    shard after unsealing, [Backpressure] at staging, [Window] at the
-    index clamp, [Policed_*] by {!Police}, [Shed] in brownout,
-    [Dispatch_error] by the last-resort dispatch guard). *)
+(** Why a datagram was dropped. The first eight and [Auth] are
+    {e malformed-shape} reasons (the bytes themselves are bad); the rest
+    are {e policy} drops of well-formed traffic. Stage 0 itself only
+    emits [Runt], [Oversize], [Bad_kind], [Frag_header], [Ctl_malformed]
+    and [Fec_unsupported]; the others are attributed by later stages
+    ([Bad_crc]/[Bad_adu] on the shard after unsealing, [Backpressure] at
+    staging, [Window] at the index clamp, [Policed_*] by {!Police},
+    [Shed] in brownout, [Dispatch_error] by the last-resort dispatch
+    guard, [Auth] at the AEAD record open). *)
 type reason =
   | Runt  (** Too short to carry a stream id (or a negative body). *)
   | Oversize  (** Longer than the staging buffers — unservable. *)
@@ -33,6 +34,11 @@ type reason =
   | Policed_ctl  (** Control-traffic token bucket empty for this peer. *)
   | Shed  (** New admission refused under overload (brownout). *)
   | Dispatch_error  (** Last-resort guard: dispatch raised; counted, not crashed. *)
+  | Auth
+      (** AEAD record authentication failed ({!Alf_core.Secure.Record}):
+          the unit passed every checksum but its Poly1305 tag (or epoch
+          window) did not verify — forged or tampered above the CRC.
+          Malformed-shape: the bytes themselves are bad. *)
 
 val all_reasons : reason array
 (** Every reason, in {!reason_index} order. *)

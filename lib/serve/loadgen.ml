@@ -10,6 +10,7 @@ type config = {
   server : int;
   server_port : int;
   integrity : Checksum.Kind.t option;
+  secure : Secure.Record.t option;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     server = 0;
     server_port = 7000;
     integrity = Some Checksum.Kind.Crc32;
+    secure = None;
   }
 
 let ports_used cfg =
@@ -40,6 +42,7 @@ type stats = {
 type t = {
   cfg : config;
   io : Dgram.t;
+  sec : Secure.Record.t option;  (* own clone: private AAD scratch *)
   scratch : Bytebuf.t;
   done_flags : Bytes.t;
   mutable done_total : int;
@@ -71,13 +74,18 @@ let payload_byte k index j = (k * 131) + (index * 31) + (j * 7) + 5
 let emit_adu t k index =
   let cfg = t.cfg in
   let plen = cfg.payload_len in
+  (* Sealed payloads carry the 20-byte record trailer after the
+     ciphertext; every length field below speaks [splen]. *)
+  let splen =
+    plen + match t.sec with None -> 0 | Some _ -> Secure.Record.overhead
+  in
   let w = Cursor.writer t.scratch in
   Cursor.put_u8 w Framing.frag_magic;
   Cursor.put_u16be w (stream_of t k);
   Cursor.put_int_as_u32be w index;
   Cursor.put_u16be w 0;
   Cursor.put_u16be w 1;
-  Cursor.put_int_as_u32be w (Adu.header_size + plen);
+  Cursor.put_int_as_u32be w (Adu.header_size + splen);
   Cursor.put_int_as_u32be w 0;
   let adu_pos = Framing.fragment_header_size in
   Cursor.put_u16be w Adu.magic;
@@ -86,12 +94,32 @@ let emit_adu t k index =
   Cursor.put_u64be w (Int64.of_int (index * plen)) (* dest_off *);
   Cursor.put_int_as_u32be w plen (* dest_len *);
   Cursor.put_u64be w 0L;
-  Cursor.put_int_as_u32be w plen;
+  Cursor.put_int_as_u32be w splen;
   Cursor.put_u32be w 0l (* ADU CRC, patched below *);
   for j = 0 to plen - 1 do
     Cursor.put_u8 w (payload_byte k index j land 0xff)
   done;
-  let body = Bytebuf.length (Cursor.written w) in
+  (match t.sec with
+  | None -> ()
+  | Some rc ->
+      let name =
+        Adu.name ~dest_off:(index * plen) ~dest_len:plen
+          ~stream:(stream_of t k) ~index ()
+      in
+      let e, pr = Secure.Record.seal_params rc name in
+      let ct =
+        Bytebuf.sub t.scratch ~pos:(adu_pos + Adu.header_size) ~len:plen
+      in
+      let tag =
+        Cipher.Aead.seal_in_place ~key:pr.Ilp.aead_key ~n0:pr.Ilp.aead_n0
+          ~n1:pr.Ilp.aead_n1 ~n2:pr.Ilp.aead_n2 ~aad:pr.Ilp.aead_aad ct
+      in
+      Secure.Record.write_trailer
+        (Bytebuf.sub t.scratch
+           ~pos:(adu_pos + Adu.header_size + plen)
+           ~len:Secure.Record.overhead)
+        ~e ~tag);
+  let body = adu_pos + Adu.header_size + splen in
   (* The ADU CRC is computed with its own field zeroed (see Adu.encode). *)
   let crc =
     let st =
@@ -105,7 +133,7 @@ let emit_adu t k index =
     Checksum.Crc32.finish
       (Checksum.Crc32.feed_sub !st t.scratch
          ~pos:(adu_pos + Adu.header_size)
-         ~len:plen)
+         ~len:splen)
   in
   let p = adu_pos + 32 in
   Bytebuf.set_uint8 t.scratch p
@@ -174,6 +202,7 @@ let create ~io cfg =
   if cfg.payload_len < 0 then invalid_arg "Loadgen.create: payload_len";
   let dgram_size =
     Framing.fragment_header_size + Adu.header_size + cfg.payload_len
+    + (match cfg.secure with None -> 0 | Some _ -> Secure.Record.overhead)
     + Ctl.trailer_size
   in
   if dgram_size > io.Dgram.max_payload then
@@ -182,6 +211,7 @@ let create ~io cfg =
     {
       cfg;
       io;
+      sec = Option.map Secure.Record.clone cfg.secure;
       scratch = Bytebuf.create (max dgram_size 64);
       done_flags = Bytes.make cfg.sessions '\000';
       done_total = 0;

@@ -28,6 +28,11 @@ type config = {
   server : int;  (** Server address on the substrate. *)
   server_port : int;
   integrity : Checksum.Kind.t option;  (** Must match the server's. *)
+  secure : Secure.Record.t option;  (** Seal every ADU payload as
+      [ct ‖ epoch ‖ tag] under the AEAD record layer (a private
+      {!Secure.Record.clone} is taken at {!create}); must share a base
+      key with the server's. NACK regeneration re-seals at the current
+      epoch — the receiver window accepts it. Default [None]. *)
 }
 
 val default_config : config

@@ -20,6 +20,7 @@ type config = {
   nack_budget : int;
   stage2_plan : Ilp.plan;
   stage2_schema : Wire.Xdr.schema option;
+  secure : Secure.Record.t option;
   obs_prefix : string;
   ingress_validation : bool;
   max_ahead_window : int;
@@ -52,6 +53,7 @@ let default_config =
     nack_budget = 8;
     stage2_plan = [ Ilp.Checksum Checksum.Kind.Crc32; Ilp.Deliver_copy ];
     stage2_schema = None;
+    secure = None;
     obs_prefix = "serve";
     ingress_validation = true;
     max_ahead_window = 4096;
@@ -142,6 +144,10 @@ type shard = {
   ctr : counters;
   admit_police : Police.t;  (* session creation, under the shard lock *)
   ctl_police : Police.t;  (* control traffic, under the shard lock *)
+  sh_secure : Secure.Record.t option;  (* per-shard record-layer clone *)
+  mutable pending_reason : Ingress.reason option;
+      (* drop reason surfaced by a reassembler-driven delivery, so the
+         completing datagram is attributed to it (e.g. [Auth]) *)
   mutable peak_sessions : int;
   mutable inbox_peak : int;  (* high-water marks since the last harvest, *)
   mutable outbox_peak : int;  (* the overload-control occupancy signal *)
@@ -240,6 +246,8 @@ let make_shard config registry sid =
     ctl_police =
       Police.create ~buckets:config.police_buckets ~rate:config.ctl_rate
         ~burst:config.ctl_burst ();
+    sh_secure = Option.map Secure.Record.clone config.secure;
+    pending_reason = None;
     peak_sessions = 0;
     inbox_peak = 0;
     outbox_peak = 0;
@@ -372,10 +380,35 @@ let maybe_complete t sh s =
 
 (* ---- stage 2 + delivery ---- *)
 
+(* Returns the drop reason when the unit must not count as served —
+   today only [Auth]; [None] covers both delivery and the benign
+   duplicate short-circuit. *)
 let deliver_adu t sh s adu =
   let index = adu.Adu.name.Adu.index in
-  if settled s index then Obs.Counter.incr sh.ctr.c_dups
-  else begin
+  if settled s index then begin
+    Obs.Counter.incr sh.ctr.c_dups;
+    None
+  end
+  else
+    (* The record layer opens in place over the borrowed payload — one
+       fused MAC+decrypt pass on the shard domain — before any stage-2
+       work sees the bytes. A failure is a counted [Auth] drop, and the
+       index is un-retired so NACK repair can fetch the genuine bytes. *)
+    let opened =
+      match sh.sh_secure with
+      | None -> Ok adu
+      | Some rc -> (
+          match Secure.Record.open_payload rc adu.Adu.name adu.Adu.payload with
+          | Ok ct -> Ok (Adu.make adu.Adu.name ct)
+          | Error _ -> Error Ingress.Auth)
+    in
+    match opened with
+    | Error reason ->
+        (match s.reasm with
+        | Some r -> Framing.unretire r ~index
+        | None -> ());
+        Some reason
+    | Ok adu ->
     let payload = adu.Adu.payload in
     let plen = Bytebuf.length payload in
     (match t.stage2_prog with
@@ -417,8 +450,8 @@ let deliver_adu t sh s adu =
     if index > s.highest then s.highest <- index;
     (match t.on_adu with Some f -> f s.key adu | None -> ());
     advance s;
-    maybe_complete t sh s
-  end
+    maybe_complete t sh s;
+    None
 
 (* ---- per-datagram dispatch (inside a shard task) ----
 
@@ -472,9 +505,7 @@ let handle_fragment t sh now ~src ~src_port body =
                  reassembler, no copy. *)
               match Adu.decode_view_res frag.Framing.chunk with
               | Error _ -> Some Ingress.Bad_adu
-              | Ok adu ->
-                  deliver_adu t sh s adu;
-                  None)
+              | Ok adu -> deliver_adu t sh s adu)
             else begin
               let r =
                 match s.reasm with
@@ -482,7 +513,8 @@ let handle_fragment t sh now ~src ~src_port body =
                 | None ->
                     let r =
                       Framing.reassembler ~pool:sh.reasm_pool
-                        ~deliver:(fun adu -> deliver_adu t sh s adu)
+                        ~deliver:(fun adu ->
+                          sh.pending_reason <- deliver_adu t sh s adu)
                         ()
                     in
                     s.reasm <- Some r;
@@ -494,6 +526,7 @@ let handle_fragment t sh now ~src ~src_port body =
               let dups0 = st.Framing.duplicate_frags in
               let corrupt0 = st.Framing.corrupt_adus in
               let inconsistent0 = st.Framing.inconsistent_frags in
+              sh.pending_reason <- None;
               Framing.push r frag;
               if st.Framing.corrupt_adus > corrupt0 then Some Ingress.Bad_adu
               else if st.Framing.inconsistent_frags > inconsistent0 then
@@ -501,7 +534,9 @@ let handle_fragment t sh now ~src ~src_port body =
               else begin
                 if st.Framing.duplicate_frags > dups0 then
                   Obs.Counter.incr sh.ctr.c_dups;
-                None
+                (* A completing push may have surfaced a delivery-time
+                   drop (record auth): charge this datagram with it. *)
+                sh.pending_reason
               end
             end
           end)

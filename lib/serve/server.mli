@@ -70,6 +70,12 @@ type config = {
       Payloads that fail validation count as [view_invalid] (the session
       bookkeeping still advances; a hostile payload cannot wedge the
       stream). Default [None]. *)
+  secure : Secure.Record.t option;  (** AEAD record layer: when set,
+      every delivered ADU payload is [ct ‖ epoch ‖ tag] and is opened in
+      place (one fused MAC+decrypt pass, per-shard {!Secure.Record.clone}
+      handles) before stage 2. Failures are counted [Auth] drops — the
+      unit behaves like a lost datagram and stays NACK-repairable.
+      Default [None]. *)
   obs_prefix : string;  (** Registry namespace:
       [<prefix>.shard<N>.<counter>]. *)
   ingress_validation : bool;  (** Stage-0 {!Ingress.validate} before

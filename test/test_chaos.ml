@@ -22,6 +22,9 @@ let base_case =
     corrupt_e2e = 0.0;
     policy = Soak.Transport_buffer;
     fec = false;
+    secure = false;
+    rekey_at = -1;
+    corrupt_tag = 0.0;
     events = [];
     horizon = 120.0;
   }

@@ -853,7 +853,7 @@ let test_session_negotiates_syntax_and_rate () =
   Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
     ~offer:
       { Session.stream = 7; syntaxes = [ "lwts"; "xdr"; "ber" ]; rate_bps = 8e6;
-        policy = "buffer" }
+        policy = "buffer"; ciphers = [] }
     ~on_result:(fun r -> result := Some r)
     ();
   Engine.run ~until:30.0 engine;
@@ -862,7 +862,9 @@ let test_session_negotiates_syntax_and_rate () =
       (* First initiator preference the responder supports: xdr. *)
       Alcotest.(check string) "syntax" "xdr" g.Session.g_syntax;
       Alcotest.(check (float 1.0)) "rate clamped" 5e6 g.Session.g_rate_bps;
-      Alcotest.(check string) "policy echoed" "buffer" g.Session.g_policy
+      Alcotest.(check string) "policy echoed" "buffer" g.Session.g_policy;
+      (* An empty cipher offer means the modern default, not plaintext. *)
+      Alcotest.(check string) "cipher default" "chacha20" g.Session.g_cipher
   | Some None -> Alcotest.fail "session rejected"
   | None -> Alcotest.fail "no result");
   (match !responder_got with
@@ -880,7 +882,14 @@ let test_session_no_common_syntax () =
   in
   let result = ref `Pending in
   Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
-    ~offer:{ Session.stream = 1; syntaxes = [ "ber" ]; rate_bps = 0.0; policy = "none" }
+    ~offer:
+      {
+        Session.stream = 1;
+        syntaxes = [ "ber" ];
+        rate_bps = 0.0;
+        policy = "none";
+        ciphers = [];
+      }
     ~on_result:(fun r -> result := `Got r)
     ();
   Engine.run ~until:30.0 engine;
@@ -894,7 +903,14 @@ let test_session_unreachable_times_out () =
   let engine, io_a, _ = session_world ~loss:1.0 () in
   let result = ref `Pending in
   Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
-    ~offer:{ Session.stream = 1; syntaxes = [ "ber" ]; rate_bps = 0.0; policy = "none" }
+    ~offer:
+      {
+        Session.stream = 1;
+        syntaxes = [ "ber" ];
+        rate_bps = 0.0;
+        policy = "none";
+        ciphers = [];
+      }
     ~retry_interval:0.05 ~max_retries:4
     ~on_result:(fun r -> result := `Got r)
     ();
@@ -935,7 +951,8 @@ let test_session_then_negotiated_transfer () =
   in
   Session.initiate ~engine ~io:io_a ~port:901 ~peer:2 ~peer_port:900
     ~offer:
-      { Session.stream = 3; syntaxes = [ "ber" ]; rate_bps = 20e6; policy = "buffer" }
+      { Session.stream = 3; syntaxes = [ "ber" ]; rate_bps = 20e6;
+        policy = "buffer"; ciphers = [ "chacha20"; "none" ] }
     ~on_result:(fun result ->
       match result with
       | None -> Alcotest.fail "session failed"
